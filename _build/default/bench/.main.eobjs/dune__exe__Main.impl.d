@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Core Float Hashtbl Lazy List Measure Nepal_loader Nepal_rpe Printf Staged String Sys Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/profile.ml: Array Core List Nepal_loader Printf Unix

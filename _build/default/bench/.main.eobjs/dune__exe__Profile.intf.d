@@ -1,0 +1,1 @@
+bench/profile.mli:

@@ -1,0 +1,96 @@
+(* Developer profiling harness: dissect one query family on one
+   topology. Not part of the reported experiments. *)
+
+module Nepal = Core.Nepal
+module Legacy = Nepal.Legacy
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let flat = Legacy.generate ~nodes:4000 Legacy.Flat in
+  let classed = ok (Nepal_loader.Reclass.reclass flat) in
+  let hub_l2 = flat.Legacy.hub_ids.(0) in
+  (* A physical target whose chain routes through the hub: walk one
+     vert_c edge out of the hub. *)
+  let hub =
+    let store = flat.Legacy.store in
+    match
+      Nepal.Graph_store.lookup store ~tc:Nepal.Time_constraint.Snapshot
+        ~cls:"LegacyNode" ~field:"id" (Nepal.Value.Int hub_l2)
+    with
+    | e :: _ -> (
+        let outs =
+          Nepal.Graph_store.out_edges store ~tc:Nepal.Time_constraint.Snapshot
+            e.Nepal.Entity.uid
+        in
+        match
+          List.find_opt
+            (fun (ed : Nepal.Entity.t) ->
+              Nepal.Entity.field ed "type_indicator" = Nepal.Value.Str "vert_c")
+            outs
+        with
+        | Some ed -> (
+            match
+              Nepal.Graph_store.get store ~tc:Nepal.Time_constraint.Snapshot
+                (Nepal.Entity.dst ed)
+            with
+            | Some n -> (
+                match Nepal.Entity.field n "id" with
+                | Nepal.Value.Int v -> v
+                | _ -> failwith "no id")
+            | None -> failwith "no dst")
+        | None -> failwith "hub has no vert_c out-edge")
+    | [] -> failwith "hub not found"
+  in
+  Printf.printf "hub id %d\n" hub;
+  let in_deg t id =
+    let store = t.Legacy.store in
+    match
+      Nepal.Graph_store.lookup store ~tc:Nepal.Time_constraint.Snapshot
+        ~cls:"LegacyNode" ~field:"id" (Nepal.Value.Int id)
+    with
+    | e :: _ ->
+        List.length
+          (Nepal.Graph_store.in_edges store ~tc:Nepal.Time_constraint.Snapshot
+             e.Nepal.Entity.uid)
+    | [] -> 0
+  in
+  Printf.printf "hub in-degree: %d\n" (in_deg flat hub);
+  let run name t conn id =
+    let q = Legacy.q_bottom_up t ~dst:id in
+    (* warm *)
+    ignore (Nepal.Engine.run_string ~conn q);
+    let stats = Nepal.Eval_rpe.new_stats () in
+    let r, dt =
+      time (fun () -> ok (Nepal.Engine.run_string ~conn ~stats q))
+    in
+    Printf.printf
+      "%-24s %8.4f s  %4d paths  selects=%d extends=%d frontier_peak=%d\n%!"
+      name dt
+      (Nepal.Engine.result_count r)
+      stats.Nepal.Eval_rpe.selects stats.Nepal.Eval_rpe.extends
+      stats.Nepal.Eval_rpe.frontier_peak
+  in
+  let rel t =
+    Nepal.relational_conn (ok (Nepal.to_relational (Nepal.of_store t.Legacy.store)))
+  in
+  let nat t = Nepal.conn (Nepal.of_store t.Legacy.store) in
+  let rel_flat = rel flat and rel_classed = rel classed in
+  let nat_flat = nat flat and nat_classed = nat classed in
+  let non_hub = flat.Legacy.chain_end_ids.(0) in
+  let non_hub = if non_hub = hub then flat.Legacy.chain_end_ids.(1) else non_hub in
+  Printf.printf "\n-- hub target --\n";
+  run "relational flat" flat rel_flat hub;
+  run "relational classed" classed rel_classed hub;
+  run "native flat" flat nat_flat hub;
+  run "native classed" classed nat_classed hub;
+  Printf.printf "\n-- non-hub target (%d) --\n" non_hub;
+  run "relational flat" flat rel_flat non_hub;
+  run "relational classed" classed rel_classed non_hub;
+  run "native flat" flat nat_flat non_hub;
+  run "native classed" classed nat_classed non_hub

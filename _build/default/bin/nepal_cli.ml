@@ -1,0 +1,261 @@
+(* The `nepal` command-line tool: inspect the layered model, generate
+   the evaluation topologies, run Nepal queries against them (on any
+   backend), and open an interactive query loop. *)
+
+module Nepal = Core.Nepal
+open Cmdliner
+
+(* ---- shared setup --------------------------------------------------- *)
+
+type topology = Virt | Legacy_flat | Legacy_classed
+
+let topology_conv =
+  let parse = function
+    | "virt" -> Ok Virt
+    | "legacy" | "legacy-flat" -> Ok Legacy_flat
+    | "legacy-classed" -> Ok Legacy_classed
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S (virt|legacy|legacy-classed)" s))
+  in
+  let print ppf = function
+    | Virt -> Format.pp_print_string ppf "virt"
+    | Legacy_flat -> Format.pp_print_string ppf "legacy"
+    | Legacy_classed -> Format.pp_print_string ppf "legacy-classed"
+  in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(value & opt topology_conv Virt
+       & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+           ~doc:"Topology to generate: $(b,virt) (the virtualized service), \
+                 $(b,legacy) (flat legacy graph), or $(b,legacy-classed).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let scale_arg =
+  Arg.(value & opt int 8000
+       & info [ "nodes" ] ~docv:"N" ~doc:"Node count for the legacy topology.")
+
+let history_arg =
+  Arg.(value & flag
+       & info [ "history" ] ~doc:"Simulate the 60-day churn history after loading.")
+
+let backend_arg =
+  Arg.(value & opt (enum [ ("native", `Native); ("relational", `Relational); ("gremlin", `Gremlin) ]) `Native
+       & info [ "b"; "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution target: $(b,native), $(b,relational) or $(b,gremlin).")
+
+let build_store topology seed nodes history =
+  match topology with
+  | Virt ->
+      let t = Nepal.Virt_service.generate ~seed () in
+      if history then Nepal.Virt_service.simulate_history ~seed:(seed + 1) t;
+      t.Nepal.Virt_service.store
+  | Legacy_flat ->
+      let t = Nepal.Legacy.generate ~seed ~nodes Nepal.Legacy.Flat in
+      if history then Nepal.Legacy.simulate_history ~seed:(seed + 1) t;
+      t.Nepal.Legacy.store
+  | Legacy_classed ->
+      let t = Nepal.Legacy.generate ~seed ~nodes Nepal.Legacy.Classed in
+      if history then Nepal.Legacy.simulate_history ~seed:(seed + 1) t;
+      t.Nepal.Legacy.store
+
+let connect backend store =
+  match backend with
+  | `Native -> Ok (Nepal.native_conn store)
+  | `Relational -> (
+      match Nepal.to_relational (Nepal.of_store store) with
+      | Ok rb -> Ok (Nepal.relational_conn rb)
+      | Error e -> Error e)
+  | `Gremlin -> (
+      match Nepal.to_gremlin (Nepal.of_store store) with
+      | Ok gb -> Ok (Nepal.gremlin_conn gb)
+      | Error e -> Error e)
+
+(* ---- subcommands ----------------------------------------------------- *)
+
+let schema_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"TOSCA schema file to validate (defaults to the built-in layered model).")
+  in
+  let run file =
+    match file with
+    | None ->
+        print_string (Nepal.Model.tosca ());
+        `Ok ()
+    | Some path -> (
+        let ic = open_in path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Nepal.Tosca.parse text with
+        | Ok s ->
+            Format.printf "%a" Nepal.Schema.pp s;
+            `Ok ()
+        | Error e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the built-in layered network model, or validate a TOSCA file.")
+    Term.(ret (const run $ file))
+
+let generate_cmd =
+  let run topology seed nodes history =
+    let store = build_store topology seed nodes history in
+    Format.printf "nodes:            %d@."
+      (Nepal.Graph_store.count_current store ~cls:"Node");
+    Format.printf "edges:            %d@."
+      (Nepal.Graph_store.count_current store ~cls:"Edge");
+    Format.printf "entities (ever):  %d@." (Nepal.Graph_store.count_entities store);
+    Format.printf "stored versions:  %d@." (Nepal.Graph_store.count_versions store);
+    Format.printf "class histogram:@.";
+    List.iter
+      (fun (cls, n) -> Format.printf "  %-24s %6d@." cls n)
+      (Nepal.Graph_store.class_histogram store);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an evaluation topology and print its statistics.")
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg))
+
+let run_query conn text =
+  let t0 = Unix.gettimeofday () in
+  match Nepal.query_on conn text with
+  | Error e -> Error e
+  | Ok result ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Nepal.Engine.pp_result Format.std_formatter result;
+      Format.printf "(%d result(s) in %.3f s)@." (Nepal.Engine.result_count result) dt;
+      Ok ()
+
+let query_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"The Nepal query text.")
+  in
+  let run topology seed nodes history backend text =
+    let store = build_store topology seed nodes history in
+    match connect backend store with
+    | Error e -> `Error (false, e)
+    | Ok conn -> (
+        match run_query conn text with
+        | Ok () -> `Ok ()
+        | Error e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a Nepal query against a generated topology."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal query -t virt \"Retrieve P From PATHS P Where P MATCHES \
+               VNF(id=100)->[Vertical()]{1,6}->Server()\"";
+         ])
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
+               $ backend_arg $ text))
+
+let repl_cmd =
+  let run topology seed nodes history backend =
+    let store = build_store topology seed nodes history in
+    match connect backend store with
+    | Error e -> `Error (false, e)
+    | Ok conn ->
+        Format.printf "nepal> loaded %d nodes / %d edges; empty line quits.@."
+          (Nepal.Graph_store.count_current store ~cls:"Node")
+          (Nepal.Graph_store.count_current store ~cls:"Edge");
+        let rec loop () =
+          Format.printf "nepal> %!";
+          match In_channel.input_line stdin with
+          | None | Some "" -> `Ok ()
+          | Some line ->
+              (match run_query conn line with
+              | Ok () -> ()
+              | Error e -> Format.printf "error: %s@." e);
+              loop ()
+        in
+        loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive Nepal query loop over a generated topology.")
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg $ backend_arg))
+
+let paths_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"RPE" ~doc:"A regular pathway expression.")
+  in
+  let at =
+    Arg.(value & opt (some string) None
+         & info [ "at" ] ~docv:"TS" ~doc:"Evaluate as a timeslice at this instant.")
+  in
+  let run topology seed nodes history text at =
+    let store = build_store topology seed nodes history in
+    let db = Nepal.of_store store in
+    let tc =
+      match at with
+      | None -> Ok Nepal.Time_constraint.Snapshot
+      | Some ts -> (
+          match Nepal.Time_point.of_string ts with
+          | Ok t -> Ok (Nepal.Time_constraint.at t)
+          | Error e -> Error e)
+    in
+    match tc with
+    | Error e -> `Error (false, e)
+    | Ok tc -> (
+        match Nepal.find_paths db ~tc text with
+        | Error e -> `Error (false, e)
+        | Ok paths ->
+            List.iter (fun p -> Format.printf "%s@." (Nepal.Path.to_string p)) paths;
+            Format.printf "(%d pathway(s))@." (List.length paths);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Evaluate a bare RPE and print the matching pathways.")
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg $ text $ at))
+
+let when_exists_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"RPE" ~doc:"A regular pathway expression.")
+  in
+  let from_arg =
+    Arg.(required & opt (some string) None
+         & info [ "from" ] ~docv:"TS" ~doc:"Window start.")
+  in
+  let to_arg =
+    Arg.(required & opt (some string) None
+         & info [ "to" ] ~docv:"TS" ~doc:"Window end.")
+  in
+  let run topology seed nodes history text from_ to_ =
+    let store = build_store topology seed nodes history in
+    let db = Nepal.of_store store in
+    let parse ts = Nepal.Time_point.of_string ts in
+    match (parse from_, parse to_) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok a, Ok b -> (
+        match
+          Result.bind (Nepal.Rpe_parser.parse text) (fun r ->
+              Result.bind (Nepal.Rpe.validate (Nepal.schema db) r) (fun norm ->
+                  Nepal.Temporal_agg.when_exists (Nepal.conn db) ~window:(a, b) norm))
+        with
+        | Error e -> `Error (false, e)
+        | Ok set ->
+            if Nepal.Interval_set.is_empty set then
+              Format.printf "never@."
+            else
+              List.iter
+                (fun iv -> Format.printf "%s@." (Nepal.Interval.to_string iv))
+                (Nepal.Interval_set.to_list set);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "when-exists"
+       ~doc:"When (within a window) did a satisfying pathway exist?              (the Section 4 temporal aggregation)")
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
+               $ text $ from_arg $ to_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "nepal" ~version:"1.0.0"
+       ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
+    [ schema_cmd; generate_cmd; query_cmd; repl_cmd; paths_cmd; when_exists_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Core Format List Nepal_relational

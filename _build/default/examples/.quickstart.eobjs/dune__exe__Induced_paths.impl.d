@@ -1,0 +1,1 @@
+examples/induced_paths.ml: Core Format List Printf String

@@ -1,0 +1,1 @@
+examples/troubleshooting.ml: Core Format List

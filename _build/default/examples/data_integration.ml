@@ -1,0 +1,83 @@
+(* Nepal as a data-integration platform (Sections 1 and 5): the network
+   inventory is fragmented across different systems — here a relational
+   database (the A&AI-style inventory) and a property-graph store — and
+   one Nepal query joins pathways across both. The example also prints
+   the SQL and Gremlin the retargetable translator generated for each
+   target.
+
+   Run with: dune exec examples/data_integration.exe *)
+
+module Nepal = Core.Nepal
+module Virt = Nepal.Virt_service
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+
+let () =
+  let t = Virt.generate ~seed:7 ~vnf_count:8 ~server_count:16 () in
+  let db = Nepal.of_store t.Virt.store in
+
+  Format.printf "mirroring the inventory into both target systems...@.";
+  let rb = ok (Nepal.to_relational db) in
+  let gb = ok (Nepal.to_gremlin db) in
+  ignore (Nepal.Relational_backend.take_log rb);
+  ignore (Nepal.Gremlin_backend.take_log gb);
+
+  (* Variable D1 (the service→hardware dependency) lives in the
+     relational inventory; Phys (physical connectivity) in the graph
+     store. The Nepal coordination layer evaluates each variable in its
+     own database and joins the pathways itself. *)
+  let q =
+    "Retrieve Phys From PATHS D1, PATHS Phys \
+     Where D1 MATCHES VNF(id=100)->[Vertical()]{1,6}->Server() \
+     And Phys MATCHES [Connects()]{1,2} \
+     And source(Phys) = target(D1)"
+  in
+  Format.printf "@.query> %s@." q;
+  let result =
+    ok
+      (Nepal.query_on (Nepal.conn db)
+         ~binds:
+           [
+             ("D1", Nepal.relational_conn rb);
+             ("Phys", Nepal.gremlin_conn gb);
+           ]
+         q)
+  in
+  Format.printf "rows: %d@." (Nepal.Engine.result_count result);
+
+  Format.printf "@.--- SQL shipped to the relational target (first 6) ---@.";
+  List.iteri
+    (fun k sql -> if k < 6 then Format.printf "%s;@.@." sql)
+    (Nepal.Relational_backend.take_log rb);
+
+  Format.printf "@.--- Gremlin shipped to the graph target (first 6) ---@.";
+  List.iteri
+    (fun k g -> if k < 6 then Format.printf "%s@." g)
+    (Nepal.Gremlin_backend.take_log gb);
+
+  (* The relational target also supports mixing graph data with plain
+     relational analytics (Section 6.1): profile the VM status
+     distribution straight off the class tables. *)
+  Format.printf "@.--- relational profiling over the same tables ---@.";
+  let dbase = Nepal.Relational_backend.database rb in
+  let module R = Nepal_relational in
+  let profile =
+    R.Plan.Aggregate
+      {
+        input = R.Plan.Scan { table = "Container"; only = false };
+        group_by = [ "status" ];
+        aggs = [ ("n", R.Plan.Count) ];
+      }
+  in
+  Format.printf "SQL> %s;@." (R.Plan.to_sql profile);
+  let rs = R.Plan.run_exn dbase profile in
+  List.iter
+    (fun row ->
+      Format.printf "  status %s: %s containers@."
+        (Nepal.Value.to_string (R.Plan.column_value rs row "status"))
+        (Nepal.Value.to_string (R.Plan.column_value rs row "n")))
+    rs.R.Plan.rows

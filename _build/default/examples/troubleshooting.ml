@@ -1,0 +1,140 @@
+(* History-based troubleshooting (Sections 2.3.2 and 4 of the paper).
+
+   A network engineer is told that dropped calls spiked at 10:00. The
+   current (13:00) state of the network looks healthy — the answer is
+   in the past. This example builds a service, simulates a failure and
+   an automatic repair, and then interrogates the history:
+
+     1. "What was the network path at the time of the failure?"
+        (timeslice / AT query)
+     2. "What was the footprint of the VNF and how did it evolve?"
+        (time-range query with maximal validity intervals)
+     3. "When exactly did a working pathway exist?"
+        (When-Exists temporal aggregation)
+     4. "Which elements share fate with the suspect server?"
+        (vertical shared-fate query)
+
+   Run with: dune exec examples/troubleshooting.exe *)
+
+module Nepal = Core.Nepal
+
+let model =
+  {|
+node_types:
+  VNF:
+    properties:
+      id: int
+      name: string
+  VFC:
+    properties:
+      id: int
+  VM:
+    properties:
+      id: int
+      status: string
+  Host:
+    properties:
+      id: int
+      name: string
+edge_types:
+  Vertical:
+    abstract: true
+  HostedOn:
+    derived_from: Vertical
+|}
+
+let tp = Nepal.Time_point.of_string_exn
+
+let t_morning = tp "2017-02-15 08:00:00"
+let t_failure = tp "2017-02-15 10:00:00"
+let t_repair = tp "2017-02-15 11:30:00"
+let t_now = tp "2017-02-15 13:00:00"
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+
+let () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let fields l = Nepal.Strmap.of_list l in
+  let i n = Nepal.Value.Int n and s x = Nepal.Value.Str x in
+  let node ~at cls fs = ok (Nepal.insert_node db ~at ~cls ~fields:(fields fs)) in
+  let edge ~at src dst =
+    ok (Nepal.insert_edge db ~at ~cls:"HostedOn" ~src ~dst ~fields:Nepal.Strmap.empty)
+  in
+  (* 08:00 — the vIMS service is deployed on host 7001. *)
+  let vnf = node ~at:t_morning "VNF" [ ("id", i 1); ("name", s "vIMS") ] in
+  let vfc = node ~at:t_morning "VFC" [ ("id", i 10) ] in
+  let vm = node ~at:t_morning "VM" [ ("id", i 100); ("status", s "Green") ] in
+  let host_bad = node ~at:t_morning "Host" [ ("id", i 7001); ("name", s "srv-rack3-1") ] in
+  let host_ok = node ~at:t_morning "Host" [ ("id", i 7002); ("name", s "srv-rack4-1") ] in
+  ignore (edge ~at:t_morning vnf vfc);
+  ignore (edge ~at:t_morning vfc vm);
+  let hosting = edge ~at:t_morning vm host_bad in
+  ignore host_ok;
+  (* 10:00 — the VM on host 7001 goes red (the failure). *)
+  ok (Nepal.update db ~at:t_failure vm ~fields:(fields [ ("status", s "Red") ]));
+  (* 11:30 — orchestration migrates the VM to host 7002 and it greens. *)
+  ok (Nepal.delete db ~at:t_repair hosting);
+  ignore (ok (Nepal.insert_edge db ~at:t_repair ~cls:"HostedOn" ~src:vm ~dst:host_ok
+                ~fields:Nepal.Strmap.empty));
+  ok (Nepal.update db ~at:t_repair vm ~fields:(fields [ ("status", s "Green") ]));
+
+  Format.printf "=== 1. The pathway at the time of the failure (AT 10:00) ===@.";
+  let q1 =
+    "AT '2017-02-15 10:00:00' \
+     Retrieve P From PATHS P \
+     Where P MATCHES VNF(id=1)->[Vertical()]{1,6}->Host()"
+  in
+  Format.printf "query> %s@." q1;
+  Nepal.Engine.pp_result Format.std_formatter (ok (Nepal.query db q1));
+
+  Format.printf "@.=== 2. Footprint evolution over the day (time range) ===@.";
+  let q2 =
+    "AT '2017-02-15 00:00' : '2017-02-16 00:00' \
+     Retrieve P From PATHS P \
+     Where P MATCHES VNF(id=1)->[Vertical()]{1,6}->Host()"
+  in
+  Format.printf "query> %s@." q2;
+  Nepal.Engine.pp_result Format.std_formatter (ok (Nepal.query db q2));
+
+  Format.printf "@.=== 3. When did a *healthy* pathway exist? ===@.";
+  let healthy =
+    ok
+      (Nepal.Rpe.validate (Nepal.schema db)
+         (Nepal.Rpe_parser.parse_exn
+            "VNF(id=1)->VFC()->VM(status='Green')->[Vertical()]{1,2}->Host()"))
+  in
+  let window = (tp "2017-02-15 00:00", t_now) in
+  let when_ = ok (Nepal.Temporal_agg.when_exists (Nepal.conn db) ~window healthy) in
+  Format.printf "healthy pathway existed during %a@." Nepal.Interval_set.pp when_;
+  (match ok (Nepal.Temporal_agg.first_time_when_exists (Nepal.conn db) ~window healthy) with
+  | Some t -> Format.printf "first healthy: %a@." Nepal.Time_point.pp t
+  | None -> Format.printf "never healthy@.");
+
+  Format.printf "@.=== 4. Shared fate of the suspect server ===@.";
+  let q4 =
+    "AT '2017-02-15 10:00:00' \
+     Select source(P).name From PATHS P \
+     Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=7001)"
+  in
+  Format.printf "query> %s@." q4;
+  Nepal.Engine.pp_result Format.std_formatter (ok (Nepal.query db q4));
+
+  Format.printf "@.=== 5. Element-level evolution of the VM ===@.";
+  let steps =
+    Nepal.Temporal_agg.path_evolution (Nepal.conn db)
+      ~window:(tp "2017-02-15 00:30", t_now) [ vm ]
+  in
+  List.iter
+    (fun (st : Nepal.Temporal_agg.evolution_step) ->
+      Format.printf "%a  element #%d %s@." Nepal.Time_point.pp st.at st.element_uid
+        (match st.change with
+        | `Appeared -> "appeared"
+        | `Changed -> "changed"
+        | `Disappeared -> "disappeared"))
+    steps;
+  Format.printf "@.Verdict: the VNF ran unhealthy on srv-rack3-1 between 10:00 and 11:30,@.";
+  Format.printf "and was re-homed to srv-rack4-1 — consistent with the dropped-call spike.@."

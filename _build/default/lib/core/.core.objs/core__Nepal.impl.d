@@ -1,0 +1,1 @@
+lib/core/nepal.ml: List Nepal_loader Nepal_netmodel Nepal_query Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Nepal_util Result

@@ -1,0 +1,1 @@
+lib/gremlin/pgraph.ml: Hashtbl Int List Nepal_schema Nepal_util Printf String

@@ -1,0 +1,1 @@
+lib/gremlin/pgraph.mli: Nepal_schema Nepal_util

@@ -1,0 +1,1 @@
+lib/gremlin/traversal.ml: Hashtbl Int List Nepal_schema Nepal_temporal Nepal_util Pgraph Printf String

@@ -1,0 +1,1 @@
+lib/gremlin/traversal.mli: Nepal_schema Nepal_temporal Pgraph

@@ -1,0 +1,160 @@
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+
+type element = {
+  id : int;
+  label : string;
+  props : Value.t Strmap.t;
+  endpoints : (int * int) option;
+}
+
+type t = {
+  mutable next_id : int;
+  elements : (int, element) Hashtbl.t;
+  adj_out : (int, int list) Hashtbl.t;
+  adj_in : (int, int list) Hashtbl.t;
+  (* Label-segment index: first segment -> element ids, to make prefix
+     scans cheaper than a full pass. *)
+  by_first_segment : (string, int list) Hashtbl.t;
+}
+
+let create () =
+  {
+    next_id = 1;
+    elements = Hashtbl.create 4096;
+    adj_out = Hashtbl.create 4096;
+    adj_in = Hashtbl.create 4096;
+    by_first_segment = Hashtbl.create 64;
+  }
+
+let first_segment label =
+  match String.index_opt label ':' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
+let register t e =
+  Hashtbl.replace t.elements e.id e;
+  let seg = first_segment e.label in
+  let existing =
+    match Hashtbl.find_opt t.by_first_segment seg with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.by_first_segment seg (e.id :: existing)
+
+let take_id t = function
+  | Some id ->
+      if Hashtbl.mem t.elements id then
+        invalid_arg (Printf.sprintf "Pgraph: id %d already in use" id)
+      else begin
+        if id >= t.next_id then t.next_id <- id + 1;
+        id
+      end
+  | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      id
+
+let add_vertex t ?id ~label props =
+  let id = take_id t id in
+  register t { id; label; props; endpoints = None };
+  id
+
+let add_edge t ?id ~label ~src ~dst props =
+  (match (Hashtbl.find_opt t.elements src, Hashtbl.find_opt t.elements dst) with
+  | Some { endpoints = None; _ }, Some { endpoints = None; _ } -> ()
+  | _ -> invalid_arg "Pgraph.add_edge: endpoints must be existing vertices");
+  let id = take_id t id in
+  register t { id; label; props; endpoints = Some (src, dst) };
+  let push tbl k v =
+    let existing = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
+    Hashtbl.replace tbl k (v :: existing)
+  in
+  push t.adj_out src id;
+  push t.adj_in dst id;
+  id
+
+let set_props t id props =
+  match Hashtbl.find_opt t.elements id with
+  | None -> raise Not_found
+  | Some e ->
+      let merged = Strmap.fold Strmap.add props e.props in
+      Hashtbl.replace t.elements id { e with props = merged }
+
+let unregister t id =
+  match Hashtbl.find_opt t.elements id with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.elements id;
+      let seg = first_segment e.label in
+      (match Hashtbl.find_opt t.by_first_segment seg with
+      | Some l ->
+          Hashtbl.replace t.by_first_segment seg (List.filter (fun x -> x <> id) l)
+      | None -> ());
+      (match e.endpoints with
+      | Some (s, d) ->
+          let strip tbl k =
+            match Hashtbl.find_opt tbl k with
+            | Some l -> Hashtbl.replace tbl k (List.filter (fun x -> x <> id) l)
+            | None -> ()
+          in
+          strip t.adj_out s;
+          strip t.adj_in d
+      | None -> ())
+
+let rec remove t id =
+  match Hashtbl.find_opt t.elements id with
+  | None -> ()
+  | Some { endpoints = Some _; _ } -> unregister t id
+  | Some { endpoints = None; _ } ->
+      let incident =
+        (match Hashtbl.find_opt t.adj_out id with Some l -> l | None -> [])
+        @ (match Hashtbl.find_opt t.adj_in id with Some l -> l | None -> [])
+      in
+      List.iter (remove t) incident;
+      Hashtbl.remove t.adj_out id;
+      Hashtbl.remove t.adj_in id;
+      unregister t id
+
+let element t id = Hashtbl.find_opt t.elements id
+let is_vertex e = e.endpoints = None
+
+let all_elements t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.elements []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let vertices t = List.filter is_vertex (all_elements t)
+let edges t = List.filter (fun e -> not (is_vertex e)) (all_elements t)
+
+(* Prefix on whole segments: "Node:VM" matches "Node:VM" and
+   "Node:VM:X" but not "Node:VMX". *)
+let label_has_prefix ~prefix label =
+  let lp = String.length prefix and ll = String.length label in
+  lp <= ll
+  && String.sub label 0 lp = prefix
+  && (ll = lp || label.[lp] = ':')
+
+let by_label_prefix t prefix ~want_vertex =
+  let candidates =
+    match Hashtbl.find_opt t.by_first_segment (first_segment prefix) with
+    | Some ids -> List.filter_map (Hashtbl.find_opt t.elements) ids
+    | None -> []
+  in
+  List.filter
+    (fun e -> is_vertex e = want_vertex && label_has_prefix ~prefix e.label)
+    candidates
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let vertices_by_label_prefix t prefix = by_label_prefix t prefix ~want_vertex:true
+let edges_by_label_prefix t prefix = by_label_prefix t prefix ~want_vertex:false
+
+let incident t tbl id =
+  match Hashtbl.find_opt tbl id with
+  | Some ids ->
+      List.filter_map (Hashtbl.find_opt t.elements) ids
+      |> List.sort (fun a b -> Int.compare a.id b.id)
+  | None -> []
+
+let out_edges t id = incident t t.adj_out id
+let in_edges t id = incident t t.adj_in id
+
+let vertex_count t = List.length (vertices t)
+let edge_count t = List.length (edges t)

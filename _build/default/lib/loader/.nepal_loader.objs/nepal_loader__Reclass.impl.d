@@ -1,0 +1,1 @@
+lib/loader/reclass.ml: Hashtbl List Nepal_netmodel Nepal_schema Nepal_store Nepal_temporal Nepal_util Printf Result

@@ -1,0 +1,1 @@
+lib/loader/reclass.mli: Nepal_netmodel

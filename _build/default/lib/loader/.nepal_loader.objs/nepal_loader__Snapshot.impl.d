@@ -1,0 +1,1 @@
+lib/loader/snapshot.ml: Hashtbl List Nepal_schema Nepal_util Printf

@@ -1,0 +1,1 @@
+lib/loader/snapshot.mli: Nepal_schema Nepal_util

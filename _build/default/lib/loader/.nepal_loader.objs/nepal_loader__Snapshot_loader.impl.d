@@ -1,0 +1,1 @@
+lib/loader/snapshot_loader.ml: Format Hashtbl List Nepal_schema Nepal_store Nepal_temporal Nepal_util Printf Result Snapshot

@@ -1,0 +1,1 @@
+lib/loader/snapshot_loader.mli: Format Nepal_store Nepal_temporal Snapshot

@@ -1,0 +1,57 @@
+module Store = Nepal_store.Graph_store
+module Entity = Nepal_store.Entity
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_constraint = Nepal_temporal.Time_constraint
+module Legacy = Nepal_netmodel.Legacy
+
+let ( let* ) = Result.bind
+
+let reclass (t : Legacy.t) =
+  match t.Legacy.mode with
+  | Legacy.Classed -> Error "store is already class-partitioned"
+  | Legacy.Flat ->
+      let src = t.Legacy.store in
+      let dst = Store.create (Legacy.schema Legacy.Classed) in
+      let at = Store.clock src in
+      let uid_map = Hashtbl.create 4096 in
+      let tc = Time_constraint.snapshot in
+      let* () =
+        List.fold_left
+          (fun acc uid ->
+            let* () = acc in
+            match Store.get src ~tc uid with
+            | None -> Ok ()
+            | Some e when Entity.is_node e ->
+                let* new_uid =
+                  Store.insert_node dst ~at ~cls:e.Entity.cls ~fields:e.Entity.fields
+                in
+                Hashtbl.replace uid_map uid new_uid;
+                Ok ()
+            | Some e ->
+                let indicator =
+                  match Entity.field e "type_indicator" with
+                  | Value.Str s -> s
+                  | _ -> "unknown"
+                in
+                let cls = Legacy.edge_class_of_indicator indicator in
+                let* src_uid =
+                  match Hashtbl.find_opt uid_map (Entity.src e) with
+                  | Some u -> Ok u
+                  | None -> Error (Printf.sprintf "edge #%d: unmapped source" uid)
+                in
+                let* dst_uid =
+                  match Hashtbl.find_opt uid_map (Entity.dst e) with
+                  | Some u -> Ok u
+                  | None -> Error (Printf.sprintf "edge #%d: unmapped target" uid)
+                in
+                let* new_uid =
+                  Store.insert_edge dst ~at ~cls ~src:src_uid ~dst:dst_uid
+                    ~fields:e.Entity.fields
+                in
+                Hashtbl.replace uid_map uid new_uid;
+                Ok ())
+          (Ok ()) (Store.live_uids src)
+      in
+      let* () = Store.create_index dst ~cls:"LegacyNode" ~field:"id" in
+      Ok { t with Legacy.store = dst; mode = Legacy.Classed }

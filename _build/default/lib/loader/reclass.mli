@@ -1,0 +1,10 @@
+(** The Section 6 re-classing operation: take a legacy topology loaded
+    "as provided" (one node class, one edge class with a
+    [type_indicator] field) and reload its most recent snapshot into a
+    store whose schema has one edge subclass per indicator value. *)
+
+val reclass : Nepal_netmodel.Legacy.t -> (Nepal_netmodel.Legacy.t, string) result
+(** Re-class a {!Nepal_netmodel.Legacy.Flat} topology into its
+    [Classed] equivalent, preserving the current snapshot (history is
+    not migrated — the paper reloaded "from the most recent day's
+    data"). Rejects stores already in classed mode. *)

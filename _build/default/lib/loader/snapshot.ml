@@ -1,0 +1,51 @@
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+
+type node_rec = { nkey : string; ncls : string; nfields : Value.t Strmap.t }
+
+type edge_rec = {
+  ekey : string;
+  ecls : string;
+  src_key : string;
+  dst_key : string;
+  efields : Value.t Strmap.t;
+}
+
+type t = { nodes : node_rec list; edges : edge_rec list }
+
+let empty = { nodes = []; edges = [] }
+
+let node ?(fields = []) ~cls nkey =
+  { nkey; ncls = cls; nfields = Strmap.of_list fields }
+
+let edge ?(fields = []) ~cls ~src ~dst ekey =
+  { ekey; ecls = cls; src_key = src; dst_key = dst; efields = Strmap.of_list fields }
+
+let validate t =
+  let keys = Hashtbl.create 256 in
+  let rec check_unique = function
+    | [] -> Ok ()
+    | k :: rest ->
+        if Hashtbl.mem keys k then Error (Printf.sprintf "duplicate snapshot key %S" k)
+        else begin
+          Hashtbl.replace keys k ();
+          check_unique rest
+        end
+  in
+  match
+    check_unique
+      (List.map (fun n -> n.nkey) t.nodes @ List.map (fun e -> e.ekey) t.edges)
+  with
+  | Error e -> Error e
+  | Ok () -> (
+      let node_keys = Hashtbl.create 256 in
+      List.iter (fun n -> Hashtbl.replace node_keys n.nkey ()) t.nodes;
+      match
+        List.find_opt
+          (fun e ->
+            (not (Hashtbl.mem node_keys e.src_key))
+            || not (Hashtbl.mem node_keys e.dst_key))
+          t.edges
+      with
+      | Some e -> Error (Printf.sprintf "edge %S has a dangling endpoint" e.ekey)
+      | None -> Ok ())

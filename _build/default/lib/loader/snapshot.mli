@@ -1,0 +1,30 @@
+(** External full-snapshot representation.
+
+    Several of the paper's data sources "provide periodic snapshots of
+    their contents rather than update streams" (Section 3.1); a
+    snapshot identifies entities by source-assigned string keys, which
+    the loader maps onto store uids. *)
+
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+
+type node_rec = { nkey : string; ncls : string; nfields : Value.t Strmap.t }
+
+type edge_rec = {
+  ekey : string;
+  ecls : string;
+  src_key : string;
+  dst_key : string;
+  efields : Value.t Strmap.t;
+}
+
+type t = { nodes : node_rec list; edges : edge_rec list }
+
+val empty : t
+val node : ?fields:(string * Value.t) list -> cls:string -> string -> node_rec
+val edge :
+  ?fields:(string * Value.t) list ->
+  cls:string -> src:string -> dst:string -> string -> edge_rec
+
+val validate : t -> (unit, string) result
+(** Keys unique; edge endpoints present among the snapshot's nodes. *)

@@ -1,0 +1,199 @@
+module Store = Nepal_store.Graph_store
+module Entity = Nepal_store.Entity
+module Value = Nepal_schema.Value
+module Schema = Nepal_schema.Schema
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+
+type t = {
+  store : Store.t;
+  key_to_uid : (string, int) Hashtbl.t;
+  uid_to_key : (int, string) Hashtbl.t;
+}
+
+let create store =
+  { store; key_to_uid = Hashtbl.create 1024; uid_to_key = Hashtbl.create 1024 }
+
+type delta = { inserted : int; updated : int; deleted : int; unchanged : int }
+
+let ( let* ) = Result.bind
+
+let uid_of_key t key = Hashtbl.find_opt t.key_to_uid key
+
+(* Typecheck the whole snapshot up front so a bad snapshot aborts
+   before any mutation reaches the store. *)
+let precheck t (snap : Snapshot.t) =
+  let schema = Store.schema t.store in
+  let* () = Snapshot.validate snap in
+  let* () =
+    List.fold_left
+      (fun acc (n : Snapshot.node_rec) ->
+        let* () = acc in
+        match Schema.kind_of schema n.ncls with
+        | Some Schema.Node_kind ->
+            let* _ = Schema.typecheck_record schema n.ncls n.nfields in
+            Ok ()
+        | _ -> Error (Printf.sprintf "snapshot node %S: %S is not a node class" n.nkey n.ncls))
+      (Ok ()) snap.nodes
+  in
+  List.fold_left
+    (fun acc (e : Snapshot.edge_rec) ->
+      let* () = acc in
+      match Schema.kind_of schema e.ecls with
+      | Some Schema.Edge_kind ->
+          let* _ = Schema.typecheck_record schema e.ecls e.efields in
+          Ok ()
+      | _ -> Error (Printf.sprintf "snapshot edge %S: %S is not an edge class" e.ekey e.ecls))
+    (Ok ()) snap.edges
+
+let fields_equal schema cls a b =
+  match
+    (Schema.typecheck_record schema cls a, Schema.typecheck_record schema cls b)
+  with
+  | Ok a', Ok b' -> Strmap.equal Value.equal a' b'
+  | _ -> false
+
+let apply t ~at (snap : Snapshot.t) =
+  let* () = precheck t snap in
+  let store = t.store in
+  let schema = Store.schema store in
+  let counts = ref { inserted = 0; updated = 0; deleted = 0; unchanged = 0 } in
+  let bump f = counts := f !counts in
+  let bind key uid =
+    Hashtbl.replace t.key_to_uid key uid;
+    Hashtbl.replace t.uid_to_key uid key
+  in
+  let unbind key =
+    match Hashtbl.find_opt t.key_to_uid key with
+    | Some uid ->
+        Hashtbl.remove t.key_to_uid key;
+        Hashtbl.remove t.uid_to_key uid
+    | None -> ()
+  in
+  let current uid = Store.get store ~tc:Time_constraint.snapshot uid in
+  (* 1. Delete entities whose keys vanished — edges first so node
+     deletion never cascades implicitly. *)
+  let snap_keys = Hashtbl.create 1024 in
+  List.iter (fun (n : Snapshot.node_rec) -> Hashtbl.replace snap_keys n.nkey ()) snap.nodes;
+  List.iter (fun (e : Snapshot.edge_rec) -> Hashtbl.replace snap_keys e.ekey ()) snap.edges;
+  let stale =
+    Hashtbl.fold
+      (fun key uid acc ->
+        if Hashtbl.mem snap_keys key then acc
+        else
+          match current uid with
+          | Some e -> (key, uid, Entity.is_edge e) :: acc
+          | None -> (key, uid, false) :: acc)
+      t.key_to_uid []
+  in
+  let stale_edges = List.filter (fun (_, _, is_e) -> is_e) stale in
+  let stale_nodes = List.filter (fun (_, _, is_e) -> not is_e) stale in
+  let* () =
+    List.fold_left
+      (fun acc (key, uid, _) ->
+        let* () = acc in
+        let* () =
+          match current uid with
+          | Some _ -> Store.delete store ~at uid
+          | None -> Ok ()
+        in
+        unbind key;
+        bump (fun c -> { c with deleted = c.deleted + 1 });
+        Ok ())
+      (Ok ()) (stale_edges @ stale_nodes)
+  in
+  (* 2. Upsert nodes. *)
+  let* () =
+    List.fold_left
+      (fun acc (n : Snapshot.node_rec) ->
+        let* () = acc in
+        match uid_of_key t n.nkey with
+        | Some uid -> (
+            match current uid with
+            | Some e when e.Entity.cls = n.ncls ->
+                if fields_equal schema n.ncls e.Entity.fields n.nfields then begin
+                  bump (fun c -> { c with unchanged = c.unchanged + 1 });
+                  Ok ()
+                end
+                else begin
+                  let* () = Store.update store ~at uid ~fields:n.nfields in
+                  bump (fun c -> { c with updated = c.updated + 1 });
+                  Ok ()
+                end
+            | _ ->
+                (* Class changed (or entity missing): replace. *)
+                let* () =
+                  match current uid with
+                  | Some _ -> Store.delete store ~at ~cascade:true uid
+                  | None -> Ok ()
+                in
+                let* uid' =
+                  Store.insert_node store ~at ~cls:n.ncls ~fields:n.nfields
+                in
+                bind n.nkey uid';
+                bump (fun c -> { c with updated = c.updated + 1 });
+                Ok ())
+        | None ->
+            let* uid = Store.insert_node store ~at ~cls:n.ncls ~fields:n.nfields in
+            bind n.nkey uid;
+            bump (fun c -> { c with inserted = c.inserted + 1 });
+            Ok ())
+      (Ok ()) snap.nodes
+  in
+  (* 3. Upsert edges (endpoints now resolvable). *)
+  let* () =
+    List.fold_left
+      (fun acc (e : Snapshot.edge_rec) ->
+        let* () = acc in
+        let* src =
+          match uid_of_key t e.src_key with
+          | Some u -> Ok u
+          | None -> Error (Printf.sprintf "edge %S: unresolved endpoint %S" e.ekey e.src_key)
+        in
+        let* dst =
+          match uid_of_key t e.dst_key with
+          | Some u -> Ok u
+          | None -> Error (Printf.sprintf "edge %S: unresolved endpoint %S" e.ekey e.dst_key)
+        in
+        match uid_of_key t e.ekey with
+        | Some uid -> (
+            match current uid with
+            | Some old
+              when Entity.is_edge old
+                   && old.Entity.cls = e.ecls
+                   && Entity.src old = src
+                   && Entity.dst old = dst ->
+                if fields_equal schema e.ecls old.Entity.fields e.efields then begin
+                  bump (fun c -> { c with unchanged = c.unchanged + 1 });
+                  Ok ()
+                end
+                else begin
+                  let* () = Store.update store ~at uid ~fields:e.efields in
+                  bump (fun c -> { c with updated = c.updated + 1 });
+                  Ok ()
+                end
+            | _ ->
+                (* Endpoints or class moved: replace the edge. *)
+                let* () =
+                  match current uid with
+                  | Some _ -> Store.delete store ~at uid
+                  | None -> Ok ()
+                in
+                let* uid' =
+                  Store.insert_edge store ~at ~cls:e.ecls ~src ~dst ~fields:e.efields
+                in
+                bind e.ekey uid';
+                bump (fun c -> { c with updated = c.updated + 1 });
+                Ok ())
+        | None ->
+            let* uid = Store.insert_edge store ~at ~cls:e.ecls ~src ~dst ~fields:e.efields in
+            bind e.ekey uid;
+            bump (fun c -> { c with inserted = c.inserted + 1 });
+            Ok ())
+      (Ok ()) snap.edges
+  in
+  Ok !counts
+
+let pp_delta ppf d =
+  Format.fprintf ppf "+%d ~%d -%d =%d" d.inserted d.updated d.deleted d.unchanged

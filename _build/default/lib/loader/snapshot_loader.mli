@@ -1,0 +1,29 @@
+(** The update-by-snapshot service (Section 3.1).
+
+    Each applied snapshot is diffed against the store's current state:
+    new keys become inserts, vanished keys become deletes, changed
+    fields become updates, and an edge whose endpoints moved is
+    replaced. The loader owns the key→uid mapping across snapshots. *)
+
+module Store = Nepal_store.Graph_store
+module Time_point = Nepal_temporal.Time_point
+
+type t
+
+val create : Store.t -> t
+
+type delta = {
+  inserted : int;
+  updated : int;
+  deleted : int;
+  unchanged : int;
+}
+
+val apply : t -> at:Time_point.t -> Snapshot.t -> (delta, string) result
+(** Schema violations abort with an error before any mutation ("strong
+    typing ... prevented us from loading garbage", Section 6.1). *)
+
+val uid_of_key : t -> string -> int option
+(** The store uid currently bound to a snapshot key. *)
+
+val pp_delta : Format.formatter -> delta -> unit

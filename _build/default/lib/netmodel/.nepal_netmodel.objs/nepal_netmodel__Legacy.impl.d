@@ -1,0 +1,1 @@
+lib/netmodel/legacy.ml: Array List Nepal_schema Nepal_store Nepal_temporal Nepal_util Printf

@@ -1,0 +1,1 @@
+lib/netmodel/legacy.mli: Nepal_schema Nepal_store Nepal_util

@@ -1,0 +1,1 @@
+lib/netmodel/model.ml: List Nepal_schema

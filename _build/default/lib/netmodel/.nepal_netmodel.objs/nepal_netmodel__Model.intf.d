@@ -1,0 +1,1 @@
+lib/netmodel/model.mli: Nepal_schema

@@ -1,0 +1,1 @@
+lib/netmodel/virt_service.ml: Array List Model Nepal_schema Nepal_store Nepal_temporal Nepal_util Printf Result

@@ -1,0 +1,1 @@
+lib/netmodel/virt_service.mli: Nepal_store Nepal_temporal Nepal_util

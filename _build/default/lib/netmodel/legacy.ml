@@ -1,0 +1,250 @@
+module Store = Nepal_store.Graph_store
+module Schema = Nepal_schema.Schema
+module Ftype = Nepal_schema.Ftype
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Prng = Nepal_util.Prng
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+
+type mode = Flat | Classed
+
+let structural_indicators = [ "service_link"; "vert_a"; "vert_b"; "vert_c" ]
+let noise_indicator_count = 62
+let indicator_count = List.length structural_indicators + noise_indicator_count
+
+let noise_indicators =
+  List.init noise_indicator_count (fun k -> Printf.sprintf "ref%02d" k)
+
+let indicators = structural_indicators @ noise_indicators
+
+let edge_class_of_indicator ind = "LE_" ^ ind
+
+let schema mode =
+  let node =
+    Schema.class_decl "LegacyNode" ~parent:"Node"
+      ~fields:
+        [
+          ("id", Ftype.T_int);
+          ("name", Ftype.T_string);
+          ("layer", Ftype.T_string);
+        ]
+  in
+  match mode with
+  | Flat ->
+      Schema.create_exn
+        [
+          node;
+          Schema.class_decl "LegacyEdge" ~parent:"Edge"
+            ~fields:[ ("type_indicator", Ftype.T_string) ];
+        ]
+  | Classed ->
+      Schema.create_exn
+        (node
+         :: Schema.class_decl "LegacyEdge" ~parent:"Edge" ~abstract:true
+              ~fields:[ ("type_indicator", Ftype.T_string) ]
+         :: List.map
+              (fun ind ->
+                Schema.class_decl (edge_class_of_indicator ind) ~parent:"LegacyEdge")
+              indicators)
+
+type t = {
+  store : Store.t;
+  mode : mode;
+  service_source_ids : int array;
+  service_sink_ids : int array;
+  top_ids : int array;
+  physical_ids : int array;
+  hub_ids : int array;
+  chain_end_ids : int array;
+      (* physical endpoint of each vertical chain, with multiplicity *)
+}
+
+let born = Time_point.of_string_exn "2017-01-01 00:00:00"
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Legacy.%s: %s" what e)
+
+let generate ?(seed = 7) ?(nodes = 16_000) mode =
+  let rng = Prng.create seed in
+  let store = Store.create (schema mode) in
+  let at = born in
+  let node id layer =
+    ok "node"
+      (Store.insert_node store ~at ~cls:"LegacyNode"
+         ~fields:
+           (Strmap.of_list
+              [
+                ("id", Value.Int id);
+                ("name", Value.Str (Printf.sprintf "n%d" id));
+                ("layer", Value.Str layer);
+              ]))
+  in
+  let edge ind src dst =
+    let cls, fields =
+      match mode with
+      | Flat ->
+          ( "LegacyEdge",
+            Strmap.of_list [ ("type_indicator", Value.Str ind) ] )
+      | Classed ->
+          ( edge_class_of_indicator ind,
+            Strmap.of_list [ ("type_indicator", Value.Str ind) ] )
+    in
+    ignore (ok "edge" (Store.insert_edge store ~at ~cls ~src ~dst ~fields))
+  in
+  (* Node budget: 40% service (in a 5-tier funnel), 15% + 15% logical,
+     30% physical. *)
+  let next_id = ref 0 in
+  let mk_group layer count =
+    Array.init count (fun _ ->
+        let id = !next_id in
+        incr next_id;
+        (id, node id layer))
+  in
+  let tier_fracs = [| 0.20; 0.12; 0.05; 0.02; 0.006 |] in
+  let tiers =
+    Array.map (fun f -> mk_group "service" (int_of_float (float_of_int nodes *. f))) tier_fracs
+  in
+  let l1 = mk_group "logical" (nodes * 15 / 100) in
+  let l2 = mk_group "logical" (nodes * 15 / 100) in
+  let phys = mk_group "physical" (nodes * 30 / 100) in
+  (* Service funnel: 3 forward service_link edges per node into the
+     next tier. *)
+  for ti = 0 to Array.length tiers - 2 do
+    Array.iter
+      (fun (_, uid) ->
+        for _ = 1 to 3 do
+          let _, target = Prng.choose rng tiers.(ti + 1) in
+          if target <> uid then edge "service_link" uid target
+        done)
+      tiers.(ti)
+  done;
+  (* A handful of logical-layer hub nodes: a third of the vertical
+     chains route through them, and they also absorb most of the noise
+     volume. A bottom-up walk whose chain passes through a hub must
+     wade through thousands of incoming edges almost all of which are
+     irrelevant to the query — the paper's bimodal 34-fast/16-slow
+     samples. *)
+  let hub_count = max 2 (Array.length l2 / 300) in
+  let hubs = Array.sub l2 0 hub_count in
+  (* Vertical chains: tier-1 service nodes own a 3-hop implementation
+     chain S -vert_a-> L1 -vert_b-> L2 -vert_c-> P. *)
+  let chain_ends = ref [] in
+  Array.iter
+    (fun (_, s_uid) ->
+      let _, a = Prng.choose rng l1 in
+      let _, b =
+        if Prng.int rng 3 = 0 then Prng.choose rng hubs else Prng.choose rng l2
+      in
+      let p_id, p = Prng.choose rng phys in
+      chain_ends := p_id :: !chain_ends;
+      edge "vert_a" s_uid a;
+      edge "vert_b" a b;
+      edge "vert_c" b p)
+    tiers.(0);
+  (* Noise: the bulk of the edge budget, with random indicators;
+     eleven twelfths of it lands on the hubs. *)
+  let target_edges = nodes * 44 / 10 in
+  let structural_edges = Store.count_current_total store - !next_id in
+  let noise_budget = max 0 (target_edges - structural_edges) in
+  let all_groups = Array.concat (Array.to_list tiers @ [ l1; l2; phys ]) in
+  let noise_arr = Array.of_list noise_indicators in
+  for k = 1 to noise_budget do
+    let ind = Prng.choose rng noise_arr in
+    let _, src = Prng.choose rng all_groups in
+    let _, dst =
+      if k mod 12 <> 0 then Prng.choose rng hubs else Prng.choose rng all_groups
+    in
+    if src <> dst then edge ind src dst
+  done;
+  ok "index" (Store.create_index store ~cls:"LegacyNode" ~field:"id");
+  {
+    store;
+    mode;
+    service_source_ids = Array.map fst tiers.(0);
+    service_sink_ids = Array.map fst tiers.(Array.length tiers - 1);
+    top_ids = Array.map fst tiers.(0);
+    physical_ids = Array.map fst phys;
+    hub_ids = Array.map fst hubs;
+    chain_end_ids = Array.of_list !chain_ends;
+  }
+
+let simulate_history ?(seed = 11) ?(days = 60) ?(events_per_day = 0) t =
+  let store = t.store in
+  let rng = Prng.create seed in
+  (* Default events/day sized for ~16% growth over the run. *)
+  let events_per_day =
+    if events_per_day > 0 then events_per_day
+    else
+      max 1 (Store.count_current_total store * 16 / 100 / days)
+  in
+  let live = Array.of_list (Store.live_uids store) in
+  for day = 1 to days do
+    for ev = 1 to events_per_day do
+      let at =
+        Time_point.add_seconds (Time_point.add_days born day)
+          (float_of_int (ev * 61))
+      in
+      let uid = Prng.choose rng live in
+      match Store.get store ~tc:Time_constraint.snapshot uid with
+      | Some e when Nepal_store.Entity.is_node e ->
+          ignore
+            (Store.update store ~at uid
+               ~fields:
+                 (Strmap.of_list
+                    [ ("name", Value.Str (Printf.sprintf "n%d-d%d" uid day)) ]))
+      | Some _ ->
+          (* Touch edge fields rarely; re-stamp the indicator. *)
+          ignore
+            (Store.update store ~at uid ~fields:Strmap.empty)
+      | None -> ()
+    done
+  done
+
+let history_overhead t =
+  let entities = float_of_int (Store.count_current_total t.store) in
+  let versions = float_of_int (Store.count_versions t.store) in
+  (versions /. entities) -. 1.
+
+(* ---- workload -------------------------------------------------------- *)
+
+let service_atom t =
+  match t.mode with
+  | Flat -> "LegacyEdge(type_indicator='service_link')"
+  | Classed -> "LE_service_link()"
+
+let vertical_block t =
+  match t.mode with
+  | Flat ->
+      "(LegacyEdge(type_indicator='vert_a')|LegacyEdge(type_indicator='vert_b')|LegacyEdge(type_indicator='vert_c'))"
+  | Classed -> "(LE_vert_a()|LE_vert_b()|LE_vert_c())"
+
+let q_service_path t ~src =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES LegacyNode(id=%d)->[%s]{1,4}->LegacyNode()"
+    src (service_atom t)
+
+let q_reverse_path t ~sink =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES LegacyNode()->[%s]{1,4}->LegacyNode(id=%d)"
+    (service_atom t) sink
+
+let q_top_down t ~src =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES LegacyNode(id=%d)->[%s]{1,3}->LegacyNode(layer='physical')"
+    src (vertical_block t)
+
+let q_bottom_up t ~dst =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES LegacyNode(layer='service')->[%s]{1,3}->LegacyNode(id=%d)"
+    (vertical_block t) dst
+
+let sample_source rng t = Prng.choose rng t.service_source_ids
+let sample_sink rng t = Prng.choose rng t.service_sink_ids
+let sample_top rng t = Prng.choose rng t.top_ids
+(* Bottom-up instances sample the physical endpoints of the vertical
+   chains, with multiplicity: operators troubleshoot servers in
+   proportion to the services they carry, and a third of the chains end
+   on the heavy hub nodes — the paper's bimodal 34-fast/16-slow split. *)
+let sample_physical rng t = Prng.choose rng t.chain_end_ids

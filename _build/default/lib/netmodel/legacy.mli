@@ -1,0 +1,75 @@
+(** Synthetic stand-in for the paper's legacy network topology
+    (Section 6, Table 2): a flat graph supplied as one node class and
+    one edge class whose edges carry a [type_indicator] field with 66
+    distinct values, loadable either as-provided ({!Flat}) or with one
+    edge subclass per indicator ({!Classed}) — the re-classing
+    experiment.
+
+    The generator reproduces the structural features behind the paper's
+    measurements: funnel-shaped service chains (forward service paths
+    are cheap, reverse service paths explode), a 3-hop vertical
+    hierarchy, and hub nodes with very large numbers of incoming
+    edges almost all of which are irrelevant to any query — the cause
+    of the slow bottom-up samples. The paper's graph has 1.6 M nodes and
+    7.1 M edges; [nodes] scales the whole structure down
+    proportionally. *)
+
+module Store = Nepal_store.Graph_store
+module Prng = Nepal_util.Prng
+
+type mode = Flat | Classed
+
+val indicator_count : int
+(** 66, as in the paper. *)
+
+val indicators : string list
+(** All [type_indicator] values, structural first. *)
+
+val schema : mode -> Nepal_schema.Schema.t
+val edge_class_of_indicator : string -> string
+(** The edge subclass carrying edges of that indicator in {!Classed}
+    mode. *)
+
+type t = {
+  store : Store.t;
+  mode : mode;
+  service_source_ids : int array;  (** tier-1 service nodes *)
+  service_sink_ids : int array;    (** final-tier service nodes *)
+  top_ids : int array;             (** service nodes with vertical chains *)
+  physical_ids : int array;
+  hub_ids : int array;
+      (** logical-layer hub nodes with heavy noise in-degree through
+          which a third of the vertical chains route *)
+  chain_end_ids : int array;
+      (** physical endpoint of each vertical chain, with multiplicity —
+          the bottom-up instance population (a third land on hubs) *)
+}
+
+val generate : ?seed:int -> ?nodes:int -> mode -> t
+(** Default [nodes] = 16,000 (1/100 of the paper's graph) and the edge
+    count tracks the paper's ≈4.4 edges/node. An index on
+    [LegacyNode.id] is created. *)
+
+val simulate_history : ?seed:int -> ?days:int -> ?events_per_day:int -> t -> unit
+(** Churn yielding the paper's ≈16% history growth at defaults. *)
+
+val history_overhead : t -> float
+
+(** {1 The Table 2 workload} *)
+
+val q_service_path : t -> src:int -> string
+(** Forward, length 4, anchored at the start. *)
+
+val q_reverse_path : t -> sink:int -> string
+(** Length 4 anchored at the end — the high-fan-in mining query. *)
+
+val q_top_down : t -> src:int -> string
+(** Vertical, length 3. *)
+
+val q_bottom_up : t -> dst:int -> string
+(** Vertical, length 3, anchored at the physical end. *)
+
+val sample_source : Prng.t -> t -> int
+val sample_sink : Prng.t -> t -> int
+val sample_top : Prng.t -> t -> int
+val sample_physical : Prng.t -> t -> int

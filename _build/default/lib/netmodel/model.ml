@@ -1,0 +1,154 @@
+module Schema = Nepal_schema.Schema
+module Ftype = Nepal_schema.Ftype
+
+let vnf_types =
+  [
+    "VNF_DNS"; "VNF_Firewall"; "VNF_LoadBalancer"; "VNF_NAT"; "VNF_IDS";
+    "VNF_Proxy"; "VNF_EPC_MME"; "VNF_EPC_SGW"; "VNF_EPC_PGW"; "VNF_EPC_HSS";
+    "VNF_Router"; "VNF_Gateway";
+  ]
+
+let vfc_types =
+  [
+    "VFC_Web"; "VFC_Proxy"; "VFC_DB"; "VFC_Cache"; "VFC_Worker";
+    "VFC_Controller"; "VFC_Monitor"; "VFC_Logger"; "VFC_Queue"; "VFC_Gateway";
+  ]
+
+let vm_types = [ "VM_VMWare"; "VM_OnMetal"; "VM_KVM" ]
+
+let id_name_fields = [ ("id", Ftype.T_int); ("name", Ftype.T_string) ]
+
+let schema () =
+  let cd = Schema.class_decl in
+  let node_classes =
+    (* Service layer. *)
+    [
+      cd "NetworkService" ~parent:"Node"
+        ~fields:(id_name_fields @ [ ("customer", Ftype.T_string) ]);
+      cd "VNF" ~parent:"Node" ~abstract:true
+        ~fields:(id_name_fields @ [ ("status", Ftype.T_string) ])
+        ~cardinality_hint:50;
+    ]
+    @ List.map (fun t -> cd t ~parent:"VNF") vnf_types
+    (* Logical layer. *)
+    @ [
+        cd "VFC" ~parent:"Node" ~abstract:true
+          ~fields:(id_name_fields @ [ ("status", Ftype.T_string) ])
+          ~cardinality_hint:300;
+      ]
+    @ List.map (fun t -> cd t ~parent:"VFC") vfc_types
+    (* Virtualization layer. *)
+    @ [
+        cd "Container" ~parent:"Node" ~abstract:true
+          ~fields:(id_name_fields @ [ ("status", Ftype.T_string); ("ip", Ftype.T_ip) ])
+          ~cardinality_hint:500;
+        cd "VM" ~parent:"Container" ~abstract:true;
+      ]
+    @ List.map (fun t -> cd t ~parent:"VM") vm_types
+    @ [
+        cd "Docker" ~parent:"Container";
+        cd "VirtualNetwork" ~parent:"Node"
+          ~fields:(id_name_fields @ [ ("cidr", Ftype.T_string) ]);
+        cd "VirtualRouter" ~parent:"Node" ~fields:id_name_fields;
+        cd "VNIC" ~parent:"Node"
+          ~fields:(id_name_fields @ [ ("mac", Ftype.T_string) ]);
+        cd "VirtualVolume" ~parent:"Node"
+          ~fields:(id_name_fields @ [ ("size_gb", Ftype.T_int) ]);
+        (* Physical layer. *)
+        cd "PhysicalElement" ~parent:"Node" ~abstract:true
+          ~fields:id_name_fields;
+        cd "Server" ~parent:"PhysicalElement" ~abstract:true
+          ~fields:[ ("cpu_cores", Ftype.T_int) ]
+          ~cardinality_hint:200;
+        cd "Server_Blade" ~parent:"Server";
+        cd "Server_Rackmount" ~parent:"Server";
+        cd "Switch" ~parent:"PhysicalElement" ~abstract:true;
+        cd "Switch_TOR" ~parent:"Switch";
+        cd "Switch_Spine" ~parent:"Switch";
+        cd "Router" ~parent:"PhysicalElement"
+          ~fields:[ ("routingTable", Ftype.T_list (Ftype.T_data "routingTableEntry")) ];
+        cd "PhysicalPort" ~parent:"PhysicalElement"
+          ~fields:[ ("speed_gbps", Ftype.T_int) ];
+        cd "Chassis" ~parent:"PhysicalElement";
+        cd "Rack" ~parent:"PhysicalElement";
+        cd "DataCenter" ~parent:"PhysicalElement"
+          ~fields:[ ("region", Ftype.T_string) ];
+        cd "PowerSupply" ~parent:"PhysicalElement";
+        cd "Firewall_Appliance" ~parent:"PhysicalElement";
+        cd "LoadBalancer_Appliance" ~parent:"PhysicalElement";
+        cd "StorageArray" ~parent:"PhysicalElement";
+        cd "Hypervisor" ~parent:"PhysicalElement";
+        cd "Zone" ~parent:"Node" ~fields:id_name_fields;
+        cd "Tenant" ~parent:"Node" ~fields:id_name_fields;
+      ]
+  in
+  let edge_classes =
+    [
+      cd "Vertical" ~parent:"Edge" ~abstract:true;
+      cd "ComposedOf" ~parent:"Vertical";
+      cd "HostedOn" ~parent:"Vertical" ~abstract:true;
+      cd "OnVM" ~parent:"HostedOn";
+      cd "OnServer" ~parent:"HostedOn";
+      cd "PartOf" ~parent:"Vertical";
+      cd "ConnectedTo" ~parent:"Edge" ~abstract:true;
+      cd "Connects" ~parent:"ConnectedTo"
+        ~fields:[ ("bandwidth_gbps", Ftype.T_int) ];
+      cd "VirtualLink" ~parent:"ConnectedTo"
+        ~fields:[ ("ip", Ftype.T_ip) ];
+      cd "ServiceLink" ~parent:"ConnectedTo";
+      cd "LogicalLink" ~parent:"ConnectedTo";
+      cd "Attaches" ~parent:"ConnectedTo";
+    ]
+  in
+  let r edge src dst = { Schema.edge; src; dst } in
+  let edge_rules =
+    [
+      (* Vertical structure per Figure 3. *)
+      r "ComposedOf" "NetworkService" "VNF";
+      r "ComposedOf" "VNF" "VFC";
+      r "OnVM" "VFC" "Container";
+      r "OnServer" "Container" "Server";
+      r "PartOf" "Server" "Rack";
+      r "PartOf" "Switch" "Rack";
+      r "PartOf" "Rack" "DataCenter";
+      r "PartOf" "PhysicalPort" "Server";
+      r "PartOf" "PhysicalPort" "Switch";
+      r "PartOf" "VirtualVolume" "StorageArray";
+      (* Physical connectivity. *)
+      r "Connects" "Server" "Switch";
+      r "Connects" "Switch" "Server";
+      r "Connects" "Switch" "Switch";
+      r "Connects" "Switch" "Router";
+      r "Connects" "Router" "Switch";
+      r "Connects" "Router" "Router";
+      (* Virtual connectivity. *)
+      r "VirtualLink" "Container" "VirtualNetwork";
+      r "VirtualLink" "VirtualNetwork" "Container";
+      r "VirtualLink" "VirtualNetwork" "VirtualRouter";
+      r "VirtualLink" "VirtualRouter" "VirtualNetwork";
+      (* Service and logical flows. *)
+      r "ServiceLink" "VNF" "VNF";
+      r "LogicalLink" "VFC" "VFC";
+      (* Attachments. *)
+      r "Attaches" "VNIC" "Container";
+      r "Attaches" "VNIC" "VirtualNetwork";
+      r "Attaches" "Container" "VirtualVolume";
+    ]
+  in
+  let data_types =
+    [
+      Schema.data_decl "routingTableEntry"
+        ~fields:
+          [
+            ("address", Ftype.T_ip);
+            ("mask", Ftype.T_int);
+            ("interface", Ftype.T_string);
+          ];
+    ]
+  in
+  Schema.create_exn ~data_types ~edge_rules (node_classes @ edge_classes)
+
+let node_class_count = 54
+let edge_class_count = 12
+
+let tosca () = Nepal_schema.Tosca.render (schema ())

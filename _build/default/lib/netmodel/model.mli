@@ -1,0 +1,25 @@
+(** The layered network model of Figures 1–3: a Nepal schema with the
+    four layers (Service, Logical, Virtualization, Physical), vertical
+    HostedOn/ComposedOf relationships and horizontal connectivity, at
+    the width the paper reports for its virtualized-service database
+    (54 node classes and 12 edge classes). *)
+
+val schema : unit -> Nepal_schema.Schema.t
+(** Fresh instance of the model schema. *)
+
+val node_class_count : int
+(** 54 — asserted by tests. *)
+
+val edge_class_count : int
+(** 12. *)
+
+val tosca : unit -> string
+(** The schema rendered in the TOSCA-subset format. *)
+
+(** Class-name constants used by generators and examples. *)
+
+val vnf_types : string list
+(** Concrete VNF subclasses. *)
+
+val vfc_types : string list
+val vm_types : string list

@@ -1,0 +1,437 @@
+module Store = Nepal_store.Graph_store
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Prng = Nepal_util.Prng
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+
+type t = {
+  store : Store.t;
+  vnf_ids : int array;
+  vfc_ids : int array;
+  container_ids : int array;
+  server_ids : int array;
+  born : Time_point.t;
+}
+
+let born_default = Time_point.of_string_exn "2017-01-01 00:00:00"
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Virt_service.%s: %s" what e)
+
+let fields l = Strmap.of_list l
+let i n = Value.Int n
+let s x = Value.Str x
+
+(* Field-level ids live in distinct ranges per layer so samples are
+   easy to interpret: VNFs 100+, VFCs 1000+, containers 2000+, virtual
+   networks 4000+, virtual routers 5000+, VNICs 6000+, volumes 7000+,
+   servers 23000+, switches 30000+, routers 31000+, infrastructure
+   40000+. *)
+
+let generate ?(seed = 42) ?(vnf_count = 33) ?(server_count = 120)
+    ?(virtual_networks = 40) () =
+  let rng = Prng.create seed in
+  let store = Store.create (Model.schema ()) in
+  let at = born_default in
+  let node cls fs = ok "node" (Store.insert_node store ~at ~cls ~fields:(fields fs)) in
+  let edge ?(fs = []) cls src dst =
+    ok "edge" (Store.insert_edge store ~at ~cls ~src ~dst ~fields:(fields fs))
+  in
+  (* ---- physical fabric ---- *)
+  let dc = node "DataCenter" [ ("id", i 40000); ("name", s "dc1"); ("region", s "east") ] in
+  let rack_count = max 4 (server_count / 10) in
+  let racks =
+    Array.init rack_count (fun k ->
+        let r = node "Rack" [ ("id", i (41000 + k)); ("name", s (Printf.sprintf "rack%d" k)) ] in
+        ignore (edge "PartOf" r dc);
+        r)
+  in
+  let tors =
+    Array.init rack_count (fun k ->
+        let sw =
+          node "Switch_TOR"
+            [ ("id", i (30000 + k)); ("name", s (Printf.sprintf "tor%d" k)) ]
+        in
+        ignore (edge "PartOf" sw racks.(k));
+        sw)
+  in
+  let spine_count = max 2 (rack_count / 3) in
+  let spines =
+    Array.init spine_count (fun k ->
+        node "Switch_Spine"
+          [ ("id", i (30500 + k)); ("name", s (Printf.sprintf "spine%d" k)) ])
+  in
+  let routing_entry k =
+    Value.Data
+      ( "routingTableEntry",
+        fields
+          [
+            ("address", Value.Ip (Result.get_ok (Value.ip_of_string (Printf.sprintf "10.%d.0.0" k))));
+            ("mask", i 16);
+            ("interface", s (Printf.sprintf "eth%d" k));
+          ] )
+  in
+  let routers =
+    Array.init 2 (fun k ->
+        node "Router"
+          [
+            ("id", i (31000 + k));
+            ("name", s (Printf.sprintf "gw%d" k));
+            ("routingTable", Value.List (List.init 4 routing_entry));
+          ])
+  in
+  let both cls ?fs a b =
+    ignore (edge cls ?fs a b);
+    ignore (edge cls ?fs b a)
+  in
+  let servers =
+    Array.init server_count (fun k ->
+        let cls = if k mod 3 = 0 then "Server_Rackmount" else "Server_Blade" in
+        let srv =
+          node cls
+            [
+              ("id", i (23000 + k));
+              ("name", s (Printf.sprintf "srv%d" k));
+              ("cpu_cores", i (Prng.choose rng [| 16; 32; 64 |]));
+            ]
+        in
+        let rack = k mod rack_count in
+        ignore (edge "PartOf" srv racks.(rack));
+        (* One uplink per server: pathways are node-simple, so a single
+           uplink keeps the Host-Host 6-hop exploration at the paper's
+           scale (hundreds of paths, not millions). *)
+        both "Connects" ~fs:[ ("bandwidth_gbps", i 10) ] srv tors.(rack);
+        (* Four physical ports per server. *)
+        for p = 0 to 3 do
+          let port =
+            node "PhysicalPort"
+              [
+                ("id", i (50000 + (4 * k) + p));
+                ("name", s (Printf.sprintf "srv%d-p%d" k p));
+                ("speed_gbps", i 10);
+              ]
+          in
+          ignore (edge "PartOf" port srv)
+        done;
+        srv)
+  in
+  Array.iter
+    (fun tor ->
+      Array.iter (fun sp -> both "Connects" ~fs:[ ("bandwidth_gbps", i 40) ] tor sp) spines)
+    tors;
+  Array.iter
+    (fun sp ->
+      Array.iter (fun r -> both "Connects" ~fs:[ ("bandwidth_gbps", i 100) ] sp r) routers)
+    spines;
+  (* Eight ports per switch. *)
+  let port_seq = ref 0 in
+  Array.iter
+    (fun sw ->
+      for p = 0 to 7 do
+        ignore p;
+        let port =
+          node "PhysicalPort"
+            [
+              ("id", i (60000 + !port_seq));
+              ("name", s (Printf.sprintf "swp%d" !port_seq));
+              ("speed_gbps", i 40);
+            ]
+        in
+        incr port_seq;
+        ignore (edge "PartOf" port sw)
+      done)
+    (Array.append tors spines);
+  (* ---- virtual infrastructure ---- *)
+  let vnets =
+    Array.init virtual_networks (fun k ->
+        node "VirtualNetwork"
+          [
+            ("id", i (4000 + k));
+            ("name", s (Printf.sprintf "net%d" k));
+            ("cidr", s (Printf.sprintf "10.%d.0.0/24" k));
+          ])
+  in
+  let vrouters =
+    Array.init (max 4 (virtual_networks / 4)) (fun k ->
+        node "VirtualRouter"
+          [ ("id", i (5000 + k)); ("name", s (Printf.sprintf "vr%d" k)) ])
+  in
+  Array.iter
+    (fun vn ->
+      let vr1 = Prng.choose rng vrouters and vr2 = Prng.choose rng vrouters in
+      both "VirtualLink" vn vr1;
+      if vr2 <> vr1 then both "VirtualLink" vn vr2)
+    vnets;
+  let storage =
+    Array.init 4 (fun k ->
+        node "StorageArray"
+          [ ("id", i (42000 + k)); ("name", s (Printf.sprintf "san%d" k)) ])
+  in
+  (* ---- services ---- *)
+  let network_services =
+    Array.init 5 (fun k ->
+        node "NetworkService"
+          [
+            ("id", i (90 + k));
+            ("name", s (Printf.sprintf "svc%d" k));
+            ("customer", s (Printf.sprintf "cust%d" k));
+          ])
+  in
+  let vnf_uids = Array.make vnf_count 0 in
+  let vnf_ids = Array.make vnf_count 0 in
+  let vfcs = ref [] in
+  let containers = ref [] in
+  let vol_counter = ref 0 in
+  let vnic_counter = ref 0 in
+  let vfc_counter = ref 0 in
+  let container_counter = ref 0 in
+  let vnf_type k = List.nth Model.vnf_types (k mod List.length Model.vnf_types) in
+  let vfc_type k = List.nth Model.vfc_types (k mod List.length Model.vfc_types) in
+  for k = 0 to vnf_count - 1 do
+    let vnf_id = 100 + k in
+    let vnf =
+      node (vnf_type k)
+        [ ("id", i vnf_id); ("name", s (Printf.sprintf "vnf%d" k)); ("status", s "Active") ]
+    in
+    vnf_uids.(k) <- vnf;
+    vnf_ids.(k) <- vnf_id;
+    ignore (edge "ComposedOf" network_services.(k mod 5) vnf);
+    let vfc_count = Prng.int_in rng 5 8 in
+    let vnf_vfcs =
+      Array.init vfc_count (fun j ->
+          let idx = !vfc_counter in
+          incr vfc_counter;
+          let vfc_id = 1000 + idx in
+          let vfc =
+            node (vfc_type (k + j))
+              [
+                ("id", i vfc_id);
+                ("name", s (Printf.sprintf "vfc%d" idx));
+                ("status", s "Active");
+              ]
+          in
+          vfcs := vfc_id :: !vfcs;
+          ignore (edge "ComposedOf" vnf vfc);
+          vfc)
+    in
+    (* Logical full mesh inside the VNF (both directions): the dense
+       intra-VNF data flows that drive the paper's VM-VM path counts. *)
+    for j = 0 to vfc_count - 1 do
+      for j2 = j + 1 to vfc_count - 1 do
+        both "LogicalLink" vnf_vfcs.(j) vnf_vfcs.(j2)
+      done
+    done;
+    (* One container per VFC. *)
+    Array.iter
+      (fun vfc ->
+        let idx = !container_counter in
+        incr container_counter;
+        let cont_id = 2000 + idx in
+        let cls =
+          if Prng.int rng 10 = 0 then "Docker"
+          else List.nth Model.vm_types (Prng.int rng 3)
+        in
+        let ip =
+          Result.get_ok
+            (Value.ip_of_string
+               (Printf.sprintf "10.%d.%d.%d" (idx mod 200) (idx / 200) (1 + (idx mod 250))))
+        in
+        let cont =
+          node cls
+            [
+              ("id", i cont_id);
+              ("name", s (Printf.sprintf "vm%d" idx));
+              ("status", s "Green");
+              ("ip", Value.Ip ip);
+            ]
+        in
+        containers := cont_id :: !containers;
+        ignore (edge "OnVM" vfc cont);
+        ignore (edge "OnServer" cont (Prng.choose rng servers));
+        (* Attach to several virtual networks, both directions. *)
+        let nets = Prng.sample rng (min 5 (Array.length vnets)) vnets in
+        Array.iter (fun vn -> both "VirtualLink" cont vn) nets;
+        (* Two VNICs per container, each wired to the container and two
+           of its networks. *)
+        for nic = 0 to 1 do
+          let vnic =
+            node "VNIC"
+              [
+                ("id", i (6000 + !vnic_counter));
+                ("name", s (Printf.sprintf "nic%d" !vnic_counter));
+                ("mac",
+                 s (Printf.sprintf "02:00:%02x:%02x:%02x:%02x" nic (idx / 65536)
+                      (idx / 256 mod 256) (idx mod 256)));
+              ]
+          in
+          incr vnic_counter;
+          ignore (edge "Attaches" vnic cont);
+          ignore (edge "Attaches" vnic nets.(nic mod Array.length nets));
+          ignore (edge "Attaches" vnic nets.((nic + 1) mod Array.length nets))
+        done;
+        let vol =
+          node "VirtualVolume"
+            [
+              ("id", i (7000 + !vol_counter));
+              ("name", s (Printf.sprintf "vol%d" !vol_counter));
+              ("size_gb", i (Prng.choose rng [| 50; 100; 200 |]));
+            ]
+        in
+        incr vol_counter;
+        ignore (edge "PartOf" vol (Prng.choose rng storage));
+        ignore (edge "Attaches" cont vol))
+      vnf_vfcs
+  done;
+  (* Service-level flows between VNFs of the same network service. *)
+  for _ = 1 to vnf_count * 4 do
+    let a = Prng.int rng vnf_count and b = Prng.int rng vnf_count in
+    if a <> b then ignore (edge "ServiceLink" vnf_uids.(a) vnf_uids.(b))
+  done;
+  List.iter
+    (fun (cls, field) ->
+      ok "index" (Store.create_index store ~cls ~field))
+    [ ("VNF", "id"); ("VFC", "id"); ("Container", "id"); ("Server", "id");
+      ("Switch", "id"); ("VirtualNetwork", "id") ];
+  {
+    store;
+    vnf_ids;
+    vfc_ids = Array.of_list (List.rev !vfcs);
+    container_ids = Array.of_list (List.rev !containers);
+    server_ids = Array.init server_count (fun k -> 23000 + k);
+    born = at;
+  }
+
+(* ---- churn ---------------------------------------------------------- *)
+
+let find_by_id store cls id =
+  match
+    Store.lookup store ~tc:Time_constraint.snapshot ~cls ~field:"id" (Value.Int id)
+  with
+  | e :: _ -> Some e.Nepal_store.Entity.uid
+  | [] -> None
+
+let simulate_history ?(seed = 43) ?(days = 60) ?(events_per_day = 12) t =
+  let rng = Prng.create seed in
+  let store = t.store in
+  for day = 1 to days do
+    for ev = 1 to events_per_day do
+      let at =
+        Time_point.add_seconds
+          (Time_point.add_days t.born day)
+          (float_of_int (ev * 137))
+      in
+      match Prng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> (
+          (* VM status flap. *)
+          let cont_id = Prng.choose rng t.container_ids in
+          match find_by_id store "Container" cont_id with
+          | Some uid ->
+              let status = Prng.choose rng [| "Green"; "Red"; "Rebooting" |] in
+              ignore
+                (Store.update store ~at uid
+                   ~fields:(fields [ ("status", s status) ]))
+          | None -> ())
+      | 5 | 6 | 7 -> (
+          (* VM migration: re-home the OnServer edge. *)
+          let cont_id = Prng.choose rng t.container_ids in
+          match find_by_id store "Container" cont_id with
+          | Some uid -> (
+              let out = Store.out_edges store ~tc:Time_constraint.snapshot uid in
+              match
+                List.find_opt
+                  (fun (e : Nepal_store.Entity.t) -> e.cls = "OnServer")
+                  out
+              with
+              | Some old_edge -> (
+                  let new_server_id = Prng.choose rng t.server_ids in
+                  match find_by_id store "Server" new_server_id with
+                  | Some server_uid
+                    when server_uid <> Nepal_store.Entity.dst old_edge -> (
+                      match Store.delete store ~at old_edge.uid with
+                      | Ok () ->
+                          ignore
+                            (Store.insert_edge store ~at ~cls:"OnServer" ~src:uid
+                               ~dst:server_uid ~fields:Strmap.empty)
+                      | Error _ -> ())
+                  | _ -> ())
+              | None -> ())
+          | None -> ())
+      | 8 -> (
+          (* Virtual network re-homing: move one VirtualLink. *)
+          let cont_id = Prng.choose rng t.container_ids in
+          match find_by_id store "Container" cont_id with
+          | Some uid -> (
+              let out = Store.out_edges store ~tc:Time_constraint.snapshot uid in
+              match
+                List.find_opt
+                  (fun (e : Nepal_store.Entity.t) -> e.cls = "VirtualLink")
+                  out
+              with
+              | Some old_edge -> ignore (Store.delete store ~at old_edge.uid)
+              | None -> ())
+          | None -> ())
+      | _ -> (
+          (* Scale-out: a fresh container for a random VFC. *)
+          let vfc_id = Prng.choose rng t.vfc_ids in
+          match find_by_id store "VFC" vfc_id with
+          | Some vfc_uid -> (
+              let cont_id = 900000 + (day * 1000) + ev in
+              match
+                Store.insert_node store ~at ~cls:"Docker"
+                  ~fields:
+                    (fields
+                       [
+                         ("id", i cont_id);
+                         ("name", s (Printf.sprintf "scale%d-%d" day ev));
+                         ("status", s "Green");
+                       ])
+              with
+              | Ok cont_uid -> (
+                  ignore
+                    (Store.insert_edge store ~at ~cls:"OnVM" ~src:vfc_uid
+                       ~dst:cont_uid ~fields:Strmap.empty);
+                  let server_id = Prng.choose rng t.server_ids in
+                  match find_by_id store "Server" server_id with
+                  | Some server_uid ->
+                      ignore
+                        (Store.insert_edge store ~at ~cls:"OnServer" ~src:cont_uid
+                           ~dst:server_uid ~fields:Strmap.empty)
+                  | None -> ())
+              | Error _ -> ())
+          | None -> ())
+    done
+  done
+
+let history_overhead t =
+  let entities = float_of_int (Store.count_current_total t.store) in
+  let versions = float_of_int (Store.count_versions t.store) in
+  (versions /. entities) -. 1.
+
+(* ---- the Table 1 workload ------------------------------------------ *)
+
+let q_top_down ~vnf_id =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES VNF(id=%d)->[Vertical()]{1,6}->Server()"
+    vnf_id
+
+let q_bottom_up ~server_id =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,6}->Server(id=%d)"
+    server_id
+
+let q_vm_vm ~a ~b =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES Container(id=%d)->[VirtualLink()]{1,4}->Container(id=%d)"
+    a b
+
+let q_host_host ~hops ~a ~b =
+  Printf.sprintf
+    "Retrieve P From PATHS P Where P MATCHES Server(id=%d)->[Connects()]{1,%d}->Server(id=%d)"
+    a hops b
+
+let sample_vnf_id rng t = Prng.choose rng t.vnf_ids
+let sample_server_id rng t = Prng.choose rng t.server_ids
+let sample_container_id rng t = Prng.choose rng t.container_ids

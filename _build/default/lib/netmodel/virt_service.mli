@@ -1,0 +1,57 @@
+(** Synthetic stand-in for the paper's production virtualized network
+    service (Section 6): ≈2,000 nodes and ≈10,000 edges in the current
+    snapshot at default parameters, over the {!Model} schema, with a
+    simulated 60-day churn history whose version growth matches the
+    ≈6% the paper reports.
+
+    All randomness is seeded — equal seeds give identical topologies. *)
+
+module Store = Nepal_store.Graph_store
+module Time_point = Nepal_temporal.Time_point
+module Prng = Nepal_util.Prng
+
+type t = {
+  store : Store.t;
+  vnf_ids : int array;      (** values of the "id" field of VNFs *)
+  vfc_ids : int array;
+  container_ids : int array;
+  server_ids : int array;
+  born : Time_point.t;      (** load time of the initial snapshot *)
+}
+
+val generate :
+  ?seed:int ->
+  ?vnf_count:int ->
+  ?server_count:int ->
+  ?virtual_networks:int ->
+  unit ->
+  t
+(** Build the initial snapshot. Defaults: 33 VNFs (as in the paper),
+    120 servers, 40 virtual networks. Also creates indexes on the "id"
+    fields of VNF, VFC, Container, Server, Switch and VirtualNetwork. *)
+
+val simulate_history :
+  ?seed:int ->
+  ?days:int ->
+  ?events_per_day:int ->
+  t ->
+  unit
+(** Apply churn: VM status flaps, VM migrations between servers,
+    VFC scale-out, virtual-network re-homing. Mutates the store.
+    Defaults: 60 days (two months, as in the paper) at 12 events/day,
+    giving ≈6% version growth. *)
+
+val history_overhead : t -> float
+(** (total versions / current entities) - 1 — the storage-growth figure
+    compared against the paper's 6%. *)
+
+(** {1 The Table 1 workload} *)
+
+val q_top_down : vnf_id:int -> string
+val q_bottom_up : server_id:int -> string
+val q_vm_vm : a:int -> b:int -> string
+val q_host_host : hops:int -> a:int -> b:int -> string
+
+val sample_vnf_id : Prng.t -> t -> int
+val sample_server_id : Prng.t -> t -> int
+val sample_container_id : Prng.t -> t -> int

@@ -1,0 +1,1 @@
+lib/query/backend_intf.ml: Nepal_rpe Nepal_schema Nepal_temporal Nepal_util Path

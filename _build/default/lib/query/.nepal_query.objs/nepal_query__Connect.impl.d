@@ -1,0 +1,1 @@
+lib/query/connect.ml: Backend_intf Gremlin_backend Native_backend Nepal_store Relational_backend

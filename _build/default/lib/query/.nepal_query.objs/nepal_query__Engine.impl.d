@@ -1,0 +1,1 @@
+lib/query/engine.ml: Backend_intf Eval_rpe Float Format Hashtbl Int List Nepal_rpe Nepal_schema Nepal_temporal Nepal_util Path Printf Query_ast Query_parser Result String

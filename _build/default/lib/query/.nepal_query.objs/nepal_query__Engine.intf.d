@@ -1,0 +1,1 @@
+lib/query/engine.mli: Backend_intf Eval_rpe Format Nepal_schema Nepal_temporal Nepal_util Path Query_ast Stdlib

@@ -1,0 +1,1 @@
+lib/query/eval_rpe.ml: Array Backend_intf Fun Hashtbl List Nepal_rpe Nepal_schema Nepal_temporal Option Path Result

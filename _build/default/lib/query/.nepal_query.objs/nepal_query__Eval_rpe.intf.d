@@ -1,0 +1,1 @@
+lib/query/eval_rpe.mli: Backend_intf Nepal_rpe Nepal_temporal Path

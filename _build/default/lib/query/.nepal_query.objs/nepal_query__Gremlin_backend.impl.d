@@ -1,0 +1,1 @@
+lib/query/gremlin_backend.ml: Backend_intf Float Hashtbl Int List Nepal_gremlin Nepal_relational Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Nepal_util Option Path String

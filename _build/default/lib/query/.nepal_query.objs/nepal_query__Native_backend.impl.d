@@ -1,0 +1,1 @@
+lib/query/native_backend.ml: Backend_intf Float List Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Nepal_util Option Path

@@ -1,0 +1,1 @@
+lib/query/path.ml: Format List Nepal_schema Nepal_temporal Nepal_util Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/query/path.mli: Format Nepal_schema Nepal_temporal Nepal_util

@@ -1,0 +1,1 @@
+lib/query/query_ast.ml: Buffer List Nepal_rpe Nepal_schema Nepal_temporal Printf String

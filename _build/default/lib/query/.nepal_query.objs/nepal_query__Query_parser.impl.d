@@ -1,0 +1,1 @@
+lib/query/query_parser.ml: List Nepal_rpe Nepal_schema Nepal_temporal Option Query_ast Result String

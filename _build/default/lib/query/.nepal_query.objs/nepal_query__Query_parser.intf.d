@@ -1,0 +1,1 @@
+lib/query/query_parser.mli: Query_ast

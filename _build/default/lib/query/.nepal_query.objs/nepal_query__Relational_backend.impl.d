@@ -1,0 +1,1 @@
+lib/query/relational_backend.ml: Array Backend_intf Float Hashtbl Int List Nepal_relational Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Nepal_util Option Path Printf Result String

@@ -1,0 +1,1 @@
+lib/query/temporal_agg.ml: Backend_intf Eval_rpe Int List Nepal_rpe Nepal_temporal Path Result

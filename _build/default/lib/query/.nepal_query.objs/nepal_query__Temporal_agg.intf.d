@@ -1,0 +1,1 @@
+lib/query/temporal_agg.mli: Backend_intf Nepal_rpe Nepal_temporal

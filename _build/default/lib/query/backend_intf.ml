@@ -1,0 +1,98 @@
+(** The retargetable-backend interface (Section 3.1 / 5.2).
+
+    The evaluator drives Select and Extend operations through this
+    signature; each target system (the native store, the relational
+    engine, the property-graph engine) supplies the bulk operations and
+    may log the query text it would ship to a real server. *)
+
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_constraint = Nepal_temporal.Time_constraint
+module Time_point = Nepal_temporal.Time_point
+module Interval_set = Nepal_temporal.Interval_set
+module Rpe = Nepal_rpe.Rpe
+
+type direction = Fwd | Bwd
+
+type extend_item = {
+  item_id : int;      (** caller's identifier for the partial pathway *)
+  frontier : Path.element;
+  visited : int list; (** uids already on the pathway, for cycle pruning *)
+}
+
+(** What the next element may be matched against: the classes let the
+    backend prune irrelevant extents (the Section 6 re-classing
+    experiment); [with_skip] forces unrestricted neighbourhood expansion
+    because a junction skip could consume anything. *)
+type extend_spec = { atoms : Rpe.atom list; with_skip : bool }
+
+module type S = sig
+  type t
+
+  val name : string
+  val schema : t -> Nepal_schema.Schema.t
+
+  val select_atom :
+    t -> tc:Time_constraint.t -> Rpe.atom -> Path.element list
+  (** All elements satisfying the atom under the constraint (Select
+      operator / anchor evaluation). *)
+
+  val estimate_atom : t -> Rpe.atom -> float
+  (** Anchor cost: estimated matching-record count, from statistics when
+      available, otherwise schema hints (Section 5.1). *)
+
+  val bulk_extend :
+    t ->
+    tc:Time_constraint.t ->
+    dir:direction ->
+    spec:extend_spec ->
+    extend_item list ->
+    (int * Path.element) list
+  (** One-element extension of every item (Extend operator). [Fwd] from
+      a node follows outgoing edges; from an edge reaches its target
+      node. [Bwd] mirrors. Candidates that would revisit a uid in
+      [visited] are pruned; candidates that match no atom are pruned
+      unless [with_skip]. The exact per-atom match is re-checked by the
+      evaluator; the backend may over-approximate (e.g. class-only
+      filtering). *)
+
+  val presence :
+    t ->
+    uid:int ->
+    window:Time_point.t * Time_point.t ->
+    pred:(Value.t Strmap.t -> bool) option ->
+    Interval_set.t
+  (** When (within the window) did the element exist and satisfy the
+      predicate? Drives time-range pathway validity. *)
+
+  val element_by_uid : t -> tc:Time_constraint.t -> int -> Path.element option
+
+  val version_boundaries :
+    t -> uid:int -> window:Time_point.t * Time_point.t -> Time_point.t list
+  (** Transaction times (within the window) at which the element gained
+      a new version, changed, or was deleted — drives path-evolution
+      queries. Sorted ascending. *)
+end
+
+type 'a backend = (module S with type t = 'a)
+
+(** A backend packaged with its connection value, so heterogeneous
+    backends can be mixed in one query (the data-integration story). *)
+type conn = Conn : 'a backend * 'a -> conn
+
+let conn_name (Conn ((module B), _)) = B.name
+let conn_schema (Conn ((module B), t)) = B.schema t
+
+let select_atom (Conn ((module B), t)) ~tc atom = B.select_atom t ~tc atom
+let estimate_atom (Conn ((module B), t)) atom = B.estimate_atom t atom
+
+let bulk_extend (Conn ((module B), t)) ~tc ~dir ~spec items =
+  B.bulk_extend t ~tc ~dir ~spec items
+
+let presence (Conn ((module B), t)) ~uid ~window ~pred =
+  B.presence t ~uid ~window ~pred
+
+let element_by_uid (Conn ((module B), t)) ~tc uid = B.element_by_uid t ~tc uid
+
+let version_boundaries (Conn ((module B), t)) ~uid ~window =
+  B.version_boundaries t ~uid ~window

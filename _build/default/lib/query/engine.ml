@@ -1,0 +1,653 @@
+module Strmap = Nepal_util.Strmap
+module Value = Nepal_schema.Value
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval_set = Nepal_temporal.Interval_set
+module Rpe = Nepal_rpe.Rpe
+module Anchor = Nepal_rpe.Anchor
+module Predicate = Nepal_rpe.Predicate
+open Query_ast
+
+type row = { paths : Path.t Strmap.t; coexist : Interval_set.t option }
+
+type result =
+  | Rows of { vars : string list; rows : row list }
+  | Table of { columns : string list; rows : Value.t list list }
+
+let ( let* ) = Result.bind
+
+let tc_of_spec = function
+  | At_point t -> Time_constraint.at t
+  | At_range (a, b) -> Time_constraint.range a b
+
+(* -- scalar evaluation over a row ----------------------------------- *)
+
+let node_of_path f p =
+  match f with Source -> Path.source p | Target -> Path.target p
+
+let rec drill fields = function
+  | [] -> Value.Null
+  | [ f ] -> Strmap.find_opt_or f ~default:Value.Null fields
+  | f :: rest -> (
+      match Strmap.find_opt f fields with
+      | Some (Value.Data (_, inner)) -> drill inner rest
+      | _ -> Value.Null)
+
+let eval_scalar row = function
+  | Lit v -> Ok v
+  | Node_of (f, var) -> (
+      match Strmap.find_opt var row.paths with
+      | Some p -> Ok (Value.Int (node_of_path f p).Path.uid)
+      | None -> Error (Printf.sprintf "unbound pathway variable %S" var))
+  | Field_of (f, var, fields) -> (
+      match Strmap.find_opt var row.paths with
+      | Some p -> Ok (drill (node_of_path f p).Path.fields fields)
+      | None -> Error (Printf.sprintf "unbound pathway variable %S" var))
+  | Length_of var -> (
+      match Strmap.find_opt var row.paths with
+      | Some p -> Ok (Value.Int (Path.length p))
+      | None -> Error (Printf.sprintf "unbound pathway variable %S" var))
+  | Aggregate _ ->
+      Error "aggregates are only allowed as Select items"
+
+(* Display form for Select output: nodes render as class#uid. *)
+let eval_scalar_display row s =
+  match s with
+  | Node_of (f, var) -> (
+      match Strmap.find_opt var row.paths with
+      | Some p ->
+          let n = node_of_path f p in
+          Ok (Value.Str (Printf.sprintf "%s#%d" n.Path.cls n.Path.uid))
+      | None -> Error (Printf.sprintf "unbound pathway variable %S" var))
+  | _ -> eval_scalar row s
+
+let rec scalar_vars = function
+  | Node_of (_, v) | Field_of (_, v, _) | Length_of v -> [ v ]
+  | Lit _ -> []
+  | Aggregate (_, Some inner) -> scalar_vars inner
+  | Aggregate (_, None) -> []
+
+(* -- condition classification --------------------------------------- *)
+
+type classified = {
+  matches : (string * Rpe.t) list;
+  joins : (path_fun * string * path_fun * string) list;
+      (** source/target equality between two distinct variables *)
+  anchors_from_lit : (path_fun * string * Value.t) list;
+      (** node function pinned to a literal uid (from correlation
+          substitution) *)
+  filters : condition list;
+}
+
+let classify conds =
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Matches (v, r) -> { acc with matches = (v, r) :: acc.matches }
+      | Cmp (Node_of (f1, v1), Predicate.Eq, Node_of (f2, v2)) when v1 <> v2 ->
+          { acc with joins = (f1, v1, f2, v2) :: acc.joins }
+      | Cmp (Node_of (f, v), Predicate.Eq, Lit lit)
+      | Cmp (Lit lit, Predicate.Eq, Node_of (f, v)) ->
+          { acc with anchors_from_lit = (f, v, lit) :: acc.anchors_from_lit }
+      | c -> { acc with filters = c :: acc.filters })
+    { matches = []; joins = []; anchors_from_lit = []; filters = [] }
+    conds
+
+let rec condition_mentions_matches = function
+  | Matches _ -> true
+  | And (a, b) | Or (a, b) -> condition_mentions_matches a || condition_mentions_matches b
+  | Not c -> condition_mentions_matches c
+  | Cmp _ | Exists _ | Not_exists _ -> false
+
+(* -- correlation substitution for subqueries ------------------------ *)
+
+(* Replace scalar references to outer variables by their literal values
+   from the outer row. *)
+let substitute_correlated outer_vars outer_row q =
+  let subst_scalar s =
+    match s with
+    | (Node_of (_, v) | Field_of (_, v, _) | Length_of v)
+      when List.mem v outer_vars -> (
+        match eval_scalar outer_row s with
+        | Ok value -> Ok (Lit value)
+        | Error e -> Error e)
+    | s -> Ok s
+  in
+  let rec subst_cond = function
+    | Cmp (a, op, b) ->
+        let* a = subst_scalar a in
+        let* b = subst_scalar b in
+        Ok (Cmp (a, op, b))
+    | And (a, b) ->
+        let* a = subst_cond a in
+        let* b = subst_cond b in
+        Ok (And (a, b))
+    | Or (a, b) ->
+        let* a = subst_cond a in
+        let* b = subst_cond b in
+        Ok (Or (a, b))
+    | Not c ->
+        let* c = subst_cond c in
+        Ok (Not c)
+    | (Matches _ | Exists _ | Not_exists _) as c -> Ok c
+  in
+  let* where_ = subst_cond q.where_ in
+  Ok { q with where_ }
+
+(* Values of the correlated scalars, used as the memoization key. *)
+let correlation_key outer_vars outer_row q =
+  let rec collect_cond acc = function
+    | Cmp (a, _, b) -> collect_scalar (collect_scalar acc a) b
+    | And (a, b) | Or (a, b) -> collect_cond (collect_cond acc a) b
+    | Not c -> collect_cond acc c
+    | Matches _ | Exists _ | Not_exists _ -> acc
+  and collect_scalar acc s =
+    match scalar_vars s with
+    | [ v ] when List.mem v outer_vars -> (
+        match eval_scalar outer_row s with
+        | Ok value -> value :: acc
+        | Error _ -> Value.Null :: acc)
+    | _ -> acc
+  in
+  collect_cond [] q.where_
+
+(* -- the main evaluation -------------------------------------------- *)
+
+let rec run ~conn ?(binds = []) ?max_length ?stats q =
+  let stats = match stats with Some s -> s | None -> Eval_rpe.new_stats () in
+  let conn_of var =
+    match List.assoc_opt var binds with Some c -> c | None -> conn
+  in
+  let declared = List.map (fun v -> v.var_name) q.vars in
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | v :: rest ->
+          if List.mem v rest then Error (Printf.sprintf "variable %S declared twice" v)
+          else dup rest
+    in
+    dup declared
+  in
+  let conjs = conjuncts q.where_ in
+  (* MATCHES must appear only as top-level conjuncts. *)
+  let* () =
+    if
+      List.exists
+        (fun c ->
+          match c with Matches _ -> false | c -> condition_mentions_matches c)
+        conjs
+    then Error "MATCHES may only appear as a top-level conjunct"
+    else Ok ()
+  in
+  let cls = classify conjs in
+  (* One MATCHES per declared variable. *)
+  let* var_rpes =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match List.filter (fun (w, _) -> w = v.var_name) cls.matches with
+        | [ (_, rpe) ] ->
+            let schema = Backend_intf.conn_schema (conn_of v.var_name) in
+            let* norm = Rpe.validate schema rpe in
+            Ok ((v.var_name, norm) :: acc)
+        | [] ->
+            Error (Printf.sprintf "variable %S has no MATCHES predicate" v.var_name)
+        | _ ->
+            Error (Printf.sprintf "variable %S has multiple MATCHES predicates" v.var_name))
+      (Ok []) q.vars
+  in
+  let* () =
+    match
+      List.find_opt (fun (w, _) -> not (List.mem w declared)) cls.matches
+    with
+    | Some (w, _) -> Error (Printf.sprintf "MATCHES on undeclared variable %S" w)
+    | None -> Ok ()
+  in
+  let var_tc v =
+    match v.var_tc with
+    | Some tc -> tc_of_spec tc
+    | None -> (
+        match q.q_at with
+        | Some tc -> tc_of_spec tc
+        | None -> Time_constraint.snapshot)
+  in
+  let tcs = List.map (fun v -> (v.var_name, var_tc v)) q.vars in
+  (* Anchor cost per variable (infinite when unanchorable). *)
+  let anchor_cost var =
+    let norm = List.assoc var var_rpes in
+    let c = conn_of var in
+    match Anchor.select ~cost:(Backend_intf.estimate_atom c) norm with
+    | Ok sel -> sel.Anchor.cost
+    | Error _ -> Float.infinity
+  in
+  let lit_anchor var =
+    (* A literal-pinned node function supplies a seed. *)
+    List.find_opt (fun (_, v, _) -> v = var) cls.anchors_from_lit
+  in
+  (* Evaluate variables one by one, importing anchors from joins. *)
+  let evaluated : (string, Path.t list) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let* () =
+    let remaining = ref declared in
+    let rec loop () =
+      if !remaining = [] then Ok ()
+      else begin
+        let join_partner var =
+          List.find_map
+            (fun (f1, v1, f2, v2) ->
+              if v1 = var && Hashtbl.mem evaluated v2 then Some (f1, v2, f2)
+              else if v2 = var && Hashtbl.mem evaluated v1 then Some (f2, v1, f1)
+              else None)
+            cls.joins
+        in
+        (* Prefer a variable seedable from a literal or a join; fall
+           back to the cheapest anchored one. *)
+        let pick =
+          let seedable =
+            List.filter
+              (fun v -> lit_anchor v <> None || join_partner v <> None)
+              !remaining
+          in
+          let pool = if seedable <> [] then seedable else !remaining in
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some v
+              | Some b -> if anchor_cost v < anchor_cost b then Some v else best)
+            None pool
+        in
+        match pick with
+        | None -> Ok ()
+        | Some var ->
+            let c = conn_of var in
+            let tc = List.assoc var tcs in
+            let norm = List.assoc var var_rpes in
+            let* seed =
+              match lit_anchor var with
+              | Some (f, _, Value.Int uid) -> (
+                  match Backend_intf.element_by_uid c ~tc uid with
+                  | Some e ->
+                      Ok
+                        (Some
+                           (match f with
+                           | Source -> Eval_rpe.From_nodes [ e ]
+                           | Target -> Eval_rpe.To_nodes [ e ]))
+                  | None ->
+                      Ok
+                        (Some
+                           (match f with
+                           | Source -> Eval_rpe.From_nodes []
+                           | Target -> Eval_rpe.To_nodes [])))
+              | Some _ -> Error "node functions compare to node identities (integers)"
+              | None -> (
+                  match join_partner var with
+                  | Some (f_self, partner, f_partner) ->
+                      let partner_paths = Hashtbl.find evaluated partner in
+                      let uids =
+                        List.map
+                          (fun p -> (node_of_path f_partner p).Path.uid)
+                          partner_paths
+                        |> List.sort_uniq Int.compare
+                      in
+                      let elems =
+                        List.filter_map (Backend_intf.element_by_uid c ~tc) uids
+                      in
+                      Ok
+                        (Some
+                           (match f_self with
+                           | Source -> Eval_rpe.From_nodes elems
+                           | Target -> Eval_rpe.To_nodes elems))
+                  | None ->
+                      if anchor_cost var = Float.infinity then
+                        Error
+                          (Printf.sprintf
+                             "variable %S is not anchored and cannot import an anchor from a join"
+                             var)
+                      else Ok None)
+            in
+            let* paths = Eval_rpe.find c ~tc ?max_length ?seed ~stats norm in
+            Hashtbl.replace evaluated var paths;
+            order := var :: !order;
+            remaining := List.filter (fun v -> v <> var) !remaining;
+            loop ()
+      end
+    in
+    loop ()
+  in
+  let order = List.rev !order in
+  (* Join the per-variable path sets. *)
+  let join_rows =
+    List.fold_left
+      (fun rows var ->
+        let paths = Hashtbl.find evaluated var in
+        match rows with
+        | None -> Some (List.map (fun p -> Strmap.singleton var p) paths)
+        | Some rows ->
+            let constraints =
+              List.filter_map
+                (fun (f1, v1, f2, v2) ->
+                  if v1 = var && v2 <> var then Some (f1, f2, v2)
+                  else if v2 = var && v1 <> var then Some (f2, f1, v1)
+                  else None)
+                cls.joins
+              (* Constraints whose partner joins later are checked then,
+                 from the symmetric direction. *)
+            in
+            let extended =
+              List.concat_map
+                (fun r ->
+                  List.filter_map
+                    (fun p ->
+                      let ok =
+                        List.for_all
+                          (fun (f_self, f_partner, partner) ->
+                            match Strmap.find_opt partner r with
+                            | Some pp ->
+                                (node_of_path f_self p).Path.uid
+                                = (node_of_path f_partner pp).Path.uid
+                            | None -> true)
+                          constraints
+                      in
+                      if ok then Some (Strmap.add var p r) else None)
+                    paths)
+                rows
+            in
+            Some extended)
+      None order
+  in
+  let rows0 = match join_rows with Some r -> r | None -> [] in
+  (* Literal anchor conditions double as filters (the seeding above may
+     over-approximate when the element was missing). *)
+  let lit_filters =
+    List.map
+      (fun (f, v, lit) -> Cmp (Node_of (f, v), Predicate.Eq, Lit lit))
+      cls.anchors_from_lit
+  in
+  (* Query-level range: all pathways must coexist. *)
+  let coexistence_applies = match q.q_at with Some (At_range _) -> true | _ -> false in
+  let with_coexist =
+    List.filter_map
+      (fun paths ->
+        let row = { paths; coexist = None } in
+        if not coexistence_applies then Some row
+        else
+          let governed =
+            List.filter (fun v -> v.var_tc = None) q.vars
+            |> List.filter_map (fun v -> Strmap.find_opt v.var_name paths)
+          in
+          let sets = List.filter_map (fun p -> p.Path.valid) governed in
+          match sets with
+          | [] -> Some row
+          | first :: rest -> (
+              let inter = List.fold_left Interval_set.inter first rest in
+              match q.q_at with
+              | Some (At_range (w0, w1)) ->
+                  let window =
+                    Interval_set.singleton (Nepal_temporal.Interval.between w0 w1)
+                  in
+                  if Interval_set.is_empty (Interval_set.inter inter window) then
+                    None
+                  else Some { row with coexist = Some inter }
+              | _ ->
+                  if Interval_set.is_empty inter then None
+                  else Some { row with coexist = Some inter }))
+      rows0
+  in
+  (* Residual filters and subqueries. *)
+  let subquery_memo : (Value.t list, bool) Hashtbl.t = Hashtbl.create 16 in
+  let rec eval_condition row = function
+    | Matches _ -> Ok true
+    | Cmp (a, op, b) ->
+        let* va = eval_scalar row a in
+        let* vb = eval_scalar row b in
+        if va = Value.Null || vb = Value.Null then Ok false
+        else
+          let c = Value.compare va vb in
+          Ok
+            (match op with
+            | Predicate.Eq -> c = 0
+            | Predicate.Ne -> c <> 0
+            | Predicate.Lt -> c < 0
+            | Predicate.Le -> c <= 0
+            | Predicate.Gt -> c > 0
+            | Predicate.Ge -> c >= 0)
+    | And (a, b) ->
+        let* ra = eval_condition row a in
+        if not ra then Ok false else eval_condition row b
+    | Or (a, b) ->
+        let* ra = eval_condition row a in
+        if ra then Ok true else eval_condition row b
+    | Not c ->
+        let* r = eval_condition row c in
+        Ok (not r)
+    | Exists sub -> eval_exists row sub
+    | Not_exists sub ->
+        let* r = eval_exists row sub in
+        Ok (not r)
+  and eval_exists row sub =
+    let key = correlation_key declared row sub in
+    match Hashtbl.find_opt subquery_memo key with
+    | Some b -> Ok b
+    | None ->
+        let* sub' = substitute_correlated declared row sub in
+        (* Inherit the outer temporal scope unless the subquery sets
+           its own. *)
+        let sub' = if sub'.q_at = None then { sub' with q_at = q.q_at } else sub' in
+        let* res = run ~conn ~binds ?max_length ~stats sub' in
+        let b = result_count res > 0 in
+        Hashtbl.replace subquery_memo key b;
+        Ok b
+  in
+  let* filtered =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* keep =
+          List.fold_left
+            (fun keep c ->
+              let* keep = keep in
+              if not keep then Ok false else eval_condition row c)
+            (Ok true) (cls.filters @ lit_filters)
+        in
+        Ok (if keep then row :: acc else acc))
+      (Ok []) with_coexist
+  in
+  let rows = List.rev filtered in
+  (* Deduplicate identical variable bindings. *)
+  let dedup_rows rows =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun r ->
+        let k = List.map (fun (v, p) -> (v, Path.key p)) (Strmap.bindings r.paths) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      rows
+  in
+  let rows = dedup_rows rows in
+  match q.mode with
+  | Retrieve vars ->
+      let* () =
+        match List.find_opt (fun v -> not (List.mem v declared)) vars with
+        | Some v -> Error (Printf.sprintf "Retrieve of undeclared variable %S" v)
+        | None -> Ok ()
+      in
+      let projected =
+        List.map
+          (fun r ->
+            {
+              r with
+              paths =
+                Strmap.filter (fun v _ -> List.mem v vars) r.paths;
+            })
+          rows
+        |> dedup_rows
+      in
+      Ok (Rows { vars; rows = projected })
+  | Select items ->
+      let columns =
+        List.map
+          (fun { item; alias } ->
+            match alias with Some a -> a | None -> scalar_to_string item)
+          items
+      in
+      let has_aggregate =
+        List.exists (fun { item; _ } -> match item with Aggregate _ -> true | _ -> false) items
+      in
+      if not has_aggregate then begin
+        let* table_rows =
+          List.fold_left
+            (fun acc r ->
+              let* acc = acc in
+              let* vals =
+                List.fold_left
+                  (fun vacc { item; _ } ->
+                    let* vacc = vacc in
+                    let* v = eval_scalar_display r item in
+                    Ok (v :: vacc))
+                  (Ok []) items
+              in
+              Ok (List.rev vals :: acc))
+            (Ok []) rows
+        in
+        (* Set semantics for the result-processing layer. *)
+        let seen = Hashtbl.create 64 in
+        let distinct =
+          List.filter
+            (fun vals ->
+              if Hashtbl.mem seen vals then false
+              else begin
+                Hashtbl.replace seen vals ();
+                true
+              end)
+            (List.rev table_rows)
+        in
+        Ok (Table { columns; rows = distinct })
+      end
+      else begin
+        (* Aggregation over pathway sets (future work in the paper):
+           plain items are the implicit grouping key; aggregates are
+           computed per group. *)
+        let* groups =
+          List.fold_left
+            (fun acc r ->
+              let* acc = acc in
+              let* key =
+                List.fold_left
+                  (fun kacc { item; _ } ->
+                    let* kacc = kacc in
+                    match item with
+                    | Aggregate _ -> Ok kacc
+                    | plain ->
+                        let* v = eval_scalar_display r plain in
+                        Ok (v :: kacc))
+                  (Ok []) items
+              in
+              let key = List.rev key in
+              let existing = match List.assoc_opt key acc with Some l -> l | None -> [] in
+              Ok ((key, r :: existing) :: List.remove_assoc key acc))
+            (Ok []) rows
+        in
+        let groups = List.rev groups in
+        let compute_agg group_rows kind inner =
+          match kind with
+          | Count -> Ok (Value.Int (List.length group_rows))
+          | _ ->
+              let* values =
+                List.fold_left
+                  (fun acc r ->
+                    let* acc = acc in
+                    match inner with
+                    | None -> Error "min/max/sum/avg need an argument"
+                    | Some e ->
+                        let* v = eval_scalar r e in
+                        Ok (v :: acc))
+                  (Ok []) group_rows
+              in
+              let numeric v =
+                match v with
+                | Value.Int i -> Some (float_of_int i)
+                | Value.Float f -> Some f
+                | _ -> None
+              in
+              (match kind with
+              | Min ->
+                  Ok (List.fold_left
+                        (fun acc v ->
+                          if acc = Value.Null || Value.compare v acc < 0 then v else acc)
+                        Value.Null values)
+              | Max ->
+                  Ok (List.fold_left
+                        (fun acc v ->
+                          if acc = Value.Null || Value.compare v acc > 0 then v else acc)
+                        Value.Null values)
+              | Sum | Avg -> (
+                  let nums = List.filter_map numeric values in
+                  let total = List.fold_left ( +. ) 0. nums in
+                  match kind with
+                  | Sum ->
+                      if List.for_all (fun v -> match v with Value.Int _ -> true | _ -> false)
+                           (List.filter (fun v -> v <> Value.Null) values)
+                      then Ok (Value.Int (int_of_float total))
+                      else Ok (Value.Float total)
+                  | _ ->
+                      if nums = [] then Ok Value.Null
+                      else Ok (Value.Float (total /. float_of_int (List.length nums))))
+              | Count -> assert false)
+        in
+        let* table_rows =
+          List.fold_left
+            (fun acc (key, group_rows) ->
+              let* acc = acc in
+              let key_rest = ref key in
+              let* vals =
+                List.fold_left
+                  (fun vacc { item; _ } ->
+                    let* vacc = vacc in
+                    match item with
+                    | Aggregate (kind, inner) ->
+                        let* v = compute_agg group_rows kind inner in
+                        Ok (v :: vacc)
+                    | _ -> (
+                        match !key_rest with
+                        | v :: rest ->
+                            key_rest := rest;
+                            Ok (v :: vacc)
+                        | [] -> Error "internal: group key arity"))
+                  (Ok []) items
+              in
+              Ok (List.rev vals :: acc))
+            (Ok []) groups
+        in
+        Ok (Table { columns; rows = List.rev table_rows })
+      end
+
+and result_count = function
+  | Rows { rows; _ } -> List.length rows
+  | Table { rows; _ } -> List.length rows
+
+let run_string ~conn ?binds ?max_length ?stats text =
+  let* q = Query_parser.parse text in
+  run ~conn ?binds ?max_length ?stats q
+
+let pp_result ppf = function
+  | Rows { vars; rows } ->
+      Format.fprintf ppf "%d row(s) of (%s)@." (List.length rows)
+        (String.concat ", " vars);
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (v, p) -> Format.fprintf ppf "  %s = %s@." v (Path.to_string p))
+            (Strmap.bindings r.paths);
+          match r.coexist with
+          | Some s -> Format.fprintf ppf "  coexist %a@." Interval_set.pp s
+          | None -> ())
+        rows
+  | Table { columns; rows } ->
+      Format.fprintf ppf "%s@." (String.concat " | " columns);
+      List.iter
+        (fun vals ->
+          Format.fprintf ppf "%s@."
+            (String.concat " | " (List.map Value.to_string vals)))
+        rows

@@ -1,0 +1,47 @@
+(** Full query evaluation: multi-variable pathway joins, imported
+    anchors, [NOT EXISTS] subqueries, temporal scoping, and the
+    result-processing ([Select]) layer.
+
+    Evaluation order follows the paper: the cheapest anchored variable
+    is evaluated first; variables joined to an evaluated one through
+    [source]/[target] equalities import their anchors from the partner
+    (Section 3.4's [Phys] example); the coordination layer performs the
+    joins — across different backends when variables are bound to
+    different databases (the data-integration story). *)
+
+module Strmap = Nepal_util.Strmap
+module Value = Nepal_schema.Value
+module Interval_set = Nepal_temporal.Interval_set
+
+type row = {
+  paths : Path.t Strmap.t;       (** binding of each pathway variable *)
+  coexist : Interval_set.t option;
+      (** for query-level [AT a : b]: the maximal range during which all
+          bound pathways coexisted *)
+}
+
+type result =
+  | Rows of { vars : string list; rows : row list }
+  | Table of { columns : string list; rows : Value.t list list }
+
+val run :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  ?max_length:int ->
+  ?stats:Eval_rpe.stats ->
+  Query_ast.query ->
+  (result, string) Stdlib.result
+(** [binds] maps individual pathway variables to other databases;
+    unbound variables use [conn]. *)
+
+val run_string :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  ?max_length:int ->
+  ?stats:Eval_rpe.stats ->
+  string ->
+  (result, string) Stdlib.result
+(** Parse and run. *)
+
+val result_count : result -> int
+val pp_result : Format.formatter -> result -> unit

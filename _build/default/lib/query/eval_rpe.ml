@@ -1,0 +1,375 @@
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval_set = Nepal_temporal.Interval_set
+module Schema = Nepal_schema.Schema
+module Rpe = Nepal_rpe.Rpe
+module Nfa = Nepal_rpe.Nfa
+module Anchor = Nepal_rpe.Anchor
+module Predicate = Nepal_rpe.Predicate
+open Backend_intf
+
+type seed =
+  | Anywhere
+  | From_nodes of Path.element list
+  | To_nodes of Path.element list
+
+type stats = {
+  mutable selects : int;
+  mutable extends : int;
+  mutable frontier_peak : int;
+}
+
+let new_stats () = { selects = 0; extends = 0; frontier_peak = 0 }
+
+let ( let* ) = Result.bind
+
+let kind_of_for sch (a : Rpe.atom) =
+  match Rpe.atom_kind sch a with
+  | Some Schema.Node_kind -> Some `Node
+  | Some Schema.Edge_kind -> Some `Edge
+  | None -> None
+
+(* A partial pathway during one directional walk. [rev_elements] is in
+   walk order reversed (frontier first); [valid] tracks the running
+   interval-set intersection under Range constraints. *)
+type partial = {
+  rev_elements : Path.element list;
+  states : Nfa.states;
+  visited : int list;
+  valid : Interval_set.t option;
+}
+
+(* Does the element satisfy the atom under the constraint? Under Range
+   the predicate may have held in a non-latest version, so presence is
+   consulted. *)
+let element_matches conn ~tc sch (elem : Path.element) (a : Rpe.atom) =
+  let kind_ok =
+    match Rpe.atom_kind sch a with
+    | Some Schema.Node_kind -> elem.Path.is_node
+    | Some Schema.Edge_kind -> not elem.Path.is_node
+    | None -> false
+  in
+  kind_ok
+  &&
+  match tc with
+  | Time_constraint.Snapshot | Time_constraint.At _ ->
+      Rpe.atom_matches sch a ~cls:elem.Path.cls ~fields:elem.Path.fields
+  | Time_constraint.Range (w0, w1) ->
+      Schema.is_subclass sch ~sub:elem.Path.cls ~sup:a.Rpe.cls
+      && not
+           (Interval_set.is_empty
+              (presence conn ~uid:elem.Path.uid ~window:(w0, w1)
+                 ~pred:(Some (fun fields -> Predicate.eval a.Rpe.pred fields))))
+
+(* The element's own contribution to the pathway validity set: the
+   union of the presence sets of the atoms it matched (or plain
+   existence when it was consumed by a skip). *)
+let element_validity conn ~tc (elem : Path.element) matched_atoms skipped =
+  match tc with
+  | Time_constraint.Snapshot | Time_constraint.At _ -> None
+  | Time_constraint.Range (w0, w1) ->
+      let sets =
+        (if skipped then
+           [ presence conn ~uid:elem.Path.uid ~window:(w0, w1) ~pred:None ]
+         else [])
+        @ List.map
+            (fun (a : Rpe.atom) ->
+              presence conn ~uid:elem.Path.uid ~window:(w0, w1)
+                ~pred:(Some (fun fields -> Predicate.eval a.Rpe.pred fields)))
+            matched_atoms
+      in
+      Some (List.fold_left Interval_set.union Interval_set.empty sets)
+
+let combine_validity a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (Interval_set.inter x y)
+
+(* Under Range, a pathway qualifies when its (maximal) validity set
+   overlaps the query window. *)
+let validity_ok ~tc v =
+  match tc with
+  | Time_constraint.Range (w0, w1) -> (
+      match v with
+      | Some s ->
+          not
+            (Interval_set.is_empty
+               (Interval_set.inter s
+                  (Interval_set.singleton (Nepal_temporal.Interval.between w0 w1))))
+      | None -> false)
+  | _ -> true
+
+(* Advance one partial over one candidate element. *)
+let advance conn ~tc sch nfa partial (elem : Path.element) =
+  if List.mem elem.Path.uid partial.visited then None
+  else
+    let matched = ref [] in
+    let matches a =
+      let ok = element_matches conn ~tc sch elem a in
+      if ok then matched := a :: !matched;
+      ok
+    in
+    let states' = Nfa.step nfa ~matches ~is_node:elem.Path.is_node partial.states in
+    if states' = [] then None
+    else
+      (* Whether a Skip transition could have consumed this element: it
+         did iff a kind-compatible skip left the previous state set. *)
+      let skipped = Nfa.can_skip nfa ~is_node:elem.Path.is_node partial.states in
+      let valid' =
+        combine_validity partial.valid
+          (element_validity conn ~tc elem !matched skipped)
+      in
+      if not (validity_ok ~tc valid') then None
+      else
+        Some
+          {
+            rev_elements = elem :: partial.rev_elements;
+            states = states';
+            visited = elem.Path.uid :: partial.visited;
+            valid = valid';
+          }
+
+(* One directional walk from a set of start elements. Returns, for each
+   start, the accepted element sequences (in walk order, starting with
+   the start element) paired with their validity sets. *)
+let walk conn ~tc ~dir ~max_length ~stats nfa (starts : Path.element list) =
+  let sch = conn_schema conn in
+  let init (elem : Path.element) =
+    let matched = ref [] in
+    let matches a =
+      let ok = element_matches conn ~tc sch elem a in
+      if ok then matched := a :: !matched;
+      ok
+    in
+    let start_states = Nfa.start nfa in
+    let states = Nfa.step nfa ~matches ~is_node:elem.Path.is_node start_states in
+    if states = [] then None
+    else
+      let skipped = Nfa.can_skip nfa ~is_node:elem.Path.is_node start_states in
+      let valid = element_validity conn ~tc elem !matched skipped in
+      if not (validity_ok ~tc valid) then None
+      else
+        Some
+          {
+            rev_elements = [ elem ];
+            states;
+            visited = [ elem.Path.uid ];
+            valid;
+          }
+  in
+  let accepted = ref [] in
+  let emit p =
+    match p.rev_elements with
+    | last :: _ when last.Path.is_node && Nfa.accepting nfa p.states ->
+        accepted := (List.rev p.rev_elements, p.valid) :: !accepted
+    | _ -> ()
+  in
+  let frontier = ref (List.filter_map init starts) in
+  List.iter emit !frontier;
+  let rounds = ref 1 in
+  while !frontier <> [] && !rounds < max_length do
+    incr rounds;
+    stats.extends <- stats.extends + 1;
+    stats.frontier_peak <- max stats.frontier_peak (List.length !frontier);
+    let parts = Array.of_list !frontier in
+    let items =
+      Array.to_list
+        (Array.mapi
+           (fun i p ->
+             match p.rev_elements with
+             | frontier_elem :: _ ->
+                 { item_id = i; frontier = frontier_elem; visited = p.visited }
+             | [] -> assert false)
+           parts)
+    in
+    let spec =
+      (* Deduplicate: thousands of partials share the same few atoms,
+         and backends check candidates against every listed atom. *)
+      let seen = Hashtbl.create 8 in
+      let atoms = ref [] in
+      Array.iter
+        (fun p ->
+          List.iter
+            (fun a ->
+              if not (Hashtbl.mem seen a) then begin
+                Hashtbl.replace seen a ();
+                atoms := a :: !atoms
+              end)
+            (Nfa.outgoing_atoms nfa p.states))
+        parts;
+      let with_skip =
+        Array.exists
+          (fun p ->
+            match p.rev_elements with
+            | frontier :: _ ->
+                Nfa.can_skip nfa ~is_node:(not frontier.Path.is_node) p.states
+            | [] -> false)
+          parts
+      in
+      { atoms = !atoms; with_skip }
+    in
+    let extensions = bulk_extend conn ~tc ~dir ~spec items in
+    let next = ref [] in
+    List.iter
+      (fun (i, elem) ->
+        match advance conn ~tc sch nfa parts.(i) elem with
+        | Some p ->
+            emit p;
+            next := p :: !next
+        | None -> ())
+      extensions;
+    frontier := !next
+  done;
+  !accepted
+
+let seq_opt parts =
+  match List.filter_map Fun.id parts with
+  | [] -> None
+  | [ one ] -> Some one
+  | many -> Some (Rpe.N_seq many)
+
+let dedup_paths paths =
+  let tbl = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      let k = Path.key p in
+      if Hashtbl.mem tbl k then false
+      else begin
+        Hashtbl.replace tbl k ();
+        true
+      end)
+    paths
+  |> List.sort Path.compare
+
+(* Evaluate one anchor split: Select the anchor, then extend forwards
+   through (anchor :: after) and backwards through reverse (before ::
+   anchor), and join the two sides on the shared anchor element. *)
+let eval_split conn ~tc ~max_length ~stats (split : Anchor.split) =
+  let anchor_atom = split.Anchor.anchor in
+  stats.selects <- stats.selects + 1;
+  let anchors = select_atom conn ~tc anchor_atom in
+  if anchors = [] then []
+  else begin
+    let fwd_rpe =
+      match seq_opt [ Some (Rpe.N_atom anchor_atom); split.Anchor.after ] with
+      | Some r -> r
+      | None -> assert false
+    in
+    let bwd_rpe =
+      match
+        seq_opt
+          [ Some (Rpe.N_atom anchor_atom);
+            Option.map Rpe.reverse split.Anchor.before ]
+      with
+      | Some r -> r
+      | None -> assert false
+    in
+    let kind_of = kind_of_for (conn_schema conn) in
+    let fwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of fwd_rpe in
+    let bwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of bwd_rpe in
+    let fwd = walk conn ~tc ~dir:Fwd ~max_length ~stats fwd_nfa anchors in
+    let bwd = walk conn ~tc ~dir:Bwd ~max_length ~stats bwd_nfa anchors in
+    (* Group by anchor uid. *)
+    let by_anchor side =
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (elems, valid) ->
+          match elems with
+          | anchor :: _ -> Hashtbl.add tbl anchor.Path.uid (elems, valid)
+          | [] -> ())
+        side;
+      tbl
+    in
+    let fwd_tbl = by_anchor fwd and bwd_tbl = by_anchor bwd in
+    let results = ref [] in
+    Hashtbl.iter
+      (fun anchor_uid (bwd_elems, bwd_valid) ->
+        let bwd_tail = List.tl bwd_elems in
+        List.iter
+          (fun (fwd_elems, fwd_valid) ->
+            let fwd_tail = List.tl fwd_elems in
+            (* Elements must be disjoint across the two sides. *)
+            let bwd_uids = List.map (fun e -> e.Path.uid) bwd_tail in
+            let fwd_uids = List.map (fun e -> e.Path.uid) fwd_tail in
+            let overlap = List.exists (fun u -> List.mem u fwd_uids) bwd_uids in
+            if not overlap then begin
+              let elements = List.rev bwd_tail @ fwd_elems in
+              if List.length elements <= max_length then begin
+                let valid =
+                  match tc with
+                  | Time_constraint.Range _ ->
+                      combine_validity bwd_valid fwd_valid
+                  | _ -> None
+                in
+                let p = { Path.elements; valid } in
+                if Path.well_formed p && validity_ok ~tc valid then
+                  results := p :: !results
+              end
+            end)
+          (Hashtbl.find_all fwd_tbl anchor_uid))
+      bwd_tbl;
+    !results
+  end
+
+let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest) norm =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let default_cap = min (Rpe.max_length norm) 64 in
+  let max_length =
+    match max_length with Some m -> min m 64 | None -> default_cap
+  in
+  match seed with
+  | Anywhere ->
+      let cost a = estimate_atom conn a in
+      let* selection =
+        match anchor with
+        | `Cheapest -> Anchor.select ~cost norm
+        | `Costliest -> (
+            match Anchor.enumerate ~cost norm with
+            | [] -> Anchor.select ~cost norm (* reuse its error message *)
+            | first :: rest ->
+                Ok
+                  (List.fold_left
+                     (fun acc c -> if c.Anchor.cost > acc.Anchor.cost then c else acc)
+                     first rest))
+      in
+      let paths =
+        List.concat_map (eval_split conn ~tc ~max_length ~stats) selection.Anchor.splits
+      in
+      Ok (dedup_paths paths)
+  | From_nodes seeds ->
+      let kind_of = kind_of_for (conn_schema conn) in
+      let nfa = Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm in
+      let seeds = List.filter (fun e -> e.Path.is_node) seeds in
+      let accepted = walk conn ~tc ~dir:Fwd ~max_length ~stats nfa seeds in
+      let paths =
+        List.filter_map
+          (fun (elems, valid) ->
+            let p = { Path.elements = elems; valid } in
+            if Path.well_formed p && validity_ok ~tc valid then Some p else None)
+          accepted
+      in
+      let paths =
+        match tc with
+        | Time_constraint.Range _ -> paths
+        | _ -> List.map (fun p -> { p with Path.valid = None }) paths
+      in
+      Ok (dedup_paths paths)
+  | To_nodes seeds ->
+      let kind_of = kind_of_for (conn_schema conn) in
+      let nfa =
+        Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of (Rpe.reverse norm)
+      in
+      let seeds = List.filter (fun e -> e.Path.is_node) seeds in
+      let accepted = walk conn ~tc ~dir:Bwd ~max_length ~stats nfa seeds in
+      let paths =
+        List.filter_map
+          (fun (elems, valid) ->
+            let p = { Path.elements = List.rev elems; valid } in
+            if Path.well_formed p && validity_ok ~tc valid then Some p else None)
+          accepted
+      in
+      let paths =
+        match tc with
+        | Time_constraint.Range _ -> paths
+        | _ -> List.map (fun p -> { p with Path.valid = None }) paths
+      in
+      Ok (dedup_paths paths)

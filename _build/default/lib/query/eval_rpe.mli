@@ -1,0 +1,45 @@
+(** Anchored pathway-set evaluation (Section 5.1).
+
+    The evaluator selects the cheapest anchor, runs a Select against the
+    backend, and extends the anchor records forwards through the suffix
+    NFA and backwards through the reversed-prefix NFA, one bulk Extend
+    per round. Union operators arise implicitly from multi-split anchors
+    (alternations). Pathways are cycle-free, as in the paper's generated
+    SQL. *)
+
+module Time_constraint = Nepal_temporal.Time_constraint
+module Rpe = Nepal_rpe.Rpe
+
+type seed =
+  | Anywhere
+      (** anchored evaluation — the RPE must contain an anchor *)
+  | From_nodes of Path.element list
+      (** the pathway's source node is one of these (an anchor imported
+          from a join, e.g. [source(Phys) = target(D1)]) *)
+  | To_nodes of Path.element list
+      (** symmetric: constrains the pathway's target node *)
+
+type stats = {
+  mutable selects : int;   (** Select operators executed *)
+  mutable extends : int;   (** bulk Extend rounds executed *)
+  mutable frontier_peak : int;
+}
+
+val find :
+  Backend_intf.conn ->
+  tc:Time_constraint.t ->
+  ?max_length:int ->
+  ?seed:seed ->
+  ?stats:stats ->
+  ?anchor:[ `Cheapest | `Costliest ] ->
+  Rpe.norm ->
+  (Path.t list, string) result
+(** Pathways satisfying the RPE, deduplicated, deterministically
+    ordered. [max_length] caps the number of pathway elements (default:
+    the RPE's own {!Rpe.max_length}, at most 64). Under a [Range]
+    constraint every returned pathway carries its maximal validity
+    interval set. [anchor] (default [`Cheapest]) selects which anchor
+    candidate drives evaluation — [`Costliest] exists for the anchor
+    ablation experiment. *)
+
+val new_stats : unit -> stats

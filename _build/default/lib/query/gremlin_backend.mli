@@ -1,0 +1,30 @@
+(** The Gremlin/TinkerPop-style target (Section 5.2).
+
+    Classes are encoded in element labels as the full inheritance path
+    ([Node:VM:VMWare]); strongly-typed concept matching becomes label
+    prefix matching. Transaction time is a bolt-on: each element's
+    [sys_period] property holds its overall existence interval (pushed
+    into traversals as period steps), while field-version history lives
+    in a side store consulted for temporal predicates — mirroring the
+    property-versioning bolt-ons the paper cites. The Gremlin text of
+    every traversal executed is available from {!take_log}. *)
+
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+
+type t
+
+val create : Schema.t -> t
+val graph : t -> Nepal_gremlin.Pgraph.t
+
+val mirror_store : t -> Nepal_store.Graph_store.t -> (unit, string) result
+(** Load every entity (and its version history) from a native store,
+    preserving uids. *)
+
+val take_log : t -> string list
+
+val element_count : t -> int
+
+include Backend_intf.S with type t := t

@@ -1,0 +1,135 @@
+(** Backend executing directly against the native temporal graph store
+    — the reference implementation the other targets are tested
+    against. *)
+
+module Store = Nepal_store.Graph_store
+module Entity = Nepal_store.Entity
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_constraint = Nepal_temporal.Time_constraint
+module Time_point = Nepal_temporal.Time_point
+module Rpe = Nepal_rpe.Rpe
+module Predicate = Nepal_rpe.Predicate
+open Backend_intf
+
+type t = Store.t
+
+let name = "native"
+let schema = Store.schema
+
+let element_of_entity (e : Entity.t) =
+  {
+    Path.uid = e.uid;
+    cls = e.cls;
+    fields = e.fields;
+    is_node = Entity.is_node e;
+  }
+
+let presence t ~uid ~window:(a, b) ~pred =
+  let tc = Time_constraint.range a b in
+  let entity_pred =
+    match pred with
+    | None -> fun _ -> true
+    | Some p -> fun (e : Entity.t) -> p e.fields
+  in
+  Store.presence t ~tc ~pred:entity_pred uid
+
+let atom_pred (a : Rpe.atom) fields = Predicate.eval a.Rpe.pred fields
+
+let select_atom t ~tc (a : Rpe.atom) =
+  let candidates =
+    match Predicate.equality_lookups a.Rpe.pred with
+    | (field, v) :: _ when Store.has_index t ~cls:a.Rpe.cls ~field ->
+        Store.lookup t ~tc ~cls:a.Rpe.cls ~field v
+    | _ -> Store.scan_class t ~tc a.Rpe.cls
+  in
+  match tc with
+  | Time_constraint.Range (w0, w1) ->
+      (* Predicates may have held in versions other than the one
+         returned by the scan; qualify by presence. *)
+      List.filter
+        (fun (e : Entity.t) ->
+          not
+            (Nepal_temporal.Interval_set.is_empty
+               (presence t ~uid:e.uid ~window:(w0, w1) ~pred:(Some (atom_pred a)))))
+        candidates
+      |> List.map element_of_entity
+  | Time_constraint.Snapshot | Time_constraint.At _ ->
+      List.filter (fun (e : Entity.t) -> atom_pred a e.fields) candidates
+      |> List.map element_of_entity
+
+let estimate_atom t (a : Rpe.atom) =
+  let class_count = Store.count_current t ~cls:a.Rpe.cls in
+  let class_count =
+    if class_count > 0 then float_of_int class_count
+    else
+      (* Empty or unloaded class: fall back to schema hints. *)
+      match Schema.cardinality_hint (Store.schema t) a.Rpe.cls with
+      | Some h -> float_of_int h
+      | None -> 100_000.
+  in
+  match Predicate.equality_lookups a.Rpe.pred with
+  | (field, v) :: _ when Store.has_index t ~cls:a.Rpe.cls ~field ->
+      float_of_int
+        (List.length (Store.lookup t ~tc:Time_constraint.snapshot ~cls:a.Rpe.cls ~field v))
+  | _ :: _ ->
+      (* Unindexed equality: assume strong selectivity. *)
+      Float.max 1. (class_count /. 100.)
+  | [] -> class_count
+
+(* Could the element begin to match one of the atoms? Exact predicate
+   evaluation is left to the evaluator; here we prune by kind and
+   class only. *)
+let class_admissible sch (spec : extend_spec) (e : Entity.t) =
+  spec.with_skip
+  || List.exists
+       (fun (a : Rpe.atom) ->
+         (match Rpe.atom_kind sch a with
+         | Some Schema.Node_kind -> Entity.is_node e
+         | Some Schema.Edge_kind -> Entity.is_edge e
+         | None -> false)
+         && Schema.is_subclass sch ~sub:e.Entity.cls ~sup:a.Rpe.cls)
+       spec.atoms
+
+let bulk_extend t ~tc ~dir ~spec items =
+  let sch = Store.schema t in
+  List.concat_map
+    (fun { item_id; frontier; visited } ->
+      let candidates =
+        if frontier.Path.is_node then
+          match dir with
+          | Fwd -> Store.out_edges t ~tc frontier.Path.uid
+          | Bwd -> Store.in_edges t ~tc frontier.Path.uid
+        else
+          let edge = Store.get t ~tc frontier.Path.uid in
+          match edge with
+          | Some e when Entity.is_edge e ->
+              let next = match dir with Fwd -> Entity.dst e | Bwd -> Entity.src e in
+              Option.to_list (Store.get t ~tc next)
+          | _ -> []
+      in
+      List.filter_map
+        (fun (e : Entity.t) ->
+          if List.mem e.uid visited then None
+          else if class_admissible sch spec e then
+            Some (item_id, element_of_entity e)
+          else None)
+        candidates)
+    items
+
+let element_by_uid t ~tc uid = Option.map element_of_entity (Store.get t ~tc uid)
+
+let version_boundaries t ~uid ~window:(a, b) =
+  let in_window p = Time_point.compare a p <= 0 && Time_point.compare p b < 0 in
+  List.concat_map
+    (fun (v : Entity.t) ->
+      let starts = if in_window v.period.start then [ v.period.start ] else [] in
+      let stops =
+        match v.period.stop with
+        | Some e when in_window e -> [ e ]
+        | _ -> []
+      in
+      starts @ stops)
+    (Store.versions t uid)
+  |> List.sort_uniq Time_point.compare

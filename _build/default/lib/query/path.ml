@@ -1,0 +1,56 @@
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Interval_set = Nepal_temporal.Interval_set
+
+type element = {
+  uid : int;
+  cls : string;
+  fields : Value.t Strmap.t;
+  is_node : bool;
+}
+
+type t = { elements : element list; valid : Interval_set.t option }
+
+let well_formed t =
+  match t.elements with
+  | [] -> false
+  | first :: _ ->
+      let rec alternates expect_node = function
+        | [] -> true
+        | e :: rest -> e.is_node = expect_node && alternates (not expect_node) rest
+      in
+      let last = List.nth t.elements (List.length t.elements - 1) in
+      first.is_node && last.is_node && alternates true t.elements
+
+let source t =
+  match t.elements with
+  | e :: _ -> e
+  | [] -> invalid_arg "Path.source: empty pathway"
+
+let target t =
+  match List.rev t.elements with
+  | e :: _ -> e
+  | [] -> invalid_arg "Path.target: empty pathway"
+
+let edges t = List.filter (fun e -> not e.is_node) t.elements
+let nodes t = List.filter (fun e -> e.is_node) t.elements
+let length t = List.length (edges t)
+
+let key t = List.map (fun e -> e.uid) t.elements
+
+let field e name = Strmap.find_opt_or name ~default:Value.Null e.fields
+
+let compare a b = Stdlib.compare (key a) (key b)
+let equal a b = key a = key b
+
+let to_string t =
+  let elem e =
+    if e.is_node then Printf.sprintf "(%s#%d)" e.cls e.uid
+    else Printf.sprintf "-[%s#%d]->" e.cls e.uid
+  in
+  let body = String.concat "" (List.map elem t.elements) in
+  match t.valid with
+  | None -> body
+  | Some v -> body ^ " valid " ^ Format.asprintf "%a" Interval_set.pp v
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

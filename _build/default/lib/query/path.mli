@@ -1,0 +1,51 @@
+(** Pathways — the first-class values of the Nepal language.
+
+    A pathway is an alternating sequence of node and edge elements
+    beginning and ending with a node. Under a time-range query each
+    pathway carries the maximal interval set during which all of its
+    elements (co)existed. *)
+
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Interval_set = Nepal_temporal.Interval_set
+
+type element = {
+  uid : int;
+  cls : string;
+  fields : Value.t Strmap.t;
+  is_node : bool;
+}
+
+type t = {
+  elements : element list;
+  valid : Interval_set.t option;
+      (** [Some] only for time-range queries: the maximal set of
+          intervals during which the pathway held. *)
+}
+
+val well_formed : t -> bool
+(** Starts and ends with a node and alternates node/edge. *)
+
+val source : t -> element
+(** First node. @raise Invalid_argument on an empty pathway. *)
+
+val target : t -> element
+(** Last node. *)
+
+val length : t -> int
+(** Number of edges (hops). *)
+
+val nodes : t -> element list
+val edges : t -> element list
+
+val key : t -> int list
+(** Uid sequence — identity for deduplication. *)
+
+val field : element -> string -> Value.t
+
+val compare : t -> t -> int
+(** By uid sequence. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,261 @@
+module Ts = Nepal_rpe.Token_stream
+module Lexer = Nepal_rpe.Lexer
+module Value = Nepal_schema.Value
+module Time_point = Nepal_temporal.Time_point
+module Predicate = Nepal_rpe.Predicate
+open Query_ast
+
+let ( let* ) = Result.bind
+
+let parse_timestamp ts =
+  match Ts.peek ts with
+  | Lexer.String_lit s -> (
+      Ts.advance ts;
+      match Time_point.of_string s with
+      | Ok t -> Ok t
+      | Error e -> Ts.error ts e)
+  | _ -> Ts.error ts "expected a quoted timestamp"
+
+(* A time spec: 'ts' or 'ts' : 'ts'. *)
+let parse_tc_spec ts =
+  let* a = parse_timestamp ts in
+  if Ts.accept_punct ts ":" then
+    let* b = parse_timestamp ts in
+    if Time_point.compare b a <= 0 then Ts.error ts "empty time range"
+    else Ok (At_range (a, b))
+  else Ok (At_point a)
+
+let is_keyword ts kw =
+  match Ts.peek ts with
+  | Lexer.Ident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let parse_path_fun ts =
+  if Ts.accept_keyword ts "source" then Ok (Some Source)
+  else if Ts.accept_keyword ts "target" then Ok (Some Target)
+  else Ok None
+
+let parse_field_access ts =
+  let rec more acc =
+    if Ts.accept_punct ts "." then
+      let* f = Ts.expect_ident ts in
+      more (f :: acc)
+    else Ok (List.rev acc)
+  in
+  more []
+
+let agg_kind_of_ident s =
+  match String.lowercase_ascii s with
+  | "count" -> Some Count
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | _ -> None
+
+let rec parse_scalar ts =
+  match Ts.peek ts with
+  | Lexer.Ident ident when agg_kind_of_ident ident <> None -> (
+      let kind = Option.get (agg_kind_of_ident ident) in
+      Ts.advance ts;
+      let* () = Ts.expect_punct ts "(" in
+      match (kind, Ts.peek ts, Ts.peek2 ts) with
+      | Count, Lexer.Ident _, Lexer.Punct ")" ->
+          (* count(P): counts rows of the group. *)
+          Ts.advance ts;
+          Ts.advance ts;
+          Ok (Aggregate (Count, None))
+      | Count, Lexer.Punct "*", _ ->
+          Ts.advance ts;
+          let* () = Ts.expect_punct ts ")" in
+          Ok (Aggregate (Count, None))
+      | _ ->
+          let* inner = parse_scalar ts in
+          let* () = Ts.expect_punct ts ")" in
+          Ok (Aggregate (kind, Some inner)))
+  | Lexer.Ident s when String.lowercase_ascii s = "source" || String.lowercase_ascii s = "target"
+    ->
+      let* f = parse_path_fun ts in
+      let f = Option.get f in
+      let* () = Ts.expect_punct ts "(" in
+      let* v = Ts.expect_ident ts in
+      let* () = Ts.expect_punct ts ")" in
+      let* fields = parse_field_access ts in
+      if fields = [] then Ok (Node_of (f, v)) else Ok (Field_of (f, v, fields))
+  | Lexer.Ident s when String.lowercase_ascii s = "length" ->
+      Ts.advance ts;
+      let* () = Ts.expect_punct ts "(" in
+      let* v = Ts.expect_ident ts in
+      let* () = Ts.expect_punct ts ")" in
+      Ok (Length_of v)
+  | Lexer.Int_lit v ->
+      Ts.advance ts;
+      Ok (Lit (Value.Int v))
+  | Lexer.Float_lit f ->
+      Ts.advance ts;
+      Ok (Lit (Value.Float f))
+  | Lexer.String_lit s ->
+      Ts.advance ts;
+      Ok (Lit (Value.Str s))
+  | Lexer.Ident s when String.lowercase_ascii s = "true" ->
+      Ts.advance ts;
+      Ok (Lit (Value.Bool true))
+  | Lexer.Ident s when String.lowercase_ascii s = "false" ->
+      Ts.advance ts;
+      Ok (Lit (Value.Bool false))
+  | Lexer.Punct "-" -> (
+      Ts.advance ts;
+      match Ts.peek ts with
+      | Lexer.Int_lit v ->
+          Ts.advance ts;
+          Ok (Lit (Value.Int (-v)))
+      | Lexer.Float_lit f ->
+          Ts.advance ts;
+          Ok (Lit (Value.Float (-.f)))
+      | _ -> Ts.error ts "expected a number after '-'")
+  | _ -> Ts.error ts "expected source(..), target(..), length(..) or a literal"
+
+let parse_comparison_op ts =
+  if Ts.accept_punct ts "=" then Ok Predicate.Eq
+  else if Ts.accept_punct ts "!=" then Ok Predicate.Ne
+  else if Ts.accept_punct ts "<>" then Ok Predicate.Ne
+  else if Ts.accept_punct ts "<=" then Ok Predicate.Le
+  else if Ts.accept_punct ts ">=" then Ok Predicate.Ge
+  else if Ts.accept_punct ts "<" then Ok Predicate.Lt
+  else if Ts.accept_punct ts ">" then Ok Predicate.Gt
+  else Ts.error ts "expected a comparison operator"
+
+let rec parse_query ts =
+  let* q_at =
+    if Ts.accept_keyword ts "at" then
+      let* tc = parse_tc_spec ts in
+      Ok (Some tc)
+    else Ok None
+  in
+  let* mode = parse_mode ts in
+  let* () = Ts.expect_keyword ts "from" in
+  let* vars = parse_sources ts in
+  let* () = Ts.expect_keyword ts "where" in
+  let* where_ = parse_condition ts in
+  Ok { q_at; mode; vars; where_ }
+
+and parse_mode ts =
+  if Ts.accept_keyword ts "retrieve" then begin
+    let rec vars acc =
+      let* v = Ts.expect_ident ts in
+      if Ts.accept_punct ts "," then vars (v :: acc)
+      else Ok (Retrieve (List.rev (v :: acc)))
+    in
+    vars []
+  end
+  else if Ts.accept_keyword ts "select" then begin
+    let rec items acc =
+      let* item = parse_scalar ts in
+      let* alias =
+        if Ts.accept_keyword ts "as" then
+          let* a = Ts.expect_ident ts in
+          Ok (Some a)
+        else Ok None
+      in
+      let entry = { item; alias } in
+      if Ts.accept_punct ts "," then items (entry :: acc)
+      else Ok (Select (List.rev (entry :: acc)))
+    in
+    items []
+  end
+  else Ts.error ts "expected Retrieve or Select"
+
+and parse_sources ts =
+  (* 'PATHS P', optionally with (@'ts' [: 'ts']); the PATHS keyword may
+     be omitted for subsequent variables, as in the paper's examples. *)
+  let parse_one () =
+    let _ = Ts.accept_keyword ts "paths" in
+    let* var_name = Ts.expect_ident ts in
+    let* var_tc =
+      if Ts.accept_punct ts "(" then begin
+        let* () = Ts.expect_punct ts "@" in
+        let* tc = parse_tc_spec ts in
+        let* () = Ts.expect_punct ts ")" in
+        Ok (Some tc)
+      end
+      else Ok None
+    in
+    Ok { var_name; var_tc }
+  in
+  let rec more acc =
+    let* v = parse_one () in
+    if Ts.accept_punct ts "," then more (v :: acc) else Ok (List.rev (v :: acc))
+  in
+  more []
+
+and parse_condition ts = parse_or ts
+
+and parse_or ts =
+  let* first = parse_and ts in
+  let rec more acc =
+    if Ts.accept_keyword ts "or" then
+      let* next = parse_and ts in
+      more (Or (acc, next))
+    else Ok acc
+  in
+  more first
+
+and parse_and ts =
+  let* first = parse_unary ts in
+  let rec more acc =
+    if Ts.accept_keyword ts "and" then
+      let* next = parse_unary ts in
+      more (And (acc, next))
+    else Ok acc
+  in
+  more first
+
+and parse_unary ts =
+  if is_keyword ts "not" then begin
+    Ts.advance ts;
+    if Ts.accept_keyword ts "exists" then begin
+      let* () = Ts.expect_punct ts "(" in
+      let* q = parse_query ts in
+      let* () = Ts.expect_punct ts ")" in
+      Ok (Not_exists q)
+    end
+    else
+      let* inner = parse_unary ts in
+      Ok (Not inner)
+  end
+  else if is_keyword ts "exists" then begin
+    Ts.advance ts;
+    let* () = Ts.expect_punct ts "(" in
+    let* q = parse_query ts in
+    let* () = Ts.expect_punct ts ")" in
+    Ok (Exists q)
+  end
+  else if Ts.accept_punct ts "(" then begin
+    let* inner = parse_condition ts in
+    let* () = Ts.expect_punct ts ")" in
+    Ok inner
+  end
+  else parse_primary ts
+
+and parse_primary ts =
+  (* [Ident MATCHES rpe] needs two tokens of lookahead to distinguish
+     from a scalar comparison. *)
+  match (Ts.peek ts, Ts.peek2 ts) with
+  | Lexer.Ident v, Lexer.Ident kw when String.lowercase_ascii kw = "matches" ->
+      Ts.advance ts;
+      Ts.advance ts;
+      let* rpe = Nepal_rpe.Rpe_parser.parse_rpe_from ts in
+      Ok (Matches (v, rpe))
+  | _ ->
+      let* a = parse_scalar ts in
+      let* op = parse_comparison_op ts in
+      let* b = parse_scalar ts in
+      Ok (Cmp (a, op, b))
+
+let parse s =
+  let* ts = Ts.of_string s in
+  let* q = parse_query ts in
+  if Ts.at_eof ts then Ok q else Ts.error ts "trailing tokens after query"
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error e -> invalid_arg ("Query_parser: " ^ e)

@@ -1,0 +1,8 @@
+(** Parser for the full Nepal query language, covering every query form
+    shown in the paper: [Retrieve]/[Select], query-level and
+    per-variable [AT] time points and ranges, [MATCHES] with full RPEs,
+    [source]/[target]/[length] functions with field access, joins, and
+    [NOT EXISTS] subqueries. Keywords are case-insensitive. *)
+
+val parse : string -> (Query_ast.query, string) result
+val parse_exn : string -> Query_ast.query

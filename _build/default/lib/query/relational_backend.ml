@@ -1,0 +1,751 @@
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval = Nepal_temporal.Interval
+module Interval_set = Nepal_temporal.Interval_set
+module Rpe = Nepal_rpe.Rpe
+module Predicate = Nepal_rpe.Predicate
+module R = Nepal_relational
+open Backend_intf
+
+type t = {
+  schema : Schema.t;
+  db : R.Database.t;
+  mutable next_uid : int;
+  mutable clock : Time_point.t;
+  (* uid -> concrete class; mirrors the `uids` directory table for
+     O(1) lookup. *)
+  directory : (int, string) Hashtbl.t;
+  (* (class, field) -> (rows seen at computation time, distinct values):
+     the planner statistics behind anchor costing. *)
+  stats : (string * string, int * int) Hashtbl.t;
+  mutable log : string list;
+  mutable log_len : int;
+}
+
+let ( let* ) = Result.bind
+
+let name = "relational"
+let schema t = t.schema
+let database t = t.db
+
+let max_log = 500
+
+let log_sql t sql =
+  if t.log_len < max_log then begin
+    t.log <- sql :: t.log;
+    t.log_len <- t.log_len + 1
+  end
+
+let take_log t =
+  let l = List.rev t.log in
+  t.log <- [];
+  t.log_len <- 0;
+  l
+
+let reserved_cols = [ "id_"; "source_id_"; "target_id_"; "cls_"; "sys_period" ]
+
+let base_cols sch cls =
+  match Schema.kind_of sch cls with
+  | Some Schema.Edge_kind -> [ "id_"; "source_id_"; "target_id_" ]
+  | _ -> [ "id_" ]
+
+let own_fields sch cls =
+  let all = Schema.fields_of sch cls in
+  match Schema.parent_of sch cls with
+  | Some p when p <> "Any" && p <> "Node" && p <> "Edge" ->
+      let parent_fields = List.map fst (Schema.fields_of sch p) in
+      List.filter (fun (f, _) -> not (List.mem f parent_fields)) all
+  | _ -> all
+
+let table_cols sch cls =
+  (* Parent columns first (INHERITS prefix rule), then own fields. *)
+  let parent_cols =
+    match Schema.parent_of sch cls with
+    | Some p when p <> "Any" ->
+        if p = "Node" || p = "Edge" then base_cols sch cls
+        else base_cols sch cls @ List.map fst (Schema.fields_of sch p)
+    | _ -> base_cols sch cls
+  in
+  parent_cols @ List.map fst (own_fields sch cls)
+
+let create sch =
+  let db = R.Database.create () in
+  let* () = R.Database.create_table db ~name:"uids" [ "id_"; "cls_" ] in
+  (* Create class tables top-down so parents exist first. *)
+  let create_class parent_table cls =
+    let* () =
+      if cls = "Node" || cls = "Edge" then
+        R.Temporal_tables.create db ~name:cls (base_cols sch cls)
+      else begin
+        let clash =
+          List.find_opt
+            (fun (f, _) -> List.mem f reserved_cols)
+            (Schema.fields_of sch cls)
+        in
+        match clash with
+        | Some (f, _) ->
+            Error (Printf.sprintf "field %S of class %S clashes with a reserved column" f cls)
+        | None ->
+            R.Temporal_tables.create db ?parent:parent_table ~name:cls
+              (table_cols sch cls)
+      end
+    in
+    List.fold_left
+      (fun acc child ->
+        let* () = acc in
+        if child = cls then Ok () else Ok ())
+      (Ok ()) []
+  in
+  let rec walk parent_table cls =
+    let* () = create_class parent_table cls in
+    let children =
+      List.filter
+        (fun c -> Schema.parent_of sch c = Some cls)
+        (Schema.all_classes sch)
+    in
+    List.fold_left
+      (fun acc child ->
+        let* () = acc in
+        walk (Some cls) child)
+      (Ok ()) children
+  in
+  let* () = walk None "Node" in
+  let* () = walk None "Edge" in
+  Ok
+    {
+      schema = sch;
+      db;
+      next_uid = 1;
+      clock = Time_point.epoch;
+      directory = Hashtbl.create 4096;
+      stats = Hashtbl.create 64;
+      log = [];
+      log_len = 0;
+    }
+
+let create_exn sch =
+  match create sch with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Relational_backend.create_exn: " ^ e)
+
+(* -- mutations ------------------------------------------------------- *)
+
+let tick t at =
+  if Time_point.compare at t.clock < 0 then
+    Error
+      (Printf.sprintf "transaction time %s precedes clock %s"
+         (Time_point.to_string at) (Time_point.to_string t.clock))
+  else begin
+    t.clock <- at;
+    Ok ()
+  end
+
+let register_uid t uid cls =
+  Hashtbl.replace t.directory uid cls;
+  R.Database.insert t.db "uids" [ ("id_", Value.Int uid); ("cls_", Value.Str cls) ]
+
+let fresh_uid t =
+  let u = t.next_uid in
+  t.next_uid <- u + 1;
+  u
+
+let field_bindings fields = Strmap.bindings fields
+
+let insert_node t ~at ~cls ~fields =
+  let* () = tick t at in
+  let* () =
+    match Schema.kind_of t.schema cls with
+    | Some Schema.Node_kind -> Ok ()
+    | _ -> Error (Printf.sprintf "%S is not a node class" cls)
+  in
+  let* fields = Schema.typecheck_record t.schema cls fields in
+  let uid = fresh_uid t in
+  let* () = register_uid t uid cls in
+  let* () =
+    R.Temporal_tables.insert t.db cls ~at
+      (("id_", Value.Int uid) :: field_bindings fields)
+  in
+  log_sql t
+    (Printf.sprintf "INSERT INTO %s (id_, ...) VALUES (%d, ...)" cls uid);
+  Ok uid
+
+let current_class_of t uid = Hashtbl.find_opt t.directory uid
+
+let where_id uid =
+  R.Expr.Cmp (R.Expr.Col "id_", R.Expr.Eq, R.Expr.Const (Value.Int uid))
+
+let alive t uid =
+  match current_class_of t uid with
+  | None -> false
+  | Some cls -> (
+      let plan =
+        R.Plan.Filter (R.Temporal_tables.current t.db cls, where_id uid)
+      in
+      match R.Plan.run t.db plan with
+      | Ok rs -> R.Plan.rowset_count rs > 0
+      | Error _ -> false)
+
+let insert_edge t ~at ~cls ~src ~dst ~fields =
+  let* () = tick t at in
+  let* () =
+    match Schema.kind_of t.schema cls with
+    | Some Schema.Edge_kind -> Ok ()
+    | _ -> Error (Printf.sprintf "%S is not an edge class" cls)
+  in
+  let* fields = Schema.typecheck_record t.schema cls fields in
+  let* src_cls =
+    match current_class_of t src with
+    | Some c when alive t src -> Ok c
+    | _ -> Error (Printf.sprintf "edge source #%d is not alive" src)
+  in
+  let* dst_cls =
+    match current_class_of t dst with
+    | Some c when alive t dst -> Ok c
+    | _ -> Error (Printf.sprintf "edge target #%d is not alive" dst)
+  in
+  let* () =
+    if Schema.edge_allowed t.schema ~edge:cls ~src:src_cls ~dst:dst_cls then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema forbids edge %s from %s to %s" cls src_cls dst_cls)
+  in
+  let uid = fresh_uid t in
+  let* () = register_uid t uid cls in
+  let* () =
+    R.Temporal_tables.insert t.db cls ~at
+      (("id_", Value.Int uid)
+      :: ("source_id_", Value.Int src)
+      :: ("target_id_", Value.Int dst)
+      :: field_bindings fields)
+  in
+  log_sql t
+    (Printf.sprintf "INSERT INTO %s (id_, source_id_, target_id_, ...) VALUES (%d, %d, %d, ...)"
+       cls uid src dst);
+  Ok uid
+
+let update t ~at uid ~fields =
+  let* () = tick t at in
+  match current_class_of t uid with
+  | None -> Error (Printf.sprintf "#%d unknown" uid)
+  | Some cls ->
+      (* Validate merged record: read current row first. *)
+      let* fields =
+        (* Partial update: typecheck only the supplied fields. *)
+        List.fold_left
+          (fun acc (f, v) ->
+            let* acc = acc in
+            match Schema.field_type t.schema cls f with
+            | None -> Error (Printf.sprintf "class %S has no field %S" cls f)
+            | Some ft ->
+                let* () = Schema.typecheck_value t.schema ft v in
+                Ok ((f, v) :: acc))
+          (Ok []) (Strmap.bindings fields)
+      in
+      let* n = R.Temporal_tables.update t.db cls ~at ~where_:(where_id uid) ~set:fields in
+      if n = 0 then Error (Printf.sprintf "#%d is not alive; cannot update" uid)
+      else begin
+        log_sql t (Printf.sprintf "UPDATE %s SET ... WHERE id_ = %d" cls uid);
+        Ok ()
+      end
+
+let live_incident_edges t uid =
+  (* Scan the Edge family's current rows for either endpoint. *)
+  let plan =
+    R.Plan.Filter
+      ( R.Temporal_tables.current t.db "Edge",
+        R.Expr.Or
+          ( R.Expr.Cmp (R.Expr.Col "source_id_", R.Expr.Eq, R.Expr.Const (Value.Int uid)),
+            R.Expr.Cmp (R.Expr.Col "target_id_", R.Expr.Eq, R.Expr.Const (Value.Int uid)) ) )
+  in
+  match R.Plan.run t.db plan with
+  | Ok rs ->
+      List.filter_map
+        (fun row ->
+          match R.Plan.column_value rs row "id_" with
+          | Value.Int i -> Some i
+          | _ -> None)
+        rs.R.Plan.rows
+  | Error _ -> []
+
+let rec delete t ~at ?(cascade = false) uid =
+  let* () = tick t at in
+  match current_class_of t uid with
+  | None -> Error (Printf.sprintf "#%d unknown" uid)
+  | Some cls -> (
+      match Schema.kind_of t.schema cls with
+      | Some Schema.Edge_kind ->
+          let* n = R.Temporal_tables.delete t.db cls ~at ~where_:(where_id uid) in
+          if n = 0 then Error (Printf.sprintf "#%d is not alive" uid)
+          else begin
+            log_sql t (Printf.sprintf "DELETE FROM %s WHERE id_ = %d" cls uid);
+            Ok ()
+          end
+      | _ ->
+          let incident = List.sort_uniq Int.compare (live_incident_edges t uid) in
+          if incident <> [] && not cascade then
+            Error (Printf.sprintf "node #%d has %d live incident edges" uid (List.length incident))
+          else
+            let* () =
+              List.fold_left
+                (fun acc e ->
+                  let* () = acc in
+                  delete t ~at e)
+                (Ok ()) incident
+            in
+            let* n = R.Temporal_tables.delete t.db cls ~at ~where_:(where_id uid) in
+            if n = 0 then Error (Printf.sprintf "#%d is not alive" uid)
+            else begin
+              log_sql t (Printf.sprintf "DELETE FROM %s WHERE id_ = %d" cls uid);
+              Ok ()
+            end)
+
+(* -- mirroring a native store --------------------------------------- *)
+
+let mirror_store t store =
+  let module GS = Nepal_store.Graph_store in
+  let module E = Nepal_store.Entity in
+  let uids = List.init (GS.count_entities store) (fun i -> i + 1) in
+  let insert_version uid (v : E.t) =
+    let row =
+      ("id_", Value.Int uid)
+      :: ("sys_period", R.Ivalue.of_interval v.period)
+      :: (match v.endpoints with
+         | Some (s, d) -> [ ("source_id_", Value.Int s); ("target_id_", Value.Int d) ]
+         | None -> [])
+      @ Strmap.bindings v.fields
+    in
+    let table =
+      if Interval.is_current v.period then v.cls
+      else R.Temporal_tables.history_name v.cls
+    in
+    R.Database.insert t.db table row
+  in
+  List.fold_left
+    (fun acc uid ->
+      let* () = acc in
+      match GS.versions store uid with
+      | [] -> Ok ()
+      | (first :: _) as versions ->
+          let* () = register_uid t uid first.E.cls in
+          if uid >= t.next_uid then t.next_uid <- uid + 1;
+          List.fold_left
+            (fun acc v ->
+              let* () = acc in
+              insert_version uid v)
+            (Ok ()) versions)
+    (Ok ()) uids
+
+let stored_rows t =
+  R.Database.total_rows t.db
+  - (match R.Database.table t.db "uids" with
+    | Ok tbl -> R.Table.row_count tbl
+    | Error _ -> 0)
+
+(* -- reading --------------------------------------------------------- *)
+
+(* Compile a Nepal predicate to an engine expression over the class
+   table's columns. *)
+let rec compile_pred (p : Predicate.t) : R.Expr.t =
+  match p with
+  | Predicate.True -> R.Expr.tt
+  | Predicate.And (a, b) -> R.Expr.And (compile_pred a, compile_pred b)
+  | Predicate.Or (a, b) -> R.Expr.Or (compile_pred a, compile_pred b)
+  | Predicate.Not a -> R.Expr.Not (compile_pred a)
+  | Predicate.Cmp (path, op, lit) ->
+      let base =
+        match path with
+        | [] -> R.Expr.Const Value.Null
+        | head :: rest ->
+            List.fold_left
+              (fun acc f -> R.Expr.Data_field (acc, f))
+              (R.Expr.Col head) rest
+      in
+      let op' =
+        match op with
+        | Predicate.Eq -> R.Expr.Eq
+        | Predicate.Ne -> R.Expr.Ne
+        | Predicate.Lt -> R.Expr.Lt
+        | Predicate.Le -> R.Expr.Le
+        | Predicate.Gt -> R.Expr.Gt
+        | Predicate.Ge -> R.Expr.Ge
+      in
+      R.Expr.Cmp (base, op', R.Expr.Const lit)
+
+let run_logged t plan =
+  log_sql t (R.Plan.to_sql plan);
+  R.Plan.run t.db plan
+
+let element_of_row sch cls rs row =
+  let is_node = Schema.kind_of sch cls = Some Schema.Node_kind in
+  let fields =
+    List.fold_left
+      (fun acc (f, _) ->
+        Strmap.add f (R.Plan.column_value rs row f) acc)
+      Strmap.empty (Schema.fields_of sch cls)
+  in
+  let fields =
+    if is_node then fields
+    else
+      fields
+      |> Strmap.add "source_id_" (R.Plan.column_value rs row "source_id_")
+      |> Strmap.add "target_id_" (R.Plan.column_value rs row "target_id_")
+  in
+  match R.Plan.column_value rs row "id_" with
+  | Value.Int uid -> Some { Path.uid; cls; fields; is_node }
+  | _ -> None
+
+(* Latest qualifying row per uid from a (possibly multi-version) scan. *)
+let dedup_latest rs =
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      match R.Plan.column_value rs row "id_" with
+      | Value.Int uid -> (
+          let period = R.Plan.column_value rs row "sys_period" in
+          match Hashtbl.find_opt best uid with
+          | Some (p0, _) when Value.compare p0 period >= 0 -> ()
+          | _ -> Hashtbl.replace best uid (period, row))
+      | _ -> ())
+    rs.R.Plan.rows;
+  Hashtbl.fold (fun uid (_, row) acc -> (uid, row) :: acc) best []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let select_atom t ~tc (a : Rpe.atom) =
+  let sch = t.schema in
+  let concrete = Schema.concrete_subclasses sch a.Rpe.cls in
+  let temporal_filter =
+    match tc with
+    | Time_constraint.Snapshot ->
+        R.Expr.Period_is_current (R.Expr.Col "sys_period")
+    | Time_constraint.At p ->
+        R.Expr.Period_contains (R.Expr.Col "sys_period", R.Expr.Const (Value.Time p))
+    | Time_constraint.Range (w0, w1) ->
+        R.Expr.Period_overlaps
+          ( R.Expr.Col "sys_period",
+            R.Expr.Const (Value.Time w0),
+            R.Expr.Const (Value.Time w1) )
+  in
+  List.concat_map
+    (fun cls ->
+      (* ONLY-scan each concrete table so child columns survive. *)
+      let base =
+        R.Plan.Union_all
+          [
+            R.Plan.Scan { table = cls; only = true };
+            R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
+          ]
+      in
+      let residual = R.Expr.And (temporal_filter, compile_pred a.Rpe.pred) in
+      (* An equality predicate becomes an index-style probe: a hash
+         join against the cached build side keyed by that column. *)
+      let plan =
+        match Predicate.equality_lookups a.Rpe.pred with
+        | (field, v) :: _ ->
+            R.Plan.Hash_join
+              {
+                left =
+                  R.Plan.Values { cols = [ "probe_val" ]; rows = [ [| v |] ] };
+                right = base;
+                left_key = R.Expr.Col "probe_val";
+                right_key = R.Expr.Col field;
+                residual;
+              }
+        | [] -> R.Plan.Filter (base, residual)
+      in
+      match run_logged t plan with
+      | Error _ -> []
+      | Ok rs ->
+          dedup_latest rs
+          |> List.filter_map (fun row -> element_of_row sch cls rs row))
+    concrete
+
+(* Distinct-value statistics per (class, field), recomputed lazily when
+   the extent has grown substantially — the planner statistics the
+   paper mentions ("database statistics are used if available"). *)
+let distinct_values t cls field =
+  let rows, classes =
+    List.fold_left
+      (fun (acc, cs) c ->
+        match R.Database.table t.db c with
+        | Ok tbl -> (acc + R.Table.row_count tbl, tbl :: cs)
+        | Error _ -> (acc, cs))
+      (0, [])
+      (Schema.concrete_subclasses t.schema cls)
+  in
+  match Hashtbl.find_opt t.stats (cls, field) with
+  | Some (seen_rows, distinct) when rows <= 2 * max 1 seen_rows -> (rows, distinct)
+  | _ ->
+      let seen = Hashtbl.create 256 in
+      List.iter
+        (fun tbl ->
+          match R.Table.col_index tbl field with
+          | None -> ()
+          | Some idx ->
+              List.iter
+                (fun row -> Hashtbl.replace seen (Value.hash row.(idx)) ())
+                (R.Table.rows_in_order tbl))
+        classes;
+      let distinct = max 1 (Hashtbl.length seen) in
+      Hashtbl.replace t.stats (cls, field) (rows, distinct);
+      (rows, distinct)
+
+let estimate_atom t (a : Rpe.atom) =
+  let sch = t.schema in
+  let count =
+    List.fold_left
+      (fun acc cls ->
+        match R.Database.table t.db cls with
+        | Ok tbl -> acc + R.Table.row_count tbl
+        | Error _ -> acc)
+      0
+      (Schema.concrete_subclasses sch a.Rpe.cls)
+  in
+  let countf =
+    if count > 0 then float_of_int count
+    else
+      match Schema.cardinality_hint sch a.Rpe.cls with
+      | Some h -> float_of_int h
+      | None -> 100_000.
+  in
+  match Predicate.equality_lookups a.Rpe.pred with
+  | (field, _) :: _ when count > 0 ->
+      let rows, distinct = distinct_values t a.Rpe.cls field in
+      Float.max 1. (float_of_int rows /. float_of_int distinct)
+  | _ :: _ -> Float.max 1. (countf /. 100.)
+  | [] -> countf
+
+
+(* Point lookups go through a hash join against the class's historical
+   union so the engine's join cache (one hash build per table version)
+   serves them in O(1) — the analog of the primary-key index a real
+   Postgres would have on id_. *)
+let rows_by_uid t cls uids =
+  let base =
+    R.Plan.Union_all
+      [
+        R.Plan.Scan { table = cls; only = true };
+        R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
+      ]
+  in
+  let plan =
+    R.Plan.Hash_join
+      {
+        left =
+          R.Plan.Values
+            { cols = [ "probe_uid" ];
+              rows = List.map (fun u -> [| Value.Int u |]) uids };
+        right = base;
+        left_key = R.Expr.Col "probe_uid";
+        right_key = R.Expr.Col "id_";
+        residual = R.Expr.tt;
+      }
+  in
+  match R.Plan.run t.db plan with Ok rs -> Some rs | Error _ -> None
+
+let temporal_filter_expr tc =
+  match tc with
+  | Time_constraint.Snapshot -> R.Expr.Period_is_current (R.Expr.Col "sys_period")
+  | Time_constraint.At p ->
+      R.Expr.Period_contains (R.Expr.Col "sys_period", R.Expr.Const (Value.Time p))
+  | Time_constraint.Range (w0, w1) ->
+      R.Expr.Period_overlaps
+        ( R.Expr.Col "sys_period",
+          R.Expr.Const (Value.Time w0),
+          R.Expr.Const (Value.Time w1) )
+
+let element_by_uid t ~tc uid =
+  match current_class_of t uid with
+  | None -> None
+  | Some cls -> (
+      match rows_by_uid t cls [ uid ] with
+      | None -> None
+      | Some rs -> (
+          let env row = R.Plan.column_value rs row in
+          let qualifying =
+            List.filter
+              (fun row ->
+                match R.Ivalue.to_interval (env row "sys_period") with
+                | Some iv -> Time_constraint.admits tc iv
+                | None -> false)
+              rs.R.Plan.rows
+          in
+          match dedup_latest { rs with R.Plan.rows = qualifying } with
+          | row :: _ -> element_of_row t.schema cls rs row
+          | [] -> None))
+
+(* The paper's Extend: a hash join between the frontier temp relation
+   and each relevant class table, with the cycle-exclusion predicate
+   id_ != ANY(uid_list). *)
+let bulk_extend t ~tc ~dir ~spec items =
+  let sch = t.schema in
+  (* Partition frontier items by whether they sit on a node or an edge. *)
+  let node_items = List.filter (fun i -> i.frontier.Path.is_node) items in
+  let edge_items = List.filter (fun i -> not i.frontier.Path.is_node) items in
+  (* The paper's approach: the partial paths live in a TEMP table which
+     each Extend joins against the relevant class tables. *)
+  let frontier_temp is =
+    let values =
+      R.Plan.Values
+        {
+          cols = [ "item_id"; "curr_uid"; "uid_list" ];
+          rows =
+            List.map
+              (fun i ->
+                [|
+                  Value.Int i.item_id;
+                  Value.Int i.frontier.Path.uid;
+                  Value.List (List.map (fun u -> Value.Int u) i.visited);
+                |])
+              is;
+        }
+    in
+    match R.Plan.create_temp t.db values with
+    | Ok name ->
+        log_sql t
+          (Printf.sprintf "CREATE TEMP TABLE %s (item_id, curr_uid, uid_list) -- %d paths"
+             name (List.length is));
+        Some name
+    | Error _ -> None
+  in
+  (* Candidate edge classes to join against when extending from nodes. *)
+  let edge_classes =
+    if spec.with_skip then Schema.concrete_subclasses sch "Edge"
+    else
+      List.concat_map
+        (fun (a : Rpe.atom) ->
+          match Rpe.atom_kind sch a with
+          | Some Schema.Edge_kind -> Schema.concrete_subclasses sch a.Rpe.cls
+          | _ -> [])
+        spec.atoms
+      |> List.sort_uniq String.compare
+  in
+  let from_nodes =
+    if node_items = [] || edge_classes = [] then []
+    else
+      let key_col = match dir with Fwd -> "source_id_" | Bwd -> "target_id_" in
+      match frontier_temp node_items with
+      | None -> []
+      | Some temp ->
+      let results = List.concat_map
+        (fun cls ->
+          let scan =
+            R.Plan.Filter
+              ( R.Plan.Union_all
+                  [
+                    R.Plan.Scan { table = cls; only = true };
+                    R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
+                  ],
+                temporal_filter_expr tc )
+          in
+          let join =
+            R.Plan.Hash_join
+              {
+                left = R.Plan.Scan { table = temp; only = true };
+                right = scan;
+                left_key = R.Expr.Col "curr_uid";
+                right_key = R.Expr.Col key_col;
+                residual =
+                  R.Expr.Not
+                    (R.Expr.Arr_contains (R.Expr.Col "id_", R.Expr.Col "uid_list"));
+              }
+          in
+          match run_logged t join with
+          | Error _ -> []
+          | Ok rs ->
+              (* One extension per (item, edge uid): dedup versions. *)
+              let seen = Hashtbl.create 64 in
+              List.filter_map
+                (fun row ->
+                  match
+                    ( R.Plan.column_value rs row "item_id",
+                      R.Plan.column_value rs row "id_" )
+                  with
+                  | Value.Int item_id, Value.Int _ ->
+                      let uid =
+                        match R.Plan.column_value rs row "id_" with
+                        | Value.Int u -> u
+                        | _ -> -1
+                      in
+                      if Hashtbl.mem seen (item_id, uid) then None
+                      else begin
+                        Hashtbl.replace seen (item_id, uid) ();
+                        match element_of_row sch cls rs row with
+                        | Some e -> Some (item_id, e)
+                        | None -> None
+                      end
+                  | _ -> None)
+                rs.R.Plan.rows)
+        edge_classes
+      in
+      ignore (R.Database.drop_table t.db temp);
+      results
+  in
+  (* From an edge the next element is its endpoint node. *)
+  let from_edges =
+    List.filter_map
+      (fun i ->
+        let key = match dir with Fwd -> "target_id_" | Bwd -> "source_id_" in
+        match Strmap.find_opt key i.frontier.Path.fields with
+        | Some (Value.Int next_uid) ->
+            if List.mem next_uid i.visited then None
+            else
+              Option.map (fun e -> (i.item_id, e)) (element_by_uid t ~tc next_uid)
+        | _ -> None)
+      edge_items
+  in
+  from_nodes @ from_edges
+
+let presence t ~uid ~window:(w0, w1) ~pred =
+  match current_class_of t uid with
+  | None -> Interval_set.empty
+  | Some cls -> (
+      match rows_by_uid t cls [ uid ] with
+      | None -> Interval_set.empty
+      | Some rs ->
+          List.fold_left
+            (fun acc row ->
+              let fields_ok =
+                match pred with
+                | None -> true
+                | Some p ->
+                    let fields =
+                      List.fold_left
+                        (fun m (f, _) -> Strmap.add f (R.Plan.column_value rs row f) m)
+                        Strmap.empty
+                        (Schema.fields_of t.schema cls)
+                    in
+                    p fields
+              in
+              if not fields_ok then acc
+              else
+                match R.Ivalue.to_interval (R.Plan.column_value rs row "sys_period") with
+                | Some iv when Interval.overlaps iv (Interval.between w0 w1) ->
+                    Interval_set.add iv acc
+                | _ -> acc)
+            Interval_set.empty rs.R.Plan.rows)
+
+let version_boundaries t ~uid ~window:(w0, w1) =
+  match current_class_of t uid with
+  | None -> []
+  | Some cls -> (
+      match rows_by_uid t cls [ uid ] with
+      | None -> []
+      | Some rs ->
+          let in_window p =
+            Time_point.compare w0 p <= 0 && Time_point.compare p w1 < 0
+          in
+          List.concat_map
+            (fun row ->
+              match R.Ivalue.to_interval (R.Plan.column_value rs row "sys_period") with
+              | Some iv ->
+                  (if in_window iv.Interval.start then [ iv.Interval.start ] else [])
+                  @ (match iv.Interval.stop with
+                    | Some e when in_window e -> [ e ]
+                    | _ -> [])
+              | None -> [])
+            rs.R.Plan.rows
+          |> List.sort_uniq Time_point.compare)

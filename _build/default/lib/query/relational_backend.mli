@@ -1,0 +1,67 @@
+(** The PostgreSQL-style target (Section 5.2).
+
+    Each Nepal node/edge class becomes a temporal table pair (current +
+    history) in the mini relational engine, INHERITing from its parent
+    class's table exactly as the paper's
+
+    {v
+    Create Table VM( ... ) INHERITS(Node);
+    Create Table VMWare( ... ) INHERITS(VM);
+    v}
+
+    Node tables carry [id_]; edge tables add [source_id_] and
+    [target_id_]; a [uids] directory table enforces uid uniqueness and
+    records each uid's concrete class. Extend operators run as hash
+    joins between a temp table of partial paths and the relevant class
+    tables — irrelevant edge classes are never touched, which is the
+    mechanism behind the Section 6 re-classing speedup. The SQL text of
+    every plan executed is available from {!take_log}. *)
+
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+
+type t
+
+val create : Schema.t -> (t, string) result
+(** Builds the full DDL for the schema's class hierarchy. *)
+
+val create_exn : Schema.t -> t
+
+val database : t -> Nepal_relational.Database.t
+(** The underlying engine, for inspection and ad-hoc relational
+    queries over the same data (the paper's "graph data can be readily
+    mixed with relational data"). *)
+
+(** {1 Mutations} (same contract as {!Nepal_store.Graph_store}) *)
+
+val insert_node :
+  t -> at:Time_point.t -> cls:string -> fields:Value.t Strmap.t ->
+  (int, string) result
+
+val insert_edge :
+  t -> at:Time_point.t -> cls:string -> src:int -> dst:int ->
+  fields:Value.t Strmap.t -> (int, string) result
+
+val update :
+  t -> at:Time_point.t -> int -> fields:Value.t Strmap.t -> (unit, string) result
+
+val delete : t -> at:Time_point.t -> ?cascade:bool -> int -> (unit, string) result
+
+val mirror_store : t -> Nepal_store.Graph_store.t -> (unit, string) result
+(** Replay every version of every entity of a native store into the
+    relational representation, preserving uids and transaction times.
+    The store must use the same schema. *)
+
+(** {1 Storage accounting} *)
+
+val stored_rows : t -> int
+(** All rows across current and history tables (excluding temp). *)
+
+val take_log : t -> string list
+(** SQL statements executed since the last call, oldest first. *)
+
+(** {1 Backend interface} *)
+
+include Backend_intf.S with type t := t

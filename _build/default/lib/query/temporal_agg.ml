@@ -1,0 +1,65 @@
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval = Nepal_temporal.Interval
+module Interval_set = Nepal_temporal.Interval_set
+module Rpe = Nepal_rpe.Rpe
+
+let ( let* ) = Result.bind
+
+let when_exists conn ~window:(a, b) ?max_length norm =
+  let tc = Time_constraint.range a b in
+  let* paths = Eval_rpe.find conn ~tc ?max_length norm in
+  Ok
+    (List.fold_left
+       (fun acc (p : Path.t) ->
+         match p.valid with
+         | Some v -> Interval_set.union acc v
+         | None -> acc)
+       Interval_set.empty paths)
+
+let first_time_when_exists conn ~window ?max_length norm =
+  let* s = when_exists conn ~window ?max_length norm in
+  Ok (Interval_set.first_start s)
+
+let last_time_when_exists conn ~window ?max_length norm =
+  let* s = when_exists conn ~window ?max_length norm in
+  Ok (Interval_set.last_moment s)
+
+type evolution_step = {
+  at : Time_point.t;
+  element_uid : int;
+  change : [ `Appeared | `Changed | `Disappeared ];
+}
+
+let path_evolution conn ~window:(a, b) uids =
+  let steps =
+    List.concat_map
+      (fun uid ->
+        let boundaries = Backend_intf.version_boundaries conn ~uid ~window:(a, b) in
+        List.filter_map
+          (fun at ->
+            (* Classify by existence just before vs at the boundary. *)
+            let existed_before =
+              Backend_intf.element_by_uid conn
+                ~tc:(Time_constraint.at (Time_point.add_seconds at (-1e-6)))
+                uid
+              <> None
+            in
+            let exists_at =
+              Backend_intf.element_by_uid conn ~tc:(Time_constraint.at at) uid
+              <> None
+            in
+            match (existed_before, exists_at) with
+            | false, true -> Some { at; element_uid = uid; change = `Appeared }
+            | true, true -> Some { at; element_uid = uid; change = `Changed }
+            | true, false -> Some { at; element_uid = uid; change = `Disappeared }
+            | false, false -> None)
+          boundaries)
+      uids
+  in
+  List.sort
+    (fun s1 s2 ->
+      match Time_point.compare s1.at s2.at with
+      | 0 -> Int.compare s1.element_uid s2.element_uid
+      | c -> c)
+    steps

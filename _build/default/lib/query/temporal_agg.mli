@@ -1,0 +1,47 @@
+(** The targeted temporal aggregation queries of Section 4:
+    [First Time When Exists], [Last Time When Exists], [When Exists],
+    and path evolution. All are answered from a time-range query's
+    results, as the paper notes they can be. *)
+
+module Time_point = Nepal_temporal.Time_point
+module Interval_set = Nepal_temporal.Interval_set
+module Time_constraint = Nepal_temporal.Time_constraint
+module Rpe = Nepal_rpe.Rpe
+
+val when_exists :
+  Backend_intf.conn ->
+  window:Time_point.t * Time_point.t ->
+  ?max_length:int ->
+  Rpe.norm ->
+  (Interval_set.t, string) result
+(** The union of validity intervals over all satisfying pathways: when
+    (within the window) did {e some} satisfying pathway exist? *)
+
+val first_time_when_exists :
+  Backend_intf.conn ->
+  window:Time_point.t * Time_point.t ->
+  ?max_length:int ->
+  Rpe.norm ->
+  (Time_point.t option, string) result
+
+val last_time_when_exists :
+  Backend_intf.conn ->
+  window:Time_point.t * Time_point.t ->
+  ?max_length:int ->
+  Rpe.norm ->
+  ([ `Never | `Still_exists | `Ended of Time_point.t ], string) result
+
+type evolution_step = {
+  at : Time_point.t;
+  element_uid : int;
+  change : [ `Appeared | `Changed | `Disappeared ];
+}
+
+val path_evolution :
+  Backend_intf.conn ->
+  window:Time_point.t * Time_point.t ->
+  int list ->
+  evolution_step list
+(** Track the version changes of a specific pathway (given by its node
+    and edge uids) within the window — the visualization-support query
+    of Section 4. Steps are ordered by time. *)

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Hashtbl Join_cache List Nepal_schema Printf String Table

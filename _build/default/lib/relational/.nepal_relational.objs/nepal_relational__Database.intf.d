@@ -1,0 +1,1 @@
+lib/relational/database.mli: Join_cache Nepal_schema Table

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Ivalue List Nepal_schema Nepal_temporal Nepal_util Printf String

@@ -1,0 +1,1 @@
+lib/relational/ivalue.ml: Fun List Nepal_schema Nepal_temporal Option

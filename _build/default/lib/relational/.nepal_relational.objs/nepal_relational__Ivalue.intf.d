@@ -1,0 +1,1 @@
+lib/relational/ivalue.mli: Nepal_schema Nepal_temporal

@@ -1,0 +1,1 @@
+lib/relational/join_cache.ml: Hashtbl Nepal_schema

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Database Expr Hashtbl Ivalue Join_cache List Nepal_schema Nepal_temporal Printf Result String Table

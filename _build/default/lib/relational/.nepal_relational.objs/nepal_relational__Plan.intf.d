@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Database Expr Nepal_schema

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array List Nepal_schema Printf

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Nepal_schema

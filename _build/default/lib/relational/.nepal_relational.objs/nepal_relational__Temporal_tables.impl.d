@@ -1,0 +1,1 @@
+lib/relational/temporal_tables.ml: Array Database Expr Hashtbl Ivalue List Nepal_schema Nepal_temporal Option Plan Printf Result Table

@@ -1,0 +1,1 @@
+lib/relational/temporal_tables.mli: Database Expr Nepal_schema Nepal_temporal Plan

@@ -1,0 +1,115 @@
+module Value = Nepal_schema.Value
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  child_index : (string, string list) Hashtbl.t;
+  temp : (string, unit) Hashtbl.t;
+  mutable temp_counter : int;
+  jcache : Join_cache.t;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 64;
+    child_index = Hashtbl.create 64;
+    temp = Hashtbl.create 16;
+    temp_counter = 0;
+    jcache = Join_cache.create ();
+  }
+
+let join_cache t = t.jcache
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Ok tbl
+  | None -> Error (Printf.sprintf "no such table %S" name)
+
+let mem_table t name = Hashtbl.mem t.tables name
+
+(* Postgres INHERITS merges columns by name; the child must have every
+   parent column (scans project by name, so ordering is free). *)
+let has_all_parent_cols ~parent_cols cols =
+  Array.for_all (fun c -> List.mem c cols) parent_cols
+
+let create_table t ?parent ?(temp = false) ~name cols =
+  if Hashtbl.mem t.tables name then
+    Error (Printf.sprintf "table %S already exists" name)
+  else
+    let check_parent =
+      match parent with
+      | None -> Ok ()
+      | Some p -> (
+          match Hashtbl.find_opt t.tables p with
+          | None -> Error (Printf.sprintf "parent table %S does not exist" p)
+          | Some ptbl ->
+              if has_all_parent_cols ~parent_cols:ptbl.Table.cols cols then Ok ()
+              else
+                Error
+                  (Printf.sprintf
+                     "child table %S must include all of parent %S's columns"
+                     name p))
+    in
+    match check_parent with
+    | Error e -> Error e
+    | Ok () ->
+        Hashtbl.replace t.tables name (Table.make ?parent ~name cols);
+        (match parent with
+        | Some p ->
+            let existing =
+              match Hashtbl.find_opt t.child_index p with Some l -> l | None -> []
+            in
+            Hashtbl.replace t.child_index p (existing @ [ name ])
+        | None -> ());
+        if temp then Hashtbl.replace t.temp name ();
+        Ok ()
+
+let children t name =
+  match Hashtbl.find_opt t.child_index name with Some l -> l | None -> []
+
+let family t name =
+  let rec collect n = n :: List.concat_map collect (children t n) in
+  collect name
+
+let drop_table t name =
+  if not (Hashtbl.mem t.tables name) then
+    Error (Printf.sprintf "no such table %S" name)
+  else if children t name <> [] then
+    Error (Printf.sprintf "table %S has child tables" name)
+  else begin
+    let parent =
+      match Hashtbl.find_opt t.tables name with
+      | Some tbl -> tbl.Table.parent
+      | None -> None
+    in
+    Hashtbl.remove t.tables name;
+    Hashtbl.remove t.temp name;
+    (match parent with
+    | Some p ->
+        Hashtbl.replace t.child_index p
+          (List.filter (fun c -> c <> name) (children t p))
+    | None -> ());
+    Ok ()
+  end
+
+let drop_temp_tables t =
+  let temps = Hashtbl.fold (fun name () acc -> name :: acc) t.temp [] in
+  List.iter (fun name -> ignore (drop_table t name)) temps
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare
+
+let insert t name bindings =
+  match table t name with
+  | Error e -> Error e
+  | Ok tbl -> Table.insert tbl bindings
+
+let total_rows t =
+  Hashtbl.fold
+    (fun name tbl acc ->
+      if Hashtbl.mem t.temp name then acc else acc + Table.row_count tbl)
+    t.tables 0
+
+let fresh_temp_name t =
+  t.temp_counter <- t.temp_counter + 1;
+  Printf.sprintf "tmp_%d" t.temp_counter

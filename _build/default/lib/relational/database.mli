@@ -1,0 +1,39 @@
+(** The catalog: named tables, [INHERITS] hierarchy, temp tables. *)
+
+module Value = Nepal_schema.Value
+
+type t
+
+val create : unit -> t
+
+val create_table :
+  t -> ?parent:string -> ?temp:bool -> name:string -> string list ->
+  (unit, string) result
+(** A child table must include all of its parent's columns (by name,
+    in any order — scans project by name, as Postgres INHERITS merges
+    columns); it may add its own. *)
+
+val drop_table : t -> string -> (unit, string) result
+(** Dropping a table with children is an error. *)
+
+val drop_temp_tables : t -> unit
+
+val table : t -> string -> (Table.t, string) result
+val mem_table : t -> string -> bool
+val table_names : t -> string list
+val children : t -> string -> string list
+(** Direct children. *)
+
+val family : t -> string -> string list
+(** The table and all (transitive) children, scan order. *)
+
+val insert : t -> string -> (string * Value.t) list -> (unit, string) result
+
+val total_rows : t -> int
+(** Across all non-temp tables — storage accounting. *)
+
+val fresh_temp_name : t -> string
+
+val join_cache : t -> Join_cache.t
+(** Internal: cached hash-join build sides (the engine's analog of
+    maintained indexes). *)

@@ -1,0 +1,147 @@
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Cmp of t * comparison * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arr_lit of t list
+  | Arr_concat of t * t
+  | Arr_contains of t * t
+  | Data_field of t * string
+  | Period_contains of t * t
+  | Period_is_current of t
+  | Period_overlaps of t * t * t
+  | Period_clip of t * t * t
+  | Iset_inter of t * t
+  | Iset_nonempty of t
+
+type row_env = string -> Value.t
+
+let compare_op op a b =
+  if a = Value.Null || b = Value.Null then false
+  else
+    let c = Value.compare a b in
+    match op with
+    | Eq -> c = 0
+    | Ne -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let rec eval env = function
+  | Col c -> env c
+  | Const v -> v
+  | Cmp (a, op, b) -> Value.Bool (compare_op op (eval env a) (eval env b))
+  | And (a, b) -> Value.Bool (to_bool (eval env a) && to_bool (eval env b))
+  | Or (a, b) -> Value.Bool (to_bool (eval env a) || to_bool (eval env b))
+  | Not a -> Value.Bool (not (to_bool (eval env a)))
+  | Arr_lit es -> Value.List (List.map (eval env) es)
+  | Arr_concat (a, b) -> (
+      match (eval env a, eval env b) with
+      | Value.List x, Value.List y -> Value.List (x @ y)
+      | _ -> Value.Null)
+  | Arr_contains (x, arr) -> (
+      match eval env arr with
+      | Value.List items ->
+          let v = eval env x in
+          Value.Bool (List.exists (Value.equal v) items)
+      | _ -> Value.Bool false)
+  | Data_field (e, f) -> (
+      match eval env e with
+      | Value.Data (_, fields) -> Strmap.find_opt_or f ~default:Value.Null fields
+      | _ -> Value.Null)
+  | Period_contains (p, t) -> (
+      match eval env t with
+      | Value.Time tp -> Value.Bool (Ivalue.contains (eval env p) tp)
+      | _ -> Value.Bool false)
+  | Period_is_current p -> Value.Bool (Ivalue.is_current (eval env p))
+  | Period_overlaps (p, a, b) -> (
+      match (eval env a, eval env b) with
+      | Value.Time ta, Value.Time tb ->
+          Value.Bool (Ivalue.overlaps_window (eval env p) ta tb)
+      | _ -> Value.Bool false)
+  | Period_clip (p, a, b) -> (
+      match (eval env a, eval env b) with
+      | Value.Time ta, Value.Time tb -> Ivalue.restrict_window (eval env p) ta tb
+      | _ -> Value.Null)
+  | Iset_inter (a, b) -> Ivalue.inter (eval env a) (eval env b)
+  | Iset_nonempty a -> Value.Bool (Ivalue.nonempty (eval env a))
+
+and to_bool = function Value.Bool b -> b | _ -> false
+
+let eval_bool env e = to_bool (eval env e)
+
+let conj = function
+  | [] -> Const (Value.Bool true)
+  | first :: rest -> List.fold_left (fun acc e -> And (acc, e)) first rest
+
+let tt = Const (Value.Bool true)
+
+let columns e =
+  let rec collect acc = function
+    | Col c -> c :: acc
+    | Const _ -> acc
+    | Cmp (a, _, b) | And (a, b) | Or (a, b) | Arr_concat (a, b)
+    | Arr_contains (a, b) | Period_contains (a, b) | Iset_inter (a, b) ->
+        collect (collect acc a) b
+    | Not a | Data_field (a, _) | Period_is_current a | Iset_nonempty a ->
+        collect acc a
+    | Arr_lit es -> List.fold_left collect acc es
+    | Period_overlaps (a, b, c) | Period_clip (a, b, c) ->
+        collect (collect (collect acc a) b) c
+  in
+  List.sort_uniq String.compare (collect [] e)
+
+let comparison_sql = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let sql_string_literal s =
+  "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let rec value_sql = function
+  | Value.Null -> "NULL"
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> string_of_float f
+  | Value.Str s -> sql_string_literal s
+  | Value.Ip ip -> sql_string_literal (Value.ip_to_string ip)
+  | Value.Time t ->
+      sql_string_literal (Nepal_temporal.Time_point.to_string t) ^ "::timestamptz"
+  | Value.List items | Value.Vset items ->
+      "ARRAY[" ^ String.concat ", " (List.map value_sql items) ^ "]"
+  | Value.Vmap _ | Value.Data _ as v ->
+      sql_string_literal (Value.to_string v) ^ "::jsonb"
+
+let rec to_sql = function
+  | Col c -> c
+  | Const v -> value_sql v
+  | Cmp (a, op, b) ->
+      Printf.sprintf "%s %s %s" (to_sql a) (comparison_sql op) (to_sql b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (to_sql a) (to_sql b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (to_sql a) (to_sql b)
+  | Not a -> Printf.sprintf "NOT (%s)" (to_sql a)
+  | Arr_lit es -> "ARRAY[" ^ String.concat ", " (List.map to_sql es) ^ "]"
+  | Arr_concat (a, b) -> Printf.sprintf "%s || %s" (to_sql a) (to_sql b)
+  | Arr_contains (x, arr) ->
+      Printf.sprintf "%s = ANY(%s)" (to_sql x) (to_sql arr)
+  | Data_field (e, f) -> Printf.sprintf "(%s).%s" (to_sql e) f
+  | Period_contains (p, t) -> Printf.sprintf "%s @> %s" (to_sql p) (to_sql t)
+  | Period_is_current p -> Printf.sprintf "upper_inf(%s)" (to_sql p)
+  | Period_overlaps (p, a, b) ->
+      Printf.sprintf "%s && tstzrange(%s, %s)" (to_sql p) (to_sql a) (to_sql b)
+  | Period_clip (p, a, b) ->
+      Printf.sprintf "%s * tstzrange(%s, %s)" (to_sql p) (to_sql a) (to_sql b)
+  | Iset_inter (a, b) -> Printf.sprintf "range_intersect_agg(%s, %s)" (to_sql a) (to_sql b)
+  | Iset_nonempty a -> Printf.sprintf "NOT isempty(%s)" (to_sql a)

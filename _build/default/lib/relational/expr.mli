@@ -1,0 +1,42 @@
+(** Scalar expressions of the relational engine: column references,
+    constants, the array operations the paper's generated SQL relies on
+    ([ARRAY\[x\] || uid_list], [id != ANY(uid_list)]), boolean
+    connectives, and transaction-time period helpers. *)
+
+module Value = Nepal_schema.Value
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Cmp of t * comparison * t      (** three-valued: [Null] operands yield false *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arr_lit of t list              (** [ARRAY\[e1, …\]] *)
+  | Arr_concat of t * t            (** [a || b] on arrays *)
+  | Arr_contains of t * t          (** [x = ANY(arr)] *)
+  | Data_field of t * string       (** drill into a composite value *)
+  | Period_contains of t * t       (** [sys_period @> t] *)
+  | Period_is_current of t
+  | Period_overlaps of t * t * t   (** period, window start, window end *)
+  | Period_clip of t * t * t       (** period clipped to window, as a set *)
+  | Iset_inter of t * t
+  | Iset_nonempty of t
+
+type row_env = string -> Value.t
+(** Column lookup; unknown columns are [Null]. *)
+
+val eval : row_env -> t -> Value.t
+val eval_bool : row_env -> t -> bool
+
+val conj : t list -> t
+val tt : t
+
+val columns : t -> string list
+(** Columns referenced (with duplicates removed). *)
+
+val to_sql : t -> string
+(** Postgres-flavoured rendering (for the paper's code-generation
+    story; the engine itself executes the AST). *)

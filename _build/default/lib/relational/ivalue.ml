@@ -1,0 +1,56 @@
+module Value = Nepal_schema.Value
+module Interval = Nepal_temporal.Interval
+module Interval_set = Nepal_temporal.Interval_set
+module Time_point = Nepal_temporal.Time_point
+
+let of_interval (iv : Interval.t) =
+  Value.List
+    [
+      Value.Time iv.start;
+      (match iv.stop with None -> Value.Null | Some e -> Value.Time e);
+    ]
+
+let to_interval = function
+  | Value.List [ Value.Time s; Value.Null ] -> Some (Interval.from s)
+  | Value.List [ Value.Time s; Value.Time e ] when Time_point.compare s e < 0 ->
+      Some (Interval.between s e)
+  | _ -> None
+
+let of_interval_set s =
+  Value.List (List.map of_interval (Interval_set.to_list s))
+
+let to_interval_set = function
+  | Value.List items ->
+      let decoded = List.map to_interval items in
+      if List.exists Option.is_none decoded then None
+      else Some (Interval_set.of_list (List.filter_map Fun.id decoded))
+  | _ -> None
+
+let inter a b =
+  match (to_interval_set a, to_interval_set b) with
+  | Some x, Some y -> of_interval_set (Interval_set.inter x y)
+  | _ -> Value.Null
+
+let nonempty v =
+  match to_interval_set v with
+  | Some s -> not (Interval_set.is_empty s)
+  | None -> false
+
+let contains v tp =
+  match to_interval v with Some iv -> Interval.contains iv tp | None -> false
+
+let overlaps_window v a b =
+  match to_interval v with
+  | Some iv -> Interval.overlaps iv (Interval.between a b)
+  | None -> false
+
+let restrict_window v a b =
+  match to_interval v with
+  | Some iv -> (
+      match Interval.intersect iv (Interval.between a b) with
+      | Some clipped -> of_interval_set (Interval_set.singleton clipped)
+      | None -> of_interval_set Interval_set.empty)
+  | None -> Value.Null
+
+let is_current v =
+  match to_interval v with Some iv -> Interval.is_current iv | None -> false

@@ -1,0 +1,29 @@
+(** Encoding of transaction-time intervals and interval sets as plain
+    {!Nepal_schema.Value} data, so they can live in relational rows (the
+    analog of Postgres [tstzrange] columns used by the paper's
+    [temporal_tables] extension). *)
+
+module Value = Nepal_schema.Value
+module Interval = Nepal_temporal.Interval
+module Interval_set = Nepal_temporal.Interval_set
+module Time_point = Nepal_temporal.Time_point
+
+val of_interval : Interval.t -> Value.t
+val to_interval : Value.t -> Interval.t option
+
+val of_interval_set : Interval_set.t -> Value.t
+val to_interval_set : Value.t -> Interval_set.t option
+
+val inter : Value.t -> Value.t -> Value.t
+(** Interval-set intersection on encoded values; [Null] when either
+    side fails to decode. *)
+
+val nonempty : Value.t -> bool
+val contains : Value.t -> Time_point.t -> bool
+(** Interval (not set) membership, Postgres [sys_period @> t]. *)
+
+val overlaps_window : Value.t -> Time_point.t -> Time_point.t -> bool
+val restrict_window : Value.t -> Time_point.t -> Time_point.t -> Value.t
+(** Interval clipped to [\[a,b)] and promoted to a singleton set. *)
+
+val is_current : Value.t -> bool

@@ -1,0 +1,15 @@
+(* Cached build sides of hash joins, keyed by the SQL text of the build
+   plan and invalidated by table version counters — the engine's analog
+   of a maintained index. *)
+
+module Value = Nepal_schema.Value
+
+type entry = {
+  deps : (string * int) list; (* table name, version at build time *)
+  buckets : (int, (Value.t * Value.t array) list) Hashtbl.t;
+  cols : string array;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 64

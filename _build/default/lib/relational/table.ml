@@ -1,0 +1,73 @@
+module Value = Nepal_schema.Value
+
+type t = {
+  name : string;
+  parent : string option;
+  cols : string array;
+  mutable rows : Value.t array list;
+  mutable version_ : int;
+}
+
+let make ?parent ~name cols =
+  { name; parent; cols = Array.of_list cols; rows = []; version_ = 0 }
+
+let bump t = t.version_ <- t.version_ + 1
+let version t = t.version_
+
+let col_index t c =
+  let n = Array.length t.cols in
+  let rec find i = if i >= n then None else if t.cols.(i) = c then Some i else find (i + 1) in
+  find 0
+
+let insert t bindings =
+  let row = Array.make (Array.length t.cols) Value.Null in
+  let rec fill = function
+    | [] ->
+        t.rows <- row :: t.rows;
+        Ok ()
+    | (c, v) :: rest -> (
+        match col_index t c with
+        | Some i ->
+            row.(i) <- v;
+            fill rest
+        | None -> Error (Printf.sprintf "table %s has no column %s" t.name c))
+  in
+  bump t;
+  fill bindings
+
+let insert_row t row =
+  if Array.length row <> Array.length t.cols then
+    Error
+      (Printf.sprintf "table %s expects %d columns, got %d" t.name
+         (Array.length t.cols) (Array.length row))
+  else begin
+    bump t;
+    t.rows <- row :: t.rows;
+    Ok ()
+  end
+
+let row_count t = List.length t.rows
+let rows_in_order t = List.rev t.rows
+let clear t =
+  bump t;
+  t.rows <- []
+
+let delete_where t pred =
+  bump t;
+  let before = List.length t.rows in
+  t.rows <- List.filter (fun r -> not (pred r)) t.rows;
+  before - List.length t.rows
+
+let update_where t pred f =
+  bump t;
+  let n = ref 0 in
+  t.rows <-
+    List.map
+      (fun r ->
+        if pred r then begin
+          incr n;
+          f r
+        end
+        else r)
+      t.rows;
+  !n

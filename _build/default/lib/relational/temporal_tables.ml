@@ -1,0 +1,122 @@
+module Value = Nepal_schema.Value
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval = Nepal_temporal.Interval
+
+let sys_period_col = "sys_period"
+let history_name t = t ^ "__history"
+
+let ( let* ) = Result.bind
+
+let create db ?parent ~name cols =
+  if List.mem sys_period_col cols then
+    Error (Printf.sprintf "column name %S is reserved" sys_period_col)
+  else
+    let full = cols @ [ sys_period_col ] in
+    let* () = Database.create_table db ?parent ~name full in
+    Database.create_table db
+      ?parent:(Option.map history_name parent)
+      ~name:(history_name name) full
+
+let insert db name ~at bindings =
+  let period = Ivalue.of_interval (Interval.from at) in
+  Database.insert db name ((sys_period_col, period) :: bindings)
+
+let close_period row idx at =
+  match Ivalue.to_interval row.(idx) with
+  | Some iv when Interval.is_current iv ->
+      Some (Ivalue.of_interval (Interval.close iv at))
+  | _ -> None
+
+let matching_pred tbl where_ =
+  let cols = tbl.Table.cols in
+  let index = Hashtbl.create (Array.length cols) in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) cols;
+  fun row ->
+    Expr.eval_bool
+      (fun c ->
+        match Hashtbl.find_opt index c with
+        | Some i -> row.(i)
+        | None -> Value.Null)
+      where_
+
+let update db name ~at ~where_ ~set =
+  let* tbl = Database.table db name in
+  let* hist = Database.table db (history_name name) in
+  let pred = matching_pred tbl where_ in
+  let* sys_idx =
+    match Table.col_index tbl sys_period_col with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%S is not a temporal table" name)
+  in
+  let* set_indexed =
+    List.fold_left
+      (fun acc (c, v) ->
+        let* acc = acc in
+        match Table.col_index tbl c with
+        | Some i -> Ok ((i, v) :: acc)
+        | None -> Error (Printf.sprintf "table %S has no column %S" name c))
+      (Ok []) set
+  in
+  let n =
+    Table.update_where tbl pred (fun row ->
+        (match close_period row sys_idx at with
+        | Some closed ->
+            let archived = Array.copy row in
+            archived.(sys_idx) <- closed;
+            ignore (Table.insert_row hist archived)
+        | None -> ());
+        let row' = Array.copy row in
+        List.iter (fun (i, v) -> row'.(i) <- v) set_indexed;
+        row'.(sys_idx) <- Ivalue.of_interval (Interval.from at);
+        row')
+  in
+  Ok n
+
+let delete db name ~at ~where_ =
+  let* tbl = Database.table db name in
+  let* hist = Database.table db (history_name name) in
+  let pred = matching_pred tbl where_ in
+  let* sys_idx =
+    match Table.col_index tbl sys_period_col with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%S is not a temporal table" name)
+  in
+  let n =
+    Table.delete_where tbl (fun row ->
+        if pred row then begin
+          (match close_period row sys_idx at with
+          | Some closed ->
+              let archived = Array.copy row in
+              archived.(sys_idx) <- closed;
+              ignore (Table.insert_row hist archived)
+          | None -> ());
+          true
+        end
+        else false)
+  in
+  Ok n
+
+let current _db name = Plan.Scan { table = name; only = false }
+
+let historical _db name =
+  Plan.Union_all
+    [
+      Plan.Scan { table = name; only = false };
+      Plan.Scan { table = history_name name; only = false };
+    ]
+
+let slice db name (tc : Time_constraint.t) =
+  match tc with
+  | Time_constraint.Snapshot -> current db name
+  | Time_constraint.At t ->
+      Plan.Filter
+        ( historical db name,
+          Expr.Period_contains (Expr.Col sys_period_col, Expr.Const (Value.Time t)) )
+  | Time_constraint.Range (a, b) ->
+      Plan.Filter
+        ( historical db name,
+          Expr.Period_overlaps
+            ( Expr.Col sys_period_col,
+              Expr.Const (Value.Time a),
+              Expr.Const (Value.Time b) ) )

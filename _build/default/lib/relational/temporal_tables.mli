@@ -1,0 +1,49 @@
+(** The analog of the Postgres [temporal_tables] extension used by the
+    paper (Section 5.3): each temporal table [t] is a pair of heap
+    tables — [t] holding current versions and [t__history] holding
+    closed versions — plus a [t__historical] union view. Every row
+    carries a [sys_period] transaction-time column maintained by this
+    module. INHERITS hierarchies are mirrored onto the history tables. *)
+
+module Value = Nepal_schema.Value
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+
+val sys_period_col : string
+(** ["sys_period"] — appended automatically; caller columns must not
+    use the name. *)
+
+val history_name : string -> string
+(** [t__history]. *)
+
+val create :
+  Database.t -> ?parent:string -> name:string -> string list ->
+  (unit, string) result
+(** [parent], when given, must itself be a temporal table. *)
+
+val insert :
+  Database.t -> string -> at:Time_point.t ->
+  (string * Value.t) list -> (unit, string) result
+
+val update :
+  Database.t -> string -> at:Time_point.t -> where_:Expr.t ->
+  set:(string * Value.t) list -> (int, string) result
+(** Matching current rows get a closed copy in the history table and
+    updated fields with a fresh open [sys_period]. Matches only rows of
+    the named table itself, not INHERITS children (mirror Postgres
+    [UPDATE ONLY]). Returns the match count. *)
+
+val delete :
+  Database.t -> string -> at:Time_point.t -> where_:Expr.t ->
+  (int, string) result
+
+val current : Database.t -> string -> Plan.t
+(** Scan of current versions (including INHERITS children). *)
+
+val historical : Database.t -> string -> Plan.t
+(** The [t__historical] view: current UNION ALL history. *)
+
+val slice : Database.t -> string -> Time_constraint.t -> Plan.t
+(** The plan reading exactly the versions visible under the constraint:
+    current for [Snapshot]; historical filtered by [sys_period @> t]
+    for [At]; historical filtered by window overlap for [Range]. *)

@@ -1,0 +1,1 @@
+lib/rpe/anchor.ml: Array Fun List Option Predicate Printf Rpe

@@ -1,0 +1,1 @@
+lib/rpe/anchor.mli: Rpe

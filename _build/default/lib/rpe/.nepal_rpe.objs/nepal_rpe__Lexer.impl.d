@@ -1,0 +1,1 @@
+lib/rpe/lexer.ml: Buffer List Printf String

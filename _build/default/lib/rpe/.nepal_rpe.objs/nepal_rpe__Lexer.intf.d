@@ -1,0 +1,1 @@
+lib/rpe/lexer.mli:

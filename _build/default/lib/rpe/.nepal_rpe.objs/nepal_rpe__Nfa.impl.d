@@ -1,0 +1,1 @@
+lib/rpe/nfa.ml: Array List Rpe

@@ -1,0 +1,1 @@
+lib/rpe/predicate.ml: Format List Nepal_schema Nepal_temporal Nepal_util Printf Result String

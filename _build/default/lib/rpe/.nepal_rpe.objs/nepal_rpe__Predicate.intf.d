@@ -1,0 +1,1 @@
+lib/rpe/predicate.mli: Format Nepal_schema Nepal_util

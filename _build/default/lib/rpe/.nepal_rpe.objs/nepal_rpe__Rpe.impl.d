@@ -1,0 +1,1 @@
+lib/rpe/rpe.ml: Format List Nepal_schema Predicate Printf Result String

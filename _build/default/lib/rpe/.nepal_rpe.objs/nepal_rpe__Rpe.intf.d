@@ -1,0 +1,1 @@
+lib/rpe/rpe.mli: Format Nepal_schema Nepal_util Predicate

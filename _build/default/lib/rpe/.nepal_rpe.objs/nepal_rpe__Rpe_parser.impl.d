@@ -1,0 +1,1 @@
+lib/rpe/rpe_parser.ml: Lexer List Nepal_schema Predicate Printf Result Rpe String Token_stream

@@ -1,0 +1,1 @@
+lib/rpe/rpe_parser.mli: Rpe Token_stream

@@ -1,0 +1,1 @@
+lib/rpe/token_stream.ml: Lexer Printf String

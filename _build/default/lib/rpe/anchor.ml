@@ -1,0 +1,90 @@
+type split = {
+  before : Rpe.norm option;
+  anchor : Rpe.atom;
+  after : Rpe.norm option;
+}
+
+type selection = { splits : split list; cost : float }
+
+(* Compose a list of optional RPEs into an optional sequence. *)
+let seq_opt parts =
+  match List.filter_map Fun.id parts with
+  | [] -> None
+  | [ one ] -> Some one
+  | many -> Some (Rpe.N_seq many)
+
+let map_splits f sel = { sel with splits = List.map f sel.splits }
+
+let rec enumerate ~cost (r : Rpe.norm) : selection list =
+  match r with
+  | Rpe.N_atom a -> [ { splits = [ { before = None; anchor = a; after = None } ];
+                        cost = cost a } ]
+  | Rpe.N_seq rs ->
+      (* An anchor inside item k keeps the other items as prefix/suffix
+         context. *)
+      let arr = Array.of_list rs in
+      let n = Array.length arr in
+      List.concat
+        (List.init n (fun k ->
+             let prefix = Array.to_list (Array.sub arr 0 k) in
+             let suffix = Array.to_list (Array.sub arr (k + 1) (n - k - 1)) in
+             let wrap (s : split) =
+               {
+                 s with
+                 before = seq_opt (List.map Option.some prefix @ [ s.before ]);
+                 after = seq_opt ((s.after :: List.map Option.some suffix));
+               }
+             in
+             List.map (map_splits wrap) (enumerate ~cost arr.(k))))
+  | Rpe.N_alt rs ->
+      (* Keep only the best anchor per branch and return their union as
+         a single candidate (avoids the cross-product explosion). *)
+      let best_per_branch =
+        List.map
+          (fun branch ->
+            match enumerate ~cost branch with
+            | [] -> None
+            | cands ->
+                Some
+                  (List.fold_left
+                     (fun acc c -> if c.cost < acc.cost then c else acc)
+                     (List.hd cands) (List.tl cands)))
+          rs
+      in
+      if List.exists Option.is_none best_per_branch then []
+      else
+        let chosen = List.filter_map Fun.id best_per_branch in
+        [
+          {
+            splits = List.concat_map (fun c -> c.splits) chosen;
+            cost = List.fold_left (fun acc c -> acc +. c.cost) 0. chosen;
+          };
+        ]
+  | Rpe.N_rep (inner, i, j) ->
+      if i = 0 then []
+      else
+        (* Repetition(r,i,j) = Sequence(r, Repetition(r,i-1,j-1)); the
+           anchor set comes from the first copy. *)
+        let rest = if j - 1 >= 1 then Some (Rpe.N_rep (inner, i - 1, j - 1)) else None in
+        let wrap (s : split) = { s with after = seq_opt [ s.after; rest ] } in
+        List.map (map_splits wrap) (enumerate ~cost inner)
+
+let select ~cost r =
+  match enumerate ~cost r with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "RPE %s has no anchor: every satisfying set is unbounded (did you \
+            use only {0,n} repetition blocks?)"
+           (Rpe.norm_to_string r))
+  | first :: rest ->
+      Ok (List.fold_left (fun acc c -> if c.cost < acc.cost then c else acc) first rest)
+
+let split_to_string s =
+  let part = function
+    | None -> "·"
+    | Some r -> Rpe.norm_to_string r
+  in
+  Printf.sprintf "%s ⟨%s(%s)⟩ %s" (part s.before) s.anchor.Rpe.cls
+    (Predicate.to_string s.anchor.Rpe.pred)
+    (part s.after)

@@ -1,0 +1,35 @@
+(** Anchor enumeration, costing and selection (Section 5.1).
+
+    An anchor is a small set of atoms that "splits" the RPE: every
+    satisfying pathway passes through exactly one of them. Evaluation
+    starts at the anchor's records and extends forwards through the
+    suffix RPE and backwards through the (reversed) prefix. Inside an
+    alternation, the anchor is the union of one anchor per branch (the
+    cross-product blow-up is avoided by keeping only the cheapest
+    anchor of each branch, as the paper's implementation does).
+    Repetitions [\[r\]{i,j}] with [i >= 1] contribute anchors from the
+    unrolled first copy; with [i = 0] they cannot be split (the empty
+    pathway satisfies them). *)
+
+type split = {
+  before : Rpe.norm option;  (** RPE to the left of the anchor atom *)
+  anchor : Rpe.atom;
+  after : Rpe.norm option;   (** RPE to the right *)
+}
+
+type selection = {
+  splits : split list;
+      (** One split per alternation branch covered; evaluating the RPE =
+          union of evaluating each split. *)
+  cost : float;  (** sum of estimated anchor-atom cardinalities *)
+}
+
+val enumerate : cost:(Rpe.atom -> float) -> Rpe.norm -> selection list
+(** All candidate anchors with their costs. Empty when the RPE has no
+    anchor (e.g. only [{0,j}] repetition blocks). *)
+
+val select : cost:(Rpe.atom -> float) -> Rpe.norm -> (selection, string) result
+(** The cheapest candidate, or an error explaining that the RPE is not
+    anchorable. *)
+
+val split_to_string : split -> string

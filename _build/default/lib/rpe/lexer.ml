@@ -1,0 +1,96 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Punct of string
+  | Eof
+
+type spanned = { token : token; pos : int }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character punctuation first, so that arrow beats minus and
+   less-equal beats less-than. *)
+let puncts =
+  [ "->"; "!="; "<>"; "<="; ">="; "("; ")"; "["; "]"; "{"; "}"; ","; "."; "=";
+    "<"; ">"; "|"; ":"; "@"; "*"; "-"; "+"; "/" ]
+
+let tokenize input =
+  let n = String.length input in
+  let rec skip_ws i =
+    if i < n && (input.[i] = ' ' || input.[i] = '\t' || input.[i] = '\n' || input.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let starts_with_at i p =
+    let lp = String.length p in
+    i + lp <= n && String.sub input i lp = p
+  in
+  let rec loop i acc =
+    let i = skip_ws i in
+    if i >= n then Ok (List.rev ({ token = Eof; pos = i } :: acc))
+    else
+      let c = input.[i] in
+      if is_ident_start c then begin
+        let rec fin j = if j < n && is_ident_char input.[j] then fin (j + 1) else j in
+        let j = fin i in
+        loop j ({ token = Ident (String.sub input i (j - i)); pos = i } :: acc)
+      end
+      else if is_digit c then begin
+        let rec fin j = if j < n && is_digit input.[j] then fin (j + 1) else j in
+        let j = fin i in
+        (* A '.' followed by a digit makes it a float; a '.' followed by
+           an identifier is field access on an integer literal, which we
+           leave to the parser to reject. *)
+        if j < n && input.[j] = '.' && j + 1 < n && is_digit input.[j + 1] then begin
+          let k = fin (j + 1) in
+          match float_of_string_opt (String.sub input i (k - i)) with
+          | Some f -> loop k ({ token = Float_lit f; pos = i } :: acc)
+          | None -> Error (Printf.sprintf "bad float literal at offset %d" i)
+        end
+        else
+          match int_of_string_opt (String.sub input i (j - i)) with
+          | Some v -> loop j ({ token = Int_lit v; pos = i } :: acc)
+          | None -> Error (Printf.sprintf "bad integer literal at offset %d" i)
+      end
+      else if c = '\'' then begin
+        (* Single-quoted string; '' escapes a quote (SQL style). *)
+        let buf = Buffer.create 16 in
+        let rec fin j =
+          if j >= n then Error (Printf.sprintf "unterminated string at offset %d" i)
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              fin (j + 2)
+            end
+            else Ok (j + 1)
+          else begin
+            Buffer.add_char buf input.[j];
+            fin (j + 1)
+          end
+        in
+        match fin (i + 1) with
+        | Error e -> Error e
+        | Ok j ->
+            loop j ({ token = String_lit (Buffer.contents buf); pos = i } :: acc)
+      end
+      else
+        match List.find_opt (starts_with_at i) puncts with
+        | Some p ->
+            loop (i + String.length p) ({ token = Punct p; pos = i } :: acc)
+        | None -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  loop 0 []
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit v -> string_of_int v
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Punct p -> p
+  | Eof -> "<eof>"

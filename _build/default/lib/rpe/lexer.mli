@@ -1,0 +1,21 @@
+(** Tokenizer shared by the RPE parser and the Nepal query-language
+    parser. Identifiers are case-preserving; keywords are recognized by
+    the parsers case-insensitively (the paper's examples mix [Where],
+    [WHERE] and [where]). *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** single-quoted *)
+  | Punct of string
+      (** one of: [->] [|] [(] [)] [\[] [\]] [{] [}] [,] [.] [=] [!=]
+          [<>] [<=] [>=] [<] [>] [:] [@] [*] [-] *)
+  | Eof
+
+type spanned = { token : token; pos : int }
+
+val tokenize : string -> (spanned list, string) result
+(** The result always ends with an [Eof] token. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,247 @@
+type transition = Match of Rpe.atom | Skip
+
+(* Which element kinds a transition may consume: node, edge, or both. *)
+type kinds = { k_node : bool; k_edge : bool }
+
+type t = {
+  n_states : int;
+  moves : (transition * kinds * int) list array; (* consuming transitions *)
+  eps : int list array;
+  start_state : int;
+  accept : int;
+}
+
+type states = int list
+
+(* -- construction --------------------------------------------------- *)
+
+type builder = {
+  mutable next : int;
+  mutable b_moves : (int * transition * int) list;
+  mutable b_eps : (int * int) list;
+}
+
+let fresh b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_move b s tr t = b.b_moves <- (s, tr, t) :: b.b_moves
+let add_eps b s t = b.b_eps <- (s, t) :: b.b_eps
+
+(* A junction between two concatenated sub-RPEs: either adjacent (eps)
+   or one unmatched element in between (skip) — the paper's 4-case
+   concatenation rule. *)
+let junction b a_accept b_start =
+  add_eps b a_accept b_start;
+  add_move b a_accept Skip b_start
+
+let rec build b (r : Rpe.norm) =
+  match r with
+  | Rpe.N_atom a ->
+      let s = fresh b and t = fresh b in
+      add_move b s (Match a) t;
+      (s, t)
+  | Rpe.N_seq rs ->
+      let frags = List.map (build b) rs in
+      let rec link = function
+        | [ (s, t) ] -> (s, t)
+        | (s, t) :: ((s', _) :: _ as rest) ->
+            junction b t s';
+            let _, last_t = link rest in
+            (s, last_t)
+        | [] -> invalid_arg "Nfa.build: empty sequence"
+      in
+      link frags
+  | Rpe.N_alt rs ->
+      let s = fresh b and t = fresh b in
+      List.iter
+        (fun r ->
+          let s', t' = build b r in
+          add_eps b s s';
+          add_eps b t' t)
+        rs;
+      (s, t)
+  | Rpe.N_rep (r, i, j) ->
+      (* Unroll into j copies with junctions; accepting after each copy
+         with index >= max i 1; the whole block is skippable when i=0. *)
+      let s = fresh b and t = fresh b in
+      let copies = List.init j (fun _ -> build b r) in
+      let rec wire k prev_accept = function
+        | [] -> ()
+        | (cs, ct) :: rest ->
+            (match prev_accept with
+            | None -> add_eps b s cs
+            | Some pa -> junction b pa cs);
+            if k >= max i 1 then add_eps b ct t;
+            wire (k + 1) (Some ct) rest
+      in
+      wire 1 None copies;
+      if i = 0 then add_eps b s t;
+      (s, t)
+
+(* Fixpoint kind inference: pathway elements alternate node/edge, so a
+   transition may consume kind k only if some transition that can
+   follow it consumes the flipped kind — or it can reach the accept
+   state directly, in which case it consumed the pathway's final
+   element, a node. *)
+let infer_kinds ~kind_of n_states raw_moves eps accept =
+  let eps_closure_of = Array.make n_states [] in
+  for s = 0 to n_states - 1 do
+    let seen = Array.make n_states false in
+    let rec visit x =
+      if not seen.(x) then begin
+        seen.(x) <- true;
+        List.iter visit eps.(x)
+      end
+    in
+    visit s;
+    let acc = ref [] in
+    for x = n_states - 1 downto 0 do
+      if seen.(x) then acc := x :: !acc
+    done;
+    eps_closure_of.(s) <- !acc
+  done;
+  let moves_arr = Array.of_list raw_moves in
+  let n_trans = Array.length moves_arr in
+  let kinds =
+    Array.map
+      (fun (_, tr, _) ->
+        match tr with
+        | Skip -> { k_node = true; k_edge = true }
+        | Match a -> (
+            match kind_of a with
+            | Some `Node -> { k_node = true; k_edge = false }
+            | Some `Edge -> { k_node = false; k_edge = true }
+            | None -> { k_node = true; k_edge = true }))
+      moves_arr
+  in
+  (* followers.(i): indexes of transitions leaving eps_closure(target i);
+     accept_after.(i): accept reachable without consuming. *)
+  let leaving = Array.make n_states [] in
+  Array.iteri
+    (fun i (s, _, _) -> leaving.(s) <- i :: leaving.(s))
+    moves_arr;
+  let followers = Array.make n_trans [] in
+  let accept_after = Array.make n_trans false in
+  Array.iteri
+    (fun i (_, _, target) ->
+      let closure = eps_closure_of.(target) in
+      accept_after.(i) <- List.mem accept closure;
+      followers.(i) <- List.concat_map (fun s -> leaving.(s)) closure)
+    moves_arr;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n_trans - 1 do
+      let k = kinds.(i) in
+      let followers_admit flipped_is_node =
+        List.exists
+          (fun j ->
+            let kj = kinds.(j) in
+            if flipped_is_node then kj.k_node else kj.k_edge)
+          followers.(i)
+      in
+      (* Consuming a node is feasible if we may stop here (final
+         pathway element) or an edge-consuming transition follows. *)
+      let node_ok = k.k_node && (accept_after.(i) || followers_admit false) in
+      let edge_ok = k.k_edge && followers_admit true in
+      if node_ok <> k.k_node || edge_ok <> k.k_edge then begin
+        kinds.(i) <- { k_node = node_ok; k_edge = edge_ok };
+        changed := true
+      end
+    done
+  done;
+  (moves_arr, kinds)
+
+let compile ?(lead_skip = true) ?(trail_skip = true) ?(kind_of = fun _ -> None) r
+    =
+  let b = { next = 0; b_moves = []; b_eps = [] } in
+  let s, t = build b r in
+  let start_state =
+    if lead_skip then begin
+      let s' = fresh b in
+      add_eps b s' s;
+      add_move b s' Skip s;
+      s'
+    end
+    else s
+  in
+  let accept =
+    if trail_skip then begin
+      let t' = fresh b in
+      add_eps b t t';
+      add_move b t Skip t';
+      t'
+    end
+    else t
+  in
+  let n = b.next in
+  let eps = Array.make n [] in
+  List.iter (fun (x, y) -> eps.(x) <- y :: eps.(x)) b.b_eps;
+  let moves_arr, kinds = infer_kinds ~kind_of n b.b_moves eps accept in
+  let moves = Array.make n [] in
+  Array.iteri
+    (fun i (x, tr, y) -> moves.(x) <- (tr, kinds.(i), y) :: moves.(x))
+    moves_arr;
+  { n_states = n; moves; eps; start_state; accept }
+
+let size t = t.n_states
+
+(* -- simulation ----------------------------------------------------- *)
+
+let eps_closure t states =
+  let seen = Array.make t.n_states false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter visit t.eps.(s)
+    end
+  in
+  List.iter visit states;
+  let acc = ref [] in
+  for s = t.n_states - 1 downto 0 do
+    if seen.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let start t = eps_closure t [ t.start_state ]
+
+let kind_admits kinds ~is_node =
+  if is_node then kinds.k_node else kinds.k_edge
+
+let step t ~matches ~is_node states =
+  let next = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (tr, kinds, s') ->
+          if kind_admits kinds ~is_node then
+            match tr with
+            | Match a -> if matches a then next := s' :: !next
+            | Skip -> next := s' :: !next)
+        t.moves.(s))
+    states;
+  eps_closure t !next
+
+let accepting t states = List.mem t.accept states
+
+let outgoing_atoms t states =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun (tr, kinds, _) ->
+          match tr with
+          | Match a when kinds.k_node || kinds.k_edge -> Some a
+          | Match _ | Skip -> None)
+        t.moves.(s))
+    states
+
+let can_skip t ~is_node states =
+  List.exists
+    (fun s ->
+      List.exists
+        (fun (tr, kinds, _) ->
+          match tr with Skip -> kind_admits kinds ~is_node | Match _ -> false)
+        t.moves.(s))
+    states

@@ -1,0 +1,57 @@
+(** Nondeterministic finite automata over pathway elements, compiled
+    from normalized RPEs (Section 5.1).
+
+    Each consuming transition either matches an element against an atom
+    or skips one unmatched element. Skip transitions exist at every
+    concatenation junction (the paper's 4-case concatenation rule) and
+    at the two pathway boundaries (an edge atom has implicit endpoint
+    nodes).
+
+    Because pathway elements strictly alternate node/edge, each
+    transition can only ever consume one kind; the compiler infers the
+    feasible kinds by fixpoint (a skip whose successors all match edge
+    atoms can only consume a node, etc.). This lets the evaluator tell
+    backends exactly which element classes an Extend must consider —
+    the pruning that the paper's class partitioning exploits. *)
+
+type transition = Match of Rpe.atom | Skip
+
+type t
+
+val compile :
+  ?lead_skip:bool ->
+  ?trail_skip:bool ->
+  ?kind_of:(Rpe.atom -> [ `Node | `Edge ] option) ->
+  Rpe.norm ->
+  t
+(** Boundary skips (both default [true]) realize the implicit endpoint
+    nodes of edge atoms. Anchored evaluation disables [lead_skip]
+    because the walk starts exactly at the anchor element. [kind_of]
+    (typically {!Rpe.atom_kind} partially applied to a schema) enables
+    the kind-inference pruning; without it every transition is assumed
+    able to consume both kinds. *)
+
+val size : t -> int
+
+type states = int list
+(** Sorted, duplicate-free, eps-closed. *)
+
+val start : t -> states
+
+val step : t -> matches:(Rpe.atom -> bool) -> is_node:bool -> states -> states
+(** Consume one element of the given kind. [matches] says whether a
+    given atom matches the element; skip transitions fire only when
+    their inferred kinds admit the element. Result is eps-closed; empty
+    means the automaton is dead. *)
+
+val accepting : t -> states -> bool
+
+val outgoing_atoms : t -> states -> Rpe.atom list
+(** The atoms on Match transitions leaving the state set — what the
+    next element could be matched against (used by backends to restrict
+    neighbourhood expansion to relevant classes). *)
+
+val can_skip : t -> is_node:bool -> states -> bool
+(** Could a skip transition from these states productively consume an
+    element of the given kind? When false, backends need not fetch
+    candidates outside the {!outgoing_atoms} classes. *)

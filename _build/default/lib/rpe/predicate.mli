@@ -1,0 +1,43 @@
+(** Predicates over the fields of a node or edge, as written inside RPE
+    atoms: [VM(status='Green')], [Host(id=23245)].
+
+    A field path with more than one component drills into composite
+    data-type values ([port.address = 10.0.0.1]). Comparisons against
+    [Null] never hold (SQL-style semantics). *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of string list * comparison * Nepal_schema.Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val conj : t list -> t
+(** Conjunction of a list ([True] when empty). *)
+
+val eval : t -> Nepal_schema.Value.t Nepal_util.Strmap.t -> bool
+
+val typecheck :
+  Nepal_schema.Schema.t -> cls:string -> t -> (unit, string) result
+(** Atoms are strongly typed: every field path must start at a declared
+    field of [cls] (Section 3.3), and the literal must be compatible
+    with the field's type. *)
+
+val coerce : Nepal_schema.Schema.t -> cls:string -> t -> (t, string) result
+(** Typecheck and additionally rewrite literals to the field's declared
+    type where the textual form is ambiguous: quoted strings become
+    {!Nepal_temporal.Time_point} or IPv4 values against [time]/[ip]
+    fields, integer literals become floats against [float] fields. *)
+
+val equality_lookups : t -> (string * Nepal_schema.Value.t) list
+(** Top-level conjunctive single-field equalities — what an index or
+    anchor-cardinality estimate can exploit, e.g. [id = 23245]. *)
+
+val comparison_to_string : comparison -> string
+val to_string : t -> string
+(** Rendered as the comma-separated atom-argument form. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

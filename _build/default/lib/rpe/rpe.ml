@@ -1,0 +1,154 @@
+module Schema = Nepal_schema.Schema
+
+type atom = { cls : string; pred : Predicate.t }
+
+let atom ?(pred = Predicate.True) cls = { cls; pred }
+
+type t =
+  | Atom of atom
+  | Seq of t * t
+  | Alt of t * t
+  | Rep of t * int * int
+
+type norm =
+  | N_atom of atom
+  | N_seq of norm list
+  | N_alt of norm list
+  | N_rep of norm * int * int
+
+let rec normalize = function
+  | Atom a -> N_atom a
+  | Seq (a, b) -> (
+      let na = normalize a and nb = normalize b in
+      match (na, nb) with
+      | N_seq xs, N_seq ys -> N_seq (xs @ ys)
+      | N_seq xs, y -> N_seq (xs @ [ y ])
+      | x, N_seq ys -> N_seq (x :: ys)
+      | x, y -> N_seq [ x; y ])
+  | Alt (a, b) -> (
+      let na = normalize a and nb = normalize b in
+      match (na, nb) with
+      | N_alt xs, N_alt ys -> N_alt (xs @ ys)
+      | N_alt xs, y -> N_alt (xs @ [ y ])
+      | x, N_alt ys -> N_alt (x :: ys)
+      | x, y -> N_alt [ x; y ])
+  | Rep (r, i, j) -> (
+      match normalize r with
+      (* [[r]{1,1}] is just r. *)
+      | nr when i = 1 && j = 1 -> nr
+      | nr -> N_rep (nr, i, j))
+
+let rec denormalize = function
+  | N_atom a -> Atom a
+  | N_seq (first :: rest) ->
+      List.fold_left (fun acc r -> Seq (acc, denormalize r)) (denormalize first) rest
+  | N_alt (first :: rest) ->
+      List.fold_left (fun acc r -> Alt (acc, denormalize r)) (denormalize first) rest
+  | N_rep (r, i, j) -> Rep (denormalize r, i, j)
+  | N_seq [] | N_alt [] -> invalid_arg "Rpe.denormalize: empty block"
+
+let ( let* ) = Result.bind
+
+let atom_kind schema (a : atom) = Schema.kind_of schema a.cls
+
+let validate schema rpe =
+  let rec check = function
+    | Atom a -> (
+        match atom_kind schema a with
+        | None ->
+            Error (Printf.sprintf "atom %S does not name a node or edge class" a.cls)
+        | Some _ ->
+            let* pred = Predicate.coerce schema ~cls:a.cls a.pred in
+            Ok (Atom { a with pred }))
+    | Seq (x, y) ->
+        let* x = check x in
+        let* y = check y in
+        Ok (Seq (x, y))
+    | Alt (x, y) ->
+        let* x = check x in
+        let* y = check y in
+        Ok (Alt (x, y))
+    | Rep (r, i, j) ->
+        if i < 0 || j < i || j < 1 then
+          Error (Printf.sprintf "invalid repetition bounds {%d,%d}" i j)
+        else
+          let* r = check r in
+          Ok (Rep (r, i, j))
+  in
+  let* rpe = check rpe in
+  Ok (normalize rpe)
+
+let atom_matches schema (a : atom) ~cls ~fields =
+  Schema.is_subclass schema ~sub:cls ~sup:a.cls && Predicate.eval a.pred fields
+
+let rec min_length = function
+  | N_atom _ -> 1
+  | N_seq rs -> List.fold_left (fun acc r -> acc + min_length r) 0 rs
+  | N_alt rs -> List.fold_left (fun acc r -> min acc (min_length r)) max_int rs
+  | N_rep (r, i, _) -> i * min_length r
+
+(* Each of the (n-1) junctions of a sequence (and between repetition
+   copies) may skip one element; the two implicit pathway endpoints are
+   added once, at the top level. *)
+let rec max_length_inner = function
+  | N_atom _ -> 1
+  | N_seq rs ->
+      List.fold_left (fun acc r -> acc + max_length_inner r) 0 rs
+      + List.length rs - 1
+  | N_alt rs -> List.fold_left (fun acc r -> max acc (max_length_inner r)) 0 rs
+  | N_rep (r, _, j) -> (j * max_length_inner r) + j - 1
+
+let max_length r = max_length_inner r + 2
+
+let rec reverse = function
+  | N_atom a -> N_atom a
+  | N_seq rs -> N_seq (List.rev_map reverse rs)
+  | N_alt rs -> N_alt (List.map reverse rs)
+  | N_rep (r, i, j) -> N_rep (reverse r, i, j)
+
+let rec atoms = function
+  | N_atom a -> [ a ]
+  | N_seq rs | N_alt rs -> List.concat_map atoms rs
+  | N_rep (r, _, _) -> atoms r
+
+let atom_to_string (a : atom) =
+  Printf.sprintf "%s(%s)" a.cls (Predicate.to_string a.pred)
+
+let rec to_string = function
+  | Atom a -> atom_to_string a
+  | Seq (x, y) -> to_string x ^ "->" ^ to_string y
+  | Alt (x, y) -> "(" ^ to_string x ^ "|" ^ to_string y ^ ")"
+  | Rep (r, i, j) -> Printf.sprintf "[%s]{%d,%d}" (to_string r) i j
+
+let rec norm_to_string = function
+  | N_atom a -> atom_to_string a
+  | N_seq rs -> String.concat "->" (List.map norm_to_string_grouped rs)
+  | N_alt rs -> "(" ^ String.concat "|" (List.map norm_to_string rs) ^ ")"
+  | N_rep (r, i, j) -> Printf.sprintf "[%s]{%d,%d}" (norm_to_string r) i j
+
+and norm_to_string_grouped r =
+  match r with
+  | N_alt _ -> norm_to_string r (* already parenthesized *)
+  | N_seq _ -> "(" ^ norm_to_string r ^ ")"
+  | N_atom _ | N_rep _ -> norm_to_string r
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let atom_equal (a : atom) (b : atom) =
+  String.equal a.cls b.cls && Predicate.equal a.pred b.pred
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y -> atom_equal x y
+  | Seq (x, y), Seq (x', y') | Alt (x, y), Alt (x', y') ->
+      equal x x' && equal y y'
+  | Rep (r, i, j), Rep (r', i', j') -> equal r r' && i = i' && j = j'
+  | (Atom _ | Seq _ | Alt _ | Rep _), _ -> false
+
+let rec equal_norm a b =
+  match (a, b) with
+  | N_atom x, N_atom y -> atom_equal x y
+  | N_seq xs, N_seq ys | N_alt xs, N_alt ys ->
+      List.length xs = List.length ys && List.for_all2 equal_norm xs ys
+  | N_rep (r, i, j), N_rep (r', i', j') -> equal_norm r r' && i = i' && j = j'
+  | (N_atom _ | N_seq _ | N_alt _ | N_rep _), _ -> false

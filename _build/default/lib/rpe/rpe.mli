@@ -1,0 +1,70 @@
+(** Regular pathway expressions (Section 3.3).
+
+    A pathway is an alternating sequence of nodes and edges that starts
+    and ends with a node; RPE atoms match single elements, and the
+    4-case concatenation rule of the paper permits at most one unmatched
+    element at each junction (an edge between two node atoms, a node
+    between two edge atoms). A lone edge atom carries implicit endpoint
+    nodes. *)
+
+type atom = { cls : string; pred : Predicate.t }
+
+val atom : ?pred:Predicate.t -> string -> atom
+
+type t =
+  | Atom of atom
+  | Seq of t * t              (** [r1 -> r2] *)
+  | Alt of t * t              (** [(r1 | r2)] *)
+  | Rep of t * int * int      (** [\[r\]{i,j}], [0 <= i <= j], [j >= 1] *)
+
+(** Normalized form (Section 5.1): sequence/alternation blocks are
+    flattened, nested repetitions of atoms preserved. *)
+type norm =
+  | N_atom of atom
+  | N_seq of norm list        (** length >= 2 *)
+  | N_alt of norm list        (** length >= 2 *)
+  | N_rep of norm * int * int
+
+val normalize : t -> norm
+val denormalize : norm -> t
+
+val validate :
+  Nepal_schema.Schema.t -> t -> (norm, string) result
+(** Checks that every atom names a known node or edge class, that
+    every predicate typechecks against its atom's class, and that
+    repetition bounds are sane ([0 <= i <= j], [j >= 1]). *)
+
+val atom_kind : Nepal_schema.Schema.t -> atom -> Nepal_schema.Schema.kind option
+(** Whether the atom matches nodes or edges (from the subclassing
+    system, Section 3.3). *)
+
+val atom_matches :
+  Nepal_schema.Schema.t ->
+  atom ->
+  cls:string ->
+  fields:Nepal_schema.Value.t Nepal_util.Strmap.t ->
+  bool
+(** Class-generalized matching: the record's concrete class must be a
+    (transitive) subclass of the atom's class and the predicate must
+    hold. *)
+
+val min_length : norm -> int
+(** Minimum number of pathway elements a satisfying pathway can have
+    (0 when the empty pathway satisfies, e.g. [\[r\]{0,j}]). *)
+
+val max_length : norm -> int
+(** Maximum number of elements, counting junction skips and implicit
+    edge endpoints. Always finite (repetitions carry finite bounds). *)
+
+val reverse : norm -> norm
+(** The RPE matching exactly the reversed pathways — used for backward
+    Extend evaluation from a mid-RPE anchor. *)
+
+val atoms : norm -> atom list
+(** All atoms, left to right. *)
+
+val to_string : t -> string
+val norm_to_string : norm -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val equal_norm : norm -> norm -> bool

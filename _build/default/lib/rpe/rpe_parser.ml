@@ -1,0 +1,137 @@
+module Ts = Token_stream
+module Value = Nepal_schema.Value
+
+let ( let* ) = Result.bind
+
+let parse_literal ts =
+  let negative = Ts.accept_punct ts "-" in
+  match Ts.peek ts with
+  | Lexer.Int_lit v ->
+      Ts.advance ts;
+      Ok (Value.Int (if negative then -v else v))
+  | Lexer.Float_lit f ->
+      Ts.advance ts;
+      Ok (Value.Float (if negative then -.f else f))
+  | Lexer.String_lit s when not negative ->
+      Ts.advance ts;
+      Ok (Value.Str s)
+  | Lexer.Ident s when not negative && String.lowercase_ascii s = "true" ->
+      Ts.advance ts;
+      Ok (Value.Bool true)
+  | Lexer.Ident s when not negative && String.lowercase_ascii s = "false" ->
+      Ts.advance ts;
+      Ok (Value.Bool false)
+  | Lexer.Ident s when not negative && String.lowercase_ascii s = "null" ->
+      Ts.advance ts;
+      Ok Value.Null
+  | _ -> Ts.error ts "expected a literal"
+
+let parse_comparison_op ts =
+  if Ts.accept_punct ts "=" then Ok Predicate.Eq
+  else if Ts.accept_punct ts "!=" then Ok Predicate.Ne
+  else if Ts.accept_punct ts "<>" then Ok Predicate.Ne
+  else if Ts.accept_punct ts "<=" then Ok Predicate.Le
+  else if Ts.accept_punct ts ">=" then Ok Predicate.Ge
+  else if Ts.accept_punct ts "<" then Ok Predicate.Lt
+  else if Ts.accept_punct ts ">" then Ok Predicate.Gt
+  else Ts.error ts "expected a comparison operator"
+
+let parse_field_path ts =
+  let* first = Ts.expect_ident ts in
+  let rec more acc =
+    if Ts.accept_punct ts "." then
+      let* next = Ts.expect_ident ts in
+      more (next :: acc)
+    else Ok (List.rev acc)
+  in
+  more [ first ]
+
+let parse_atom_comparison ts =
+  let* path = parse_field_path ts in
+  let* op = parse_comparison_op ts in
+  let* lit = parse_literal ts in
+  Ok (Predicate.Cmp (path, op, lit))
+
+(* Atom argument list: comma-separated comparisons forming a
+   conjunction, e.g. VM(status='Green', id>3). *)
+let parse_atom_args ts =
+  if Ts.accept_punct ts ")" then Ok Predicate.True
+  else
+    let rec loop acc =
+      let* cmp = parse_atom_comparison ts in
+      if Ts.accept_punct ts "," then loop (cmp :: acc)
+      else
+        let* () = Ts.expect_punct ts ")" in
+        Ok (Predicate.conj (List.rev (cmp :: acc)))
+    in
+    loop []
+
+let parse_rep_bounds ts =
+  (* Already consumed '{'. Bounds are {i,j} or {i-j}. *)
+  let* i = Ts.expect_int ts in
+  let* j =
+    if Ts.accept_punct ts "," || Ts.accept_punct ts "-" then Ts.expect_int ts
+    else Ok i
+  in
+  let* () = Ts.expect_punct ts "}" in
+  if i < 0 || j < i then
+    Ts.error ts (Printf.sprintf "invalid repetition bounds {%d,%d}" i j)
+  else Ok (i, j)
+
+let rec parse_alt ts =
+  let* first = parse_seq ts in
+  let rec more acc =
+    if Ts.accept_punct ts "|" then
+      let* next = parse_seq ts in
+      more (Rpe.Alt (acc, next))
+    else Ok acc
+  in
+  more first
+
+and parse_seq ts =
+  let* first = parse_rep ts in
+  let rec more acc =
+    if Ts.accept_punct ts "->" then
+      let* next = parse_rep ts in
+      more (Rpe.Seq (acc, next))
+    else Ok acc
+  in
+  more first
+
+and parse_rep ts =
+  let* prim = parse_primary ts in
+  let rec braces acc =
+    if Ts.accept_punct ts "{" then
+      let* i, j = parse_rep_bounds ts in
+      braces (Rpe.Rep (acc, i, j))
+    else Ok acc
+  in
+  braces prim
+
+and parse_primary ts =
+  if Ts.accept_punct ts "(" then begin
+    let* inner = parse_alt ts in
+    let* () = Ts.expect_punct ts ")" in
+    Ok inner
+  end
+  else if Ts.accept_punct ts "[" then begin
+    let* inner = parse_alt ts in
+    let* () = Ts.expect_punct ts "]" in
+    Ok inner
+  end
+  else
+    let* cls = Ts.expect_ident ts in
+    let* () = Ts.expect_punct ts "(" in
+    let* pred = parse_atom_args ts in
+    Ok (Rpe.Atom { Rpe.cls; pred })
+
+let parse_rpe_from ts = parse_alt ts
+
+let parse s =
+  let* ts = Ts.of_string s in
+  let* rpe = parse_alt ts in
+  if Ts.at_eof ts then Ok rpe
+  else Ts.error ts "trailing tokens after RPE"
+
+let parse_exn s =
+  match parse s with Ok r -> r | Error e -> invalid_arg ("Rpe_parser: " ^ e)

@@ -1,0 +1,20 @@
+(** Parser for the textual RPE syntax used throughout the paper:
+
+    {v
+    VNF(id=55)->[Connects()]{1,5}->VM(id=66)
+    VNF()->[Vertical()]{1,6}->Host(id=23245)
+    (VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()
+    v}
+
+    Accepted notational variants (all appear in the paper):
+    repetition braces directly after an atom ([Vertical(){1,6}]) or
+    after a bracket group ([\[Vertical()\]{1,6}]); bounds separated by a
+    comma or a dash ([{1-3}]); [!=] or [<>] for inequality. *)
+
+val parse : string -> (Rpe.t, string) result
+
+val parse_exn : string -> Rpe.t
+
+val parse_rpe_from : Token_stream.t -> (Rpe.t, string) result
+(** Parse an RPE starting at the stream cursor, leaving trailing tokens
+    unconsumed — used by the query-language parser after [MATCHES]. *)

@@ -1,0 +1,65 @@
+type t = { mutable toks : Lexer.spanned list }
+
+let of_string s =
+  match Lexer.tokenize s with
+  | Ok toks -> Ok { toks }
+  | Error e -> Error e
+
+let peek t =
+  match t.toks with [] -> Lexer.Eof | { token; _ } :: _ -> token
+
+let peek2 t =
+  match t.toks with
+  | _ :: { token; _ } :: _ -> token
+  | _ -> Lexer.Eof
+
+let pos t = match t.toks with [] -> 0 | { pos; _ } :: _ -> pos
+
+let advance t =
+  match t.toks with
+  | [] | [ _ ] -> () (* keep the final Eof *)
+  | _ :: rest -> t.toks <- rest
+
+let error t msg =
+  Error
+    (Printf.sprintf "parse error at offset %d (near %S): %s" (pos t)
+       (Lexer.token_to_string (peek t))
+       msg)
+
+let accept_punct t p =
+  match peek t with
+  | Lexer.Punct q when String.equal p q ->
+      advance t;
+      true
+  | _ -> false
+
+let expect_punct t p =
+  if accept_punct t p then Ok ()
+  else error t (Printf.sprintf "expected %S" p)
+
+let accept_keyword t kw =
+  match peek t with
+  | Lexer.Ident s when String.lowercase_ascii s = String.lowercase_ascii kw ->
+      advance t;
+      true
+  | _ -> false
+
+let expect_keyword t kw =
+  if accept_keyword t kw then Ok ()
+  else error t (Printf.sprintf "expected keyword %S" kw)
+
+let expect_ident t =
+  match peek t with
+  | Lexer.Ident s ->
+      advance t;
+      Ok s
+  | _ -> error t "expected an identifier"
+
+let expect_int t =
+  match peek t with
+  | Lexer.Int_lit v ->
+      advance t;
+      Ok v
+  | _ -> error t "expected an integer"
+
+let at_eof t = peek t = Lexer.Eof

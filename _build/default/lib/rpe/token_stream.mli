@@ -1,0 +1,33 @@
+(** Mutable cursor over a token list, shared by the RPE and query
+    parsers. *)
+
+type t
+
+val of_string : string -> (t, string) result
+val peek : t -> Lexer.token
+val peek2 : t -> Lexer.token
+(** One token of lookahead past the current one. *)
+
+val pos : t -> int
+(** Byte offset of the current token, for error messages. *)
+
+val advance : t -> unit
+
+val accept_punct : t -> string -> bool
+(** Consume the punct if it is next; otherwise leave the stream alone. *)
+
+val expect_punct : t -> string -> (unit, string) result
+
+val accept_keyword : t -> string -> bool
+(** Case-insensitive identifier match, consumed on success. *)
+
+val expect_keyword : t -> string -> (unit, string) result
+
+val expect_ident : t -> (string, string) result
+
+val expect_int : t -> (int, string) result
+
+val at_eof : t -> bool
+
+val error : t -> string -> ('a, string) result
+(** [Error] mentioning the current position and token. *)

@@ -1,0 +1,1 @@
+lib/schema/ftype.ml: Format Printf String

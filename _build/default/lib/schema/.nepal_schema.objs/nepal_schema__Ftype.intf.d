@@ -1,0 +1,1 @@
+lib/schema/ftype.mli: Format

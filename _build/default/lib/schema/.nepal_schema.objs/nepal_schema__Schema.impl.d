@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Format Ftype Hashtbl List Nepal_util Option Printf Result Seq String Value

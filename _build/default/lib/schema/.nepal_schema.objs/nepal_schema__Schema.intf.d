@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Format Ftype Nepal_util Value

@@ -1,0 +1,1 @@
+lib/schema/tosca.ml: Buffer Ftype List Printf Result Schema String

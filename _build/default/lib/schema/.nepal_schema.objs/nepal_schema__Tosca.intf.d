@@ -1,0 +1,1 @@
+lib/schema/tosca.mli: Schema

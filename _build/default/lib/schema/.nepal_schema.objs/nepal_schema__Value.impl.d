@@ -1,0 +1,1 @@
+lib/schema/value.ml: Bool Float Format Hashtbl Int Int32 List Nepal_temporal Nepal_util Printf String

@@ -1,0 +1,1 @@
+lib/schema/value.mli: Format Nepal_temporal Nepal_util

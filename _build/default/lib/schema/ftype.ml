@@ -1,0 +1,98 @@
+type t =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_ip
+  | T_time
+  | T_data of string
+  | T_list of t
+  | T_set of t
+  | T_map of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | T_int, T_int | T_float, T_float | T_bool, T_bool -> true
+  | T_string, T_string | T_ip, T_ip | T_time, T_time -> true
+  | T_data x, T_data y -> String.equal x y
+  | T_list x, T_list y | T_set x, T_set y -> equal x y
+  | T_map (k, v), T_map (k', v') -> equal k k' && equal v v'
+  | ( ( T_int | T_float | T_bool | T_string | T_ip | T_time | T_data _
+      | T_list _ | T_set _ | T_map _ ),
+      _ ) ->
+      false
+
+let rec data_refs = function
+  | T_int | T_float | T_bool | T_string | T_ip | T_time -> []
+  | T_data n -> [ n ]
+  | T_list t | T_set t -> data_refs t
+  | T_map (k, v) -> data_refs k @ data_refs v
+
+let rec to_string = function
+  | T_int -> "int"
+  | T_float -> "float"
+  | T_bool -> "bool"
+  | T_string -> "string"
+  | T_ip -> "ip"
+  | T_time -> "time"
+  | T_data n -> n
+  | T_list t -> Printf.sprintf "list<%s>" (to_string t)
+  | T_set t -> Printf.sprintf "set<%s>" (to_string t)
+  | T_map (k, v) -> Printf.sprintf "map<%s,%s>" (to_string k) (to_string v)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Textual type parser for schema files. Accepts nested containers. *)
+let of_string s =
+  let n = String.length s in
+  let err msg = Error (Printf.sprintf "type %S: %s" s msg) in
+  (* Parse starting at [i]; returns (type, next position). *)
+  let rec parse i =
+    let rec ident_end j =
+      if j < n && (s.[j] <> '<' && s.[j] <> '>' && s.[j] <> ',') then
+        ident_end (j + 1)
+      else j
+    in
+    let j = ident_end i in
+    let name = String.trim (String.sub s i (j - i)) in
+    if name = "" then Error "empty type name"
+    else if j < n && s.[j] = '<' then
+      match name with
+      | "list" | "set" -> (
+          match parse (j + 1) with
+          | Error e -> Error e
+          | Ok (inner, k) ->
+              if k < n && s.[k] = '>' then
+                let t = if name = "list" then T_list inner else T_set inner in
+                Ok (t, k + 1)
+              else Error "expected '>'")
+      | "map" -> (
+          match parse (j + 1) with
+          | Error e -> Error e
+          | Ok (kt, k) ->
+              if k < n && s.[k] = ',' then
+                match parse (k + 1) with
+                | Error e -> Error e
+                | Ok (vt, k2) ->
+                    if k2 < n && s.[k2] = '>' then Ok (T_map (kt, vt), k2 + 1)
+                    else Error "expected '>'"
+              else Error "expected ',' in map type")
+      | _ -> Error (Printf.sprintf "unknown container %S" name)
+    else
+      let t =
+        match name with
+        | "int" | "integer" -> T_int
+        | "float" | "double" -> T_float
+        | "bool" | "boolean" -> T_bool
+        | "string" | "text" -> T_string
+        | "ip" | "ip_address" -> T_ip
+        | "time" | "timestamp" -> T_time
+        | other -> T_data other
+      in
+      Ok (t, j)
+  in
+  match parse 0 with
+  | Error e -> err e
+  | Ok (t, k) ->
+      if String.trim (String.sub s k (n - k)) = "" then Ok t
+      else err "trailing characters"

@@ -1,0 +1,30 @@
+(** Field types of the Nepal schema language.
+
+    Scalars, references to named composite [data_types], and the three
+    container kinds the paper lists (list, set, map). *)
+
+type t =
+  | T_int
+  | T_float
+  | T_bool
+  | T_string
+  | T_ip           (** IPv4 address *)
+  | T_time         (** transaction-time instant *)
+  | T_data of string  (** named composite data type *)
+  | T_list of t
+  | T_set of t
+  | T_map of t * t
+
+val equal : t -> t -> bool
+
+val data_refs : t -> string list
+(** Names of all composite data types referenced (transitively through
+    containers) — used for composition-DAG acyclicity checking. *)
+
+val of_string : string -> (t, string) result
+(** Parse the textual form used in schema files: [int], [float], [bool],
+    [string], [ip], [time], [list<T>], [set<T>], [map<K,V>], or a data
+    type name. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+(** The Nepal schema: a single-rooted class hierarchy of strongly-typed
+    node and edge concepts, composite data types, and allowed-edge
+    (endpoint) constraints in the style of TOSCA capability types
+    (Figure 3 of the paper).
+
+    The three root classes ["Any"], ["Node"] and ["Edge"] always exist;
+    every user class derives (directly or transitively) from ["Node"] or
+    ["Edge"]. Subclasses inherit all parent fields and may add new ones;
+    redefining an inherited field is rejected. *)
+
+type kind = Node_kind | Edge_kind
+
+type class_decl = {
+  name : string;
+  parent : string;  (** "Node", "Edge", or another declared class *)
+  fields : (string * Ftype.t) list;  (** own fields, in declaration order *)
+  abstract : bool;
+      (** abstract classes structure the hierarchy but records may not be
+          instantiated at them directly *)
+  cardinality_hint : int option;
+      (** schema hint used by anchor costing when no statistics exist *)
+}
+
+val class_decl :
+  ?fields:(string * Ftype.t) list ->
+  ?abstract:bool ->
+  ?cardinality_hint:int ->
+  parent:string ->
+  string ->
+  class_decl
+
+type data_decl = {
+  dname : string;
+  dparent : string option;  (** data types also support inheritance *)
+  dfields : (string * Ftype.t) list;
+}
+
+val data_decl :
+  ?parent:string -> fields:(string * Ftype.t) list -> string -> data_decl
+
+type edge_rule = { edge : string; src : string; dst : string }
+(** "an edge of class [edge] may run from a node of class [src] to a
+    node of class [dst]" — satisfied by any subclasses thereof. *)
+
+type t
+
+val create :
+  ?data_types:data_decl list ->
+  ?edge_rules:edge_rule list ->
+  class_decl list ->
+  (t, string) result
+(** Validates: unique names; parents exist and respect node/edge
+    namespaces; no inherited-field shadowing; acyclic data-type
+    composition DAG; edge rules reference an edge class and two node
+    classes. *)
+
+val create_exn :
+  ?data_types:data_decl list ->
+  ?edge_rules:edge_rule list ->
+  class_decl list ->
+  t
+
+(** {1 Hierarchy interrogation} *)
+
+val mem_class : t -> string -> bool
+val kind_of : t -> string -> kind option
+(** [None] for "Any" or unknown names. *)
+
+val is_abstract : t -> string -> bool
+val parent_of : t -> string -> string option
+val ancestors : t -> string -> string list
+(** Root-first inheritance path, e.g. [\["Any"; "Node"; "VM"; "VMWare"\]].
+    @raise Not_found for unknown classes. *)
+
+val inheritance_label : t -> string -> string
+(** The Gremlin label of the paper: path without "Any", colon-joined,
+    e.g. ["Node:VM:VMWare"]. *)
+
+val is_subclass : t -> sub:string -> sup:string -> bool
+(** Reflexive-transitive. *)
+
+val subclasses : t -> string -> string list
+(** All (transitive) subclasses including the class itself, in
+    deterministic order. *)
+
+val concrete_subclasses : t -> string -> string list
+
+val least_common_ancestor : t -> string list -> string option
+(** Deepest common ancestor of a non-empty class list ("Any" possible). *)
+
+val all_classes : t -> string list
+val node_classes : t -> string list
+val edge_classes : t -> string list
+
+(** {1 Fields} *)
+
+val fields_of : t -> string -> (string * Ftype.t) list
+(** Inherited-then-own, in declaration order.
+    @raise Not_found for unknown classes. *)
+
+val field_type : t -> string -> string -> Ftype.t option
+(** [field_type t cls field]. *)
+
+val cardinality_hint : t -> string -> int option
+(** The hint on the class or the nearest ancestor carrying one. *)
+
+(** {1 Data types} *)
+
+val data_type_fields : t -> string -> (string * Ftype.t) list option
+
+val data_type_names : t -> string list
+
+(** {1 Edge-endpoint constraints} *)
+
+val edge_rules : t -> edge_rule list
+
+val edge_allowed : t -> edge:string -> src:string -> dst:string -> bool
+(** Inheritance-aware: true when some declared rule generalizes the
+    triple. With no rules declared for any ancestor of [edge], the edge
+    class is unconstrained (permissive default, as in the paper's
+    legacy-graph loading). *)
+
+(** {1 Type checking} *)
+
+val typecheck_value : t -> Ftype.t -> Value.t -> (unit, string) result
+(** [Null] is admitted at any type. *)
+
+val typecheck_record :
+  t -> string -> Value.t Nepal_util.Strmap.t -> (Value.t Nepal_util.Strmap.t, string) result
+(** Checks a record against a concrete class: unknown fields rejected,
+    declared-but-absent fields filled with [Null], values type-checked.
+    Returns the completed record. *)
+
+val pp : Format.formatter -> t -> unit

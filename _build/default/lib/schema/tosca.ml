@@ -1,0 +1,330 @@
+(* A tiny YAML-subset reader and its interpretation as a Nepal schema. *)
+
+type yval =
+  | Scalar of string
+  | Mapping of (string * yval) list
+  | Sequence of yval list
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Lexical layer: strip comments/blank lines, compute indentation.     *)
+
+type line = { indent : int; body : string; lineno : int }
+
+let prepare_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment s =
+    (* A # begins a comment unless inside single quotes. *)
+    let n = String.length s in
+    let rec find i in_quote =
+      if i >= n then n
+      else
+        match s.[i] with
+        | '\'' -> find (i + 1) (not in_quote)
+        | '#' when not in_quote -> i
+        | _ -> find (i + 1) in_quote
+    in
+    String.sub s 0 (find 0 false)
+  in
+  List.mapi (fun i s -> (i + 1, strip_comment s)) raw
+  |> List.filter_map (fun (lineno, s) ->
+         let trimmed = String.trim s in
+         if trimmed = "" then None
+         else
+           let rec indent_of i =
+             if i < String.length s && s.[i] = ' ' then indent_of (i + 1) else i
+           in
+           Some { indent = indent_of 0; body = trimmed; lineno })
+
+(* ------------------------------------------------------------------ *)
+(* Recursive block parser.                                             *)
+
+let split_key_value body lineno =
+  match String.index_opt body ':' with
+  | None -> Error (Printf.sprintf "line %d: expected 'key: value'" lineno)
+  | Some i ->
+      let key = String.trim (String.sub body 0 i) in
+      let v = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+      if key = "" then Error (Printf.sprintf "line %d: empty key" lineno)
+      else Ok (key, v)
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then String.sub s 1 (n - 2)
+  else s
+
+(* Parse the block of lines at indentation >= [level]; the first line
+   determines whether it is a mapping or a sequence. *)
+let rec parse_block lines level =
+  match lines with
+  | [] -> Ok (Mapping [], [])
+  | first :: _ when first.indent < level -> Ok (Mapping [], lines)
+  | first :: _ ->
+      if String.length first.body >= 1 && first.body.[0] = '-' then
+        parse_sequence lines first.indent []
+      else parse_mapping lines first.indent []
+
+and parse_mapping lines level acc =
+  match lines with
+  | [] -> Ok (Mapping (List.rev acc), [])
+  | l :: rest when l.indent = level -> (
+      let* key, v = split_key_value l.body l.lineno in
+      if v = "" then
+        (* Nested block (or empty mapping). *)
+        match rest with
+        | next :: _ when next.indent > level ->
+            let* nested, remaining = parse_block rest (level + 1) in
+            parse_mapping remaining level ((key, nested) :: acc)
+        | _ -> parse_mapping rest level ((key, Mapping []) :: acc)
+      else if v = "{}" then
+        parse_mapping rest level ((key, Mapping []) :: acc)
+      else parse_mapping rest level ((key, Scalar (unquote v)) :: acc))
+  | l :: _ when l.indent > level ->
+      Error (Printf.sprintf "line %d: unexpected indentation" l.lineno)
+  | _ -> Ok (Mapping (List.rev acc), lines)
+
+and parse_sequence lines level acc =
+  match lines with
+  | l :: rest when l.indent = level && String.length l.body >= 1 && l.body.[0] = '-'
+    ->
+      let item_body = String.trim (String.sub l.body 1 (String.length l.body - 1)) in
+      if item_body = "" then
+        let* nested, remaining = parse_block rest (level + 1) in
+        parse_sequence remaining level (nested :: acc)
+      else if String.contains item_body ':' then begin
+        (* Inline first pair of a mapping item; subsequent keys are on
+           following lines with deeper indentation. *)
+        let* key, v = split_key_value item_body l.lineno in
+        let item_indent = level + 2 in
+        let inline =
+          if v = "" then (key, Mapping []) else (key, Scalar (unquote v))
+        in
+        let* more, remaining =
+          match rest with
+          | next :: _ when next.indent >= item_indent ->
+              parse_mapping rest next.indent []
+          | _ -> Ok (Mapping [], rest)
+        in
+        match more with
+        | Mapping pairs ->
+            parse_sequence remaining level (Mapping (inline :: pairs) :: acc)
+        | _ -> Error (Printf.sprintf "line %d: malformed sequence item" l.lineno)
+      end
+      else parse_sequence rest level (Scalar (unquote item_body) :: acc)
+  | l :: _ when l.indent > level ->
+      Error (Printf.sprintf "line %d: unexpected indentation" l.lineno)
+  | _ -> Ok (Sequence (List.rev acc), lines)
+
+let parse_document text =
+  let lines = prepare_lines text in
+  let* v, remaining = parse_block lines 0 in
+  match remaining with
+  | [] -> Ok v
+  | l :: _ -> Error (Printf.sprintf "line %d: trailing content" l.lineno)
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation as a Nepal schema.                                   *)
+
+let mapping_of ~what = function
+  | Mapping m -> Ok m
+  | Scalar _ | Sequence _ -> Error (Printf.sprintf "%s: expected a mapping" what)
+
+let scalar_of ~what = function
+  | Scalar s -> Ok s
+  | Mapping _ | Sequence _ -> Error (Printf.sprintf "%s: expected a scalar" what)
+
+let parse_properties ~what v =
+  let* pairs = mapping_of ~what v in
+  let rec each acc = function
+    | [] -> Ok (List.rev acc)
+    | (fname, fv) :: rest ->
+        let* tstr = scalar_of ~what:(what ^ "." ^ fname) fv in
+        let* ft = Ftype.of_string tstr in
+        each ((fname, ft) :: acc) rest
+  in
+  each [] pairs
+
+let parse_class ~default_parent name v =
+  let* pairs = mapping_of ~what:name v in
+  let find k = List.assoc_opt k pairs in
+  let* parent =
+    match find "derived_from" with
+    | None -> Ok default_parent
+    | Some s -> scalar_of ~what:(name ^ ".derived_from") s
+  in
+  let* fields =
+    match find "properties" with
+    | None -> Ok []
+    | Some p -> parse_properties ~what:(name ^ ".properties") p
+  in
+  let* abstract =
+    match find "abstract" with
+    | None -> Ok false
+    | Some s ->
+        let* b = scalar_of ~what:(name ^ ".abstract") s in
+        Ok (b = "true")
+  in
+  let* hint =
+    match find "cardinality_hint" with
+    | None -> Ok None
+    | Some s -> (
+        let* h = scalar_of ~what:(name ^ ".cardinality_hint") s in
+        match int_of_string_opt h with
+        | Some v -> Ok (Some v)
+        | None -> Error (name ^ ".cardinality_hint: expected an integer"))
+  in
+  let* endpoint_rules =
+    match find "valid_endpoints" with
+    | None -> Ok []
+    | Some (Sequence items) ->
+        let rec each acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              let* m = mapping_of ~what:(name ^ ".valid_endpoints") item in
+              match (List.assoc_opt "from" m, List.assoc_opt "to" m) with
+              | Some (Scalar src), Some (Scalar dst) ->
+                  each ({ Schema.edge = name; src; dst } :: acc) rest
+              | _ ->
+                  Error (name ^ ".valid_endpoints: items need 'from' and 'to'"))
+        in
+        each [] items
+    | Some _ -> Error (name ^ ".valid_endpoints: expected a sequence")
+  in
+  Ok
+    ( {
+        Schema.name;
+        parent;
+        fields;
+        abstract;
+        cardinality_hint = hint;
+      },
+      endpoint_rules )
+
+let parse_data_type name v =
+  let* pairs = mapping_of ~what:name v in
+  let find k = List.assoc_opt k pairs in
+  let* parent =
+    match find "derived_from" with
+    | None -> Ok None
+    | Some s ->
+        let* p = scalar_of ~what:(name ^ ".derived_from") s in
+        Ok (Some p)
+  in
+  let* fields =
+    match find "properties" with
+    | None -> Ok []
+    | Some p -> parse_properties ~what:(name ^ ".properties") p
+  in
+  Ok { Schema.dname = name; dparent = parent; dfields = fields }
+
+let parse text =
+  let* doc = parse_document text in
+  let* sections = mapping_of ~what:"document" doc in
+  let get name = List.assoc_opt name sections in
+  let parse_section ~default_parent = function
+    | None -> Ok ([], [])
+    | Some v ->
+        let* entries = mapping_of ~what:"types section" v in
+        let rec each classes rules = function
+          | [] -> Ok (List.rev classes, List.rev rules)
+          | (name, body) :: rest ->
+              let* cls, rs = parse_class ~default_parent name body in
+              each (cls :: classes) (List.rev_append rs rules) rest
+        in
+        each [] [] entries
+  in
+  let* node_classes, node_rules = parse_section ~default_parent:"Node" (get "node_types") in
+  let* edge_classes, edge_rules = parse_section ~default_parent:"Edge" (get "edge_types") in
+  let* data_types =
+    match get "data_types" with
+    | None -> Ok []
+    | Some v ->
+        let* entries = mapping_of ~what:"data_types" v in
+        let rec each acc = function
+          | [] -> Ok (List.rev acc)
+          | (name, body) :: rest ->
+              let* d = parse_data_type name body in
+              each (d :: acc) rest
+        in
+        each [] entries
+  in
+  Schema.create ~data_types
+    ~edge_rules:(node_rules @ edge_rules)
+    (node_classes @ edge_classes)
+
+let parse_exn text =
+  match parse text with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Tosca.parse_exn: " ^ e)
+
+let render schema =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let render_fields indent fields =
+    if fields <> [] then begin
+      pf "%sproperties:\n" indent;
+      List.iter
+        (fun (f, ft) -> pf "%s  %s: %s\n" indent f (Ftype.to_string ft))
+        fields
+    end
+  in
+  let render_class kind name =
+    (* Only user classes: skip roots. *)
+    if name <> "Node" && name <> "Edge" then begin
+      pf "  %s:\n" name;
+      (match Schema.parent_of schema name with
+      | Some p -> pf "    derived_from: %s\n" p
+      | None -> ());
+      if Schema.is_abstract schema name then pf "    abstract: true\n";
+      (match Schema.cardinality_hint schema name with
+      | Some h -> pf "    cardinality_hint: %d\n" h
+      | None -> ());
+      let own =
+        (* Own fields = all fields minus parent's fields. *)
+        let all = Schema.fields_of schema name in
+        match Schema.parent_of schema name with
+        | Some p when p <> "Any" ->
+            let parent_fields = List.map fst (Schema.fields_of schema p) in
+            List.filter (fun (f, _) -> not (List.mem f parent_fields)) all
+        | _ -> all
+      in
+      render_fields "    " own;
+      if kind = Schema.Edge_kind then begin
+        let rules =
+          List.filter
+            (fun (r : Schema.edge_rule) -> r.edge = name)
+            (Schema.edge_rules schema)
+        in
+        if rules <> [] then begin
+          pf "    valid_endpoints:\n";
+          List.iter
+            (fun (r : Schema.edge_rule) ->
+              pf "      - from: %s\n        to: %s\n" r.src r.dst)
+            rules
+        end
+      end
+    end
+  in
+  let data_names = Schema.data_type_names schema in
+  if data_names <> [] then begin
+    pf "data_types:\n";
+    List.iter
+      (fun dname ->
+        pf "  %s:\n" dname;
+        match Schema.data_type_fields schema dname with
+        | Some fields -> render_fields "    " fields
+        | None -> ())
+      data_names
+  end;
+  let nodes = Schema.node_classes schema in
+  let edges = Schema.edge_classes schema in
+  if nodes <> [ "Node" ] then begin
+    pf "node_types:\n";
+    List.iter (render_class Schema.Node_kind) nodes
+  end;
+  if edges <> [ "Edge" ] then begin
+    pf "edge_types:\n";
+    List.iter (render_class Schema.Edge_kind) edges
+  end;
+  Buffer.contents buf

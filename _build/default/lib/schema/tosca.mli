@@ -1,0 +1,40 @@
+(** TOSCA-subset schema loader.
+
+    The paper derives the Nepal schema language from the OASIS TOSCA
+    standard ([data_types], [node_types], capability types). This module
+    parses a YAML-like subset sufficient for describing Nepal schemas in
+    text files and converts them to {!Schema.t}:
+
+    {v
+    data_types:
+      routingTableEntry:
+        properties:
+          address: ip
+          mask: int
+          interface: string
+    node_types:
+      VM:
+        derived_from: Container
+        cardinality_hint: 1000
+        properties:
+          vm_id: int
+          status: string
+    edge_types:
+      hosted_on:
+        derived_from: Vertical
+        valid_endpoints:
+          - from: VM
+            to: physical_server
+    v}
+
+    Supported YAML subset: two-space-multiple indentation, mappings,
+    block lists of mappings ([- key: value]), scalars, [#] comments. *)
+
+val parse : string -> (Schema.t, string) result
+(** Parse a schema document. *)
+
+val parse_exn : string -> Schema.t
+
+val render : Schema.t -> string
+(** Render a schema back to the textual format; [parse (render s)]
+    yields a schema equivalent to [s]. *)

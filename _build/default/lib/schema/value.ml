@@ -1,0 +1,140 @@
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Ip of int32
+  | Time of Time_point.t
+  | List of t list
+  | Vset of t list
+  | Vmap of (t * t) list
+  | Data of string * t Strmap.t
+
+(* Rank used to order values of different constructors. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+  | Ip _ -> 5
+  | Time _ -> 6
+  | List _ -> 7
+  | Vset _ -> 8
+  | Vmap _ -> 9
+  | Data _ -> 10
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Ip x, Ip y -> Int32.unsigned_compare x y
+  | Time x, Time y -> Time_point.compare x y
+  | List x, List y | Vset x, Vset y -> compare_lists x y
+  | Vmap x, Vmap y -> compare_pairs x y
+  | Data (n, f), Data (n', f') -> (
+      match String.compare n n' with
+      | 0 -> compare_pairs
+               (List.map (fun (k, v) -> (Str k, v)) (Strmap.bindings f))
+               (List.map (fun (k, v) -> (Str k, v)) (Strmap.bindings f'))
+      | c -> c)
+  | _ -> Int.compare (rank a) (rank b)
+
+and compare_lists x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: x', b :: y' -> ( match compare a b with 0 -> compare_lists x' y' | c -> c)
+
+and compare_pairs x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (ka, va) :: x', (kb, vb) :: y' -> (
+      match compare ka kb with
+      | 0 -> ( match compare va vb with 0 -> compare_pairs x' y' | c -> c)
+      | c -> c)
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Ip i -> Hashtbl.hash i
+  | Time t -> Hashtbl.hash t
+  | List l | Vset l -> List.fold_left (fun acc v -> (acc * 31) + hash v) 7 l
+  | Vmap l ->
+      List.fold_left (fun acc (k, v) -> (acc * 31) + hash k + hash v) 11 l
+  | Data (n, f) ->
+      Strmap.fold (fun k v acc -> (acc * 31) + Hashtbl.hash k + hash v)
+        f (Hashtbl.hash n)
+
+let vset l = Vset (List.sort_uniq compare l)
+
+let vmap l =
+  let m =
+    List.fold_left (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc) [] l
+  in
+  Vmap (List.sort (fun (a, _) (b, _) -> compare a b) m)
+
+let ip_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d ->
+          Ok
+            (Int32.logor
+               (Int32.shift_left (Int32.of_int a) 24)
+               (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d)))
+      | _ -> Error (Printf.sprintf "invalid IPv4 address %S" s))
+  | _ -> Error (Printf.sprintf "invalid IPv4 address %S" s)
+
+let ip_to_string ip =
+  let b n = Int32.to_int (Int32.logand (Int32.shift_right_logical ip n) 0xFFl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str s -> Printf.sprintf "%S" s
+  | Ip ip -> ip_to_string ip
+  | Time t -> Printf.sprintf "'%s'" (Time_point.to_string t)
+  | List l -> "[" ^ String.concat "; " (List.map to_string l) ^ "]"
+  | Vset l -> "{" ^ String.concat "; " (List.map to_string l) ^ "}"
+  | Vmap l ->
+      "{"
+      ^ String.concat "; "
+          (List.map (fun (k, v) -> to_string k ^ " -> " ^ to_string v) l)
+      ^ "}"
+  | Data (n, f) ->
+      n ^ "{"
+      ^ String.concat "; "
+          (List.map
+             (fun (k, v) -> k ^ "=" ^ to_string v)
+             (Strmap.bindings f))
+      ^ "}"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let is_truthy = function Bool true -> true | _ -> false

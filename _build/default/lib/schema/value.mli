@@ -1,0 +1,41 @@
+(** Runtime values of node/edge fields.
+
+    Values form a single universe with a total order so they can be used
+    in indexes and predicates regardless of type; type discipline is
+    enforced separately by {!Schema.typecheck_value}. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Ip of int32                    (** IPv4, big-endian *)
+  | Time of Nepal_temporal.Time_point.t
+  | List of t list
+  | Vset of t list                 (** sorted, duplicate-free *)
+  | Vmap of (t * t) list           (** sorted by key, unique keys *)
+  | Data of string * t Nepal_util.Strmap.t
+      (** composite data-type instance: type name + field values *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val vset : t list -> t
+(** Build a set value (sorts, dedups). *)
+
+val vmap : (t * t) list -> t
+(** Build a map value (sorts by key; later bindings win). *)
+
+val ip_of_string : string -> (int32, string) result
+(** Parse dotted-quad IPv4 notation. *)
+
+val ip_to_string : int32 -> string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_truthy : t -> bool
+(** [Bool true] only; everything else is false-y (predicates are
+    three-valued in spirit: comparisons with [Null] are never true). *)

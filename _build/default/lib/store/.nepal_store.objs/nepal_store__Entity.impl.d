@@ -1,0 +1,1 @@
+lib/store/entity.ml: Format List Nepal_schema Nepal_temporal Nepal_util Printf String

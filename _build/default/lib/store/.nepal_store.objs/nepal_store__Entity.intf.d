@@ -1,0 +1,1 @@
+lib/store/entity.mli: Format Nepal_schema Nepal_temporal Nepal_util

@@ -1,0 +1,1 @@
+lib/store/graph_store.ml: Entity Hashtbl Int List Nepal_schema Nepal_temporal Nepal_util Option Printf Result String

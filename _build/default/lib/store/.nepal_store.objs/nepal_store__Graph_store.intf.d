@@ -1,0 +1,1 @@
+lib/store/graph_store.mli: Entity Nepal_schema Nepal_temporal Nepal_util

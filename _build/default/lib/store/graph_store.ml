@@ -1,0 +1,374 @@
+module Schema = Nepal_schema.Schema
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+module Interval = Nepal_temporal.Interval
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval_set = Nepal_temporal.Interval_set
+
+type uid = Entity.uid
+
+type index_key = string * string (* class, field *)
+
+type t = {
+  schema : Schema.t;
+  mutable clock : Time_point.t;
+  mutable next_uid : int;
+  current : (uid, Entity.t) Hashtbl.t;
+  history : (uid, Entity.t list) Hashtbl.t; (* closed versions, newest first *)
+  extent_current : (string, (uid, unit) Hashtbl.t) Hashtbl.t;
+      (* concrete class -> live uids *)
+  extent_all : (string, (uid, unit) Hashtbl.t) Hashtbl.t;
+      (* concrete class -> uids ever *)
+  adj_out : (uid, (uid, unit) Hashtbl.t) Hashtbl.t; (* node -> edge uids ever *)
+  adj_in : (uid, (uid, unit) Hashtbl.t) Hashtbl.t;
+  indexes : (index_key, (Value.t, (uid, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
+      (* (cls, field) -> value -> uids that ever had this value *)
+  mutable creation_order : uid list; (* reversed *)
+}
+
+let ( let* ) = Result.bind
+
+let create schema =
+  {
+    schema;
+    clock = Time_point.epoch;
+    next_uid = 1;
+    current = Hashtbl.create 4096;
+    history = Hashtbl.create 4096;
+    extent_current = Hashtbl.create 64;
+    extent_all = Hashtbl.create 64;
+    adj_out = Hashtbl.create 4096;
+    adj_in = Hashtbl.create 4096;
+    indexes = Hashtbl.create 8;
+    creation_order = [];
+  }
+
+let schema t = t.schema
+let clock t = t.clock
+
+let tick t at =
+  if Time_point.compare at t.clock < 0 then
+    Error
+      (Printf.sprintf "transaction time %s precedes store clock %s"
+         (Time_point.to_string at)
+         (Time_point.to_string t.clock))
+  else begin
+    t.clock <- at;
+    Ok ()
+  end
+
+(* -- small hashtable-as-set helpers ------------------------------- *)
+
+let set_add tbl key v =
+  let s =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace tbl key s;
+        s
+  in
+  Hashtbl.replace s v ()
+
+let set_remove tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> Hashtbl.remove s v
+  | None -> ()
+
+let set_members tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> Hashtbl.fold (fun k () acc -> k :: acc) s []
+  | None -> []
+
+(* -- index maintenance --------------------------------------------- *)
+
+(* Register a (possibly new) version's field values in all indexes that
+   cover its class. *)
+let index_version t (e : Entity.t) =
+  Hashtbl.iter
+    (fun (cls, fieldname) value_tbl ->
+      if Schema.is_subclass t.schema ~sub:e.cls ~sup:cls then
+        let v = Entity.field e fieldname in
+        set_add value_tbl v e.uid)
+    t.indexes
+
+let create_index t ~cls ~field =
+  if not (Schema.mem_class t.schema cls) then
+    Error (Printf.sprintf "unknown class %S" cls)
+  else if Schema.field_type t.schema cls field = None then
+    Error (Printf.sprintf "class %S has no field %S" cls field)
+  else if Hashtbl.mem t.indexes (cls, field) then Ok ()
+  else begin
+    let value_tbl = Hashtbl.create 1024 in
+    Hashtbl.replace t.indexes (cls, field) value_tbl;
+    (* Backfill from every stored version. *)
+    let add_entity (e : Entity.t) =
+      if Schema.is_subclass t.schema ~sub:e.cls ~sup:cls then
+        set_add value_tbl (Entity.field e field) e.uid
+    in
+    Hashtbl.iter (fun _ e -> add_entity e) t.current;
+    Hashtbl.iter (fun _ versions -> List.iter add_entity versions) t.history;
+    Ok ()
+  end
+
+let has_index t ~cls ~field = Hashtbl.mem t.indexes (cls, field)
+
+(* -- mutations ------------------------------------------------------ *)
+
+let fresh_uid t =
+  let u = t.next_uid in
+  t.next_uid <- u + 1;
+  u
+
+let alive_at_clock t uid =
+  match Hashtbl.find_opt t.current uid with Some _ -> true | None -> false
+
+let register_new t (e : Entity.t) =
+  Hashtbl.replace t.current e.uid e;
+  set_add t.extent_current e.cls e.uid;
+  set_add t.extent_all e.cls e.uid;
+  (match e.endpoints with
+  | Some (s, d) ->
+      set_add t.adj_out s e.uid;
+      set_add t.adj_in d e.uid
+  | None -> ());
+  t.creation_order <- e.uid :: t.creation_order;
+  index_version t e
+
+let insert_node t ~at ~cls ~fields =
+  let* () = tick t at in
+  let* () =
+    match Schema.kind_of t.schema cls with
+    | Some Schema.Node_kind -> Ok ()
+    | Some Schema.Edge_kind ->
+        Error (Printf.sprintf "%S is an edge class; use insert_edge" cls)
+    | None -> Error (Printf.sprintf "unknown class %S" cls)
+  in
+  let* fields = Schema.typecheck_record t.schema cls fields in
+  let uid = fresh_uid t in
+  let e =
+    { Entity.uid; cls; fields; period = Interval.from at; endpoints = None }
+  in
+  register_new t e;
+  Ok uid
+
+let insert_edge t ~at ~cls ~src ~dst ~fields =
+  let* () = tick t at in
+  let* () =
+    match Schema.kind_of t.schema cls with
+    | Some Schema.Edge_kind -> Ok ()
+    | Some Schema.Node_kind ->
+        Error (Printf.sprintf "%S is a node class; use insert_node" cls)
+    | None -> Error (Printf.sprintf "unknown class %S" cls)
+  in
+  let* fields = Schema.typecheck_record t.schema cls fields in
+  let* src_e =
+    match Hashtbl.find_opt t.current src with
+    | Some e when Entity.is_node e -> Ok e
+    | Some _ -> Error (Printf.sprintf "edge endpoint #%d is an edge" src)
+    | None -> Error (Printf.sprintf "edge source #%d is not alive" src)
+  in
+  let* dst_e =
+    match Hashtbl.find_opt t.current dst with
+    | Some e when Entity.is_node e -> Ok e
+    | Some _ -> Error (Printf.sprintf "edge endpoint #%d is an edge" dst)
+    | None -> Error (Printf.sprintf "edge target #%d is not alive" dst)
+  in
+  let* () =
+    if Schema.edge_allowed t.schema ~edge:cls ~src:src_e.Entity.cls
+         ~dst:dst_e.Entity.cls
+    then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "schema forbids edge %s from %s to %s" cls src_e.Entity.cls
+           dst_e.Entity.cls)
+  in
+  let uid = fresh_uid t in
+  let e =
+    {
+      Entity.uid;
+      cls;
+      fields;
+      period = Interval.from at;
+      endpoints = Some (src, dst);
+    }
+  in
+  register_new t e;
+  Ok uid
+
+let close_current t ~at uid (e : Entity.t) =
+  let closed = { e with period = Interval.close e.period at } in
+  let prev = match Hashtbl.find_opt t.history uid with Some l -> l | None -> [] in
+  Hashtbl.replace t.history uid (closed :: prev);
+  Hashtbl.remove t.current uid;
+  set_remove t.extent_current e.cls uid
+
+let update t ~at uid ~fields =
+  let* () = tick t at in
+  match Hashtbl.find_opt t.current uid with
+  | None -> Error (Printf.sprintf "#%d is not alive; cannot update" uid)
+  | Some e ->
+      let merged =
+        Strmap.fold (fun k v acc -> Strmap.add k v acc) fields e.fields
+      in
+      let* merged = Schema.typecheck_record t.schema e.cls merged in
+      if Time_point.compare at e.period.Interval.start <= 0 then
+        Error "update time must be after the current version's start"
+      else begin
+        close_current t ~at uid e;
+        let e' = { e with fields = merged; period = Interval.from at } in
+        Hashtbl.replace t.current uid e';
+        set_add t.extent_current e'.cls uid;
+        index_version t e';
+        Ok ()
+      end
+
+let live_incident_edges t uid =
+  List.filter (alive_at_clock t) (set_members t.adj_out uid)
+  @ List.filter (alive_at_clock t) (set_members t.adj_in uid)
+
+let rec delete t ~at ?(cascade = false) uid =
+  let* () = tick t at in
+  match Hashtbl.find_opt t.current uid with
+  | None -> Error (Printf.sprintf "#%d is not alive; cannot delete" uid)
+  | Some e ->
+      if Time_point.compare at e.period.Interval.start <= 0 then
+        Error "delete time must be after the current version's start"
+      else if Entity.is_edge e then begin
+        close_current t ~at uid e;
+        Ok ()
+      end
+      else
+        let incident = List.sort_uniq Int.compare (live_incident_edges t uid) in
+        if incident <> [] && not cascade then
+          Error
+            (Printf.sprintf "node #%d has %d live incident edges" uid
+               (List.length incident))
+        else begin
+          let rec drop = function
+            | [] -> Ok ()
+            | edge_uid :: rest ->
+                let* () = delete t ~at ~cascade:false edge_uid in
+                drop rest
+          in
+          let* () = drop incident in
+          close_current t ~at uid e;
+          Ok ()
+        end
+
+(* -- reads ---------------------------------------------------------- *)
+
+let versions t uid =
+  let closed =
+    match Hashtbl.find_opt t.history uid with Some l -> List.rev l | None -> []
+  in
+  match Hashtbl.find_opt t.current uid with
+  | Some e -> closed @ [ e ]
+  | None -> closed
+
+let versions_under t ~tc uid =
+  List.filter
+    (fun (e : Entity.t) -> Time_constraint.admits tc e.period)
+    (versions t uid)
+
+let get t ~tc uid =
+  match tc with
+  | Time_constraint.Snapshot -> Hashtbl.find_opt t.current uid
+  | _ -> (
+      match List.rev (versions_under t ~tc uid) with
+      | latest :: _ -> Some latest
+      | [] -> None)
+
+let presence t ~tc ~pred uid =
+  let qualifying =
+    List.filter_map
+      (fun (e : Entity.t) ->
+        if pred e then
+          Option.map Interval_set.singleton (Time_constraint.restrict tc e.period)
+        else None)
+      (versions t uid)
+  in
+  List.fold_left Interval_set.union Interval_set.empty qualifying
+
+let scan_class t ~tc cls =
+  let concrete = Schema.subclasses t.schema cls in
+  match tc with
+  | Time_constraint.Snapshot ->
+      List.concat_map
+        (fun c ->
+          List.filter_map
+            (fun uid -> Hashtbl.find_opt t.current uid)
+            (set_members t.extent_current c))
+        concrete
+      |> List.sort (fun (a : Entity.t) b -> Int.compare a.uid b.uid)
+  | _ ->
+      List.concat_map
+        (fun c ->
+          List.filter_map
+            (fun uid ->
+              match List.rev (versions_under t ~tc uid) with
+              | latest :: _ -> Some latest
+              | [] -> None)
+            (set_members t.extent_all c))
+        concrete
+      |> List.sort (fun (a : Entity.t) b -> Int.compare a.uid b.uid)
+
+let edges_from_adj t ~tc adj uid =
+  List.filter_map
+    (fun edge_uid -> get t ~tc edge_uid)
+    (set_members adj uid)
+  |> List.sort (fun (a : Entity.t) b -> Int.compare a.uid b.uid)
+
+let out_edges t ~tc uid = edges_from_adj t ~tc t.adj_out uid
+let in_edges t ~tc uid = edges_from_adj t ~tc t.adj_in uid
+
+let lookup t ~tc ~cls ~field value =
+  let filter_entities uids =
+    List.filter_map
+      (fun uid ->
+        match get t ~tc uid with
+        | Some e
+          when Schema.is_subclass t.schema ~sub:e.Entity.cls ~sup:cls
+               && Value.equal (Entity.field e field) value ->
+            Some e
+        | _ -> None)
+      uids
+    |> List.sort (fun (a : Entity.t) b -> Int.compare a.uid b.uid)
+  in
+  match Hashtbl.find_opt t.indexes (cls, field) with
+  | Some value_tbl -> filter_entities (set_members value_tbl value)
+  | None ->
+      List.filter
+        (fun e -> Value.equal (Entity.field e field) value)
+        (scan_class t ~tc cls)
+
+(* -- statistics ----------------------------------------------------- *)
+
+let count_current t ~cls =
+  List.fold_left
+    (fun acc c ->
+      acc
+      + match Hashtbl.find_opt t.extent_current c with
+        | Some s -> Hashtbl.length s
+        | None -> 0)
+    0
+    (Schema.subclasses t.schema cls)
+
+let count_versions t =
+  let closed = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.history 0 in
+  closed + Hashtbl.length t.current
+
+let count_entities t = t.next_uid - 1
+let count_current_total t = Hashtbl.length t.current
+
+let class_histogram t =
+  Hashtbl.fold
+    (fun cls s acc ->
+      if Hashtbl.length s > 0 then (cls, Hashtbl.length s) :: acc else acc)
+    t.extent_current []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let live_uids t =
+  List.filter (fun uid -> Hashtbl.mem t.current uid) (List.rev t.creation_order)

@@ -1,0 +1,129 @@
+(** The native temporal graph store.
+
+    This is the graph data management layer of Section 3.1: a
+    transaction-time versioned store of strongly-typed nodes and edges,
+    organised like the paper's Postgres implementation into a *current
+    snapshot* plus a *history* (the closed versions), with adjacency and
+    class extents maintained for both.
+
+    All mutations are stamped with a monotonically non-decreasing
+    transaction time supplied by the caller (the ingestion layer). *)
+
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+module Time_point = Nepal_temporal.Time_point
+module Interval = Nepal_temporal.Interval
+module Time_constraint = Nepal_temporal.Time_constraint
+module Interval_set = Nepal_temporal.Interval_set
+
+type t
+
+type uid = Entity.uid
+
+val create : Nepal_schema.Schema.t -> t
+val schema : t -> Nepal_schema.Schema.t
+
+val clock : t -> Time_point.t
+(** Transaction time of the latest mutation (epoch when empty). *)
+
+(** {1 Mutations}
+
+    All return [Error] (with a message) rather than raising on schema
+    violations — the "refuses to load garbage" property of Section 6.1. *)
+
+val insert_node :
+  t ->
+  at:Time_point.t ->
+  cls:string ->
+  fields:Value.t Strmap.t ->
+  (uid, string) result
+
+val insert_edge :
+  t ->
+  at:Time_point.t ->
+  cls:string ->
+  src:uid ->
+  dst:uid ->
+  fields:Value.t Strmap.t ->
+  (uid, string) result
+(** Checks the allowed-edge rules against the current classes of [src]
+    and [dst], which must both be alive at [at]. *)
+
+val update :
+  t ->
+  at:Time_point.t ->
+  uid ->
+  fields:Value.t Strmap.t ->
+  (unit, string) result
+(** Closes the current version and opens a new one whose fields are the
+    old fields overridden by [fields]. Endpoints cannot change. *)
+
+val delete : t -> at:Time_point.t -> ?cascade:bool -> uid -> (unit, string) result
+(** Deleting a node with live incident edges is an error unless
+    [cascade] (default false), in which case the incident edges are
+    deleted in the same transaction — the shared-fate semantics. *)
+
+(** {1 Reads} *)
+
+val get : t -> tc:Time_constraint.t -> uid -> Entity.t option
+(** The version visible under the constraint (for [Range], the latest
+    overlapping version; use {!versions_under} for all). *)
+
+val versions : t -> uid -> Entity.t list
+(** All versions, oldest first; empty for unknown uids. *)
+
+val versions_under : t -> tc:Time_constraint.t -> uid -> Entity.t list
+
+val presence :
+  t ->
+  tc:Time_constraint.t ->
+  pred:(Entity.t -> bool) ->
+  uid ->
+  Interval_set.t
+(** The (window-restricted) time during which the entity existed and
+    satisfied [pred] — the building block of time-range pathway
+    evaluation. Under [Snapshot]/[At], the result is either empty or the
+    single qualifying version interval. *)
+
+val scan_class : t -> tc:Time_constraint.t -> string -> Entity.t list
+(** All entities whose concrete class is the given class {e or any
+    subclass} (strongly-typed concept generalization), visible under
+    [tc]. Under [Range], an entity appears once (latest qualifying
+    version). *)
+
+val out_edges : t -> tc:Time_constraint.t -> uid -> Entity.t list
+val in_edges : t -> tc:Time_constraint.t -> uid -> Entity.t list
+
+(** {1 Field indexes} *)
+
+val create_index : t -> cls:string -> field:string -> (unit, string) result
+(** Secondary index on [cls.field] (covering subclasses); accelerates
+    anchor lookups such as [Host(id=23245)]. *)
+
+val lookup :
+  t -> tc:Time_constraint.t -> cls:string -> field:string -> Value.t ->
+  Entity.t list
+(** Uses the index when present, otherwise scans. Returns entities of
+    the class (or subclasses) whose field equals the value under [tc]. *)
+
+val has_index : t -> cls:string -> field:string -> bool
+
+(** {1 Statistics & storage accounting} *)
+
+val count_current : t -> cls:string -> int
+(** Current entities of the class including subclasses. *)
+
+val count_versions : t -> int
+(** Total stored versions (current + history) — the storage-overhead
+    measure of Section 6 (temporal tables vs 60 separate snapshots). *)
+
+val count_entities : t -> int
+(** Distinct uids ever created. *)
+
+val count_current_total : t -> int
+
+val class_histogram : t -> (string * int) list
+(** Current cardinality per concrete class, sorted by name. *)
+
+val live_uids : t -> uid list
+(** Uids alive in the current snapshot (deterministic order). *)

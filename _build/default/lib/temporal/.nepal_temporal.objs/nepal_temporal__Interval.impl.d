@@ -1,0 +1,1 @@
+lib/temporal/interval.ml: Format Printf Time_point

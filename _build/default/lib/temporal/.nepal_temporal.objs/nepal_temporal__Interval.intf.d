@@ -1,0 +1,1 @@
+lib/temporal/interval.mli: Format Time_point

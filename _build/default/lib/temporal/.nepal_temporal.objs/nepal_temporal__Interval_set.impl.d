@@ -1,0 +1,1 @@
+lib/temporal/interval_set.ml: Format Interval List Time_point

@@ -1,0 +1,1 @@
+lib/temporal/interval_set.mli: Format Interval Time_point

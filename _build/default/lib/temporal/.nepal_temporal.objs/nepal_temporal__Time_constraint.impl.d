@@ -1,0 +1,1 @@
+lib/temporal/time_constraint.ml: Format Interval Time_point

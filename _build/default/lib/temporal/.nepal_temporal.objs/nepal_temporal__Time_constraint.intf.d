@@ -1,0 +1,1 @@
+lib/temporal/time_constraint.mli: Format Interval Time_point

@@ -1,0 +1,1 @@
+lib/temporal/time_point.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/temporal/time_point.mli: Format

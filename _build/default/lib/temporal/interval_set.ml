@@ -1,0 +1,65 @@
+type t = Interval.t list
+(* Invariant: sorted by start, pairwise disjoint and non-adjacent. *)
+
+let empty = []
+let is_empty t = t = []
+let singleton i = [ i ]
+let to_list t = t
+let cardinality = List.length
+
+(* Two intervals can be merged when they overlap or touch. *)
+let mergeable (a : Interval.t) (b : Interval.t) =
+  match a.stop with
+  | None -> true
+  | Some e -> Time_point.compare b.start e <= 0
+
+let merge (a : Interval.t) (b : Interval.t) : Interval.t =
+  let stop =
+    match (a.stop, b.stop) with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (Time_point.max x y)
+  in
+  { start = Time_point.min a.start b.start; stop }
+
+let normalize intervals =
+  let sorted = List.sort Interval.compare intervals in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | i :: rest -> (
+        match acc with
+        | prev :: acc' when mergeable prev i -> loop (merge prev i :: acc') rest
+        | _ -> loop (i :: acc) rest)
+  in
+  loop [] sorted
+
+let of_list = normalize
+let add i t = normalize (i :: t)
+let union a b = normalize (a @ b)
+
+let inter a b =
+  let pairs =
+    List.concat_map (fun ia -> List.filter_map (Interval.intersect ia) b) a
+  in
+  normalize pairs
+
+let contains t at = List.exists (fun i -> Interval.contains i at) t
+
+let first_start = function [] -> None | (i : Interval.t) :: _ -> Some i.start
+
+let last_moment t =
+  match List.rev t with
+  | [] -> `Never
+  | (last : Interval.t) :: _ -> (
+      match last.stop with None -> `Still_exists | Some e -> `Ended e)
+
+let total_seconds ~now t =
+  List.fold_left (fun acc i -> acc +. Interval.duration_seconds ~now i) 0. t
+
+let equal a b = List.length a = List.length b && List.for_all2 Interval.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Interval.pp)
+    t

@@ -1,0 +1,33 @@
+(** Sets of disjoint, sorted transaction-time intervals.
+
+    Used by the [When Exists] temporal aggregation (Section 4 of the
+    paper): the answer to "when did a satisfying pathway exist?" is a
+    union of maximal intervals. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Interval.t -> t
+val of_list : Interval.t list -> t
+(** Normalizes: overlapping or adjacent input intervals are merged. *)
+
+val to_list : t -> Interval.t list
+(** Disjoint, in increasing order. *)
+
+val add : Interval.t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val contains : t -> Time_point.t -> bool
+
+val first_start : t -> Time_point.t option
+(** Earliest instant covered ([First Time When Exists]). *)
+
+val last_moment : t -> [ `Never | `Still_exists | `Ended of Time_point.t ]
+(** Latest coverage ([Last Time When Exists]): either the set is empty,
+    extends to the open present, or ended at the returned instant. *)
+
+val total_seconds : now:Time_point.t -> t -> float
+val cardinality : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

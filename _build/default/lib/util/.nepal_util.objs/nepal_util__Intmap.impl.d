@@ -1,0 +1,1 @@
+lib/util/intmap.ml: Int List Map

@@ -1,0 +1,1 @@
+lib/util/strmap.ml: List Map String

@@ -1,0 +1,1 @@
+lib/util/strset.ml: List Set String

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Core Lazy List Nepal_query Printf QCheck QCheck_alcotest String

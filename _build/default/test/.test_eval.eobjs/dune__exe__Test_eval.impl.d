@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Core Ftype Interval_set List Nepal_query Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Nepal_util Option QCheck QCheck_alcotest Schema Time_constraint Time_point Value

@@ -1,0 +1,1 @@
+test/test_gremlin.ml: Alcotest Int List Nepal_gremlin Nepal_schema Nepal_temporal Nepal_util Pgraph String Traversal

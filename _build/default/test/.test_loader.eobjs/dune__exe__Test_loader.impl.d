@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Core List Nepal_loader Nepal_rpe Nepal_schema Nepal_store Nepal_temporal Option Snapshot Snapshot_loader

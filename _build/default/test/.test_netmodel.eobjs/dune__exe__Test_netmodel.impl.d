@@ -1,0 +1,1 @@
+test/test_netmodel.ml: Alcotest Array Core Lazy List Nepal_loader Nepal_netmodel Nepal_schema Nepal_store Nepal_util Printf

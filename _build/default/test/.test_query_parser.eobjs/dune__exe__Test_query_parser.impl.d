@@ -1,0 +1,1 @@
+test/test_query_parser.ml: Alcotest List Nepal_query Nepal_rpe Nepal_schema Nepal_temporal

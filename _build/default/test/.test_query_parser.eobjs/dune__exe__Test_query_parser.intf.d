@@ -1,0 +1,1 @@
+test/test_query_parser.mli:

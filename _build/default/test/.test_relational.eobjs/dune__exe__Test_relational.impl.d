@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Database Expr Ivalue List Nepal_relational Nepal_schema Nepal_temporal Plan String Temporal_tables

@@ -1,0 +1,1 @@
+test/test_rpe.ml: Alcotest Anchor Ftype Fun List Nepal_rpe Nepal_schema Nepal_util Nfa Predicate Printf QCheck QCheck_alcotest Rpe Rpe_parser Schema String Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Ftype List Nepal_schema Nepal_util QCheck QCheck_alcotest Result Schema Tosca Value

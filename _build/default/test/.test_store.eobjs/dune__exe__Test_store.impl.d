@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Ftype Interval Interval_set List Nepal_schema Nepal_store Nepal_temporal Nepal_util QCheck QCheck_alcotest Schema Time_constraint Time_point Value

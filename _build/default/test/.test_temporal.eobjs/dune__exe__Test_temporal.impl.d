@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Fun Interval Interval_set List Nepal_temporal Nepal_util QCheck QCheck_alcotest Time_constraint Time_point

@@ -1,0 +1,358 @@
+(* End-to-end tests through the public facade, exercising the paper's
+   Section 3.4 and Section 4 example queries verbatim (modulo ids). *)
+
+module Nepal = Core.Nepal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tp = Nepal.Time_point.of_string_exn
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+(* The Figure 3 schema in TOSCA text, parsed by the loader. *)
+let tosca_model =
+  {|
+node_types:
+  VNF:
+    properties:
+      id: int
+      name: string
+  VFC:
+    properties:
+      id: int
+  VM:
+    properties:
+      id: int
+      status: string
+  Host:
+    properties:
+      id: int
+      name: string
+edge_types:
+  Vertical:
+    abstract: true
+  HostedOn:
+    derived_from: Vertical
+  Connects:
+    properties:
+      bandwidth: int
+|}
+
+let t0 = tp "2017-02-01 00:00:00"
+let t1 = tp "2017-02-15 09:00:00"
+let t2 = tp "2017-02-15 10:30:00"
+
+let fields l = Nepal.Strmap.of_list l
+let i n = Nepal.Value.Int n
+
+let build () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn tosca_model) in
+  let node cls fs = ok (Nepal.insert_node db ~at:t0 ~cls ~fields:(fields fs)) in
+  let edge cls src dst =
+    ok (Nepal.insert_edge db ~at:t0 ~cls ~src ~dst ~fields:Nepal.Strmap.empty)
+  in
+  let vnf1 = node "VNF" [ ("id", i 123); ("name", Nepal.Value.Str "epc") ] in
+  let vnf2 = node "VNF" [ ("id", i 234); ("name", Nepal.Value.Str "dns") ] in
+  let vfc1 = node "VFC" [ ("id", i 11) ] in
+  let vfc2 = node "VFC" [ ("id", i 12) ] in
+  let vm1 = node "VM" [ ("id", i 21); ("status", Nepal.Value.Str "Green") ] in
+  let vm2 = node "VM" [ ("id", i 22); ("status", Nepal.Value.Str "Green") ] in
+  let vm_spare = node "VM" [ ("id", i 23); ("status", Nepal.Value.Str "Red") ] in
+  let host1 = node "Host" [ ("id", i 23245) ] in
+  let host2 = node "Host" [ ("id", i 34356) ] in
+  ignore vm_spare;
+  ignore (edge "HostedOn" vnf1 vfc1);
+  ignore (edge "HostedOn" vnf2 vfc2);
+  ignore (edge "HostedOn" vfc1 vm1);
+  ignore (edge "HostedOn" vfc2 vm2);
+  ignore (edge "HostedOn" vm1 host1);
+  ignore (edge "HostedOn" vm2 host1);
+  ignore (edge "Connects" host1 host2);
+  ignore (edge "Connects" host2 host1);
+  (db, vnf1, vm1, host1, host2)
+
+let rows = function
+  | Nepal.Engine.Rows { rows; _ } -> rows
+  | Nepal.Engine.Table _ -> Alcotest.fail "expected pathway rows"
+
+let table = function
+  | Nepal.Engine.Table { rows; _ } -> rows
+  | Nepal.Engine.Rows _ -> Alcotest.fail "expected a table"
+
+(* -- the paper's first example ---------------------------------------- *)
+
+let test_affected_vnfs () =
+  let db, _, _, _, _ = build () in
+  let res =
+    ok
+      (Nepal.query db
+         "Retrieve P From PATHS P WHERE P MATCHES \
+          VNF()->VFC()->VM()->Host(id=23245)")
+  in
+  check_int "both VNFs affected" 2 (List.length (rows res))
+
+let test_generic_vertical_query () =
+  let db, _, _, _, _ = build () in
+  let res =
+    ok
+      (Nepal.query db
+         "Retrieve P From PATHS P WHERE P MATCHES \
+          VNF()->[Vertical()]{1,6}->Host(id=23245)")
+  in
+  check_int "generic form agrees" 2 (List.length (rows res))
+
+(* -- the paper's join example (physical path between two VNFs) -------- *)
+
+let test_join_physical_path () =
+  let db, _, _, _, _ = build () in
+  let res =
+    ok
+      (Nepal.query db
+         "Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys \
+          Where D1 MATCHES VNF(id=123)->[Vertical()]{1,6}->Host() \
+          And D2 MATCHES VNF(id=234)->[Vertical()]{1,6}->Host() \
+          And Phys MATCHES [Connects()]{1,8} \
+          And source(Phys) = target(D1) \
+          And target(Phys) = target(D2)")
+  in
+  (* Both VNFs land on host1, so Phys must connect host1 to host1 —
+     no cycle-free physical path exists. *)
+  check_int "no self path" 0 (List.length (rows res));
+  let res2 =
+    ok
+      (Nepal.query db
+         "Retrieve Phys From PATHS D1, PATHS Phys \
+          Where D1 MATCHES VNF(id=123)->[Vertical()]{1,6}->Host() \
+          And Phys MATCHES [Connects()]{1,8} \
+          And source(Phys) = target(D1)")
+  in
+  check_int "paths out of host1" 1 (List.length (rows res2))
+
+(* -- the paper's NOT EXISTS example ----------------------------------- *)
+
+let test_idle_vms_subquery () =
+  let db, _, _, _, _ = build () in
+  let res =
+    ok
+      (Nepal.query db
+         "Retrieve V From PATHS V \
+          Where V MATCHES VM() \
+          And NOT EXISTS( \
+            Retrieve P from PATHS P \
+            Where P MATCHES (VNF()|VFC())->[HostedOn()]{1,5}->VM() \
+            And target(V) = target(P) )")
+  in
+  (* Only the spare VM hosts nothing. *)
+  check_int "one idle VM" 1 (List.length (rows res));
+  let r = List.hd (rows res) in
+  let p = Nepal.Strmap.find "V" r.Nepal.Engine.paths in
+  check_bool "it is vm 23" true
+    (Nepal.Value.equal (Nepal.Path.field (Nepal.Path.source p) "id") (i 23))
+
+(* -- the Select result-processing layer -------------------------------- *)
+
+let test_select_projection () =
+  let db, _, _, _, _ = build () in
+  let res =
+    ok
+      (Nepal.query db
+         "Select source(V).status, source(V).id From PATHS V \
+          Where V MATCHES VM(status='Green')")
+  in
+  let trs = table res in
+  check_int "two green VMs" 2 (List.length trs);
+  List.iter
+    (fun row ->
+      match row with
+      | [ status; _id ] ->
+          check_bool "green" true
+            (Nepal.Value.equal status (Nepal.Value.Str "Green"))
+      | _ -> Alcotest.fail "bad arity")
+    trs
+
+let test_select_distinct () =
+  let db, _, _, _, _ = build () in
+  (* Both VNF pathways end at host 23245: Select target must dedup. *)
+  let res =
+    ok
+      (Nepal.query db
+         "Select target(P).id From PATHS P \
+          Where P MATCHES VNF()->[Vertical()]{1,6}->Host()")
+  in
+  check_int "set semantics" 1 (List.length (table res))
+
+(* -- temporal queries (Section 4) -------------------------------------- *)
+
+let temporal_db () =
+  let db, _, vm1, host1, host2 = build () in
+  (* At t1, vm1 migrates from host1 to host2. *)
+  let store = Nepal.store db in
+  let old_edge =
+    List.find
+      (fun (e : Nepal.Entity.t) -> Nepal.Entity.dst e = host1)
+      (Nepal.Graph_store.out_edges store ~tc:Nepal.Time_constraint.Snapshot vm1)
+  in
+  ok (Nepal.delete db ~at:t1 old_edge.Nepal.Entity.uid);
+  ignore
+    (ok
+       (Nepal.insert_edge db ~at:t1 ~cls:"HostedOn" ~src:vm1 ~dst:host2
+          ~fields:Nepal.Strmap.empty));
+  db
+
+let test_at_point_query () =
+  let db = temporal_db () in
+  let res =
+    ok
+      (Nepal.query db
+         "AT '2017-02-01 12:00:00' \
+          Select source(P) From PATHS P \
+          Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245)")
+  in
+  check_int "both VNFs before migration" 2 (List.length (table res));
+  let res2 =
+    ok
+      (Nepal.query db
+         "Select source(P) From PATHS P \
+          Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245)")
+  in
+  check_int "one VNF now" 1 (List.length (table res2))
+
+let test_per_variable_timestamps () =
+  let db = temporal_db () in
+  (* The paper's two-slice join: same VNF on host 23245 at one time and
+     host 34356 at another. *)
+  let res =
+    ok
+      (Nepal.query db
+         "Select source(P) From PATHS P(@'2017-02-01 12:00'), Q(@'2017-02-15 11:00') \
+          Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245) \
+          And Q MATCHES VNF()->[HostedOn()]{1,6}->Host(id=34356) \
+          And source(P) = source(Q)")
+  in
+  check_int "the migrated VNF" 1 (List.length (table res))
+
+let test_time_range_query () =
+  let db = temporal_db () in
+  let res =
+    ok
+      (Nepal.query db
+         "AT '2017-02-01 00:00' : '2017-02-28 00:00' \
+          Retrieve P From PATHS P \
+          Where P MATCHES VNF(id=123)->[HostedOn()]{1,6}->Host(id=23245)")
+  in
+  check_int "found within range" 1 (List.length (rows res));
+  let r = List.hd (rows res) in
+  let p = Nepal.Strmap.find "P" r.Nepal.Engine.paths in
+  match p.Nepal.Path.valid with
+  | Some v -> (
+      match Nepal.Interval_set.last_moment v with
+      | `Ended e ->
+          check_bool "pathway ended at the migration" true
+            (Nepal.Time_point.equal e t1)
+      | _ -> Alcotest.fail "expected ended")
+  | None -> Alcotest.fail "range query must attach validity"
+
+let test_coexistence_semantics () =
+  let db = temporal_db () in
+  (* Under a query-level AT range, all variables must coexist: the
+     pre-migration pathway and the post-migration pathway of vm1 never
+     coexist. *)
+  let res =
+    ok
+      (Nepal.query db
+         "AT '2017-02-01 00:00' : '2017-02-28 00:00' \
+          Retrieve P, Q From PATHS P, PATHS Q \
+          Where P MATCHES VM(id=21)->[HostedOn()]{1,2}->Host(id=23245) \
+          And Q MATCHES VM(id=21)->[HostedOn()]{1,2}->Host(id=34356) \
+          And source(P) = source(Q)")
+  in
+  check_int "never coexist" 0 (List.length (rows res))
+
+let test_temporal_aggregations () =
+  let db = temporal_db () in
+  let window = (t0, tp "2017-02-28 00:00:00") in
+  let norm =
+    ok
+      (Nepal.Rpe.validate (Nepal.schema db)
+         (Nepal.Rpe_parser.parse_exn "VM(id=21)->[HostedOn()]{1,2}->Host(id=23245)"))
+  in
+  let conn = Nepal.conn db in
+  (match ok (Nepal.Temporal_agg.first_time_when_exists conn ~window norm) with
+  | Some first ->
+      check_bool "first = load time" true (Nepal.Time_point.equal first t0)
+  | None -> Alcotest.fail "expected first time");
+  (match ok (Nepal.Temporal_agg.last_time_when_exists conn ~window norm) with
+  | `Ended e -> check_bool "ends at migration" true (Nepal.Time_point.equal e t1)
+  | _ -> Alcotest.fail "expected ended");
+  let norm2 =
+    ok
+      (Nepal.Rpe.validate (Nepal.schema db)
+         (Nepal.Rpe_parser.parse_exn "VM(id=21)->[HostedOn()]{1,2}->Host(id=34356)"))
+  in
+  match ok (Nepal.Temporal_agg.last_time_when_exists conn ~window norm2) with
+  | `Still_exists -> ()
+  | _ -> Alcotest.fail "post-migration pathway should still exist"
+
+let test_path_evolution () =
+  let db = temporal_db () in
+  let store = Nepal.store db in
+  let vm_uid =
+    (List.hd
+       (Nepal.Graph_store.lookup store ~tc:Nepal.Time_constraint.Snapshot ~cls:"VM"
+          ~field:"id" (i 21))).Nepal.Entity.uid
+  in
+  ok (Nepal.update db ~at:t2 vm_uid ~fields:(fields [ ("status", Nepal.Value.Str "Red") ]));
+  let steps =
+    Nepal.Temporal_agg.path_evolution (Nepal.conn db)
+      ~window:(tp "2017-02-01 00:00:01", tp "2017-02-28 00:00")
+      [ vm_uid ]
+  in
+  check_bool "records the change" true
+    (List.exists
+       (fun (s : Nepal.Temporal_agg.evolution_step) ->
+         s.change = `Changed && Nepal.Time_point.equal s.at t2)
+       steps)
+
+(* -- parser errors surface cleanly ------------------------------------- *)
+
+let test_query_errors () =
+  let db, _, _, _, _ = build () in
+  List.iter
+    (fun q ->
+      match Nepal.query db q with
+      | Ok _ -> Alcotest.failf "accepted bad query %S" q
+      | Error _ -> ())
+    [
+      "Retrieve P From PATHS P";
+      "Retrieve P From PATHS P Where Q MATCHES VM()";
+      "Retrieve P From PATHS P Where P MATCHES Bogus()";
+      "Retrieve P From PATHS P Where P MATCHES VM(nofield=1)";
+      "Retrieve P From PATHS P, PATHS P Where P MATCHES VM()";
+      "Retrieve P From PATHS P Where P MATCHES VM() And P MATCHES VFC()";
+      "Retrieve Q From PATHS P Where P MATCHES VM()";
+    ]
+
+let () =
+  Alcotest.run "nepal_facade"
+    [
+      ( "paper_examples",
+        [
+          Alcotest.test_case "affected VNFs (ex. 1)" `Quick test_affected_vnfs;
+          Alcotest.test_case "generic Vertical (ex. 2)" `Quick test_generic_vertical_query;
+          Alcotest.test_case "physical-path join (ex. 3)" `Quick test_join_physical_path;
+          Alcotest.test_case "NOT EXISTS (ex. 4)" `Quick test_idle_vms_subquery;
+          Alcotest.test_case "Select projection" `Quick test_select_projection;
+          Alcotest.test_case "Select distinct" `Quick test_select_distinct;
+        ] );
+      ( "temporal",
+        [
+          Alcotest.test_case "AT point" `Quick test_at_point_query;
+          Alcotest.test_case "per-variable slices" `Quick test_per_variable_timestamps;
+          Alcotest.test_case "time range" `Quick test_time_range_query;
+          Alcotest.test_case "coexistence" `Quick test_coexistence_semantics;
+          Alcotest.test_case "aggregations" `Quick test_temporal_aggregations;
+          Alcotest.test_case "path evolution" `Quick test_path_evolution;
+        ] );
+      ("errors", [ Alcotest.test_case "bad queries rejected" `Quick test_query_errors ]);
+    ]

@@ -1,0 +1,261 @@
+(* The query engine beyond the paper's examples: residual filters,
+   length predicates, Or/Not, cartesian joins, EXISTS, aliases,
+   cross-variable field comparisons, per-variable backend binds. *)
+
+module Nepal = Core.Nepal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tp = Nepal.Time_point.of_string_exn
+let t0 = tp "2017-03-01 00:00:00"
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let model =
+  {|
+node_types:
+  App:
+    properties:
+      id: int
+      name: string
+      tier: string
+  Box:
+    properties:
+      id: int
+      region: string
+edge_types:
+  RunsOn: {}
+  Link: {}
+|}
+
+(* app1(tier=web) -> box1(east); app2(web) -> box2(west);
+   app3(db) -> box2; boxes linked in a line box1->box2->box3. *)
+let build () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let fields l = Nepal.Strmap.of_list l in
+  let i n = Nepal.Value.Int n and s x = Nepal.Value.Str x in
+  let node cls fs = ok (Nepal.insert_node db ~at:t0 ~cls ~fields:(fields fs)) in
+  let edge cls src dst =
+    ok (Nepal.insert_edge db ~at:t0 ~cls ~src ~dst ~fields:Nepal.Strmap.empty)
+  in
+  let app1 = node "App" [ ("id", i 1); ("name", s "shop"); ("tier", s "web") ] in
+  let app2 = node "App" [ ("id", i 2); ("name", s "blog"); ("tier", s "web") ] in
+  let app3 = node "App" [ ("id", i 3); ("name", s "orders"); ("tier", s "db") ] in
+  let box1 = node "Box" [ ("id", i 10); ("region", s "east") ] in
+  let box2 = node "Box" [ ("id", i 20); ("region", s "west") ] in
+  let box3 = node "Box" [ ("id", i 30); ("region", s "west") ] in
+  ignore (edge "RunsOn" app1 box1);
+  ignore (edge "RunsOn" app2 box2);
+  ignore (edge "RunsOn" app3 box2);
+  ignore (edge "Link" box1 box2);
+  ignore (edge "Link" box2 box3);
+  db
+
+let rows q db =
+  match ok (Nepal.query db q) with
+  | Nepal.Engine.Rows { rows; _ } -> rows
+  | Nepal.Engine.Table _ -> Alcotest.fail "expected rows"
+
+let count q db = List.length (rows q db)
+
+let test_field_filter () =
+  let db = build () in
+  check_int "source field filter" 2
+    (count "Retrieve P From PATHS P Where P MATCHES App()->RunsOn()->Box() \
+            And source(P).tier = 'web'" db);
+  check_int "target field filter" 2
+    (count "Retrieve P From PATHS P Where P MATCHES App()->RunsOn()->Box() \
+            And target(P).region = 'west'" db)
+
+let test_length_filter () =
+  let db = build () in
+  check_int "length 1" 1
+    (count "Retrieve P From PATHS P Where P MATCHES Box(id=10)->[Link()]{1,4}->Box() \
+            And length(P) = 1" db);
+  check_int "length >= 2" 1
+    (count "Retrieve P From PATHS P Where P MATCHES Box(id=10)->[Link()]{1,4}->Box() \
+            And length(P) >= 2" db)
+
+let test_or_not_filters () =
+  let db = build () in
+  check_int "or over fields" 2
+    (count "Retrieve P From PATHS P Where P MATCHES App() \
+            And (source(P).name = 'shop' Or source(P).name = 'blog')" db);
+  check_int "not" 1
+    (count "Retrieve P From PATHS P Where P MATCHES App() \
+            And Not (source(P).tier = 'web')" db)
+
+let test_cross_variable_field_compare () =
+  let db = build () in
+  (* Apps co-located on the same box: app2 and app3 on box2 (and each
+     pair counted once per orientation; exclude self-pairs by name). *)
+  let n =
+    count
+      "Retrieve P, Q From PATHS P, PATHS Q \
+       Where P MATCHES App()->RunsOn()->Box() \
+       And Q MATCHES App()->RunsOn()->Box() \
+       And target(P) = target(Q) \
+       And source(P).id < source(Q).id"
+      db
+  in
+  check_int "one co-located pair" 1 n
+
+let test_cartesian_product () =
+  let db = build () in
+  (* No join condition: all combinations of 3 apps x 3 boxes. *)
+  check_int "cartesian" 9
+    (count "Retrieve P, Q From PATHS P, PATHS Q \
+            Where P MATCHES App() And Q MATCHES Box()" db)
+
+let test_exists () =
+  let db = build () in
+  (* Boxes that run at least one app: box1 and box2. *)
+  check_int "exists" 2
+    (count
+       "Retrieve B From PATHS B Where B MATCHES Box() \
+        And EXISTS( Retrieve P From PATHS P Where P MATCHES App()->RunsOn()->Box() \
+        And target(P) = target(B) )"
+       db)
+
+let test_select_alias_and_length () =
+  let db = build () in
+  match
+    ok
+      (Nepal.query db
+         "Select source(P).name AS app, length(P) AS hops From PATHS P \
+          Where P MATCHES App(id=1)->RunsOn()->Box()")
+  with
+  | Nepal.Engine.Table { columns; rows } ->
+      check_bool "aliases" true (columns = [ "app"; "hops" ]);
+      check_int "one row" 1 (List.length rows);
+      (match rows with
+      | [ [ name; hops ] ] ->
+          check_bool "name" true (Nepal.Value.equal name (Nepal.Value.Str "shop"));
+          check_bool "hops" true (Nepal.Value.equal hops (Nepal.Value.Int 1))
+      | _ -> Alcotest.fail "shape")
+  | _ -> Alcotest.fail "expected table"
+
+let test_binds_route_variables () =
+  let db = build () in
+  let rb = ok (Nepal.to_relational db) in
+  let gb = ok (Nepal.to_gremlin db) in
+  let q =
+    "Retrieve P, L From PATHS P, PATHS L \
+     Where P MATCHES App()->RunsOn()->Box(id=10) \
+     And L MATCHES [Link()]{1,2} \
+     And source(L) = target(P)"
+  in
+  let native = ok (Nepal.query db q) in
+  let mixed =
+    ok
+      (Nepal.query_on (Nepal.conn db)
+         ~binds:[ ("P", Nepal.relational_conn rb); ("L", Nepal.gremlin_conn gb) ]
+         q)
+  in
+  check_int "mixed = native"
+    (Nepal.Engine.result_count native)
+    (Nepal.Engine.result_count mixed);
+  check_bool "nonempty" true (Nepal.Engine.result_count native > 0)
+
+let test_retrieve_projection_dedups () =
+  let db = build () in
+  (* Retrieve only Q where several P joined to the same Q must dedup. *)
+  let n =
+    count
+      "Retrieve B From PATHS P, PATHS B \
+       Where P MATCHES App()->RunsOn()->Box(id=20) \
+       And B MATCHES Box(id=20) \
+       And target(P) = source(B)"
+      db
+  in
+  check_int "projected dedup" 1 n
+
+let table q db =
+  match ok (Nepal.query db q) with
+  | Nepal.Engine.Table { rows; _ } -> rows
+  | Nepal.Engine.Rows _ -> Alcotest.fail "expected a table"
+
+let test_aggregation () =
+  let db = build () in
+  (* How many apps per box? Implicit grouping by the plain item. *)
+  let trs =
+    table
+      "Select target(P).id, count(P) From PATHS P \
+       Where P MATCHES App()->RunsOn()->Box()"
+      db
+  in
+  let sorted = List.sort compare trs in
+  (match sorted with
+  | [ [ Nepal.Value.Int 10; Nepal.Value.Int 1 ]; [ Nepal.Value.Int 20; Nepal.Value.Int 2 ] ] -> ()
+  | _ ->
+      Alcotest.failf "unexpected groups: %s"
+        (String.concat "; "
+           (List.map
+              (fun row -> String.concat "," (List.map Nepal.Value.to_string row))
+              sorted)));
+  (* Global aggregate (no plain items): one row. *)
+  (match table "Select count(P) From PATHS P Where P MATCHES App()" db with
+  | [ [ Nepal.Value.Int 3 ] ] -> ()
+  | _ -> Alcotest.fail "global count");
+  (* min/max/avg over lengths of physical paths. *)
+  match
+    table
+      "Select min(length(P)) AS lo, max(length(P)) AS hi, avg(length(P)) AS mean \
+       From PATHS P Where P MATCHES Box(id=10)->[Link()]{1,4}->Box()"
+      db
+  with
+  | [ [ Nepal.Value.Int 1; Nepal.Value.Int 2; Nepal.Value.Float mean ] ] ->
+      check_bool "avg of 1 and 2" true (abs_float (mean -. 1.5) < 1e-9)
+  | _ -> Alcotest.fail "min/max/avg shape"
+
+let test_aggregate_rejected_in_where () =
+  let db = build () in
+  match
+    Nepal.query db
+      "Retrieve P From PATHS P Where P MATCHES App() And count(P) = 3"
+  with
+  | Ok _ -> Alcotest.fail "aggregate accepted in Where"
+  | Error _ -> ()
+
+let test_engine_errors () =
+  let db = build () in
+  List.iter
+    (fun q ->
+      match Nepal.query db q with
+      | Ok _ -> Alcotest.failf "accepted %S" q
+      | Error _ -> ())
+    [
+      (* Unanchorable variable without a join to import from. *)
+      "Retrieve P From PATHS P Where P MATCHES [Link()]{0,3}";
+      (* MATCHES under Or. *)
+      "Retrieve P From PATHS P Where P MATCHES App() Or P MATCHES Box()";
+    ]
+
+let () =
+  Alcotest.run "nepal_engine"
+    [
+      ( "filters",
+        [
+          Alcotest.test_case "field filters" `Quick test_field_filter;
+          Alcotest.test_case "length filters" `Quick test_length_filter;
+          Alcotest.test_case "or/not" `Quick test_or_not_filters;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "cross-variable fields" `Quick test_cross_variable_field_compare;
+          Alcotest.test_case "cartesian" `Quick test_cartesian_product;
+          Alcotest.test_case "exists" `Quick test_exists;
+          Alcotest.test_case "retrieve projection dedup" `Quick test_retrieve_projection_dedups;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "select aliases" `Quick test_select_alias_and_length;
+          Alcotest.test_case "aggregation" `Quick test_aggregation;
+          Alcotest.test_case "aggregate in Where rejected" `Quick
+            test_aggregate_rejected_in_where;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "per-variable binds" `Quick test_binds_route_variables ] );
+      ("errors", [ Alcotest.test_case "engine errors" `Quick test_engine_errors ]);
+    ]

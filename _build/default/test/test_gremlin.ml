@@ -1,0 +1,227 @@
+(* The property-graph substrate: label-prefix concept matching,
+   traversal steps, channels, Gremlin text rendering — and the
+   schema-free "loads garbage silently" behaviour the paper contrasts
+   Nepal against (Section 6.1). *)
+
+open Nepal_gremlin
+module Value = Nepal_schema.Value
+module Strmap = Nepal_util.Strmap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let props l = Strmap.of_list l
+let i n = Value.Int n
+let s x = Value.Str x
+
+let small_graph () =
+  let g = Pgraph.create () in
+  let vnf = Pgraph.add_vertex g ~label:"Node:VNF:VNF_DNS" (props [ ("id", i 1) ]) in
+  let vfc = Pgraph.add_vertex g ~label:"Node:VFC" (props [ ("id", i 2) ]) in
+  let vm = Pgraph.add_vertex g ~label:"Node:Container:VM:VMWare"
+      (props [ ("id", i 3); ("status", s "Green") ])
+  in
+  let host = Pgraph.add_vertex g ~label:"Node:Host" (props [ ("id", i 4) ]) in
+  let e1 = Pgraph.add_edge g ~label:"Edge:Vertical:ComposedOf" ~src:vnf ~dst:vfc (props []) in
+  let e2 = Pgraph.add_edge g ~label:"Edge:Vertical:HostedOn:OnVM" ~src:vfc ~dst:vm (props []) in
+  let e3 = Pgraph.add_edge g ~label:"Edge:Vertical:HostedOn:OnServer" ~src:vm ~dst:host (props []) in
+  (g, vnf, vfc, vm, host, e1, e2, e3)
+
+(* ---------------- pgraph ---------------- *)
+
+let test_label_prefix_matching () =
+  let g, _, _, _, _, _, _, _ = small_graph () in
+  check_int "all nodes" 4 (List.length (Pgraph.vertices_by_label_prefix g "Node"));
+  check_int "containers" 1 (List.length (Pgraph.vertices_by_label_prefix g "Node:Container"));
+  check_int "VM concept" 1 (List.length (Pgraph.vertices_by_label_prefix g "Node:Container:VM"));
+  (* Segment-aware: "Node:V" must not match "Node:VNF...". *)
+  check_int "partial segment no match" 0
+    (List.length (Pgraph.vertices_by_label_prefix g "Node:V"));
+  check_int "vertical edges" 3 (List.length (Pgraph.edges_by_label_prefix g "Edge:Vertical"));
+  check_int "hosted_on edges" 2
+    (List.length (Pgraph.edges_by_label_prefix g "Edge:Vertical:HostedOn"))
+
+let test_adjacency_and_removal () =
+  let g, _vnf, vfc, vm, _, _, e2, _ = small_graph () in
+  check_int "vfc out" 1 (List.length (Pgraph.out_edges g vfc));
+  check_int "vm in" 1 (List.length (Pgraph.in_edges g vm));
+  Pgraph.remove g e2;
+  check_int "edge gone" 0 (List.length (Pgraph.out_edges g vfc));
+  (* Removing a vertex drops incident edges. *)
+  Pgraph.remove g vm;
+  check_int "vm incident edges gone" 3 (Pgraph.vertex_count g)
+
+let test_property_graph_accepts_garbage () =
+  (* The contrast of Section 6.1: no schema, no warnings. *)
+  let g = Pgraph.create () in
+  let v1 = Pgraph.add_vertex g ~label:"Whatever" (props [ ("id", s "not-an-int") ]) in
+  let v2 = Pgraph.add_vertex g ~label:"Whatever" (props [ ("id", Value.Bool true) ]) in
+  ignore (Pgraph.add_edge g ~label:"Nonsense:::" ~src:v1 ~dst:v2 (props []));
+  check_int "garbage loaded silently" 2 (Pgraph.vertex_count g);
+  (* The only check a property graph gives you: dangling endpoints. *)
+  Alcotest.check_raises "dangling endpoint"
+    (Invalid_argument "Pgraph.add_edge: endpoints must be existing vertices")
+    (fun () -> ignore (Pgraph.add_edge g ~label:"x" ~src:v1 ~dst:999 (props [])))
+
+(* ---------------- traversals ---------------- *)
+
+let run_ids g steps =
+  List.map (fun (e : Pgraph.element) -> e.id)
+    (Traversal.results g (Traversal.run g steps))
+
+let test_traversal_chain () =
+  let g, vnf, _, _, host, _, _, _ = small_graph () in
+  let ids =
+    run_ids g
+      [
+        Traversal.V;
+        Traversal.Has_label "Node:VNF";
+        Traversal.Out_e;
+        Traversal.In_v;
+        Traversal.Out_e;
+        Traversal.In_v;
+        Traversal.Out_e;
+        Traversal.In_v;
+      ]
+  in
+  check_bool "reaches host" true (ids = [ host ]);
+  let back = run_ids g [ Traversal.V_ids [ host ]; Traversal.In_e; Traversal.Out_v ] in
+  check_bool "back one hop lands on vm" true (List.length back = 1);
+  ignore vnf
+
+let test_traversal_repeat_emit () =
+  let g, vnf, vfc, vm, host, _, _, _ = small_graph () in
+  (* repeat(out().in()).times(1..3).emit() from the VNF reaches the
+     three lower layers. *)
+  let ids =
+    run_ids g
+      [
+        Traversal.V_ids [ vnf ];
+        Traversal.Repeat ([ Traversal.Out_e; Traversal.In_v ], 1, 3);
+      ]
+  in
+  check_bool "emits every layer" true
+    (List.sort_uniq Int.compare ids = List.sort_uniq Int.compare [ vfc; vm; host ])
+
+let test_traversal_union_and_has () =
+  let g, _, _, _, _, _, _, _ = small_graph () in
+  let ids =
+    run_ids g
+      [
+        Traversal.V;
+        Traversal.Union
+          [
+            [ Traversal.Has_label "Node:VNF" ];
+            [ Traversal.Has ("status", Traversal.Eq, s "Green") ];
+          ];
+      ]
+  in
+  check_int "vnf + green vm" 2 (List.length ids)
+
+let test_traversal_simple_path () =
+  let g = Pgraph.create () in
+  let a = Pgraph.add_vertex g ~label:"N" (props []) in
+  let b = Pgraph.add_vertex g ~label:"N" (props []) in
+  ignore (Pgraph.add_edge g ~label:"E" ~src:a ~dst:b (props []));
+  ignore (Pgraph.add_edge g ~label:"E" ~src:b ~dst:a (props []));
+  let without =
+    run_ids g
+      [ Traversal.V_ids [ a ];
+        Traversal.Repeat ([ Traversal.Out_e; Traversal.In_v ], 2, 2) ]
+  in
+  check_int "cycles back without simplePath" 1 (List.length without);
+  let with_simple =
+    run_ids g
+      [ Traversal.V_ids [ a ];
+        Traversal.Repeat ([ Traversal.Out_e; Traversal.In_v ], 2, 2);
+        Traversal.Simple_path ]
+  in
+  check_int "simplePath prunes the cycle" 0 (List.length with_simple)
+
+let test_traversal_paths () =
+  let g, vnf, vfc, _, _, e1, _, _ = small_graph () in
+  let trs =
+    Traversal.run g [ Traversal.V_ids [ vnf ]; Traversal.Out_e; Traversal.In_v ]
+  in
+  match Traversal.paths g trs with
+  | [ path ] ->
+      check_bool "full pathway recorded" true
+        (List.map (fun (e : Pgraph.element) -> e.id) path = [ vnf; e1; vfc ])
+  | _ -> Alcotest.fail "expected one path"
+
+let test_gremlin_rendering () =
+  let text =
+    Traversal.to_gremlin
+      [
+        Traversal.V;
+        Traversal.Has_label "Node:VM";
+        Traversal.Has ("id", Traversal.Eq, i 55);
+        Traversal.Repeat ([ Traversal.Out_e; Traversal.In_v ], 1, 4);
+      ]
+  in
+  let contains ~affix s =
+    let n = String.length s and m = String.length affix in
+    let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+    go 0
+  in
+  check_bool "starts with g." true (String.length text > 2 && String.sub text 0 2 = "g.");
+  check_bool "label prefix step" true (contains ~affix:"hasLabel(startingWith('Node:VM'))" text);
+  check_bool "has step" true (contains ~affix:"has('id', 55)" text);
+  check_bool "repeat step" true (contains ~affix:"repeat(outE().inV()).times(1..4)" text)
+
+
+let test_temporal_steps () =
+  let g = Pgraph.create () in
+  let tp = Nepal_temporal.Time_point.of_string_exn in
+  let period a b =
+    Value.List
+      [
+        Value.Time (tp a);
+        (match b with None -> Value.Null | Some x -> Value.Time (tp x));
+      ]
+  in
+  let v_old =
+    Pgraph.add_vertex g ~label:"Node:VM"
+      (props [ ("sys_period", period "2017-02-01 00:00" (Some "2017-02-05 00:00")) ])
+  in
+  let v_live =
+    Pgraph.add_vertex g ~label:"Node:VM"
+      (props [ ("sys_period", period "2017-02-03 00:00" None) ])
+  in
+  ignore v_old;
+  ignore v_live;
+  let ids steps = run_ids g (Traversal.V :: steps) in
+  check_int "current sees only live" 1
+    (List.length (ids [ Traversal.Has_period_current ]));
+  check_int "slice at overlap sees both" 2
+    (List.length (ids [ Traversal.Has_period_at (tp "2017-02-04 00:00") ]));
+  check_int "slice before live's birth" 1
+    (List.length (ids [ Traversal.Has_period_at (tp "2017-02-02 00:00") ]));
+  check_int "window overlap" 2
+    (List.length
+       (ids [ Traversal.Has_period_overlaps (tp "2017-02-01 12:00", tp "2017-02-03 12:00") ]));
+  check_int "window after old's death" 1
+    (List.length
+       (ids [ Traversal.Has_period_overlaps (tp "2017-02-06 00:00", tp "2017-02-07 00:00") ]))
+
+let () =
+  Alcotest.run "nepal_gremlin"
+    [
+      ( "pgraph",
+        [
+          Alcotest.test_case "label prefixes" `Quick test_label_prefix_matching;
+          Alcotest.test_case "adjacency & removal" `Quick test_adjacency_and_removal;
+          Alcotest.test_case "garbage accepted silently" `Quick
+            test_property_graph_accepts_garbage;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "chain" `Quick test_traversal_chain;
+          Alcotest.test_case "repeat/emit" `Quick test_traversal_repeat_emit;
+          Alcotest.test_case "union + has" `Quick test_traversal_union_and_has;
+          Alcotest.test_case "simplePath" `Quick test_traversal_simple_path;
+          Alcotest.test_case "path recording" `Quick test_traversal_paths;
+          Alcotest.test_case "gremlin text" `Quick test_gremlin_rendering;
+          Alcotest.test_case "temporal steps" `Quick test_temporal_steps;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* The update-by-snapshot service (Section 3.1): diffing periodic full
+   snapshots into inserts/updates/deletes, with garbage rejected before
+   any mutation. *)
+
+open Nepal_loader
+module Store = Nepal_store.Graph_store
+module Entity = Nepal_store.Entity
+module Schema = Nepal_schema.Schema
+module Ftype = Nepal_schema.Ftype
+module Value = Nepal_schema.Value
+module Time_point = Nepal_temporal.Time_point
+module Time_constraint = Nepal_temporal.Time_constraint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tp = Time_point.of_string_exn
+let t0 = tp "2017-02-01 00:00:00"
+let t1 = tp "2017-02-02 00:00:00"
+let t2 = tp "2017-02-03 00:00:00"
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let schema () =
+  Schema.create_exn
+    [
+      Schema.class_decl "VM" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("status", Ftype.T_string) ];
+      Schema.class_decl "Host" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "HostedOn" ~parent:"Edge";
+    ]
+
+let i n = Value.Int n
+let s x = Value.Str x
+
+let snap1 =
+  {
+    Snapshot.nodes =
+      [
+        Snapshot.node ~cls:"VM" ~fields:[ ("id", i 1); ("status", s "Green") ] "vm-1";
+        Snapshot.node ~cls:"VM" ~fields:[ ("id", i 2); ("status", s "Green") ] "vm-2";
+        Snapshot.node ~cls:"Host" ~fields:[ ("id", i 100) ] "host-a";
+      ];
+    edges =
+      [
+        Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"host-a" "e-1";
+        Snapshot.edge ~cls:"HostedOn" ~src:"vm-2" ~dst:"host-a" "e-2";
+      ];
+  }
+
+let test_initial_load () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  let d = ok (Snapshot_loader.apply loader ~at:t0 snap1) in
+  check_int "inserted" 5 d.Snapshot_loader.inserted;
+  check_int "deleted" 0 d.Snapshot_loader.deleted;
+  check_int "live entities" 5 (Store.count_current_total store)
+
+let test_idempotent_reapply () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  ignore (ok (Snapshot_loader.apply loader ~at:t0 snap1));
+  let d = ok (Snapshot_loader.apply loader ~at:t1 snap1) in
+  check_int "nothing inserted" 0 d.Snapshot_loader.inserted;
+  check_int "nothing updated" 0 d.Snapshot_loader.updated;
+  check_int "all unchanged" 5 d.Snapshot_loader.unchanged;
+  (* No new versions were created. *)
+  check_int "version count stable" 5 (Store.count_versions store)
+
+let test_field_change_becomes_update () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  ignore (ok (Snapshot_loader.apply loader ~at:t0 snap1));
+  let snap2 =
+    {
+      snap1 with
+      Snapshot.nodes =
+        [
+          Snapshot.node ~cls:"VM" ~fields:[ ("id", i 1); ("status", s "Red") ] "vm-1";
+          Snapshot.node ~cls:"VM" ~fields:[ ("id", i 2); ("status", s "Green") ] "vm-2";
+          Snapshot.node ~cls:"Host" ~fields:[ ("id", i 100) ] "host-a";
+        ];
+    }
+  in
+  let d = ok (Snapshot_loader.apply loader ~at:t1 snap2) in
+  check_int "one update" 1 d.Snapshot_loader.updated;
+  let uid = Option.get (Snapshot_loader.uid_of_key loader "vm-1") in
+  (match Store.get store ~tc:Time_constraint.snapshot uid with
+  | Some e -> check_bool "status red now" true (Value.equal (Entity.field e "status") (s "Red"))
+  | None -> Alcotest.fail "vm-1 missing");
+  (* History preserved. *)
+  match Store.get store ~tc:(Time_constraint.at t0) uid with
+  | Some e -> check_bool "was green" true (Value.equal (Entity.field e "status") (s "Green"))
+  | None -> Alcotest.fail "vm-1 missing at t0"
+
+let test_disappearance_becomes_delete () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  ignore (ok (Snapshot_loader.apply loader ~at:t0 snap1));
+  let snap2 =
+    {
+      Snapshot.nodes =
+        [
+          Snapshot.node ~cls:"VM" ~fields:[ ("id", i 1); ("status", s "Green") ] "vm-1";
+          Snapshot.node ~cls:"Host" ~fields:[ ("id", i 100) ] "host-a";
+        ];
+      edges = [ Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"host-a" "e-1" ];
+    }
+  in
+  let d = ok (Snapshot_loader.apply loader ~at:t1 snap2) in
+  check_int "vm-2 and e-2 deleted" 2 d.Snapshot_loader.deleted;
+  check_bool "key unbound" true (Snapshot_loader.uid_of_key loader "vm-2" = None);
+  check_int "live entities" 3 (Store.count_current_total store)
+
+let test_edge_rehoming () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  ignore (ok (Snapshot_loader.apply loader ~at:t0 snap1));
+  let snap2 =
+    {
+      Snapshot.nodes =
+        snap1.Snapshot.nodes
+        @ [ Snapshot.node ~cls:"Host" ~fields:[ ("id", i 200) ] "host-b" ];
+      edges =
+        [
+          Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"host-b" "e-1";
+          Snapshot.edge ~cls:"HostedOn" ~src:"vm-2" ~dst:"host-a" "e-2";
+        ];
+    }
+  in
+  let d = ok (Snapshot_loader.apply loader ~at:t1 snap2) in
+  (* host-b inserted; e-1 replaced (counted as an update). *)
+  check_int "inserted host" 1 d.Snapshot_loader.inserted;
+  check_bool "edge updated" true (d.Snapshot_loader.updated >= 1);
+  let e1 = Option.get (Snapshot_loader.uid_of_key loader "e-1") in
+  let hostb = Option.get (Snapshot_loader.uid_of_key loader "host-b") in
+  match Store.get store ~tc:Time_constraint.snapshot e1 with
+  | Some e -> check_int "edge re-homed" hostb (Entity.dst e)
+  | None -> Alcotest.fail "e-1 missing"
+
+let test_garbage_rejected_atomically () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  ignore (ok (Snapshot_loader.apply loader ~at:t0 snap1));
+  let bad =
+    {
+      Snapshot.nodes =
+        [
+          Snapshot.node ~cls:"VM" ~fields:[ ("id", s "not-an-int") ] "vm-9";
+        ];
+      edges = [];
+    }
+  in
+  (match Snapshot_loader.apply loader ~at:t1 bad with
+  | Ok _ -> Alcotest.fail "ill-typed snapshot accepted"
+  | Error _ -> ());
+  (* Nothing was mutated: reapplying snap1 still reports unchanged. *)
+  let d = ok (Snapshot_loader.apply loader ~at:t2 snap1) in
+  check_int "store untouched by bad snapshot" 5 d.Snapshot_loader.unchanged
+
+let test_dangling_and_duplicates_rejected () =
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  (match
+     Snapshot_loader.apply loader ~at:t0
+       {
+         Snapshot.nodes = [ Snapshot.node ~cls:"VM" "vm-1" ];
+         edges = [ Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"ghost" "e-1" ];
+       }
+   with
+  | Ok _ -> Alcotest.fail "dangling endpoint accepted"
+  | Error _ -> ());
+  match
+    Snapshot_loader.apply loader ~at:t0
+      {
+        Snapshot.nodes =
+          [ Snapshot.node ~cls:"VM" "dup"; Snapshot.node ~cls:"VM" "dup" ];
+        edges = [];
+      }
+  with
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+  | Error _ -> ()
+
+
+(* ---- end to end: periodic snapshots then time-travel queries ---- *)
+
+module Nepal = Core.Nepal
+
+let test_snapshot_feed_time_travel () =
+  (* Three daily snapshots from an external inventory: vm-1 migrates
+     from host-a to host-b on day 2, and is decommissioned on day 3.
+     Time-travel queries then reconstruct each day. *)
+  let store = Store.create (schema ()) in
+  let loader = Snapshot_loader.create store in
+  let day1 = tp "2017-02-01 06:00:00" in
+  let day2 = tp "2017-02-02 06:00:00" in
+  let day3 = tp "2017-02-03 06:00:00" in
+  let base_nodes =
+    [
+      Snapshot.node ~cls:"VM" ~fields:[ ("id", i 1); ("status", s "Green") ] "vm-1";
+      Snapshot.node ~cls:"Host" ~fields:[ ("id", i 100) ] "host-a";
+      Snapshot.node ~cls:"Host" ~fields:[ ("id", i 200) ] "host-b";
+    ]
+  in
+  ignore
+    (ok
+       (Snapshot_loader.apply loader ~at:day1
+          {
+            Snapshot.nodes = base_nodes;
+            edges = [ Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"host-a" "e-1" ];
+          }));
+  ignore
+    (ok
+       (Snapshot_loader.apply loader ~at:day2
+          {
+            Snapshot.nodes = base_nodes;
+            edges = [ Snapshot.edge ~cls:"HostedOn" ~src:"vm-1" ~dst:"host-b" "e-1" ];
+          }));
+  ignore
+    (ok
+       (Snapshot_loader.apply loader ~at:day3
+          {
+            Snapshot.nodes = List.tl base_nodes (* vm-1 gone *);
+            edges = [];
+          }));
+  let db = Nepal.of_store store in
+  let count q =
+    match ok (Nepal.query db q) with
+    | Nepal.Engine.Rows { rows; _ } -> List.length rows
+    | Nepal.Engine.Table { rows; _ } -> List.length rows
+  in
+  (* Day 1 noon: on host-a. *)
+  check_int "day1 on host-a" 1
+    (count
+       "AT '2017-02-01 12:00' Retrieve P From PATHS P \
+        Where P MATCHES VM()->HostedOn()->Host(id=100)");
+  check_int "day1 not on host-b" 0
+    (count
+       "AT '2017-02-01 12:00' Retrieve P From PATHS P \
+        Where P MATCHES VM()->HostedOn()->Host(id=200)");
+  (* Day 2 noon: migrated. *)
+  check_int "day2 on host-b" 1
+    (count
+       "AT '2017-02-02 12:00' Retrieve P From PATHS P \
+        Where P MATCHES VM()->HostedOn()->Host(id=200)");
+  (* Day 3: decommissioned. *)
+  check_int "day3 gone" 0
+    (count
+       "AT '2017-02-03 12:00' Retrieve P From PATHS P Where P MATCHES VM()");
+  (* The full range query reports both hosting pathways with their
+     maximal validity intervals. *)
+  (match
+     ok
+       (Nepal.query db
+          "AT '2017-02-01 00:00' : '2017-02-04 00:00' \
+           Retrieve P From PATHS P Where P MATCHES VM()->HostedOn()->Host()")
+   with
+  | Nepal.Engine.Rows { rows; _ } ->
+      check_int "two hosting epochs" 2 (List.length rows);
+      List.iter
+        (fun r ->
+          let p = Nepal.Strmap.find "P" r.Nepal.Engine.paths in
+          match p.Nepal.Path.valid with
+          | Some v -> check_bool "closed epochs" true
+              (match Nepal.Interval_set.last_moment v with
+               | `Ended _ -> true
+               | _ -> false)
+          | None -> Alcotest.fail "no validity")
+        rows
+  | _ -> Alcotest.fail "expected rows");
+  (* When did vm-1 run on host-a? Exactly [day1, day2). *)
+  let rpe =
+    ok
+      (Nepal_rpe.Rpe.validate (Store.schema store)
+         (Nepal_rpe.Rpe_parser.parse_exn "VM()->HostedOn()->Host(id=100)"))
+  in
+  match
+    ok
+      (Nepal.Temporal_agg.when_exists (Nepal.conn db)
+         ~window:(day1, tp "2017-02-04 00:00") rpe)
+  with
+  | w -> (
+      check_bool "starts day1" true
+        (Nepal.Interval_set.contains w day1);
+      check_bool "over by day2" false (Nepal.Interval_set.contains w day2);
+      match Nepal.Interval_set.last_moment w with
+      | `Ended e -> check_bool "ends at day2 load" true (Nepal.Time_point.equal e day2)
+      | _ -> Alcotest.fail "expected ended")
+
+let () =
+  Alcotest.run "nepal_loader"
+    [
+      ( "snapshot_loader",
+        [
+          Alcotest.test_case "initial load" `Quick test_initial_load;
+          Alcotest.test_case "idempotent reapply" `Quick test_idempotent_reapply;
+          Alcotest.test_case "field change" `Quick test_field_change_becomes_update;
+          Alcotest.test_case "disappearance" `Quick test_disappearance_becomes_delete;
+          Alcotest.test_case "edge re-homing" `Quick test_edge_rehoming;
+          Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected_atomically;
+          Alcotest.test_case "dangling/duplicates" `Quick test_dangling_and_duplicates_rejected;
+        ] );
+      ( "time_travel",
+        [
+          Alcotest.test_case "snapshot feed reconstruction" `Quick
+            test_snapshot_feed_time_travel;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+(* The layered model (Figures 1-3) and the two evaluation topologies of
+   Section 6: schema width, generated scale, history growth, workload
+   shape (forward cheap / reverse explosive / hub-heavy bottom-up). *)
+
+module Nepal = Core.Nepal
+module Model = Nepal_netmodel.Model
+module Virt = Nepal_netmodel.Virt_service
+module Legacy = Nepal_netmodel.Legacy
+module Schema = Nepal_schema.Schema
+module Store = Nepal_store.Graph_store
+module Prng = Nepal_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+(* ---------------- the model schema ---------------- *)
+
+let test_class_counts () =
+  let s = Model.schema () in
+  (* Paper: "The schema has 12 edge classes and 54 node classes." *)
+  check_int "54 node classes" Model.node_class_count
+    (List.length (Schema.node_classes s) - 1 (* minus the Node root *));
+  check_int "12 edge classes" Model.edge_class_count
+    (List.length (Schema.edge_classes s) - 1)
+
+let test_layering_rules () =
+  let s = Model.schema () in
+  (* One can traverse from a VNF to physical servers only through the
+     layer stack — no direct edge is permitted (Figure 3). *)
+  check_bool "VNF->VFC composition" true
+    (Schema.edge_allowed s ~edge:"ComposedOf" ~src:"VNF_DNS" ~dst:"VFC_Web");
+  check_bool "no direct VNF->Server" false
+    (Schema.edge_allowed s ~edge:"OnServer" ~src:"VNF_DNS" ~dst:"Server_Blade");
+  check_bool "vm on server" true
+    (Schema.edge_allowed s ~edge:"OnServer" ~src:"VM_KVM" ~dst:"Server_Blade");
+  check_bool "hosted_on under Vertical" true
+    (Schema.is_subclass s ~sub:"OnServer" ~sup:"Vertical");
+  check_bool "composed_of under Vertical" true
+    (Schema.is_subclass s ~sub:"ComposedOf" ~sup:"Vertical")
+
+let test_tosca_export () =
+  let text = Model.tosca () in
+  match Nepal_schema.Tosca.parse text with
+  | Ok s2 ->
+      check_int "all classes survive the roundtrip"
+        (List.length (Schema.all_classes (Model.schema ())))
+        (List.length (Schema.all_classes s2))
+  | Error e -> Alcotest.failf "re-parse of exported TOSCA failed: %s" e
+
+(* ---------------- virtualized service ---------------- *)
+
+let vs = lazy (Virt.generate ())
+
+let test_virt_scale () =
+  let t = Lazy.force vs in
+  let store = t.Virt.store in
+  let nodes =
+    Store.count_current store ~cls:"Node"
+  in
+  let edges = Store.count_current store ~cls:"Edge" in
+  (* Paper: about 2,000 nodes and 11,000 edges. Accept the same order
+     of magnitude. *)
+  check_bool (Printf.sprintf "nodes ~2000 (got %d)" nodes) true
+    (nodes >= 1_200 && nodes <= 3_000);
+  check_bool (Printf.sprintf "edges ~11000 (got %d)" edges) true
+    (edges >= 5_000 && edges <= 15_000);
+  check_int "33 VNFs as in the paper" 33 (Store.count_current store ~cls:"VNF")
+
+let test_virt_deterministic () =
+  let a = Virt.generate ~seed:9 ~vnf_count:5 ~server_count:10 () in
+  let b = Virt.generate ~seed:9 ~vnf_count:5 ~server_count:10 () in
+  check_int "same node count"
+    (Store.count_current a.Virt.store ~cls:"Node")
+    (Store.count_current b.Virt.store ~cls:"Node");
+  check_int "same edge count"
+    (Store.count_current a.Virt.store ~cls:"Edge")
+    (Store.count_current b.Virt.store ~cls:"Edge")
+
+let test_virt_history_overhead () =
+  let t = Virt.generate ~seed:12 () in
+  Virt.simulate_history ~seed:13 t;
+  let overhead = Virt.history_overhead t in
+  (* Paper: the virtualized-service history is ~6% larger. *)
+  check_bool (Printf.sprintf "overhead ~6%% (got %.1f%%)" (overhead *. 100.)) true
+    (overhead > 0.02 && overhead < 0.15)
+
+let test_virt_workload_nonzero () =
+  let t = Lazy.force vs in
+  let db = Nepal.of_store t.Virt.store in
+  let rng = Prng.create 99 in
+  let count q =
+    match ok (Nepal.query db q) with
+    | Nepal.Engine.Rows { rows; _ } -> List.length rows
+    | _ -> 0
+  in
+  (* Top-down from every VNF must reach servers. *)
+  let vnf = Virt.sample_vnf_id rng t in
+  check_bool "top-down nonzero" true (count (Virt.q_top_down ~vnf_id:vnf) > 0);
+  (* Bottom-up from some server returns VNFs (resample like the paper,
+     avoiding zero-path instances). *)
+  let rec try_bottom_up n =
+    if n = 0 then 0
+    else
+      let sid = Virt.sample_server_id rng t in
+      let c = count (Virt.q_bottom_up ~server_id:sid) in
+      if c > 0 then c else try_bottom_up (n - 1)
+  in
+  check_bool "bottom-up nonzero" true (try_bottom_up 10 > 0);
+  (* VM-VM through the virtual overlay. *)
+  let rec try_vm_vm n =
+    if n = 0 then 0
+    else
+      let a = Virt.sample_container_id rng t in
+      let b = Virt.sample_container_id rng t in
+      let c = if a = b then 0 else count (Virt.q_vm_vm ~a ~b) in
+      if c > 0 then c else try_vm_vm (n - 1)
+  in
+  check_bool "vm-vm nonzero" true (try_vm_vm 20 > 0);
+  (* Host-Host physical, 4 hops. *)
+  let rec try_hh n =
+    if n = 0 then 0
+    else
+      let a = Virt.sample_server_id rng t in
+      let b = Virt.sample_server_id rng t in
+      let c = if a = b then 0 else count (Virt.q_host_host ~hops:4 ~a ~b) in
+      if c > 0 then c else try_hh (n - 1)
+  in
+  check_bool "host-host nonzero" true (try_hh 10 > 0)
+
+let test_virt_hosthost6_explodes () =
+  let t = Lazy.force vs in
+  let db = Nepal.of_store t.Virt.store in
+  let rng = Prng.create 5 in
+  let count q =
+    match ok (Nepal.query db q) with
+    | Nepal.Engine.Rows { rows; _ } -> List.length rows
+    | _ -> 0
+  in
+  (* The paper: length-6 Host-Host explores far more paths than
+     length-4. Compare on one instance pair with both lengths. *)
+  let rec find_pair n =
+    if n = 0 then None
+    else
+      let a = Virt.sample_server_id rng t in
+      let b = Virt.sample_server_id rng t in
+      if a <> b && count (Virt.q_host_host ~hops:4 ~a ~b) > 0 then Some (a, b)
+      else find_pair (n - 1)
+  in
+  match find_pair 10 with
+  | Some (a, b) ->
+      let c4 = count (Virt.q_host_host ~hops:4 ~a ~b) in
+      let c6 = count (Virt.q_host_host ~hops:6 ~a ~b) in
+      check_bool (Printf.sprintf "6 hops >= 4 hops (%d vs %d)" c6 c4) true (c6 >= c4)
+  | None -> Alcotest.fail "no connected server pair found"
+
+(* ---------------- legacy topology ---------------- *)
+
+let legacy_flat = lazy (Legacy.generate ~nodes:4_000 Legacy.Flat)
+
+let test_legacy_scale () =
+  let t = Lazy.force legacy_flat in
+  let store = t.Legacy.store in
+  let nodes = Store.count_current store ~cls:"LegacyNode" in
+  let edges = Store.count_current store ~cls:"LegacyEdge" in
+  check_bool (Printf.sprintf "nodes (got %d)" nodes) true
+    (nodes >= 3_000 && nodes <= 4_100);
+  (* Paper ratio: 7.1M / 1.6M = 4.4 edges per node. *)
+  let ratio = float_of_int edges /. float_of_int nodes in
+  check_bool (Printf.sprintf "edge/node ratio ~4.4 (got %.2f)" ratio) true
+    (ratio > 3.0 && ratio < 5.5)
+
+let test_legacy_indicators () =
+  check_int "66 type indicators" 66 Legacy.indicator_count;
+  check_int "indicator list length" 66 (List.length Legacy.indicators);
+  let s = Legacy.schema Legacy.Classed in
+  check_int "66 concrete edge subclasses" 66
+    (List.length (Schema.concrete_subclasses s "LegacyEdge"))
+
+let test_legacy_forward_vs_reverse () =
+  let t = Lazy.force legacy_flat in
+  let db = Nepal.of_store t.Legacy.store in
+  let rng = Prng.create 3 in
+  let count q =
+    match ok (Nepal.query db q) with
+    | Nepal.Engine.Rows { rows; _ } -> List.length rows
+    | _ -> 0
+  in
+  let rec sample_counts n (fwd_acc, rev_acc) =
+    if n = 0 then (fwd_acc, rev_acc)
+    else
+      let fwd = count (Legacy.q_service_path t ~src:(Legacy.sample_source rng t)) in
+      let rev = count (Legacy.q_reverse_path t ~sink:(Legacy.sample_sink rng t)) in
+      sample_counts (n - 1) (fwd_acc + fwd, rev_acc + rev)
+  in
+  let fwd, rev = sample_counts 3 (0, 0) in
+  (* The paper's shape: 32.9 forward vs 391,000 reverse. *)
+  check_bool (Printf.sprintf "reverse ≫ forward (%d vs %d)" rev fwd) true
+    (rev > 10 * max 1 fwd)
+
+let test_legacy_vertical_queries () =
+  let t = Lazy.force legacy_flat in
+  let db = Nepal.of_store t.Legacy.store in
+  let rng = Prng.create 4 in
+  let count q =
+    match ok (Nepal.query db q) with
+    | Nepal.Engine.Rows { rows; _ } -> List.length rows
+    | _ -> 0
+  in
+  let src = Legacy.sample_top rng t in
+  check_bool "top-down finds the chain" true (count (Legacy.q_top_down t ~src) > 0);
+  (* Bottom-up from the physical end of the same chain. *)
+  let td = ok (Nepal.query db (Legacy.q_top_down t ~src)) in
+  match td with
+  | Nepal.Engine.Rows { rows = row :: _; _ } ->
+      let p = Nepal.Strmap.find "P" row.Nepal.Engine.paths in
+      let phys_id =
+        match Nepal.Path.field (Nepal.Path.target p) "id" with
+        | Nepal.Value.Int v -> v
+        | _ -> Alcotest.fail "no id"
+      in
+      check_bool "bottom-up finds it back" true
+        (count (Legacy.q_bottom_up t ~dst:phys_id) > 0)
+  | _ -> Alcotest.fail "no top-down paths"
+
+let test_legacy_hubs_exist () =
+  let t = Lazy.force legacy_flat in
+  let store = t.Legacy.store in
+  (* Hub nodes must have far larger in-degree than ordinary nodes —
+     the cause of the paper's slow bottom-up samples. *)
+  let in_degree id =
+    match
+      Store.lookup store ~tc:Nepal.Time_constraint.Snapshot ~cls:"LegacyNode"
+        ~field:"id" (Nepal.Value.Int id)
+    with
+    | e :: _ ->
+        List.length
+          (Store.in_edges store ~tc:Nepal.Time_constraint.Snapshot
+             e.Nepal_store.Entity.uid)
+    | [] -> 0
+  in
+  let hub = t.Legacy.hub_ids.(0) in
+  let non_hub =
+    t.Legacy.physical_ids.(Array.length t.Legacy.physical_ids - 1)
+  in
+  check_bool
+    (Printf.sprintf "hub in-degree %d ≫ non-hub %d" (in_degree hub) (in_degree non_hub))
+    true
+    (in_degree hub > 5 * max 1 (in_degree non_hub))
+
+let test_legacy_reclass_equivalence () =
+  let flat = Legacy.generate ~seed:21 ~nodes:1_500 Legacy.Flat in
+  let classed = ok (Nepal_loader.Reclass.reclass flat) in
+  check_bool "mode switched" true (classed.Legacy.mode = Legacy.Classed);
+  let db_flat = Nepal.of_store flat.Legacy.store in
+  let db_classed = Nepal.of_store classed.Legacy.store in
+  let rng = Prng.create 8 in
+  (* The same logical queries must return the same path multisets
+     (keys differ since uids are re-assigned; compare counts and
+     endpoint ids). *)
+  for _ = 1 to 5 do
+    let src = Legacy.sample_source rng flat in
+    let q_flat = Legacy.q_service_path flat ~src in
+    let q_classed = Legacy.q_service_path classed ~src in
+    let endpoints db q =
+      match ok (Nepal.query db q) with
+      | Nepal.Engine.Rows { rows; _ } ->
+          List.map
+            (fun r ->
+              let p = Nepal.Strmap.find "P" r.Nepal.Engine.paths in
+              ( Nepal.Path.field (Nepal.Path.source p) "id",
+                Nepal.Path.field (Nepal.Path.target p) "id",
+                Nepal.Path.length p ))
+            rows
+          |> List.sort compare
+      | _ -> []
+    in
+    check_bool "same service paths after re-classing" true
+      (endpoints db_flat q_flat = endpoints db_classed q_classed)
+  done
+
+let () =
+  Alcotest.run "nepal_netmodel"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "class counts (paper: 54/12)" `Quick test_class_counts;
+          Alcotest.test_case "layering rules" `Quick test_layering_rules;
+          Alcotest.test_case "tosca export" `Quick test_tosca_export;
+        ] );
+      ( "virt_service",
+        [
+          Alcotest.test_case "scale" `Quick test_virt_scale;
+          Alcotest.test_case "deterministic" `Quick test_virt_deterministic;
+          Alcotest.test_case "history overhead ~6%" `Quick test_virt_history_overhead;
+          Alcotest.test_case "workload nonzero" `Quick test_virt_workload_nonzero;
+          Alcotest.test_case "host-host 6 explodes" `Quick test_virt_hosthost6_explodes;
+        ] );
+      ( "legacy",
+        [
+          Alcotest.test_case "scale" `Quick test_legacy_scale;
+          Alcotest.test_case "66 indicators" `Quick test_legacy_indicators;
+          Alcotest.test_case "reverse ≫ forward" `Quick test_legacy_forward_vs_reverse;
+          Alcotest.test_case "vertical queries" `Quick test_legacy_vertical_queries;
+          Alcotest.test_case "hubs" `Quick test_legacy_hubs_exist;
+          Alcotest.test_case "re-classing equivalence" `Quick test_legacy_reclass_equivalence;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* The query-language parser: every syntactic form that appears in the
+   paper, plus printing roundtrips and error cases. *)
+
+module Qp = Nepal_query.Query_parser
+module Ast = Nepal_query.Query_ast
+module Value = Nepal_schema.Value
+module Predicate = Nepal_rpe.Predicate
+module Rpe = Nepal_rpe.Rpe
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse_ok s =
+  match Qp.parse s with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* ------------- shapes ------------- *)
+
+let test_retrieve_basic () =
+  let q = parse_ok "Retrieve P From PATHS P Where P MATCHES VM()" in
+  (match q.Ast.mode with
+  | Ast.Retrieve [ "P" ] -> ()
+  | _ -> Alcotest.fail "mode");
+  check_int "one var" 1 (List.length q.Ast.vars);
+  match q.Ast.where_ with
+  | Ast.Matches ("P", Rpe.Atom { cls = "VM"; _ }) -> ()
+  | _ -> Alcotest.fail "where"
+
+let test_keywords_case_insensitive () =
+  let q =
+    parse_ok "retrieve P from paths P WHERE P matches VM() AND length(P) >= 0"
+  in
+  check_int "conjuncts" 2 (List.length (Ast.conjuncts q.Ast.where_))
+
+let test_multi_var_join () =
+  let q =
+    parse_ok
+      "Retrieve Phys From PATHS D1, PATHS D2, PATHS Phys \
+       Where D1 MATCHES VNF(id=123)->Vertical(){1,6}->Host() \
+       And D2 MATCHES VNF(id=234)->Vertical(){1,6}->Host() \
+       And Phys MATCHES ConnectsTo(){1,8} \
+       And source(Phys)=target(D1) \
+       And target(Phys)=target(D2)"
+  in
+  check_int "three vars" 3 (List.length q.Ast.vars);
+  let conjs = Ast.conjuncts q.Ast.where_ in
+  check_int "five conjuncts" 5 (List.length conjs);
+  let joins =
+    List.filter
+      (function
+        | Ast.Cmp (Ast.Node_of _, Predicate.Eq, Ast.Node_of _) -> true
+        | _ -> false)
+      conjs
+  in
+  check_int "two join equalities" 2 (List.length joins)
+
+let test_select_items () =
+  let q =
+    parse_ok
+      "Select source(V).name, source(V).id, length(V) AS hops \
+       From PATHS V Where V MATCHES VM()"
+  in
+  match q.Ast.mode with
+  | Ast.Select [ a; b; c ] ->
+      (match a.Ast.item with
+      | Ast.Field_of (Ast.Source, "V", [ "name" ]) -> ()
+      | _ -> Alcotest.fail "item a");
+      (match b.Ast.item with
+      | Ast.Field_of (Ast.Source, "V", [ "id" ]) -> ()
+      | _ -> Alcotest.fail "item b");
+      (match (c.Ast.item, c.Ast.alias) with
+      | Ast.Length_of "V", Some "hops" -> ()
+      | _ -> Alcotest.fail "item c")
+  | _ -> Alcotest.fail "mode"
+
+let test_query_level_at () =
+  let q =
+    parse_ok
+      "AT '2017-02-15 10:00:00' Select source(P) From PATHS P \
+       Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245)"
+  in
+  match q.Ast.q_at with
+  | Some (Ast.At_point t) ->
+      check_string "timestamp" "2017-02-15 10:00:00"
+        (Nepal_temporal.Time_point.to_string t)
+  | _ -> Alcotest.fail "expected AT point"
+
+let test_query_level_range () =
+  let q =
+    parse_ok
+      "AT '2017-02-15 09:00' : '2017-02-15 11:00' Select source(P) \
+       From PATHS P Where P MATCHES VNF()"
+  in
+  match q.Ast.q_at with
+  | Some (Ast.At_range (_, _)) -> ()
+  | _ -> Alcotest.fail "expected AT range"
+
+let test_per_variable_at () =
+  (* The paper's exact syntax, including the omitted PATHS keyword on
+     the second variable. *)
+  let q =
+    parse_ok
+      "Select source(P) From PATHS P(@'2017-02-15 10:00'), Q(@'2017-02-15 11:00') \
+       Where P MATCHES VNF()->[HostedOn()]{1,6}->Host(id=23245) \
+       And Q MATCHES VNF()->[HostedOn()]{1,6}->Host(id=34356) \
+       And source(P) = source(Q)"
+  in
+  check_int "two vars" 2 (List.length q.Ast.vars);
+  List.iter
+    (fun v ->
+      match v.Ast.var_tc with
+      | Some (Ast.At_point _) -> ()
+      | _ -> Alcotest.fail "per-var timestamp missing")
+    q.Ast.vars
+
+let test_not_exists_subquery () =
+  let q =
+    parse_ok
+      "Retrieve V From PATHS V Where V MATCHES VM() \
+       And NOT EXISTS( Retrieve P from PATHS P \
+         Where P MATCHES (VNF()|VFC())->[HostedOn(){1,5}]->VM() \
+         And target(V) = target(P) )"
+  in
+  let conjs = Ast.conjuncts q.Ast.where_ in
+  match List.nth conjs 1 with
+  | Ast.Not_exists sub ->
+      check_int "subquery has one var" 1 (List.length sub.Ast.vars)
+  | _ -> Alcotest.fail "expected NOT EXISTS"
+
+let test_or_and_not () =
+  let q =
+    parse_ok
+      "Retrieve P From PATHS P Where P MATCHES VM() \
+       And (source(P).id = 1 Or source(P).id = 2) \
+       And Not source(P).status = 'Red'"
+  in
+  check_int "three conjuncts" 3 (List.length (Ast.conjuncts q.Ast.where_))
+
+let test_negative_literals () =
+  let q =
+    parse_ok "Retrieve P From PATHS P Where P MATCHES VM() And length(P) > -1"
+  in
+  match List.nth (Ast.conjuncts q.Ast.where_) 1 with
+  | Ast.Cmp (_, Predicate.Gt, Ast.Lit (Value.Int (-1))) -> ()
+  | _ -> Alcotest.fail "negative literal"
+
+(* ------------- printing roundtrip ------------- *)
+
+let test_print_roundtrip () =
+  List.iter
+    (fun text ->
+      let q1 = parse_ok text in
+      let printed = Ast.to_string q1 in
+      let q2 = parse_ok printed in
+      check_string (text ^ " roundtrips") (Ast.to_string q2) printed)
+    [
+      "Retrieve P From PATHS P Where P MATCHES VM(status='Green')";
+      "Select source(P).id From PATHS P Where P MATCHES VNF()->VFC()";
+      "AT '2017-02-15 10:00:00' Retrieve P From PATHS P Where P MATCHES VM()";
+      "Retrieve P, Q From PATHS P, PATHS Q Where P MATCHES VM() And Q MATCHES VFC() \
+       And source(P) = source(Q)";
+      "Retrieve V From PATHS V Where V MATCHES VM() And NOT EXISTS( \
+       Retrieve P From PATHS P Where P MATCHES VFC() And target(V) = target(P) )";
+      "Select source(P).name, count(P) From PATHS P Where P MATCHES VM()";
+      "Select min(length(P)) AS lo, max(length(P)) From PATHS P Where P MATCHES VM()";
+    ]
+
+(* ------------- errors ------------- *)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Qp.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "Retrieve";
+      "Retrieve P Where P MATCHES VM()";
+      "Retrieve P From PATHS P";
+      "Select From PATHS P Where P MATCHES VM()";
+      "Retrieve P From PATHS P Where MATCHES VM()";
+      "Retrieve P From PATHS P Where P MATCHES";
+      "AT 'not a timestamp' Retrieve P From PATHS P Where P MATCHES VM()";
+      "AT '2017-02-15 11:00' : '2017-02-15 10:00' Retrieve P From PATHS P Where P MATCHES VM()";
+      "Retrieve P From PATHS P Where P MATCHES VM() trailing";
+      "Retrieve P From PATHS P(@'oops') Where P MATCHES VM()";
+    ]
+
+let () =
+  Alcotest.run "nepal_query_parser"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "retrieve basic" `Quick test_retrieve_basic;
+          Alcotest.test_case "case-insensitive keywords" `Quick test_keywords_case_insensitive;
+          Alcotest.test_case "multi-var join" `Quick test_multi_var_join;
+          Alcotest.test_case "select items" `Quick test_select_items;
+          Alcotest.test_case "query-level AT" `Quick test_query_level_at;
+          Alcotest.test_case "query-level range" `Quick test_query_level_range;
+          Alcotest.test_case "per-variable @" `Quick test_per_variable_at;
+          Alcotest.test_case "NOT EXISTS" `Quick test_not_exists_subquery;
+          Alcotest.test_case "Or/And/Not" `Quick test_or_and_not;
+          Alcotest.test_case "negative literals" `Quick test_negative_literals;
+        ] );
+      ("roundtrip", [ Alcotest.test_case "print-parse" `Quick test_print_roundtrip ]);
+      ("errors", [ Alcotest.test_case "malformed rejected" `Quick test_parse_errors ]);
+    ]

@@ -1,0 +1,479 @@
+open Nepal_rpe
+open Nepal_schema
+module Strmap = Nepal_util.Strmap
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let schema () =
+  Schema.create_exn
+    [
+      Schema.class_decl "VNF" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("name", Ftype.T_string) ];
+      Schema.class_decl "VFC" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "VM" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("status", Ftype.T_string) ]
+        ~cardinality_hint:1000;
+      Schema.class_decl "VMWare" ~parent:"VM";
+      Schema.class_decl "Docker" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "Host" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("name", Ftype.T_string) ];
+      Schema.class_decl "Vertical" ~parent:"Edge" ~abstract:true;
+      Schema.class_decl "HostedOn" ~parent:"Vertical";
+      Schema.class_decl "Connects" ~parent:"Edge"
+        ~fields:[ ("bandwidth", Ftype.T_int) ];
+    ]
+
+(* ---------------- parser ---------------- *)
+
+let parse_ok s =
+  match Rpe_parser.parse s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_parse_basic () =
+  let r = parse_ok "VNF()->VFC()->VM()->Host(id=23245)" in
+  match Rpe.normalize r with
+  | Rpe.N_seq [ _; _; _; Rpe.N_atom a ] ->
+      check_string "class" "Host" a.Rpe.cls;
+      check_bool "pred" true
+        (Predicate.equal a.Rpe.pred
+           (Predicate.Cmp ([ "id" ], Predicate.Eq, Value.Int 23245)))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_repetition_variants () =
+  (* All three notations from the paper must parse to the same RPE. *)
+  let a = parse_ok "VNF()->[Vertical()]{1,6}->Host(id=1)" in
+  let b = parse_ok "VNF()->Vertical(){1,6}->Host(id=1)" in
+  let c = parse_ok "VNF()->[Vertical(){1,6}]->Host(id=1)" in
+  check_bool "bracket = postfix" true (Rpe.equal a b);
+  check_bool "inner braces" true (Rpe.equal a c);
+  let d = parse_ok "VNF()->[Vertical()]{1-6}->Host(id=1)" in
+  check_bool "dash bounds" true (Rpe.equal a d)
+
+let test_parse_alternation () =
+  let r = parse_ok "(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()" in
+  match Rpe.normalize r with
+  | Rpe.N_seq (Rpe.N_alt [ Rpe.N_atom a; Rpe.N_atom b ] :: _) ->
+      check_string "first" "VM" a.Rpe.cls;
+      check_string "second" "Docker" b.Rpe.cls
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_predicates () =
+  let r = parse_ok "VM(status='Green', id>3)" in
+  match r with
+  | Rpe.Atom { pred; _ } ->
+      check_bool "conjunction" true
+        (Predicate.equal pred
+           (Predicate.And
+              ( Predicate.Cmp ([ "status" ], Predicate.Eq, Value.Str "Green"),
+                Predicate.Cmp ([ "id" ], Predicate.Gt, Value.Int 3) )))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_quoted_escape () =
+  match parse_ok "Host(name='O''Brien')" with
+  | Rpe.Atom { pred = Predicate.Cmp (_, _, Value.Str s); _ } ->
+      check_string "escaped quote" "O'Brien" s
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Rpe_parser.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "VNF(";
+      "VNF()->";
+      "VNF(){2,1}";
+      "->VNF()";
+      "VNF()->()";
+      "VNF() VM()";
+      "VNF(id=)";
+    ]
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      let r = parse_ok s in
+      let printed = Rpe.to_string r in
+      let r2 = parse_ok printed in
+      check_bool (s ^ " roundtrips") true (Rpe.equal r r2))
+    [
+      "VNF(id=55)->[Connects()]{1,5}->VM(id=66)";
+      "(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()";
+      "VM(status='Green')";
+      "VNF()->[Vertical()]{0,4}";
+    ]
+
+(* ---------------- validate ---------------- *)
+
+let test_validate () =
+  let s = schema () in
+  (match Rpe.validate s (parse_ok "VNF()->VFC()") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Unknown class. *)
+  (match Rpe.validate s (parse_ok "Nonsense()") with
+  | Ok _ -> Alcotest.fail "unknown class accepted"
+  | Error _ -> ());
+  (* Unknown field: atoms are strongly typed. *)
+  (match Rpe.validate s (parse_ok "VM(bogus=1)") with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error _ -> ());
+  (* Field of subclass not visible at superclass atom. *)
+  (match Rpe.validate s (parse_ok "VNF(status='x')") with
+  | Ok _ -> Alcotest.fail "subclass field accepted at parent"
+  | Error _ -> ());
+  (* Ill-typed literal. *)
+  match Rpe.validate s (parse_ok "VM(id='abc')") with
+  | Ok _ -> Alcotest.fail "ill-typed literal accepted"
+  | Error _ -> ()
+
+(* ---------------- lengths / reverse ---------------- *)
+
+let norm s = Rpe.normalize (parse_ok s)
+
+let test_lengths () =
+  check_int "atom min" 1 (Rpe.min_length (norm "VM()"));
+  check_int "seq min" 3 (Rpe.min_length (norm "VNF()->VFC()->VM()"));
+  check_int "rep min 0" 0 (Rpe.min_length (norm "[Vertical()]{0,4}"));
+  check_int "rep min 2" 2 (Rpe.min_length (norm "[Vertical()]{2,4}"));
+  check_bool "max finite and reasonable" true
+    (Rpe.max_length (norm "VNF()->[Vertical()]{1,6}->Host()") <= 17)
+
+let test_reverse () =
+  let r = norm "VNF()->VFC()->VM()" in
+  match Rpe.reverse r with
+  | Rpe.N_seq [ Rpe.N_atom a; _; Rpe.N_atom c ] ->
+      check_string "first" "VM" a.Rpe.cls;
+      check_string "last" "VNF" c.Rpe.cls
+  | _ -> Alcotest.fail "unexpected reverse shape"
+
+let test_reverse_involution () =
+  List.iter
+    (fun s ->
+      let r = norm s in
+      check_bool (s ^ " reverse . reverse = id") true
+        (Rpe.equal_norm r (Rpe.reverse (Rpe.reverse r))))
+    [
+      "VNF(id=55)->[Connects()]{1,5}->VM(id=66)";
+      "(VM()|Docker())->HostedOn(){1,2}->Host()";
+      "VM()";
+    ]
+
+(* ---------------- NFA pathway matching ---------------- *)
+
+(* Simulate the NFA over an explicit element sequence. Each element is
+   (cls, fields); kinds are implied by the schema. *)
+let elem cls fields = (cls, Strmap.of_list fields)
+
+let matches_pathway s rpe_text path =
+  let r =
+    match Rpe.validate s (parse_ok rpe_text) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "validate: %s" e
+  in
+  let kind_of a =
+    match Rpe.atom_kind s a with
+    | Some Schema.Node_kind -> Some `Node
+    | Some Schema.Edge_kind -> Some `Edge
+    | None -> None
+  in
+  let nfa = Nfa.compile ~kind_of r in
+  let step states (cls, fields) =
+    let matches a = Rpe.atom_matches s a ~cls ~fields in
+    let is_node = Schema.kind_of s cls = Some Schema.Node_kind in
+    Nfa.step nfa ~matches ~is_node states
+  in
+  let final = List.fold_left step (Nfa.start nfa) path in
+  Nfa.accepting nfa final
+
+let v i = Value.Int i
+
+let test_nfa_simple_chain () =
+  let s = schema () in
+  let path =
+    [
+      elem "VNF" [ ("id", v 1) ];
+      elem "HostedOn" [];
+      elem "VFC" [ ("id", v 2) ];
+      elem "HostedOn" [];
+      elem "VM" [ ("id", v 3) ];
+      elem "HostedOn" [];
+      elem "Host" [ ("id", v 23245) ];
+    ]
+  in
+  (* Node-only RPE: edges are skipped at junctions. *)
+  check_bool "node chain matches" true
+    (matches_pathway s "VNF()->VFC()->VM()->Host(id=23245)" path);
+  (* Wrong anchor id must fail. *)
+  check_bool "wrong id fails" false
+    (matches_pathway s "VNF()->VFC()->VM()->Host(id=999)" path);
+  (* Mixed node and edge atoms. *)
+  check_bool "mixed atoms" true
+    (matches_pathway s "VNF()->HostedOn()->VFC()->VM()->Host()" path);
+  (* Generic Vertical repetition covers the whole chain. *)
+  check_bool "vertical repetition" true
+    (matches_pathway s "VNF()->[Vertical()]{1,6}->Host(id=23245)" path);
+  (* Too-tight repetition bound fails: needs 3 vertical edges. *)
+  check_bool "tight bound fails" false
+    (matches_pathway s "VNF()->[Vertical()]{1,2}->Host(id=23245)" path)
+
+let test_nfa_edge_only_rpe () =
+  let s = schema () in
+  (* A single edge atom matches node,edge,node (implicit endpoints). *)
+  let path = [ elem "Host" [ ("id", v 1) ]; elem "Connects" []; elem "Host" [ ("id", v 2) ] ] in
+  check_bool "single edge atom" true (matches_pathway s "Connects()" path);
+  (* Edge repetition: n,e,n,e,n. *)
+  let path2 =
+    [
+      elem "Host" [ ("id", v 1) ];
+      elem "Connects" [];
+      elem "Host" [ ("id", v 2) ];
+      elem "Connects" [];
+      elem "Host" [ ("id", v 3) ];
+    ]
+  in
+  check_bool "edge repetition 2" true (matches_pathway s "[Connects()]{1,4}" path2);
+  check_bool "exact count required" false (matches_pathway s "[Connects()]{3,4}" path2);
+  (* Anchored at both ends. *)
+  check_bool "anchored both ends" true
+    (matches_pathway s "Host(id=1)->[Connects()]{1,4}->Host(id=3)" path2)
+
+let test_nfa_no_double_skip () =
+  let s = schema () in
+  (* VNF()->VM(): junction may skip ONE element; a VNF-e-VFC-e-VM path
+     needs two skipped elements plus an unmatched node — must fail. *)
+  let path =
+    [
+      elem "VNF" [ ("id", v 1) ];
+      elem "HostedOn" [];
+      elem "VFC" [ ("id", v 2) ];
+      elem "HostedOn" [];
+      elem "VM" [ ("id", v 3) ];
+    ]
+  in
+  check_bool "no multi-element gap" false (matches_pathway s "VNF()->VM()" path)
+
+let test_nfa_alternation () =
+  let s = schema () in
+  let path_vm =
+    [ elem "VMWare" [ ("id", v 55) ]; elem "HostedOn" []; elem "Host" [] ]
+  in
+  let path_docker =
+    [ elem "Docker" [ ("id", v 66) ]; elem "HostedOn" []; elem "Host" [] ]
+  in
+  let rpe = "(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()" in
+  (* VMWare matches the VM atom through subclassing. *)
+  check_bool "vm branch (subclass)" true (matches_pathway s rpe path_vm);
+  check_bool "docker branch" true (matches_pathway s rpe path_docker);
+  let path_wrong = [ elem "Docker" [ ("id", v 99) ]; elem "HostedOn" []; elem "Host" [] ] in
+  check_bool "wrong id" false (matches_pathway s rpe path_wrong)
+
+let test_nfa_concept_generalization () =
+  let s = schema () in
+  (* The atom VM() must match VMWare but not Docker. *)
+  check_bool "subclass matches" true
+    (matches_pathway s "VM()" [ elem "VMWare" [ ("id", v 1) ] ]);
+  check_bool "sibling does not" false
+    (matches_pathway s "VM()" [ elem "Docker" [ ("id", v 1) ] ]);
+  (* Abstract edge concept matches its concrete subclass. *)
+  check_bool "abstract edge concept" true
+    (matches_pathway s "Vertical()"
+       [ elem "VFC" []; elem "HostedOn" []; elem "VM" [] ])
+
+let test_nfa_empty_rep () =
+  let s = schema () in
+  (* {0,2}: zero repetitions allowed — VNF directly followed by Host
+     with one junction-skippable edge. *)
+  let direct = [ elem "VNF" []; elem "HostedOn" []; elem "Host" [] ] in
+  check_bool "zero reps via junction skip" true
+    (matches_pathway s "VNF()->[VM()]{0,2}->Host()" direct)
+
+(* ---------------- anchors ---------------- *)
+
+let default_cost (a : Rpe.atom) =
+  (* id-equality is very selective; otherwise class hint or big default. *)
+  if Predicate.equality_lookups a.Rpe.pred <> [] then 1.0
+  else
+    match Schema.cardinality_hint (schema ()) a.Rpe.cls with
+    | Some h -> float_of_int h
+    | None -> 100_000.
+
+let test_anchor_picks_selective_atom () =
+  let r = norm "VNF()->[Vertical()]{1,6}->Host(id=23245)" in
+  match Anchor.select ~cost:default_cost r with
+  | Error e -> Alcotest.fail e
+  | Ok sel -> (
+      match sel.Anchor.splits with
+      | [ sp ] ->
+          check_string "anchor is the id-equality atom" "Host" sp.Anchor.anchor.Rpe.cls;
+          check_bool "prefix present" true (sp.Anchor.before <> None);
+          check_bool "no suffix" true (sp.Anchor.after = None)
+      | _ -> Alcotest.fail "expected a single split")
+
+let test_anchor_alternation_union () =
+  let r = norm "(VM(id=55)|Docker(id=66))->HostedOn(){1,2}->Host()" in
+  match Anchor.select ~cost:default_cost r with
+  | Error e -> Alcotest.fail e
+  | Ok sel ->
+      check_int "two splits (one per branch)" 2 (List.length sel.Anchor.splits);
+      let classes =
+        List.map (fun sp -> sp.Anchor.anchor.Rpe.cls) sel.Anchor.splits
+        |> List.sort String.compare
+      in
+      check_bool "both branch atoms" true (classes = [ "Docker"; "VM" ])
+
+let test_anchor_rejects_unanchorable () =
+  (* The paper's example: [VNF()]{0,4}->[Vertical()]{0,4} has no anchor
+     because the empty path satisfies it. *)
+  let r = norm "[VNF()]{0,4}->[Vertical()]{0,4}" in
+  match Anchor.select ~cost:default_cost r with
+  | Ok _ -> Alcotest.fail "unanchorable RPE accepted"
+  | Error _ -> ()
+
+let test_anchor_repetition_unroll () =
+  (* Anchor inside a {2,3} repetition comes from the first unrolled
+     copy; the remainder {1,2} moves to the suffix. *)
+  let r = norm "[Connects(bandwidth=100)]{2,3}" in
+  match Anchor.select ~cost:default_cost r with
+  | Error e -> Alcotest.fail e
+  | Ok sel -> (
+      match sel.Anchor.splits with
+      | [ { Anchor.before = None; after = Some (Rpe.N_rep (_, 1, 2)); _ } ] -> ()
+      | [ sp ] -> Alcotest.failf "unexpected split %s" (Anchor.split_to_string sp)
+      | _ -> Alcotest.fail "expected single split")
+
+let test_anchor_middle_split () =
+  let r = norm "VNF()->VM(id=5)->Host()" in
+  match Anchor.select ~cost:default_cost r with
+  | Error e -> Alcotest.fail e
+  | Ok sel -> (
+      match sel.Anchor.splits with
+      | [ sp ] ->
+          check_string "middle anchor" "VM" sp.Anchor.anchor.Rpe.cls;
+          check_bool "has prefix" true (sp.Anchor.before <> None);
+          check_bool "has suffix" true (sp.Anchor.after <> None)
+      | _ -> Alcotest.fail "expected single split")
+
+(* ---------------- properties ---------------- *)
+
+(* Random RPE generator over the test schema. *)
+let arb_rpe =
+  let atom_gen =
+    QCheck.Gen.oneofl
+      [
+        "VNF()"; "VFC()"; "VM()"; "Host()"; "Vertical()"; "HostedOn()";
+        "Connects()"; "VM(id=5)"; "Host(id=1)";
+      ]
+  in
+  let rec gen depth =
+    let open QCheck.Gen in
+    if depth = 0 then atom_gen
+    else
+      frequency
+        [
+          (3, atom_gen);
+          (2, map2 (fun a b -> a ^ "->" ^ b) (gen (depth - 1)) (gen (depth - 1)));
+          (1, map2 (fun a b -> "(" ^ a ^ "|" ^ b ^ ")") (gen (depth - 1)) (gen (depth - 1)));
+          ( 1,
+            map2
+              (fun r (i, j) -> Printf.sprintf "[%s]{%d,%d}" r i j)
+              (gen (depth - 1))
+              (map2 (fun i j -> (i, 1 + i + j)) (int_bound 1) (int_bound 2)) );
+        ]
+  in
+  QCheck.make (gen 3) ~print:Fun.id
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"rpe parse/print roundtrip" ~count:300 arb_rpe
+    (fun text ->
+      match Rpe_parser.parse text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r -> (
+          match Rpe_parser.parse (Rpe.to_string r) with
+          | Error _ -> false
+          | Ok r2 -> Rpe.equal r r2))
+
+let prop_min_le_max =
+  QCheck.Test.make ~name:"min_length <= max_length" ~count:300 arb_rpe
+    (fun text ->
+      match Rpe_parser.parse text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r ->
+          let n = Rpe.normalize r in
+          Rpe.min_length n <= Rpe.max_length n)
+
+let prop_reverse_preserves_lengths =
+  QCheck.Test.make ~name:"reverse preserves min/max lengths" ~count:300 arb_rpe
+    (fun text ->
+      match Rpe_parser.parse text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r ->
+          let n = Rpe.normalize r in
+          let rv = Rpe.reverse n in
+          Rpe.min_length n = Rpe.min_length rv
+          && Rpe.max_length n = Rpe.max_length rv)
+
+let prop_anchor_cost_is_min =
+  QCheck.Test.make ~name:"select returns the cheapest candidate" ~count:300
+    arb_rpe (fun text ->
+      match Rpe_parser.parse text with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok r -> (
+          let n = Rpe.normalize r in
+          let cands = Anchor.enumerate ~cost:default_cost n in
+          match Anchor.select ~cost:default_cost n with
+          | Error _ -> cands = []
+          | Ok sel ->
+              cands <> []
+              && List.for_all (fun c -> sel.Anchor.cost <= c.Anchor.cost) cands))
+
+let () =
+  Alcotest.run "nepal_rpe"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "repetition variants" `Quick test_parse_repetition_variants;
+          Alcotest.test_case "alternation" `Quick test_parse_alternation;
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "quote escape" `Quick test_parse_quoted_escape;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ("validate", [ Alcotest.test_case "strong typing" `Quick test_validate ]);
+      ( "structure",
+        [
+          Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "reverse involution" `Quick test_reverse_involution;
+        ] );
+      ( "nfa",
+        [
+          Alcotest.test_case "simple chain" `Quick test_nfa_simple_chain;
+          Alcotest.test_case "edge-only rpe" `Quick test_nfa_edge_only_rpe;
+          Alcotest.test_case "no double skip" `Quick test_nfa_no_double_skip;
+          Alcotest.test_case "alternation" `Quick test_nfa_alternation;
+          Alcotest.test_case "concept generalization" `Quick test_nfa_concept_generalization;
+          Alcotest.test_case "zero repetition" `Quick test_nfa_empty_rep;
+        ] );
+      ( "anchor",
+        [
+          Alcotest.test_case "selective atom" `Quick test_anchor_picks_selective_atom;
+          Alcotest.test_case "alternation union" `Quick test_anchor_alternation_union;
+          Alcotest.test_case "unanchorable rejected" `Quick test_anchor_rejects_unanchorable;
+          Alcotest.test_case "repetition unroll" `Quick test_anchor_repetition_unroll;
+          Alcotest.test_case "middle split" `Quick test_anchor_middle_split;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parse_print_roundtrip;
+            prop_min_le_max;
+            prop_reverse_preserves_lengths;
+            prop_anchor_cost_is_min;
+          ] );
+    ]

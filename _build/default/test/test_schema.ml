@@ -1,0 +1,460 @@
+open Nepal_schema
+module Strmap = Nepal_util.Strmap
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* A miniature version of the paper's Figure 3 schema. *)
+let fig3 () =
+  Schema.create_exn
+    ~data_types:
+      [
+        Schema.data_decl "routingTableEntry"
+          ~fields:
+            [
+              ("address", Ftype.T_ip);
+              ("mask", Ftype.T_int);
+              ("interface", Ftype.T_string);
+            ];
+      ]
+    ~edge_rules:
+      [
+        { Schema.edge = "composed_of"; src = "VNF"; dst = "VFC" };
+        { Schema.edge = "on_vm"; src = "VFC"; dst = "VM" };
+        { Schema.edge = "on_server"; src = "VM"; dst = "physical_server" };
+        { Schema.edge = "connects_to"; src = "physical_server"; dst = "switch" };
+        { Schema.edge = "connects_to"; src = "switch"; dst = "switch" };
+        { Schema.edge = "connects_to"; src = "switch"; dst = "physical_server" };
+      ]
+    [
+      Schema.class_decl "VNF" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("name", Ftype.T_string) ];
+      Schema.class_decl "VNF_DNS" ~parent:"VNF";
+      Schema.class_decl "VNF_Firewall" ~parent:"VNF"
+        ~fields:[ ("rules", Ftype.T_list Ftype.T_string) ];
+      Schema.class_decl "VFC" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "Container" ~parent:"Node" ~abstract:true
+        ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "VM" ~parent:"Container"
+        ~fields:[ ("status", Ftype.T_string) ];
+      Schema.class_decl "VMWare" ~parent:"VM";
+      Schema.class_decl "OnMetal" ~parent:"VM";
+      Schema.class_decl "Docker" ~parent:"Container";
+      Schema.class_decl "physical_server" ~parent:"Node"
+        ~fields:
+          [
+            ("id", Ftype.T_int);
+            ("routingTable", Ftype.T_list (Ftype.T_data "routingTableEntry"));
+          ];
+      Schema.class_decl "switch" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "Vertical" ~parent:"Edge" ~abstract:true;
+      Schema.class_decl "composed_of" ~parent:"Vertical";
+      Schema.class_decl "HostedOn" ~parent:"Vertical" ~abstract:true;
+      Schema.class_decl "on_vm" ~parent:"HostedOn";
+      Schema.class_decl "on_server" ~parent:"HostedOn";
+      Schema.class_decl "connects_to" ~parent:"Edge"
+        ~fields:[ ("bandwidth", Ftype.T_int) ];
+    ]
+
+(* ---------------- Ftype ---------------- *)
+
+let test_ftype_parse () =
+  let ok s expected =
+    match Ftype.of_string s with
+    | Ok t -> check_bool s true (Ftype.equal t expected)
+    | Error e -> Alcotest.fail e
+  in
+  ok "int" Ftype.T_int;
+  ok "string" Ftype.T_string;
+  ok "ip" Ftype.T_ip;
+  ok "list<int>" (Ftype.T_list Ftype.T_int);
+  ok "set<string>" (Ftype.T_set Ftype.T_string);
+  ok "map<string,int>" (Ftype.T_map (Ftype.T_string, Ftype.T_int));
+  ok "list<map<string,list<int>>>"
+    (Ftype.T_list (Ftype.T_map (Ftype.T_string, Ftype.T_list Ftype.T_int)));
+  ok "routingTableEntry" (Ftype.T_data "routingTableEntry")
+
+let test_ftype_parse_errors () =
+  List.iter
+    (fun s ->
+      match Ftype.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "list<int"; "list<>"; "vector<int>"; "" ]
+
+let test_ftype_roundtrip () =
+  List.iter
+    (fun s ->
+      match Ftype.of_string s with
+      | Ok t -> check_string s s (Ftype.to_string t)
+      | Error e -> Alcotest.fail e)
+    [ "int"; "list<int>"; "map<string,int>"; "set<ip>" ]
+
+(* ---------------- Value ---------------- *)
+
+let test_value_ip () =
+  (match Value.ip_of_string "10.0.255.1" with
+  | Ok ip -> check_string "roundtrip" "10.0.255.1" (Value.ip_to_string ip)
+  | Error e -> Alcotest.fail e);
+  (match Value.ip_of_string "256.0.0.1" with
+  | Ok _ -> Alcotest.fail "accepted 256"
+  | Error _ -> ());
+  match Value.ip_of_string "1.2.3" with
+  | Ok _ -> Alcotest.fail "accepted short"
+  | Error _ -> ()
+
+let test_value_order () =
+  check_bool "int vs float comparable" true
+    (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  check_bool "set dedups" true
+    (Value.equal
+       (Value.vset [ Value.Int 1; Value.Int 1; Value.Int 2 ])
+       (Value.vset [ Value.Int 2; Value.Int 1 ]));
+  check_bool "map later bindings win" true
+    (Value.equal
+       (Value.vmap [ (Value.Str "a", Value.Int 1); (Value.Str "a", Value.Int 2) ])
+       (Value.vmap [ (Value.Str "a", Value.Int 2) ]))
+
+(* ---------------- hierarchy ---------------- *)
+
+let test_hierarchy_basics () =
+  let s = fig3 () in
+  check_bool "VM is node" true (Schema.kind_of s "VM" = Some Schema.Node_kind);
+  check_bool "on_vm is edge" true (Schema.kind_of s "on_vm" = Some Schema.Edge_kind);
+  check_bool "VMWare < VM" true (Schema.is_subclass s ~sub:"VMWare" ~sup:"VM");
+  check_bool "VMWare < Container" true
+    (Schema.is_subclass s ~sub:"VMWare" ~sup:"Container");
+  check_bool "VMWare < Node" true (Schema.is_subclass s ~sub:"VMWare" ~sup:"Node");
+  check_bool "reflexive" true (Schema.is_subclass s ~sub:"VM" ~sup:"VM");
+  check_bool "Docker not < VM" false (Schema.is_subclass s ~sub:"Docker" ~sup:"VM");
+  check_bool "on_vm < Vertical" true
+    (Schema.is_subclass s ~sub:"on_vm" ~sup:"Vertical")
+
+let test_inheritance_label () =
+  let s = fig3 () in
+  check_string "gremlin label" "Node:Container:VM:VMWare"
+    (Schema.inheritance_label s "VMWare");
+  check_string "edge label" "Edge:Vertical:HostedOn:on_vm"
+    (Schema.inheritance_label s "on_vm")
+
+let test_subclasses () =
+  let s = fig3 () in
+  let subs = Schema.subclasses s "VM" in
+  check_bool "VM in own subclasses" true (List.mem "VM" subs);
+  check_bool "VMWare included" true (List.mem "VMWare" subs);
+  check_bool "OnMetal included" true (List.mem "OnMetal" subs);
+  check_bool "Docker excluded" false (List.mem "Docker" subs);
+  let container_subs = Schema.concrete_subclasses s "Container" in
+  check_bool "abstract Container excluded from concrete" false
+    (List.mem "Container" container_subs);
+  check_int "concrete containers" 4 (List.length container_subs)
+
+let test_lca () =
+  let s = fig3 () in
+  check_bool "lca VMWare/OnMetal = VM" true
+    (Schema.least_common_ancestor s [ "VMWare"; "OnMetal" ] = Some "VM");
+  check_bool "lca VMWare/Docker = Container" true
+    (Schema.least_common_ancestor s [ "VMWare"; "Docker" ] = Some "Container");
+  check_bool "lca VM/switch = Node" true
+    (Schema.least_common_ancestor s [ "VM"; "switch" ] = Some "Node");
+  check_bool "lca VM/on_vm = Any" true
+    (Schema.least_common_ancestor s [ "VM"; "on_vm" ] = Some "Any");
+  check_bool "lca singleton" true
+    (Schema.least_common_ancestor s [ "VM" ] = Some "VM")
+
+let test_fields_inherited () =
+  let s = fig3 () in
+  let fields = Schema.fields_of s "VMWare" in
+  check_bool "inherits id from Container" true (List.mem_assoc "id" fields);
+  check_bool "inherits status from VM" true (List.mem_assoc "status" fields);
+  check_bool "field_type lookup" true
+    (Schema.field_type s "VNF_Firewall" "name" = Some Ftype.T_string);
+  check_bool "own field" true
+    (Schema.field_type s "VNF_Firewall" "rules"
+    = Some (Ftype.T_list Ftype.T_string));
+  check_bool "parent lacks child field" true
+    (Schema.field_type s "VNF" "rules" = None)
+
+let test_shadowing_rejected () =
+  match
+    Schema.create
+      [
+        Schema.class_decl "A" ~parent:"Node" ~fields:[ ("x", Ftype.T_int) ];
+        Schema.class_decl "B" ~parent:"A" ~fields:[ ("x", Ftype.T_string) ];
+      ]
+  with
+  | Ok _ -> Alcotest.fail "field shadowing accepted"
+  | Error _ -> ()
+
+let test_cycle_rejected () =
+  match
+    Schema.create
+      [ Schema.class_decl "A" ~parent:"B"; Schema.class_decl "B" ~parent:"A" ]
+  with
+  | Ok _ -> Alcotest.fail "parent cycle accepted"
+  | Error _ -> ()
+
+let test_duplicate_rejected () =
+  match
+    Schema.create
+      [ Schema.class_decl "A" ~parent:"Node"; Schema.class_decl "A" ~parent:"Node" ]
+  with
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+  | Error _ -> ()
+
+let test_data_cycle_rejected () =
+  match
+    Schema.create
+      ~data_types:
+        [
+          Schema.data_decl "A" ~fields:[ ("b", Ftype.T_data "B") ];
+          Schema.data_decl "B" ~fields:[ ("a", Ftype.T_list (Ftype.T_data "A")) ];
+        ]
+      []
+  with
+  | Ok _ -> Alcotest.fail "data composition cycle accepted"
+  | Error _ -> ()
+
+let test_edge_rules () =
+  let s = fig3 () in
+  check_bool "declared edge ok" true
+    (Schema.edge_allowed s ~edge:"on_vm" ~src:"VFC" ~dst:"VM");
+  check_bool "subclass endpoints ok" true
+    (Schema.edge_allowed s ~edge:"on_vm" ~src:"VFC" ~dst:"VMWare");
+  check_bool "forbidden direct VNF->server" false
+    (Schema.edge_allowed s ~edge:"on_vm" ~src:"VNF" ~dst:"physical_server");
+  check_bool "switch-to-switch ok" true
+    (Schema.edge_allowed s ~edge:"connects_to" ~src:"switch" ~dst:"switch");
+  check_bool "server-to-server not declared" false
+    (Schema.edge_allowed s ~edge:"connects_to" ~src:"physical_server"
+       ~dst:"physical_server")
+
+let test_cardinality_hint_inherited () =
+  let s =
+    Schema.create_exn
+      [
+        Schema.class_decl "A" ~parent:"Node" ~cardinality_hint:500;
+        Schema.class_decl "B" ~parent:"A";
+        Schema.class_decl "C" ~parent:"B" ~cardinality_hint:7;
+      ]
+  in
+  check_bool "own hint" true (Schema.cardinality_hint s "C" = Some 7);
+  check_bool "inherited hint" true (Schema.cardinality_hint s "B" = Some 500);
+  check_bool "no hint" true (Schema.cardinality_hint s "Node" = None)
+
+(* ---------------- typechecking ---------------- *)
+
+let test_typecheck_record () =
+  let s = fig3 () in
+  let good = Strmap.of_list [ ("id", Value.Int 1); ("status", Value.Str "Green") ] in
+  (match Schema.typecheck_record s "VM" good with
+  | Ok completed ->
+      check_bool "completed has all fields" true (Strmap.mem "id" completed)
+  | Error e -> Alcotest.fail e);
+  (match Schema.typecheck_record s "VM" (Strmap.of_list [ ("bogus", Value.Int 1) ]) with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error _ -> ());
+  (match Schema.typecheck_record s "VM" (Strmap.of_list [ ("id", Value.Str "x") ]) with
+  | Ok _ -> Alcotest.fail "ill-typed accepted"
+  | Error _ -> ());
+  (match Schema.typecheck_record s "Container" Strmap.empty with
+  | Ok _ -> Alcotest.fail "abstract instantiation accepted"
+  | Error _ -> ());
+  match Schema.typecheck_record s "VM" Strmap.empty with
+  | Ok completed ->
+      check_bool "null filled" true
+        (Value.equal (Strmap.find "status" completed) Value.Null)
+  | Error e -> Alcotest.fail e
+
+let test_typecheck_structured_data () =
+  let s = fig3 () in
+  let entry address =
+    Value.Data
+      ( "routingTableEntry",
+        Strmap.of_list
+          [
+            ("address", Value.Ip (Result.get_ok (Value.ip_of_string address)));
+            ("mask", Value.Int 24);
+            ("interface", Value.Str "eth0");
+          ] )
+  in
+  let record =
+    Strmap.of_list
+      [ ("id", Value.Int 9); ("routingTable", Value.List [ entry "10.0.0.1" ]) ]
+  in
+  (match Schema.typecheck_record s "physical_server" record with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let bad =
+    Value.Data ("routingTableEntry", Strmap.of_list [ ("mask", Value.Str "x") ])
+  in
+  match
+    Schema.typecheck_record s "physical_server"
+      (Strmap.of_list [ ("routingTable", Value.List [ bad ]) ])
+  with
+  | Ok _ -> Alcotest.fail "bad composite accepted"
+  | Error _ -> ()
+
+(* ---------------- TOSCA loader ---------------- *)
+
+let tosca_doc =
+  {|
+# A fragment of the ONAP-style model.
+data_types:
+  routingTableEntry:
+    properties:
+      address: ip
+      mask: int
+      interface: string
+node_types:
+  VNF:
+    properties:
+      id: int
+      name: string
+  VNF_DNS:
+    derived_from: VNF
+  VM:
+    cardinality_hint: 1000
+    properties:
+      id: int
+      status: string
+      routingTable: list<routingTableEntry>
+edge_types:
+  Vertical:
+    abstract: true
+  hosted_on:
+    derived_from: Vertical
+    valid_endpoints:
+      - from: VNF
+        to: VM
+|}
+
+let test_tosca_parse () =
+  match Tosca.parse tosca_doc with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_bool "VNF_DNS < VNF" true
+        (Schema.is_subclass s ~sub:"VNF_DNS" ~sup:"VNF");
+      check_bool "hosted_on < Vertical" true
+        (Schema.is_subclass s ~sub:"hosted_on" ~sup:"Vertical");
+      check_bool "Vertical abstract" true (Schema.is_abstract s "Vertical");
+      check_bool "hint" true (Schema.cardinality_hint s "VM" = Some 1000);
+      check_bool "container field type" true
+        (Schema.field_type s "VM" "routingTable"
+        = Some (Ftype.T_list (Ftype.T_data "routingTableEntry")));
+      check_bool "edge rule" true
+        (Schema.edge_allowed s ~edge:"hosted_on" ~src:"VNF_DNS" ~dst:"VM");
+      check_bool "edge rule restricts" false
+        (Schema.edge_allowed s ~edge:"hosted_on" ~src:"VM" ~dst:"VNF")
+
+let test_tosca_roundtrip () =
+  let s1 = Tosca.parse_exn tosca_doc in
+  let rendered = Tosca.render s1 in
+  match Tosca.parse rendered with
+  | Error e -> Alcotest.failf "re-parse failed: %s\n%s" e rendered
+  | Ok s2 ->
+      check_bool "same classes" true
+        (Schema.all_classes s1 = Schema.all_classes s2);
+      List.iter
+        (fun c ->
+          check_bool (c ^ " same fields") true
+            (Schema.fields_of s1 c = Schema.fields_of s2 c);
+          check_bool (c ^ " same parent") true
+            (Schema.parent_of s1 c = Schema.parent_of s2 c))
+        (Schema.all_classes s1);
+      check_bool "rule preserved" true
+        (Schema.edge_allowed s2 ~edge:"hosted_on" ~src:"VNF" ~dst:"VM"
+        && not (Schema.edge_allowed s2 ~edge:"hosted_on" ~src:"VM" ~dst:"VNF"))
+
+let test_tosca_errors () =
+  List.iter
+    (fun doc ->
+      match Tosca.parse doc with
+      | Ok _ -> Alcotest.failf "accepted malformed doc %S" doc
+      | Error _ -> ())
+    [
+      "node_types:\n  A:\n    derived_from: Missing\n";
+      "node_types:\n  A:\n    properties:\n      x: vector<int>\n";
+      "node_types:\n  A:\n    abstract: true\n  A:\n    abstract: true\n";
+    ]
+
+(* ---------------- properties ---------------- *)
+
+let arb_class_names =
+  let s = fig3 () in
+  QCheck.oneofl (Schema.all_classes s)
+
+let prop_lca_is_ancestor =
+  let s = fig3 () in
+  QCheck.Test.make ~name:"lca is an ancestor of both" ~count:200
+    QCheck.(pair arb_class_names arb_class_names)
+    (fun (a, b) ->
+      match Schema.least_common_ancestor s [ a; b ] with
+      | None -> false
+      | Some l ->
+          Schema.is_subclass s ~sub:a ~sup:l && Schema.is_subclass s ~sub:b ~sup:l)
+
+let prop_subclass_transitive =
+  let s = fig3 () in
+  QCheck.Test.make ~name:"subclass relation transitive" ~count:200
+    QCheck.(triple arb_class_names arb_class_names arb_class_names)
+    (fun (a, b, c) ->
+      (not (Schema.is_subclass s ~sub:a ~sup:b && Schema.is_subclass s ~sub:b ~sup:c))
+      || Schema.is_subclass s ~sub:a ~sup:c)
+
+let prop_subclasses_sound =
+  let s = fig3 () in
+  QCheck.Test.make ~name:"subclasses returns exactly the subclasses" ~count:100
+    arb_class_names
+    (fun c ->
+      let subs = Schema.subclasses s c in
+      List.for_all (fun x -> Schema.is_subclass s ~sub:x ~sup:c) subs
+      && List.for_all
+           (fun x -> Schema.is_subclass s ~sub:x ~sup:c = List.mem x subs)
+           (Schema.all_classes s))
+
+let () =
+  Alcotest.run "nepal_schema"
+    [
+      ( "ftype",
+        [
+          Alcotest.test_case "parse" `Quick test_ftype_parse;
+          Alcotest.test_case "parse errors" `Quick test_ftype_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_ftype_roundtrip;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "ip addresses" `Quick test_value_ip;
+          Alcotest.test_case "ordering & containers" `Quick test_value_order;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "basics" `Quick test_hierarchy_basics;
+          Alcotest.test_case "inheritance label" `Quick test_inheritance_label;
+          Alcotest.test_case "subclasses" `Quick test_subclasses;
+          Alcotest.test_case "least common ancestor" `Quick test_lca;
+          Alcotest.test_case "inherited fields" `Quick test_fields_inherited;
+          Alcotest.test_case "shadowing rejected" `Quick test_shadowing_rejected;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+          Alcotest.test_case "data cycle rejected" `Quick test_data_cycle_rejected;
+          Alcotest.test_case "edge rules" `Quick test_edge_rules;
+          Alcotest.test_case "cardinality hints" `Quick test_cardinality_hint_inherited;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "records" `Quick test_typecheck_record;
+          Alcotest.test_case "structured data" `Quick test_typecheck_structured_data;
+        ] );
+      ( "tosca",
+        [
+          Alcotest.test_case "parse" `Quick test_tosca_parse;
+          Alcotest.test_case "render roundtrip" `Quick test_tosca_roundtrip;
+          Alcotest.test_case "errors" `Quick test_tosca_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lca_is_ancestor; prop_subclass_transitive; prop_subclasses_sound ]
+      );
+    ]

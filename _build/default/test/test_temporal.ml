@@ -1,0 +1,341 @@
+open Nepal_temporal
+
+let tp = Time_point.of_string_exn
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- Time_point ---------------- *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      "2017-02-15 10:00:00";
+      "2017-02-15 00:00:00";
+      "1999-12-31 23:59:59";
+      "2020-02-29 12:34:56";
+      "1970-01-01 00:00:00";
+      "2017-12-01 09:15:33";
+    ]
+  in
+  List.iter (fun s -> check_string s s (Time_point.to_string (tp s))) cases
+
+let test_parse_date_only () =
+  check_string "date midnight" "2017-02-15 00:00:00"
+    (Time_point.to_string (tp "2017-02-15"))
+
+let test_parse_minutes_only () =
+  check_string "hh:mm" "2017-02-15 10:00:00"
+    (Time_point.to_string (tp "2017-02-15 10:00"))
+
+let test_parse_micros () =
+  check_string "fractional seconds" "2017-02-15 10:00:00.250000"
+    (Time_point.to_string (tp "2017-02-15 10:00:00.25"))
+
+let test_parse_errors () =
+  let bad =
+    [ "not a date"; "2017-13-01"; "2017-02-15 25:00"; "2017/02/15"; "" ]
+  in
+  List.iter
+    (fun s ->
+      match Time_point.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed timestamp %S" s
+      | Error _ -> ())
+    bad
+
+let test_ordering () =
+  check_bool "ordering" true
+    (Time_point.compare (tp "2017-02-15 09:00") (tp "2017-02-15 10:00") < 0);
+  check_bool "epoch before" true
+    (Time_point.compare Time_point.epoch (tp "2017-02-15") < 0)
+
+let test_arithmetic () =
+  let t = tp "2017-02-15 10:00:00" in
+  check_string "add one hour" "2017-02-15 11:00:00"
+    (Time_point.to_string (Time_point.add_seconds t 3600.));
+  check_string "add a day" "2017-02-16 10:00:00"
+    (Time_point.to_string (Time_point.add_days t 1));
+  Alcotest.(check (float 1e-6))
+    "diff" 3600.
+    (Time_point.diff_seconds (Time_point.add_seconds t 3600.) t)
+
+(* ---------------- Interval ---------------- *)
+
+let iv a b = Interval.between (tp a) (tp b)
+
+let test_interval_contains () =
+  let i = iv "2017-02-15 09:00" "2017-02-15 11:00" in
+  check_bool "start included" true (Interval.contains i (tp "2017-02-15 09:00"));
+  check_bool "middle" true (Interval.contains i (tp "2017-02-15 10:00"));
+  check_bool "end excluded" false (Interval.contains i (tp "2017-02-15 11:00"));
+  check_bool "before" false (Interval.contains i (tp "2017-02-15 08:59"));
+  let open_iv = Interval.from (tp "2017-02-15 09:00") in
+  check_bool "open contains far future" true
+    (Interval.contains open_iv (tp "2099-01-01"))
+
+let test_interval_empty_rejected () =
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Interval.make: empty interval") (fun () ->
+      ignore (iv "2017-02-15 10:00" "2017-02-15 10:00"))
+
+let test_interval_intersect () =
+  let a = iv "2017-02-15 09:00" "2017-02-15 11:00" in
+  let b = iv "2017-02-15 10:00" "2017-02-15 12:00" in
+  (match Interval.intersect a b with
+  | Some i ->
+      check_string "inter" "[2017-02-15 10:00:00, 2017-02-15 11:00:00)"
+        (Interval.to_string i)
+  | None -> Alcotest.fail "expected overlap");
+  let c = iv "2017-02-15 11:00" "2017-02-15 12:00" in
+  check_bool "half-open adjacency disjoint" false (Interval.overlaps a c);
+  check_bool "intersect none" true (Interval.intersect a c = None);
+  let open_iv = Interval.from (tp "2017-02-15 10:30") in
+  match Interval.intersect a open_iv with
+  | Some i ->
+      check_string "inter with open"
+        "[2017-02-15 10:30:00, 2017-02-15 11:00:00)" (Interval.to_string i)
+  | None -> Alcotest.fail "expected overlap with open interval"
+
+let test_interval_close () =
+  let o = Interval.from (tp "2017-02-15 09:00") in
+  let c = Interval.close o (tp "2017-02-15 10:00") in
+  check_bool "closed" false (Interval.is_current c);
+  Alcotest.check_raises "double close"
+    (Invalid_argument "Interval.close: already closed") (fun () ->
+      ignore (Interval.close c (tp "2017-02-15 11:00")))
+
+(* ---------------- Interval_set ---------------- *)
+
+let test_set_normalize_merges () =
+  let s =
+    Interval_set.of_list
+      [
+        iv "2017-02-15 09:00" "2017-02-15 10:00";
+        iv "2017-02-15 09:30" "2017-02-15 10:30";
+        iv "2017-02-15 12:00" "2017-02-15 13:00";
+      ]
+  in
+  check_int "merged to two" 2 (Interval_set.cardinality s);
+  check_bool "covers merged middle" true
+    (Interval_set.contains s (tp "2017-02-15 10:15"));
+  check_bool "gap not covered" false
+    (Interval_set.contains s (tp "2017-02-15 11:00"))
+
+let test_set_adjacent_merge () =
+  let s =
+    Interval_set.of_list
+      [ iv "2017-02-15 09:00" "2017-02-15 10:00"; iv "2017-02-15 10:00" "2017-02-15 11:00" ]
+  in
+  check_int "adjacent merge" 1 (Interval_set.cardinality s)
+
+let test_set_inter () =
+  let a =
+    Interval_set.of_list
+      [ iv "2017-02-15 09:00" "2017-02-15 10:00"; iv "2017-02-15 11:00" "2017-02-15 12:00" ]
+  in
+  let b = Interval_set.singleton (iv "2017-02-15 09:30" "2017-02-15 11:30") in
+  let i = Interval_set.inter a b in
+  check_int "two fragments" 2 (Interval_set.cardinality i);
+  check_bool "fragment member" true (Interval_set.contains i (tp "2017-02-15 09:45"));
+  check_bool "hole" false (Interval_set.contains i (tp "2017-02-15 10:30"))
+
+let test_set_aggregations () =
+  let s =
+    Interval_set.of_list
+      [ iv "2017-02-05 06:30" "2017-02-15 09:45"; Interval.from (tp "2017-02-15 09:15") ]
+  in
+  (* Overlapping with an open interval: collapses to one open interval. *)
+  check_int "collapsed" 1 (Interval_set.cardinality s);
+  (match Interval_set.first_start s with
+  | Some t -> check_string "first" "2017-02-05 06:30:00" (Time_point.to_string t)
+  | None -> Alcotest.fail "expected first");
+  (match Interval_set.last_moment s with
+  | `Still_exists -> ()
+  | _ -> Alcotest.fail "expected still-exists");
+  let closed = Interval_set.singleton (iv "2017-02-05 06:30" "2017-02-15 09:45") in
+  match Interval_set.last_moment closed with
+  | `Ended e -> check_string "ended" "2017-02-15 09:45:00" (Time_point.to_string e)
+  | _ -> Alcotest.fail "expected ended"
+
+(* ---------------- Time_constraint ---------------- *)
+
+let test_constraint_admits () =
+  let version = iv "2017-02-15 09:00" "2017-02-15 10:00" in
+  let open_version = Interval.from (tp "2017-02-15 09:30") in
+  check_bool "snapshot rejects closed" false
+    (Time_constraint.admits Time_constraint.snapshot version);
+  check_bool "snapshot admits open" true
+    (Time_constraint.admits Time_constraint.snapshot open_version);
+  check_bool "at admits" true
+    (Time_constraint.admits (Time_constraint.at (tp "2017-02-15 09:30")) version);
+  check_bool "at rejects after" false
+    (Time_constraint.admits (Time_constraint.at (tp "2017-02-15 10:30")) version);
+  let r = Time_constraint.range (tp "2017-02-15 09:30") (tp "2017-02-15 11:00") in
+  check_bool "range admits overlap" true (Time_constraint.admits r version);
+  let r2 = Time_constraint.range (tp "2017-02-15 10:00") (tp "2017-02-15 11:00") in
+  check_bool "range rejects disjoint" false (Time_constraint.admits r2 version)
+
+let test_constraint_restrict () =
+  let version = iv "2017-02-15 09:00" "2017-02-15 10:00" in
+  let r = Time_constraint.range (tp "2017-02-15 09:30") (tp "2017-02-15 11:00") in
+  (* Qualification is window overlap, but the *maximal* interval is kept
+     (the paper's time-range results may start before the window). *)
+  (match Time_constraint.restrict r version with
+  | Some i ->
+      check_string "maximal interval kept"
+        "[2017-02-15 09:00:00, 2017-02-15 10:00:00)" (Interval.to_string i)
+  | None -> Alcotest.fail "expected restriction");
+  let disjoint = Time_constraint.range (tp "2017-02-15 10:00") (tp "2017-02-15 11:00") in
+  check_bool "disjoint version filtered" true
+    (Time_constraint.restrict disjoint version = None)
+
+(* ---------------- properties ---------------- *)
+
+let arb_point =
+  QCheck.map
+    (fun n -> Time_point.add_seconds Time_point.epoch (float_of_int n))
+    QCheck.(int_bound 1_000_000)
+
+let arb_interval =
+  QCheck.map
+    (fun (a, len) ->
+      let start = Time_point.add_seconds Time_point.epoch (float_of_int a) in
+      if len = 0 then Interval.from start
+      else Interval.between start (Time_point.add_seconds start (float_of_int len)))
+    QCheck.(pair (int_bound 1_000_000) (int_bound 10_000))
+
+let prop_intersect_symmetric =
+  QCheck.Test.make ~name:"interval intersect symmetric" ~count:500
+    QCheck.(pair arb_interval arb_interval)
+    (fun (a, b) ->
+      match (Interval.intersect a b, Interval.intersect b a) with
+      | None, None -> true
+      | Some x, Some y -> Interval.equal x y
+      | _ -> false)
+
+let prop_intersect_subset =
+  QCheck.Test.make ~name:"intersection contained in both" ~count:500
+    QCheck.(triple arb_interval arb_interval arb_point)
+    (fun (a, b, p) ->
+      match Interval.intersect a b with
+      | None -> true
+      | Some i ->
+          (not (Interval.contains i p))
+          || (Interval.contains a p && Interval.contains b p))
+
+let prop_set_union_contains =
+  QCheck.Test.make ~name:"interval-set union covers members" ~count:300
+    QCheck.(pair (small_list arb_interval) arb_point)
+    (fun (ivs, p) ->
+      let s = Interval_set.of_list ivs in
+      Interval_set.contains s p = List.exists (fun i -> Interval.contains i p) ivs)
+
+let prop_set_inter_semantics =
+  QCheck.Test.make ~name:"interval-set inter = pointwise and" ~count:300
+    QCheck.(triple (small_list arb_interval) (small_list arb_interval) arb_point)
+    (fun (xs, ys, p) ->
+      let a = Interval_set.of_list xs and b = Interval_set.of_list ys in
+      Interval_set.contains (Interval_set.inter a b) p
+      = (Interval_set.contains a p && Interval_set.contains b p))
+
+let prop_normalize_disjoint =
+  QCheck.Test.make ~name:"normalized sets are disjoint and sorted" ~count:300
+    QCheck.(small_list arb_interval)
+    (fun ivs ->
+      let l = Interval_set.to_list (Interval_set.of_list ivs) in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            (match (a : Interval.t).stop with
+            | None -> false
+            | Some e -> Time_point.compare e (b : Interval.t).start < 0)
+            && ok rest
+        | _ -> true
+      in
+      ok l)
+
+
+(* ---------------- Prng (all generators build on it) ---------------- *)
+
+module Prng = Nepal_util.Prng
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.create 8 in
+  check_bool "different seeds diverge" true
+    (Prng.next_int64 (Prng.create 7) <> Prng.next_int64 c)
+
+let test_prng_bounds () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 7 in
+    check_bool "int in range" true (v >= 0 && v < 7);
+    let w = Prng.int_in r 5 9 in
+    check_bool "int_in inclusive" true (w >= 5 && w <= 9);
+    let f = Prng.float r 2.5 in
+    check_bool "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_prng_shuffle_and_sample () =
+  let r = Prng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  let copy = Array.copy arr in
+  Prng.shuffle r copy;
+  check_bool "shuffle is a permutation" true
+    (List.sort compare (Array.to_list copy) = Array.to_list arr);
+  let sample = Prng.sample r 10 arr in
+  check_int "sample size" 10 (Array.length sample);
+  check_bool "sample distinct" true
+    (List.length (List.sort_uniq compare (Array.to_list sample)) = 10)
+
+let () =
+  Alcotest.run "nepal_temporal"
+    [
+      ( "time_point",
+        [
+          Alcotest.test_case "parse-print roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "date only" `Quick test_parse_date_only;
+          Alcotest.test_case "minutes only" `Quick test_parse_minutes_only;
+          Alcotest.test_case "microseconds" `Quick test_parse_micros;
+          Alcotest.test_case "malformed rejected" `Quick test_parse_errors;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "contains half-open" `Quick test_interval_contains;
+          Alcotest.test_case "empty rejected" `Quick test_interval_empty_rejected;
+          Alcotest.test_case "intersect" `Quick test_interval_intersect;
+          Alcotest.test_case "close" `Quick test_interval_close;
+        ] );
+      ( "interval_set",
+        [
+          Alcotest.test_case "normalize merges overlaps" `Quick test_set_normalize_merges;
+          Alcotest.test_case "adjacent merge" `Quick test_set_adjacent_merge;
+          Alcotest.test_case "intersection" `Quick test_set_inter;
+          Alcotest.test_case "first/last aggregations" `Quick test_set_aggregations;
+        ] );
+      ( "time_constraint",
+        [
+          Alcotest.test_case "admits" `Quick test_constraint_admits;
+          Alcotest.test_case "restrict" `Quick test_constraint_restrict;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle/sample" `Quick test_prng_shuffle_and_sample;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_intersect_symmetric;
+            prop_intersect_subset;
+            prop_set_union_contains;
+            prop_set_inter_semantics;
+            prop_normalize_disjoint;
+          ] );
+    ]
