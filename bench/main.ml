@@ -8,11 +8,15 @@
      backends — Section 5: the same workload through SQL and Gremlin targets
      anchors  — Section 5.1: anchor-selection ablation
      temporal — Section 4: snapshot vs timeslice vs time-range costs
+     rpe_fastpath — fast-path evaluator A/B on the Range-constrained
+                    Table-1 workload (presence cache, frontier dedup,
+                    Domain-parallel walks vs the baseline evaluator)
      micro    — Bechamel micro-benchmarks of the core primitives
 
    Run all:            dune exec bench/main.exe
    Run one section:    dune exec bench/main.exe -- table1
    Quick mode:         dune exec bench/main.exe -- all --quick
+   JSON results:       dune exec bench/main.exe -- all --json out.json
 
    Absolute times are not comparable to the paper's testbed; the
    *shape* (which queries are interactive, which explode, what
@@ -26,19 +30,77 @@ module Prng = Nepal.Prng
 
 let quick = ref false
 let sections = ref []
+let json_file = ref None
 
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | s when String.length s > 0 && s.[0] <> '-' -> sections := s :: !sections
-        | _ -> ())
-    Sys.argv
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | s :: rest ->
+        if String.length s > 0 && s.[0] <> '-' then sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
 
 let want name =
   match !sections with [] | [ "all" ] -> true | l -> List.mem name l
+
+(* Machine-readable results: every section pushes (section, label,
+   metrics) rows; --json <file> writes them out at the end. *)
+let json_rows : (string * string * (string * float) list) list ref = ref []
+
+let record ~section ~label metrics =
+  json_rows := (section, label, metrics) :: !json_rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json file =
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      prerr_endline ("bench: cannot write --json output: " ^ msg);
+      exit 2
+  in
+  output_string oc "{\n  \"results\": [\n";
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i (section, label, metrics) ->
+      let fields =
+        List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (json_number v))
+          metrics
+      in
+      Printf.fprintf oc "    {\"section\": \"%s\", \"label\": \"%s\", %s}%s\n"
+        (json_escape section) (json_escape label)
+        (String.concat ", " fields)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %d result row(s) to %s\n" (List.length rows) file
 
 let ok = function Ok v -> v | Error e -> failwith e
 
@@ -178,6 +240,8 @@ let run_table1 () =
   List.iter
     (fun (name, instances) ->
       let paths, snap, hist = measure conn store instances in
+      record ~section:"table1" ~label:name
+        [ ("paths", paths); ("snap_s", snap); ("hist_s", hist) ];
       row4 name paths snap hist (List.assoc name paper_table1))
     families
 
@@ -230,6 +294,8 @@ let run_table2 () =
   List.iter
     (fun (name, instances) ->
       let paths, snap, hist = measure conn store instances in
+      record ~section:"table2" ~label:name
+        [ ("paths", paths); ("snap_s", snap); ("hist_s", hist) ];
       row4 name paths snap hist (List.assoc name paper_table2))
     families
 
@@ -466,6 +532,101 @@ let run_temporal () =
     (Nepal.Interval_set.cardinality w) dt
 
 (* ------------------------------------------------------------------ *)
+(* RPE fast path A/B                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The Table-1 workload under a 60-day Range constraint — where presence
+   interval-sets are consulted for every (element, atom) pair on every
+   round — evaluated twice: with the fast path disabled (baseline: no
+   cache, no frontier dedup, one domain, i.e. the pre-fastpath
+   evaluator) and with the default configuration. Path counts must
+   agree exactly. *)
+let run_fastpath () =
+  header "RPE fast path — baseline vs cache+dedup+domains (Range workload)";
+  let t, db = Lazy.force virt_setup in
+  let store = t.Virt.store in
+  let conn = Nepal.conn db in
+  let born = t.Virt.born in
+  let clock = Nepal.Graph_store.clock store in
+  let with_range q =
+    Printf.sprintf "AT '%s' : '%s' %s"
+      (Nepal.Time_point.to_string born)
+      (Nepal.Time_point.to_string clock)
+      q
+  in
+  let take n xs =
+    let rec go n = function
+      | x :: tl when n > 0 -> x :: go (n - 1) tl
+      | _ -> []
+    in
+    go n xs
+  in
+  let cap = if !quick then 5 else 15 in
+  let families =
+    List.map
+      (fun (name, instances) -> (name, List.map with_range (take cap instances)))
+      (table1_instances t conn)
+  in
+  let fast_cfg = Nepal.Eval_rpe.default_config () in
+  let run_all cfg stats qs =
+    List.map
+      (fun q ->
+        match Nepal.Engine.run_string ~conn ~config:cfg ~stats q with
+        | Ok r -> Nepal.Engine.result_count r
+        | Error e -> failwith (e ^ "\n  in query: " ^ q))
+      qs
+  in
+  Printf.printf "domains: %d\n" fast_cfg.Nepal.Eval_rpe.domains;
+  Printf.printf "%-18s %12s %12s %9s %10s %8s %8s\n" "type" "baseline(s)"
+    "fastpath(s)" "speedup" "hit-rate" "merged" "saved";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let sum_b = ref 0. and sum_f = ref 0. in
+  List.iter
+    (fun (name, qs) ->
+      let n = float_of_int (max 1 (List.length qs)) in
+      let base_stats = Nepal.Eval_rpe.new_stats () in
+      let counts_b, t_b =
+        time (fun () -> run_all Nepal.Eval_rpe.baseline_config base_stats qs)
+      in
+      let fast_stats = Nepal.Eval_rpe.new_stats () in
+      let counts_f, t_f = time (fun () -> run_all fast_cfg fast_stats qs) in
+      if counts_b <> counts_f then
+        Printf.printf "!! %s: fast path changed the result counts\n" name;
+      sum_b := !sum_b +. t_b;
+      sum_f := !sum_f +. t_f;
+      let open Nepal.Eval_rpe in
+      let lookups = fast_stats.cache_hits + fast_stats.cache_misses in
+      let hit_rate =
+        if lookups = 0 then 0.
+        else float_of_int fast_stats.cache_hits /. float_of_int lookups
+      in
+      record ~section:"rpe_fastpath" ~label:name
+        [
+          ("baseline_s", t_b /. n);
+          ("fastpath_s", t_f /. n);
+          ("speedup", t_b /. Float.max 1e-9 t_f);
+          ("cache_hits", float_of_int fast_stats.cache_hits);
+          ("cache_misses", float_of_int fast_stats.cache_misses);
+          ("merged_partials", float_of_int fast_stats.merged_partials);
+          ("saved_fetches", float_of_int fast_stats.saved_fetches);
+          ("domains_used", float_of_int fast_stats.domains_used);
+        ];
+      Printf.printf "%-18s %12.4f %12.4f %8.1fx %9.1f%% %8d %8d\n%!" name
+        (t_b /. n) (t_f /. n)
+        (t_b /. Float.max 1e-9 t_f)
+        (hit_rate *. 100.) fast_stats.merged_partials fast_stats.saved_fetches)
+    families;
+  Printf.printf "%s\n" (String.make 82 '-');
+  Printf.printf "%-18s %12.4f %12.4f %8.1fx\n%!" "TOTAL" !sum_b !sum_f
+    (!sum_b /. Float.max 1e-9 !sum_f);
+  record ~section:"rpe_fastpath" ~label:"TOTAL"
+    [
+      ("baseline_s", !sum_b);
+      ("fastpath_s", !sum_f);
+      ("speedup", !sum_b /. Float.max 1e-9 !sum_f);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -503,7 +664,12 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if !quick then 100 else 500)
+      ~quota:(Time.second (if !quick then 0.05 else 0.3))
+      ~stabilize:false ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   Hashtbl.iter
@@ -521,5 +687,7 @@ let () =
   if want "backends" then run_backends ();
   if want "anchors" then run_anchors ();
   if want "temporal" then run_temporal ();
+  if want "rpe_fastpath" then run_fastpath ();
   if want "micro" then run_micro ();
+  (match !json_file with Some f -> write_json f | None -> ());
   Printf.printf "\nbench complete.\n"

@@ -3,21 +3,31 @@
     The evaluator drives Select and Extend operations through this
     signature; each target system (the native store, the relational
     engine, the property-graph engine) supplies the bulk operations and
-    may log the query text it would ship to a real server. *)
+    may log the query text it would ship to a real server.
+
+    Connections wrap a backend value together with a presence cache:
+    under a [Range] constraint the evaluator consults [presence] for
+    every (element, atom) pair on every frontier round, and the interval
+    sets it returns depend only on the store contents — so they are
+    memoized per connection, keyed by (uid, predicate identity, window),
+    and invalidated wholesale whenever the backend's mutation counter
+    moves. *)
 
 module Value = Nepal_schema.Value
 module Strmap = Nepal_util.Strmap
+module Intset = Nepal_util.Intset
 module Time_constraint = Nepal_temporal.Time_constraint
 module Time_point = Nepal_temporal.Time_point
 module Interval_set = Nepal_temporal.Interval_set
 module Rpe = Nepal_rpe.Rpe
+module Predicate = Nepal_rpe.Predicate
 
 type direction = Fwd | Bwd
 
 type extend_item = {
   item_id : int;      (** caller's identifier for the partial pathway *)
   frontier : Path.element;
-  visited : int list; (** uids already on the pathway, for cycle pruning *)
+  visited : Intset.t; (** uids already on the pathway, for cycle pruning *)
 }
 
 (** What the next element may be matched against: the classes let the
@@ -31,6 +41,16 @@ module type S = sig
 
   val name : string
   val schema : t -> Nepal_schema.Schema.t
+
+  val version : t -> int
+  (** Monotone mutation counter; any successful mutation moves it.
+      Drives presence-cache invalidation. *)
+
+  val parallel_safe : bool
+  (** Whether the read operations below ([select_atom], [bulk_extend],
+      [presence], [element_by_uid]) may be called concurrently from
+      multiple domains. True only when no read path mutates backend
+      state (no lazy caches, no logging, no temp tables). *)
 
   val select_atom :
     t -> tc:Time_constraint.t -> Rpe.atom -> Path.element list
@@ -76,23 +96,98 @@ end
 
 type 'a backend = (module S with type t = 'a)
 
-(** A backend packaged with its connection value, so heterogeneous
-    backends can be mixed in one query (the data-integration story). *)
-type conn = Conn : 'a backend * 'a -> conn
+(** A backend packaged with its value. *)
+type handle = Handle : 'a backend * 'a -> handle
 
-let conn_name (Conn ((module B), _)) = B.name
-let conn_schema (Conn ((module B), t)) = B.schema t
+(** Predicate identity for presence memoization. The evaluator only ever
+    asks for plain existence or for an atom's predicate, and atoms are
+    plain data (class name + literal comparisons), so the atom itself is
+    the cache key — structurally hashable and comparable. *)
+type presence_pred = P_exists | P_atom of Rpe.atom
 
-let select_atom (Conn ((module B), t)) ~tc atom = B.select_atom t ~tc atom
-let estimate_atom (Conn ((module B), t)) atom = B.estimate_atom t atom
+type cache_counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
 
-let bulk_extend (Conn ((module B), t)) ~tc ~dir ~spec items =
+(** A backend packaged with its connection state, so heterogeneous
+    backends can be mixed in one query (the data-integration story).
+    Carries the presence memo table; the lock makes the cache safe to
+    share between the domains of a parallel walk. *)
+type conn = {
+  handle : handle;
+  pcache :
+    (int * presence_pred * Time_point.t * Time_point.t, Interval_set.t) Hashtbl.t;
+  mutable pcache_version : int;
+  pcache_lock : Mutex.t;
+  counters : cache_counters;
+}
+
+let make (type a) (backend : a backend) (t : a) : conn =
+  let (module B) = backend in
+  {
+    handle = Handle (backend, t);
+    pcache = Hashtbl.create 1024;
+    pcache_version = B.version t;
+    pcache_lock = Mutex.create ();
+    counters = { hits = 0; misses = 0; invalidations = 0 };
+  }
+
+let conn_name { handle = Handle ((module B), _); _ } = B.name
+let conn_schema { handle = Handle ((module B), t); _ } = B.schema t
+let conn_version { handle = Handle ((module B), t); _ } = B.version t
+let parallel_safe { handle = Handle ((module B), _); _ } = B.parallel_safe
+
+let select_atom { handle = Handle ((module B), t); _ } ~tc atom =
+  B.select_atom t ~tc atom
+
+let estimate_atom { handle = Handle ((module B), t); _ } atom =
+  B.estimate_atom t atom
+
+let bulk_extend { handle = Handle ((module B), t); _ } ~tc ~dir ~spec items =
   B.bulk_extend t ~tc ~dir ~spec items
 
-let presence (Conn ((module B), t)) ~uid ~window ~pred =
+let presence { handle = Handle ((module B), t); _ } ~uid ~window ~pred =
   B.presence t ~uid ~window ~pred
 
-let element_by_uid (Conn ((module B), t)) ~tc uid = B.element_by_uid t ~tc uid
+let element_by_uid { handle = Handle ((module B), t); _ } ~tc uid =
+  B.element_by_uid t ~tc uid
 
-let version_boundaries (Conn ((module B), t)) ~uid ~window =
+let version_boundaries { handle = Handle ((module B), t); _ } ~uid ~window =
   B.version_boundaries t ~uid ~window
+
+(* -- the presence cache --------------------------------------------- *)
+
+let pred_of_presence_pred = function
+  | P_exists -> None
+  | P_atom a -> Some (fun fields -> Predicate.eval a.Rpe.pred fields)
+
+let cache_counters conn = conn.counters
+
+(* Memoized presence. On a miss the backend read runs outside the lock
+   (it can be expensive); two domains may then compute the same entry,
+   which is harmless — last write wins with an identical value. *)
+let presence_cached conn ~uid ~window:(w0, w1) ~ppred =
+  let (Handle ((module B), t)) = conn.handle in
+  let v = B.version t in
+  let key = (uid, ppred, w0, w1) in
+  Mutex.lock conn.pcache_lock;
+  if v <> conn.pcache_version then begin
+    Hashtbl.reset conn.pcache;
+    conn.pcache_version <- v;
+    conn.counters.invalidations <- conn.counters.invalidations + 1
+  end;
+  let cached = Hashtbl.find_opt conn.pcache key in
+  (match cached with
+  | Some _ -> conn.counters.hits <- conn.counters.hits + 1
+  | None -> conn.counters.misses <- conn.counters.misses + 1);
+  Mutex.unlock conn.pcache_lock;
+  match cached with
+  | Some s -> s
+  | None ->
+      let s = B.presence t ~uid ~window:(w0, w1) ~pred:(pred_of_presence_pred ppred) in
+      Mutex.lock conn.pcache_lock;
+      Hashtbl.replace conn.pcache key s;
+      Mutex.unlock conn.pcache_lock;
+      s

@@ -1,15 +1,17 @@
 (** Packaging of backends into first-class connections. *)
 
 let native (store : Nepal_store.Graph_store.t) : Backend_intf.conn =
-  Backend_intf.Conn
-    ( (module Native_backend : Backend_intf.S
-        with type t = Nepal_store.Graph_store.t),
-      store )
+  Backend_intf.make
+    (module Native_backend : Backend_intf.S
+      with type t = Nepal_store.Graph_store.t)
+    store
 
 let relational (rb : Relational_backend.t) : Backend_intf.conn =
-  Backend_intf.Conn
-    ((module Relational_backend : Backend_intf.S with type t = Relational_backend.t), rb)
+  Backend_intf.make
+    (module Relational_backend : Backend_intf.S with type t = Relational_backend.t)
+    rb
 
 let gremlin (gb : Gremlin_backend.t) : Backend_intf.conn =
-  Backend_intf.Conn
-    ((module Gremlin_backend : Backend_intf.S with type t = Gremlin_backend.t), gb)
+  Backend_intf.make
+    (module Gremlin_backend : Backend_intf.S with type t = Gremlin_backend.t)
+    gb

@@ -152,7 +152,7 @@ let correlation_key outer_vars outer_row q =
 
 (* -- the main evaluation -------------------------------------------- *)
 
-let rec run ~conn ?(binds = []) ?max_length ?stats q =
+let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
   let stats = match stats with Some s -> s | None -> Eval_rpe.new_stats () in
   let conn_of var =
     match List.assoc_opt var binds with Some c -> c | None -> conn
@@ -304,7 +304,7 @@ let rec run ~conn ?(binds = []) ?max_length ?stats q =
                              var)
                       else Ok None)
             in
-            let* paths = Eval_rpe.find c ~tc ?max_length ?seed ~stats norm in
+            let* paths = Eval_rpe.find c ~tc ?max_length ?seed ~stats ?config norm in
             Hashtbl.replace evaluated var paths;
             order := var :: !order;
             remaining := List.filter (fun v -> v <> var) !remaining;
@@ -432,7 +432,7 @@ let rec run ~conn ?(binds = []) ?max_length ?stats q =
         (* Inherit the outer temporal scope unless the subquery sets
            its own. *)
         let sub' = if sub'.q_at = None then { sub' with q_at = q.q_at } else sub' in
-        let* res = run ~conn ~binds ?max_length ~stats sub' in
+        let* res = run ~conn ~binds ?max_length ~stats ?config sub' in
         let b = result_count res > 0 in
         Hashtbl.replace subquery_memo key b;
         Ok b
@@ -627,9 +627,9 @@ and result_count = function
   | Rows { rows; _ } -> List.length rows
   | Table { rows; _ } -> List.length rows
 
-let run_string ~conn ?binds ?max_length ?stats text =
+let run_string ~conn ?binds ?max_length ?stats ?config text =
   let* q = Query_parser.parse text in
-  run ~conn ?binds ?max_length ?stats q
+  run ~conn ?binds ?max_length ?stats ?config q
 
 let pp_result ppf = function
   | Rows { vars; rows } ->

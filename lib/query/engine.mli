@@ -29,16 +29,19 @@ val run :
   ?binds:(string * Backend_intf.conn) list ->
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
+  ?config:Eval_rpe.config ->
   Query_ast.query ->
   (result, string) Stdlib.result
 (** [binds] maps individual pathway variables to other databases;
-    unbound variables use [conn]. *)
+    unbound variables use [conn]. [config] tunes the RPE fast path
+    (see {!Eval_rpe.config}); it also applies to subqueries. *)
 
 val run_string :
   conn:Backend_intf.conn ->
   ?binds:(string * Backend_intf.conn) list ->
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
+  ?config:Eval_rpe.config ->
   string ->
   (result, string) Stdlib.result
 (** Parse and run. *)

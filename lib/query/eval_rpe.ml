@@ -1,10 +1,11 @@
 module Time_constraint = Nepal_temporal.Time_constraint
 module Interval_set = Nepal_temporal.Interval_set
 module Schema = Nepal_schema.Schema
+module Intset = Nepal_util.Intset
+module Domain_pool = Nepal_util.Domain_pool
 module Rpe = Nepal_rpe.Rpe
 module Nfa = Nepal_rpe.Nfa
 module Anchor = Nepal_rpe.Anchor
-module Predicate = Nepal_rpe.Predicate
 open Backend_intf
 
 type seed =
@@ -12,13 +13,61 @@ type seed =
   | From_nodes of Path.element list
   | To_nodes of Path.element list
 
+type config = {
+  presence_cache : bool;
+  frontier_dedup : bool;
+  domains : int;
+  par_threshold : int;
+}
+
+let default_config () =
+  {
+    presence_cache = true;
+    frontier_dedup = true;
+    domains = Domain_pool.default_domains ();
+    par_threshold = 4;
+  }
+
+(* The pre-fastpath evaluator, for A/B measurement. *)
+let baseline_config =
+  { presence_cache = false; frontier_dedup = false; domains = 1; par_threshold = max_int }
+
 type stats = {
   mutable selects : int;
   mutable extends : int;
   mutable frontier_peak : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable merged_partials : int;
+  mutable saved_fetches : int;
+  mutable walk_tasks : int;
+  mutable domains_used : int;
 }
 
-let new_stats () = { selects = 0; extends = 0; frontier_peak = 0 }
+let new_stats () =
+  {
+    selects = 0;
+    extends = 0;
+    frontier_peak = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    merged_partials = 0;
+    saved_fetches = 0;
+    walk_tasks = 0;
+    domains_used = 0;
+  }
+
+(* Fold a per-task stats record (from one domain's walk) into the
+   caller's. Cache hits/misses are accounted at the connection, not
+   here. *)
+let merge_stats dst src =
+  dst.selects <- dst.selects + src.selects;
+  dst.extends <- dst.extends + src.extends;
+  dst.frontier_peak <- max dst.frontier_peak src.frontier_peak;
+  dst.merged_partials <- dst.merged_partials + src.merged_partials;
+  dst.saved_fetches <- dst.saved_fetches + src.saved_fetches;
+  dst.walk_tasks <- dst.walk_tasks + src.walk_tasks;
+  dst.domains_used <- max dst.domains_used src.domains_used
 
 let ( let* ) = Result.bind
 
@@ -30,18 +79,36 @@ let kind_of_for sch (a : Rpe.atom) =
 
 (* A partial pathway during one directional walk. [rev_elements] is in
    walk order reversed (frontier first); [valid] tracks the running
-   interval-set intersection under Range constraints. *)
+   interval-set intersection under Range constraints. [sid] is the
+   memo-interned id of [states]. *)
 type partial = {
   rev_elements : Path.element list;
   states : Nfa.states;
-  visited : int list;
+  sid : int;
+  visited : Intset.t;
+  vhash : int;
+      (* order-independent hash of [visited], maintained incrementally;
+         merge keys on it and re-checks exact set equality on hits *)
   valid : Interval_set.t option;
 }
+
+(* Cheap avalanching int mixer (xorshift-multiply); uid hashes are
+   XOR-combined so the visited-set hash is insertion-order independent. *)
+let mix u =
+  let h = u * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let frontier_elem p =
+  match p.rev_elements with e :: _ -> e | [] -> assert false
+
+let presence_for cfg conn ~uid ~window ~ppred =
+  if cfg.presence_cache then presence_cached conn ~uid ~window ~ppred
+  else presence conn ~uid ~window ~pred:(pred_of_presence_pred ppred)
 
 (* Does the element satisfy the atom under the constraint? Under Range
    the predicate may have held in a non-latest version, so presence is
    consulted. *)
-let element_matches conn ~tc sch (elem : Path.element) (a : Rpe.atom) =
+let element_matches cfg conn ~tc sch (elem : Path.element) (a : Rpe.atom) =
   let kind_ok =
     match Rpe.atom_kind sch a with
     | Some Schema.Node_kind -> elem.Path.is_node
@@ -57,24 +124,25 @@ let element_matches conn ~tc sch (elem : Path.element) (a : Rpe.atom) =
       Schema.is_subclass sch ~sub:elem.Path.cls ~sup:a.Rpe.cls
       && not
            (Interval_set.is_empty
-              (presence conn ~uid:elem.Path.uid ~window:(w0, w1)
-                 ~pred:(Some (fun fields -> Predicate.eval a.Rpe.pred fields))))
+              (presence_for cfg conn ~uid:elem.Path.uid ~window:(w0, w1)
+                 ~ppred:(P_atom a)))
 
 (* The element's own contribution to the pathway validity set: the
    union of the presence sets of the atoms it matched (or plain
    existence when it was consumed by a skip). *)
-let element_validity conn ~tc (elem : Path.element) matched_atoms skipped =
+let element_validity cfg conn ~tc (elem : Path.element) matched_atoms skipped =
   match tc with
   | Time_constraint.Snapshot | Time_constraint.At _ -> None
   | Time_constraint.Range (w0, w1) ->
       let sets =
         (if skipped then
-           [ presence conn ~uid:elem.Path.uid ~window:(w0, w1) ~pred:None ]
+           [ presence_for cfg conn ~uid:elem.Path.uid ~window:(w0, w1)
+               ~ppred:P_exists ]
          else [])
         @ List.map
             (fun (a : Rpe.atom) ->
-              presence conn ~uid:elem.Path.uid ~window:(w0, w1)
-                ~pred:(Some (fun fields -> Predicate.eval a.Rpe.pred fields)))
+              presence_for cfg conn ~uid:elem.Path.uid ~window:(w0, w1)
+                ~ppred:(P_atom a))
             matched_atoms
       in
       Some (List.fold_left Interval_set.union Interval_set.empty sets)
@@ -91,135 +159,465 @@ let validity_ok ~tc v =
   | Time_constraint.Range (w0, w1) -> (
       match v with
       | Some s ->
-          not
-            (Interval_set.is_empty
-               (Interval_set.inter s
-                  (Interval_set.singleton (Nepal_temporal.Interval.between w0 w1))))
+          Interval_set.overlaps s
+            (Interval_set.singleton (Nepal_temporal.Interval.between w0 w1))
       | None -> false)
   | _ -> true
 
-(* Advance one partial over one candidate element. *)
-let advance conn ~tc sch nfa partial (elem : Path.element) =
-  if List.mem elem.Path.uid partial.visited then None
-  else
-    let matched = ref [] in
-    let matches a =
-      let ok = element_matches conn ~tc sch elem a in
-      if ok then matched := a :: !matched;
-      ok
-    in
-    let states' = Nfa.step nfa ~matches ~is_node:elem.Path.is_node partial.states in
-    if states' = [] then None
-    else
-      (* Whether a Skip transition could have consumed this element: it
-         did iff a kind-compatible skip left the previous state set. *)
-      let skipped = Nfa.can_skip nfa ~is_node:elem.Path.is_node partial.states in
-      let valid' =
-        combine_validity partial.valid
-          (element_validity conn ~tc elem !matched skipped)
-      in
-      if not (validity_ok ~tc valid') then None
-      else
-        Some
-          {
-            rev_elements = elem :: partial.rev_elements;
-            states = states';
-            visited = elem.Path.uid :: partial.visited;
-            valid = valid';
-          }
+(* Memoized outcome of one NFA step from an interned state set over an
+   element with a given atom-match profile. [e_matched] lists the
+   distinct atoms consumed by Match transitions — a property of the
+   profile, not of the particular element. [e_id] keys the per-walk
+   validity-contribution cache. *)
+type step_entry = {
+  e_states : Nfa.states;
+  e_sid : int;
+  e_matched : Rpe.atom list;
+  e_skipped : bool;
+  e_id : int;
+}
 
 (* One directional walk from a set of start elements. Returns, for each
    start, the accepted element sequences (in walk order, starting with
-   the start element) paired with their validity sets. *)
-let walk conn ~tc ~dir ~max_length ~stats nfa (starts : Path.element list) =
+   the start element) paired with their validity sets.
+
+   The hot loop is dominated by per-candidate NFA simulation and
+   presence/validity set construction, so the walk keeps three local
+   (single-domain, unsynchronized) memo tables:
+
+   - [match_cache]: (element uid, atom) |-> does it match. Within one
+     walk an element's fields are fixed (the backend resolves a uid to
+     one representative version under the walk's time constraint), so
+     the answer is a function of the pair. Atoms are interned to small
+     ints first — unrolled repetitions reuse the same few atoms
+     thousands of times.
+
+   - [step_cache]: (state-set id, element kind, atom-match mask) |->
+     step outcome. Every atom the simulation may query on a transition
+     out of the set appears in the set's outgoing-atom universe, so the
+     mask of per-atom match bits fully determines the resulting state
+     set, the matched-atom list, and skippability. This bypasses
+     [Nfa.step]'s eps-closure scratch array for all but the first
+     element with a given profile.
+
+   - [vcache]: (element uid, step-entry id) |-> the element's validity
+     contribution (union of presence sets of its matched atoms), saving
+     the presence lookups and interval-set unions on repeats. *)
+let walk conn ~cfg ~tc ~dir ~max_length ~stats nfa (starts : Path.element list) =
   let sch = conn_schema conn in
-  let init (elem : Path.element) =
-    let matched = ref [] in
-    let matches a =
-      let ok = element_matches conn ~tc sch elem a in
-      if ok then matched := a :: !matched;
-      ok
-    in
-    let start_states = Nfa.start nfa in
-    let states = Nfa.step nfa ~matches ~is_node:elem.Path.is_node start_states in
-    if states = [] then None
+  let memo = Nfa.Memo.create nfa in
+  stats.walk_tasks <- stats.walk_tasks + 1;
+  let atom_ids : (Rpe.atom, int) Hashtbl.t = Hashtbl.create 16 in
+  let atom_id a =
+    match Hashtbl.find_opt atom_ids a with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length atom_ids in
+        Hashtbl.replace atom_ids a i;
+        i
+  in
+  (* Cache keys are packed into single ints (uids and the per-walk ids
+     are small); the rare overflow falls back to direct computation. *)
+  let match_cache : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let elem_match (elem : Path.element) a =
+    let i = atom_id a in
+    if (not cfg.presence_cache) || i >= 64 then
+      element_matches cfg conn ~tc sch elem a
     else
-      let skipped = Nfa.can_skip nfa ~is_node:elem.Path.is_node start_states in
-      let valid = element_validity conn ~tc elem !matched skipped in
-      if not (validity_ok ~tc valid) then None
+      let key = (elem.Path.uid lsl 6) lor i in
+      match Hashtbl.find_opt match_cache key with
+      | Some b -> b
+      | None ->
+          let b = element_matches cfg conn ~tc sch elem a in
+          Hashtbl.replace match_cache key b;
+          b
+  in
+  (* The distinct atoms on Match transitions out of a state set — the
+     mask universe for [step_cache]. *)
+  let sid_atoms : (int, Rpe.atom array) Hashtbl.t = Hashtbl.create 32 in
+  let atoms_of ~sid states =
+    match Hashtbl.find_opt sid_atoms sid with
+    | Some arr -> arr
+    | None ->
+        let seen = Hashtbl.create 8 in
+        let uniq = ref [] in
+        List.iter
+          (fun a ->
+            let i = atom_id a in
+            if not (Hashtbl.mem seen i) then begin
+              Hashtbl.replace seen i ();
+              uniq := a :: !uniq
+            end)
+          (Nfa.Memo.outgoing_atoms memo ~sid states);
+        let arr = Array.of_list (List.rev !uniq) in
+        Hashtbl.replace sid_atoms sid arr;
+        arr
+  in
+  let step_cache : (int, step_entry option) Hashtbl.t = Hashtbl.create 64 in
+  let next_entry = ref 0 in
+  let do_step ~sid states (elem : Path.element) =
+    let direct () =
+      let matched = ref [] in
+      let matches a =
+        let ok = elem_match elem a in
+        (* Unrolled repetitions share atoms physically; structural
+           duplicates that slip through are harmless (validity union is
+           idempotent). *)
+        if ok && not (List.memq a !matched) then matched := a :: !matched;
+        ok
+      in
+      let states' = Nfa.step nfa ~matches ~is_node:elem.Path.is_node states in
+      if states' = [] then None
       else
+        let skipped =
+          Nfa.Memo.can_skip memo ~sid ~is_node:elem.Path.is_node states
+        in
+        let id = !next_entry in
+        incr next_entry;
         Some
           {
-            rev_elements = [ elem ];
-            states;
-            visited = [ elem.Path.uid ];
-            valid;
+            e_states = states';
+            e_sid = Nfa.Memo.id memo states';
+            e_matched = !matched;
+            e_skipped = skipped;
+            e_id = id;
           }
+    in
+    if not cfg.frontier_dedup then direct ()
+    else
+      let atoms = atoms_of ~sid states in
+      if Array.length atoms > 40 || sid >= 1 lsl 20 then direct ()
+      else begin
+        let mask = ref 0 in
+        Array.iteri
+          (fun i a -> if elem_match elem a then mask := !mask lor (1 lsl i))
+          atoms;
+        let key =
+          ((((!mask lsl 1) lor if elem.Path.is_node then 1 else 0) lsl 20)
+           lor sid)
+        in
+        match Hashtbl.find_opt step_cache key with
+        | Some r -> r
+        | None ->
+            let r = direct () in
+            Hashtbl.replace step_cache key r;
+            r
+      end
+  in
+  let vcache : (int, Interval_set.t option) Hashtbl.t = Hashtbl.create 64 in
+  let contribution (elem : Path.element) (e : step_entry) =
+    match tc with
+    | Time_constraint.Snapshot | Time_constraint.At _ -> None
+    | Time_constraint.Range _ ->
+        if (not cfg.presence_cache) || e.e_id >= 4096 then
+          element_validity cfg conn ~tc elem e.e_matched e.e_skipped
+        else
+          let key = (elem.Path.uid lsl 12) lor e.e_id in
+          (match Hashtbl.find_opt vcache key with
+          | Some v -> v
+          | None ->
+              let v =
+                element_validity cfg conn ~tc elem e.e_matched e.e_skipped
+              in
+              Hashtbl.replace vcache key v;
+              v)
+  in
+  (* Fused per-(element uid, state-set id) outcome — the innermost loop
+     then costs one probe instead of the mask, step, and contribution
+     probes. The finer-grained caches above still back the misses (they
+     share work across state sets). Only engaged when both fast-path
+     toggles are on. *)
+  let fused = cfg.presence_cache && cfg.frontier_dedup in
+  let outcome_cache :
+      (int, (step_entry * Interval_set.t option) option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let outcome ~sid states (elem : Path.element) =
+    if (not fused) || sid >= 1 lsl 20 then
+      match do_step ~sid states elem with
+      | None -> None
+      | Some e -> Some (e, contribution elem e)
+    else
+      let key = (elem.Path.uid lsl 20) lor sid in
+      match Hashtbl.find_opt outcome_cache key with
+      | Some r -> r
+      | None ->
+          let r =
+            match do_step ~sid states elem with
+            | None -> None
+            | Some e -> Some (e, contribution elem e)
+          in
+          Hashtbl.replace outcome_cache key r;
+          r
+  in
+  (* The query window as an interval set, built once. *)
+  let window_set =
+    match tc with
+    | Time_constraint.Range (w0, w1) ->
+        Some (Interval_set.singleton (Nepal_temporal.Interval.between w0 w1))
+    | _ -> None
+  in
+  let valid_ok v =
+    match window_set with
+    | None -> true
+    | Some w -> (
+        match v with Some s -> Interval_set.overlaps s w | None -> false)
+  in
+  let start_states = Nfa.start nfa in
+  let start_sid = Nfa.Memo.id memo start_states in
+  let init (elem : Path.element) =
+    match outcome ~sid:start_sid start_states elem with
+    | None -> None
+    | Some (e, valid) ->
+        if not (valid_ok valid) then None
+        else
+          Some
+            {
+              rev_elements = [ elem ];
+              states = e.e_states;
+              sid = e.e_sid;
+              visited = Intset.singleton elem.Path.uid;
+              vhash = mix elem.Path.uid;
+              valid;
+            }
+  in
+  (* Advance one partial over one candidate element. *)
+  let advance partial (elem : Path.element) =
+    if Intset.mem elem.Path.uid partial.visited then None
+    else
+      match outcome ~sid:partial.sid partial.states elem with
+      | None -> None
+      | Some (e, contrib) ->
+          let valid' = combine_validity partial.valid contrib in
+          if not (valid_ok valid') then None
+          else
+            Some
+              {
+                rev_elements = elem :: partial.rev_elements;
+                states = e.e_states;
+                sid = e.e_sid;
+                visited = Intset.add elem.Path.uid partial.visited;
+                vhash = partial.vhash lxor mix elem.Path.uid;
+                valid = valid';
+              }
+  in
+  (* Partials agreeing on (frontier uid, state set, visited set) denote
+     the same element sequence — a cycle-free alternating pathway is
+     determined by its element set and endpoint — reached through
+     different NFA runs. Keep one, unioning the validity sets (a
+     pathway's maximal validity is the union over its runs). *)
+  let merge ?(size = 256) parts =
+    if not cfg.frontier_dedup then parts
+    else begin
+      (* One int-keyed probe per partial: the key hashes (frontier uid,
+         state-set id, visited set). Exact equality is re-checked inside
+         a bucket, so hash collisions cost time, never correctness. *)
+      let tbl : (int, partial ref list ref) Hashtbl.t =
+        Hashtbl.create (max 256 size)
+      in
+      let out = ref [] in
+      List.iter
+        (fun p ->
+          let u = (frontier_elem p).Path.uid in
+          let h = mix ((u lsl 20) lxor p.sid) lxor p.vhash in
+          match Hashtbl.find_opt tbl h with
+          | None ->
+              let cell = ref p in
+              Hashtbl.replace tbl h (ref [ cell ]);
+              out := cell :: !out
+          | Some bucket -> (
+              let same q =
+                (frontier_elem q).Path.uid = u
+                && q.sid = p.sid
+                && Intset.equal q.visited p.visited
+              in
+              match List.find_opt (fun c -> same !c) !bucket with
+              | Some cell ->
+                  stats.merged_partials <- stats.merged_partials + 1;
+                  let q = !cell in
+                  let valid =
+                    match (q.valid, p.valid) with
+                    | Some a, Some b -> Some (Interval_set.union a b)
+                    | _ -> None
+                  in
+                  cell := { q with valid }
+              | None ->
+                  let cell = ref p in
+                  bucket := cell :: !bucket;
+                  out := cell :: !out))
+        parts;
+      List.rev_map (fun c -> !c) !out
+    end
   in
   let accepted = ref [] in
   let emit p =
     match p.rev_elements with
-    | last :: _ when last.Path.is_node && Nfa.accepting nfa p.states ->
+    | last :: _ when last.Path.is_node && Nfa.Memo.accepting memo ~sid:p.sid p.states
+      ->
         accepted := (List.rev p.rev_elements, p.valid) :: !accepted
     | _ -> ()
   in
-  let frontier = ref (List.filter_map init starts) in
+  let frontier = ref (merge (List.filter_map init starts)) in
   List.iter emit !frontier;
   let rounds = ref 1 in
   while !frontier <> [] && !rounds < max_length do
     incr rounds;
     stats.extends <- stats.extends + 1;
-    stats.frontier_peak <- max stats.frontier_peak (List.length !frontier);
-    let parts = Array.of_list !frontier in
-    let items =
-      Array.to_list
-        (Array.mapi
-           (fun i p ->
-             match p.rev_elements with
-             | frontier_elem :: _ ->
-                 { item_id = i; frontier = frontier_elem; visited = p.visited }
-             | [] -> assert false)
-           parts)
+    let parts = !frontier in
+    let n_parts = List.length parts in
+    stats.frontier_peak <- max stats.frontier_peak n_parts;
+    (* Partials sharing a frontier element share its neighbourhood: one
+       backend fetch per distinct frontier uid. The item's [visited] is
+       only a pruning hint — [advance] re-applies each member's own
+       visited set — so any subset of the members' intersection is
+       sound: a singleton group passes its full set, a shared group just
+       the frontier uid (computing the true intersection costs more than
+       the few unprunable candidates it would drop). *)
+    let groups, items =
+      if cfg.frontier_dedup then begin
+        let tbl = Hashtbl.create (max 256 n_parts) in
+        let cells = ref [] in
+        let ngroups = ref 0 in
+        List.iter
+          (fun p ->
+            let u = (frontier_elem p).Path.uid in
+            match Hashtbl.find_opt tbl u with
+            | Some cell -> cell := p :: !cell
+            | None ->
+                let cell = ref [ p ] in
+                Hashtbl.replace tbl u cell;
+                cells := (p, cell) :: !cells;
+                incr ngroups)
+          parts;
+        stats.saved_fetches <- stats.saved_fetches + (n_parts - !ngroups);
+        let groups = Array.make !ngroups [] in
+        let items = ref [] in
+        let i = ref !ngroups in
+        (* [cells] is in reverse discovery order, so walking it while
+           counting down yields [items] in discovery order. *)
+        List.iter
+          (fun ((p0 : partial), cell) ->
+            decr i;
+            groups.(!i) <- !cell;
+            let visited =
+              match !cell with
+              | [ only ] -> only.visited
+              | _ -> Intset.singleton (frontier_elem p0).Path.uid
+            in
+            items :=
+              { item_id = !i; frontier = frontier_elem p0; visited }
+              :: !items)
+          !cells;
+        (groups, !items)
+      end
+      else
+        let groups = Array.of_list (List.map (fun p -> [ p ]) parts) in
+        let items =
+          Array.to_list
+            (Array.mapi
+               (fun i members ->
+                 let p0 = List.hd members in
+                 { item_id = i; frontier = frontier_elem p0; visited = p0.visited })
+               groups)
+        in
+        (groups, items)
     in
     let spec =
-      (* Deduplicate: thousands of partials share the same few atoms,
-         and backends check candidates against every listed atom. *)
-      let seen = Hashtbl.create 8 in
+      (* Deduplicate: thousands of partials share the same few state
+         sets, and backends check candidates against every listed
+         atom. *)
+      let seen_sid = Hashtbl.create 8 in
+      let seen_atom = Hashtbl.create 8 in
       let atoms = ref [] in
-      Array.iter
+      let with_skip = ref false in
+      List.iter
         (fun p ->
-          List.iter
-            (fun a ->
-              if not (Hashtbl.mem seen a) then begin
-                Hashtbl.replace seen a ();
-                atoms := a :: !atoms
-              end)
-            (Nfa.outgoing_atoms nfa p.states))
+          let next_is_node = not (frontier_elem p).Path.is_node in
+          if
+            (not !with_skip)
+            && Nfa.Memo.can_skip memo ~sid:p.sid ~is_node:next_is_node p.states
+          then with_skip := true;
+          if not (Hashtbl.mem seen_sid p.sid) then begin
+            Hashtbl.replace seen_sid p.sid ();
+            List.iter
+              (fun a ->
+                if not (Hashtbl.mem seen_atom a) then begin
+                  Hashtbl.replace seen_atom a ();
+                  atoms := a :: !atoms
+                end)
+              (Nfa.Memo.outgoing_atoms memo ~sid:p.sid p.states)
+          end)
         parts;
-      let with_skip =
-        Array.exists
-          (fun p ->
-            match p.rev_elements with
-            | frontier :: _ ->
-                Nfa.can_skip nfa ~is_node:(not frontier.Path.is_node) p.states
-            | [] -> false)
-          parts
-      in
-      { atoms = !atoms; with_skip }
+      { atoms = !atoms; with_skip = !with_skip }
     in
     let extensions = bulk_extend conn ~tc ~dir ~spec items in
     let next = ref [] in
+    let n_next = ref 0 in
     List.iter
       (fun (i, elem) ->
-        match advance conn ~tc sch nfa parts.(i) elem with
-        | Some p ->
-            emit p;
-            next := p :: !next
-        | None -> ())
+        List.iter
+          (fun p ->
+            match advance p elem with
+            | Some q ->
+                next := q :: !next;
+                incr n_next
+            | None -> ())
+          groups.(i))
       extensions;
-    frontier := !next
+    let merged = merge ~size:!n_next (List.rev !next) in
+    List.iter emit merged;
+    frontier := merged
   done;
   !accepted
+
+(* Contiguous near-equal chunks for splitting seed sets across domains. *)
+let chunk k xs =
+  let n = List.length xs in
+  let k = max 1 (min k n) in
+  let base = n / k and extra = n mod k in
+  let rec take i xs acc =
+    if i = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (i - 1) tl (x :: acc)
+  in
+  let rec go i xs =
+    if i >= k || xs = [] then []
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let c, rest = take sz xs [] in
+      if c = [] then go (i + 1) rest else c :: go (i + 1) rest
+  in
+  go 0 xs
+
+(* A walk over many independent seeds: split the seed set across the
+   domain pool when the backend's reads are parallel-safe. Results are
+   concatenated in chunk order, so the outcome is independent of the
+   domain count. *)
+let seeded_walk conn ~cfg ~tc ~dir ~max_length ~stats nfa seeds =
+  let par =
+    parallel_safe conn && cfg.domains > 1
+    && List.length seeds >= max 2 cfg.par_threshold
+  in
+  if not par then begin
+    if seeds <> [] then stats.domains_used <- max stats.domains_used 1;
+    walk conn ~cfg ~tc ~dir ~max_length ~stats nfa seeds
+  end
+  else begin
+    let chunks = chunk cfg.domains seeds in
+    stats.domains_used <- max stats.domains_used (List.length chunks);
+    let thunks =
+      List.map
+        (fun c () ->
+          let s = new_stats () in
+          (walk conn ~cfg ~tc ~dir ~max_length ~stats:s nfa c, s))
+        chunks
+    in
+    let out = Domain_pool.run ~domains:cfg.domains thunks in
+    List.iter (fun (_, s) -> merge_stats stats s) out;
+    List.concat_map fst out
+  end
 
 let seq_opt parts =
   match List.filter_map Fun.id parts with
@@ -240,14 +638,20 @@ let dedup_paths paths =
     paths
   |> List.sort Path.compare
 
-(* Evaluate one anchor split: Select the anchor, then extend forwards
-   through (anchor :: after) and backwards through reverse (before ::
-   anchor), and join the two sides on the shared anchor element. *)
-let eval_split conn ~tc ~max_length ~stats (split : Anchor.split) =
+(* One anchor split, prepared: the Select already ran (sequentially —
+   selects are few and mutate relational-backend state), the two
+   directional NFAs are compiled, and the walks remain to be run. *)
+type prepared_split = {
+  anchors : Path.element list;
+  fwd_nfa : Nfa.t;
+  bwd_nfa : Nfa.t;
+}
+
+let prepare_split conn ~tc ~stats (split : Anchor.split) =
   let anchor_atom = split.Anchor.anchor in
   stats.selects <- stats.selects + 1;
   let anchors = select_atom conn ~tc anchor_atom in
-  if anchors = [] then []
+  if anchors = [] then None
   else begin
     let fwd_rpe =
       match seq_opt [ Some (Rpe.N_atom anchor_atom); split.Anchor.after ] with
@@ -264,112 +668,187 @@ let eval_split conn ~tc ~max_length ~stats (split : Anchor.split) =
       | None -> assert false
     in
     let kind_of = kind_of_for (conn_schema conn) in
-    let fwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of fwd_rpe in
-    let bwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of bwd_rpe in
-    let fwd = walk conn ~tc ~dir:Fwd ~max_length ~stats fwd_nfa anchors in
-    let bwd = walk conn ~tc ~dir:Bwd ~max_length ~stats bwd_nfa anchors in
-    (* Group by anchor uid. *)
-    let by_anchor side =
-      let tbl = Hashtbl.create 64 in
-      List.iter
-        (fun (elems, valid) ->
-          match elems with
-          | anchor :: _ -> Hashtbl.add tbl anchor.Path.uid (elems, valid)
-          | [] -> ())
-        side;
-      tbl
-    in
-    let fwd_tbl = by_anchor fwd and bwd_tbl = by_anchor bwd in
-    let results = ref [] in
-    Hashtbl.iter
-      (fun anchor_uid (bwd_elems, bwd_valid) ->
-        let bwd_tail = List.tl bwd_elems in
-        List.iter
-          (fun (fwd_elems, fwd_valid) ->
-            let fwd_tail = List.tl fwd_elems in
-            (* Elements must be disjoint across the two sides. *)
-            let bwd_uids = List.map (fun e -> e.Path.uid) bwd_tail in
-            let fwd_uids = List.map (fun e -> e.Path.uid) fwd_tail in
-            let overlap = List.exists (fun u -> List.mem u fwd_uids) bwd_uids in
-            if not overlap then begin
-              let elements = List.rev bwd_tail @ fwd_elems in
-              if List.length elements <= max_length then begin
-                let valid =
-                  match tc with
-                  | Time_constraint.Range _ ->
-                      combine_validity bwd_valid fwd_valid
-                  | _ -> None
-                in
-                let p = { Path.elements; valid } in
-                if Path.well_formed p && validity_ok ~tc valid then
-                  results := p :: !results
-              end
-            end)
-          (Hashtbl.find_all fwd_tbl anchor_uid))
-      bwd_tbl;
-    !results
+    Some
+      {
+        anchors;
+        fwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of fwd_rpe;
+        bwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of bwd_rpe;
+      }
   end
 
-let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest) norm =
+(* Join the two directional walks of one split on the shared anchor
+   element. *)
+let join_split ~tc ~max_length fwd bwd =
+  let by_anchor side =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (elems, valid) ->
+        match elems with
+        | anchor :: _ -> Hashtbl.add tbl anchor.Path.uid (elems, valid)
+        | [] -> ())
+      side;
+    tbl
+  in
+  let fwd_tbl = by_anchor fwd and bwd_tbl = by_anchor bwd in
+  let results = ref [] in
+  Hashtbl.iter
+    (fun anchor_uid (bwd_elems, bwd_valid) ->
+      let bwd_tail = List.tl bwd_elems in
+      (* Hash the backward-tail uids once; each forward pairing is then
+         a membership probe instead of a quadratic list scan. *)
+      let bwd_set =
+        List.fold_left (fun s e -> Intset.add e.Path.uid s) Intset.empty bwd_tail
+      in
+      List.iter
+        (fun (fwd_elems, fwd_valid) ->
+          let fwd_tail = List.tl fwd_elems in
+          (* Elements must be disjoint across the two sides. *)
+          let overlap =
+            List.exists (fun e -> Intset.mem e.Path.uid bwd_set) fwd_tail
+          in
+          if not overlap then begin
+            let elements = List.rev bwd_tail @ fwd_elems in
+            if List.length elements <= max_length then begin
+              let valid =
+                match tc with
+                | Time_constraint.Range _ -> combine_validity bwd_valid fwd_valid
+                | _ -> None
+              in
+              let p = { Path.elements; valid } in
+              if Path.well_formed p && validity_ok ~tc valid then
+                results := p :: !results
+            end
+          end)
+        (Hashtbl.find_all fwd_tbl anchor_uid))
+    bwd_tbl;
+  !results
+
+(* Anchored evaluation: Select each split's anchor, then run the
+   forward/backward walks of all splits — each an independent read-only
+   task — on the domain pool when eligible. *)
+let eval_anywhere conn ~cfg ~tc ~max_length ~stats splits =
+  let prepared = List.filter_map (prepare_split conn ~tc ~stats) splits in
+  let total_anchors =
+    List.fold_left (fun n p -> n + List.length p.anchors) 0 prepared
+  in
+  let tasks =
+    List.concat_map
+      (fun p -> [ (Fwd, p.fwd_nfa, p.anchors); (Bwd, p.bwd_nfa, p.anchors) ])
+      prepared
+  in
+  let par =
+    parallel_safe conn && cfg.domains > 1
+    && List.length tasks > 1
+    && total_anchors >= cfg.par_threshold
+  in
+  let walk_results =
+    if par then begin
+      stats.domains_used <-
+        max stats.domains_used (min cfg.domains (List.length tasks));
+      let thunks =
+        List.map
+          (fun (dir, nfa, anchors) () ->
+            let s = new_stats () in
+            (walk conn ~cfg ~tc ~dir ~max_length ~stats:s nfa anchors, s))
+          tasks
+      in
+      let out = Domain_pool.run ~domains:cfg.domains thunks in
+      List.iter (fun (_, s) -> merge_stats stats s) out;
+      List.map fst out
+    end
+    else begin
+      if tasks <> [] then stats.domains_used <- max stats.domains_used 1;
+      List.map
+        (fun (dir, nfa, anchors) ->
+          walk conn ~cfg ~tc ~dir ~max_length ~stats nfa anchors)
+        tasks
+    end
+  in
+  (* Tasks were emitted fwd-then-bwd per prepared split, and the pool
+     preserves order. *)
+  let rec join acc prepared results =
+    match (prepared, results) with
+    | [], [] -> acc
+    | _ :: ps, fwd :: bwd :: rs ->
+        join (join_split ~tc ~max_length fwd bwd @ acc) ps rs
+    | _ -> assert false
+  in
+  join [] prepared walk_results
+
+let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
+    ?config norm =
+  let cfg = match config with Some c -> c | None -> default_config () in
   let stats = match stats with Some s -> s | None -> new_stats () in
+  let counters = cache_counters conn in
+  let hits0 = counters.hits and misses0 = counters.misses in
   let default_cap = min (Rpe.max_length norm) 64 in
   let max_length =
     match max_length with Some m -> min m 64 | None -> default_cap
   in
-  match seed with
-  | Anywhere ->
-      let cost a = estimate_atom conn a in
-      let* selection =
-        match anchor with
-        | `Cheapest -> Anchor.select ~cost norm
-        | `Costliest -> (
-            match Anchor.enumerate ~cost norm with
-            | [] -> Anchor.select ~cost norm (* reuse its error message *)
-            | first :: rest ->
-                Ok
-                  (List.fold_left
-                     (fun acc c -> if c.Anchor.cost > acc.Anchor.cost then c else acc)
-                     first rest))
-      in
-      let paths =
-        List.concat_map (eval_split conn ~tc ~max_length ~stats) selection.Anchor.splits
-      in
-      Ok (dedup_paths paths)
-  | From_nodes seeds ->
-      let kind_of = kind_of_for (conn_schema conn) in
-      let nfa = Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm in
-      let seeds = List.filter (fun e -> e.Path.is_node) seeds in
-      let accepted = walk conn ~tc ~dir:Fwd ~max_length ~stats nfa seeds in
-      let paths =
-        List.filter_map
-          (fun (elems, valid) ->
-            let p = { Path.elements = elems; valid } in
-            if Path.well_formed p && validity_ok ~tc valid then Some p else None)
-          accepted
-      in
-      let paths =
-        match tc with
-        | Time_constraint.Range _ -> paths
-        | _ -> List.map (fun p -> { p with Path.valid = None }) paths
-      in
-      Ok (dedup_paths paths)
-  | To_nodes seeds ->
-      let kind_of = kind_of_for (conn_schema conn) in
-      let nfa =
-        Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of (Rpe.reverse norm)
-      in
-      let seeds = List.filter (fun e -> e.Path.is_node) seeds in
-      let accepted = walk conn ~tc ~dir:Bwd ~max_length ~stats nfa seeds in
-      let paths =
-        List.filter_map
-          (fun (elems, valid) ->
-            let p = { Path.elements = List.rev elems; valid } in
-            if Path.well_formed p && validity_ok ~tc valid then Some p else None)
-          accepted
-      in
-      let paths =
-        match tc with
-        | Time_constraint.Range _ -> paths
-        | _ -> List.map (fun p -> { p with Path.valid = None }) paths
-      in
-      Ok (dedup_paths paths)
+  let result =
+    match seed with
+    | Anywhere ->
+        let cost a = estimate_atom conn a in
+        let* selection =
+          match anchor with
+          | `Cheapest -> Anchor.select ~cost norm
+          | `Costliest -> (
+              match Anchor.enumerate ~cost norm with
+              | [] -> Anchor.select ~cost norm (* reuse its error message *)
+              | first :: rest ->
+                  Ok
+                    (List.fold_left
+                       (fun acc c ->
+                         if c.Anchor.cost > acc.Anchor.cost then c else acc)
+                       first rest))
+        in
+        let paths =
+          eval_anywhere conn ~cfg ~tc ~max_length ~stats selection.Anchor.splits
+        in
+        Ok (dedup_paths paths)
+    | From_nodes seeds ->
+        let kind_of = kind_of_for (conn_schema conn) in
+        let nfa = Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm in
+        let seeds = List.filter (fun e -> e.Path.is_node) seeds in
+        let accepted =
+          seeded_walk conn ~cfg ~tc ~dir:Fwd ~max_length ~stats nfa seeds
+        in
+        let paths =
+          List.filter_map
+            (fun (elems, valid) ->
+              let p = { Path.elements = elems; valid } in
+              if Path.well_formed p && validity_ok ~tc valid then Some p else None)
+            accepted
+        in
+        let paths =
+          match tc with
+          | Time_constraint.Range _ -> paths
+          | _ -> List.map (fun p -> { p with Path.valid = None }) paths
+        in
+        Ok (dedup_paths paths)
+    | To_nodes seeds ->
+        let kind_of = kind_of_for (conn_schema conn) in
+        let nfa =
+          Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of (Rpe.reverse norm)
+        in
+        let seeds = List.filter (fun e -> e.Path.is_node) seeds in
+        let accepted =
+          seeded_walk conn ~cfg ~tc ~dir:Bwd ~max_length ~stats nfa seeds
+        in
+        let paths =
+          List.filter_map
+            (fun (elems, valid) ->
+              let p = { Path.elements = List.rev elems; valid } in
+              if Path.well_formed p && validity_ok ~tc valid then Some p else None)
+            accepted
+        in
+        let paths =
+          match tc with
+          | Time_constraint.Range _ -> paths
+          | _ -> List.map (fun p -> { p with Path.valid = None }) paths
+        in
+        Ok (dedup_paths paths)
+  in
+  stats.cache_hits <- stats.cache_hits + (counters.hits - hits0);
+  stats.cache_misses <- stats.cache_misses + (counters.misses - misses0);
+  result

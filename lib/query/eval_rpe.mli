@@ -5,7 +5,17 @@
     NFA and backwards through the reversed-prefix NFA, one bulk Extend
     per round. Union operators arise implicitly from multi-split anchors
     (alternations). Pathways are cycle-free, as in the paper's generated
-    SQL. *)
+    SQL.
+
+    The fast path layers three orthogonal accelerations over that core,
+    each individually switchable through {!config}: presence
+    memoization (per-connection, version-invalidated), frontier
+    deduplication (one backend fetch per distinct frontier element, and
+    merging of partials that denote the same element sequence), and
+    Domain-parallel walks (the forward/backward walks of every anchor
+    split, or chunks of a seeded walk, run on a small domain pool when
+    the backend's reads are parallel-safe). All three preserve the
+    result set exactly. *)
 
 module Time_constraint = Nepal_temporal.Time_constraint
 module Rpe = Nepal_rpe.Rpe
@@ -19,10 +29,38 @@ type seed =
   | To_nodes of Path.element list
       (** symmetric: constrains the pathway's target node *)
 
+type config = {
+  presence_cache : bool;
+      (** memoize presence interval-sets per (uid, predicate, window) *)
+  frontier_dedup : bool;
+      (** one backend fetch per distinct frontier element; merge
+          partials denoting the same element sequence *)
+  domains : int;  (** domain-pool width; 1 disables parallelism *)
+  par_threshold : int;
+      (** minimum anchor/seed count before spawning domains — tiny
+          queries stay sequential *)
+}
+
+val default_config : unit -> config
+(** Everything on; [domains] from [NEPAL_DOMAINS] when set, otherwise
+    [min 4 recommended_domain_count]. *)
+
+val baseline_config : config
+(** The pre-fastpath evaluator (no caching, no dedup, sequential) — the
+    A side of the bench comparison. *)
+
 type stats = {
   mutable selects : int;   (** Select operators executed *)
   mutable extends : int;   (** bulk Extend rounds executed *)
   mutable frontier_peak : int;
+  mutable cache_hits : int;    (** presence-cache hits during this call *)
+  mutable cache_misses : int;  (** presence-cache fills during this call *)
+  mutable merged_partials : int;
+      (** partials collapsed into an equivalent survivor *)
+  mutable saved_fetches : int;
+      (** frontier entries served by another partial's backend fetch *)
+  mutable walk_tasks : int;  (** directional walk invocations *)
+  mutable domains_used : int;  (** peak domains running walks *)
 }
 
 val find :
@@ -32,6 +70,7 @@ val find :
   ?seed:seed ->
   ?stats:stats ->
   ?anchor:[ `Cheapest | `Costliest ] ->
+  ?config:config ->
   Rpe.norm ->
   (Path.t list, string) result
 (** Pathways satisfying the RPE, deduplicated, deterministically
@@ -40,6 +79,8 @@ val find :
     constraint every returned pathway carries its maximal validity
     interval set. [anchor] (default [`Cheapest]) selects which anchor
     candidate drives evaluation — [`Costliest] exists for the anchor
-    ablation experiment. *)
+    ablation experiment. [config] (default {!default_config}) toggles
+    the fast-path accelerations; the result set is the same under any
+    configuration. *)
 
 val new_stats : unit -> stats

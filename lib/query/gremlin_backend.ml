@@ -19,11 +19,17 @@ type t = {
   versions : (int, version list) Hashtbl.t; (* oldest first *)
   mutable log : string list;
   mutable log_len : int;
+  (* Mutation counter for presence-cache invalidation. *)
+  mutable gversion : int;
 }
 
 let name = "gremlin"
 let schema t = t.schema
 let graph t = t.graph
+let version t = t.gversion
+
+(* Read paths log the traversal text, so walks stay sequential here. *)
+let parallel_safe = false
 
 let max_log = 500
 
@@ -46,6 +52,7 @@ let create schema =
     versions = Hashtbl.create 4096;
     log = [];
     log_len = 0;
+    gversion = 0;
   }
 
 let element_count t =
@@ -65,6 +72,7 @@ let existence_period versions =
         }
 
 let mirror_store t store =
+  t.gversion <- t.gversion + 1;
   let module GS = Nepal_store.Graph_store in
   let module E = Nepal_store.Entity in
   let sch = GS.schema store in
@@ -291,7 +299,7 @@ let bulk_extend t ~tc ~dir ~spec items =
             Hashtbl.find_all by_uid start
             |> List.filter_map (fun { item_id; visited; _ } ->
                    if
-                     List.mem e.G.Pgraph.id visited
+                     Nepal_util.Intset.mem e.G.Pgraph.id visited
                      || Hashtbl.mem seen (item_id, e.G.Pgraph.id)
                    then None
                    else begin

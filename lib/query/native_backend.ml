@@ -17,6 +17,12 @@ type t = Store.t
 
 let name = "native"
 let schema = Store.schema
+let version = Store.version
+
+(* All store read paths are pure (adjacency, extents and indexes are
+   maintained eagerly at mutation time), so domains may read
+   concurrently. *)
+let parallel_safe = true
 
 let element_of_entity (e : Entity.t) =
   {
@@ -111,7 +117,7 @@ let bulk_extend t ~tc ~dir ~spec items =
       in
       List.filter_map
         (fun (e : Entity.t) ->
-          if List.mem e.uid visited then None
+          if Nepal_util.Intset.mem e.uid visited then None
           else if class_admissible sch spec e then
             Some (item_id, element_of_entity e)
           else None)

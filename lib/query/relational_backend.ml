@@ -23,6 +23,8 @@ type t = {
   stats : (string * string, int * int) Hashtbl.t;
   mutable log : string list;
   mutable log_len : int;
+  (* Mutation counter for presence-cache invalidation. *)
+  mutable rversion : int;
 }
 
 let ( let* ) = Result.bind
@@ -30,6 +32,12 @@ let ( let* ) = Result.bind
 let name = "relational"
 let schema t = t.schema
 let database t = t.db
+let version t = t.rversion
+let bump t = t.rversion <- t.rversion + 1
+
+(* Read paths mutate connection state (SQL log, temp tables, join
+   caches, lazy statistics), so walks stay sequential here. *)
+let parallel_safe = false
 
 let max_log = 500
 
@@ -124,6 +132,7 @@ let create sch =
       stats = Hashtbl.create 64;
       log = [];
       log_len = 0;
+      rversion = 0;
     }
 
 let create_exn sch =
@@ -170,6 +179,7 @@ let insert_node t ~at ~cls ~fields =
   in
   log_sql t
     (Printf.sprintf "INSERT INTO %s (id_, ...) VALUES (%d, ...)" cls uid);
+  bump t;
   Ok uid
 
 let current_class_of t uid = Hashtbl.find_opt t.directory uid
@@ -224,6 +234,7 @@ let insert_edge t ~at ~cls ~src ~dst ~fields =
   log_sql t
     (Printf.sprintf "INSERT INTO %s (id_, source_id_, target_id_, ...) VALUES (%d, %d, %d, ...)"
        cls uid src dst);
+  bump t;
   Ok uid
 
 let update t ~at uid ~fields =
@@ -248,6 +259,7 @@ let update t ~at uid ~fields =
       if n = 0 then Error (Printf.sprintf "#%d is not alive; cannot update" uid)
       else begin
         log_sql t (Printf.sprintf "UPDATE %s SET ... WHERE id_ = %d" cls uid);
+        bump t;
         Ok ()
       end
 
@@ -281,6 +293,7 @@ let rec delete t ~at ?(cascade = false) uid =
           if n = 0 then Error (Printf.sprintf "#%d is not alive" uid)
           else begin
             log_sql t (Printf.sprintf "DELETE FROM %s WHERE id_ = %d" cls uid);
+            bump t;
             Ok ()
           end
       | _ ->
@@ -299,12 +312,14 @@ let rec delete t ~at ?(cascade = false) uid =
             if n = 0 then Error (Printf.sprintf "#%d is not alive" uid)
             else begin
               log_sql t (Printf.sprintf "DELETE FROM %s WHERE id_ = %d" cls uid);
+              bump t;
               Ok ()
             end)
 
 (* -- mirroring a native store --------------------------------------- *)
 
 let mirror_store t store =
+  bump t;
   let module GS = Nepal_store.Graph_store in
   let module E = Nepal_store.Entity in
   let uids = List.init (GS.count_entities store) (fun i -> i + 1) in
@@ -598,7 +613,9 @@ let bulk_extend t ~tc ~dir ~spec items =
                 [|
                   Value.Int i.item_id;
                   Value.Int i.frontier.Path.uid;
-                  Value.List (List.map (fun u -> Value.Int u) i.visited);
+                  Value.List
+                    (List.map (fun u -> Value.Int u)
+                       (Nepal_util.Intset.elements i.visited));
                 |])
               is;
         }
@@ -691,7 +708,7 @@ let bulk_extend t ~tc ~dir ~spec items =
         let key = match dir with Fwd -> "target_id_" | Bwd -> "source_id_" in
         match Strmap.find_opt key i.frontier.Path.fields with
         | Some (Value.Int next_uid) ->
-            if List.mem next_uid i.visited then None
+            if Nepal_util.Intset.mem next_uid i.visited then None
             else
               Option.map (fun e -> (i.item_id, e)) (element_by_uid t ~tc next_uid)
         | _ -> None)

@@ -245,3 +245,67 @@ let can_skip t ~is_node states =
           match tr with Skip -> kind_admits kinds ~is_node | Match _ -> false)
         t.moves.(s))
     states
+
+(* -- per-walk memoization ------------------------------------------- *)
+
+module Memo = struct
+  type nfa = t
+
+  (* Distinct state sets per walk number in the tens while partials
+     number in the thousands, so interning the sorted sets and keying
+     the derived queries by the id collapses almost all recomputation.
+     Not thread-safe: create one per walk (per domain). *)
+  type t = {
+    nfa : nfa;
+    ids : (states, int) Hashtbl.t;
+    mutable next_id : int;
+    atoms : (int, Rpe.atom list) Hashtbl.t;
+    skips : (int * bool, bool) Hashtbl.t;
+    accepts : (int, bool) Hashtbl.t;
+  }
+
+  let create nfa =
+    {
+      nfa;
+      ids = Hashtbl.create 32;
+      next_id = 0;
+      atoms = Hashtbl.create 32;
+      skips = Hashtbl.create 32;
+      accepts = Hashtbl.create 32;
+    }
+
+  (* State sets are sorted and duplicate-free (eps_closure emits them in
+     ascending order), so structural equality is canonical. *)
+  let id m states =
+    match Hashtbl.find_opt m.ids states with
+    | Some i -> i
+    | None ->
+        let i = m.next_id in
+        m.next_id <- i + 1;
+        Hashtbl.replace m.ids states i;
+        i
+
+  let outgoing_atoms m ~sid states =
+    match Hashtbl.find_opt m.atoms sid with
+    | Some a -> a
+    | None ->
+        let a = outgoing_atoms m.nfa states in
+        Hashtbl.replace m.atoms sid a;
+        a
+
+  let can_skip m ~sid ~is_node states =
+    match Hashtbl.find_opt m.skips (sid, is_node) with
+    | Some b -> b
+    | None ->
+        let b = can_skip m.nfa ~is_node states in
+        Hashtbl.replace m.skips (sid, is_node) b;
+        b
+
+  let accepting m ~sid states =
+    match Hashtbl.find_opt m.accepts sid with
+    | Some b -> b
+    | None ->
+        let b = accepting m.nfa states in
+        Hashtbl.replace m.accepts sid b;
+        b
+end

@@ -55,3 +55,28 @@ val can_skip : t -> is_node:bool -> states -> bool
 (** Could a skip transition from these states productively consume an
     element of the given kind? When false, backends need not fetch
     candidates outside the {!outgoing_atoms} classes. *)
+
+(** Per-walk memoization of state-set derived queries. A walk touches
+    few distinct state sets but many partial pathways; interning the
+    sets and caching {!outgoing_atoms}/{!can_skip} by the interned id
+    collapses the per-partial recomputation. Not thread-safe — create
+    one per walk (per domain). *)
+module Memo : sig
+  type nfa := t
+  type t
+
+  val create : nfa -> t
+
+  val id : t -> states -> int
+  (** Stable small id of the state set within this memo; equal ids iff
+      equal sets. *)
+
+  val outgoing_atoms : t -> sid:int -> states -> Rpe.atom list
+  (** As {!Nfa.outgoing_atoms}, cached under [sid] = [id t states]. *)
+
+  val can_skip : t -> sid:int -> is_node:bool -> states -> bool
+  (** As {!Nfa.can_skip}, cached under [sid] = [id t states]. *)
+
+  val accepting : t -> sid:int -> states -> bool
+  (** As {!Nfa.accepting}, cached under [sid] = [id t states]. *)
+end

@@ -13,6 +13,7 @@ type index_key = string * string (* class, field *)
 type t = {
   schema : Schema.t;
   mutable clock : Time_point.t;
+  mutable version : int; (* bumped on every successful mutation *)
   mutable next_uid : int;
   current : (uid, Entity.t) Hashtbl.t;
   history : (uid, Entity.t list) Hashtbl.t; (* closed versions, newest first *)
@@ -33,6 +34,7 @@ let create schema =
   {
     schema;
     clock = Time_point.epoch;
+    version = 0;
     next_uid = 1;
     current = Hashtbl.create 4096;
     history = Hashtbl.create 4096;
@@ -46,6 +48,8 @@ let create schema =
 
 let schema t = t.schema
 let clock t = t.clock
+let version t = t.version
+let bump t = t.version <- t.version + 1
 
 let tick t at =
   if Time_point.compare at t.clock < 0 then
@@ -134,7 +138,8 @@ let register_new t (e : Entity.t) =
       set_add t.adj_in d e.uid
   | None -> ());
   t.creation_order <- e.uid :: t.creation_order;
-  index_version t e
+  index_version t e;
+  bump t
 
 let insert_node t ~at ~cls ~fields =
   let* () = tick t at in
@@ -222,6 +227,7 @@ let update t ~at uid ~fields =
         Hashtbl.replace t.current uid e';
         set_add t.extent_current e'.cls uid;
         index_version t e';
+        bump t;
         Ok ()
       end
 
@@ -238,6 +244,7 @@ let rec delete t ~at ?(cascade = false) uid =
         Error "delete time must be after the current version's start"
       else if Entity.is_edge e then begin
         close_current t ~at uid e;
+        bump t;
         Ok ()
       end
       else
@@ -255,6 +262,7 @@ let rec delete t ~at ?(cascade = false) uid =
           in
           let* () = drop incident in
           close_current t ~at uid e;
+          bump t;
           Ok ()
         end
 

@@ -26,6 +26,11 @@ val schema : t -> Nepal_schema.Schema.t
 val clock : t -> Time_point.t
 (** Transaction time of the latest mutation (epoch when empty). *)
 
+val version : t -> int
+(** Monotone mutation counter: bumped on every successful insert,
+    update, and delete (including each cascaded edge deletion). Caches
+    layered over the store key their entries to this counter. *)
+
 (** {1 Mutations}
 
     All return [Error] (with a message) rather than raising on schema

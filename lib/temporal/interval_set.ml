@@ -34,13 +34,57 @@ let normalize intervals =
 
 let of_list = normalize
 let add i t = normalize (i :: t)
-let union a b = normalize (a @ b)
+
+(* Both operands already satisfy the invariant, so union and
+   intersection are linear two-pointer merges — no re-sort. *)
+let union a b =
+  let push acc i =
+    match acc with
+    | prev :: acc' when mergeable prev i -> merge prev i :: acc'
+    | _ -> i :: acc
+  in
+  let rec go acc a b =
+    match (a, b) with
+    | [], [] -> List.rev acc
+    | i :: rest, [] | [], i :: rest -> go (push acc i) rest []
+    | (ia : Interval.t) :: ta, ib :: tb ->
+        if Interval.compare ia ib <= 0 then go (push acc ia) ta b
+        else go (push acc ib) a tb
+  in
+  go [] a b
 
 let inter a b =
-  let pairs =
-    List.concat_map (fun ia -> List.filter_map (Interval.intersect ia) b) a
+  let rec go acc (a : t) (b : t) =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (ia : Interval.t) :: ta, (ib : Interval.t) :: tb -> (
+        let acc =
+          match Interval.intersect ia ib with Some i -> i :: acc | None -> acc
+        in
+        (* Drop whichever interval ends first; an open-ended interval is
+           its list's last, so the other side advances. *)
+        match (ia.stop, ib.stop) with
+        | None, _ -> go acc a tb
+        | _, None -> go acc ta b
+        | Some ea, Some eb ->
+            if Time_point.compare ea eb <= 0 then go acc ta b else go acc a tb)
   in
-  normalize pairs
+  go [] a b
+
+let overlaps a b =
+  let rec go (a : t) (b : t) =
+    match (a, b) with
+    | [], _ | _, [] -> false
+    | (ia : Interval.t) :: ta, (ib : Interval.t) :: tb -> (
+        Interval.overlaps ia ib
+        ||
+        match (ia.stop, ib.stop) with
+        | None, _ -> go a tb
+        | _, None -> go ta b
+        | Some ea, Some eb ->
+            if Time_point.compare ea eb <= 0 then go ta b else go a tb)
+  in
+  go a b
 
 let contains t at = List.exists (fun i -> Interval.contains i at) t
 

@@ -18,6 +18,10 @@ val to_list : t -> Interval.t list
 val add : Interval.t -> t -> t
 val union : t -> t -> t
 val inter : t -> t -> t
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] iff [inter a b] is non-empty, without building it. *)
+
 val contains : t -> Time_point.t -> bool
 
 val first_start : t -> Time_point.t option

@@ -1,0 +1,54 @@
+(* A tiny fork-join pool over OCaml 5 domains.
+
+   Work is pulled from a shared atomic counter so long tasks do not
+   serialize behind an unlucky static partition; results are delivered
+   in input order, which keeps callers deterministic regardless of the
+   domain count. Domains are spawned per batch — the callers batch
+   coarse units (whole directional walks), so spawn cost is noise. *)
+
+let env_domains () =
+  match Sys.getenv_opt "NEPAL_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+  | None -> None
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (min 4 (Domain.recommended_domain_count ()))
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+(* Run every thunk using up to [domains] domains (counting the calling
+   one). An exception raised by a thunk is re-raised in the caller, but
+   only after every worker has joined. *)
+let run ?domains (thunks : (unit -> 'a) list) : 'a list =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  match thunks with
+  | [] -> []
+  | [ one ] -> [ one () ]
+  | _ when domains = 1 -> List.map (fun f -> f ()) thunks
+  | thunks ->
+      let arr = Array.of_list thunks in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some
+              (try Value (arr.(i) ())
+               with e -> Raised (e, Printexc.get_raw_backtrace ()));
+          worker ()
+        end
+      in
+      let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Value v) -> v
+             | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+           results)

@@ -1,0 +1,3 @@
+(* Persistent integer sets for pathway cycle pruning: partials extend
+   one element at a time, so siblings share the whole parent set. *)
+include Set.Make (Int)

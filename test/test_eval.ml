@@ -73,7 +73,7 @@ let build () =
   (st, vnf1, vnf2, vm1, host1, host2)
 
 let conn st =
-  Q.Backend_intf.Conn ((module Q.Native_backend : Q.Backend_intf.S with type t = Store.t), st)
+  Q.Connect.native st
 
 let eval ?seed ?tc st text =
   let tc = match tc with Some tc -> tc | None -> Time_constraint.snapshot in

@@ -1,0 +1,237 @@
+(* The RPE fast path: presence memoization at the connection,
+   frontier-level dedup inside walks, and Domain-parallel anchor walks.
+   These tests pin down the cache observability (hits, invalidation)
+   and the invariant that the fast path never changes result sets. *)
+
+open Nepal_schema
+open Nepal_temporal
+module Store = Nepal_store.Graph_store
+module Rpe = Nepal_rpe.Rpe
+module Rpe_parser = Nepal_rpe.Rpe_parser
+module Q = Nepal_query
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tp = Time_point.of_string_exn
+let t0 = tp "2017-02-01 00:00:00"
+let t1 = tp "2017-02-05 00:00:00"
+let t3 = tp "2017-02-15 00:00:00"
+
+let schema () =
+  Schema.create_exn
+    [
+      Schema.class_decl "VNF" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("name", Ftype.T_string) ];
+      Schema.class_decl "VFC" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "VM" ~parent:"Node"
+        ~fields:[ ("id", Ftype.T_int); ("status", Ftype.T_string) ];
+      Schema.class_decl "Host" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "Switch" ~parent:"Node" ~fields:[ ("id", Ftype.T_int) ];
+      Schema.class_decl "Vertical" ~parent:"Edge" ~abstract:true;
+      Schema.class_decl "ComposedOf" ~parent:"Vertical";
+      Schema.class_decl "HostedOn" ~parent:"Vertical";
+      Schema.class_decl "Connects" ~parent:"Edge";
+    ]
+
+let fields l = Nepal_util.Strmap.of_list l
+let i n = Value.Int n
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+(* vnf{1,2} -> vfc{1,2} -> vm{1,2} -> host1; ring host1 - sw - host2. *)
+let build () =
+  let st = Store.create (schema ()) in
+  let node cls fs = ok (Store.insert_node st ~at:t0 ~cls ~fields:(fields fs)) in
+  let edge cls src dst =
+    ok
+      (Store.insert_edge st ~at:t0 ~cls ~src ~dst ~fields:Nepal_util.Strmap.empty)
+  in
+  let vnf1 = node "VNF" [ ("id", i 123); ("name", Value.Str "dns") ] in
+  let vnf2 = node "VNF" [ ("id", i 234); ("name", Value.Str "fw") ] in
+  let vfc1 = node "VFC" [ ("id", i 11) ] in
+  let vfc2 = node "VFC" [ ("id", i 12) ] in
+  let vm1 = node "VM" [ ("id", i 21); ("status", Value.Str "Green") ] in
+  let vm2 = node "VM" [ ("id", i 22); ("status", Value.Str "Red") ] in
+  let host1 = node "Host" [ ("id", i 23245) ] in
+  let host2 = node "Host" [ ("id", i 34356) ] in
+  let sw = node "Switch" [ ("id", i 900) ] in
+  ignore (edge "ComposedOf" vnf1 vfc1);
+  ignore (edge "ComposedOf" vnf2 vfc2);
+  ignore (edge "HostedOn" vfc1 vm1);
+  ignore (edge "HostedOn" vfc2 vm2);
+  ignore (edge "HostedOn" vm1 host1);
+  ignore (edge "HostedOn" vm2 host1);
+  ignore (edge "Connects" host1 sw);
+  ignore (edge "Connects" sw host1);
+  ignore (edge "Connects" sw host2);
+  ignore (edge "Connects" host2 sw);
+  (st, vm1)
+
+let parse st text =
+  ok (Rpe.validate (Store.schema st) (Rpe_parser.parse_exn text))
+
+let range = Time_constraint.Range (t0, t3)
+
+let keys paths = List.map Q.Path.key paths
+let check_keys = Alcotest.(check (list (list int)))
+
+let queries =
+  [
+    "VNF()->[Vertical()]{1,6}->Host(id=23245)";
+    "Host(id=23245)->[Connects()]{1,4}->Host(id=34356)";
+    "VM()->HostedOn()->Host()";
+    "VNF(id=123)->ComposedOf()->VFC()";
+  ]
+
+(* ---------------- presence cache ---------------- *)
+
+let test_cache_hits_on_repeat () =
+  let st, _ = build () in
+  let conn = Q.Connect.native st in
+  let rpe = parse st "VNF()->[Vertical()]{1,6}->Host(id=23245)" in
+  let run () = ok (Q.Eval_rpe.find conn ~tc:range rpe) in
+  let first = run () in
+  let c = Q.Backend_intf.cache_counters conn in
+  check_bool "first run misses" true (c.Q.Backend_intf.misses > 0);
+  let misses_after_first = c.Q.Backend_intf.misses in
+  let hits_after_first = c.Q.Backend_intf.hits in
+  let second = run () in
+  check_keys "same results" (keys first) (keys second);
+  check_int "no new misses on repeat" misses_after_first
+    c.Q.Backend_intf.misses;
+  check_bool "repeat hits the cache" true
+    (c.Q.Backend_intf.hits > hits_after_first)
+
+let test_stats_expose_cache_traffic () =
+  let st, _ = build () in
+  let conn = Q.Connect.native st in
+  let rpe = parse st "VM()->HostedOn()->Host()" in
+  let stats = Q.Eval_rpe.new_stats () in
+  ignore (ok (Q.Eval_rpe.find conn ~tc:range ~stats rpe));
+  check_bool "stats count cache misses" true
+    (stats.Q.Eval_rpe.cache_misses > 0);
+  let stats2 = Q.Eval_rpe.new_stats () in
+  ignore (ok (Q.Eval_rpe.find conn ~tc:range ~stats:stats2 rpe));
+  check_bool "stats count cache hits" true (stats2.Q.Eval_rpe.cache_hits > 0)
+
+let test_cache_invalidated_on_update () =
+  let st, vm1 = build () in
+  let conn = Q.Connect.native st in
+  let rpe = parse st "VM(status='Green')->HostedOn()->Host()" in
+  let run () = ok (Q.Eval_rpe.find conn ~tc:range rpe) in
+  let before = run () in
+  check_int "one green VM path" 1 (List.length before);
+  ignore (run ());
+  let c = Q.Backend_intf.cache_counters conn in
+  let misses0 = c.Q.Backend_intf.misses in
+  check_int "warm before the write" 0 c.Q.Backend_intf.invalidations;
+  (* The write bumps the store version; the next lookup must drop the
+     cached presence sets and recompute. *)
+  ok (Store.update st ~at:t1 vm1 ~fields:(fields [ ("status", Value.Str "Red") ]));
+  let after = run () in
+  check_bool "cache dropped after update" true
+    (c.Q.Backend_intf.invalidations > 0);
+  check_bool "fresh misses after update" true (c.Q.Backend_intf.misses > misses0);
+  (* Under Range the VM still qualifies: it was Green in [t0, t1). *)
+  check_keys "range still sees the old version" (keys before) (keys after)
+
+let test_cache_invalidated_on_delete () =
+  let st, vm1 = build () in
+  let conn = Q.Connect.native st in
+  let rpe = parse st "VM()->HostedOn()->Host()" in
+  ignore (ok (Q.Eval_rpe.find conn ~tc:range rpe));
+  let c = Q.Backend_intf.cache_counters conn in
+  ok (Store.delete st ~at:t1 ~cascade:true vm1);
+  ignore (ok (Q.Eval_rpe.find conn ~tc:range rpe));
+  check_bool "delete invalidates" true (c.Q.Backend_intf.invalidations > 0)
+
+(* ---------------- fast path = slow path ---------------- *)
+
+let test_fastpath_matches_baseline () =
+  let st, _ = build () in
+  let conn = Q.Connect.native st in
+  List.iter
+    (fun text ->
+      let rpe = parse st text in
+      List.iter
+        (fun tc ->
+          let slow =
+            ok
+              (Q.Eval_rpe.find conn ~tc ~config:Q.Eval_rpe.baseline_config rpe)
+          in
+          let fast =
+            ok
+              (Q.Eval_rpe.find conn ~tc
+                 ~config:(Q.Eval_rpe.default_config ())
+                 rpe)
+          in
+          check_keys (text ^ " same paths") (keys slow) (keys fast))
+        [ Time_constraint.snapshot; range ])
+    queries
+
+(* ---------------- domain count does not change results ---------------- *)
+
+let test_domain_count_determinism () =
+  let st, _ = build () in
+  let conn = Q.Connect.native st in
+  let base = Q.Eval_rpe.default_config () in
+  let one = { base with Q.Eval_rpe.domains = 1 } in
+  let many = { base with Q.Eval_rpe.domains = 4; par_threshold = 1 } in
+  List.iter
+    (fun text ->
+      let rpe = parse st text in
+      let r1 = ok (Q.Eval_rpe.find conn ~tc:range ~config:one rpe) in
+      let stats = Q.Eval_rpe.new_stats () in
+      let rn = ok (Q.Eval_rpe.find conn ~tc:range ~config:many ~stats rpe) in
+      check_keys (text ^ " domains agree") (keys r1) (keys rn))
+    queries;
+  (* The parallel gate must actually engage for an anchored walk. *)
+  let rpe = parse st "VNF()->[Vertical()]{1,6}->Host(id=23245)" in
+  let stats = Q.Eval_rpe.new_stats () in
+  ignore (ok (Q.Eval_rpe.find conn ~tc:range ~config:many ~stats rpe));
+  check_bool "parallel walks ran" true (stats.Q.Eval_rpe.domains_used > 1)
+
+let test_relational_backend_unaffected () =
+  (* A backend whose reads are not parallel-safe must still produce the
+     same answers with the fast path on. *)
+  let st, _ = build () in
+  let nat = Q.Connect.native st in
+  let rb = ok (Q.Relational_backend.create (Store.schema st)) in
+  ok (Q.Relational_backend.mirror_store rb st);
+  let rel = Q.Connect.relational rb in
+  List.iter
+    (fun text ->
+      let rpe = parse st text in
+      let n = ok (Q.Eval_rpe.find nat ~tc:range rpe) in
+      let r =
+        ok
+          (Q.Eval_rpe.find rel ~tc:range
+             ~config:{ (Q.Eval_rpe.default_config ()) with domains = 4 }
+             rpe)
+      in
+      check_keys (text ^ " native = relational") (keys n) (keys r))
+    queries
+
+let () =
+  Alcotest.run "nepal_fastpath"
+    [
+      ( "presence-cache",
+        [
+          Alcotest.test_case "hits on repeat" `Quick test_cache_hits_on_repeat;
+          Alcotest.test_case "stats expose traffic" `Quick
+            test_stats_expose_cache_traffic;
+          Alcotest.test_case "invalidated on update" `Quick
+            test_cache_invalidated_on_update;
+          Alcotest.test_case "invalidated on delete" `Quick
+            test_cache_invalidated_on_delete;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "fastpath = baseline" `Quick
+            test_fastpath_matches_baseline;
+          Alcotest.test_case "domain count determinism" `Quick
+            test_domain_count_determinism;
+          Alcotest.test_case "relational backend" `Quick
+            test_relational_backend_unaffected;
+        ] );
+    ]

@@ -1,0 +1,54 @@
+(* Source-style gate, run under `dune runtest` (ocamlformat is not
+   vendored, so this enforces the cheap invariants a formatter would):
+   no tab characters, no trailing whitespace, no CR line endings, and a
+   newline at end of file. Walks the directories given on the command
+   line and checks every .ml / .mli underneath. *)
+
+let violations = ref 0
+
+let report file line msg =
+  incr violations;
+  Printf.eprintf "%s:%d: %s\n" file line msg
+
+let check_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  if n > 0 && contents.[n - 1] <> '\n' then
+    report file 1 "missing newline at end of file";
+  let line = ref 1 in
+  let line_start = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '\t' -> report file !line "tab character"
+      | '\r' -> report file !line "carriage return"
+      | '\n' ->
+          (if i > !line_start then
+             match contents.[i - 1] with
+             | ' ' | '\t' -> report file !line "trailing whitespace"
+             | _ -> ());
+          incr line;
+          line_start := i + 1
+      | _ -> ())
+    contents
+
+let is_source file =
+  Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        if entry <> "_build" && not (String.length entry > 0 && entry.[0] = '.')
+        then walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if is_source path then check_file path
+
+let () =
+  Array.iteri (fun i arg -> if i > 0 then walk arg) Sys.argv;
+  if !violations > 0 then begin
+    Printf.eprintf "style check failed: %d violation(s)\n" !violations;
+    exit 1
+  end
