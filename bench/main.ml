@@ -54,11 +54,17 @@ let want name =
   match !sections with [] | [ "all" ] -> true | l -> List.mem name l
 
 (* Machine-readable results: every section pushes (section, label,
-   metrics) rows; --json <file> writes them out at the end. *)
-let json_rows : (string * string * (string * float) list) list ref = ref []
+   metrics) rows; --json <file> writes them out at the end. A row may
+   also carry a per-operator breakdown (operator name -> metrics),
+   emitted as a nested "per_operator" object. *)
+let json_rows :
+    (string * string * (string * float) list * (string * (string * float) list) list)
+    list
+    ref =
+  ref []
 
-let record ~section ~label metrics =
-  json_rows := (section, label, metrics) :: !json_rows
+let record ~section ~label ?(per_operator = []) metrics =
+  json_rows := (section, label, metrics, per_operator) :: !json_rows
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -87,11 +93,24 @@ let write_json file =
   output_string oc "{\n  \"results\": [\n";
   let rows = List.rev !json_rows in
   List.iteri
-    (fun i (section, label, metrics) ->
+    (fun i (section, label, metrics, per_operator) ->
+      let kv (k, v) =
+        Printf.sprintf "\"%s\": %s" (json_escape k) (json_number v)
+      in
+      let fields = List.map kv metrics in
       let fields =
-        List.map
-          (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (json_number v))
-          metrics
+        if per_operator = [] then fields
+        else
+          fields
+          @ [
+              Printf.sprintf "\"per_operator\": {%s}"
+                (String.concat ", "
+                   (List.map
+                      (fun (op, ms) ->
+                        Printf.sprintf "\"%s\": {%s}" (json_escape op)
+                          (String.concat ", " (List.map kv ms)))
+                      per_operator));
+            ]
       in
       Printf.fprintf oc "    {\"section\": \"%s\", \"label\": \"%s\", %s}%s\n"
         (json_escape section) (json_escape label)
@@ -180,6 +199,26 @@ let legacy_setup =
      Legacy.simulate_history ~days:60 t;
      (t, Nepal.of_store t.Legacy.store))
 
+(* Per-operator attribution of one representative instance (the first),
+   for the nested "per_operator" object of the --json rows. *)
+let per_operator_breakdown conn instances =
+  match instances with
+  | [] -> []
+  | q :: _ -> (
+      match Nepal.Engine.run_string_traced ~conn q with
+      | Error _ -> []
+      | Ok (_, root) ->
+          List.map
+            (fun (op, a) ->
+              ( op,
+                [
+                  ("count", float_of_int a.Nepal.Trace.a_count);
+                  ("wall_s", a.Nepal.Trace.a_wall_s);
+                  ("rows_out", float_of_int a.Nepal.Trace.a_rows_out);
+                  ("calls", float_of_int a.Nepal.Trace.a_calls);
+                ] ))
+            (Nepal.Trace.per_operator root))
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -241,6 +280,7 @@ let run_table1 () =
     (fun (name, instances) ->
       let paths, snap, hist = measure conn store instances in
       record ~section:"table1" ~label:name
+        ~per_operator:(per_operator_breakdown conn instances)
         [ ("paths", paths); ("snap_s", snap); ("hist_s", hist) ];
       row4 name paths snap hist (List.assoc name paper_table1))
     families

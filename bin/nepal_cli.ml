@@ -152,6 +152,45 @@ let query_cmd =
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
                $ backend_arg $ text))
 
+let explain_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"The Nepal query text (without the EXPLAIN prefix).")
+  in
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Execute the query and report measured per-operator spans \
+                   (wall time, row counts, backend round-trips) instead of \
+                   the planned DAG.")
+  in
+  let run topology seed nodes history backend analyze text =
+    let store = build_store topology seed nodes history in
+    match connect backend store with
+    | Error e -> `Error (false, e)
+    | Ok conn -> (
+        let prefixed =
+          (if analyze then "EXPLAIN ANALYZE " else "EXPLAIN ") ^ text
+        in
+        match Nepal.query_on conn prefixed with
+        | Error e -> `Error (false, e)
+        | Ok result ->
+            Nepal.Engine.pp_result Format.std_formatter result;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the planned operator DAG for a query ($(b,--analyze): \
+             execute it and report measured per-operator spans)."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal explain --analyze -b relational \"Retrieve P From PATHS P \
+               Where P MATCHES VM()->[Virtual()]->VM()\"";
+         ])
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
+               $ backend_arg $ analyze $ text))
+
 let repl_cmd =
   let run topology seed nodes history backend =
     let store = build_store topology seed nodes history in
@@ -256,6 +295,7 @@ let main =
   Cmd.group
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
-    [ schema_cmd; generate_cmd; query_cmd; repl_cmd; paths_cmd; when_exists_cmd ]
+    [ schema_cmd; generate_cmd; query_cmd; explain_cmd; repl_cmd; paths_cmd;
+      when_exists_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -18,6 +18,9 @@ module Path = Nepal_query.Path
 module Backend = Nepal_query.Backend_intf
 module Eval_rpe = Nepal_query.Eval_rpe
 module Engine = Nepal_query.Engine
+module Explain = Nepal_query.Explain
+module Trace = Nepal_query.Trace
+module Metrics = Nepal_util.Metrics
 module Query_parser = Nepal_query.Query_parser
 module Query_ast = Nepal_query.Query_ast
 module Temporal_agg = Nepal_query.Temporal_agg
@@ -43,7 +46,7 @@ let insert_edge t = Graph_store.insert_edge t.store_
 let update t = Graph_store.update t.store_
 let delete t ~at ?cascade uid = Graph_store.delete t.store_ ~at ?cascade uid
 
-let query t ?binds text = Engine.run_string ~conn:t.conn_ ?binds text
+let query t ?binds text = Explain.run_string ~conn:t.conn_ ?binds text
 
 let ( let* ) = Result.bind
 
@@ -92,4 +95,4 @@ let native_conn = Nepal_query.Connect.native
 let relational_conn = Nepal_query.Connect.relational
 let gremlin_conn = Nepal_query.Connect.gremlin
 
-let query_on conn ?binds text = Engine.run_string ~conn ?binds text
+let query_on conn ?binds text = Explain.run_string ~conn ?binds text

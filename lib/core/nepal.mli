@@ -45,6 +45,9 @@ module Path = Nepal_query.Path
 module Backend = Nepal_query.Backend_intf
 module Eval_rpe = Nepal_query.Eval_rpe
 module Engine = Nepal_query.Engine
+module Explain = Nepal_query.Explain
+module Trace = Nepal_query.Trace
+module Metrics = Nepal_util.Metrics
 module Query_parser = Nepal_query.Query_parser
 module Query_ast = Nepal_query.Query_ast
 module Temporal_agg = Nepal_query.Temporal_agg
@@ -89,7 +92,9 @@ val delete : t -> at:Time_point.t -> ?cascade:bool -> int -> (unit, string) resu
 val query :
   t -> ?binds:(string * Backend.conn) list -> string ->
   (Engine.result, string) result
-(** Parse and evaluate a Nepal query. *)
+(** Parse and evaluate a Nepal query. A leading [EXPLAIN] (plan only)
+    or [EXPLAIN ANALYZE] (execute with tracing) prefix yields an
+    ["explain"] table of report lines instead — see {!Explain}. *)
 
 val find_paths :
   t -> ?tc:Time_constraint.t -> ?max_length:int -> string ->

@@ -14,6 +14,7 @@
     moves. *)
 
 module Value = Nepal_schema.Value
+module Metrics = Nepal_util.Metrics
 module Strmap = Nepal_util.Strmap
 module Intset = Nepal_util.Intset
 module Time_constraint = Nepal_temporal.Time_constraint
@@ -92,6 +93,15 @@ module type S = sig
   (** Transaction times (within the window) at which the element gained
       a new version, changed, or was deleted — drives path-evolution
       queries. Sorted ascending. *)
+
+  val describe_select : t -> tc:Time_constraint.t -> Rpe.atom -> string
+  (** EXPLAIN text: what [select_atom] would execute for this atom — the
+      SQL / Gremlin the translator would ship, or the native access
+      path. Must not touch the data. *)
+
+  val describe_extend :
+    t -> tc:Time_constraint.t -> dir:direction -> spec:extend_spec -> string
+  (** EXPLAIN text for one [bulk_extend] round over the given spec. *)
 end
 
 type 'a backend = (module S with type t = 'a)
@@ -122,6 +132,11 @@ type conn = {
   mutable pcache_version : int;
   pcache_lock : Mutex.t;
   counters : cache_counters;
+  roundtrips : int Atomic.t;
+      (** backend reads issued through this connection; atomic because
+          parallel walk domains tick it concurrently. Trace spans read
+          deltas of this to attribute round-trips per operator. *)
+  m_roundtrips : Metrics.counter;  (** global mirror, per backend name *)
 }
 
 let make (type a) (backend : a backend) (t : a) : conn =
@@ -132,6 +147,8 @@ let make (type a) (backend : a backend) (t : a) : conn =
     pcache_version = B.version t;
     pcache_lock = Mutex.create ();
     counters = { hits = 0; misses = 0; invalidations = 0 };
+    roundtrips = Atomic.make 0;
+    m_roundtrips = Metrics.counter (Printf.sprintf "backend.%s.roundtrips" B.name);
   }
 
 let conn_name { handle = Handle ((module B), _); _ } = B.name
@@ -139,23 +156,43 @@ let conn_schema { handle = Handle ((module B), t); _ } = B.schema t
 let conn_version { handle = Handle ((module B), t); _ } = B.version t
 let parallel_safe { handle = Handle ((module B), _); _ } = B.parallel_safe
 
-let select_atom { handle = Handle ((module B), t); _ } ~tc atom =
+let tick conn =
+  Atomic.incr conn.roundtrips;
+  Metrics.incr conn.m_roundtrips
+
+let conn_roundtrips conn = Atomic.get conn.roundtrips
+
+let select_atom ({ handle = Handle ((module B), t); _ } as conn) ~tc atom =
+  tick conn;
   B.select_atom t ~tc atom
 
 let estimate_atom { handle = Handle ((module B), t); _ } atom =
   B.estimate_atom t atom
 
-let bulk_extend { handle = Handle ((module B), t); _ } ~tc ~dir ~spec items =
+let bulk_extend ({ handle = Handle ((module B), t); _ } as conn) ~tc ~dir ~spec
+    items =
+  tick conn;
   B.bulk_extend t ~tc ~dir ~spec items
 
-let presence { handle = Handle ((module B), t); _ } ~uid ~window ~pred =
+let presence ({ handle = Handle ((module B), t); _ } as conn) ~uid ~window ~pred
+    =
+  tick conn;
   B.presence t ~uid ~window ~pred
 
-let element_by_uid { handle = Handle ((module B), t); _ } ~tc uid =
+let element_by_uid ({ handle = Handle ((module B), t); _ } as conn) ~tc uid =
+  tick conn;
   B.element_by_uid t ~tc uid
 
-let version_boundaries { handle = Handle ((module B), t); _ } ~uid ~window =
+let version_boundaries ({ handle = Handle ((module B), t); _ } as conn) ~uid
+    ~window =
+  tick conn;
   B.version_boundaries t ~uid ~window
+
+let describe_select { handle = Handle ((module B), t); _ } ~tc atom =
+  B.describe_select t ~tc atom
+
+let describe_extend { handle = Handle ((module B), t); _ } ~tc ~dir ~spec =
+  B.describe_extend t ~tc ~dir ~spec
 
 (* -- the presence cache --------------------------------------------- *)
 
@@ -164,6 +201,12 @@ let pred_of_presence_pred = function
   | P_atom a -> Some (fun fields -> Predicate.eval a.Rpe.pred fields)
 
 let cache_counters conn = conn.counters
+
+(* Per-connection counters feed [Eval_rpe.stats]; the global registry
+   mirrors them so one [Metrics.snapshot] covers every connection. *)
+let m_pcache_hits = Metrics.counter "backend.pcache.hits"
+let m_pcache_misses = Metrics.counter "backend.pcache.misses"
+let m_pcache_invalidations = Metrics.counter "backend.pcache.invalidations"
 
 (* Memoized presence. On a miss the backend read runs outside the lock
    (it can be expensive); two domains may then compute the same entry,
@@ -176,16 +219,22 @@ let presence_cached conn ~uid ~window:(w0, w1) ~ppred =
   if v <> conn.pcache_version then begin
     Hashtbl.reset conn.pcache;
     conn.pcache_version <- v;
-    conn.counters.invalidations <- conn.counters.invalidations + 1
+    conn.counters.invalidations <- conn.counters.invalidations + 1;
+    Metrics.incr m_pcache_invalidations
   end;
   let cached = Hashtbl.find_opt conn.pcache key in
   (match cached with
-  | Some _ -> conn.counters.hits <- conn.counters.hits + 1
-  | None -> conn.counters.misses <- conn.counters.misses + 1);
+  | Some _ ->
+      conn.counters.hits <- conn.counters.hits + 1;
+      Metrics.incr m_pcache_hits
+  | None ->
+      conn.counters.misses <- conn.counters.misses + 1;
+      Metrics.incr m_pcache_misses);
   Mutex.unlock conn.pcache_lock;
   match cached with
   | Some s -> s
   | None ->
+      tick conn;
       let s = B.presence t ~uid ~window:(w0, w1) ~pred:(pred_of_presence_pred ppred) in
       Mutex.lock conn.pcache_lock;
       Hashtbl.replace conn.pcache key s;

@@ -1,4 +1,5 @@
 module Strmap = Nepal_util.Strmap
+module Metrics = Nepal_util.Metrics
 module Value = Nepal_schema.Value
 module Time_constraint = Nepal_temporal.Time_constraint
 module Interval_set = Nepal_temporal.Interval_set
@@ -152,7 +153,16 @@ let correlation_key outer_vars outer_row q =
 
 (* -- the main evaluation -------------------------------------------- *)
 
-let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
+(* Engine-side span helper; backend round-trips are attributed at the
+   Var level (each variable knows its connection), not here. *)
+let spanned ?trace name detail f =
+  match trace with
+  | None -> f None
+  | Some parent ->
+      let s = Trace.child ~detail parent name in
+      Trace.time s (fun () -> f (Some s))
+
+let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
   let stats = match stats with Some s -> s | None -> Eval_rpe.new_stats () in
   let conn_of var =
     match List.assoc_opt var binds with Some c -> c | None -> conn
@@ -261,6 +271,11 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
             let c = conn_of var in
             let tc = List.assoc var tcs in
             let norm = List.assoc var var_rpes in
+            let* paths =
+              spanned ?trace "Var"
+                (Printf.sprintf "%s via %s" var (Backend_intf.conn_name c))
+                (fun vspan ->
+            let rt0 = Backend_intf.conn_roundtrips c in
             let* seed =
               match lit_anchor var with
               | Some (f, _, Value.Int uid) -> (
@@ -304,7 +319,17 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
                              var)
                       else Ok None)
             in
-            let* paths = Eval_rpe.find c ~tc ?max_length ?seed ~stats ?config norm in
+            let r =
+              Eval_rpe.find c ~tc ?max_length ?seed ~stats ?config
+                ?trace:vspan norm
+            in
+            (match (vspan, r) with
+            | Some s, Ok paths ->
+                s.Trace.rows_out <- List.length paths;
+                s.Trace.calls <- Backend_intf.conn_roundtrips c - rt0
+            | _ -> ());
+            r)
+            in
             Hashtbl.replace evaluated var paths;
             order := var :: !order;
             remaining := List.filter (fun v -> v <> var) !remaining;
@@ -316,6 +341,10 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
   let order = List.rev !order in
   (* Join the per-variable path sets. *)
   let join_rows =
+    spanned ?trace "Join"
+      (Printf.sprintf "vars=%s" (String.concat "," order))
+      (fun jspan ->
+        let r =
     List.fold_left
       (fun rows var ->
         let paths = Hashtbl.find evaluated var in
@@ -353,6 +382,12 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
             in
             Some extended)
       None order
+        in
+        (match jspan with
+        | Some s ->
+            s.Trace.rows_out <- (match r with Some rows -> List.length rows | None -> 0)
+        | None -> ());
+        r)
   in
   let rows0 = match join_rows with Some r -> r | None -> [] in
   (* Literal anchor conditions double as filters (the seeding above may
@@ -365,6 +400,10 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
   (* Query-level range: all pathways must coexist. *)
   let coexistence_applies = match q.q_at with Some (At_range _) -> true | _ -> false in
   let with_coexist =
+    spanned ?trace "Coexist"
+      (if coexistence_applies then "range intersection" else "pass-through")
+      (fun cspan ->
+        let r =
     List.filter_map
       (fun paths ->
         let row = { paths; coexist = None } in
@@ -391,6 +430,13 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
                   if Interval_set.is_empty inter then None
                   else Some { row with coexist = Some inter }))
       rows0
+        in
+        (match cspan with
+        | Some s ->
+            s.Trace.rows_in <- List.length rows0;
+            s.Trace.rows_out <- List.length r
+        | None -> ());
+        r)
   in
   (* Residual filters and subqueries. *)
   let subquery_memo : (Value.t list, bool) Hashtbl.t = Hashtbl.create 16 in
@@ -438,18 +484,29 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
         Ok b
   in
   let* filtered =
-    List.fold_left
-      (fun acc row ->
-        let* acc = acc in
-        let* keep =
+    spanned ?trace "Filter"
+      (Printf.sprintf "conds=%d" (List.length (cls.filters @ lit_filters)))
+      (fun fspan ->
+        let r =
           List.fold_left
-            (fun keep c ->
-              let* keep = keep in
-              if not keep then Ok false else eval_condition row c)
-            (Ok true) (cls.filters @ lit_filters)
+            (fun acc row ->
+              let* acc = acc in
+              let* keep =
+                List.fold_left
+                  (fun keep c ->
+                    let* keep = keep in
+                    if not keep then Ok false else eval_condition row c)
+                  (Ok true) (cls.filters @ lit_filters)
+              in
+              Ok (if keep then row :: acc else acc))
+            (Ok []) with_coexist
         in
-        Ok (if keep then row :: acc else acc))
-      (Ok []) with_coexist
+        (match (fspan, r) with
+        | Some s, Ok rows ->
+            s.Trace.rows_in <- List.length with_coexist;
+            s.Trace.rows_out <- List.length rows
+        | _ -> ());
+        r)
   in
   let rows = List.rev filtered in
   (* Deduplicate identical variable bindings. *)
@@ -466,8 +523,9 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
       rows
   in
   let rows = dedup_rows rows in
-  match q.mode with
-  | Retrieve vars ->
+  let produce () =
+    match q.mode with
+    | Retrieve vars ->
       let* () =
         match List.find_opt (fun v -> not (List.mem v declared)) vars with
         | Some v -> Error (Printf.sprintf "Retrieve of undeclared variable %S" v)
@@ -622,14 +680,225 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config q =
         in
         Ok (Table { columns; rows = List.rev table_rows })
       end
+  in
+  spanned ?trace "Result"
+    (match q.mode with Retrieve _ -> "retrieve" | Select _ -> "select")
+    (fun rspan ->
+      let r = produce () in
+      (match (rspan, r) with
+      | Some s, Ok res ->
+          s.Trace.rows_in <- List.length rows;
+          s.Trace.rows_out <- result_count res
+      | _ -> ());
+      r)
 
 and result_count = function
   | Rows { rows; _ } -> List.length rows
   | Table { rows; _ } -> List.length rows
 
+(* Whole-query instruments: one count/observation per top-level [run]
+   (subqueries recurse through [run] directly and are not re-counted). *)
+let m_queries = Metrics.counter "engine.queries"
+let m_query_seconds = Metrics.histogram "engine.query_seconds"
+
+let run_top ~conn ?binds ?max_length ?stats ?config ?trace q =
+  Metrics.incr m_queries;
+  Metrics.time m_query_seconds (fun () ->
+      run ~conn ?binds ?max_length ?stats ?config ?trace q)
+
+let run_traced ~conn ?binds ?max_length ?stats ?config q =
+  let root = Trace.make "Query" in
+  let res =
+    Trace.time root (fun () ->
+        run_top ~conn ?binds ?max_length ?stats ?config ~trace:root q)
+  in
+  match res with
+  | Ok r ->
+      root.Trace.rows_out <- result_count r;
+      Ok (r, root)
+  | Error e -> Error e
+
 let run_string ~conn ?binds ?max_length ?stats ?config text =
   let* q = Query_parser.parse text in
-  run ~conn ?binds ?max_length ?stats ?config q
+  run_top ~conn ?binds ?max_length ?stats ?config q
+
+let run_string_traced ~conn ?binds ?max_length ?stats ?config text =
+  let* q = Query_parser.parse text in
+  run_traced ~conn ?binds ?max_length ?stats ?config q
+
+(* -- planning-only surface (EXPLAIN) -------------------------------- *)
+
+type seed_plan =
+  | Seed_anchor of Anchor.selection
+      (** anchored evaluation over the selection's splits *)
+  | Seed_lit of path_fun * Value.t
+      (** seeded from a literal-pinned node function *)
+  | Seed_join of path_fun * string * path_fun
+      (** anchor imported from an already-evaluated join partner:
+          (own function, partner variable, partner function) *)
+
+type var_plan = {
+  vp_var : string;
+  vp_backend : string;
+  vp_tc : Time_constraint.t;
+  vp_rpe : Rpe.norm;
+  vp_seed : seed_plan;
+}
+
+type plan = {
+  p_order : var_plan list;  (** in evaluation order *)
+  p_joins : (path_fun * string * path_fun * string) list;
+  p_filter_count : int;
+  p_coexist : bool;
+  p_mode : string;
+}
+
+(* Mirror of [run]'s planning prelude — validation, anchor costing, and
+   the evaluation-order pick — without touching the data. Kept next to
+   [run] so the two stay in sync; any change to the pick rule there
+   must be reflected here. *)
+let plan ~conn ?(binds = []) q =
+  let conn_of var =
+    match List.assoc_opt var binds with Some c -> c | None -> conn
+  in
+  let declared = List.map (fun v -> v.var_name) q.vars in
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | v :: rest ->
+          if List.mem v rest then Error (Printf.sprintf "variable %S declared twice" v)
+          else dup rest
+    in
+    dup declared
+  in
+  let conjs = conjuncts q.where_ in
+  let* () =
+    if
+      List.exists
+        (fun c ->
+          match c with Matches _ -> false | c -> condition_mentions_matches c)
+        conjs
+    then Error "MATCHES may only appear as a top-level conjunct"
+    else Ok ()
+  in
+  let cls = classify conjs in
+  let* var_rpes =
+    List.fold_left
+      (fun acc v ->
+        let* acc = acc in
+        match List.filter (fun (w, _) -> w = v.var_name) cls.matches with
+        | [ (_, rpe) ] ->
+            let schema = Backend_intf.conn_schema (conn_of v.var_name) in
+            let* norm = Rpe.validate schema rpe in
+            Ok ((v.var_name, norm) :: acc)
+        | [] ->
+            Error (Printf.sprintf "variable %S has no MATCHES predicate" v.var_name)
+        | _ ->
+            Error (Printf.sprintf "variable %S has multiple MATCHES predicates" v.var_name))
+      (Ok []) q.vars
+  in
+  let* () =
+    match
+      List.find_opt (fun (w, _) -> not (List.mem w declared)) cls.matches
+    with
+    | Some (w, _) -> Error (Printf.sprintf "MATCHES on undeclared variable %S" w)
+    | None -> Ok ()
+  in
+  let var_tc v =
+    match v.var_tc with
+    | Some tc -> tc_of_spec tc
+    | None -> (
+        match q.q_at with
+        | Some tc -> tc_of_spec tc
+        | None -> Time_constraint.snapshot)
+  in
+  let tcs = List.map (fun v -> (v.var_name, var_tc v)) q.vars in
+  let anchor_selection var =
+    let norm = List.assoc var var_rpes in
+    let c = conn_of var in
+    Anchor.select ~cost:(Backend_intf.estimate_atom c) norm
+  in
+  let anchor_cost var =
+    match anchor_selection var with
+    | Ok sel -> sel.Anchor.cost
+    | Error _ -> Float.infinity
+  in
+  let lit_anchor var =
+    List.find_opt (fun (_, v, _) -> v = var) cls.anchors_from_lit
+  in
+  let evaluated : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let* () =
+    let remaining = ref declared in
+    let rec loop () =
+      if !remaining = [] then Ok ()
+      else begin
+        let join_partner var =
+          List.find_map
+            (fun (f1, v1, f2, v2) ->
+              if v1 = var && Hashtbl.mem evaluated v2 then Some (f1, v2, f2)
+              else if v2 = var && Hashtbl.mem evaluated v1 then Some (f2, v1, f1)
+              else None)
+            cls.joins
+        in
+        let pick =
+          let seedable =
+            List.filter
+              (fun v -> lit_anchor v <> None || join_partner v <> None)
+              !remaining
+          in
+          let pool = if seedable <> [] then seedable else !remaining in
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some v
+              | Some b -> if anchor_cost v < anchor_cost b then Some v else best)
+            None pool
+        in
+        match pick with
+        | None -> Ok ()
+        | Some var ->
+            let* seed =
+              match lit_anchor var with
+              | Some (f, _, (Value.Int _ as lit)) -> Ok (Seed_lit (f, lit))
+              | Some _ -> Error "node functions compare to node identities (integers)"
+              | None -> (
+                  match join_partner var with
+                  | Some (f_self, partner, f_partner) ->
+                      Ok (Seed_join (f_self, partner, f_partner))
+                  | None -> (
+                      match anchor_selection var with
+                      | Ok sel -> Ok (Seed_anchor sel)
+                      | Error _ ->
+                          Error
+                            (Printf.sprintf
+                               "variable %S is not anchored and cannot import an anchor from a join"
+                               var)))
+            in
+            order :=
+              {
+                vp_var = var;
+                vp_backend = Backend_intf.conn_name (conn_of var);
+                vp_tc = List.assoc var tcs;
+                vp_rpe = List.assoc var var_rpes;
+                vp_seed = seed;
+              }
+              :: !order;
+            Hashtbl.replace evaluated var ();
+            remaining := List.filter (fun v -> v <> var) !remaining;
+            loop ()
+      end
+    in
+    loop ()
+  in
+  Ok
+    {
+      p_order = List.rev !order;
+      p_joins = cls.joins;
+      p_filter_count = List.length cls.filters + List.length cls.anchors_from_lit;
+      p_coexist = (match q.q_at with Some (At_range _) -> true | _ -> false);
+      p_mode = (match q.mode with Retrieve _ -> "retrieve" | Select _ -> "select");
+    }
 
 let pp_result ppf = function
   | Rows { vars; rows } ->
@@ -643,6 +912,17 @@ let pp_result ppf = function
           match r.coexist with
           | Some s -> Format.fprintf ppf "  coexist %a@." Interval_set.pp s
           | None -> ())
+        rows
+  | Table { columns = [ "explain" ]; rows } ->
+      (* EXPLAIN output: one pre-formatted line per row, printed raw
+         (Value.to_string would quote them). *)
+      List.iter
+        (fun vals ->
+          match vals with
+          | [ Value.Str line ] -> Format.fprintf ppf "%s@." line
+          | vals ->
+              Format.fprintf ppf "%s@."
+                (String.concat " | " (List.map Value.to_string vals)))
         rows
   | Table { columns; rows } ->
       Format.fprintf ppf "%s@." (String.concat " | " columns);

@@ -30,11 +30,25 @@ val run :
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
+  ?trace:Trace.span ->
   Query_ast.query ->
   (result, string) Stdlib.result
 (** [binds] maps individual pathway variables to other databases;
     unbound variables use [conn]. [config] tunes the RPE fast path
-    (see {!Eval_rpe.config}); it also applies to subqueries. *)
+    (see {!Eval_rpe.config}); it also applies to subqueries. [trace]
+    attaches per-operator child spans (Var/Select/Extend/Union, then
+    Join/Coexist/Filter/Result) to the given parent span. *)
+
+val run_traced :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  ?max_length:int ->
+  ?stats:Eval_rpe.stats ->
+  ?config:Eval_rpe.config ->
+  Query_ast.query ->
+  (result * Trace.span, string) Stdlib.result
+(** Like {!run}, but returns the measured operator span tree alongside
+    the result — the substance of [EXPLAIN ANALYZE]. *)
 
 val run_string :
   conn:Backend_intf.conn ->
@@ -45,6 +59,53 @@ val run_string :
   string ->
   (result, string) Stdlib.result
 (** Parse and run. *)
+
+val run_string_traced :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  ?max_length:int ->
+  ?stats:Eval_rpe.stats ->
+  ?config:Eval_rpe.config ->
+  string ->
+  (result * Trace.span, string) Stdlib.result
+(** Parse and {!run_traced}. *)
+
+(** {1 Planning-only surface ([EXPLAIN])} *)
+
+type seed_plan =
+  | Seed_anchor of Nepal_rpe.Anchor.selection
+      (** anchored evaluation over the selection's splits *)
+  | Seed_lit of Query_ast.path_fun * Value.t
+      (** seeded from a literal-pinned node function *)
+  | Seed_join of Query_ast.path_fun * string * Query_ast.path_fun
+      (** anchor imported from an already-evaluated join partner:
+          (own function, partner variable, partner function) *)
+
+type var_plan = {
+  vp_var : string;
+  vp_backend : string;
+  vp_tc : Nepal_temporal.Time_constraint.t;
+  vp_rpe : Nepal_rpe.Rpe.norm;
+  vp_seed : seed_plan;
+}
+
+type plan = {
+  p_order : var_plan list;  (** in evaluation order *)
+  p_joins :
+    (Query_ast.path_fun * string * Query_ast.path_fun * string) list;
+  p_filter_count : int;
+  p_coexist : bool;
+  p_mode : string;
+}
+
+val plan :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  Query_ast.query ->
+  (plan, string) Stdlib.result
+(** [run]'s planning prelude — validation, per-variable anchor costing,
+    and the evaluation-order pick — without evaluating anything. The
+    basis of [EXPLAIN]: what it reports is exactly what [run] would do. *)
 
 val result_count : result -> int
 val pp_result : Format.formatter -> result -> unit

@@ -2,6 +2,7 @@ module Time_constraint = Nepal_temporal.Time_constraint
 module Interval_set = Nepal_temporal.Interval_set
 module Schema = Nepal_schema.Schema
 module Intset = Nepal_util.Intset
+module Metrics = Nepal_util.Metrics
 module Domain_pool = Nepal_util.Domain_pool
 module Rpe = Nepal_rpe.Rpe
 module Nfa = Nepal_rpe.Nfa
@@ -723,11 +724,34 @@ let join_split ~tc ~max_length fwd bwd =
     bwd_tbl;
   !results
 
+(* Wrap [f] in a child span of [trace] (when tracing), attributing its
+   wall time and backend round-trip delta. Only called from the
+   coordinating thread — never inside domain-parallel walk tasks. *)
+let spanned ?trace conn name detail f =
+  match trace with
+  | None -> f None
+  | Some parent ->
+      let s = Trace.child ~detail parent name in
+      let rt0 = conn_roundtrips conn in
+      let r = Trace.time s (fun () -> f (Some s)) in
+      s.Trace.calls <- conn_roundtrips conn - rt0;
+      r
+
 (* Anchored evaluation: Select each split's anchor, then run the
    forward/backward walks of all splits — each an independent read-only
    task — on the domain pool when eligible. *)
-let eval_anywhere conn ~cfg ~tc ~max_length ~stats splits =
-  let prepared = List.filter_map (prepare_split conn ~tc ~stats) splits in
+let eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace splits =
+  let prepared =
+    List.filter_map
+      (fun (split : Anchor.split) ->
+        spanned ?trace conn "Select" (Anchor.split_to_string split) (fun s ->
+            let p = prepare_split conn ~tc ~stats split in
+            (match (s, p) with
+            | Some s, Some p -> s.Trace.rows_out <- List.length p.anchors
+            | _ -> ());
+            p))
+      splits
+  in
   let total_anchors =
     List.fold_left (fun n p -> n + List.length p.anchors) 0 prepared
   in
@@ -741,46 +765,89 @@ let eval_anywhere conn ~cfg ~tc ~max_length ~stats splits =
     && List.length tasks > 1
     && total_anchors >= cfg.par_threshold
   in
+  let extends0 = stats.extends in
   let walk_results =
-    if par then begin
-      stats.domains_used <-
-        max stats.domains_used (min cfg.domains (List.length tasks));
-      let thunks =
-        List.map
-          (fun (dir, nfa, anchors) () ->
-            let s = new_stats () in
-            (walk conn ~cfg ~tc ~dir ~max_length ~stats:s nfa anchors, s))
-          tasks
-      in
-      let out = Domain_pool.run ~domains:cfg.domains thunks in
-      List.iter (fun (_, s) -> merge_stats stats s) out;
-      List.map fst out
-    end
-    else begin
-      if tasks <> [] then stats.domains_used <- max stats.domains_used 1;
-      List.map
-        (fun (dir, nfa, anchors) ->
-          walk conn ~cfg ~tc ~dir ~max_length ~stats nfa anchors)
-        tasks
-    end
+    spanned ?trace conn "Extend"
+      (Printf.sprintf "walks=%d anchors=%d%s" (List.length tasks) total_anchors
+         (if par then " parallel" else ""))
+      (fun s ->
+        let results =
+          if par then begin
+            stats.domains_used <-
+              max stats.domains_used (min cfg.domains (List.length tasks));
+            let thunks =
+              List.map
+                (fun (dir, nfa, anchors) () ->
+                  let st = new_stats () in
+                  (walk conn ~cfg ~tc ~dir ~max_length ~stats:st nfa anchors, st))
+                tasks
+            in
+            let out = Domain_pool.run ~domains:cfg.domains thunks in
+            List.iter (fun (_, st) -> merge_stats stats st) out;
+            List.map fst out
+          end
+          else begin
+            if tasks <> [] then stats.domains_used <- max stats.domains_used 1;
+            List.map
+              (fun (dir, nfa, anchors) ->
+                walk conn ~cfg ~tc ~dir ~max_length ~stats nfa anchors)
+              tasks
+          end
+        in
+        (match s with
+        | Some s ->
+            s.Trace.rows_in <- total_anchors;
+            s.Trace.rows_out <-
+              List.fold_left (fun n r -> n + List.length r) 0 results;
+            Trace.set_detail s
+              (Printf.sprintf "%s rounds=%d" s.Trace.detail
+                 (stats.extends - extends0))
+        | None -> ());
+        results)
   in
   (* Tasks were emitted fwd-then-bwd per prepared split, and the pool
      preserves order. *)
-  let rec join acc prepared results =
-    match (prepared, results) with
-    | [], [] -> acc
-    | _ :: ps, fwd :: bwd :: rs ->
-        join (join_split ~tc ~max_length fwd bwd @ acc) ps rs
-    | _ -> assert false
-  in
-  join [] prepared walk_results
+  spanned ?trace conn "Union"
+    (Printf.sprintf "splits=%d" (List.length prepared))
+    (fun s ->
+      let rec join acc prepared results =
+        match (prepared, results) with
+        | [], [] -> acc
+        | _ :: ps, fwd :: bwd :: rs ->
+            join (join_split ~tc ~max_length fwd bwd @ acc) ps rs
+        | _ -> assert false
+      in
+      let paths = join [] prepared walk_results in
+      (match s with
+      | Some s ->
+          s.Trace.rows_in <-
+            List.fold_left (fun n r -> n + List.length r) 0 walk_results;
+          s.Trace.rows_out <- List.length paths
+      | None -> ());
+      paths)
+
+(* Evaluator-level registry instruments (PR 1's per-connection cache
+   counters surface globally through Backend_intf; these cover the
+   operator counts and whole-evaluation latency). *)
+let m_selects = Metrics.counter "eval.selects"
+let m_extends = Metrics.counter "eval.extends"
+let m_walk_tasks = Metrics.counter "eval.walk_tasks"
+let m_merged_partials = Metrics.counter "eval.merged_partials"
+let m_saved_fetches = Metrics.counter "eval.saved_fetches"
+let m_find_seconds = Metrics.histogram "eval.find_seconds"
 
 let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
-    ?config norm =
+    ?config ?trace norm =
   let cfg = match config with Some c -> c | None -> default_config () in
   let stats = match stats with Some s -> s | None -> new_stats () in
   let counters = cache_counters conn in
   let hits0 = counters.hits and misses0 = counters.misses in
+  let selects0 = stats.selects
+  and extends0 = stats.extends
+  and walk_tasks0 = stats.walk_tasks
+  and merged0 = stats.merged_partials
+  and saved0 = stats.saved_fetches in
+  Metrics.time m_find_seconds @@ fun () ->
   let default_cap = min (Rpe.max_length norm) 64 in
   let max_length =
     match max_length with Some m -> min m 64 | None -> default_cap
@@ -803,7 +870,8 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
                        first rest))
         in
         let paths =
-          eval_anywhere conn ~cfg ~tc ~max_length ~stats selection.Anchor.splits
+          eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace
+            selection.Anchor.splits
         in
         Ok (dedup_paths paths)
     | From_nodes seeds ->
@@ -811,7 +879,18 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
         let nfa = Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm in
         let seeds = List.filter (fun e -> e.Path.is_node) seeds in
         let accepted =
-          seeded_walk conn ~cfg ~tc ~dir:Fwd ~max_length ~stats nfa seeds
+          spanned ?trace conn "Extend"
+            (Printf.sprintf "seeded fwd seeds=%d" (List.length seeds))
+            (fun s ->
+              let r =
+                seeded_walk conn ~cfg ~tc ~dir:Fwd ~max_length ~stats nfa seeds
+              in
+              (match s with
+              | Some s ->
+                  s.Trace.rows_in <- List.length seeds;
+                  s.Trace.rows_out <- List.length r
+              | None -> ());
+              r)
         in
         let paths =
           List.filter_map
@@ -833,7 +912,18 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
         in
         let seeds = List.filter (fun e -> e.Path.is_node) seeds in
         let accepted =
-          seeded_walk conn ~cfg ~tc ~dir:Bwd ~max_length ~stats nfa seeds
+          spanned ?trace conn "Extend"
+            (Printf.sprintf "seeded bwd seeds=%d" (List.length seeds))
+            (fun s ->
+              let r =
+                seeded_walk conn ~cfg ~tc ~dir:Bwd ~max_length ~stats nfa seeds
+              in
+              (match s with
+              | Some s ->
+                  s.Trace.rows_in <- List.length seeds;
+                  s.Trace.rows_out <- List.length r
+              | None -> ());
+              r)
         in
         let paths =
           List.filter_map
@@ -851,4 +941,9 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
   in
   stats.cache_hits <- stats.cache_hits + (counters.hits - hits0);
   stats.cache_misses <- stats.cache_misses + (counters.misses - misses0);
+  Metrics.add m_selects (stats.selects - selects0);
+  Metrics.add m_extends (stats.extends - extends0);
+  Metrics.add m_walk_tasks (stats.walk_tasks - walk_tasks0);
+  Metrics.add m_merged_partials (stats.merged_partials - merged0);
+  Metrics.add m_saved_fetches (stats.saved_fetches - saved0);
   result

@@ -71,6 +71,7 @@ val find :
   ?stats:stats ->
   ?anchor:[ `Cheapest | `Costliest ] ->
   ?config:config ->
+  ?trace:Trace.span ->
   Rpe.norm ->
   (Path.t list, string) result
 (** Pathways satisfying the RPE, deduplicated, deterministically
@@ -81,6 +82,8 @@ val find :
     candidate drives evaluation — [`Costliest] exists for the anchor
     ablation experiment. [config] (default {!default_config}) toggles
     the fast-path accelerations; the result set is the same under any
-    configuration. *)
+    configuration. [trace] (default off) attaches per-operator child
+    spans (Select per anchor split, Extend per walk phase, Union for
+    the split join) to the given parent span. *)
 
 val new_stats : unit -> stats

@@ -1,0 +1,194 @@
+(* EXPLAIN / EXPLAIN ANALYZE.
+
+   [EXPLAIN <query>] renders the planned operator DAG — evaluation
+   order, anchor split, cost estimates, and the exact backend request
+   (SQL / Gremlin) each Select and Extend operator would emit — using
+   {!Engine.plan}, i.e. the same planning prelude [run] executes.
+
+   [EXPLAIN ANALYZE <query>] executes the query with tracing on and
+   renders the measured span tree plus per-operator totals.
+
+   Output is an ordinary {!Engine.result}: a one-column [Table] whose
+   column is named ["explain"], one row per output line. [pp_result]
+   special-cases that shape and prints the lines raw. *)
+
+module Rpe = Nepal_rpe.Rpe
+module Anchor = Nepal_rpe.Anchor
+module Value = Nepal_schema.Value
+
+let ( let* ) = Result.bind
+
+type request = Plain | Plan | Analyze
+
+(* First keyword of [s] (letters only, case-folded) and the remainder. *)
+let split_word s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    incr i
+  done;
+  let j = ref !i in
+  while !j < n && (match s.[!j] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false) do
+    incr j
+  done;
+  if !j > !i then
+    Some (String.uppercase_ascii (String.sub s !i (!j - !i)), String.sub s !j (n - !j))
+  else None
+
+let classify text =
+  match split_word text with
+  | Some ("EXPLAIN", rest) -> (
+      match split_word rest with
+      | Some ("ANALYZE", rest') -> (Analyze, rest')
+      | _ -> (Plan, rest))
+  | _ -> (Plain, text)
+
+let table_of_lines lines =
+  Engine.Table
+    { columns = [ "explain" ]; rows = List.map (fun l -> [ Value.Str l ]) lines }
+
+(* -- EXPLAIN (plan rendering) --------------------------------------- *)
+
+let tc_to_string tc = Format.asprintf "%a" Nepal_temporal.Time_constraint.pp tc
+
+(* Indent every line of a (possibly multi-line) backend request. *)
+let request_lines ~indent text =
+  String.split_on_char '\n' text
+  |> List.map (fun l -> indent ^ "| " ^ l)
+
+let extend_lines conn ~tc ~dir ~label norm =
+  let spec = { Backend_intf.atoms = Rpe.atoms norm; with_skip = false } in
+  (Printf.sprintf "    Extend %s %s" label (Rpe.norm_to_string norm))
+  :: request_lines ~indent:"      "
+       (Backend_intf.describe_extend conn ~tc ~dir ~spec)
+
+let render_var conn (vp : Engine.var_plan) =
+  let tc = vp.Engine.vp_tc in
+  let header =
+    Printf.sprintf "  Var %s  [backend=%s, tc=%s, rpe=%s]" vp.Engine.vp_var
+      vp.Engine.vp_backend (tc_to_string tc)
+      (Rpe.norm_to_string vp.Engine.vp_rpe)
+  in
+  let body =
+    match vp.Engine.vp_seed with
+    | Engine.Seed_anchor sel ->
+        let cost =
+          Printf.sprintf "    cost: ~%.0f anchor records across %d split(s)"
+            sel.Anchor.cost
+            (List.length sel.Anchor.splits)
+        in
+        cost
+        :: List.concat_map
+             (fun (split : Anchor.split) ->
+               let select =
+                 Printf.sprintf "    Select %s" (Anchor.split_to_string split)
+                 :: request_lines ~indent:"      "
+                      (Backend_intf.describe_select conn ~tc split.Anchor.anchor)
+               in
+               let bwd =
+                 match split.Anchor.before with
+                 | None -> []
+                 | Some norm ->
+                     extend_lines conn ~tc ~dir:Backend_intf.Bwd ~label:"bwd" norm
+               in
+               let fwd =
+                 match split.Anchor.after with
+                 | None -> []
+                 | Some norm ->
+                     extend_lines conn ~tc ~dir:Backend_intf.Fwd ~label:"fwd" norm
+               in
+               select @ bwd @ fwd)
+             sel.Anchor.splits
+        @
+        if List.length sel.Anchor.splits > 1 then
+          [ Printf.sprintf "    Union of %d splits" (List.length sel.Anchor.splits) ]
+        else []
+    | Engine.Seed_lit (f, lit) ->
+        let dir, label =
+          match f with
+          | Query_ast.Source -> (Backend_intf.Fwd, "fwd")
+          | Query_ast.Target -> (Backend_intf.Bwd, "bwd")
+        in
+        Printf.sprintf "    seed: literal %s(%s) = %s"
+          (Query_ast.path_fun_to_string f)
+          vp.Engine.vp_var (Value.to_string lit)
+        :: extend_lines conn ~tc ~dir ~label vp.Engine.vp_rpe
+    | Engine.Seed_join (f_self, partner, f_partner) ->
+        let dir, label =
+          match f_self with
+          | Query_ast.Source -> (Backend_intf.Fwd, "fwd")
+          | Query_ast.Target -> (Backend_intf.Bwd, "bwd")
+        in
+        Printf.sprintf "    seed: join %s(%s) = %s(%s)"
+          (Query_ast.path_fun_to_string f_self)
+          vp.Engine.vp_var
+          (Query_ast.path_fun_to_string f_partner)
+          partner
+        :: extend_lines conn ~tc ~dir ~label vp.Engine.vp_rpe
+  in
+  header :: body
+
+let render_plan ~conn ?(binds = []) (p : Engine.plan) =
+  let conn_of var =
+    match List.assoc_opt var binds with Some c -> c | None -> conn
+  in
+  let header =
+    Printf.sprintf "Query (%s%s)" p.Engine.p_mode
+      (if p.Engine.p_coexist then ", coexist" else "")
+  in
+  let vars =
+    List.concat_map
+      (fun vp -> render_var (conn_of vp.Engine.vp_var) vp)
+      p.Engine.p_order
+  in
+  let joins =
+    List.map
+      (fun (f1, v1, f2, v2) ->
+        Printf.sprintf "  Join %s(%s) = %s(%s)"
+          (Query_ast.path_fun_to_string f1)
+          v1
+          (Query_ast.path_fun_to_string f2)
+          v2)
+      p.Engine.p_joins
+  in
+  let coexist = if p.Engine.p_coexist then [ "  Coexist range intersection" ] else [] in
+  let filters =
+    if p.Engine.p_filter_count > 0 then
+      [ Printf.sprintf "  Filter conds=%d" p.Engine.p_filter_count ]
+    else []
+  in
+  let result = [ Printf.sprintf "  Result %s" p.Engine.p_mode ] in
+  (header :: vars) @ joins @ coexist @ filters @ result
+
+(* -- EXPLAIN ANALYZE ------------------------------------------------ *)
+
+let per_operator_lines root =
+  match Trace.per_operator root with
+  | [] -> []
+  | aggs ->
+      "" :: "per-operator totals:"
+      :: List.map
+           (fun (name, a) ->
+             Printf.sprintf "  %-8s count=%d wall=%.3fms rows_out=%d calls=%d"
+               name a.Trace.a_count
+               (a.Trace.a_wall_s *. 1e3)
+               a.Trace.a_rows_out a.Trace.a_calls)
+           aggs
+
+(* -- dispatcher ----------------------------------------------------- *)
+
+(* Drop-in replacement for {!Engine.run_string} that intercepts
+   [EXPLAIN] / [EXPLAIN ANALYZE] prefixes; plain queries fall through
+   unchanged. *)
+let run_string ~conn ?binds ?max_length ?stats ?config text =
+  match classify text with
+  | Plain, _ -> Engine.run_string ~conn ?binds ?max_length ?stats ?config text
+  | Plan, rest ->
+      let* q = Query_parser.parse rest in
+      let* p = Engine.plan ~conn ?binds q in
+      Ok (table_of_lines (render_plan ~conn ?binds p))
+  | Analyze, rest ->
+      let* _r, root =
+        Engine.run_string_traced ~conn ?binds ?max_length ?stats ?config rest
+      in
+      Ok (table_of_lines (Trace.render root @ per_operator_lines root))

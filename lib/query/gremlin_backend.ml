@@ -206,7 +206,9 @@ let version_aware_pred t tc uid (a : Rpe.atom) =
           && Predicate.eval a.Rpe.pred v.vfields)
         versions
 
-let select_atom t ~tc (a : Rpe.atom) =
+(* The Select operator's traversal — shared by execution and EXPLAIN so
+   the rendered Gremlin is exactly what runs. *)
+let select_steps t ~tc (a : Rpe.atom) =
   let prefix = Schema.inheritance_label t.schema a.Rpe.cls in
   let is_node = Schema.kind_of t.schema a.Rpe.cls = Some Schema.Node_kind in
   (* has() steps test the element's latest property values, so they are
@@ -218,12 +220,13 @@ let select_atom t ~tc (a : Rpe.atom) =
     | Time_constraint.Snapshot -> pushdown_has a.Rpe.pred
     | Time_constraint.At _ | Time_constraint.Range _ -> []
   in
-  let steps =
-    (if is_node then [ G.Traversal.V ] else [ G.Traversal.E ])
-    @ [ G.Traversal.Has_label prefix ]
-    @ temporal_step tc
-    @ pushdown
-  in
+  (if is_node then [ G.Traversal.V ] else [ G.Traversal.E ])
+  @ [ G.Traversal.Has_label prefix ]
+  @ temporal_step tc
+  @ pushdown
+
+let select_atom t ~tc (a : Rpe.atom) =
+  let steps = select_steps t ~tc a in
   log_traversal t steps;
   let traversers = G.Traversal.run t.graph steps in
   G.Traversal.results t.graph traversers
@@ -267,19 +270,20 @@ let element_by_uid t ~tc uid =
    paper's channel batching ("keeping the data in the Gremlin database
    for multiple operators"). Results map back to partial paths through
    the traverser's recorded start position. *)
+let extend_edge_prefixes sch (spec : extend_spec) =
+  if spec.with_skip then [ "Edge" ]
+  else
+    List.filter_map
+      (fun (a : Rpe.atom) ->
+        match Rpe.atom_kind sch a with
+        | Some Schema.Edge_kind -> Some (Schema.inheritance_label sch a.Rpe.cls)
+        | _ -> None)
+      spec.atoms
+    |> List.sort_uniq String.compare
+
 let bulk_extend t ~tc ~dir ~spec items =
   let sch = t.schema in
-  let edge_prefixes =
-    if spec.with_skip then [ "Edge" ]
-    else
-      List.filter_map
-        (fun (a : Rpe.atom) ->
-          match Rpe.atom_kind sch a with
-          | Some Schema.Edge_kind -> Some (Schema.inheritance_label sch a.Rpe.cls)
-          | _ -> None)
-        spec.atoms
-      |> List.sort_uniq String.compare
-  in
+  let edge_prefixes = extend_edge_prefixes sch spec in
   let node_items = List.filter (fun i -> i.frontier.Path.is_node) items in
   let edge_items = List.filter (fun i -> not i.frontier.Path.is_node) items in
   let group is =
@@ -350,6 +354,31 @@ let bulk_extend t ~tc ~dir ~spec items =
     end
   in
   from_nodes @ from_edges
+
+let describe_select t ~tc (a : Rpe.atom) =
+  G.Traversal.to_gremlin (select_steps t ~tc a)
+
+let describe_extend t ~tc ~dir ~spec =
+  let hop =
+    match dir with Fwd -> G.Traversal.Out_e | Bwd -> G.Traversal.In_e
+  in
+  match extend_edge_prefixes t.schema spec with
+  | [] ->
+      (* Node extension impossible; only the edge-frontier endpoint hop. *)
+      let v_hop =
+        match dir with Fwd -> G.Traversal.In_v | Bwd -> G.Traversal.Out_v
+      in
+      let text = G.Traversal.to_gremlin ((G.Traversal.E_ids [] :: [ v_hop ]) @ temporal_step tc) in
+      "g.E(<frontier>)" ^ String.sub text 5 (String.length text - 5)
+  | prefixes ->
+      let branches = List.map (fun p -> [ G.Traversal.Has_label p ]) prefixes in
+      let steps =
+        (G.Traversal.V_ids [] :: [ hop; G.Traversal.Union branches ])
+        @ temporal_step tc
+      in
+      (* Substitute the frontier placeholder into the V() source step. *)
+      let text = G.Traversal.to_gremlin steps in
+      "g.V(<frontier>)" ^ String.sub text 5 (String.length text - 5)
 
 let presence t ~uid ~window:(w0, w1) ~pred =
   let versions =

@@ -124,6 +124,31 @@ let bulk_extend t ~tc ~dir ~spec items =
         candidates)
     items
 
+let describe_select t ~tc (a : Rpe.atom) =
+  let access =
+    match Predicate.equality_lookups a.Rpe.pred with
+    | (field, v) :: _ when Store.has_index t ~cls:a.Rpe.cls ~field ->
+        Printf.sprintf "index_lookup(%s.%s = %s)" a.Rpe.cls field
+          (Value.to_string v)
+    | _ -> Printf.sprintf "scan_class(%s)" a.Rpe.cls
+  in
+  match tc with
+  | Time_constraint.Range _ -> access ^ " |> presence-qualified predicate"
+  | Time_constraint.Snapshot | Time_constraint.At _ ->
+      access ^ " |> filter predicate"
+
+let describe_extend _t ~tc:_ ~dir ~spec =
+  let adj = match dir with Fwd -> "out_edges" | Bwd -> "in_edges" in
+  let classes =
+    if spec.with_skip then "*"
+    else
+      String.concat "|"
+        (List.sort_uniq String.compare
+           (List.map (fun (a : Rpe.atom) -> a.Rpe.cls) spec.atoms))
+  in
+  Printf.sprintf "%s(frontier) |> prune_visited |> class_admissible(%s)" adj
+    classes
+
 let element_by_uid t ~tc uid = Option.map element_of_entity (Store.get t ~tc uid)
 
 let version_boundaries t ~uid ~window:(a, b) =

@@ -429,49 +429,50 @@ let dedup_latest rs =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map snd
 
+let temporal_filter_expr tc =
+  match tc with
+  | Time_constraint.Snapshot -> R.Expr.Period_is_current (R.Expr.Col "sys_period")
+  | Time_constraint.At p ->
+      R.Expr.Period_contains (R.Expr.Col "sys_period", R.Expr.Const (Value.Time p))
+  | Time_constraint.Range (w0, w1) ->
+      R.Expr.Period_overlaps
+        ( R.Expr.Col "sys_period",
+          R.Expr.Const (Value.Time w0),
+          R.Expr.Const (Value.Time w1) )
+
+(* The Select operator's plan for one concrete class table — shared by
+   execution ([select_atom]) and EXPLAIN ([describe_select]) so the
+   rendered SQL is exactly what runs. *)
+let select_plan ~tc (a : Rpe.atom) cls =
+  (* ONLY-scan each concrete table so child columns survive. *)
+  let base =
+    R.Plan.Union_all
+      [
+        R.Plan.Scan { table = cls; only = true };
+        R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
+      ]
+  in
+  let residual = R.Expr.And (temporal_filter_expr tc, compile_pred a.Rpe.pred) in
+  (* An equality predicate becomes an index-style probe: a hash
+     join against the cached build side keyed by that column. *)
+  match Predicate.equality_lookups a.Rpe.pred with
+  | (field, v) :: _ ->
+      R.Plan.Hash_join
+        {
+          left = R.Plan.Values { cols = [ "probe_val" ]; rows = [ [| v |] ] };
+          right = base;
+          left_key = R.Expr.Col "probe_val";
+          right_key = R.Expr.Col field;
+          residual;
+        }
+  | [] -> R.Plan.Filter (base, residual)
+
 let select_atom t ~tc (a : Rpe.atom) =
   let sch = t.schema in
   let concrete = Schema.concrete_subclasses sch a.Rpe.cls in
-  let temporal_filter =
-    match tc with
-    | Time_constraint.Snapshot ->
-        R.Expr.Period_is_current (R.Expr.Col "sys_period")
-    | Time_constraint.At p ->
-        R.Expr.Period_contains (R.Expr.Col "sys_period", R.Expr.Const (Value.Time p))
-    | Time_constraint.Range (w0, w1) ->
-        R.Expr.Period_overlaps
-          ( R.Expr.Col "sys_period",
-            R.Expr.Const (Value.Time w0),
-            R.Expr.Const (Value.Time w1) )
-  in
   List.concat_map
     (fun cls ->
-      (* ONLY-scan each concrete table so child columns survive. *)
-      let base =
-        R.Plan.Union_all
-          [
-            R.Plan.Scan { table = cls; only = true };
-            R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
-          ]
-      in
-      let residual = R.Expr.And (temporal_filter, compile_pred a.Rpe.pred) in
-      (* An equality predicate becomes an index-style probe: a hash
-         join against the cached build side keyed by that column. *)
-      let plan =
-        match Predicate.equality_lookups a.Rpe.pred with
-        | (field, v) :: _ ->
-            R.Plan.Hash_join
-              {
-                left =
-                  R.Plan.Values { cols = [ "probe_val" ]; rows = [ [| v |] ] };
-                right = base;
-                left_key = R.Expr.Col "probe_val";
-                right_key = R.Expr.Col field;
-                residual;
-              }
-        | [] -> R.Plan.Filter (base, residual)
-      in
-      match run_logged t plan with
+      match run_logged t (select_plan ~tc a cls) with
       | Error _ -> []
       | Ok rs ->
           dedup_latest rs
@@ -561,17 +562,6 @@ let rows_by_uid t cls uids =
   in
   match R.Plan.run t.db plan with Ok rs -> Some rs | Error _ -> None
 
-let temporal_filter_expr tc =
-  match tc with
-  | Time_constraint.Snapshot -> R.Expr.Period_is_current (R.Expr.Col "sys_period")
-  | Time_constraint.At p ->
-      R.Expr.Period_contains (R.Expr.Col "sys_period", R.Expr.Const (Value.Time p))
-  | Time_constraint.Range (w0, w1) ->
-      R.Expr.Period_overlaps
-        ( R.Expr.Col "sys_period",
-          R.Expr.Const (Value.Time w0),
-          R.Expr.Const (Value.Time w1) )
-
 let element_by_uid t ~tc uid =
   match current_class_of t uid with
   | None -> None
@@ -591,6 +581,42 @@ let element_by_uid t ~tc uid =
           match dedup_latest { rs with R.Plan.rows = qualifying } with
           | row :: _ -> element_of_row t.schema cls rs row
           | [] -> None))
+
+(* Candidate edge classes to join against when extending from nodes. *)
+let extend_edge_classes sch (spec : extend_spec) =
+  if spec.with_skip then Schema.concrete_subclasses sch "Edge"
+  else
+    List.concat_map
+      (fun (a : Rpe.atom) ->
+        match Rpe.atom_kind sch a with
+        | Some Schema.Edge_kind -> Schema.concrete_subclasses sch a.Rpe.cls
+        | _ -> [])
+      spec.atoms
+    |> List.sort_uniq String.compare
+
+(* The Extend operator's join for one edge class against a frontier
+   relation — shared by [bulk_extend] and [describe_extend]. *)
+let extend_join_plan ~tc ~dir ~frontier cls =
+  let key_col = match dir with Fwd -> "source_id_" | Bwd -> "target_id_" in
+  let scan =
+    R.Plan.Filter
+      ( R.Plan.Union_all
+          [
+            R.Plan.Scan { table = cls; only = true };
+            R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
+          ],
+        temporal_filter_expr tc )
+  in
+  R.Plan.Hash_join
+    {
+      left = R.Plan.Scan { table = frontier; only = true };
+      right = scan;
+      left_key = R.Expr.Col "curr_uid";
+      right_key = R.Expr.Col key_col;
+      residual =
+        R.Expr.Not
+          (R.Expr.Arr_contains (R.Expr.Col "id_", R.Expr.Col "uid_list"));
+    }
 
 (* The paper's Extend: a hash join between the frontier temp relation
    and each relevant class table, with the cycle-exclusion predicate
@@ -628,48 +654,16 @@ let bulk_extend t ~tc ~dir ~spec items =
         Some name
     | Error _ -> None
   in
-  (* Candidate edge classes to join against when extending from nodes. *)
-  let edge_classes =
-    if spec.with_skip then Schema.concrete_subclasses sch "Edge"
-    else
-      List.concat_map
-        (fun (a : Rpe.atom) ->
-          match Rpe.atom_kind sch a with
-          | Some Schema.Edge_kind -> Schema.concrete_subclasses sch a.Rpe.cls
-          | _ -> [])
-        spec.atoms
-      |> List.sort_uniq String.compare
-  in
+  let edge_classes = extend_edge_classes sch spec in
   let from_nodes =
     if node_items = [] || edge_classes = [] then []
     else
-      let key_col = match dir with Fwd -> "source_id_" | Bwd -> "target_id_" in
       match frontier_temp node_items with
       | None -> []
       | Some temp ->
       let results = List.concat_map
         (fun cls ->
-          let scan =
-            R.Plan.Filter
-              ( R.Plan.Union_all
-                  [
-                    R.Plan.Scan { table = cls; only = true };
-                    R.Plan.Scan { table = R.Temporal_tables.history_name cls; only = true };
-                  ],
-                temporal_filter_expr tc )
-          in
-          let join =
-            R.Plan.Hash_join
-              {
-                left = R.Plan.Scan { table = temp; only = true };
-                right = scan;
-                left_key = R.Expr.Col "curr_uid";
-                right_key = R.Expr.Col key_col;
-                residual =
-                  R.Expr.Not
-                    (R.Expr.Arr_contains (R.Expr.Col "id_", R.Expr.Col "uid_list"));
-              }
-          in
+          let join = extend_join_plan ~tc ~dir ~frontier:temp cls in
           match run_logged t join with
           | Error _ -> []
           | Ok rs ->
@@ -744,6 +738,24 @@ let presence t ~uid ~window:(w0, w1) ~pred =
                     Interval_set.add iv acc
                 | _ -> acc)
             Interval_set.empty rs.R.Plan.rows)
+
+let more_classes = function
+  | [] -> ""
+  | rest ->
+      Printf.sprintf "\n-- plus %d more subclass plan(s): %s" (List.length rest)
+        (String.concat ", " rest)
+
+let describe_select t ~tc (a : Rpe.atom) =
+  match Schema.concrete_subclasses t.schema a.Rpe.cls with
+  | [] -> Printf.sprintf "-- no concrete subclasses of %s" a.Rpe.cls
+  | cls :: rest -> R.Plan.to_sql (select_plan ~tc a cls) ^ more_classes rest
+
+let describe_extend t ~tc ~dir ~spec =
+  match extend_edge_classes t.schema spec with
+  | [] -> "-- endpoint lookup only (no candidate edge classes)"
+  | cls :: rest ->
+      R.Plan.to_sql (extend_join_plan ~tc ~dir ~frontier:"frontier_tmp" cls)
+      ^ more_classes rest
 
 let version_boundaries t ~uid ~window:(w0, w1) =
   match current_class_of t uid with

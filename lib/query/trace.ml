@@ -1,0 +1,114 @@
+(* Per-operator trace spans (EXPLAIN ANALYZE substrate).
+
+   A span records what one logical operator of the compiled query did:
+   wall time, input/output row counts and backend round-trips. Spans
+   form a tree mirroring the operator DAG — Query at the root, one Var
+   child per path variable, Select/Extend/Union leaves underneath, then
+   Join/Coexist/Filter/Result siblings for the cross-variable stages.
+
+   Span names are the operator kind only ("Select", "Extend", ...);
+   anything instance-specific (the atom, the RPE, the variable) goes in
+   [detail]. That keeps [per_operator] aggregation trivial.
+
+   Spans are plain mutable records with no locking: they are only ever
+   written from the coordinating thread. Domain-parallel walk internals
+   report through [Eval_rpe.stats] and the metrics registry instead, and
+   the coordinator folds those into the enclosing span afterwards. *)
+
+type span = {
+  name : string;
+  mutable detail : string;
+  mutable wall_s : float;
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable calls : int;  (** backend round-trips attributed to this span *)
+  mutable rev_children : span list;
+}
+
+let make ?(detail = "") name =
+  {
+    name;
+    detail;
+    wall_s = 0.;
+    rows_in = 0;
+    rows_out = 0;
+    calls = 0;
+    rev_children = [];
+  }
+
+let children s = List.rev s.rev_children
+
+let child ?detail parent name =
+  let s = make ?detail name in
+  parent.rev_children <- s :: parent.rev_children;
+  s
+
+(* Run [f], charging its wall time to [s] whatever the outcome. *)
+let time s f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> s.wall_s <- s.wall_s +. (Unix.gettimeofday () -. t0)) f
+
+let set_detail s d = s.detail <- d
+
+(* -- rendering ------------------------------------------------------ *)
+
+let span_line s =
+  let fields =
+    List.concat
+      [
+        [ Printf.sprintf "wall=%.3fms" (s.wall_s *. 1e3) ];
+        (if s.rows_in > 0 then [ Printf.sprintf "rows_in=%d" s.rows_in ] else []);
+        [ Printf.sprintf "rows_out=%d" s.rows_out ];
+        (if s.calls > 0 then [ Printf.sprintf "calls=%d" s.calls ] else []);
+      ]
+  in
+  Printf.sprintf "%s%s  (%s)" s.name
+    (if s.detail = "" then "" else " " ^ s.detail)
+    (String.concat ", " fields)
+
+let render s =
+  let buf = ref [] in
+  let rec go depth s =
+    buf := (String.make (depth * 2) ' ' ^ span_line s) :: !buf;
+    List.iter (go (depth + 1)) (children s)
+  in
+  go 0 s;
+  List.rev !buf
+
+let to_string s = String.concat "\n" (render s)
+
+(* -- aggregation (bench --json per_operator breakdown) -------------- *)
+
+type agg = {
+  mutable a_count : int;  (** number of spans with this operator name *)
+  mutable a_wall_s : float;
+  mutable a_rows_out : int;
+  mutable a_calls : int;
+}
+
+(* Sum the tree by operator name. Container spans ("Query", "Var")
+   whose time is already attributed to their children are excluded so
+   the aggregate does not double-count. *)
+let per_operator root =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  let rec go s =
+    (if s.name <> "Query" && s.name <> "Var" then
+       let a =
+         match Hashtbl.find_opt tbl s.name with
+         | Some a -> a
+         | None ->
+             let a =
+               { a_count = 0; a_wall_s = 0.; a_rows_out = 0; a_calls = 0 }
+             in
+             Hashtbl.replace tbl s.name a;
+             a
+       in
+       a.a_count <- a.a_count + 1;
+       a.a_wall_s <- a.a_wall_s +. s.wall_s;
+       a.a_rows_out <- a.a_rows_out + s.rows_out;
+       a.a_calls <- a.a_calls + s.calls);
+    List.iter go s.rev_children
+  in
+  go root;
+  Hashtbl.fold (fun name a acc -> (name, a) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -94,10 +94,18 @@ let vmap l =
 let ip_of_string s =
   match String.split_on_char '.' s with
   | [ a; b; c; d ] -> (
+      (* Strict decimal digit runs only: [int_of_string_opt] would also
+         accept "0x10", "+1" and "1_0", and an unbounded run could wrap
+         past the range check. *)
       let octet x =
-        match int_of_string_opt x with
-        | Some v when v >= 0 && v <= 255 -> Some v
-        | _ -> None
+        let n = String.length x in
+        if n < 1 || n > 3
+           || not (String.for_all (fun c -> c >= '0' && c <= '9') x)
+        then None
+        else
+          match int_of_string_opt x with
+          | Some v when v >= 0 && v <= 255 -> Some v
+          | _ -> None
       in
       match (octet a, octet b, octet c, octet d) with
       | Some a, Some b, Some c, Some d ->

@@ -49,7 +49,12 @@ let create schema =
 let schema t = t.schema
 let clock t = t.clock
 let version t = t.version
-let bump t = t.version <- t.version + 1
+
+let m_mutations = Nepal_util.Metrics.counter "store.mutations"
+
+let bump t =
+  t.version <- t.version + 1;
+  Nepal_util.Metrics.incr m_mutations
 
 let tick t at =
   if Time_point.compare at t.clock < 0 then

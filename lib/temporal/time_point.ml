@@ -40,14 +40,26 @@ let civil_from_days z =
   let y = if m <= 2 then y + 1 else y in
   (y, m, d)
 
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> 0
+
 let is_digit c = c >= '0' && c <= '9'
 
+(* Digit runs longer than 9 could wrap the accumulator past the field
+   guards as a negative value, so they are rejected outright; no
+   timestamp field needs more digits than that. *)
 let parse_int s lo hi =
   let rec loop i acc =
     if i >= hi then acc else loop (i + 1) ((acc * 10) + (Char.code s.[i] - 48))
   in
   let rec check i = i >= hi || (is_digit s.[i] && check (i + 1)) in
-  if lo >= hi || not (check lo) then None else Some (loop lo 0)
+  if lo >= hi || hi - lo > 9 || not (check lo) then None else Some (loop lo 0)
 
 let of_string s =
   let s = String.trim s in
@@ -64,7 +76,8 @@ let of_string s =
     -> (
       let pi str = parse_int str 0 (String.length str) in
       match (pi ys, pi ms, pi ds) with
-      | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 -> (
+      | Some y, Some m, Some d
+        when m >= 1 && m <= 12 && d >= 1 && d <= days_in_month y m -> (
           let days = days_from_civil ~y ~m ~d in
           let base = Int64.mul (Int64.of_int days) (Int64.mul 86_400L 1L) in
           let base_usec = Int64.mul base usec_per_sec in
@@ -74,38 +87,56 @@ let of_string s =
               match String.index_opt time_part '.' with
               | Some i ->
                   ( String.sub time_part 0 i,
-                    String.sub time_part (i + 1) (String.length time_part - i - 1) )
-              | None -> (time_part, "")
+                    Some
+                      (String.sub time_part (i + 1)
+                         (String.length time_part - i - 1)) )
+              | None -> (time_part, None)
             in
-            match String.split_on_char ':' hms with
-            | ([ _; _ ] | [ _; _; _ ]) as parts -> (
-                let parts = List.filter_map pi parts in
-                match parts with
-                | [ h; mi ] | [ h; mi; _ ]
-                  when h > 23 || mi > 59
-                       || (match parts with [ _; _; se ] -> se > 60 | _ -> false)
-                  -> err ()
-                | [ h; mi ] ->
-                    Ok (Int64.add base_usec
-                          (Int64.mul (Int64.of_int ((h * 3600) + (mi * 60))) usec_per_sec))
-                | [ h; mi; se ] ->
-                    let secs = (h * 3600) + (mi * 60) + se in
-                    let frac_usec =
-                      if frac = "" then 0
-                      else
-                        let padded =
-                          if String.length frac >= 6 then String.sub frac 0 6
-                          else frac ^ String.make (6 - String.length frac) '0'
-                        in
-                        match parse_int padded 0 6 with Some v -> v | None -> -1
-                    in
-                    if frac_usec < 0 then err ()
-                    else
-                      Ok (Int64.add base_usec
-                            (Int64.add
-                               (Int64.mul (Int64.of_int secs) usec_per_sec)
-                               (Int64.of_int frac_usec)))
-                | _ -> err ())
+            (* Each field must be its own 1-2 digit run; a part that fails
+               to parse is an error, never silently dropped. *)
+            let part str =
+              let l = String.length str in
+              if l < 1 || l > 2 then None else parse_int str 0 l
+            in
+            let fields =
+              match String.split_on_char ':' hms with
+              | [ hs; mis ] -> (
+                  match (part hs, part mis) with
+                  | Some h, Some mi -> Some (h, mi, None)
+                  | _ -> None)
+              | [ hs; mis; ses ] -> (
+                  match (part hs, part mis, part ses) with
+                  | Some h, Some mi, Some se -> Some (h, mi, Some se)
+                  | _ -> None)
+              | _ -> None
+            in
+            match fields with
+            | Some (h, mi, se)
+              when h <= 23 && mi <= 59
+                   && (match se with Some se -> se <= 59 | None -> frac = None)
+              -> (
+                let secs = (h * 3600) + (mi * 60) + Option.value se ~default:0 in
+                let frac_usec =
+                  match frac with
+                  | None -> Some 0
+                  | Some "" -> None
+                  | Some f when not (String.for_all is_digit f) -> None
+                  | Some f ->
+                      (* Truncate to microsecond precision. *)
+                      let padded =
+                        if String.length f >= 6 then String.sub f 0 6
+                        else f ^ String.make (6 - String.length f) '0'
+                      in
+                      parse_int padded 0 6
+                in
+                match frac_usec with
+                | None -> err ()
+                | Some frac_usec ->
+                    Ok
+                      (Int64.add base_usec
+                         (Int64.add
+                            (Int64.mul (Int64.of_int secs) usec_per_sec)
+                            (Int64.of_int frac_usec))))
             | _ -> err ())
       | _ -> err ())
   | _ -> err ()

@@ -1,0 +1,147 @@
+(* Process-wide observability registry: named monotonic counters and
+   duration histograms. The store, the RPE evaluator and the query
+   backends register into it so that one snapshot shows where work went.
+
+   Counters are single [Atomic.t] cells — incrementing one from a
+   parallel walk domain is a few nanoseconds and never contends on the
+   registry lock, which is taken only to create or enumerate
+   instruments. Histograms keep running count/sum/min/max under a
+   per-histogram mutex; they are observed on coordinating threads only,
+   so the lock is uncontended in practice. Nothing is ever reported
+   unless someone calls [snapshot], so an unread registry costs only the
+   atomic bumps. *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
+
+let histogram name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_lock = Mutex.create ();
+              h_count = 0;
+              h_sum = 0.;
+              h_min = infinity;
+              h_max = neg_infinity;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h)
+
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+let counter_value c = Atomic.get c.cell
+let counter_name c = c.c_name
+
+let observe h v =
+  Mutex.lock h.h_lock;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  Mutex.unlock h.h_lock
+
+(* Time [f] and record the elapsed seconds whatever the outcome. *)
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+type histogram_stats = {
+  name : string;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type snapshot = {
+  counter_values : (string * int) list;    (* sorted by name *)
+  histogram_values : histogram_stats list; (* sorted by name *)
+}
+
+let snapshot () =
+  with_lock (fun () ->
+      let cs =
+        Hashtbl.fold
+          (fun name c acc -> (name, Atomic.get c.cell) :: acc)
+          counters []
+      in
+      let hs =
+        Hashtbl.fold
+          (fun name h acc ->
+            Mutex.lock h.h_lock;
+            let s =
+              {
+                name;
+                count = h.h_count;
+                sum = h.h_sum;
+                min = h.h_min;
+                max = h.h_max;
+              }
+            in
+            Mutex.unlock h.h_lock;
+            s :: acc)
+          histograms []
+      in
+      {
+        counter_values = List.sort compare cs;
+        histogram_values =
+          List.sort (fun a b -> compare a.name b.name) hs;
+      })
+
+(* Zero every instrument (handles stay valid; tests and bench sections
+   use this to scope what they measure). *)
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_lock;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity;
+          Mutex.unlock h.h_lock)
+        histograms)
+
+let pp ppf () =
+  let s = snapshot () in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Format.fprintf ppf "%-42s %d@." name v)
+    s.counter_values;
+  List.iter
+    (fun h ->
+      if h.count > 0 then
+        Format.fprintf ppf "%-42s n=%d sum=%.6fs avg=%.6fs min=%.6fs max=%.6fs@."
+          h.name h.count h.sum (h.sum /. float_of_int h.count) h.min h.max)
+    s.histogram_values

@@ -232,6 +232,24 @@ let test_engine_errors () =
       "Retrieve P From PATHS P Where P MATCHES App() Or P MATCHES Box()";
     ]
 
+let test_invalid_at_timestamp () =
+  let db = build () in
+  (* An impossible civil date or wrapped seconds field in AT must surface
+     as a parse error, not silently normalize into a valid instant. *)
+  List.iter
+    (fun ts ->
+      let q =
+        Printf.sprintf
+          "AT '%s' Retrieve P From PATHS P Where P MATCHES App()" ts
+      in
+      match Nepal.query db q with
+      | Ok _ -> Alcotest.failf "accepted invalid AT timestamp %S" ts
+      | Error _ -> ())
+    [ "2017-02-30 10:00:00"; "2017-02-15 10:00:60" ];
+  (* The same query with a valid instant still runs. *)
+  check_int "valid AT still works" 3
+    (count "AT '2017-03-02 00:00:00' Retrieve P From PATHS P Where P MATCHES App()" db)
+
 let () =
   Alcotest.run "nepal_engine"
     [
@@ -257,5 +275,9 @@ let () =
         ] );
       ( "integration",
         [ Alcotest.test_case "per-variable binds" `Quick test_binds_route_variables ] );
-      ("errors", [ Alcotest.test_case "engine errors" `Quick test_engine_errors ]);
+      ( "errors",
+        [
+          Alcotest.test_case "engine errors" `Quick test_engine_errors;
+          Alcotest.test_case "invalid AT timestamp" `Quick test_invalid_at_timestamp;
+        ] );
     ]

@@ -1,0 +1,172 @@
+(* EXPLAIN / EXPLAIN ANALYZE smoke: one query per Table-1 family, on
+   both the relational and gremlin backends. Checks the report shape
+   (planned DAG with backend requests; measured span tree with
+   per-operator totals), not exact text. *)
+
+module Nepal = Core.Nepal
+module Virt = Nepal.Virt_service
+
+let check_bool = Alcotest.(check bool)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let setup =
+  lazy
+    (let t = Virt.generate ~seed:42 () in
+     let db = Nepal.of_store t.Virt.store in
+     let rb = ok (Nepal.to_relational db) in
+     let gb = ok (Nepal.to_gremlin db) in
+     let families =
+       [
+         ("Top-down", Virt.q_top_down ~vnf_id:t.Virt.vnf_ids.(0));
+         ("Bottom-up", Virt.q_bottom_up ~server_id:t.Virt.server_ids.(0));
+         ( "VM-VM (4)",
+           Virt.q_vm_vm ~a:t.Virt.container_ids.(0) ~b:t.Virt.container_ids.(1) );
+         ( "Host-Host (4)",
+           Virt.q_host_host ~hops:4 ~a:t.Virt.server_ids.(0)
+             ~b:t.Virt.server_ids.(1) );
+       ]
+     in
+     ( [
+         ("relational", Nepal.relational_conn rb);
+         ("gremlin", Nepal.gremlin_conn gb);
+       ],
+       families ))
+
+let explain_lines conn q =
+  match ok (Nepal.query_on conn q) with
+  | Nepal.Engine.Table { columns = [ "explain" ]; rows } ->
+      List.map
+        (function
+          | [ Nepal.Value.Str l ] -> l
+          | _ -> Alcotest.fail "explain row is not a single string")
+        rows
+  | _ -> Alcotest.fail "expected an explain table"
+
+let contains lines needle =
+  List.exists
+    (fun l ->
+      let n = String.length needle and ln = String.length l in
+      let rec go i = i + n <= ln && (String.sub l i n = needle || go (i + 1)) in
+      go 0)
+    lines
+
+let test_explain_plan () =
+  let conns, families = Lazy.force setup in
+  List.iter
+    (fun (backend, conn) ->
+      List.iter
+        (fun (family, q) ->
+          let lines = explain_lines conn ("EXPLAIN " ^ q) in
+          let want what cond =
+            check_bool
+              (Printf.sprintf "%s/%s: %s" backend family what)
+              true cond
+          in
+          want "has query header" (contains lines "Query (retrieve");
+          want "has Var operator" (contains lines "  Var ");
+          want "has Select operator" (contains lines "    Select ");
+          want "has Extend operator" (contains lines "    Extend ");
+          want "has cost estimate" (contains lines "    cost: ~");
+          (* The planned backend request is rendered verbatim. *)
+          (match backend with
+          | "relational" -> want "emits SQL" (contains lines "SELECT ")
+          | _ -> want "emits Gremlin" (contains lines "g.V"));
+          want "has Result operator" (contains lines "  Result retrieve"))
+        families)
+    conns
+
+let test_explain_analyze () =
+  let conns, families = Lazy.force setup in
+  List.iter
+    (fun (backend, conn) ->
+      List.iter
+        (fun (family, q) ->
+          let lines = explain_lines conn ("EXPLAIN ANALYZE " ^ q) in
+          let want what cond =
+            check_bool
+              (Printf.sprintf "%s/%s: %s" backend family what)
+              true cond
+          in
+          want "has measured root" (contains lines "Query  (wall=");
+          want "has Select span" (contains lines "Select ");
+          want "has Extend span" (contains lines "Extend ");
+          want "has row counts" (contains lines "rows_out=");
+          want "has backend round-trips" (contains lines "calls=");
+          want "has per-operator totals" (contains lines "per-operator totals:"))
+        families)
+    conns
+
+let test_analyze_spans_account_for_latency () =
+  let conns, families = Lazy.force setup in
+  let conn = List.assoc "relational" conns in
+  let q = List.assoc "VM-VM (4)" families in
+  match ok (Nepal.Engine.run_string_traced ~conn q) with
+  | _, root ->
+      let total = root.Nepal.Trace.wall_s in
+      let per_op = Nepal.Trace.per_operator root in
+      let sum =
+        List.fold_left (fun acc (_, a) -> acc +. a.Nepal.Trace.a_wall_s) 0. per_op
+      in
+      check_bool "operators measured" true (per_op <> []);
+      (* Loose accounting check: operator spans cover the bulk of the
+         query and never exceed it (plus scheduling noise). *)
+      check_bool
+        (Printf.sprintf "span sum %.6fs within query total %.6fs" sum total)
+        true
+        (sum <= (total *. 1.2) +. 0.002)
+
+let test_metrics_registry_populated () =
+  let conns, families = Lazy.force setup in
+  Nepal.Metrics.reset ();
+  let conn = List.assoc "relational" conns in
+  let q = List.assoc "Top-down" families in
+  (match Nepal.query_on conn q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "query failed: %s" e);
+  let snap = Nepal.Metrics.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.Nepal.Metrics.counter_values with
+    | Some v -> v
+    | None -> 0
+  in
+  check_bool "engine.queries counted" true (counter "engine.queries" >= 1);
+  check_bool "eval.selects counted" true (counter "eval.selects" >= 1);
+  check_bool "backend round-trips counted" true
+    (counter "backend.relational.roundtrips" >= 1);
+  check_bool "query duration histogram populated" true
+    (List.exists
+       (fun h ->
+         h.Nepal.Metrics.name = "engine.query_seconds"
+         && h.Nepal.Metrics.count >= 1)
+       snap.Nepal.Metrics.histogram_values)
+
+let test_explain_errors_propagate () =
+  let conns, _ = Lazy.force setup in
+  let _, conn = List.hd conns in
+  List.iter
+    (fun q ->
+      match Nepal.query_on conn q with
+      | Ok _ -> Alcotest.failf "accepted %S" q
+      | Error _ -> ())
+    [
+      "EXPLAIN Retrieve P From PATHS P Where P MATCHES NoSuchClass()";
+      "EXPLAIN ANALYZE Retrieve P From PATHS P Where P MATCHES NoSuchClass()";
+      "EXPLAIN AT '2017-02-30 10:00:00' Retrieve P From PATHS P Where P MATCHES VNF()";
+    ]
+
+let () =
+  Alcotest.run "nepal_explain"
+    [
+      ( "explain",
+        [
+          Alcotest.test_case "plan smoke (both backends)" `Quick test_explain_plan;
+          Alcotest.test_case "analyze smoke (both backends)" `Quick
+            test_explain_analyze;
+          Alcotest.test_case "analyze spans account for latency" `Quick
+            test_analyze_spans_account_for_latency;
+          Alcotest.test_case "metrics registry populated" `Quick
+            test_metrics_registry_populated;
+          Alcotest.test_case "errors propagate" `Quick test_explain_errors_propagate;
+        ] );
+    ]

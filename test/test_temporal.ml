@@ -44,6 +44,60 @@ let test_parse_errors () =
       | Error _ -> ())
     bad
 
+(* Every entry here once parsed (impossible civil dates silently
+   normalized, seconds=60 admitted, unbounded digit runs wrapping the
+   int guards) or is a near-miss that must keep failing. *)
+let test_rejection_table () =
+  let bad =
+    [
+      (* impossible civil dates *)
+      "2017-02-30";
+      "2017-02-30 10:00:00";
+      "2017-02-29";             (* 2017 is not a leap year *)
+      "1900-02-29";             (* century rule: not a leap year *)
+      "2019-04-31";
+      "2017-00-10";
+      "2017-01-00";
+      (* out-of-range time fields *)
+      "2017-02-15 10:00:60";    (* seconds wrap *)
+      "2017-02-15 10:60:00";
+      "2017-02-15 24:00";
+      "2017-02-15 24:00:00";
+      (* overflow-length digit runs must not wrap the guards *)
+      "99999999999999999999-01-01";
+      "2017-99999999999999999999-01";
+      "2017-02-15 99999999999999999999:00";
+      (* malformed fractional / extra parts *)
+      "2017-02-15 10:00:00.abc";
+      "2017-02-15 10:00:00:00";
+      "2017-02-15 10.5";        (* fraction without seconds *)
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Time_point.of_string s with
+      | Ok t ->
+          Alcotest.failf "accepted malformed timestamp %S (as %s)" s
+            (Time_point.to_string t)
+      | Error _ -> ())
+    bad;
+  (* Near-misses of the guards that must stay accepted. *)
+  let good =
+    [
+      "2020-02-29";             (* leap year *)
+      "2000-02-29";             (* 400-year rule *)
+      "2017-02-15 10:00:59";
+      "2017-02-15 23:59:59";
+      "2017-01-31";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Time_point.of_string s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected valid timestamp %S: %s" s e)
+    good
+
 let test_ordering () =
   check_bool "ordering" true
     (Time_point.compare (tp "2017-02-15 09:00") (tp "2017-02-15 10:00") < 0);
@@ -205,6 +259,23 @@ let arb_interval =
       else Interval.between start (Time_point.add_seconds start (float_of_int len)))
     QCheck.(pair (int_bound 1_000_000) (int_bound 10_000))
 
+(* Arbitrary instants across ~60 years, microsecond-granular, so the
+   civil-date printer/parser round-trip is exercised on leap years,
+   month boundaries and fractional seconds alike. *)
+let arb_wide_point =
+  QCheck.map
+    (fun (s, us) ->
+      Int64.add (Int64.mul (Int64.of_int s) 1_000_000L) (Int64.of_int us))
+    QCheck.(pair (int_bound 1_900_000_000) (int_bound 999_999))
+
+let prop_timestamp_roundtrip =
+  QCheck.Test.make ~name:"time_point to_string |> of_string = Ok t" ~count:1000
+    arb_wide_point
+    (fun t ->
+      match Time_point.of_string (Time_point.to_string t) with
+      | Ok t' -> Time_point.equal t t'
+      | Error _ -> false)
+
 let prop_intersect_symmetric =
   QCheck.Test.make ~name:"interval intersect symmetric" ~count:500
     QCheck.(pair arb_interval arb_interval)
@@ -301,6 +372,7 @@ let () =
           Alcotest.test_case "minutes only" `Quick test_parse_minutes_only;
           Alcotest.test_case "microseconds" `Quick test_parse_micros;
           Alcotest.test_case "malformed rejected" `Quick test_parse_errors;
+          Alcotest.test_case "rejection table" `Quick test_rejection_table;
           Alcotest.test_case "ordering" `Quick test_ordering;
           Alcotest.test_case "arithmetic" `Quick test_arithmetic;
         ] );
@@ -332,6 +404,7 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
+            prop_timestamp_roundtrip;
             prop_intersect_symmetric;
             prop_intersect_subset;
             prop_set_union_contains;

@@ -10,6 +10,16 @@ let report file line msg =
   incr violations;
   Printf.eprintf "%s:%d: %s\n" file line msg
 
+(* Library code must not print to stdout: diagnostics go through Logs
+   and observability through the metrics registry / trace spans. *)
+let in_lib file =
+  String.length file >= 4 && String.sub file 0 4 = "lib/"
+
+let contains_at line needle =
+  let n = String.length needle and ln = String.length line in
+  let rec go i = i + n <= ln && (String.sub line i n = needle || go (i + 1)) in
+  go 0
+
 let check_file file =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
@@ -19,6 +29,12 @@ let check_file file =
     report file 1 "missing newline at end of file";
   let line = ref 1 in
   let line_start = ref 0 in
+  let check_line_text i =
+    if in_lib file then
+      let text = String.sub contents !line_start (i - !line_start) in
+      if contains_at text "Printf.printf" then
+        report file !line "Printf.printf in lib/ (use Logs or the metrics/trace layer)"
+  in
   String.iteri
     (fun i c ->
       match c with
@@ -29,10 +45,12 @@ let check_file file =
              match contents.[i - 1] with
              | ' ' | '\t' -> report file !line "trailing whitespace"
              | _ -> ());
+          check_line_text i;
           incr line;
           line_start := i + 1
       | _ -> ())
-    contents
+    contents;
+  if n > !line_start then check_line_text n
 
 let is_source file =
   Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
