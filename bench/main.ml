@@ -117,9 +117,24 @@ let write_json file =
         (String.concat ", " fields)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n";
+  (* The statement-statistics view of the same run: every query the
+     harness executed, aggregated by fingerprint, heaviest first. *)
+  let top_stmts = Nepal.Stat_statements.top 20 in
+  Printf.fprintf oc "  \"top_statements\": %s"
+    (String.trim (Nepal.Stat_statements.render_stats_json top_stmts));
+  output_string oc "\n}\n";
   close_out oc;
-  Printf.printf "wrote %d result row(s) to %s\n" (List.length rows) file
+  Printf.printf "wrote %d result row(s) to %s\n" (List.length rows) file;
+  (* Sidecar OpenMetrics snapshot of the in-process registry. *)
+  let om = file ^ ".openmetrics" in
+  (try
+     let oc = open_out om in
+     output_string oc (Nepal.Metrics.render_openmetrics ());
+     close_out oc;
+     Printf.printf "wrote OpenMetrics snapshot to %s\n" om
+   with Sys_error msg ->
+     prerr_endline ("bench: cannot write OpenMetrics sidecar: " ^ msg))
 
 let ok = function Ok v -> v | Error e -> failwith e
 

@@ -6,10 +6,8 @@ module Legacy = Nepal.Legacy
 
 let ok = function Ok v -> v | Error e -> failwith e
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* How many timed repetitions feed each latency histogram. *)
+let reps = 9
 
 let () =
   let flat = Legacy.generate ~nodes:4000 Legacy.Flat in
@@ -65,13 +63,24 @@ let () =
     let q = Legacy.q_bottom_up t ~dst:id in
     (* warm *)
     ignore (Nepal.Engine.run_string ~conn q);
-    let stats = Nepal.Eval_rpe.new_stats () in
-    let r, dt =
-      time (fun () -> ok (Nepal.Engine.run_string ~conn ~stats q))
-    in
+    (* Several timed repetitions into a log-linear histogram, so the
+       report shows the latency distribution rather than one sample. *)
+    let hist = Nepal.Metrics.unregistered_histogram name in
+    let last = ref None in
+    for _ = 1 to reps do
+      let stats = Nepal.Eval_rpe.new_stats () in
+      let r = Nepal.Metrics.time hist (fun () ->
+          ok (Nepal.Engine.run_string ~conn ~stats q))
+      in
+      last := Some (r, stats)
+    done;
+    let r, stats = Option.get !last in
+    let h = Nepal.Metrics.stats_of hist in
     Printf.printf
-      "%-24s %8.4f s  %4d paths  selects=%d extends=%d frontier_peak=%d\n%!"
-      name dt
+      "%-24s p50 %8.4f s  p95 %8.4f s  p99 %8.4f s  max %8.4f s (n=%d)  \
+       %4d paths  selects=%d extends=%d frontier_peak=%d\n%!"
+      name h.Nepal.Metrics.p50 h.Nepal.Metrics.p95 h.Nepal.Metrics.p99
+      h.Nepal.Metrics.max h.Nepal.Metrics.count
       (Nepal.Engine.result_count r)
       stats.Nepal.Eval_rpe.selects stats.Nepal.Eval_rpe.extends
       stats.Nepal.Eval_rpe.frontier_peak

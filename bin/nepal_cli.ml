@@ -291,11 +291,240 @@ let when_exists_cmd =
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
                $ text $ from_arg $ to_arg))
 
+(* ---- observability subcommands --------------------------------------- *)
+
+let stats_cmd =
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"Show only the N heaviest statements.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the table as JSON.")
+  in
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Statement-statistics dump to read (defaults to \
+                   \\$NEPAL_STATS_DUMP). Produce one by running any nepal \
+                   or bench process with NEPAL_STATS_DUMP=PATH set.")
+  in
+  let run top json file =
+    let path =
+      match file with
+      | Some p -> Some p
+      | None -> (
+          match Sys.getenv_opt "NEPAL_STATS_DUMP" with
+          | Some p when p <> "" -> Some p
+          | _ -> None)
+    in
+    match path with
+    | None ->
+        `Error
+          (false,
+           "no dump to read: pass --file PATH or set NEPAL_STATS_DUMP \
+            (the same variable makes query-running processes write the \
+            dump at exit)")
+    | Some path -> (
+        match Nepal.Stat_statements.load path with
+        | Error e -> `Error (false, e)
+        | Ok sts ->
+            if json then
+              print_string (Nepal.Stat_statements.render_stats_json ~top sts)
+            else print_string (Nepal.Stat_statements.render_stats ~top sts);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Render cumulative per-statement statistics (calls, rows, \
+             round-trips, latency quantiles) from a NEPAL_STATS_DUMP file."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "NEPAL_STATS_DUMP=/tmp/stats.tsv dune exec bench/main.exe -- table1; \
+               nepal stats --top 5 --file /tmp/stats.tsv";
+         ])
+    Term.(ret (const run $ top_arg $ json_arg $ file_arg))
+
+let serve_metrics_cmd =
+  let port_arg =
+    Arg.(value & opt int 9464
+         & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Serve a single request, then exit (for smoke tests).")
+  in
+  let warm_arg =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:"Generate the virt topology and run a few queries first, so \
+                   the registry has data to export.")
+  in
+  let http_respond oc status content_type body =
+    output_string oc
+      (Printf.sprintf
+         "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+         status content_type (String.length body));
+    output_string oc body
+  in
+  (* A deliberately tiny HTTP/1.0 loop: read the request line, drain the
+     headers, answer, close. One request per connection, no threads —
+     scrapes are rare and the render is fast. *)
+  let serve port once =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
+    Unix.listen sock 16;
+    Format.printf "serving OpenMetrics on http://localhost:%d/metrics%s@." port
+      (if once then " (one request)" else "");
+    let handle (client, _) =
+      let ic = Unix.in_channel_of_descr client in
+      let oc = Unix.out_channel_of_descr client in
+      (try
+         let request = try input_line ic with End_of_file -> "" in
+         (* Drain headers until the blank line (HTTP/1.0 clients send them). *)
+         (try
+            while String.trim (input_line ic) <> "" do
+              ()
+            done
+          with End_of_file -> ());
+         let path =
+           match String.split_on_char ' ' (String.trim request) with
+           | _meth :: path :: _ -> path
+           | _ -> "/"
+         in
+         (match path with
+         | "/metrics" | "/metrics/" ->
+             http_respond oc "200 OK"
+               "application/openmetrics-text; version=1.0.0; charset=utf-8"
+               (Nepal.Metrics.render_openmetrics ())
+         | _ ->
+             http_respond oc "404 Not Found" "text/plain; charset=utf-8"
+               "not found: try /metrics\n");
+         flush oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      try Unix.close client with Unix.Unix_error _ -> ()
+    in
+    let rec loop () =
+      handle (Unix.accept sock);
+      if once then () else loop ()
+    in
+    Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      loop
+  in
+  let run port once warm =
+    if warm then begin
+      let store = build_store Virt 42 8000 false in
+      let conn = Nepal.native_conn store in
+      List.iter
+        (fun q ->
+          match Nepal.query_on conn q with
+          | Ok _ -> ()
+          | Error e -> Format.eprintf "warm query failed: %s@." e)
+        [
+          "Retrieve P From PATHS P Where P MATCHES VNF()->VFC()";
+          "Retrieve P From PATHS P Where P MATCHES \
+           VNF()->[Vertical()]{1,4}->Server()";
+        ]
+    end;
+    match serve port once with
+    | () -> `Ok ()
+    | exception Unix.Unix_error (err, fn, _) ->
+        `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:"Expose the in-process metrics registry as an OpenMetrics \
+             endpoint (GET /metrics) over a minimal HTTP/1.0 listener.")
+    Term.(ret (const run $ port_arg $ once_arg $ warm_arg))
+
+let events_cmd =
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Event log to read (defaults to \\$NEPAL_EVENT_LOG; \
+                   must be a file path, not $(b,stderr)).")
+  in
+  let n_arg =
+    Arg.(value & opt int 20
+         & info [ "n"; "lines" ] ~docv:"N" ~doc:"Print the last N events.")
+  in
+  let kind_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Only events of this kind (e.g. $(b,query.slow), \
+                   $(b,store.mutation)).")
+  in
+  let tail_run file n kind =
+    let path =
+      match file with
+      | Some p -> Some p
+      | None -> (
+          match Sys.getenv_opt "NEPAL_EVENT_LOG" with
+          | Some p when p <> "" && p <> "stderr" && p <> "-" -> Some p
+          | _ -> None)
+    in
+    match path with
+    | None ->
+        `Error
+          (false,
+           "no event log to read: pass --file PATH or set NEPAL_EVENT_LOG \
+            to a file path")
+    | Some path -> (
+        match
+          try
+            let ic = open_in path in
+            let lines = ref [] in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if line <> "" then lines := line :: !lines
+               done
+             with End_of_file -> ());
+            close_in ic;
+            Ok (List.rev !lines)
+          with Sys_error e -> Error e
+        with
+        | Error e -> `Error (false, e)
+        | Ok lines ->
+            let lines =
+              match kind with
+              | None -> lines
+              | Some k ->
+                  let needle = Printf.sprintf "\"kind\":\"%s\"" k in
+                  let contains hay needle =
+                    let nh = String.length hay and nn = String.length needle in
+                    let rec at i =
+                      i + nn <= nh
+                      && (String.sub hay i nn = needle || at (i + 1))
+                    in
+                    nn = 0 || at 0
+                  in
+                  List.filter (fun l -> contains l needle) lines
+            in
+            let total = List.length lines in
+            let tail =
+              if total <= n then lines
+              else List.filteri (fun i _ -> i >= total - n) lines
+            in
+            List.iter print_endline tail;
+            `Ok ())
+  in
+  let tail_cmd =
+    Cmd.v
+      (Cmd.info "tail" ~doc:"Print the last N events from the JSONL event log.")
+      Term.(ret (const tail_run $ file_arg $ n_arg $ kind_arg))
+  in
+  Cmd.group
+    (Cmd.info "events"
+       ~doc:"Inspect the structured event log (see NEPAL_EVENT_LOG).")
+    [ tail_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
     [ schema_cmd; generate_cmd; query_cmd; explain_cmd; repl_cmd; paths_cmd;
-      when_exists_cmd ]
+      when_exists_cmd; stats_cmd; serve_metrics_cmd; events_cmd ]
 
 let () = exit (Cmd.eval main)

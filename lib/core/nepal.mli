@@ -48,6 +48,8 @@ module Engine = Nepal_query.Engine
 module Explain = Nepal_query.Explain
 module Trace = Nepal_query.Trace
 module Metrics = Nepal_util.Metrics
+module Event_log = Nepal_util.Event_log
+module Stat_statements = Nepal_query.Stat_statements
 module Query_parser = Nepal_query.Query_parser
 module Query_ast = Nepal_query.Query_ast
 module Temporal_agg = Nepal_query.Temporal_agg

@@ -1,5 +1,6 @@
 module Strmap = Nepal_util.Strmap
 module Metrics = Nepal_util.Metrics
+module Event_log = Nepal_util.Event_log
 module Value = Nepal_schema.Value
 module Time_constraint = Nepal_temporal.Time_constraint
 module Interval_set = Nepal_temporal.Interval_set
@@ -699,32 +700,132 @@ and result_count = function
 (* Whole-query instruments: one count/observation per top-level [run]
    (subqueries recurse through [run] directly and are not re-counted). *)
 let m_queries = Metrics.counter "engine.queries"
+let m_query_errors = Metrics.counter "engine.query_errors"
+let m_slow_queries = Metrics.counter "engine.slow_queries"
 let m_query_seconds = Metrics.histogram "engine.query_seconds"
 
-let run_top ~conn ?binds ?max_length ?stats ?config ?trace q =
+(* A measured span tree as a JSON value for the structured event log. *)
+let rec span_json (s : Trace.span) =
+  Event_log.Obj
+    [
+      ("name", Event_log.Str s.Trace.name);
+      ("detail", Event_log.Str s.Trace.detail);
+      ("wall_ms", Event_log.Float (s.Trace.wall_s *. 1e3));
+      ("rows_in", Event_log.Int s.Trace.rows_in);
+      ("rows_out", Event_log.Int s.Trace.rows_out);
+      ("calls", Event_log.Int s.Trace.calls);
+      ("children", Event_log.List (List.map span_json (Trace.children s)));
+    ]
+
+(* Forward declaration: a compact plan rendering for slow-query events,
+   filled in below once [plan] is defined. *)
+let plan_summary_ref :
+    (conn:Backend_intf.conn ->
+    binds:(string * Backend_intf.conn) list ->
+    Query_ast.query ->
+    string)
+    ref =
+  ref (fun ~conn:_ ~binds:_ _ -> "")
+
+(* Instrumented top-level entry shared by every public run path:
+   counts the query, observes its wall time, accumulates statement
+   statistics under the query's fingerprint, and — when the event log
+   is armed with a slow-query threshold — runs traced so an offending
+   query's event can carry the measured span tree and plan text.
+   [own_trace] marks a root span this function is responsible for
+   stamping (as opposed to a caller's parent span). *)
+let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
+    ?(own_trace = false) ~text q =
   Metrics.incr m_queries;
-  Metrics.time m_query_seconds (fun () ->
-      run ~conn ?binds ?max_length ?stats ?config ?trace q)
+  let slow_thr = Event_log.slow_query_threshold () in
+  let root, own_trace =
+    match (trace, slow_thr) with
+    | Some s, _ -> (Some s, own_trace)
+    | None, Some _ -> (Some (Trace.make "Query"), true)
+    | None, None -> (None, false)
+  in
+  let rt0 = Backend_intf.conn_roundtrips conn in
+  let ph0 = (Backend_intf.cache_counters conn).Backend_intf.hits in
+  let t0 = Unix.gettimeofday () in
+  let res = run ~conn ~binds ?max_length ?stats ?config ?trace:root q in
+  let wall = Unix.gettimeofday () -. t0 in
+  Metrics.observe m_query_seconds wall;
+  let rows = match res with Ok r -> result_count r | Error _ -> 0 in
+  (if own_trace then
+     match root with
+     | Some r ->
+         r.Trace.wall_s <- wall;
+         r.Trace.rows_out <- rows
+     | None -> ());
+  let roundtrips = Backend_intf.conn_roundtrips conn - rt0 in
+  let pcache_hits = (Backend_intf.cache_counters conn).Backend_intf.hits - ph0 in
+  let backend = Backend_intf.conn_name conn in
+  let query_text = match text with Some t -> t | None -> Query_ast.to_string q in
+  let fp = Stat_statements.fingerprint query_text in
+  Stat_statements.record ~backend ~fingerprint:fp ~rows ~roundtrips
+    ~pcache_hits
+    ~error:(Result.is_error res)
+    ~wall_s:wall ();
+  (match res with
+  | Error e ->
+      Metrics.incr m_query_errors;
+      if Event_log.enabled () then
+        Event_log.emit ~level:Event_log.Error ~kind:"query.error"
+          [
+            ("backend", Event_log.Str backend);
+            ("fingerprint", Event_log.Str fp);
+            ("query", Event_log.Str query_text);
+            ("error", Event_log.Str e);
+          ]
+  | Ok _ -> (
+      match slow_thr with
+      | Some thr when wall >= thr ->
+          Metrics.incr m_slow_queries;
+          let span_fields =
+            match root with
+            | Some r ->
+                [
+                  ("spans", span_json r);
+                  ("span_text", Event_log.Str (Trace.to_string r));
+                ]
+            | None -> []
+          in
+          Event_log.emit ~level:Event_log.Warn ~kind:"query.slow"
+            ([
+               ("backend", Event_log.Str backend);
+               ("fingerprint", Event_log.Str fp);
+               ("query", Event_log.Str query_text);
+               ("wall_ms", Event_log.Float (wall *. 1e3));
+               ("threshold_ms", Event_log.Float (thr *. 1e3));
+               ("rows", Event_log.Int rows);
+               ("roundtrips", Event_log.Int roundtrips);
+               ("plan", Event_log.Str (!plan_summary_ref ~conn ~binds q));
+             ]
+            @ span_fields)
+      | _ -> ()));
+  res
+
+let run ~conn ?binds ?max_length ?stats ?config ?trace q =
+  run_instrumented ~conn ?binds ?max_length ?stats ?config ?trace ~text:None q
+
+let run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text q =
+  let root = Trace.make "Query" in
+  let* r =
+    run_instrumented ~conn ?binds ?max_length ?stats ?config ~trace:root
+      ~own_trace:true ~text q
+  in
+  Ok (r, root)
 
 let run_traced ~conn ?binds ?max_length ?stats ?config q =
-  let root = Trace.make "Query" in
-  let res =
-    Trace.time root (fun () ->
-        run_top ~conn ?binds ?max_length ?stats ?config ~trace:root q)
-  in
-  match res with
-  | Ok r ->
-      root.Trace.rows_out <- result_count r;
-      Ok (r, root)
-  | Error e -> Error e
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text:None q
 
 let run_string ~conn ?binds ?max_length ?stats ?config text =
   let* q = Query_parser.parse text in
-  run_top ~conn ?binds ?max_length ?stats ?config q
+  run_instrumented ~conn ?binds ?max_length ?stats ?config ~text:(Some text) q
 
 let run_string_traced ~conn ?binds ?max_length ?stats ?config text =
   let* q = Query_parser.parse text in
-  run_traced ~conn ?binds ?max_length ?stats ?config q
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text:(Some text) q
 
 (* -- planning-only surface (EXPLAIN) -------------------------------- *)
 
@@ -899,6 +1000,46 @@ let plan ~conn ?(binds = []) q =
       p_coexist = (match q.q_at with Some (At_range _) -> true | _ -> false);
       p_mode = (match q.mode with Retrieve _ -> "retrieve" | Select _ -> "select");
     }
+
+(* One-line-per-operator plan rendering for slow-query events: the
+   evaluation order, seeds and costs, without the per-operator backend
+   request text (EXPLAIN renders that; an event should stay compact). *)
+let plan_summary ~conn ~binds q =
+  match plan ~conn ~binds q with
+  | Error e -> "plan unavailable: " ^ e
+  | Ok p ->
+      let seed_str = function
+        | Seed_anchor sel ->
+            Printf.sprintf "anchor(~%.0f recs, %d split(s))" sel.Anchor.cost
+              (List.length sel.Anchor.splits)
+        | Seed_lit (f, lit) ->
+            Printf.sprintf "lit %s=%s"
+              (Query_ast.path_fun_to_string f)
+              (Value.to_string lit)
+        | Seed_join (f_self, partner, f_partner) ->
+            Printf.sprintf "join %s=%s(%s)"
+              (Query_ast.path_fun_to_string f_self)
+              (Query_ast.path_fun_to_string f_partner)
+              partner
+      in
+      let vars =
+        List.map
+          (fun vp ->
+            Printf.sprintf "Var %s via %s seed=%s rpe=%s" vp.vp_var
+              vp.vp_backend (seed_str vp.vp_seed)
+              (Rpe.norm_to_string vp.vp_rpe))
+          p.p_order
+      in
+      String.concat "; "
+        (Printf.sprintf "%s%s" p.p_mode
+           (if p.p_coexist then "+coexist" else "")
+         :: vars
+        @
+        if p.p_filter_count > 0 then
+          [ Printf.sprintf "filters=%d" p.p_filter_count ]
+        else [])
+
+let () = plan_summary_ref := fun ~conn ~binds q -> plan_summary ~conn ~binds q
 
 let pp_result ppf = function
   | Rows { vars; rows } ->

@@ -1,5 +1,6 @@
 module Schema = Nepal_schema.Schema
 module Value = Nepal_schema.Value
+module Event_log = Nepal_util.Event_log
 module Strmap = Nepal_util.Strmap
 module Time_point = Nepal_temporal.Time_point
 module Interval = Nepal_temporal.Interval
@@ -270,6 +271,43 @@ let rec delete t ~at ?(cascade = false) uid =
           bump t;
           Ok ()
         end
+
+(* -- mutation audit events ------------------------------------------ *)
+
+(* Every mutation emits a structured audit event: successes at Debug
+   (high-volume — visible only under NEPAL_EVENT_LEVEL=debug, and
+   boundable via NEPAL_EVENT_SAMPLE="store.mutation=N"), rejections at
+   Warn (the "refuses to load garbage" property is worth watching in
+   production). With the event log disabled both are a flag check. *)
+let audit op ~at ?cls ?uid result =
+  (if Event_log.enabled () then
+     let base =
+       [ ("op", Event_log.Str op);
+         ("at", Event_log.Str (Time_point.to_string at)) ]
+       @ (match cls with Some c -> [ ("cls", Event_log.Str c) ] | None -> [])
+       @ match uid with Some u -> [ ("uid", Event_log.Int u) ] | None -> []
+     in
+     match result with
+     | Ok _ ->
+         Event_log.emit ~level:Event_log.Debug ~kind:"store.mutation" base
+     | Error e ->
+         Event_log.emit ~level:Event_log.Warn ~kind:"store.error"
+           (base @ [ ("error", Event_log.Str e) ]));
+  result
+
+let insert_node t ~at ~cls ~fields =
+  let r = insert_node t ~at ~cls ~fields in
+  audit "insert_node" ~at ~cls ?uid:(Result.to_option r) r
+
+let insert_edge t ~at ~cls ~src ~dst ~fields =
+  let r = insert_edge t ~at ~cls ~src ~dst ~fields in
+  audit "insert_edge" ~at ~cls ?uid:(Result.to_option r) r
+
+let update t ~at uid ~fields =
+  audit "update" ~at ~uid (update t ~at uid ~fields)
+
+let delete t ~at ?cascade uid =
+  audit "delete" ~at ~uid (delete t ~at ?cascade uid)
 
 (* -- reads ---------------------------------------------------------- *)
 

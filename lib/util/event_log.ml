@@ -1,0 +1,274 @@
+(* Structured event log: one JSON object per line (JSONL), written to a
+   sink configured by the NEPAL_EVENT_LOG environment variable (a file
+   path, or "stderr"/"-" for standard error; unset = disabled). The
+   query engine emits slow-query and error events, the graph store
+   emits mutation audit events, and anything else in the process may
+   [emit] its own kinds.
+
+   The log is designed to be always-on-capable:
+   - when disabled, [emit] is a single flag check;
+   - every event carries a severity, and events below the configured
+     level (NEPAL_EVENT_LEVEL, default info) are dropped before any
+     serialization — store mutation audits are debug-level, so they
+     cost nothing unless explicitly requested;
+   - per-kind sampling (NEPAL_EVENT_SAMPLE="kind=N,kind=N": keep one in
+     N) bounds the volume of high-frequency kinds.
+
+   The slow-query threshold (NEPAL_SLOW_QUERY_MS) lives here because it
+   gates event emission: the engine runs queries traced whenever a
+   threshold is set and the log enabled, and emits a "query.slow" event
+   carrying the measured span tree for any query exceeding it.
+
+   Writes are line-buffered behind a mutex and flushed per event, so
+   `tail -f` and the `nepal events tail` command always see complete
+   lines. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* -- a minimal JSON value ------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec add_json b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v ->
+      (* %.15g keeps unix timestamps at sub-millisecond precision while
+         still printing small values compactly. *)
+      if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.15g" v)
+      else Buffer.add_string b "null"
+  | Str s ->
+      Buffer.add_char b '"';
+      escape_into b s;
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          add_json b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_into b k;
+          Buffer.add_string b "\":";
+          add_json b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 256 in
+  add_json b j;
+  Buffer.contents b
+
+(* -- sink and configuration ----------------------------------------- *)
+
+type sink = Disabled | To_stderr | To_file of out_channel * string
+
+type state = {
+  mutable sink : sink;
+  mutable min_level : level;
+  mutable slow_query_s : float option;
+  samples : (string, int) Hashtbl.t;       (* kind -> keep one in N *)
+  sample_ticks : (string, int ref) Hashtbl.t;
+  mutable configured : bool;
+  lock : Mutex.t;
+}
+
+let state =
+  {
+    sink = Disabled;
+    min_level = Info;
+    slow_query_s = None;
+    samples = Hashtbl.create 8;
+    sample_ticks = Hashtbl.create 8;
+    configured = false;
+    lock = Mutex.create ();
+  }
+
+let close_sink () =
+  (match state.sink with
+  | To_file (oc, _) -> ( try close_out oc with Sys_error _ -> ())
+  | To_stderr | Disabled -> ());
+  state.sink <- Disabled
+
+let open_sink = function
+  | None | Some "" -> Disabled
+  | Some ("stderr" | "-") -> To_stderr
+  | Some path -> (
+      try To_file (open_out_gen [ Open_append; Open_creat ] 0o644 path, path)
+      with Sys_error _ -> Disabled)
+
+let parse_samples spec =
+  String.split_on_char ',' spec
+  |> List.iter (fun part ->
+         match String.index_opt part '=' with
+         | Some i -> (
+             let kind = String.trim (String.sub part 0 i) in
+             let n = String.sub part (i + 1) (String.length part - i - 1) in
+             match int_of_string_opt (String.trim n) with
+             | Some n when n >= 1 && kind <> "" ->
+                 Hashtbl.replace state.samples kind n
+             | _ -> ())
+         | None -> ())
+
+let configure_from_env () =
+  if not state.configured then begin
+    state.configured <- true;
+    state.sink <- open_sink (Sys.getenv_opt "NEPAL_EVENT_LOG");
+    (match Sys.getenv_opt "NEPAL_EVENT_LEVEL" with
+    | Some s -> (
+        match level_of_string s with
+        | Some l -> state.min_level <- l
+        | None -> ())
+    | None -> ());
+    (match Sys.getenv_opt "NEPAL_EVENT_SAMPLE" with
+    | Some spec -> parse_samples spec
+    | None -> ());
+    match Sys.getenv_opt "NEPAL_SLOW_QUERY_MS" with
+    | Some ms -> (
+        match float_of_string_opt ms with
+        | Some v when v >= 0. -> state.slow_query_s <- Some (v /. 1000.)
+        | _ -> ())
+    | None -> ()
+  end
+
+let with_state f =
+  Mutex.lock state.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock state.lock)
+    (fun () ->
+      configure_from_env ();
+      f ())
+
+let enabled () = with_state (fun () -> state.sink <> Disabled)
+
+let set_path path =
+  with_state (fun () ->
+      close_sink ();
+      state.sink <- open_sink path)
+
+let set_level l = with_state (fun () -> state.min_level <- l)
+
+let set_sample ~kind n =
+  with_state (fun () ->
+      if n <= 1 then Hashtbl.remove state.samples kind
+      else Hashtbl.replace state.samples kind n;
+      Hashtbl.remove state.sample_ticks kind)
+
+let slow_query_threshold () =
+  with_state (fun () -> if state.sink = Disabled then None else state.slow_query_s)
+
+let set_slow_query_threshold s = with_state (fun () -> state.slow_query_s <- s)
+
+(* Keep the 1st, (N+1)th, ... event of each sampled kind: deterministic,
+   so tests and operators can predict which events survive. Assumes the
+   state lock is held. *)
+let sampled_out kind =
+  match Hashtbl.find_opt state.samples kind with
+  | None -> false
+  | Some n ->
+      let tick =
+        match Hashtbl.find_opt state.sample_ticks kind with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.replace state.sample_ticks kind r;
+            r
+      in
+      let keep = !tick mod n = 0 in
+      Stdlib.incr tick;
+      not keep
+
+let emit ?(level = Info) ~kind fields =
+  if
+    (* Cheap short-circuit for the disabled-but-unconfigured case: the
+       first call configures; afterwards a disabled log costs only this
+       check plus the mutex in [with_state]. *)
+    state.configured && state.sink = Disabled
+  then ()
+  else
+    with_state (fun () ->
+        match state.sink with
+        | Disabled -> ()
+        | sink ->
+            if level_rank level >= level_rank state.min_level
+               && not (sampled_out kind)
+            then begin
+              let b = Buffer.create 256 in
+              add_json b
+                (Obj
+                   (("ts", Float (Unix.gettimeofday ()))
+                   :: ("level", Str (level_to_string level))
+                   :: ("kind", Str kind)
+                   :: fields));
+              Buffer.add_char b '\n';
+              let line = Buffer.contents b in
+              match sink with
+              | To_stderr ->
+                  output_string stderr line;
+                  flush stderr
+              | To_file (oc, _) -> (
+                  try
+                    output_string oc line;
+                    flush oc
+                  with Sys_error _ -> close_sink ())
+              | Disabled -> ()
+            end)
+
+let current_path () =
+  with_state (fun () ->
+      match state.sink with
+      | To_file (_, path) -> Some path
+      | To_stderr | Disabled -> None)
+
+(* Test isolation: reset sampling counters (the sink and thresholds are
+   deliberate configuration, not accumulated state, so they stay). *)
+let () =
+  Metrics.on_reset (fun () ->
+      Mutex.lock state.lock;
+      Hashtbl.reset state.sample_ticks;
+      Mutex.unlock state.lock)

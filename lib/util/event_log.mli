@@ -1,0 +1,65 @@
+(** Structured JSONL event log.
+
+    Every event is one JSON object per line with at least [ts] (unix
+    seconds), [level] and [kind] keys, plus caller-supplied fields. The
+    sink, severity floor, per-kind sampling and the slow-query
+    threshold are configured from the environment on first use:
+
+    - [NEPAL_EVENT_LOG]: file path, or ["stderr"]/["-"]; unset =
+      disabled (every [emit] is then a flag check).
+    - [NEPAL_EVENT_LEVEL]: [debug|info|warn|error] severity floor
+      (default [info]; store mutation audits are debug-level).
+    - [NEPAL_EVENT_SAMPLE]: ["kind=N,kind=N"] — keep one in N events of
+      that kind, deterministically (the 1st, (N+1)th, ...).
+    - [NEPAL_SLOW_QUERY_MS]: queries slower than this emit a
+      ["query.slow"] event carrying the measured span tree.
+
+    All of these can also be set programmatically (tests use
+    {!set_path}). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+(** A minimal JSON value for event fields. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+
+val enabled : unit -> bool
+(** Whether a sink is configured; emitters may skip expensive field
+    construction when false. *)
+
+val emit : ?level:level -> kind:string -> (string * json) list -> unit
+(** Write one event (default level [Info]). Dropped without
+    serialization when disabled, below the severity floor, or sampled
+    out. Each surviving event is flushed to the sink immediately. *)
+
+val set_path : string option -> unit
+(** Point the sink at a file ([Some path]), standard error
+    ([Some "stderr"]) or disable it ([None]); closes any previous file
+    sink. Overrides [NEPAL_EVENT_LOG]. *)
+
+val current_path : unit -> string option
+(** The file currently written to, if the sink is a file. *)
+
+val set_level : level -> unit
+val set_sample : kind:string -> int -> unit
+(** [set_sample ~kind n] keeps one in [n] events of [kind] ([n <= 1]
+    removes sampling for the kind). *)
+
+val slow_query_threshold : unit -> float option
+(** Threshold in seconds, or [None] when unset {e or when the log is
+    disabled} — gating tracing on this means a silent process pays
+    nothing. *)
+
+val set_slow_query_threshold : float option -> unit
+(** Threshold in seconds (overrides [NEPAL_SLOW_QUERY_MS]). *)

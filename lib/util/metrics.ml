@@ -5,17 +5,62 @@
    Counters are single [Atomic.t] cells — incrementing one from a
    parallel walk domain is a few nanoseconds and never contends on the
    registry lock, which is taken only to create or enumerate
-   instruments. Histograms keep running count/sum/min/max under a
-   per-histogram mutex; they are observed on coordinating threads only,
-   so the lock is uncontended in practice. Nothing is ever reported
-   unless someone calls [snapshot], so an unread registry costs only the
-   atomic bumps. *)
+   instruments.
+
+   Histograms are log-linear: every power-of-two octave is divided into
+   [sub_buckets] linear sub-buckets, so a recorded value lands in a
+   bucket whose width is at most 1/sub_buckets of its magnitude
+   (relative quantile error <= ~12.5% at sub_buckets = 4). That is what
+   lets one always-on histogram answer p50/p95/p99 questions without
+   keeping samples. Observation is a bucket increment plus running
+   count/sum/min/max under a per-histogram mutex; histograms are
+   observed on coordinating threads only, so the lock is uncontended in
+   practice. Nothing is ever reported unless someone calls [snapshot],
+   so an unread registry costs only the bumps. *)
 
 type counter = { c_name : string; cell : int Atomic.t }
+
+(* Bucket layout: octaves [e_min, e_max) of seconds, 4 linear
+   sub-buckets per octave, plus an underflow bucket (index 0, values
+   below 2^e_min including <= 0) and an overflow bucket (last index,
+   values >= 2^e_max). 2^-30 s ~ 1 ns; 2^10 s ~ 17 min — wide enough
+   for every duration this system records. *)
+let sub_buckets = 4
+let e_min = -30
+let e_max = 10
+let n_buckets = ((e_max - e_min) * sub_buckets) + 2
+
+(* Index of the bucket [v] falls into. *)
+let bucket_index v =
+  if v <= 0. then 0
+  else
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1): octave o = e - 1, v in [2^o, 2^(o+1)) *)
+    let o = e - 1 in
+    if o < e_min then 0
+    else if o >= e_max then n_buckets - 1
+    else
+      let s = int_of_float ((m -. 0.5) *. 2. *. float_of_int sub_buckets) in
+      let s = if s < 0 then 0 else if s >= sub_buckets then sub_buckets - 1 else s in
+      ((o - e_min) * sub_buckets) + s + 1
+
+(* Inclusive upper bound of bucket [i] ([infinity] for the overflow
+   bucket) — the OpenMetrics [le] label and the quantile interpolation
+   grid. *)
+let bucket_upper i =
+  if i <= 0 then Float.ldexp 1. e_min
+  else if i >= n_buckets - 1 then infinity
+  else
+    let o = (i - 1) / sub_buckets and s = (i - 1) mod sub_buckets in
+    Float.ldexp (0.5 +. (float_of_int (s + 1) /. (2. *. float_of_int sub_buckets)))
+      (e_min + o + 1)
+
+let bucket_lower i = if i <= 0 then 0. else bucket_upper (i - 1)
 
 type histogram = {
   h_name : string;
   h_lock : Mutex.t;
+  buckets : int array;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -39,21 +84,26 @@ let counter name =
           Hashtbl.replace counters name c;
           c)
 
+(* A histogram value not in the registry: per-statement latency tables
+   and bench-local measurements use these so they can share the bucket
+   layout and quantile math without polluting the global snapshot. *)
+let unregistered_histogram name =
+  {
+    h_name = name;
+    h_lock = Mutex.create ();
+    buckets = Array.make n_buckets 0;
+    h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
 let histogram name =
   with_lock (fun () ->
       match Hashtbl.find_opt histograms name with
       | Some h -> h
       | None ->
-          let h =
-            {
-              h_name = name;
-              h_lock = Mutex.create ();
-              h_count = 0;
-              h_sum = 0.;
-              h_min = infinity;
-              h_max = neg_infinity;
-            }
-          in
+          let h = unregistered_histogram name in
           Hashtbl.replace histograms name h;
           h)
 
@@ -64,6 +114,7 @@ let counter_name c = c.c_name
 
 let observe h v =
   Mutex.lock h.h_lock;
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
@@ -75,13 +126,71 @@ let time h f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
 
+let histogram_name h = h.h_name
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* Estimate the [q]-quantile by linear interpolation within the bucket
+   holding the target rank; exact min/max clamp the two ends, so small
+   histograms degrade gracefully. Assumes [h_lock] is held. *)
+let quantile_locked h q =
+  if h.h_count = 0 then nan
+  else begin
+    let rank = q *. float_of_int h.h_count in
+    let i = ref 0 and cum = ref 0. in
+    while !i < n_buckets - 1 && !cum +. float_of_int h.buckets.(!i) < rank do
+      cum := !cum +. float_of_int h.buckets.(!i);
+      Stdlib.incr i
+    done;
+    let in_bucket = float_of_int h.buckets.(!i) in
+    let lo = bucket_lower !i and hi = bucket_upper !i in
+    let v =
+      if Float.is_finite hi && in_bucket > 0. then
+        lo +. ((hi -. lo) *. ((rank -. !cum) /. in_bucket))
+      else h.h_max
+    in
+    Float.min h.h_max (Float.max h.h_min v)
+  end
+
+let quantile h q =
+  Mutex.lock h.h_lock;
+  let v = quantile_locked h q in
+  Mutex.unlock h.h_lock;
+  v
+
 type histogram_stats = {
   name : string;
   count : int;
   sum : float;
   min : float;
   max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  buckets : (float * int) list;  (* (inclusive upper bound, count), non-empty only *)
 }
+
+let stats_of h =
+  Mutex.lock h.h_lock;
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (bucket_upper i, h.buckets.(i)) :: !buckets
+  done;
+  let s =
+    {
+      name = h.h_name;
+      count = h.h_count;
+      sum = h.h_sum;
+      min = h.h_min;
+      max = h.h_max;
+      p50 = quantile_locked h 0.50;
+      p95 = quantile_locked h 0.95;
+      p99 = quantile_locked h 0.99;
+      buckets = !buckets;
+    }
+  in
+  Mutex.unlock h.h_lock;
+  s
 
 type snapshot = {
   counter_values : (string * int) list;    (* sorted by name *)
@@ -95,43 +204,38 @@ let snapshot () =
           (fun name c acc -> (name, Atomic.get c.cell) :: acc)
           counters []
       in
-      let hs =
-        Hashtbl.fold
-          (fun name h acc ->
-            Mutex.lock h.h_lock;
-            let s =
-              {
-                name;
-                count = h.h_count;
-                sum = h.h_sum;
-                min = h.h_min;
-                max = h.h_max;
-              }
-            in
-            Mutex.unlock h.h_lock;
-            s :: acc)
-          histograms []
-      in
+      let hs = Hashtbl.fold (fun _ h acc -> stats_of h :: acc) histograms [] in
       {
         counter_values = List.sort compare cs;
         histogram_values =
           List.sort (fun a b -> compare a.name b.name) hs;
       })
 
+let reset_histogram h =
+  Mutex.lock h.h_lock;
+  Array.fill h.buckets 0 n_buckets 0;
+  h.h_count <- 0;
+  h.h_sum <- 0.;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity;
+  Mutex.unlock h.h_lock
+
 (* Zero every instrument (handles stay valid; tests and bench sections
    use this to scope what they measure). *)
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
-      Hashtbl.iter
-        (fun _ h ->
-          Mutex.lock h.h_lock;
-          h.h_count <- 0;
-          h.h_sum <- 0.;
-          h.h_min <- infinity;
-          h.h_max <- neg_infinity;
-          Mutex.unlock h.h_lock)
-        histograms)
+      Hashtbl.iter (fun _ h -> reset_histogram h) histograms)
+
+(* Observability state outside this registry (the statement-statistics
+   table, event-sampling counters) registers a hook so [reset_all]
+   restores a pristine process for test isolation. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset f = reset_hooks := f :: !reset_hooks
+
+let reset_all () =
+  reset ();
+  List.iter (fun f -> f ()) !reset_hooks
 
 let pp ppf () =
   let s = snapshot () in
@@ -142,6 +246,67 @@ let pp ppf () =
   List.iter
     (fun h ->
       if h.count > 0 then
-        Format.fprintf ppf "%-42s n=%d sum=%.6fs avg=%.6fs min=%.6fs max=%.6fs@."
-          h.name h.count h.sum (h.sum /. float_of_int h.count) h.min h.max)
+        Format.fprintf ppf
+          "%-42s n=%d sum=%.6fs avg=%.6fs min=%.6fs p50=%.6fs p95=%.6fs p99=%.6fs max=%.6fs@."
+          h.name h.count h.sum (h.sum /. float_of_int h.count) h.min h.p50
+          h.p95 h.p99 h.max)
     s.histogram_values
+
+(* -- OpenMetrics exposition format ---------------------------------- *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; dots in registry names become
+   underscores and everything is prefixed with the application name. *)
+let metric_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "nepal_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let le_repr bound =
+  if bound = infinity then "+Inf" else Printf.sprintf "%.9g" bound
+
+(* Render the whole registry in the OpenMetrics text exposition format
+   (one # TYPE block per metric family, counters with a _total sample,
+   histograms with cumulative _bucket series plus _sum/_count, and the
+   mandatory # EOF terminator). This is what [nepal serve-metrics]
+   serves and what the bench --json runs write alongside their results. *)
+let render_openmetrics () =
+  let s = snapshot () in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" m);
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" m v))
+    s.counter_values;
+  List.iter
+    (fun (h : histogram_stats) ->
+      let m = metric_name h.name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, n) ->
+          cum := !cum + n;
+          if bound <> infinity then
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m (le_repr bound) !cum))
+        h.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m h.count);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" m
+           (float_repr (if h.count = 0 then 0. else h.sum)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m h.count))
+    s.histogram_values;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

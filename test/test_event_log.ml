@@ -1,0 +1,216 @@
+(* The structured event log: JSONL sink, severity floor, per-kind
+   sampling, store mutation audits, and slow-query events carrying the
+   measured span tree from the engine. *)
+
+module Nepal = Core.Nepal
+module Event_log = Nepal.Event_log
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Run [f] with the log sinking to a fresh temp file, restore the
+   defaults afterwards, and return the lines written. *)
+let with_log ?(level = Event_log.Info) f =
+  let path = Filename.temp_file "nepal_events" ".jsonl" in
+  Event_log.set_path (Some path);
+  Event_log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Event_log.set_path None;
+      Event_log.set_level Event_log.Info;
+      Event_log.set_slow_query_threshold None;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      f ();
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines)
+
+let test_jsonl_shape () =
+  let lines =
+    with_log (fun () ->
+        Event_log.emit ~kind:"test.one"
+          [ ("n", Event_log.Int 7); ("s", Event_log.Str "a\"b") ];
+        Event_log.emit ~level:Event_log.Warn ~kind:"test.two" [])
+  in
+  check_int "two lines" 2 (List.length lines);
+  let l1 = List.nth lines 0 and l2 = List.nth lines 1 in
+  check_bool "object per line" true
+    (List.for_all
+       (fun l -> l.[0] = '{' && l.[String.length l - 1] = '}')
+       lines);
+  check_bool "has ts" true (contains l1 "\"ts\":");
+  check_bool "has level" true (contains l1 "\"level\":\"info\"");
+  check_bool "has kind" true (contains l1 "\"kind\":\"test.one\"");
+  check_bool "carries fields" true (contains l1 "\"n\":7");
+  check_bool "escapes strings" true (contains l1 "\"s\":\"a\\\"b\"");
+  check_bool "warn level recorded" true (contains l2 "\"level\":\"warn\"")
+
+let test_level_floor () =
+  let lines =
+    with_log ~level:Event_log.Warn (fun () ->
+        Event_log.emit ~level:Event_log.Debug ~kind:"test.lvl" [];
+        Event_log.emit ~level:Event_log.Info ~kind:"test.lvl" [];
+        Event_log.emit ~level:Event_log.Warn ~kind:"test.lvl" [];
+        Event_log.emit ~level:Event_log.Error ~kind:"test.lvl" [])
+  in
+  check_int "only warn and error pass" 2 (List.length lines)
+
+let test_sampling () =
+  let lines =
+    with_log (fun () ->
+        Event_log.set_sample ~kind:"test.noisy" 3;
+        Fun.protect
+          ~finally:(fun () -> Event_log.set_sample ~kind:"test.noisy" 1)
+          (fun () ->
+            for _ = 1 to 9 do
+              Event_log.emit ~kind:"test.noisy" []
+            done;
+            (* Other kinds are unaffected. *)
+            Event_log.emit ~kind:"test.calm" []))
+  in
+  let of_kind k = List.filter (fun l -> contains l k) lines in
+  check_int "one in three kept" 3 (List.length (of_kind "test.noisy"));
+  check_int "unsampled kind untouched" 1 (List.length (of_kind "test.calm"))
+
+(* -- store mutation audits ------------------------------------------ *)
+
+let model =
+  {|
+node_types:
+  App:
+    properties:
+      id: int
+edge_types:
+  Link: {}
+|}
+
+let at = Nepal.Time_point.of_string_exn "2017-03-01 00:00:00"
+
+let test_store_audit () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let fields = Nepal.Strmap.of_list [ ("id", Nepal.Value.Int 1) ] in
+  let lines =
+    with_log ~level:Event_log.Debug (fun () ->
+        let uid = ok (Nepal.insert_node db ~at ~cls:"App" ~fields) in
+        let later = Nepal.Time_point.of_string_exn "2017-03-02 00:00:00" in
+        ignore (ok (Nepal.update db ~at:later uid ~fields));
+        (* A rejected mutation audits at warn with the error text. *)
+        match Nepal.insert_node db ~at ~cls:"NoSuchClass" ~fields with
+        | Ok _ -> Alcotest.fail "expected a rejection"
+        | Error _ -> ())
+  in
+  let mutations = List.filter (fun l -> contains l "\"kind\":\"store.mutation\"") lines in
+  check_int "two successful mutations audited" 2 (List.length mutations);
+  check_bool "audit carries op and uid" true
+    (List.exists
+       (fun l -> contains l "\"op\":\"insert_node\"" && contains l "\"uid\":")
+       mutations);
+  check_bool "rejection audited as store.error at warn" true
+    (List.exists
+       (fun l ->
+         contains l "\"kind\":\"store.error\""
+         && contains l "\"level\":\"warn\""
+         && contains l "\"error\":")
+       lines)
+
+let test_store_audit_quiet_at_info () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let fields = Nepal.Strmap.of_list [ ("id", Nepal.Value.Int 1) ] in
+  let lines =
+    with_log (fun () -> ignore (ok (Nepal.insert_node db ~at ~cls:"App" ~fields)))
+  in
+  check_int "debug audits filtered at the default level" 0 (List.length lines)
+
+(* -- slow-query events ---------------------------------------------- *)
+
+let test_slow_query_event () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let fields n = Nepal.Strmap.of_list [ ("id", Nepal.Value.Int n) ] in
+  let a = ok (Nepal.insert_node db ~at ~cls:"App" ~fields:(fields 1)) in
+  let b = ok (Nepal.insert_node db ~at ~cls:"App" ~fields:(fields 2)) in
+  ignore
+    (ok (Nepal.insert_edge db ~at ~cls:"Link" ~src:a ~dst:b
+           ~fields:Nepal.Strmap.empty));
+  let q = "Retrieve P From PATHS P Where P MATCHES App(id=1)->Link()->App()" in
+  let lines =
+    with_log (fun () ->
+        (* Threshold zero: every query is "slow". *)
+        Event_log.set_slow_query_threshold (Some 0.);
+        ignore (ok (Nepal.query db q)))
+  in
+  let slow = List.filter (fun l -> contains l "\"kind\":\"query.slow\"") lines in
+  check_int "one slow-query event" 1 (List.length slow);
+  let l = List.hd slow in
+  check_bool "warn level" true (contains l "\"level\":\"warn\"");
+  check_bool "carries fingerprint" true (contains l "\"fingerprint\":");
+  check_bool "fingerprint abstracts the literal" true
+    (contains l "app ( id = ? )");
+  check_bool "carries wall and threshold" true
+    (contains l "\"wall_ms\":" && contains l "\"threshold_ms\":");
+  check_bool "carries the plan" true (contains l "\"plan\":");
+  check_bool "carries the span tree" true
+    (contains l "\"spans\":" && contains l "\"name\":\"Query\""
+    && contains l "\"children\":");
+  check_bool "span tree has measured operators" true
+    (contains l "\"name\":\"Select\"" || contains l "\"name\":\"Extend\"")
+
+let test_query_error_event () =
+  let db = Nepal.create (Nepal.Tosca.parse_exn model) in
+  let lines =
+    with_log (fun () ->
+        match
+          Nepal.query db "Retrieve P From PATHS P Where P MATCHES NoSuchClass()"
+        with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error _ -> ())
+  in
+  check_bool "query.error event emitted" true
+    (List.exists
+       (fun l ->
+         contains l "\"kind\":\"query.error\""
+         && contains l "\"level\":\"error\""
+         && contains l "\"error\":")
+       lines)
+
+let test_disabled_threshold () =
+  (* With no sink, the engine must see no slow-query threshold at all
+     (so it never builds trace trees for a silent process). *)
+  Event_log.set_path None;
+  Event_log.set_slow_query_threshold (Some 0.);
+  check_bool "threshold hidden while disabled" true
+    (Event_log.slow_query_threshold () = None);
+  Event_log.set_slow_query_threshold None
+
+let () =
+  Alcotest.run "nepal_event_log"
+    [
+      ( "event_log",
+        [
+          Alcotest.test_case "JSONL shape" `Quick test_jsonl_shape;
+          Alcotest.test_case "severity floor" `Quick test_level_floor;
+          Alcotest.test_case "per-kind sampling" `Quick test_sampling;
+          Alcotest.test_case "store mutation audit" `Quick test_store_audit;
+          Alcotest.test_case "audits silent at default level" `Quick
+            test_store_audit_quiet_at_info;
+          Alcotest.test_case "slow query carries span tree" `Quick
+            test_slow_query_event;
+          Alcotest.test_case "query errors audited" `Quick
+            test_query_error_event;
+          Alcotest.test_case "no threshold while disabled" `Quick
+            test_disabled_threshold;
+        ] );
+    ]

@@ -118,7 +118,7 @@ let test_analyze_spans_account_for_latency () =
 
 let test_metrics_registry_populated () =
   let conns, families = Lazy.force setup in
-  Nepal.Metrics.reset ();
+  Nepal.Metrics.reset_all ();
   let conn = List.assoc "relational" conns in
   let q = List.assoc "Top-down" families in
   (match Nepal.query_on conn q with

@@ -1,0 +1,227 @@
+(* The observability registry: log-linear histogram quantiles,
+   registry reset (plus reset_all hooks), and the OpenMetrics renderer
+   validated line-by-line against the text exposition grammar. *)
+
+module Metrics = Nepal_util.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- quantile estimation ------------------------------------------- *)
+
+(* 1000 uniformly spaced latencies: the estimates must land within the
+   bucket relative-error bound (1/4 sub-buckets per octave => <= ~12.5%,
+   padded for interpolation) and be monotone in q. *)
+let test_quantiles_uniform () =
+  let h = Metrics.unregistered_histogram "uniform" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i /. 1000.)
+  done;
+  let near what expected got =
+    check_bool
+      (Printf.sprintf "%s: %.4f within 15%% of %.4f" what got expected)
+      true
+      (Float.abs (got -. expected) <= expected *. 0.15)
+  in
+  let s = Metrics.stats_of h in
+  check_int "count" 1000 s.Metrics.count;
+  check_bool "min exact" true (s.Metrics.min = 0.001);
+  check_bool "max exact" true (s.Metrics.max = 1.0);
+  near "p50" 0.5 s.Metrics.p50;
+  near "p95" 0.95 s.Metrics.p95;
+  near "p99" 0.99 s.Metrics.p99;
+  check_bool "p50 <= p95 <= p99 <= max" true
+    (s.Metrics.p50 <= s.Metrics.p95
+    && s.Metrics.p95 <= s.Metrics.p99
+    && s.Metrics.p99 <= s.Metrics.max)
+
+let test_quantiles_empty_and_single () =
+  let h = Metrics.unregistered_histogram "empty" in
+  check_bool "empty histogram quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  Metrics.observe h 0.125;
+  check_bool "single observation: p50 is exact" true
+    (Metrics.quantile h 0.5 = 0.125);
+  check_bool "single observation: p99 is exact" true
+    (Metrics.quantile h 0.99 = 0.125)
+
+(* Any sample lands the estimates inside [min, max], monotone in q —
+   including sub-nanosecond and multi-minute outliers that hit the
+   under/overflow buckets. *)
+let prop_quantiles_bounded =
+  QCheck.Test.make ~count:200 ~name:"quantiles bounded by min/max and monotone"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range 1e-12 3000.))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Metrics.unregistered_histogram "prop" in
+      List.iter (Metrics.observe h) samples;
+      let s = Metrics.stats_of h in
+      let qs = List.map (Metrics.quantile h) [ 0.1; 0.5; 0.9; 0.99 ] in
+      List.for_all (fun q -> q >= s.Metrics.min && q <= s.Metrics.max) qs
+      && (let rec mono = function
+            | a :: (b :: _ as tl) -> a <= b && mono tl
+            | _ -> true
+          in
+          mono qs))
+
+(* -- reset and reset_all hooks ------------------------------------- *)
+
+let test_reset_all () =
+  let c = Metrics.counter "test.reset.counter" in
+  let h = Metrics.histogram "test.reset.hist" in
+  Metrics.add c 7;
+  Metrics.observe h 0.25;
+  let hook_ran = ref false in
+  Metrics.on_reset (fun () -> hook_ran := true);
+  Metrics.reset_all ();
+  check_int "counter zeroed" 0 (Metrics.counter_value c);
+  check_int "histogram zeroed" 0 (Metrics.histogram_count h);
+  check_bool "reset hook ran" true !hook_ran;
+  (* Handles stay valid after reset. *)
+  Metrics.incr c;
+  check_int "counter usable after reset" 1 (Metrics.counter_value c)
+
+(* -- OpenMetrics exposition grammar -------------------------------- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* One parsed sample line: metric name, optional le label, value. *)
+let parse_sample line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp -> (
+      let name_part = String.sub line 0 sp in
+      let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+      match String.index_opt name_part '{' with
+      | None -> Some (name_part, None, value)
+      | Some br ->
+          let name = String.sub name_part 0 br in
+          let labels = String.sub name_part br (String.length name_part - br) in
+          if
+            starts_with "{le=\"" labels
+            && String.length labels > 7
+            && String.sub labels (String.length labels - 2) 2 = "\"}"
+          then
+            let le = String.sub labels 5 (String.length labels - 7) in
+            Some (name, Some le, value)
+          else None)
+
+(* Validate the full exposition against the grammar, line by line:
+   every family declared by a # TYPE line before its samples, counter
+   samples as <name>_total, histogram buckets cumulative and capped by
+   a +Inf bucket equal to _count, and the mandatory # EOF last line. *)
+let test_openmetrics_grammar () =
+  Metrics.reset_all ();
+  let c = Metrics.counter "test.om.requests" in
+  Metrics.add c 5;
+  let h = Metrics.histogram "test.om.seconds" in
+  List.iter (Metrics.observe h) [ 0.001; 0.004; 0.004; 0.02; 1.5 ];
+  let text = Metrics.render_openmetrics () in
+  check_bool "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  let lines = String.split_on_char '\n' (String.sub text 0 (String.length text - 1)) in
+  let n_lines = List.length lines in
+  check_bool "last line is # EOF" true (List.nth lines (n_lines - 1) = "# EOF");
+  (* family -> declared type; walk statefully like a scraper would. *)
+  let family = ref None in
+  let buckets_cum = ref (-1) in
+  let saw_inf = ref false in
+  let hist_count = ref None in
+  let fail line msg = Alcotest.failf "%s: %S" msg line in
+  List.iteri
+    (fun i line ->
+      if i = n_lines - 1 then ()
+      else if line = "" then fail line "blank line in exposition"
+      else if starts_with "# TYPE " line then begin
+        (match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; ("counter" | "histogram") ] ->
+            if not (valid_metric_name name) then
+              fail line "invalid metric name";
+            if not (starts_with "nepal_" name) then
+              fail line "metric not in the nepal_ namespace";
+            family := Some name
+        | _ -> fail line "malformed # TYPE line");
+        buckets_cum := -1;
+        saw_inf := false;
+        hist_count := None
+      end
+      else
+        match parse_sample line with
+        | None -> fail line "unparsable sample line"
+        | Some (name, le, value) -> (
+            match !family with
+            | None -> fail line "sample before any # TYPE declaration"
+            | Some fam ->
+                if not (starts_with fam name) then
+                  fail line "sample outside its declared family";
+                let suffix =
+                  String.sub name (String.length fam)
+                    (String.length name - String.length fam)
+                in
+                (match (suffix, le) with
+                | "_total", None ->
+                    if int_of_string_opt value = None then
+                      fail line "counter value not an integer"
+                | "_bucket", Some le ->
+                    let v =
+                      match int_of_string_opt value with
+                      | Some v -> v
+                      | None -> fail line "bucket value not an integer"
+                    in
+                    if v < !buckets_cum then
+                      fail line "bucket series not cumulative";
+                    buckets_cum := v;
+                    if le = "+Inf" then saw_inf := true
+                    else if float_of_string_opt le = None then
+                      fail line "non-numeric le label"
+                    else if !saw_inf then
+                      fail line "bucket after the +Inf bucket"
+                | "_sum", None ->
+                    if float_of_string_opt value = None then
+                      fail line "sum not a float"
+                | "_count", None -> (
+                    match int_of_string_opt value with
+                    | Some v -> hist_count := Some v
+                    | None -> fail line "count not an integer")
+                | _ -> fail line "unknown sample suffix");
+                (match (!hist_count, !saw_inf) with
+                | Some n, true ->
+                    if !buckets_cum <> n then
+                      fail line "+Inf bucket does not equal _count"
+                | _ -> ())))
+    lines;
+  (* The instruments we populated are present with the right totals. *)
+  let has needle =
+    List.exists (fun l -> l = needle) lines
+  in
+  check_bool "counter sample rendered" true
+    (has "nepal_test_om_requests_total 5");
+  check_bool "histogram count rendered" true (has "nepal_test_om_seconds_count 5")
+
+let () =
+  Alcotest.run "nepal_metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "uniform quantiles" `Quick test_quantiles_uniform;
+          Alcotest.test_case "empty and single-sample quantiles" `Quick
+            test_quantiles_empty_and_single;
+          QCheck_alcotest.to_alcotest prop_quantiles_bounded;
+          Alcotest.test_case "reset_all zeroes and runs hooks" `Quick
+            test_reset_all;
+          Alcotest.test_case "OpenMetrics grammar" `Quick
+            test_openmetrics_grammar;
+        ] );
+    ]

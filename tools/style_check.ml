@@ -52,6 +52,27 @@ let check_file file =
     contents;
   if n > !line_start then check_line_text n
 
+(* Every lib/ module must publish an interface. Modules that predate
+   the rule are grandfathered here; do not add to this list — write the
+   .mli instead. *)
+let mli_grandfathered =
+  [
+    "backend_intf.ml"; "connect.ml"; "native_backend.ml"; "query_ast.ml";
+    "explain.ml"; "domain_pool.ml"; "intmap.ml"; "intset.ml"; "strmap.ml";
+    "strset.ml"; "join_cache.ml";
+  ]
+
+let check_mli file =
+  if
+    in_lib file
+    && Filename.check_suffix file ".ml"
+    && not (List.mem (Filename.basename file) mli_grandfathered)
+    && not (Sys.file_exists (file ^ "i"))
+  then
+    report file 1
+      "lib/ module without an interface (add a .mli; the grandfather \
+       list in tools/style_check.ml is frozen)"
+
 let is_source file =
   Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
 
@@ -62,7 +83,10 @@ let rec walk path =
         if entry <> "_build" && not (String.length entry > 0 && entry.[0] = '.')
         then walk (Filename.concat path entry))
       (Sys.readdir path)
-  else if is_source path then check_file path
+  else if is_source path then begin
+    check_file path;
+    check_mli path
+  end
 
 let () =
   Array.iteri (fun i arg -> if i > 0 then walk arg) Sys.argv;
