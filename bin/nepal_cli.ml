@@ -291,6 +291,205 @@ let when_exists_cmd =
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
                $ text $ from_arg $ to_arg))
 
+(* ---- static analysis ------------------------------------------------- *)
+
+(* Corpus format for `nepal check --file`: queries separated by blank
+   lines; `#` starts a comment line; `#schema virt|legacy|legacy-classed`
+   switches the catalog for subsequent queries; a `#tosca` .. `#end`
+   block installs an inline TOSCA schema. *)
+type corpus_item = { ci_line : int; ci_schema : Nepal.Schema.t; ci_text : string }
+
+let parse_corpus ~default_schema path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lines = String.split_on_char '\n' text in
+  let schema = ref default_schema in
+  let items = ref [] in
+  let buf = ref [] and buf_line = ref 0 in
+  let flush_query () =
+    (match List.rev !buf with
+    | [] -> ()
+    | ls ->
+        items :=
+          { ci_line = !buf_line; ci_schema = !schema; ci_text = String.concat "\n" ls }
+          :: !items);
+    buf := []
+  in
+  let err = ref None in
+  let rec go n = function
+    | [] -> ()
+    | line :: rest when String.trim line = "" ->
+        flush_query ();
+        go (n + 1) rest
+    | line :: rest when String.trim line = "#tosca" ->
+        flush_query ();
+        let block = ref [] in
+        let rest = ref rest and n' = ref (n + 1) in
+        while
+          match !rest with
+          | l :: tl when String.trim l <> "#end" ->
+              block := l :: !block;
+              rest := tl;
+              incr n';
+              true
+          | _ -> false
+        do () done;
+        (match !rest with
+        | _ :: tl ->
+            rest := tl;
+            incr n'
+        | [] -> err := Some (Printf.sprintf "line %d: #tosca block never closed with #end" n));
+        (match Nepal.Tosca.parse (String.concat "\n" (List.rev !block)) with
+        | Ok s -> schema := s
+        | Error e ->
+            err := Some (Printf.sprintf "line %d: inline TOSCA: %s" n e));
+        go !n' !rest
+    | line :: rest when String.length (String.trim line) > 0 && (String.trim line).[0] = '#' ->
+        let t = String.trim line in
+        (match String.split_on_char ' ' t with
+        | "#schema" :: name :: _ -> (
+            match String.trim name with
+            | "virt" -> schema := Nepal.Model.schema ()
+            | "legacy" | "legacy-flat" -> schema := Nepal.Legacy.(schema Flat)
+            | "legacy-classed" -> schema := Nepal.Legacy.(schema Classed)
+            | other ->
+                err := Some (Printf.sprintf "line %d: unknown #schema %S" n other))
+        | _ -> () (* plain comment *));
+        go (n + 1) rest
+    | line :: rest ->
+        if !buf = [] then buf_line := n;
+        buf := line :: !buf;
+        go (n + 1) rest
+  in
+  go 1 lines;
+  flush_query ();
+  match !err with Some e -> Error e | None -> Ok (List.rev !items)
+
+let check_cmd =
+  let text =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"The Nepal query text to analyze.")
+  in
+  let file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Analyze every query in a corpus file instead of a single \
+                   positional QUERY. Queries are separated by blank lines; \
+                   $(b,#) starts a comment; $(b,#schema \
+                   virt|legacy|legacy-classed) switches the catalog; a \
+                   $(b,#tosca)..$(b,#end) block installs an inline schema.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero on warnings as well as errors (hints never \
+                   affect the exit status).")
+  in
+  let run topology seed nodes history backend file json strict text =
+    let gate = ref false in
+    let json_items = ref [] in
+    let report ~source ~label diags =
+      let bad =
+        List.exists
+          (fun (d : Nepal.Diagnostic.t) ->
+            match d.Nepal.Diagnostic.severity with
+            | Nepal.Diagnostic.Error -> true
+            | Nepal.Diagnostic.Warning -> strict
+            | Nepal.Diagnostic.Hint -> false)
+          diags
+      in
+      if bad then gate := true;
+      if json then
+        json_items :=
+          List.map (fun d -> (label, Nepal.Diagnostic.to_json d)) diags
+          @ !json_items
+      else if diags <> [] then begin
+        if label <> "" then Format.printf "%s@." label;
+        List.iter
+          (fun d ->
+            Format.printf "%s@." (Nepal.Diagnostic.render ~source d))
+          diags
+      end
+    in
+    let outcome =
+      match file with
+      | Some path -> (
+          let default_schema =
+            match topology with
+            | Virt -> Nepal.Model.schema ()
+            | Legacy_flat -> Nepal.Legacy.(schema Flat)
+            | Legacy_classed -> Nepal.Legacy.(schema Classed)
+          in
+          match parse_corpus ~default_schema path with
+          | Error e -> Error e
+          | Ok items ->
+              List.iter
+                (fun { ci_line; ci_schema; ci_text } ->
+                  report ~source:ci_text
+                    ~label:(Printf.sprintf "%s:%d:" path ci_line)
+                    (Nepal.Analysis.analyze_string ~schema:ci_schema ci_text))
+                items;
+              Ok (List.length items))
+      | None -> (
+          match text with
+          | None -> Error "pass a QUERY argument or --file PATH"
+          | Some q -> (
+              (* A live backend supplies cardinality estimates, enabling
+                 the cost hints (NPL019); analysis never executes the
+                 query. *)
+              let store = build_store topology seed nodes history in
+              match connect backend store with
+              | Error e -> Error e
+              | Ok conn ->
+                  report ~source:q ~label:"" (Nepal.check_on conn q);
+                  Ok 1))
+    in
+    match outcome with
+    | Error e -> `Error (false, e)
+    | Ok n ->
+        if json then begin
+          let items = List.rev !json_items in
+          print_string "[";
+          List.iteri
+            (fun i (label, j) ->
+              if i > 0 then print_string ",";
+              Printf.printf "\n  {\"query\": \"%s\", \"diagnostic\": %s}"
+                (String.concat ""
+                   (List.map
+                      (function
+                        | '"' -> "\\\"" | '\\' -> "\\\\"
+                        | c -> String.make 1 c)
+                      (List.init (String.length label) (String.get label))))
+                j)
+            items;
+          print_string "\n]\n"
+        end
+        else if not !gate then
+          Format.printf "%d quer%s analyzed, no blocking diagnostics.@." n
+            (if n = 1 then "y" else "ies");
+        if !gate then `Error (false, "static analysis found blocking diagnostics")
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyze queries against a schema catalog without \
+             executing them: unknown concepts and fields with suggestions, \
+             predicate/literal type errors, schema-unsatisfiable patterns, \
+             dead union branches, temporal contradictions, and cost lints."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal check \"Retrieve P From PATHS P Where P MATCHES \
+               Container()->VirtualLink()->Container()\"";
+           `P "nepal check --strict --file examples/queries.nepal";
+         ])
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
+               $ backend_arg $ file_arg $ json_arg $ strict_arg $ text))
+
 (* ---- observability subcommands --------------------------------------- *)
 
 let stats_cmd =
@@ -524,7 +723,7 @@ let main =
   Cmd.group
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
-    [ schema_cmd; generate_cmd; query_cmd; explain_cmd; repl_cmd; paths_cmd;
-      when_exists_cmd; stats_cmd; serve_metrics_cmd; events_cmd ]
+    [ schema_cmd; generate_cmd; query_cmd; explain_cmd; check_cmd; repl_cmd;
+      paths_cmd; when_exists_cmd; stats_cmd; serve_metrics_cmd; events_cmd ]
 
 let () = exit (Cmd.eval main)

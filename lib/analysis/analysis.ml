@@ -1,0 +1,977 @@
+(* Schema-aware static analysis of Nepal queries (pre-execution).
+
+   The analyzer mirrors the engine's validation pipeline — label
+   resolution, predicate typing, anchor selection, join classification —
+   and extends it with decisions the engine never makes: schema-graph
+   reachability between consecutive RPE steps (provable emptiness, dead
+   and duplicate union branches), temporal-window intersection, and
+   cost lints. Everything here works from the catalog alone; no check
+   ever touches backend data, so `Strict mode can reject a query with
+   zero backend round-trips.
+
+   Satisfiability is decided by abstract interpretation over a frontier
+   of "where could the pathway be" states: [N c] (last matched element
+   is a node of concrete class [c]) and [E (c, e)] (last matched element
+   is an edge of concrete class [e] entered from source class [c]).
+   Stepping an atom applies the paper's 4-case junction rule: node/edge
+   adjacency is direct, node-to-node skips one edge, edge-to-edge skips
+   one node. Predicates are ignored (class-level abstraction), which
+   keeps the analysis sound: a pattern reported empty is empty for
+   every store conforming to the schema. *)
+
+module Schema = Nepal_schema.Schema
+module Ftype = Nepal_schema.Ftype
+module Value = Nepal_schema.Value
+module Rpe = Nepal_rpe.Rpe
+module Predicate = Nepal_rpe.Predicate
+module Anchor = Nepal_rpe.Anchor
+module Span = Nepal_rpe.Span
+module Interval = Nepal_temporal.Interval
+module Interval_set = Nepal_temporal.Interval_set
+module Intset = Nepal_util.Intset
+module Strset = Nepal_util.Strset
+module Q = Nepal_query.Query_ast
+module Engine = Nepal_query.Engine
+
+(* -- tunables -------------------------------------------------------- *)
+
+let high_rep_threshold = 8
+(* Repetition upper bounds at or above this trigger NPL015: frontier
+   expansion is exponential in practice over high-fanout edge classes
+   (the Table-1 families top out at {1,6}). *)
+
+let expensive_anchor_threshold = 1000.
+(* Estimated anchor cardinality at or above this triggers NPL019 (only
+   when the caller supplies a cost function, e.g. a live backend). *)
+
+let rep_walk_cap = 512
+(* Satisfiability iterates repetition bodies at most this many times;
+   beyond it the walk falls back to "conservatively satisfiable". The
+   frontier lattice has far fewer than 512 distinct states for any
+   realistic catalog, so the cap is never reached in practice. *)
+
+(* -- "did you mean" suggestions -------------------------------------- *)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost =
+          if Char.lowercase_ascii a.[i - 1] = Char.lowercase_ascii b.[j - 1]
+          then 0
+          else 1
+        in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let suggest candidates name =
+  let cap = max 1 (min 3 ((String.length name + 2) / 3)) in
+  let best =
+    List.fold_left
+      (fun best c ->
+        let d = levenshtein name c in
+        if d > cap || d >= String.length c then best
+        else
+          match best with
+          | Some (bd, _) when bd <= d -> best
+          | _ -> Some (d, c))
+      None candidates
+  in
+  match best with
+  | Some (_, c) -> Printf.sprintf " — did you mean %S?" c
+  | None -> ""
+
+(* -- schema reachability tables -------------------------------------- *)
+
+type tables = {
+  t_nodes : string array;  (** concrete node classes *)
+  t_edges : string array;  (** concrete edge classes *)
+  t_node_idx : (string, int) Hashtbl.t;
+  t_edge_idx : (string, int) Hashtbl.t;
+  t_succ : Intset.t array array;
+      (** [t_succ.(e).(a)]: node indices [b] with [edge_allowed e a b] *)
+  t_adj : Intset.t array;  (** union of [t_succ.(_).(a)] over all edges *)
+}
+
+let build_tables schema =
+  let nodes = Array.of_list (Schema.concrete_subclasses schema "Node") in
+  let edges = Array.of_list (Schema.concrete_subclasses schema "Edge") in
+  let node_idx = Hashtbl.create 64 and edge_idx = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.replace node_idx c i) nodes;
+  Array.iteri (fun i c -> Hashtbl.replace edge_idx c i) edges;
+  let succ =
+    Array.map
+      (fun e ->
+        Array.map
+          (fun a ->
+            let s = ref Intset.empty in
+            Array.iteri
+              (fun bi b ->
+                if Schema.edge_allowed schema ~edge:e ~src:a ~dst:b then
+                  s := Intset.add bi !s)
+              nodes;
+            !s)
+          nodes)
+      edges
+  in
+  let adj =
+    Array.init (Array.length nodes) (fun ai ->
+        Array.fold_left
+          (fun acc per_src -> Intset.union acc per_src.(ai))
+          Intset.empty succ)
+  in
+  {
+    t_nodes = nodes;
+    t_edges = edges;
+    t_node_idx = node_idx;
+    t_edge_idx = edge_idx;
+    t_succ = succ;
+    t_adj = adj;
+  }
+
+(* The analyzer runs on every query at the default [`Warn] mode, so the
+   O(|E|·|N|²) table build is memoized per schema value (physical
+   equality — schemas are immutable and long-lived). *)
+let table_cache : (Schema.t * tables) list ref = ref []
+
+let tables_of schema =
+  match List.find_opt (fun (s, _) -> s == schema) !table_cache with
+  | Some (_, t) -> t
+  | None ->
+      let t = build_tables schema in
+      let keep = List.filteri (fun i _ -> i < 7) !table_cache in
+      table_cache := (schema, t) :: keep;
+      t
+
+(* -- frontier states -------------------------------------------------
+
+   Encoded as ints in an [Intset]: [start_state] before any element has
+   matched; [a] for "last element is a node of class index [a]";
+   [nn + a * ne + e] for "last element is an edge of class index [e]
+   entered from source class index [a]". Edge states are only created
+   when [t_succ.(e).(a)] is non-empty, so every edge state can complete
+   to a pathway (pathways end on a node — the implicit endpoint of a
+   trailing edge atom). *)
+
+let start_state = -1
+
+type walk_ctx = {
+  schema : Schema.t;
+  tb : tables;
+  mutable died : bool;
+  mutable died_at : Span.t;
+  mutable dead_branches : (Span.t * string) list;
+  mutable dup_branches : (Span.t * string) list;
+  mutable high_reps : (Span.t * int * int) list;
+}
+
+let concrete_nodes ctx cls =
+  List.filter_map
+    (fun c -> Hashtbl.find_opt ctx.tb.t_node_idx c)
+    (Schema.concrete_subclasses ctx.schema cls)
+
+let concrete_edges ctx cls =
+  List.filter_map
+    (fun c -> Hashtbl.find_opt ctx.tb.t_edge_idx c)
+    (Schema.concrete_subclasses ctx.schema cls)
+
+let rec first_span_norm = function
+  | Rpe.N_atom a -> a.Rpe.span
+  | Rpe.N_seq (r :: _) | Rpe.N_alt (r :: _) -> first_span_norm r
+  | Rpe.N_rep (r, _, _) -> first_span_norm r
+  | Rpe.N_seq [] | Rpe.N_alt [] -> Span.dummy
+
+let rec first_span_rpe = function
+  | Rpe.Atom a -> a.Rpe.span
+  | Rpe.Seq (x, _) | Rpe.Alt (x, _) | Rpe.Rep (x, _, _) -> first_span_rpe x
+
+let step_node ctx fr cs =
+  let nn = Array.length ctx.tb.t_nodes and ne = Array.length ctx.tb.t_edges in
+  let out = ref Intset.empty in
+  Intset.iter
+    (fun st ->
+      if st = start_state then
+        List.iter (fun c -> out := Intset.add c !out) cs
+      else if st < nn then
+        (* node -> node: skips exactly one (unmatched) edge *)
+        List.iter
+          (fun c -> if Intset.mem c ctx.tb.t_adj.(st) then out := Intset.add c !out)
+          cs
+      else begin
+        (* edge -> node: direct junction, node must be a legal dst *)
+        let k = st - nn in
+        let a = k / ne and e = k mod ne in
+        List.iter
+          (fun c ->
+            if Intset.mem c ctx.tb.t_succ.(e).(a) then out := Intset.add c !out)
+          cs
+      end)
+    fr;
+  !out
+
+let step_edge ctx fr es =
+  let nn = Array.length ctx.tb.t_nodes and ne = Array.length ctx.tb.t_edges in
+  let out = ref Intset.empty in
+  let from_src a =
+    List.iter
+      (fun e ->
+        if not (Intset.is_empty ctx.tb.t_succ.(e).(a)) then
+          out := Intset.add (nn + (a * ne) + e) !out)
+      es
+  in
+  Intset.iter
+    (fun st ->
+      if st = start_state then
+        (* lone leading edge atom: implicit source node, any class *)
+        for a = 0 to nn - 1 do
+          from_src a
+        done
+      else if st < nn then (* node -> edge: direct junction *)
+        from_src st
+      else begin
+        (* edge -> edge: skips exactly one (unmatched) node *)
+        let k = st - nn in
+        let a = k / ne and e = k mod ne in
+        Intset.iter from_src ctx.tb.t_succ.(e).(a)
+      end)
+    fr;
+  !out
+
+let rec walk ctx fr norm =
+  match norm with
+  | Rpe.N_atom a -> (
+      match Schema.kind_of ctx.schema a.Rpe.cls with
+      | None -> fr (* unresolved class: reported as NPL001, walk skipped *)
+      | Some kind ->
+          let out =
+            match kind with
+            | Schema.Node_kind -> step_node ctx fr (concrete_nodes ctx a.Rpe.cls)
+            | Schema.Edge_kind -> step_edge ctx fr (concrete_edges ctx a.Rpe.cls)
+          in
+          if Intset.is_empty out && (not (Intset.is_empty fr)) && not ctx.died
+          then begin
+            ctx.died <- true;
+            ctx.died_at <- a.Rpe.span
+          end;
+          out)
+  | Rpe.N_seq rs -> List.fold_left (walk ctx) fr rs
+  | Rpe.N_alt rs ->
+      let outs = List.map (fun r -> (r, walk_quiet ctx fr r)) rs in
+      let any_live = List.exists (fun (_, o) -> not (Intset.is_empty o)) outs in
+      if any_live && not (Intset.is_empty fr) then
+        List.iter
+          (fun (r, o) ->
+            if Intset.is_empty o then
+              ctx.dead_branches <-
+                (first_span_norm r, Rpe.norm_to_string r) :: ctx.dead_branches)
+          outs;
+      let rec dups = function
+        | [] -> ()
+        | r :: rest ->
+            (match List.find_opt (Rpe.equal_norm r) rest with
+            | Some r' ->
+                ctx.dup_branches <-
+                  (first_span_norm r', Rpe.norm_to_string r') :: ctx.dup_branches
+            | None -> ());
+            dups (List.filter (fun r' -> not (Rpe.equal_norm r r')) rest)
+      in
+      dups rs;
+      List.fold_left (fun acc (_, o) -> Intset.union acc o) Intset.empty outs
+  | Rpe.N_rep (r, m, n) ->
+      if n >= high_rep_threshold then
+        ctx.high_reps <- (first_span_norm r, m, n) :: ctx.high_reps;
+      let acc = ref (if m <= 0 then fr else Intset.empty) in
+      let cur = ref fr in
+      let limit = min n rep_walk_cap in
+      (try
+         for k = 1 to limit do
+           cur := walk_quiet ctx !cur r;
+           if Intset.is_empty !cur then raise Exit;
+           if k >= m then acc := Intset.union !acc !cur
+         done
+       with Exit -> ());
+      (* Conservative fallback for bounds past the cap: whatever class
+         frontier survived the capped unrolling is assumed reachable. *)
+      if Intset.is_empty !acc && not (Intset.is_empty !cur) then acc := !cur;
+      if Intset.is_empty !acc && (not (Intset.is_empty fr)) && not ctx.died
+      then begin
+        ctx.died <- true;
+        ctx.died_at <- first_span_norm r
+      end;
+      !acc
+
+(* A branch dying is not (yet) the whole pattern dying: suppress the
+   blame marker inside alternation branches and repetition bodies. *)
+and walk_quiet ctx fr r =
+  let died = ctx.died and died_at = ctx.died_at in
+  let out = walk ctx fr r in
+  ctx.died <- died;
+  ctx.died_at <- died_at;
+  out
+
+(* Possible node classes at either end of a satisfying pathway —
+   over-approximations used by Select/filter field checks. [None] when
+   the end is unconstrained (e.g. the whole RPE can match the empty
+   pathway, whose endpoints are arbitrary). *)
+
+let frontier_node_classes tb fr =
+  let nn = Array.length tb.t_nodes and ne = Array.length tb.t_edges in
+  Intset.fold
+    (fun st acc ->
+      if st = start_state then acc
+      else if st < nn then Strset.add tb.t_nodes.(st) acc
+      else
+        let k = st - nn in
+        let a = k / ne and e = k mod ne in
+        Intset.fold
+          (fun b acc -> Strset.add tb.t_nodes.(b) acc)
+          tb.t_succ.(e).(a) acc)
+    fr Strset.empty
+
+let rec leading_atoms = function
+  | Rpe.N_atom a -> [ a ]
+  | Rpe.N_seq [] -> []
+  | Rpe.N_seq (r :: rest) ->
+      leading_atoms r
+      @ (if Rpe.min_length r = 0 then leading_atoms (Rpe.N_seq rest) else [])
+  | Rpe.N_alt rs -> List.concat_map leading_atoms rs
+  | Rpe.N_rep (r, _, _) -> leading_atoms r
+
+let start_node_classes ctx norm =
+  if Rpe.min_length norm = 0 then None
+  else
+    Some
+      (List.fold_left
+         (fun acc (a : Rpe.atom) ->
+           match Schema.kind_of ctx.schema a.Rpe.cls with
+           | Some Schema.Node_kind ->
+               List.fold_left
+                 (fun acc i -> Strset.add ctx.tb.t_nodes.(i) acc)
+                 acc
+                 (concrete_nodes ctx a.Rpe.cls)
+           | Some Schema.Edge_kind ->
+               (* implicit source endpoint of a leading edge atom *)
+               List.fold_left
+                 (fun acc e ->
+                   let acc = ref acc in
+                   Array.iteri
+                     (fun ai _ ->
+                       if not (Intset.is_empty ctx.tb.t_succ.(e).(ai)) then
+                         acc := Strset.add ctx.tb.t_nodes.(ai) !acc)
+                     ctx.tb.t_nodes;
+                   !acc)
+                 acc
+                 (concrete_edges ctx a.Rpe.cls)
+           | None -> acc)
+         Strset.empty (leading_atoms norm))
+
+(* -- per-atom validation: NPL001..NPL005 ------------------------------ *)
+
+let fields_of_safe schema cls =
+  match Schema.kind_of schema cls with
+  | None -> []
+  | Some _ -> ( try Schema.fields_of schema cls with Not_found -> [])
+
+let check_pred ~schema ~(add : ?span:Span.t -> Diagnostic.severity -> string -> string -> unit) (a : Rpe.atom) =
+  let cls = a.Rpe.cls in
+  let rec go = function
+    | Predicate.True -> ()
+    | Predicate.And (x, y) | Predicate.Or (x, y) ->
+        go x;
+        go y
+    | Predicate.Not x -> go x
+    | Predicate.Cmp (path, _, lit) -> (
+        match path with
+        | [] ->
+            add ~span:a.Rpe.span Diagnostic.Error "NPL002"
+              (Printf.sprintf "empty field path in predicate of %S" cls)
+        | head :: rest -> (
+            match Schema.field_type schema cls head with
+            | None ->
+                let fields = List.map fst (fields_of_safe schema cls) in
+                add ~span:a.Rpe.span Diagnostic.Error "NPL002"
+                  (Printf.sprintf "class %S has no field %S%s" cls head
+                     (suggest fields head))
+            | Some ft -> (
+                match Predicate.path_type schema ft rest with
+                | Error e ->
+                    add ~span:a.Rpe.span Diagnostic.Error "NPL004"
+                      (Printf.sprintf "field path %s on class %S: %s"
+                         (String.concat "." path) cls e)
+                | Ok leaf -> (
+                    match Predicate.coerce_literal leaf lit with
+                    | Error e ->
+                        add ~span:a.Rpe.span Diagnostic.Error "NPL003"
+                          (Printf.sprintf
+                             "literal for field %s of class %S does not fit \
+                              type %s: %s"
+                             (String.concat "." path) cls (Ftype.to_string leaf)
+                             e)
+                    | Ok lit' ->
+                        if not (Predicate.literal_compatible leaf lit') then
+                          add ~span:a.Rpe.span Diagnostic.Error "NPL003"
+                            (Printf.sprintf
+                               "field %s of class %S has type %s, incompatible \
+                                with %s"
+                               (String.concat "." path) cls
+                               (Ftype.to_string leaf) (Value.to_string lit'))))))
+  in
+  go a.Rpe.pred
+
+let check_atoms ~schema ~(add : ?span:Span.t -> Diagnostic.severity -> string -> string -> unit) rpe =
+  let walkable = ref true in
+  let concepts =
+    List.filter
+      (fun c -> c <> "Any")
+      (Schema.node_classes schema @ Schema.edge_classes schema)
+  in
+  let rec go = function
+    | Rpe.Atom a -> (
+        match Schema.kind_of schema a.Rpe.cls with
+        | None ->
+            walkable := false;
+            add ~span:a.Rpe.span Diagnostic.Error "NPL001"
+              (Printf.sprintf "unknown concept %S%s" a.Rpe.cls
+                 (suggest concepts a.Rpe.cls))
+        | Some _ -> check_pred ~schema ~add a)
+    | Rpe.Seq (x, y) | Rpe.Alt (x, y) ->
+        go x;
+        go y
+    | Rpe.Rep (r, i, j) ->
+        if i < 0 || j < i || j < 1 then
+          add ~span:(first_span_rpe r) Diagnostic.Error "NPL005"
+            (Printf.sprintf "invalid repetition bounds {%d,%d}" i j);
+        go r
+  in
+  go rpe;
+  !walkable
+
+(* -- satisfiability: NPL010..NPL012, NPL015 --------------------------- *)
+
+type var_shape = {
+  vs_norm : Rpe.norm;
+  vs_starts : Strset.t option;  (** possible source-node classes *)
+  vs_ends : Strset.t option;  (** possible target-node classes *)
+}
+
+let check_satisfiability ~schema ~(add : ?span:Span.t -> Diagnostic.severity -> string -> string -> unit) norm =
+  let ctx =
+    {
+      schema;
+      tb = tables_of schema;
+      died = false;
+      died_at = Span.dummy;
+      dead_branches = [];
+      dup_branches = [];
+      high_reps = [];
+    }
+  in
+  let final = walk ctx (Intset.singleton start_state) norm in
+  List.iter
+    (fun (sp, m, n) ->
+      add ~span:sp Diagnostic.Warning "NPL015"
+        (Printf.sprintf
+           "repetition bound {%d,%d} walks up to %d steps; high-fanout edge \
+            classes make this expensive — consider a tighter bound"
+           m n n))
+    (List.rev ctx.high_reps);
+  if Intset.is_empty final then begin
+    add
+      ~span:(if ctx.died then ctx.died_at else first_span_norm norm)
+      Diagnostic.Error "NPL010"
+      "pattern is provably empty: the schema's edge rules admit no pathway \
+       matching it";
+    None
+  end
+  else begin
+    List.iter
+      (fun (sp, txt) ->
+        add ~span:sp Diagnostic.Warning "NPL011"
+          (Printf.sprintf "union branch %s can never match here and is dead"
+             txt))
+      (List.rev ctx.dead_branches);
+    List.iter
+      (fun (sp, txt) ->
+        add ~span:sp Diagnostic.Warning "NPL012"
+          (Printf.sprintf "duplicate union branch %s" txt))
+      (List.rev ctx.dup_branches);
+    let ends =
+      if Intset.mem start_state final then None
+      else Some (frontier_node_classes ctx.tb final)
+    in
+    Some
+      {
+        vs_norm = norm;
+        vs_starts = start_node_classes ctx norm;
+        vs_ends = ends;
+      }
+  end
+
+(* -- whole-query analysis -------------------------------------------- *)
+
+let rec mentions_matches = function
+  | Q.Matches _ -> true
+  | Q.And (a, b) | Q.Or (a, b) -> mentions_matches a || mentions_matches b
+  | Q.Not c -> mentions_matches c
+  | Q.Cmp _ | Q.Exists _ | Q.Not_exists _ -> false
+
+let path_fun_name = function Q.Source -> "source" | Q.Target -> "target"
+
+let analyze ~schema ?schema_of ?cost q =
+  let schema_for =
+    match schema_of with
+    | Some f -> fun v -> ( try f v with _ -> schema)
+    | None -> fun _ -> schema
+  in
+  let diags = ref [] in
+  let add ?(span = Span.dummy) severity code message =
+    diags := Diagnostic.make ~span severity code message :: !diags
+  in
+  let rec check_query ~outer (q : Q.query) =
+    let declared = List.map (fun v -> v.Q.var_name) q.Q.vars in
+    let scope = declared @ outer in
+    (* NPL009: duplicate declarations *)
+    let rec dup_check = function
+      | [] -> ()
+      | v :: rest ->
+          if List.exists (fun w -> w.Q.var_name = v.Q.var_name) rest then
+            add ~span:v.Q.var_span Diagnostic.Error "NPL009"
+              (Printf.sprintf "variable %S declared twice" v.Q.var_name);
+          dup_check rest
+    in
+    dup_check q.Q.vars;
+    let conjs = Q.conjuncts q.Q.where_ in
+    (* NPL008: MATCHES below a top-level conjunct *)
+    List.iter
+      (fun c ->
+        match c with
+        | Q.Matches _ -> ()
+        | c when mentions_matches c ->
+            add Diagnostic.Error "NPL008"
+              "MATCHES may only appear as a top-level conjunct"
+        | _ -> ())
+      conjs;
+    let matches =
+      List.filter_map (function Q.Matches (v, r) -> Some (v, r) | _ -> None) conjs
+    in
+    (* NPL006: MATCHES on an undeclared variable *)
+    List.iter
+      (fun (v, r) ->
+        if not (List.mem v declared) then
+          add ~span:(first_span_rpe r) Diagnostic.Error "NPL006"
+            (Printf.sprintf "MATCHES on undeclared variable %S" v))
+      matches;
+    (* Per-variable RPE checks; NPL007 for missing/multiple MATCHES. *)
+    let var_shapes =
+      List.filter_map
+        (fun v ->
+          match List.filter (fun (w, _) -> w = v.Q.var_name) matches with
+          | [] ->
+              add ~span:v.Q.var_span Diagnostic.Error "NPL007"
+                (Printf.sprintf "variable %S has no MATCHES predicate"
+                   v.Q.var_name);
+              None
+          | [ (_, rpe) ] ->
+              let vschema = schema_for v.Q.var_name in
+              if not (check_atoms ~schema:vschema ~add rpe) then None
+              else
+                let norm = Rpe.normalize rpe in
+                Option.map
+                  (fun shape -> (v, shape))
+                  (check_satisfiability ~schema:vschema ~add norm)
+          | _ :: _ :: _ ->
+              add ~span:v.Q.var_span Diagnostic.Error "NPL007"
+                (Printf.sprintf "variable %S has multiple MATCHES predicates"
+                   v.Q.var_name);
+              None)
+        q.Q.vars
+    in
+    (* NPL013: the query window and a variable's own timeslice never
+       intersect — the coexistence window is empty by construction. *)
+    (match q.Q.q_at with
+    | Some (Q.At_range (w0, w1)) ->
+        let window = Interval_set.singleton (Interval.between w0 w1) in
+        List.iter
+          (fun v ->
+            let contradiction =
+              match v.Q.var_tc with
+              | Some (Q.At_point t) -> not (Interval_set.contains window t)
+              | Some (Q.At_range (a, b)) ->
+                  Interval_set.is_empty
+                    (Interval_set.inter window
+                       (Interval_set.singleton (Interval.between a b)))
+              | None -> false
+            in
+            if contradiction then
+              add ~span:v.Q.var_span Diagnostic.Warning "NPL013"
+                (Printf.sprintf
+                   "variable %S is evaluated at a timeslice disjoint from the \
+                    query window %s : %s — the temporal constraints \
+                    contradict each other"
+                   v.Q.var_name
+                   (Nepal_temporal.Time_point.to_string w0)
+                   (Nepal_temporal.Time_point.to_string w1)))
+          q.Q.vars
+    | _ -> ());
+    (* Join/anchor classification (mirrors Engine.classify). *)
+    let joins =
+      List.filter_map
+        (function
+          | Q.Cmp (Q.Node_of (f1, v1), Predicate.Eq, Q.Node_of (f2, v2))
+            when v1 <> v2 ->
+              Some (f1, v1, f2, v2)
+          | _ -> None)
+        conjs
+    in
+    let lit_anchors =
+      List.filter_map
+        (function
+          | Q.Cmp (Q.Node_of (f, v), Predicate.Eq, Q.Lit lit)
+          | Q.Cmp (Q.Lit lit, Predicate.Eq, Q.Node_of (f, v)) ->
+              Some (f, v, lit)
+          | _ -> None)
+        conjs
+    in
+    (* NPL018 (error form): a literal node-function pin must be an
+       integer uid — the engine refuses to seed from anything else. *)
+    List.iter
+      (fun (f, v, lit) ->
+        match lit with
+        | Value.Int _ -> ()
+        | _ ->
+            add Diagnostic.Error "NPL018"
+              (Printf.sprintf
+                 "%s(%s) = %s pins a node function to a non-integer literal; \
+                  node identities are integers"
+                 (path_fun_name f) v (Value.to_string lit)))
+      lit_anchors;
+    (* NPL014: anchorability closure. A variable is evaluable when its
+       RPE is anchorable, it is pinned by a literal, or it joins
+       (transitively) to an evaluable variable. *)
+    let cost_for v =
+      match cost with
+      | Some f -> fun a -> ( try f v a with _ -> 1.0)
+      | None -> fun _ -> 1.0
+    in
+    let self_evaluable (v, shape) =
+      List.exists (fun (_, w, _) -> w = v.Q.var_name) lit_anchors
+      || Result.is_ok (Anchor.select ~cost:(cost_for v.Q.var_name) shape.vs_norm)
+    in
+    let evaluable = Hashtbl.create 8 in
+    List.iter
+      (fun ((v, _) as entry) ->
+        if self_evaluable entry then Hashtbl.replace evaluable v.Q.var_name ())
+      var_shapes;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (_, v1, _, v2) ->
+          let grow a b =
+            if Hashtbl.mem evaluable a && not (Hashtbl.mem evaluable b) then begin
+              Hashtbl.replace evaluable b ();
+              changed := true
+            end
+          in
+          grow v1 v2;
+          grow v2 v1)
+        joins
+    done;
+    List.iter
+      (fun (v, _) ->
+        if not (Hashtbl.mem evaluable v.Q.var_name) then
+          add ~span:v.Q.var_span Diagnostic.Error "NPL014"
+            (Printf.sprintf
+               "variable %S is not anchored and cannot import an anchor from \
+                a join"
+               v.Q.var_name))
+      var_shapes;
+    (* NPL016: join-connectivity components — unjoined variable groups
+       multiply into a cross-product. *)
+    if List.length declared > 1 then begin
+      let parent = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace parent v v) declared;
+      let rec find v =
+        let p = try Hashtbl.find parent v with Not_found -> v in
+        if p = v then v
+        else begin
+          let r = find p in
+          Hashtbl.replace parent v r;
+          r
+        end
+      in
+      let union a b =
+        let ra = find a and rb = find b in
+        if ra <> rb then Hashtbl.replace parent ra rb
+      in
+      List.iter
+        (fun (_, v1, _, v2) ->
+          if List.mem v1 declared && List.mem v2 declared then union v1 v2)
+        joins;
+      let roots = List.sort_uniq String.compare (List.map find declared) in
+      if List.length roots > 1 then
+        let span =
+          match List.rev q.Q.vars with v :: _ -> v.Q.var_span | [] -> Span.dummy
+        in
+        add ~span Diagnostic.Warning "NPL016"
+          (Printf.sprintf
+           "variables %s are not connected by source/target joins; their \
+            pathway sets combine as a cross-product"
+            (String.concat ", " declared))
+    end;
+    (* NPL019: expensive anchors (needs a live cost function). *)
+    (match cost with
+    | None -> ()
+    | Some _ ->
+        let joined v =
+          List.exists (fun (_, v1, _, v2) -> v1 = v || v2 = v) joins
+        in
+        List.iter
+          (fun (v, shape) ->
+            let name = v.Q.var_name in
+            if
+              (not (joined name))
+              && not (List.exists (fun (_, w, _) -> w = name) lit_anchors)
+            then
+              match Anchor.select ~cost:(cost_for name) shape.vs_norm with
+              | Ok sel when sel.Anchor.cost >= expensive_anchor_threshold ->
+                  let span =
+                    match sel.Anchor.splits with
+                    | s :: _ -> s.Anchor.anchor.Rpe.span
+                    | [] -> Span.dummy
+                  in
+                  add ~span Diagnostic.Hint "NPL019"
+                    (Printf.sprintf
+                       "cheapest anchor for %S scans an estimated %.0f \
+                        records; a more selective predicate or a literal/join \
+                        seed would narrow it"
+                       name sel.Anchor.cost)
+              | _ -> ())
+          var_shapes);
+    (* Scalar checks: NPL006 (scope), NPL017/NPL018 (field existence and
+       typing against endpoint classes), NPL020 (aggregate placement). *)
+    let shape_for name =
+      List.find_map
+        (fun (v, shape) -> if v.Q.var_name = name then Some shape else None)
+        var_shapes
+    in
+    (* Possible leaf types of a field access, [None] when unknown. *)
+    let field_leaf_types f name path =
+      match shape_for name with
+      | None -> None
+      | Some shape -> (
+          let clsset =
+            match f with Q.Source -> shape.vs_starts | Q.Target -> shape.vs_ends
+          in
+          match (clsset, path) with
+          | None, _ | _, [] -> None
+          | Some set, head :: rest ->
+              let vschema = schema_for name in
+              let leafs =
+                Strset.fold
+                  (fun c acc ->
+                    match Schema.field_type vschema c head with
+                    | None -> acc
+                    | Some ft -> (
+                        match Predicate.path_type vschema ft rest with
+                        | Ok l -> l :: acc
+                        | Error _ -> acc))
+                  set []
+              in
+              if leafs = [] then begin
+                let fields =
+                  Strset.fold
+                    (fun c acc -> List.map fst (fields_of_safe vschema c) @ acc)
+                    set []
+                  |> List.sort_uniq String.compare
+                in
+                add Diagnostic.Warning "NPL017"
+                  (Printf.sprintf
+                     "no possible %s class of %S has field %s — the value is \
+                      always Null%s"
+                     (path_fun_name f) name (String.concat "." path)
+                     (suggest fields head))
+              end;
+              Some leafs)
+    in
+    (* [None]: type unknown; [Some ts]: value is one of these types. *)
+    let rec scalar_types ~agg_ok sc =
+      match sc with
+      | Q.Lit _ -> None
+      | Q.Node_of (_, v) | Q.Length_of v ->
+          if not (List.mem v scope) then begin
+            add Diagnostic.Error "NPL006"
+              (Printf.sprintf "reference to undeclared pathway variable %S" v);
+            None
+          end
+          else Some [ Ftype.T_int ]
+      | Q.Field_of (f, v, path) ->
+          if not (List.mem v scope) then begin
+            add Diagnostic.Error "NPL006"
+              (Printf.sprintf "reference to undeclared pathway variable %S" v);
+            None
+          end
+          else field_leaf_types f v path
+      | Q.Aggregate (kind, inner) ->
+          if not agg_ok then
+            add Diagnostic.Error "NPL020"
+              "aggregates are only allowed as Select items";
+          let inner_t =
+            Option.map (scalar_types ~agg_ok:false) inner
+          in
+          (match kind with
+          | Q.Count -> Some [ Ftype.T_int ]
+          | Q.Min | Q.Max | Q.Sum | Q.Avg -> Option.join inner_t)
+    in
+    let literal_fits ts lit =
+      match lit with
+      | Value.Null -> true
+      | _ ->
+          List.exists
+            (fun t ->
+              match Predicate.coerce_literal t lit with
+              | Ok lit' -> Predicate.literal_compatible t lit'
+              | Error _ -> false)
+            ts
+    in
+    let check_cmp a op b =
+      let ta = scalar_types ~agg_ok:false a in
+      let tb = scalar_types ~agg_ok:false b in
+      let warn_side s ts lit =
+        (* The engine's literal-anchor path already errors on pinned
+           node functions (NPL018 error form above); everything else
+           that cannot typecheck compares as plain values and is
+           simply always false — a warning-grade mistake. *)
+        let is_pinned_node =
+          match (s, op) with
+          | Q.Node_of _, Predicate.Eq -> true
+          | _ -> false
+        in
+        if (not is_pinned_node) && ts <> [] && not (literal_fits ts lit) then
+          add Diagnostic.Warning "NPL018"
+            (Printf.sprintf
+               "%s has type %s, incompatible with %s — this comparison is \
+                always false"
+               (Q.scalar_to_string s)
+               (String.concat "|" (List.map Ftype.to_string ts))
+               (Value.to_string lit))
+      in
+      (match (ta, b) with
+      | Some ts, Q.Lit lit -> warn_side a ts lit
+      | _ -> ());
+      match (tb, a) with
+      | Some ts, Q.Lit lit -> warn_side b ts lit
+      | _ -> ()
+    in
+    (* Walk every condition: scalar scope/type checks plus subqueries.
+       MATCHES conjuncts were handled above. *)
+    let rec walk_cond = function
+      | Q.Matches _ -> ()
+      | Q.Cmp (a, op, b) -> check_cmp a op b
+      | Q.And (x, y) | Q.Or (x, y) ->
+          walk_cond x;
+          walk_cond y
+      | Q.Not x -> walk_cond x
+      | Q.Exists sub | Q.Not_exists sub -> check_query ~outer:scope sub
+    in
+    walk_cond q.Q.where_;
+    (* Result clause: NPL006 for Retrieve of unknown variables; Select
+       items may use aggregates (and only they may). *)
+    match q.Q.mode with
+    | Q.Retrieve names ->
+        List.iter
+          (fun v ->
+            if not (List.mem v scope) then
+              add Diagnostic.Error "NPL006"
+                (Printf.sprintf "Retrieve of undeclared variable %S" v))
+          names
+    | Q.Select items ->
+        List.iter
+          (fun { Q.item; _ } -> ignore (scalar_types ~agg_ok:true item))
+          items
+  in
+  check_query ~outer:[] q;
+  List.sort_uniq
+    (fun a b ->
+      let c = Diagnostic.compare_by_severity a b in
+      if c <> 0 then c else compare a b)
+    !diags
+
+(* -- string entry point ---------------------------------------------- *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let int_after s key =
+  let ns = String.length s and nk = String.length key in
+  let rec find i =
+    if i + nk > ns then None
+    else if String.sub s i nk = key then begin
+      let j = i + nk in
+      let rec digits k =
+        if k < ns && s.[k] >= '0' && s.[k] <= '9' then digits (k + 1) else k
+      in
+      let k = digits j in
+      if k > j then int_of_string_opt (String.sub s j (k - j)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let parse_error_span ~source msg =
+  match (int_after msg "line ", int_after msg "column ") with
+  | Some line, Some col ->
+      let rec bol l i =
+        if l <= 1 then i
+        else
+          match String.index_from_opt source i '\n' with
+          | Some j -> bol (l - 1) (j + 1)
+          | None -> i
+      in
+      let start = bol line 0 + (col - 1) in
+      Span.of_offsets ~source ~start ~stop:(start + 1)
+  | _ -> Span.dummy
+
+let analyze_string ~schema ?schema_of ?cost text =
+  match Nepal_query.Query_parser.parse text with
+  | Error e ->
+      let code =
+        if contains_substring e "invalid repetition bounds" then "NPL005"
+        else "NPL000"
+      in
+      [ Diagnostic.make ~span:(parse_error_span ~source:text e) Diagnostic.Error
+          code e ]
+  | Ok q -> analyze ~schema ?schema_of ?cost q
+
+(* -- engine hookup ---------------------------------------------------- *)
+
+let () =
+  Engine.analyzer_hook :=
+    Some
+      (fun ~schema_of ~cost_of q ->
+        let schema = schema_of "" in
+        analyze ~schema ~schema_of ~cost:cost_of q
+        |> List.map (fun (d : Diagnostic.t) ->
+               {
+                 Engine.ad_code = d.Diagnostic.code;
+                 ad_severity =
+                   (match d.Diagnostic.severity with
+                   | Diagnostic.Error -> `Error
+                   | Diagnostic.Warning -> `Warning
+                   | Diagnostic.Hint -> `Hint);
+                 ad_message = d.Diagnostic.message;
+                 ad_line = d.Diagnostic.span.Span.line;
+                 ad_col = d.Diagnostic.span.Span.col;
+               }))

@@ -1,0 +1,33 @@
+(** Static analysis of Nepal queries against a live schema catalog.
+
+    [analyze] inspects a parsed query — labels, predicates, RPE
+    satisfiability (schema-graph reachability under the 4-case junction
+    rule), temporal windows, anchors/joins — and returns structured
+    {!Diagnostic.t}s without contacting any backend. Loading this
+    module also registers the analyzer with
+    {!Nepal_query.Engine.analyzer_hook}, which is how
+    [Engine.run ~analyze] finds it. *)
+
+val analyze :
+  schema:Nepal_schema.Schema.t ->
+  ?schema_of:(string -> Nepal_schema.Schema.t) ->
+  ?cost:(string -> Nepal_rpe.Rpe.atom -> float) ->
+  Nepal_query.Query_ast.query ->
+  Diagnostic.t list
+(** Diagnostics sorted errors-first (then source position, then code).
+    [schema] resolves classes and fields. [schema_of], when given, maps
+    a range-variable name to the schema at that variable's timeslice
+    (falls back to [schema] on exceptions). [cost], when given, enables
+    the NPL019 expensive-anchor hint using per-variable atom cost
+    estimates (e.g. a backend's [estimate_atom]); without it anchor
+    *existence* is still checked with a unit cost model. *)
+
+val analyze_string :
+  schema:Nepal_schema.Schema.t ->
+  ?schema_of:(string -> Nepal_schema.Schema.t) ->
+  ?cost:(string -> Nepal_rpe.Rpe.atom -> float) ->
+  string ->
+  Diagnostic.t list
+(** Parse then {!analyze}. Parse failures come back as a single
+    [NPL000] (or [NPL005] for repetition-bound syntax) error whose span
+    is recovered from the parser's "line L, column C" message. *)

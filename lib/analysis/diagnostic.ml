@@ -1,0 +1,60 @@
+module Span = Nepal_rpe.Span
+
+type severity = Error | Warning | Hint
+
+type t = { code : string; severity : severity; message : string; span : Span.t }
+
+let make ?(span = Span.dummy) severity code message =
+  { code; severity; message; span }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let compare_by_severity a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.span.Span.start b.span.Span.start in
+    if c <> 0 then c else String.compare a.code b.code
+
+let to_string d =
+  let where =
+    if Span.is_dummy d.span then ""
+    else Printf.sprintf " %s:" (Span.to_string d.span)
+  in
+  Printf.sprintf "%s[%s]%s %s" (severity_to_string d.severity) d.code where
+    d.message
+
+let render ?source d =
+  let caret =
+    match source with
+    | Some src when not (Span.is_dummy d.span) -> Span.snippet ~source:src d.span
+    | _ -> []
+  in
+  String.concat "\n" (to_string d :: caret)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\", \"line\": \
+     %d, \"column\": %d}"
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (json_escape d.message) d.span.Span.line d.span.Span.col

@@ -1,0 +1,31 @@
+(** Structured diagnostics emitted by the static query analyzer: a
+    stable code ([NPL001]...), a severity, a human message, and the
+    source span the finding anchors to ([Span.dummy] when the construct
+    has no position, e.g. programmatically built queries). *)
+
+module Span = Nepal_rpe.Span
+
+type severity =
+  | Error  (** the engine would reject or the query can never match *)
+  | Warning  (** almost certainly a mistake, but executable *)
+  | Hint  (** style/cost advice; never gates execution *)
+
+type t = { code : string; severity : severity; message : string; span : Span.t }
+
+val make : ?span:Span.t -> severity -> string -> string -> t
+(** [make ~span severity code message]. *)
+
+val severity_to_string : severity -> string
+
+val compare_by_severity : t -> t -> int
+(** Errors first, then warnings, then hints; ties broken by source
+    position, then code. *)
+
+val to_string : t -> string
+(** One line: [error[NPL001] line 1, column 42: unknown concept ...]. *)
+
+val render : ?source:string -> t -> string
+(** {!to_string}, plus a two-line caret snippet when [source] is the
+    text the diagnostic's span points into. *)
+
+val to_json : t -> string

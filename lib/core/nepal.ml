@@ -34,6 +34,9 @@ module Reclass = Nepal_loader.Reclass
 module Model = Nepal_netmodel.Model
 module Virt_service = Nepal_netmodel.Virt_service
 module Legacy = Nepal_netmodel.Legacy
+module Span = Nepal_rpe.Span
+module Analysis = Nepal_analysis.Analysis
+module Diagnostic = Nepal_analysis.Diagnostic
 
 type t = { store_ : Graph_store.t; conn_ : Backend.conn }
 
@@ -48,7 +51,51 @@ let insert_edge t = Graph_store.insert_edge t.store_
 let update t = Graph_store.update t.store_
 let delete t ~at ?cascade uid = Graph_store.delete t.store_ ~at ?cascade uid
 
-let query t ?binds text = Explain.run_string ~conn:t.conn_ ?binds text
+(* Static analysis of [text] against [conn]'s catalog (per-variable
+   [binds] respected); any leading EXPLAIN prefix is stripped first. *)
+let check_on conn ?(binds = []) text =
+  let _, rest = Explain.classify text in
+  let conn_of var =
+    match List.assoc_opt var binds with Some c -> c | None -> conn
+  in
+  Analysis.analyze_string
+    ~schema:(Backend.conn_schema conn)
+    ~schema_of:(fun var -> Backend.conn_schema (conn_of var))
+    ~cost:(fun var a -> try Backend.estimate_atom (conn_of var) a with _ -> 1.0)
+    rest
+
+(* Engine/parse errors gain the analyzer's findings — code, span, and a
+   caret snippet — so the user sees *where* and *why*, not just the
+   first message the engine happened to hit. Analysis-rejection errors
+   already carry their diagnostics; leave them alone. *)
+let enrich_error ~conn ?binds text e =
+  let already_analyzed =
+    let p = "query rejected by static analysis" in
+    String.length e >= String.length p && String.sub e 0 (String.length p) = p
+  in
+  if already_analyzed then e
+  else
+    let _, rest = Explain.classify text in
+    let errors =
+      try
+        List.filter
+          (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error)
+          (check_on conn ?binds text)
+      with _ -> []
+    in
+    match errors with
+    | [] -> e
+    | ds ->
+        String.concat "\n"
+          (e :: List.map (Diagnostic.render ~source:rest) ds)
+
+let query_gen ~conn ?binds ?analyze text =
+  match Explain.run_string ~conn ?binds ?analyze text with
+  | Ok _ as ok -> ok
+  | Error e -> Error (enrich_error ~conn ?binds text e)
+
+let query t ?binds ?analyze text = query_gen ~conn:t.conn_ ?binds ?analyze text
+let check t ?binds text = check_on t.conn_ ?binds text
 
 let ( let* ) = Result.bind
 
@@ -97,4 +144,4 @@ let native_conn = Nepal_query.Connect.native
 let relational_conn = Nepal_query.Connect.relational
 let gremlin_conn = Nepal_query.Connect.gremlin
 
-let query_on conn ?binds text = Explain.run_string ~conn ?binds text
+let query_on conn ?binds ?analyze text = query_gen ~conn ?binds ?analyze text

@@ -61,6 +61,9 @@ module Reclass = Nepal_loader.Reclass
 module Model = Nepal_netmodel.Model
 module Virt_service = Nepal_netmodel.Virt_service
 module Legacy = Nepal_netmodel.Legacy
+module Span = Nepal_rpe.Span
+module Analysis = Nepal_analysis.Analysis
+module Diagnostic = Nepal_analysis.Diagnostic
 
 (** {1 Databases} *)
 
@@ -92,11 +95,27 @@ val delete : t -> at:Time_point.t -> ?cascade:bool -> int -> (unit, string) resu
 (** {1 Queries} *)
 
 val query :
-  t -> ?binds:(string * Backend.conn) list -> string ->
+  t ->
+  ?binds:(string * Backend.conn) list ->
+  ?analyze:Engine.analyze_mode ->
+  string ->
   (Engine.result, string) result
 (** Parse and evaluate a Nepal query. A leading [EXPLAIN] (plan only)
     or [EXPLAIN ANALYZE] (execute with tracing) prefix yields an
-    ["explain"] table of report lines instead — see {!Explain}. *)
+    ["explain"] table of report lines instead — see {!Explain}.
+
+    Every query passes through the static analyzer first ([?analyze],
+    default [`Warn]: findings are logged but execution proceeds;
+    [`Strict] rejects on any error or warning before the backend is
+    contacted; [`Off] skips analysis). On failure the error message is
+    enriched with the analyzer's error-severity findings, including
+    caret snippets pointing into the query text. *)
+
+val check :
+  t -> ?binds:(string * Backend.conn) list -> string -> Diagnostic.t list
+(** Statically analyze a query (leading [EXPLAIN] prefixes are ignored)
+    against this database's schema without executing it. See
+    {!Analysis.analyze_string} for the diagnostic catalog. *)
 
 val find_paths :
   t -> ?tc:Time_constraint.t -> ?max_length:int -> string ->
@@ -132,7 +151,15 @@ val relational_conn : Relational_backend.t -> Backend.conn
 val gremlin_conn : Gremlin_backend.t -> Backend.conn
 
 val query_on :
-  Backend.conn -> ?binds:(string * Backend.conn) list -> string ->
+  Backend.conn ->
+  ?binds:(string * Backend.conn) list ->
+  ?analyze:Engine.analyze_mode ->
+  string ->
   (Engine.result, string) result
 (** Run a query against an arbitrary connection (relational, gremlin,
-    or a mix via [binds]). *)
+    or a mix via [binds]). Same analysis behaviour as {!query}. *)
+
+val check_on :
+  Backend.conn -> ?binds:(string * Backend.conn) list -> string ->
+  Diagnostic.t list
+(** {!check} against an arbitrary connection. *)

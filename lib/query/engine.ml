@@ -446,7 +446,7 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
     | Cmp (a, op, b) ->
         let* va = eval_scalar row a in
         let* vb = eval_scalar row b in
-        if va = Value.Null || vb = Value.Null then Ok false
+        if Value.equal va Value.Null || Value.equal vb Value.Null then Ok false
         else
           let c = Value.compare va vb in
           Ok
@@ -634,12 +634,14 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
               | Min ->
                   Ok (List.fold_left
                         (fun acc v ->
-                          if acc = Value.Null || Value.compare v acc < 0 then v else acc)
+                          if Value.equal acc Value.Null || Value.compare v acc < 0 then v
+                          else acc)
                         Value.Null values)
               | Max ->
                   Ok (List.fold_left
                         (fun acc v ->
-                          if acc = Value.Null || Value.compare v acc > 0 then v else acc)
+                          if Value.equal acc Value.Null || Value.compare v acc > 0 then v
+                          else acc)
                         Value.Null values)
               | Sum | Avg -> (
                   let nums = List.filter_map numeric values in
@@ -647,7 +649,7 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
                   match kind with
                   | Sum ->
                       if List.for_all (fun v -> match v with Value.Int _ -> true | _ -> false)
-                           (List.filter (fun v -> v <> Value.Null) values)
+                           (List.filter (fun v -> not (Value.equal v Value.Null)) values)
                       then Ok (Value.Int (int_of_float total))
                       else Ok (Value.Float total)
                   | _ ->
@@ -703,6 +705,50 @@ let m_queries = Metrics.counter "engine.queries"
 let m_query_errors = Metrics.counter "engine.query_errors"
 let m_slow_queries = Metrics.counter "engine.slow_queries"
 let m_query_seconds = Metrics.histogram "engine.query_seconds"
+let m_analysis_warnings = Metrics.counter "engine.analysis_warnings"
+let m_analysis_rejected = Metrics.counter "engine.analysis_rejected"
+
+(* -- pre-execution static analysis ---------------------------------- *)
+
+type analyze_mode = [ `Off | `Warn | `Strict ]
+
+type analysis_severity = [ `Error | `Warning | `Hint ]
+
+type analysis_diag = {
+  ad_code : string;
+  ad_severity : analysis_severity;
+  ad_message : string;
+  ad_line : int;  (** 1-based; 0 when the diagnostic has no position *)
+  ad_col : int;
+}
+
+let analysis_severity_string = function
+  | `Error -> "error"
+  | `Warning -> "warning"
+  | `Hint -> "hint"
+
+let analysis_diag_to_string d =
+  let where =
+    if d.ad_line > 0 then Printf.sprintf " line %d, column %d:" d.ad_line d.ad_col
+    else ""
+  in
+  Printf.sprintf "%s[%s]%s %s"
+    (analysis_severity_string d.ad_severity)
+    d.ad_code where d.ad_message
+
+(* The analyzer lives in [nepal_analysis], which depends on this
+   library for the query AST — so the engine reaches it through a
+   forward reference the analyzer fills at module-initialization time
+   (same idiom as [plan_summary_ref]). Executables that do not link
+   the analyzer simply run with analysis off. *)
+let analyzer_hook :
+    (schema_of:(string -> Nepal_schema.Schema.t) ->
+    cost_of:(string -> Rpe.atom -> float) ->
+    Query_ast.query ->
+    analysis_diag list)
+    option
+    ref =
+  ref None
 
 (* A measured span tree as a JSON value for the structured event log. *)
 let rec span_json (s : Trace.span) =
@@ -734,9 +780,75 @@ let plan_summary_ref :
    query's event can carry the measured span tree and plan text.
    [own_trace] marks a root span this function is responsible for
    stamping (as opposed to a caller's parent span). *)
+let analysis_prelude ~conn ~binds ~(analyze : analyze_mode) q =
+  match (analyze, !analyzer_hook) with
+  | `Off, _ | _, None -> Ok ()
+  | (`Warn | `Strict), Some hook ->
+      let conn_of var =
+        match List.assoc_opt var binds with Some c -> c | None -> conn
+      in
+      let diags =
+        try
+          hook
+            ~schema_of:(fun var -> Backend_intf.conn_schema (conn_of var))
+            ~cost_of:(fun var a ->
+              try Backend_intf.estimate_atom (conn_of var) a with _ -> 1.0)
+            q
+        with _ -> []
+      in
+      let flagged =
+        List.filter
+          (fun d -> match d.ad_severity with `Error | `Warning -> true | `Hint -> false)
+          diags
+      in
+      List.iter
+        (fun d ->
+          Metrics.incr m_analysis_warnings;
+          if Event_log.enabled () then
+            Event_log.emit
+              ~level:
+                (match d.ad_severity with
+                | `Error -> Event_log.Error
+                | `Warning | `Hint -> Event_log.Warn)
+              ~kind:"analysis.diagnostic"
+              [
+                ("code", Event_log.Str d.ad_code);
+                ("severity", Event_log.Str (analysis_severity_string d.ad_severity));
+                ("message", Event_log.Str d.ad_message);
+                ("line", Event_log.Int d.ad_line);
+                ("column", Event_log.Int d.ad_col);
+                ("query", Event_log.Str (Query_ast.to_string q));
+              ])
+        flagged;
+      if analyze = `Strict && flagged <> [] then
+        Error
+          (String.concat "\n"
+             ("query rejected by static analysis:"
+             :: List.map (fun d -> "  " ^ analysis_diag_to_string d) flagged))
+      else Ok ()
+
 let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
-    ?(own_trace = false) ~text q =
+    ?(own_trace = false) ?(analyze = (`Warn : analyze_mode)) ~text q =
   Metrics.incr m_queries;
+  match analysis_prelude ~conn ~binds ~analyze q with
+  | Error e ->
+      Metrics.incr m_analysis_rejected;
+      let query_text =
+        match text with Some t -> t | None -> Query_ast.to_string q
+      in
+      Stat_statements.record
+        ~backend:(Backend_intf.conn_name conn)
+        ~fingerprint:(Stat_statements.fingerprint query_text)
+        ~error:false ~analysis_rejected:true ~wall_s:0. ();
+      if Event_log.enabled () then
+        Event_log.emit ~level:Event_log.Error ~kind:"analysis.rejected"
+          [
+            ("backend", Event_log.Str (Backend_intf.conn_name conn));
+            ("query", Event_log.Str query_text);
+            ("error", Event_log.Str e);
+          ];
+      Error e
+  | Ok () ->
   let slow_thr = Event_log.slow_query_threshold () in
   let root, own_trace =
     match (trace, slow_thr) with
@@ -805,27 +917,30 @@ let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
       | _ -> ()));
   res
 
-let run ~conn ?binds ?max_length ?stats ?config ?trace q =
-  run_instrumented ~conn ?binds ?max_length ?stats ?config ?trace ~text:None q
+let run ~conn ?binds ?max_length ?stats ?config ?trace ?analyze q =
+  run_instrumented ~conn ?binds ?max_length ?stats ?config ?trace ?analyze
+    ~text:None q
 
-let run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text q =
+let run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ~text q =
   let root = Trace.make "Query" in
   let* r =
-    run_instrumented ~conn ?binds ?max_length ?stats ?config ~trace:root
-      ~own_trace:true ~text q
+    run_instrumented ~conn ?binds ?max_length ?stats ?config ?analyze
+      ~trace:root ~own_trace:true ~text q
   in
   Ok (r, root)
 
-let run_traced ~conn ?binds ?max_length ?stats ?config q =
-  run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text:None q
+let run_traced ~conn ?binds ?max_length ?stats ?config ?analyze q =
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ~text:None q
 
-let run_string ~conn ?binds ?max_length ?stats ?config text =
+let run_string ~conn ?binds ?max_length ?stats ?config ?analyze text =
   let* q = Query_parser.parse text in
-  run_instrumented ~conn ?binds ?max_length ?stats ?config ~text:(Some text) q
+  run_instrumented ~conn ?binds ?max_length ?stats ?config ?analyze
+    ~text:(Some text) q
 
-let run_string_traced ~conn ?binds ?max_length ?stats ?config text =
+let run_string_traced ~conn ?binds ?max_length ?stats ?config ?analyze text =
   let* q = Query_parser.parse text in
-  run_traced_aux ~conn ?binds ?max_length ?stats ?config ~text:(Some text) q
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze
+    ~text:(Some text) q
 
 (* -- planning-only surface (EXPLAIN) -------------------------------- *)
 

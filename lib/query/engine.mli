@@ -24,6 +24,42 @@ type result =
   | Rows of { vars : string list; rows : row list }
   | Table of { columns : string list; rows : Value.t list list }
 
+(** {1 Pre-execution static analysis} *)
+
+type analyze_mode = [ `Off | `Warn | `Strict ]
+(** [`Warn] (the default) runs the static analyzer before evaluation
+    and logs its findings through {!Nepal_util.Event_log} and the
+    metrics registry; [`Strict] additionally rejects the query — before
+    any backend round-trip — when an [Error]- or [Warning]-severity
+    diagnostic fires; [`Off] skips analysis entirely. *)
+
+type analysis_severity = [ `Error | `Warning | `Hint ]
+
+type analysis_diag = {
+  ad_code : string;  (** e.g. ["NPL010"] *)
+  ad_severity : analysis_severity;
+  ad_message : string;
+  ad_line : int;  (** 1-based; 0 when the diagnostic has no position *)
+  ad_col : int;
+}
+(** The engine-side view of a diagnostic (the full structured form
+    lives in [Nepal_analysis.Diagnostic]). *)
+
+val analysis_severity_string : analysis_severity -> string
+val analysis_diag_to_string : analysis_diag -> string
+
+val analyzer_hook :
+  (schema_of:(string -> Nepal_schema.Schema.t) ->
+  cost_of:(string -> Nepal_rpe.Rpe.atom -> float) ->
+  Query_ast.query ->
+  analysis_diag list)
+  option
+  ref
+(** Filled by [Nepal_analysis] at link time (forward reference breaking
+    the dependency cycle). [schema_of]/[cost_of] resolve a pathway
+    variable to its bound backend's catalog and anchor-cost estimator;
+    neither touches backend data. When unset, analysis is a no-op. *)
+
 val run :
   conn:Backend_intf.conn ->
   ?binds:(string * Backend_intf.conn) list ->
@@ -31,6 +67,7 @@ val run :
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
   ?trace:Trace.span ->
+  ?analyze:analyze_mode ->
   Query_ast.query ->
   (result, string) Stdlib.result
 (** [binds] maps individual pathway variables to other databases;
@@ -45,6 +82,7 @@ val run_traced :
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
+  ?analyze:analyze_mode ->
   Query_ast.query ->
   (result * Trace.span, string) Stdlib.result
 (** Like {!run}, but returns the measured operator span tree alongside
@@ -56,6 +94,7 @@ val run_string :
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
+  ?analyze:analyze_mode ->
   string ->
   (result, string) Stdlib.result
 (** Parse and run. *)
@@ -66,6 +105,7 @@ val run_string_traced :
   ?max_length:int ->
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
+  ?analyze:analyze_mode ->
   string ->
   (result * Trace.span, string) Stdlib.result
 (** Parse and {!run_traced}. *)

@@ -177,18 +177,48 @@ let per_operator_lines root =
 
 (* -- dispatcher ----------------------------------------------------- *)
 
+(* Static-analyzer findings for a planned query, rendered as extra
+   EXPLAIN lines (empty when the analyzer library is not linked in). *)
+let diagnostic_lines ~conn ?(binds = []) q =
+  match !Engine.analyzer_hook with
+  | None -> []
+  | Some hook -> (
+      let conn_of var =
+        match List.assoc_opt var binds with Some c -> c | None -> conn
+      in
+      let diags =
+        try
+          hook
+            ~schema_of:(fun var -> Backend_intf.conn_schema (conn_of var))
+            ~cost_of:(fun var a ->
+              try Backend_intf.estimate_atom (conn_of var) a with _ -> 1.0)
+            q
+        with _ -> []
+      in
+      match diags with
+      | [] -> []
+      | _ ->
+          "" :: "diagnostics:"
+          :: List.map
+               (fun d -> "  " ^ Engine.analysis_diag_to_string d)
+               diags)
+
 (* Drop-in replacement for {!Engine.run_string} that intercepts
    [EXPLAIN] / [EXPLAIN ANALYZE] prefixes; plain queries fall through
    unchanged. *)
-let run_string ~conn ?binds ?max_length ?stats ?config text =
+let run_string ~conn ?binds ?max_length ?stats ?config ?analyze text =
   match classify text with
-  | Plain, _ -> Engine.run_string ~conn ?binds ?max_length ?stats ?config text
+  | Plain, _ ->
+      Engine.run_string ~conn ?binds ?max_length ?stats ?config ?analyze text
   | Plan, rest ->
       let* q = Query_parser.parse rest in
       let* p = Engine.plan ~conn ?binds q in
-      Ok (table_of_lines (render_plan ~conn ?binds p))
+      Ok
+        (table_of_lines
+           (render_plan ~conn ?binds p @ diagnostic_lines ~conn ?binds q))
   | Analyze, rest ->
       let* _r, root =
-        Engine.run_string_traced ~conn ?binds ?max_length ?stats ?config rest
+        Engine.run_string_traced ~conn ?binds ?max_length ?stats ?config
+          ?analyze rest
       in
       Ok (table_of_lines (Trace.render root @ per_operator_lines root))

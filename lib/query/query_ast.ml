@@ -32,7 +32,13 @@ type tc_spec =
   | At_point of Time_point.t
   | At_range of Time_point.t * Time_point.t
 
-type range_var = { var_name : string; var_tc : tc_spec option }
+type range_var = {
+  var_name : string;
+  var_tc : tc_spec option;
+  var_span : Nepal_rpe.Span.t;
+      (** Position of the variable in the From clause (dummy when the
+          query was built programmatically). *)
+}
 
 type select_item = { item : scalar; alias : string option }
 
@@ -121,7 +127,7 @@ and to_string q =
   Buffer.add_string buf
     (String.concat ", "
        (List.map
-          (fun { var_name; var_tc } ->
+          (fun { var_name; var_tc; _ } ->
             "PATHS " ^ var_name
             ^ match var_tc with
               | Some tc -> Printf.sprintf "(@%s)" (tc_spec_to_string tc)

@@ -170,6 +170,7 @@ and parse_sources ts =
      be omitted for subsequent variables, as in the paper's examples. *)
   let parse_one () =
     let _ = Ts.accept_keyword ts "paths" in
+    let var_span = Ts.span ts in
     let* var_name = Ts.expect_ident ts in
     let* var_tc =
       if Ts.accept_punct ts "(" then begin
@@ -180,7 +181,7 @@ and parse_sources ts =
       end
       else Ok None
     in
-    Ok { var_name; var_tc }
+    Ok { var_name; var_tc; var_span }
   in
   let rec more acc =
     let* v = parse_one () in

@@ -69,6 +69,7 @@ type entry = {
   mutable e_roundtrips : int;
   mutable e_pcache_hits : int;
   mutable e_errors : int;
+  mutable e_analysis_rejected : int;
   mutable e_total_s : float;
   mutable e_last_used : int;
   e_hist : Metrics.histogram;
@@ -129,6 +130,7 @@ let find_or_create_locked ~backend ~fp =
           e_roundtrips = 0;
           e_pcache_hits = 0;
           e_errors = 0;
+          e_analysis_rejected = 0;
           e_total_s = 0.;
           e_last_used = 0;
           e_hist = Metrics.unregistered_histogram fp;
@@ -138,7 +140,8 @@ let find_or_create_locked ~backend ~fp =
       e
 
 let record ~backend ~fingerprint:fp ?(rows = 0) ?(roundtrips = 0)
-    ?(pcache_hits = 0) ?(error = false) ~wall_s () =
+    ?(pcache_hits = 0) ?(error = false) ?(analysis_rejected = false) ~wall_s ()
+    =
   with_lock (fun () ->
       incr clock;
       let e = find_or_create_locked ~backend ~fp in
@@ -147,6 +150,8 @@ let record ~backend ~fingerprint:fp ?(rows = 0) ?(roundtrips = 0)
       e.e_roundtrips <- e.e_roundtrips + roundtrips;
       e.e_pcache_hits <- e.e_pcache_hits + pcache_hits;
       if error then e.e_errors <- e.e_errors + 1;
+      if analysis_rejected then
+        e.e_analysis_rejected <- e.e_analysis_rejected + 1;
       e.e_total_s <- e.e_total_s +. wall_s;
       e.e_last_used <- !clock;
       Metrics.observe e.e_hist wall_s)
@@ -167,6 +172,9 @@ type stat = {
   st_roundtrips : int;
   st_pcache_hits : int;
   st_errors : int;
+  st_analysis_rejected : int;
+      (** statements rejected by the [`Strict] static-analysis gate —
+          counted separately from backend/runtime errors *)
   st_total_s : float;
   st_mean_s : float;
   st_p50_s : float;
@@ -185,6 +193,7 @@ let stat_of_entry e =
     st_roundtrips = e.e_roundtrips;
     st_pcache_hits = e.e_pcache_hits;
     st_errors = e.e_errors;
+    st_analysis_rejected = e.e_analysis_rejected;
     st_total_s = e.e_total_s;
     st_mean_s = (if e.e_calls = 0 then 0. else e.e_total_s /. float_of_int e.e_calls);
     st_p50_s = h.Metrics.p50;
@@ -245,13 +254,14 @@ let json_escape s =
 let stat_to_json st =
   Printf.sprintf
     "{\"backend\": \"%s\", \"fingerprint\": \"%s\", \"calls\": %d, \"rows\": %d, \
-     \"roundtrips\": %d, \"pcache_hits\": %d, \"errors\": %d, \"total_s\": %.6f, \
-     \"mean_s\": %.6f, \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f, \
-     \"max_s\": %.6f}"
+     \"roundtrips\": %d, \"pcache_hits\": %d, \"errors\": %d, \
+     \"analysis_rejected\": %d, \"total_s\": %.6f, \"mean_s\": %.6f, \
+     \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f, \"max_s\": %.6f}"
     (json_escape st.st_backend)
     (json_escape st.st_fingerprint)
     st.st_calls st.st_rows st.st_roundtrips st.st_pcache_hits st.st_errors
-    st.st_total_s st.st_mean_s st.st_p50_s st.st_p95_s st.st_p99_s st.st_max_s
+    st.st_analysis_rejected st.st_total_s st.st_mean_s st.st_p50_s st.st_p95_s
+    st.st_p99_s st.st_max_s
 
 let render_stats_json ?top:(n = max_int) sts =
   let sts = List.filteri (fun i _ -> i < n) sts in
@@ -263,7 +273,7 @@ let render_json ?top () = render_stats_json ?top (stats ())
 
 (* Tab-separated, fingerprint last: fingerprints are space-joined token
    strings, so they never contain tabs or newlines. *)
-let dump_header = "#nepal-stat-statements-v1"
+let dump_header = "#nepal-stat-statements-v2"
 
 let save path =
   let sts = stats () in
@@ -272,10 +282,11 @@ let save path =
     output_string oc (dump_header ^ "\n");
     List.iter
       (fun st ->
-        Printf.fprintf oc "%s\t%d\t%d\t%d\t%d\t%d\t%.9f\t%.9f\t%.9f\t%.9f\t%.9f\t%s\n"
+        Printf.fprintf oc
+          "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.9f\t%.9f\t%.9f\t%.9f\t%.9f\t%s\n"
           st.st_backend st.st_calls st.st_rows st.st_roundtrips
-          st.st_pcache_hits st.st_errors st.st_total_s st.st_p50_s st.st_p95_s
-          st.st_p99_s st.st_max_s st.st_fingerprint)
+          st.st_pcache_hits st.st_errors st.st_analysis_rejected st.st_total_s
+          st.st_p50_s st.st_p95_s st.st_p99_s st.st_max_s st.st_fingerprint)
       sts;
     close_out oc;
     Ok ()
@@ -296,14 +307,15 @@ let load path =
            let line = input_line ic in
            if line <> "" then
              match String.split_on_char '\t' line with
-             | [ backend; calls; rows_; rts; ph; errs; total; p50; p95; p99; mx;
-                 fp ] -> (
+             | [ backend; calls; rows_; rts; ph; errs; rej; total; p50; p95;
+                 p99; mx; fp ] -> (
                  match
                    ( int_of_string_opt calls,
                      int_of_string_opt rows_,
                      int_of_string_opt rts,
                      int_of_string_opt ph,
-                     int_of_string_opt errs,
+                     ( int_of_string_opt errs,
+                       int_of_string_opt rej ),
                      float_of_string_opt total,
                      float_of_string_opt p50,
                      float_of_string_opt p95,
@@ -314,7 +326,7 @@ let load path =
                      Some rows_,
                      Some rts,
                      Some ph,
-                     Some errs,
+                     (Some errs, Some rej),
                      Some total,
                      Some p50,
                      Some p95,
@@ -329,6 +341,7 @@ let load path =
                          st_roundtrips = rts;
                          st_pcache_hits = ph;
                          st_errors = errs;
+                         st_analysis_rejected = rej;
                          st_total_s = total;
                          st_mean_s =
                            (if calls = 0 then 0.

@@ -28,12 +28,15 @@ val record :
   ?roundtrips:int ->
   ?pcache_hits:int ->
   ?error:bool ->
+  ?analysis_rejected:bool ->
   wall_s:float ->
   unit ->
   unit
 (** Accumulate one execution into the (backend, fingerprint) entry,
     creating it (and evicting the least-recently-used entry when at
-    capacity) as needed. *)
+    capacity) as needed. [analysis_rejected] marks statements turned
+    away by the [`Strict] static-analysis gate, a class distinct from
+    backend/runtime [error]s (the backend was never reached). *)
 
 (** One entry's cumulative statistics at snapshot time. *)
 type stat = {
@@ -44,6 +47,8 @@ type stat = {
   st_roundtrips : int;    (** backend round-trips, summed *)
   st_pcache_hits : int;   (** presence-cache hits, summed *)
   st_errors : int;        (** calls that returned [Error] *)
+  st_analysis_rejected : int;
+      (** calls rejected by [`Strict] static analysis (never executed) *)
   st_total_s : float;     (** total wall seconds *)
   st_mean_s : float;
   st_p50_s : float;       (** latency quantile estimates (log-linear) *)

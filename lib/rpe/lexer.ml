@@ -6,7 +6,7 @@ type token =
   | Punct of string
   | Eof
 
-type spanned = { token : token; pos : int }
+type spanned = { token : token; pos : int; stop : int }
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -22,6 +22,13 @@ let puncts =
 
 let tokenize input =
   let n = String.length input in
+  let err i fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let sp = Span.of_offsets ~source:input ~start:i ~stop:(i + 1) in
+        Error (Printf.sprintf "%s at %s" msg (Span.to_string sp)))
+      fmt
+  in
   let rec skip_ws i =
     if i < n && (input.[i] = ' ' || input.[i] = '\t' || input.[i] = '\n' || input.[i] = '\r')
     then skip_ws (i + 1)
@@ -33,13 +40,13 @@ let tokenize input =
   in
   let rec loop i acc =
     let i = skip_ws i in
-    if i >= n then Ok (List.rev ({ token = Eof; pos = i } :: acc))
+    if i >= n then Ok (List.rev ({ token = Eof; pos = i; stop = i } :: acc))
     else
       let c = input.[i] in
       if is_ident_start c then begin
         let rec fin j = if j < n && is_ident_char input.[j] then fin (j + 1) else j in
         let j = fin i in
-        loop j ({ token = Ident (String.sub input i (j - i)); pos = i } :: acc)
+        loop j ({ token = Ident (String.sub input i (j - i)); pos = i; stop = j } :: acc)
       end
       else if is_digit c then begin
         let rec fin j = if j < n && is_digit input.[j] then fin (j + 1) else j in
@@ -50,19 +57,19 @@ let tokenize input =
         if j < n && input.[j] = '.' && j + 1 < n && is_digit input.[j + 1] then begin
           let k = fin (j + 1) in
           match float_of_string_opt (String.sub input i (k - i)) with
-          | Some f -> loop k ({ token = Float_lit f; pos = i } :: acc)
-          | None -> Error (Printf.sprintf "bad float literal at offset %d" i)
+          | Some f -> loop k ({ token = Float_lit f; pos = i; stop = k } :: acc)
+          | None -> err i "bad float literal"
         end
         else
           match int_of_string_opt (String.sub input i (j - i)) with
-          | Some v -> loop j ({ token = Int_lit v; pos = i } :: acc)
-          | None -> Error (Printf.sprintf "bad integer literal at offset %d" i)
+          | Some v -> loop j ({ token = Int_lit v; pos = i; stop = j } :: acc)
+          | None -> err i "bad integer literal"
       end
       else if c = '\'' then begin
         (* Single-quoted string; '' escapes a quote (SQL style). *)
         let buf = Buffer.create 16 in
         let rec fin j =
-          if j >= n then Error (Printf.sprintf "unterminated string at offset %d" i)
+          if j >= n then err i "unterminated string"
           else if input.[j] = '\'' then
             if j + 1 < n && input.[j + 1] = '\'' then begin
               Buffer.add_char buf '\'';
@@ -77,13 +84,14 @@ let tokenize input =
         match fin (i + 1) with
         | Error e -> Error e
         | Ok j ->
-            loop j ({ token = String_lit (Buffer.contents buf); pos = i } :: acc)
+            loop j ({ token = String_lit (Buffer.contents buf); pos = i; stop = j } :: acc)
       end
       else
         match List.find_opt (starts_with_at i) puncts with
         | Some p ->
-            loop (i + String.length p) ({ token = Punct p; pos = i } :: acc)
-        | None -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+            loop (i + String.length p)
+              ({ token = Punct p; pos = i; stop = i + String.length p } :: acc)
+        | None -> err i "unexpected character %C" c
   in
   loop 0 []
 

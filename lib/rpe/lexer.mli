@@ -13,9 +13,11 @@ type token =
           [<>] [<=] [>=] [<] [>] [:] [@] [*] [-] *)
   | Eof
 
-type spanned = { token : token; pos : int }
+type spanned = { token : token; pos : int; stop : int }
+(** A token with its half-open byte range [\[pos, stop)] in the input. *)
 
 val tokenize : string -> (spanned list, string) result
-(** The result always ends with an [Eof] token. *)
+(** The result always ends with an [Eof] token. Errors carry a
+    line/column position. *)
 
 val token_to_string : token -> string

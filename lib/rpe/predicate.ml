@@ -26,7 +26,7 @@ let rec field_path fields = function
 
 let apply_comparison op (a : Value.t) (b : Value.t) =
   (* Comparisons involving Null are never true, including <>. *)
-  if a = Value.Null || b = Value.Null then false
+  if Value.equal a Value.Null || Value.equal b Value.Null then false
   else
     let c = Value.compare a b in
     match op with

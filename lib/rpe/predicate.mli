@@ -31,6 +31,25 @@ val coerce : Nepal_schema.Schema.t -> cls:string -> t -> (t, string) result
     {!Nepal_temporal.Time_point} or IPv4 values against [time]/[ip]
     fields, integer literals become floats against [float] fields. *)
 
+val path_type :
+  Nepal_schema.Schema.t ->
+  Nepal_schema.Ftype.t ->
+  string list ->
+  (Nepal_schema.Ftype.t, string) result
+(** Drill a (possibly empty) field path into a type, through composite
+    data types. Used by the static analyzer to classify type errors. *)
+
+val literal_compatible : Nepal_schema.Ftype.t -> Nepal_schema.Value.t -> bool
+(** Whether the literal can compare against a field of that type
+    ([Null] compares with everything, and never holds). *)
+
+val coerce_literal :
+  Nepal_schema.Ftype.t ->
+  Nepal_schema.Value.t ->
+  (Nepal_schema.Value.t, string) result
+(** The literal rewrite {!coerce} applies: strings to time points or
+    IPv4 against [time]/[ip] fields, ints to floats against [float]. *)
+
 val equality_lookups : t -> (string * Nepal_schema.Value.t) list
 (** Top-level conjunctive single-field equalities — what an index or
     anchor-cardinality estimate can exploit, e.g. [id = 23245]. *)

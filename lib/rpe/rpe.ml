@@ -1,8 +1,8 @@
 module Schema = Nepal_schema.Schema
 
-type atom = { cls : string; pred : Predicate.t }
+type atom = { cls : string; pred : Predicate.t; span : Span.t }
 
-let atom ?(pred = Predicate.True) cls = { cls; pred }
+let atom ?(pred = Predicate.True) ?(span = Span.dummy) cls = { cls; pred; span }
 
 type t =
   | Atom of atom

@@ -7,9 +7,12 @@
     between two edge atoms). A lone edge atom carries implicit endpoint
     nodes. *)
 
-type atom = { cls : string; pred : Predicate.t }
+type atom = { cls : string; pred : Predicate.t; span : Span.t }
+(** [span] records where the atom appeared in the query text (dummy for
+    programmatically built atoms); it is ignored by [atom_equal] and
+    the structural [equal]s. *)
 
-val atom : ?pred:Predicate.t -> string -> atom
+val atom : ?pred:Predicate.t -> ?span:Span.t -> string -> atom
 
 type t =
   | Atom of atom

@@ -120,10 +120,11 @@ and parse_primary ts =
     Ok inner
   end
   else
+    let span = Ts.span ts in
     let* cls = Ts.expect_ident ts in
     let* () = Ts.expect_punct ts "(" in
     let* pred = parse_atom_args ts in
-    Ok (Rpe.Atom { Rpe.cls; pred })
+    Ok (Rpe.Atom (Rpe.atom ~pred ~span cls))
 
 let parse_rpe_from ts = parse_alt ts
 

@@ -1,0 +1,44 @@
+type t = { line : int; col : int; start : int; stop : int }
+
+let dummy = { line = 0; col = 0; start = 0; stop = 0 }
+let is_dummy s = s.line <= 0
+
+let of_offsets ~source ~start ~stop =
+  let n = String.length source in
+  let start = if start < 0 then 0 else if start > n then n else start in
+  let stop = if stop < start then start else if stop > n then n else stop in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to start - 1 do
+    if source.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { line = !line; col = start - !bol + 1; start; stop }
+
+let join a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else if b.start < a.start then { b with stop = max a.stop b.stop }
+  else { a with stop = max a.stop b.stop }
+
+let to_string s =
+  if is_dummy s then "<unknown>"
+  else Printf.sprintf "line %d, column %d" s.line s.col
+
+(* Render the source line the span starts on, with a caret run under the
+   spanned bytes (clipped to that line). *)
+let snippet ~source s =
+  if is_dummy s || s.start > String.length source then []
+  else begin
+    let n = String.length source in
+    let bol = s.start - (s.col - 1) in
+    let rec eol i = if i < n && source.[i] <> '\n' then eol (i + 1) else i in
+    let eol = eol (min s.start n) in
+    if bol < 0 || bol > eol then []
+    else
+      let text = String.sub source bol (eol - bol) in
+      let width = max 1 (min s.stop eol - s.start) in
+      let caret = String.make (s.col - 1) ' ' ^ String.make width '^' in
+      [ "  | " ^ text; "  | " ^ caret ]
+  end

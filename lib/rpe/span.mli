@@ -1,0 +1,27 @@
+(** Source positions for tokens, RPE atoms and query clauses. Spans are
+    half-open byte ranges [[start, stop)] into the original query text,
+    carrying the (1-based) line and column of [start] so that
+    diagnostics read naturally for humans. *)
+
+type t = { line : int; col : int; start : int; stop : int }
+
+val dummy : t
+(** The absent span ([line = 0]); pretty-printers skip it. *)
+
+val is_dummy : t -> bool
+
+val of_offsets : source:string -> start:int -> stop:int -> t
+(** Compute line/column for byte range [\[start, stop)] of [source].
+    Offsets are clamped into the source. *)
+
+val join : t -> t -> t
+(** Smallest span covering both; dummy operands are ignored. *)
+
+val to_string : t -> string
+(** ["line L, column C"], or ["<unknown>"] for the dummy span. *)
+
+val snippet : source:string -> t -> string list
+(** Two gutter-prefixed lines: the source line the span starts on, and
+    a caret run under the spanned bytes. Empty for dummy or
+    out-of-range spans (e.g. when the source is not the text the span
+    was computed from). *)

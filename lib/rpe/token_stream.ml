@@ -1,9 +1,11 @@
-type t = { mutable toks : Lexer.spanned list }
+type t = { source : string; mutable toks : Lexer.spanned list }
 
 let of_string s =
   match Lexer.tokenize s with
-  | Ok toks -> Ok { toks }
+  | Ok toks -> Ok { source = s; toks }
   | Error e -> Error e
+
+let source t = t.source
 
 let peek t =
   match t.toks with [] -> Lexer.Eof | { token; _ } :: _ -> token
@@ -15,6 +17,11 @@ let peek2 t =
 
 let pos t = match t.toks with [] -> 0 | { pos; _ } :: _ -> pos
 
+let span t =
+  match t.toks with
+  | [] -> Span.dummy
+  | { Lexer.pos; stop; _ } :: _ -> Span.of_offsets ~source:t.source ~start:pos ~stop
+
 let advance t =
   match t.toks with
   | [] | [ _ ] -> () (* keep the final Eof *)
@@ -22,7 +29,8 @@ let advance t =
 
 let error t msg =
   Error
-    (Printf.sprintf "parse error at offset %d (near %S): %s" (pos t)
+    (Printf.sprintf "parse error at %s (near %S): %s"
+       (Span.to_string (span t))
        (Lexer.token_to_string (peek t))
        msg)
 

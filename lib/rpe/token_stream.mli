@@ -11,6 +11,12 @@ val peek2 : t -> Lexer.token
 val pos : t -> int
 (** Byte offset of the current token, for error messages. *)
 
+val source : t -> string
+(** The original text the stream was built from. *)
+
+val span : t -> Span.t
+(** Line/column span of the current token. *)
+
 val advance : t -> unit
 
 val accept_punct : t -> string -> bool
@@ -30,4 +36,4 @@ val expect_int : t -> (int, string) result
 val at_eof : t -> bool
 
 val error : t -> string -> ('a, string) result
-(** [Error] mentioning the current position and token. *)
+(** [Error] mentioning the current line/column and token. *)

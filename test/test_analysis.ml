@@ -1,0 +1,368 @@
+(* Static analyzer tests: the golden bad-query corpus (one query per
+   diagnostic code, with spans), strict-mode rejection before any
+   backend round-trip, the no-false-positive property (engine-successful
+   queries carry zero error diagnostics on every backend), and the
+   observability wiring (analysis.rejected statement class, EXPLAIN
+   diagnostics, enriched error messages). *)
+
+module Nepal = Core.Nepal
+module Diag = Nepal.Diagnostic
+module Virt = Nepal.Virt_service
+
+let virt = Virt.generate ~seed:42 ()
+let db = Nepal.of_store virt.Virt.store
+let schema = Nepal.schema db
+
+let analyze text = Nepal.Analysis.analyze_string ~schema text
+
+let codes ds =
+  List.sort_uniq String.compare (List.map (fun d -> d.Diag.code) ds)
+
+let has ?severity code ds =
+  List.exists
+    (fun d ->
+      d.Diag.code = code
+      && match severity with None -> true | Some s -> d.Diag.severity = s)
+    ds
+
+(* -- golden corpus ---------------------------------------------------- *)
+
+(* One query per code; [sev] is the expected severity of the expected
+   code's diagnostic. Queries may legitimately trigger extra codes. *)
+let corpus =
+  [
+    ("NPL000", Diag.Error, "Retrieve P From PATHS P Where P MATCHES VNF( -> VFC()");
+    ("NPL001", Diag.Error, "Retrieve P From PATHS P Where P MATCHES Srever()");
+    ("NPL002", Diag.Error, "Retrieve P From PATHS P Where P MATCHES VM(cpu=1)");
+    ("NPL003", Diag.Error, "Retrieve P From PATHS P Where P MATCHES Server(id='abc')");
+    ("NPL004", Diag.Error, "Retrieve P From PATHS P Where P MATCHES Server(id.sub=1)");
+    ("NPL005", Diag.Error, "Retrieve P From PATHS P Where P MATCHES VNF(){3,1}");
+    ("NPL006", Diag.Error, "Retrieve Q From PATHS P Where P MATCHES VNF()");
+    ("NPL007", Diag.Error, "Retrieve P From PATHS P Where length(P) > 2");
+    ( "NPL008",
+      Diag.Error,
+      "Retrieve P From PATHS P Where P MATCHES VNF() Or length(P) > 2" );
+    ( "NPL009",
+      Diag.Error,
+      "Retrieve P From PATHS P, PATHS P Where P MATCHES VNF()" );
+    ( "NPL010",
+      Diag.Error,
+      "Retrieve P From PATHS P Where P MATCHES Container()->VirtualLink()->Container()"
+    );
+    ( "NPL011",
+      Diag.Warning,
+      "Retrieve P From PATHS P Where P MATCHES VNF()->(ComposedOf()|Connects())->VFC()"
+    );
+    ( "NPL012",
+      Diag.Warning,
+      "Retrieve P From PATHS P Where P MATCHES (VNF()|VNF())->VFC()" );
+    ( "NPL013",
+      Diag.Warning,
+      "AT '2017-02-15 10:00:00' : '2017-02-15 11:00:00' Retrieve P From PATHS \
+       P(@'2019-01-01 00:00:00') Where P MATCHES VNF()->VFC()" );
+    ( "NPL014",
+      Diag.Error,
+      "Retrieve P From PATHS P Where P MATCHES [Vertical()]{0,3}" );
+    ( "NPL015",
+      Diag.Warning,
+      "Retrieve P From PATHS P Where P MATCHES VNF()->[Vertical()]{1,12}->Server()"
+    );
+    ( "NPL016",
+      Diag.Warning,
+      "Retrieve P, Q From PATHS P, PATHS Q Where P MATCHES VNF()->VFC() And Q \
+       MATCHES VM()->VirtualLink()->VirtualNetwork()" );
+    ( "NPL017",
+      Diag.Warning,
+      "Retrieve P From PATHS P Where P MATCHES VNF()->VFC() And \
+       target(P).nonsense = 5" );
+    ( "NPL018",
+      Diag.Error,
+      "Retrieve P From PATHS P Where P MATCHES VNF()->VFC() And source(P) = 'x'"
+    );
+    ( "NPL020",
+      Diag.Error,
+      "Retrieve P From PATHS P Where P MATCHES VNF()->VFC() And count(P) > 2" );
+  ]
+
+let test_golden_corpus () =
+  List.iter
+    (fun (code, sev, q) ->
+      let ds = analyze q in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires on %s" code q)
+        true
+        (has ~severity:sev code ds))
+    corpus
+
+let test_npl019_with_cost () =
+  let q = Nepal.Query_parser.parse_exn
+      "Retrieve P From PATHS P Where P MATCHES VNF()->VFC()"
+  in
+  let ds = Nepal.Analysis.analyze ~schema ~cost:(fun _ _ -> 1e6) q in
+  Alcotest.(check bool) "NPL019 hint fires" true (has ~severity:Diag.Hint "NPL019" ds);
+  let ds' = Nepal.Analysis.analyze ~schema ~cost:(fun _ _ -> 2.0) q in
+  Alcotest.(check bool) "cheap anchor: no hint" false (has "NPL019" ds')
+
+let test_code_and_span_coverage () =
+  let all =
+    List.concat_map (fun (_, _, q) -> analyze q) corpus
+  in
+  let distinct = codes all in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10 distinct codes (got %d: %s)"
+       (List.length distinct) (String.concat "," distinct))
+    true
+    (List.length distinct >= 10);
+  let with_span =
+    codes (List.filter (fun d -> not (Nepal.Span.is_dummy d.Diag.span)) all)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10 codes carry source spans (got %d)"
+       (List.length with_span))
+    true
+    (List.length with_span >= 10)
+
+let test_suggestions () =
+  let ds = analyze "Retrieve P From PATHS P Where P MATCHES Srever()" in
+  let msg =
+    match List.find_opt (fun d -> d.Diag.code = "NPL001") ds with
+    | Some d -> d.Diag.message
+    | None -> ""
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "did-you-mean Server" true (contains msg "Server")
+
+let test_render_caret () =
+  let src = "Retrieve P From PATHS P Where P MATCHES Srever()" in
+  match analyze src with
+  | d :: _ ->
+      let rendered = Diag.render ~source:src d in
+      Alcotest.(check bool) "caret line present" true
+        (String.contains rendered '^');
+      Alcotest.(check bool) "span is real" false (Nepal.Span.is_dummy d.Diag.span)
+  | [] -> Alcotest.fail "expected diagnostics"
+
+(* -- strict mode: rejection happens before any backend round-trip ----- *)
+
+let test_strict_rejects_without_roundtrips () =
+  let rb = Result.get_ok (Nepal.to_relational db) in
+  let conn = Nepal.relational_conn rb in
+  (* Only queries that parse can prove the round-trip claim end to end;
+     parse failures never reach the engine at all. Hints do not gate,
+     so the NPL019-style corpus entries are absent here by design. *)
+  let gating =
+    List.filter (fun (code, _, _) -> code <> "NPL000" && code <> "NPL005") corpus
+  in
+  List.iter
+    (fun (code, _, q) ->
+      let before = Nepal.Backend.conn_roundtrips conn in
+      let m_rej = Nepal.Metrics.counter "engine.analysis_rejected" in
+      let rejected_before = Nepal.Metrics.counter_value m_rej in
+      (match Nepal.query_on conn ~analyze:`Strict q with
+      | Ok _ -> Alcotest.failf "%s: strict mode let %s through" code q
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: rejection comes from the analyzer" code)
+            true
+            (String.length e >= 8 && String.sub e 0 8 = "query re"));
+      Alcotest.(check int)
+        (Printf.sprintf "%s: zero backend round-trips" code)
+        before
+        (Nepal.Backend.conn_roundtrips conn);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: rejection counted" code)
+        (rejected_before + 1)
+        (Nepal.Metrics.counter_value m_rej))
+    gating
+
+let test_warn_mode_still_executes () =
+  let q =
+    "Retrieve P From PATHS P Where P MATCHES VNF()->(ComposedOf()|Connects())->VFC()"
+  in
+  let m_warn = Nepal.Metrics.counter "engine.analysis_warnings" in
+  let before = Nepal.Metrics.counter_value m_warn in
+  (match Nepal.query db q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "warn mode must execute: %s" e);
+  Alcotest.(check bool) "warning metric ticked" true
+    (Nepal.Metrics.counter_value m_warn > before);
+  match Nepal.query db ~analyze:`Off q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "off mode must execute: %s" e
+
+let test_strict_allows_clean_queries () =
+  match
+    Nepal.query db ~analyze:`Strict
+      "Retrieve P From PATHS P Where P MATCHES VNF()->VFC()"
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "clean query rejected: %s" e
+
+(* -- no false positives: engine-successful => no Error diagnostics ---- *)
+
+let qcheck_no_false_positives =
+  let rb = Result.get_ok (Nepal.to_relational db) in
+  let gb = Result.get_ok (Nepal.to_gremlin db) in
+  let conns =
+    [
+      ("relational", Nepal.relational_conn rb);
+      ("gremlin", Nepal.gremlin_conn gb);
+    ]
+  in
+  let pick arr i = arr.(i mod Array.length arr) in
+  let gen =
+    QCheck.make
+      ~print:(fun q -> q)
+      QCheck.Gen.(
+        let* shape = int_range 0 5 in
+        let* i = int_range 0 10_000 in
+        let* j = int_range 0 10_000 in
+        let* hops = int_range 1 6 in
+        return
+          (match shape with
+          | 0 -> Virt.q_top_down ~vnf_id:(pick virt.Virt.vnf_ids i)
+          | 1 -> Virt.q_bottom_up ~server_id:(pick virt.Virt.server_ids i)
+          | 2 ->
+              Virt.q_vm_vm
+                ~a:(pick virt.Virt.container_ids i)
+                ~b:(pick virt.Virt.container_ids j)
+          | 3 ->
+              Virt.q_host_host ~hops
+                ~a:(pick virt.Virt.server_ids i)
+                ~b:(pick virt.Virt.server_ids j)
+          | 4 ->
+              Printf.sprintf
+                "Select target(P).id From PATHS P Where P MATCHES \
+                 VNF(id=%d)->[Vertical()]{1,6}->Server()"
+                (pick virt.Virt.vnf_ids i)
+          | _ -> "Retrieve P From PATHS P Where P MATCHES VNF()->VFC()"))
+  in
+  QCheck.Test.make
+    ~name:"queries with results have no Error diagnostics"
+    ~count:60 gen (fun q ->
+      List.for_all
+        (fun (backend, conn) ->
+          match Nepal.query_on conn ~analyze:`Off q with
+          | Error _ -> true (* only successful runs constrain the analyzer *)
+          | Ok r when Nepal.Engine.result_count r = 0 ->
+              (* An empty result set is exactly what a provably-empty
+                 pattern (NPL010 et al.) predicts — no contradiction. *)
+              true
+          | Ok _ ->
+              let errors =
+                List.filter
+                  (fun d -> d.Diag.severity = Diag.Error)
+                  (Nepal.check_on conn q)
+              in
+              if errors = [] then true
+              else
+                QCheck.Test.fail_reportf
+                  "false positive on %s for %s: %s" backend q
+                  (String.concat "; " (List.map Diag.to_string errors)))
+        conns)
+
+(* -- observability wiring --------------------------------------------- *)
+
+let test_analysis_rejected_stat_class () =
+  Nepal.Metrics.reset_all ();
+  let q =
+    "Retrieve P From PATHS P Where P MATCHES \
+     Container(id=987654)->VirtualLink()->Container(id=987655)"
+  in
+  (match Nepal.query db ~analyze:`Strict q with
+  | Ok _ -> Alcotest.fail "expected strict rejection"
+  | Error _ -> ());
+  let fp = Nepal.Stat_statements.fingerprint q in
+  let st =
+    List.find_opt
+      (fun s -> s.Nepal.Stat_statements.st_fingerprint = fp)
+      (Nepal.Stat_statements.stats ())
+  in
+  match st with
+  | None -> Alcotest.fail "rejected statement not recorded"
+  | Some s ->
+      Alcotest.(check int) "analysis_rejected class" 1
+        s.Nepal.Stat_statements.st_analysis_rejected;
+      Alcotest.(check int) "not counted as backend error" 0
+        s.Nepal.Stat_statements.st_errors
+
+let contains_line lines needle =
+  let contains hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  List.exists contains lines
+
+let explain_lines result =
+  match result with
+  | Nepal.Engine.Table { columns = [ "explain" ]; rows } ->
+      List.filter_map
+        (function [ Nepal.Value.Str l ] -> Some l | _ -> None)
+        rows
+  | _ -> []
+
+let test_explain_shows_diagnostics () =
+  match
+    Nepal.query db
+      "EXPLAIN Retrieve P From PATHS P Where P MATCHES \
+       VNF()->(ComposedOf()|Connects())->VFC()"
+  with
+  | Error e -> Alcotest.failf "explain failed: %s" e
+  | Ok result ->
+      let lines = explain_lines result in
+      Alcotest.(check bool) "diagnostics section" true
+        (contains_line lines "diagnostics:");
+      Alcotest.(check bool) "NPL011 reported" true
+        (contains_line lines "NPL011")
+
+let test_error_enrichment () =
+  match Nepal.query db "Retrieve P From PATHS P Where P MATCHES Srever()" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+      let contains needle =
+        let nh = String.length e and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub e i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "code in message" true (contains "NPL001");
+      Alcotest.(check bool) "caret snippet" true (String.contains e '^')
+
+let () =
+  Alcotest.run "nepal_analysis"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "golden corpus" `Quick test_golden_corpus;
+          Alcotest.test_case "NPL019 needs a cost model" `Quick
+            test_npl019_with_cost;
+          Alcotest.test_case "code and span coverage" `Quick
+            test_code_and_span_coverage;
+          Alcotest.test_case "did-you-mean suggestions" `Quick test_suggestions;
+          Alcotest.test_case "caret rendering" `Quick test_render_caret;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "strict rejects with zero round-trips" `Quick
+            test_strict_rejects_without_roundtrips;
+          Alcotest.test_case "warn logs but executes" `Quick
+            test_warn_mode_still_executes;
+          Alcotest.test_case "strict passes clean queries" `Quick
+            test_strict_allows_clean_queries;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_no_false_positives ] );
+      ( "observability",
+        [
+          Alcotest.test_case "analysis.rejected stat class" `Quick
+            test_analysis_rejected_stat_class;
+          Alcotest.test_case "EXPLAIN shows diagnostics" `Quick
+            test_explain_shows_diagnostics;
+          Alcotest.test_case "errors carry diagnostics" `Quick
+            test_error_enrichment;
+        ] );
+    ]
