@@ -11,6 +11,8 @@
      rpe_fastpath — fast-path evaluator A/B on the Range-constrained
                     Table-1 workload (presence cache, frontier dedup,
                     Domain-parallel walks vs the baseline evaluator)
+     watch    — incremental standing-query monitoring (CDC + relevance
+                filter + debounce) vs naive re-run-per-mutation
      micro    — Bechamel micro-benchmarks of the core primitives
 
    Run all:            dune exec bench/main.exe
@@ -734,6 +736,118 @@ let run_micro () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Live monitoring: incremental watches vs naive re-run-per-mutation    *)
+(* ------------------------------------------------------------------ *)
+
+(* The standing-query question (DESIGN.md §10): a consumer that must
+   know when a path set changes can either re-run the query after every
+   mutation, or register a watch and let the monitor's relevance filter
+   plus debounce coalescing decide when re-evaluation is necessary.
+   Both arms replay the identical churn stream (same seed, fresh
+   topology) grouped into bursts of [burst] mutations per observation
+   point — the monitor may coalesce a whole burst into one evaluation,
+   the naive arm must evaluate per mutation or risk missing a
+   transition it cannot rule out. *)
+let run_watch () =
+  header "watch — incremental standing queries vs naive re-run-per-mutation";
+  let watch_q =
+    "Retrieve P From PATHS P Where P MATCHES \
+     Container()->VirtualLink()->VirtualNetwork()"
+  in
+  let events = if !quick then 150 else 600 in
+  let mctr name = Nepal.Metrics.counter_value (Nepal.Metrics.counter name) in
+  Printf.printf "standing query: %s\n%d mutations per arm\n\n" watch_q events;
+  Printf.printf "%-10s %13s %13s %10s %13s %13s %10s %9s\n" "burst"
+    "evals" "naive evals" "eval x" "rtrips" "naive rtrips" "rtrip x" "wall x";
+  List.iter
+    (fun burst ->
+      let churn t store f =
+        let rng = Prng.create 77 in
+        let i = ref 0 in
+        let left = ref events in
+        while !left > 0 do
+          let n = min burst !left in
+          for _ = 1 to n do
+            incr i;
+            let at =
+              Nepal.Time_point.add_seconds (Nepal.Graph_store.clock store) 60.
+            in
+            Virt.churn_step ~rng ~at ~scale_tag:(200000 + !i) t;
+            f `Mutation
+          done;
+          left := !left - n;
+          f `Boundary
+        done
+      in
+      (* Incremental arm: poll at burst boundaries (debounce 0 so every
+         boundary with a relevant change evaluates — the coalescing win
+         measured here is the burst grouping itself). *)
+      let t = Virt.generate () in
+      let store = t.Virt.store in
+      let conn = Nepal.native_conn store in
+      let monitor = Nepal.Monitor.create ~debounce_ms:0. ~conn store in
+      (match Nepal.Monitor.watch monitor watch_q with
+      | Error e -> failwith e
+      | Ok _ -> ());
+      let evals0 = mctr "monitor.evaluations"
+      and skipped0 = mctr "monitor.skipped"
+      and rt0 = Nepal.Backend.conn_roundtrips conn in
+      let (), wall_inc =
+        time (fun () ->
+            churn t store (function
+              | `Mutation -> ()
+              | `Boundary -> ignore (Nepal.Monitor.flush monitor)))
+      in
+      let evals = mctr "monitor.evaluations" - evals0
+      and skipped = mctr "monitor.skipped" - skipped0
+      and rt_inc = Nepal.Backend.conn_roundtrips conn - rt0 in
+      Nepal.Monitor.close monitor;
+      (* Naive arm: identical stream, re-run the query after every
+         mutation. *)
+      let t = Virt.generate () in
+      let store = t.Virt.store in
+      let conn = Nepal.native_conn store in
+      let rt0 = Nepal.Backend.conn_roundtrips conn in
+      let naive_evals = ref 0 in
+      let (), wall_naive =
+        time (fun () ->
+            churn t store (function
+              | `Mutation ->
+                  incr naive_evals;
+                  ignore (count_query conn watch_q)
+              | `Boundary -> ()))
+      in
+      let rt_naive = Nepal.Backend.conn_roundtrips conn - rt0 in
+      if skipped = 0 then
+        Printf.printf
+          "(warning: monitor.skipped did not advance — relevance filter \
+           inactive?)\n";
+      let fdiv a b = if b = 0. then Float.nan else a /. b in
+      let label = Printf.sprintf "burst=%d" burst in
+      Printf.printf "%-10s %13d %13d %10.1f %13d %13d %10.1f %9.1f\n" label
+        evals !naive_evals
+        (fdiv (float_of_int !naive_evals) (float_of_int evals))
+        rt_inc rt_naive
+        (fdiv (float_of_int rt_naive) (float_of_int rt_inc))
+        (fdiv wall_naive wall_inc);
+      record ~section:"watch" ~label
+        [
+          ("mutations", float_of_int events);
+          ("burst", float_of_int burst);
+          ("evaluations", float_of_int evals);
+          ("naive_evaluations", float_of_int !naive_evals);
+          ("skipped", float_of_int skipped);
+          ("roundtrips", float_of_int rt_inc);
+          ("naive_roundtrips", float_of_int rt_naive);
+          ("roundtrip_ratio",
+           fdiv (float_of_int rt_naive) (float_of_int rt_inc));
+          ("wall_s", wall_inc);
+          ("naive_wall_s", wall_naive);
+          ("wall_ratio", fdiv wall_naive wall_inc);
+        ])
+    [ 1; 5; 25 ]
+
 let () =
   if want "table1" then run_table1 ();
   if want "table2" then run_table2 ();
@@ -743,6 +857,7 @@ let () =
   if want "anchors" then run_anchors ();
   if want "temporal" then run_temporal ();
   if want "rpe_fastpath" then run_fastpath ();
+  if want "watch" then run_watch ();
   if want "micro" then run_micro ();
   (match !json_file with Some f -> write_json f | None -> ());
   Printf.printf "\nbench complete.\n"

@@ -72,6 +72,11 @@ let connect backend store =
       | Ok gb -> Ok (Nepal.gremlin_conn gb)
       | Error e -> Error e)
 
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
 (* ---- subcommands ----------------------------------------------------- *)
 
 let schema_cmd =
@@ -507,7 +512,15 @@ let stats_cmd =
                    \\$NEPAL_STATS_DUMP). Produce one by running any nepal \
                    or bench process with NEPAL_STATS_DUMP=PATH set.")
   in
-  let run top json file =
+  let watch_arg =
+    Arg.(value & opt (some float) None ~vopt:(Some 2.)
+         & info [ "watch" ] ~docv:"SECS"
+             ~doc:"Re-read and re-render the dump every SECS seconds \
+                   (default 2 when the option is given bare) until \
+                   interrupted — a live view of a running process that \
+                   rewrites its dump.")
+  in
+  let run top json file watch =
     let path =
       match file with
       | Some p -> Some p
@@ -524,13 +537,34 @@ let stats_cmd =
             (the same variable makes query-running processes write the \
             dump at exit)")
     | Some path -> (
-        match Nepal.Stat_statements.load path with
-        | Error e -> `Error (false, e)
-        | Ok sts ->
-            if json then
-              print_string (Nepal.Stat_statements.render_stats_json ~top sts)
-            else print_string (Nepal.Stat_statements.render_stats ~top sts);
-            `Ok ())
+        let render () =
+          match Nepal.Stat_statements.load path with
+          | Error e -> Error e
+          | Ok sts ->
+              if json then
+                print_string (Nepal.Stat_statements.render_stats_json ~top sts)
+              else print_string (Nepal.Stat_statements.render_stats ~top sts);
+              Ok ()
+        in
+        match watch with
+        | None -> (
+            match render () with
+            | Error e -> `Error (false, e)
+            | Ok () -> `Ok ())
+        | Some interval ->
+            let interval = Float.max 0.1 interval in
+            let rec loop () =
+              (* \027[H\027[2J: cursor home + clear, like watch(1). *)
+              print_string "\027[H\027[2J";
+              Printf.printf "%s  (every %gs, ctrl-c to stop)\n\n" path interval;
+              (match render () with
+              | Ok () -> ()
+              | Error e -> Printf.printf "(%s — retrying)\n" e);
+              flush stdout;
+              Unix.sleepf interval;
+              loop ()
+            in
+            loop ())
   in
   Cmd.v
     (Cmd.info "stats"
@@ -541,8 +575,9 @@ let stats_cmd =
            `S Manpage.s_examples;
            `P "NEPAL_STATS_DUMP=/tmp/stats.tsv dune exec bench/main.exe -- table1; \
                nepal stats --top 5 --file /tmp/stats.tsv";
+           `P "nepal stats --watch 1 --file /tmp/stats.tsv";
          ])
-    Term.(ret (const run $ top_arg $ json_arg $ file_arg))
+    Term.(ret (const run $ top_arg $ json_arg $ file_arg $ watch_arg))
 
 let serve_metrics_cmd =
   let port_arg =
@@ -654,7 +689,14 @@ let events_cmd =
              ~doc:"Only events of this kind (e.g. $(b,query.slow), \
                    $(b,store.mutation)).")
   in
-  let tail_run file n kind =
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "f"; "follow" ]
+             ~doc:"After printing the tail, keep the file open and stream \
+                   events as they are appended (like tail -f) until \
+                   interrupted.")
+  in
+  let tail_run file n kind follow =
     let path =
       match file with
       | Some p -> Some p
@@ -686,44 +728,233 @@ let events_cmd =
         with
         | Error e -> `Error (false, e)
         | Ok lines ->
-            let lines =
+            let wanted line =
               match kind with
-              | None -> lines
+              | None -> true
               | Some k ->
-                  let needle = Printf.sprintf "\"kind\":\"%s\"" k in
-                  let contains hay needle =
-                    let nh = String.length hay and nn = String.length needle in
-                    let rec at i =
-                      i + nn <= nh
-                      && (String.sub hay i nn = needle || at (i + 1))
-                    in
-                    nn = 0 || at 0
-                  in
-                  List.filter (fun l -> contains l needle) lines
+                  contains_sub line (Printf.sprintf "\"kind\":\"%s\"" k)
             in
+            let lines = List.filter wanted lines in
             let total = List.length lines in
             let tail =
               if total <= n then lines
               else List.filteri (fun i _ -> i >= total - n) lines
             in
             List.iter print_endline tail;
-            `Ok ())
+            if not follow then `Ok ()
+            else begin
+              (* Stream appended bytes by polling the file length and
+                 emitting only the complete lines, so a partially
+                 written event is never printed. Re-opening per poll
+                 also survives log rotation-by-truncation (the offset
+                 resets when the file shrinks). *)
+              flush stdout;
+              let pos =
+                ref
+                  (try
+                     let ic = open_in_bin path in
+                     let len = in_channel_length ic in
+                     close_in ic;
+                     len
+                   with Sys_error _ -> 0)
+              in
+              let carry = Buffer.create 256 in
+              let rec loop () =
+                (try
+                   let ic = open_in_bin path in
+                   let len = in_channel_length ic in
+                   if len < !pos then begin
+                     pos := 0;
+                     Buffer.clear carry
+                   end;
+                   if len > !pos then begin
+                     seek_in ic !pos;
+                     Buffer.add_string carry
+                       (really_input_string ic (len - !pos));
+                     pos := len;
+                     let s = Buffer.contents carry in
+                     Buffer.clear carry;
+                     let rec emit i =
+                       match String.index_from_opt s i '\n' with
+                       | Some j ->
+                           let line = String.sub s i (j - i) in
+                           if line <> "" && wanted line then
+                             print_endline line;
+                           emit (j + 1)
+                       | None ->
+                           Buffer.add_substring carry s i
+                             (String.length s - i)
+                     in
+                     emit 0;
+                     flush stdout
+                   end;
+                   close_in ic
+                 with Sys_error _ | End_of_file -> ());
+                Unix.sleepf 0.25;
+                loop ()
+              in
+              loop ()
+            end)
   in
   let tail_cmd =
     Cmd.v
-      (Cmd.info "tail" ~doc:"Print the last N events from the JSONL event log.")
-      Term.(ret (const tail_run $ file_arg $ n_arg $ kind_arg))
+      (Cmd.info "tail"
+         ~doc:"Print the last N events from the JSONL event log; with \
+               $(b,--follow), then stream new events as they arrive.")
+      Term.(ret (const tail_run $ file_arg $ n_arg $ kind_arg $ follow_arg))
   in
   Cmd.group
     (Cmd.info "events"
        ~doc:"Inspect the structured event log (see NEPAL_EVENT_LOG).")
     [ tail_cmd ]
 
+let watch_cmd =
+  let query_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"The standing Nepal query to watch (quote it).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit alerts as JSON lines.")
+  in
+  let events_arg =
+    Arg.(value & opt int 120
+         & info [ "events" ] ~docv:"N"
+             ~doc:"Synthetic churn events to apply before exiting.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 25.
+         & info [ "rate" ] ~docv:"PER_SEC"
+             ~doc:"Churn events per second (0 = no pacing, run flat out).")
+  in
+  let debounce_arg =
+    Arg.(value & opt (some float) None
+         & info [ "debounce" ] ~docv:"MS"
+             ~doc:"Debounce window in milliseconds (overrides \
+                   \\$NEPAL_WATCH_DEBOUNCE_MS; default 50).")
+  in
+  let run seed history backend query json events rate debounce =
+    let t = Nepal.Virt_service.generate ~seed () in
+    if history then Nepal.Virt_service.simulate_history ~seed:(seed + 1) t;
+    let store = t.Nepal.Virt_service.store in
+    let mirror_provider mirror () =
+      match mirror (Nepal.of_store store) with
+      | Ok conn -> conn
+      | Error e -> failwith ("backend mirror failed: " ^ e)
+    in
+    let monitor =
+      match backend with
+      | `Native -> Nepal.Monitor.create ?debounce_ms:debounce store
+      | `Relational ->
+          Nepal.Monitor.create ?debounce_ms:debounce
+            ~conn_provider:
+              (mirror_provider (fun db ->
+                   Result.map Nepal.relational_conn (Nepal.to_relational db)))
+            store
+      | `Gremlin ->
+          Nepal.Monitor.create ?debounce_ms:debounce
+            ~conn_provider:
+              (mirror_provider (fun db ->
+                   Result.map Nepal.gremlin_conn (Nepal.to_gremlin db)))
+            store
+    in
+    match Nepal.Monitor.watch monitor query with
+    | Error e -> `Error (false, e)
+    | Ok w ->
+        let print_alert (a : Nepal.Monitor.alert) =
+          if json then
+            print_endline
+              (Nepal.Event_log.json_to_string
+                 (Nepal.Event_log.Obj
+                    [
+                      ("kind",
+                       Nepal.Event_log.Str
+                         (Nepal.Monitor.alert_kind_string a.Nepal.Monitor.al_kind));
+                      ("watch", Nepal.Event_log.Int a.Nepal.Monitor.al_watch);
+                      ("total", Nepal.Event_log.Int a.Nepal.Monitor.al_total);
+                      ("added",
+                       Nepal.Event_log.List
+                         (List.map
+                            (fun s -> Nepal.Event_log.Str s)
+                            a.Nepal.Monitor.al_added));
+                      ("removed",
+                       Nepal.Event_log.List
+                         (List.map
+                            (fun s -> Nepal.Event_log.Str s)
+                            a.Nepal.Monitor.al_removed));
+                      ("at",
+                       Nepal.Event_log.Str
+                         (Nepal.Time_point.to_string a.Nepal.Monitor.al_at));
+                      ("wall_ms",
+                       Nepal.Event_log.Float (a.Nepal.Monitor.al_wall_s *. 1e3));
+                    ]))
+          else begin
+            Printf.printf "[%s] at %s: %d matching path%s (%.2f ms)\n"
+              (Nepal.Monitor.alert_kind_string a.Nepal.Monitor.al_kind)
+              (Nepal.Time_point.to_string a.Nepal.Monitor.al_at)
+              a.Nepal.Monitor.al_total
+              (if a.Nepal.Monitor.al_total = 1 then "" else "s")
+              (a.Nepal.Monitor.al_wall_s *. 1e3);
+            List.iter (fun p -> Printf.printf "  + %s\n" p)
+              a.Nepal.Monitor.al_added;
+            List.iter (fun p -> Printf.printf "  - %s\n" p)
+              a.Nepal.Monitor.al_removed
+          end;
+          flush stdout
+        in
+        if not json then begin
+          Printf.printf "watching: %s\n" query;
+          (match Nepal.Monitor.watch_relevant_classes w with
+          | Some classes ->
+              Printf.printf "relevant classes: %s\n" (String.concat ", " classes)
+          | None -> print_endline "relevant classes: (all)");
+          Printf.printf "debounce: %gms; churning %d events...\n\n"
+            (Nepal.Monitor.debounce_seconds monitor *. 1e3)
+            events;
+          flush stdout
+        end;
+        let rng = Nepal.Prng.create (seed + 7) in
+        for ev = 1 to events do
+          let at =
+            Nepal.Time_point.add_seconds (Nepal.Graph_store.clock store) 60.
+          in
+          Nepal.Virt_service.churn_step ~rng ~at ~scale_tag:(100000 + ev) t;
+          List.iter print_alert (Nepal.Monitor.poll monitor);
+          if rate > 0. then Unix.sleepf (1. /. rate)
+        done;
+        List.iter print_alert (Nepal.Monitor.flush monitor);
+        if not json then begin
+          let c name = Nepal.Metrics.counter_value (Nepal.Metrics.counter name) in
+          Printf.printf
+            "\ndone: %d changes seen, %d skipped as irrelevant, %d \
+             re-evaluations, %d alerts\n"
+            (c "monitor.changes") (c "monitor.skipped")
+            (c "monitor.evaluations") (c "monitor.alerts")
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Register a standing path query over the virt topology and tail \
+             its path.up/path.down/path.changed alerts while a synthetic \
+             churn driver mutates the store."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal watch \"Retrieve P From PATHS P Where P MATCHES \
+               VNF(id=25001)->[Vertical()]{1,4}->Server()\" --events 200";
+           `P "nepal watch -b relational --json \"Retrieve P From PATHS P \
+               Where P MATCHES Container()->VirtualLink()->Container()\"";
+         ])
+    Term.(ret (const run $ seed_arg $ history_arg $ backend_arg $ query_pos
+               $ json_arg $ events_arg $ rate_arg $ debounce_arg))
+
 let main =
   Cmd.group
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
     [ schema_cmd; generate_cmd; query_cmd; explain_cmd; check_cmd; repl_cmd;
-      paths_cmd; when_exists_cmd; stats_cmd; serve_metrics_cmd; events_cmd ]
+      paths_cmd; when_exists_cmd; watch_cmd; stats_cmd; serve_metrics_cmd;
+      events_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -955,6 +955,251 @@ let analyze_string ~schema ?schema_of ?cost text =
           code e ]
   | Ok q -> analyze ~schema ?schema_of ?cost q
 
+(* -- change-relevance filter ------------------------------------------
+
+   Pre-computed once for a standing (watched) query so a monitor can
+   discard store changes that provably cannot affect its result set.
+   Soundness is class-level over-approximation, like the frontier walk:
+   a change to class [c] at transaction time [t] can only matter when
+   [c] is in [rel_classes] (or [rel_classes] is [None] = unknown) and
+   [t] does not fall after [rel_until].
+
+   The class set must include more than the classes named by the
+   query's atoms, because the junction rule matches elements the query
+   never names: a node-to-node junction traverses one unmatched edge,
+   and an edge-to-edge junction (or a leading/trailing edge atom)
+   traverses one unmatched node. The closure is driven by which
+   junction shapes actually occur — computed by a first/last/adjacency
+   pass over each pattern — so a fully explicit pattern like
+   [A()->e()->B()] closes over nothing: only when two node atoms can be
+   adjacent does it add the edge classes the schema allows between two
+   relevant node classes, and only when two edge atoms can be adjacent
+   (or a pattern can start/end on an edge atom) does it add the node
+   classes that can be an endpoint of a relevant (matched) edge
+   class. *)
+
+(* First/last atom kinds, whether the expression can match empty, and
+   which kind adjacencies (junctions) can occur inside it. *)
+type junctions = {
+  j_first_node : bool;
+  j_first_edge : bool;
+  j_last_node : bool;
+  j_last_edge : bool;
+  j_eps : bool;
+  j_nn : bool;  (* two node atoms can be adjacent: skips an edge *)
+  j_ee : bool;  (* two edge atoms can be adjacent: skips a node *)
+}
+
+let j_empty =
+  {
+    j_first_node = false;
+    j_first_edge = false;
+    j_last_node = false;
+    j_last_edge = false;
+    j_eps = true;
+    j_nn = false;
+    j_ee = false;
+  }
+
+let j_join a b =
+  (* [a] followed by [b]: junctions across the seam. *)
+  {
+    j_first_node = a.j_first_node || (a.j_eps && b.j_first_node);
+    j_first_edge = a.j_first_edge || (a.j_eps && b.j_first_edge);
+    j_last_node = b.j_last_node || (b.j_eps && a.j_last_node);
+    j_last_edge = b.j_last_edge || (b.j_eps && a.j_last_edge);
+    j_eps = a.j_eps && b.j_eps;
+    j_nn = a.j_nn || b.j_nn || (a.j_last_node && b.j_first_node);
+    j_ee = a.j_ee || b.j_ee || (a.j_last_edge && b.j_first_edge);
+  }
+
+let rec junctions_of kind_of = function
+  | Rpe.Atom a -> (
+      match kind_of a.Rpe.cls with
+      | Some Schema.Node_kind ->
+          { j_empty with j_first_node = true; j_last_node = true; j_eps = false }
+      | Some Schema.Edge_kind ->
+          { j_empty with j_first_edge = true; j_last_edge = true; j_eps = false }
+      | None ->
+          (* unknown class: assume the worst on both sides *)
+          {
+            j_first_node = true;
+            j_first_edge = true;
+            j_last_node = true;
+            j_last_edge = true;
+            j_eps = false;
+            j_nn = false;
+            j_ee = false;
+          })
+  | Rpe.Seq (x, y) -> j_join (junctions_of kind_of x) (junctions_of kind_of y)
+  | Rpe.Alt (x, y) ->
+      let a = junctions_of kind_of x and b = junctions_of kind_of y in
+      {
+        j_first_node = a.j_first_node || b.j_first_node;
+        j_first_edge = a.j_first_edge || b.j_first_edge;
+        j_last_node = a.j_last_node || b.j_last_node;
+        j_last_edge = a.j_last_edge || b.j_last_edge;
+        j_eps = a.j_eps || b.j_eps;
+        j_nn = a.j_nn || b.j_nn;
+        j_ee = a.j_ee || b.j_ee;
+      }
+  | Rpe.Rep (x, lo, hi) ->
+      let a = junctions_of kind_of x in
+      let repeated = hi > 1 in
+      {
+        a with
+        j_eps = a.j_eps || lo = 0;
+        j_nn = a.j_nn || (repeated && a.j_last_node && a.j_first_node);
+        j_ee = a.j_ee || (repeated && a.j_last_edge && a.j_first_edge);
+      }
+
+type relevance = {
+  rel_classes : Strset.t option;
+      (** Concrete classes whose changes can affect the query; [None]
+          means unknown (treat every change as relevant). *)
+  rel_until : Nepal_temporal.Time_point.t option;
+      (** When every range variable reads a bounded window, the latest
+          window end: transaction times after it can never be visible
+          to the query (transaction time is monotone, so history behind
+          the bound is immutable). [None] when any variable reads the
+          current snapshot. *)
+}
+
+let relevance ~schema (q : Q.query) =
+  let tb = tables_of schema in
+  let nn = Array.length tb.t_nodes and ne = Array.length tb.t_edges in
+  (* Every RPE atom in the query, recursing into EXISTS subqueries. *)
+  let rec rpe_atoms acc = function
+    | Rpe.Atom a -> a :: acc
+    | Rpe.Seq (x, y) | Rpe.Alt (x, y) -> rpe_atoms (rpe_atoms acc x) y
+    | Rpe.Rep (x, _, _) -> rpe_atoms acc x
+  in
+  let rec cond_atoms acc = function
+    | Q.Matches (_, r) -> rpe_atoms acc r
+    | Q.And (a, b) | Q.Or (a, b) -> cond_atoms (cond_atoms acc a) b
+    | Q.Not c -> cond_atoms acc c
+    | Q.Exists sub | Q.Not_exists sub -> cond_atoms acc sub.Q.where_
+    | Q.Cmp _ -> acc
+  in
+  let rec cond_rpes acc = function
+    | Q.Matches (_, r) -> r :: acc
+    | Q.And (a, b) | Q.Or (a, b) -> cond_rpes (cond_rpes acc a) b
+    | Q.Not c -> cond_rpes acc c
+    | Q.Exists sub | Q.Not_exists sub -> cond_rpes acc sub.Q.where_
+    | Q.Cmp _ -> acc
+  in
+  let atoms = cond_atoms [] q.Q.where_ in
+  let rpes = cond_rpes [] q.Q.where_ in
+  let unknown = ref false in
+  let node_set = ref Intset.empty and edge_set = ref Intset.empty in
+  List.iter
+    (fun (a : Rpe.atom) ->
+      let add idx set =
+        List.iter
+          (fun c ->
+            match Hashtbl.find_opt idx c with
+            | Some i -> set := Intset.add i !set
+            | None -> ())
+          (Schema.concrete_subclasses schema a.Rpe.cls)
+      in
+      match Schema.kind_of schema a.Rpe.cls with
+      | None -> unknown := true
+      | Some Schema.Node_kind -> add tb.t_node_idx node_set
+      | Some Schema.Edge_kind -> add tb.t_edge_idx edge_set)
+    atoms;
+  (* Which junction shapes occur anywhere in the query's patterns.
+     Patterns are independent pathways, so they combine like
+     alternation (no seam), not like sequencing. *)
+  let j =
+    List.fold_left
+      (fun acc r ->
+        let b = junctions_of (Schema.kind_of schema) r in
+        {
+          j_first_node = acc.j_first_node || b.j_first_node;
+          j_first_edge = acc.j_first_edge || b.j_first_edge;
+          j_last_node = acc.j_last_node || b.j_last_node;
+          j_last_edge = acc.j_last_edge || b.j_last_edge;
+          j_eps = acc.j_eps || b.j_eps;
+          j_nn = acc.j_nn || b.j_nn;
+          j_ee = acc.j_ee || b.j_ee;
+        })
+      { j_empty with j_eps = false }
+      rpes
+  in
+  let skips_edge = j.j_nn in
+  let skips_node = j.j_ee || j.j_first_edge || j.j_last_edge in
+  let rel_classes =
+    if !unknown || atoms = [] then None
+    else begin
+      (* Node-to-node junctions traverse one unmatched edge: any edge
+         class the schema allows between two relevant node classes. *)
+      let edges = ref !edge_set in
+      if skips_edge then
+        for e = 0 to ne - 1 do
+          if
+            (not (Intset.mem e !edges))
+            && Intset.exists
+                 (fun a ->
+                   not
+                     (Intset.is_empty (Intset.inter tb.t_succ.(e).(a) !node_set)))
+                 !node_set
+          then edges := Intset.add e !edges
+        done;
+      (* Edge-to-edge junctions and leading/trailing edge atoms traverse
+         one unmatched node: any node class that can be an endpoint of a
+         {e matched} edge class (a closure-added edge sits between two
+         matched nodes, so its endpoints are already in the set). *)
+      let nodes = ref !node_set in
+      if skips_node then
+        Intset.iter
+          (fun e ->
+            for a = 0 to nn - 1 do
+              if not (Intset.is_empty tb.t_succ.(e).(a)) then begin
+                nodes := Intset.add a !nodes;
+                nodes := Intset.union tb.t_succ.(e).(a) !nodes
+              end
+            done)
+          !edge_set;
+      let s = ref Strset.empty in
+      Intset.iter (fun i -> s := Strset.add tb.t_nodes.(i) !s) !nodes;
+      Intset.iter (fun e -> s := Strset.add tb.t_edges.(e) !s) !edges;
+      Some !s
+    end
+  in
+  (* Latest window end over every variable, [None] when any variable is
+     unbounded. A subquery without its own AT clause may inherit the
+     enclosing evaluation time, so its variables are resolved against
+     the nearest enclosing default. *)
+  let module Tp = Nepal_temporal.Time_point in
+  let combine a b =
+    match (a, b) with Some x, Some y -> Some (Tp.max x y) | _ -> None
+  in
+  let until_of_tc = function
+    | Some (Q.At_point p) -> Some p
+    | Some (Q.At_range (_, b)) -> Some b
+    | None -> None
+  in
+  let rec query_until ~default (sub : Q.query) =
+    let default =
+      match sub.Q.q_at with Some _ -> sub.Q.q_at | None -> default
+    in
+    let vars_until =
+      List.fold_left
+        (fun acc (v : Q.range_var) ->
+          let tc = match v.Q.var_tc with Some _ -> v.Q.var_tc | None -> default in
+          combine acc (until_of_tc tc))
+        (Some Tp.epoch) sub.Q.vars
+    in
+    cond_until ~default vars_until sub.Q.where_
+  and cond_until ~default acc = function
+    | Q.Exists sub | Q.Not_exists sub -> combine acc (query_until ~default sub)
+    | Q.And (a, b) | Q.Or (a, b) ->
+        cond_until ~default (cond_until ~default acc a) b
+    | Q.Not c -> cond_until ~default acc c
+    | Q.Matches _ | Q.Cmp _ -> acc
+  in
+  { rel_classes; rel_until = query_until ~default:None q }
+
 (* -- engine hookup ---------------------------------------------------- *)
 
 let () =

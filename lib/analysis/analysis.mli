@@ -31,3 +31,37 @@ val analyze_string :
 (** Parse then {!analyze}. Parse failures come back as a single
     [NPL000] (or [NPL005] for repetition-bound syntax) error whose span
     is recovered from the parser's "line L, column C" message. *)
+
+(** {1 Change relevance}
+
+    Support for standing queries: which store changes can possibly
+    affect a query's result set? Computed from the same schema
+    reachability tables as satisfiability, and over-approximate in the
+    same class-level way, so a change outside the filter is {e proved}
+    irrelevant for every store conforming to the schema. *)
+
+type relevance = {
+  rel_classes : Nepal_util.Strset.t option;
+      (** Concrete classes whose changes can affect the query: the
+          classes of its RPE atoms (expanded to concrete subclasses,
+          across EXISTS subqueries) closed over the junction rule's
+          unmatched elements when the pattern shape can skip them:
+          edge classes the schema allows between two relevant node
+          classes when two node atoms can be adjacent, and node classes
+          that can be an endpoint of a matched edge class when two edge
+          atoms can be adjacent or a pattern can start/end on an edge
+          atom. [None] means unknown
+          (an unresolved class, or no MATCHES at all): treat every
+          change as relevant. *)
+  rel_until : Nepal_temporal.Time_point.t option;
+      (** When every range variable reads a bounded window, the latest
+          window end: since transaction time is monotone, mutations
+          stamped after it can never become visible to the query.
+          [None] when any variable reads the current snapshot. *)
+}
+
+val relevance :
+  schema:Nepal_schema.Schema.t -> Nepal_query.Query_ast.query -> relevance
+(** Pre-compute the relevance filter for a parsed query. Cost is one
+    pass over the query plus [O(|edge classes| * |node classes|)]
+    against the memoized reachability tables. *)

@@ -37,6 +37,7 @@ module Legacy = Nepal_netmodel.Legacy
 module Span = Nepal_rpe.Span
 module Analysis = Nepal_analysis.Analysis
 module Diagnostic = Nepal_analysis.Diagnostic
+module Monitor = Nepal_monitor.Monitor
 
 type t = { store_ : Graph_store.t; conn_ : Backend.conn }
 

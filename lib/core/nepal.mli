@@ -64,6 +64,7 @@ module Legacy = Nepal_netmodel.Legacy
 module Span = Nepal_rpe.Span
 module Analysis = Nepal_analysis.Analysis
 module Diagnostic = Nepal_analysis.Diagnostic
+module Monitor = Nepal_monitor.Monitor
 
 (** {1 Databases} *)
 

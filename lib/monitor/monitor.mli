@@ -1,0 +1,112 @@
+(** Live path monitoring: standing queries over the store's change feed.
+
+    A monitor subscribes to a {!Nepal_store.Graph_store} CDC stream and
+    maintains a set of registered path queries ({e watches}). Each
+    watch carries a pre-computed relevance filter (see
+    {!Nepal_analysis.Analysis.relevance}): a store change whose class
+    cannot affect the query — or whose transaction time falls after
+    every window the query reads — is skipped in O(1) instead of
+    triggering a re-evaluation. Relevant changes mark the watch dirty;
+    {!poll} re-evaluates dirty watches whose debounce window has
+    elapsed, diffs the new result set against the previous one by path
+    fingerprint, and reports the transitions as alerts ([path.up] /
+    [path.down] / [path.changed]), which are also emitted through
+    {!Nepal_util.Event_log}.
+
+    The monitor is poll-driven and single-threaded: nothing happens
+    between calls, so tests use {!flush} for deterministic boundaries
+    and the CLI loops [poll] at its own cadence.
+
+    Registry instruments: [monitor.evaluations], [monitor.skipped]
+    (irrelevant change x watch pairs), [monitor.alerts],
+    [monitor.changes], [monitor.cdc_dropped] counters; the
+    [monitor.eval_seconds] histogram; and the [monitor.watches_active]
+    gauge. *)
+
+type t
+(** A monitor: one CDC subscription plus its watches. *)
+
+type watch
+
+type alert_kind =
+  | Path_up      (** the result set became non-empty *)
+  | Path_down    (** the result set became empty *)
+  | Path_changed (** non-empty before and after, membership changed *)
+
+type alert = {
+  al_watch : int;           (** watch id *)
+  al_query : string;        (** original query text *)
+  al_kind : alert_kind;
+  al_added : string list;   (** rendered paths that appeared *)
+  al_removed : string list; (** rendered paths that disappeared *)
+  al_total : int;           (** result-set size after this evaluation *)
+  al_at : Nepal_temporal.Time_point.t;  (** store clock at evaluation *)
+  al_wall_s : float;        (** evaluation wall time *)
+}
+
+val alert_kind_string : alert_kind -> string
+(** ["path.up"], ["path.down"], ["path.changed"] — also the event-log
+    kinds. *)
+
+val create :
+  ?debounce_ms:float ->
+  ?cdc_capacity:int ->
+  ?conn:Nepal_query.Backend_intf.conn ->
+  ?conn_provider:(unit -> Nepal_query.Backend_intf.conn) ->
+  Nepal_store.Graph_store.t ->
+  t
+(** Subscribe to the store's change feed. Evaluations run against
+    [conn] (default: a native connection to the store itself);
+    [conn_provider] is consulted per evaluation instead, for backends
+    that must be re-derived from the store (e.g. a fresh relational or
+    gremlin mirror). [debounce_ms] overrides [NEPAL_WATCH_DEBOUNCE_MS]
+    (default 50ms): a dirty watch is not re-evaluated by {!poll} until
+    this long after it first became dirty, so a mutation burst costs
+    one evaluation, not one per mutation. [cdc_capacity] bounds the
+    change buffer (see {!Nepal_store.Graph_store.subscribe}). *)
+
+val watch : t -> string -> (watch, string) result
+(** Parse, analyze (warn mode) and register a standing query, running
+    one baseline evaluation to prime the diff (the baseline produces no
+    alert). [Error] on parse or evaluation failure — a broken query is
+    refused, not registered. *)
+
+val unwatch : t -> watch -> unit
+(** Deactivate and remove; a second call is a no-op. *)
+
+val close : t -> unit
+(** Unwatch everything and drop the CDC subscription. *)
+
+val poll : ?now:float -> t -> alert list
+(** Drain the change feed, dirty the watches whose relevance filter
+    matches (counting the rest into [monitor.skipped]), then re-evaluate
+    the dirty watches whose debounce window has elapsed at [now]
+    (default: the current wall clock). A CDC drop-counter advance marks
+    {e every} watch dirty — the stream has a gap, so the filter cannot
+    vouch for what was missed. *)
+
+val flush : t -> alert list
+(** Like {!poll} but ignores the debounce window: drains the feed and
+    re-evaluates every dirty watch now. The deterministic boundary used
+    by tests. *)
+
+val watch_count : t -> int
+val watch_id : watch -> int
+val watch_text : watch -> string
+
+val watch_fingerprints : watch -> string list
+(** Sorted fingerprints of the watch's current result set — the
+    identities the diff runs on (per-variable uid chains for pathway
+    rows). Two watches of the same query agree on fingerprints exactly
+    when they agree on the result set; the equivalence property tests
+    compare an incrementally maintained watch against a freshly primed
+    one through this. *)
+
+val watch_relevant_classes : watch -> string list option
+(** The concrete classes this watch reacts to, or [None] when the
+    filter is unbounded (every change is relevant). *)
+
+val debounce_seconds : t -> float
+
+val pending_changes : t -> int
+(** Changes buffered on the subscription, not yet absorbed. *)

@@ -313,17 +313,13 @@ let find_by_id store cls id =
   | e :: _ -> Some e.Nepal_store.Entity.uid
   | [] -> None
 
-let simulate_history ?(seed = 43) ?(days = 60) ?(events_per_day = 12) t =
-  let rng = Prng.create seed in
+(* One churn event at transaction time [at] — also the mutation driver
+   behind `nepal watch` and the watch benchmarks, which need the same
+   realistic mix one event at a time. [scale_tag] must be unique per
+   step (it becomes the scaled-out container's id). *)
+let churn_step ~rng ~at ~scale_tag t =
   let store = t.store in
-  for day = 1 to days do
-    for ev = 1 to events_per_day do
-      let at =
-        Time_point.add_seconds
-          (Time_point.add_days t.born day)
-          (float_of_int (ev * 137))
-      in
-      match Prng.int rng 10 with
+  match Prng.int rng 10 with
       | 0 | 1 | 2 | 3 | 4 -> (
           (* VM status flap. *)
           let cont_id = Prng.choose rng t.container_ids in
@@ -378,14 +374,14 @@ let simulate_history ?(seed = 43) ?(days = 60) ?(events_per_day = 12) t =
           let vfc_id = Prng.choose rng t.vfc_ids in
           match find_by_id store "VFC" vfc_id with
           | Some vfc_uid -> (
-              let cont_id = 900000 + (day * 1000) + ev in
+              let cont_id = 900000 + scale_tag in
               match
                 Store.insert_node store ~at ~cls:"Docker"
                   ~fields:
                     (fields
                        [
                          ("id", i cont_id);
-                         ("name", s (Printf.sprintf "scale%d-%d" day ev));
+                         ("name", s (Printf.sprintf "scale-%d" scale_tag));
                          ("status", s "Green");
                        ])
               with
@@ -402,6 +398,17 @@ let simulate_history ?(seed = 43) ?(days = 60) ?(events_per_day = 12) t =
                   | None -> ())
               | Error _ -> ())
           | None -> ())
+
+let simulate_history ?(seed = 43) ?(days = 60) ?(events_per_day = 12) t =
+  let rng = Prng.create seed in
+  for day = 1 to days do
+    for ev = 1 to events_per_day do
+      let at =
+        Time_point.add_seconds
+          (Time_point.add_days t.born day)
+          (float_of_int (ev * 137))
+      in
+      churn_step ~rng ~at ~scale_tag:((day * 1000) + ev) t
     done
   done
 

@@ -41,6 +41,20 @@ val simulate_history :
     Defaults: 60 days (two months, as in the paper) at 12 events/day,
     giving ≈6% version growth. *)
 
+val churn_step :
+  rng:Nepal_util.Prng.t ->
+  at:Nepal_temporal.Time_point.t ->
+  scale_tag:int ->
+  t ->
+  unit
+(** One churn event at transaction time [at] — the unit
+    {!simulate_history} loops over, exposed so live-monitoring drivers
+    (the [nepal watch] demo, the watch benchmarks) can interleave
+    single mutations with evaluation. The mix: 50% VM status flap, 30%
+    VM migration, 10% virtual-link retirement, 10% Docker scale-out.
+    [scale_tag] must be unique per step (it seeds the scaled-out
+    container's id). *)
+
 val history_overhead : t -> float
 (** (total versions / current entities) - 1 — the storage-growth figure
     compared against the paper's 6%. *)

@@ -110,6 +110,26 @@ val run_string_traced :
   (result * Trace.span, string) Stdlib.result
 (** Parse and {!run_traced}. *)
 
+val run_instrumented :
+  conn:Backend_intf.conn ->
+  ?binds:(string * Backend_intf.conn) list ->
+  ?max_length:int ->
+  ?stats:Eval_rpe.stats ->
+  ?config:Eval_rpe.config ->
+  ?trace:Trace.span ->
+  ?own_trace:bool ->
+  ?analyze:analyze_mode ->
+  text:string option ->
+  Query_ast.query ->
+  (result, string) Stdlib.result
+(** The shared instrumented entry behind every [run*] variant: metrics,
+    statement statistics, slow-query tracing and the analysis prelude
+    around a single evaluation. Exposed for callers that re-evaluate a
+    stored parsed query repeatedly (standing watches): passing the
+    original [text] keeps the statement fingerprint stable without
+    reparsing. [own_trace] marks [trace] as created for this run, so
+    its root span gets the measured wall time and row count. *)
+
 (** {1 Planning-only surface ([EXPLAIN])} *)
 
 type seed_plan =

@@ -9,6 +9,47 @@ module Interval_set = Nepal_temporal.Interval_set
 
 type uid = Entity.uid
 
+(* -- change-data capture -------------------------------------------- *)
+
+(* One successful mutation, as seen by a subscriber. Carries enough for
+   a consumer to decide relevance without reading the store: the
+   operation, the entity's identity and class, edge endpoints, the
+   transaction time, and the store version after the mutation (so a
+   consumer can order changes and detect whether it is caught up). *)
+module Change = struct
+  type op = Insert | Update | Retire
+
+  type t = {
+    op : op;
+    uid : Entity.uid;
+    cls : string;
+    node : bool;
+    endpoints : (Entity.uid * Entity.uid) option;  (* edges only *)
+    at : Time_point.t;
+    version : int;
+  }
+
+  let op_to_string = function
+    | Insert -> "insert"
+    | Update -> "update"
+    | Retire -> "retire"
+
+  let to_string c =
+    Printf.sprintf "%s %s #%d @%s v%d" (op_to_string c.op) c.cls c.uid
+      (Time_point.to_string c.at) c.version
+end
+
+(* A bounded single-consumer ring: [publish] never blocks a mutation;
+   when the consumer lags past [cap] pending changes the *newest*
+   change is dropped and counted, and the consumer is expected to treat
+   a non-zero drop delta as "resynchronize from the store". *)
+type subscription = {
+  sub_cap : int;
+  sub_q : Change.t Queue.t;
+  mutable sub_dropped : int;
+  mutable sub_active : bool;
+}
+
 type index_key = string * string (* class, field *)
 
 type t = {
@@ -27,6 +68,7 @@ type t = {
   indexes : (index_key, (Value.t, (uid, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
       (* (cls, field) -> value -> uids that ever had this value *)
   mutable creation_order : uid list; (* reversed *)
+  mutable subs : subscription list; (* CDC subscribers *)
 }
 
 let ( let* ) = Result.bind
@@ -45,6 +87,7 @@ let create schema =
     adj_in = Hashtbl.create 4096;
     indexes = Hashtbl.create 8;
     creation_order = [];
+    subs = [];
   }
 
 let schema t = t.schema
@@ -52,10 +95,63 @@ let clock t = t.clock
 let version t = t.version
 
 let m_mutations = Nepal_util.Metrics.counter "store.mutations"
+let m_cdc_published = Nepal_util.Metrics.counter "store.cdc_published"
+let m_cdc_dropped = Nepal_util.Metrics.counter "store.cdc_dropped"
 
 let bump t =
   t.version <- t.version + 1;
   Nepal_util.Metrics.incr m_mutations
+
+let default_cdc_capacity = 4096
+
+let subscribe t ?(capacity = default_cdc_capacity) () =
+  let sub =
+    { sub_cap = max 1 capacity; sub_q = Queue.create (); sub_dropped = 0;
+      sub_active = true }
+  in
+  t.subs <- sub :: t.subs;
+  sub
+
+let unsubscribe t sub =
+  sub.sub_active <- false;
+  Queue.clear sub.sub_q;
+  t.subs <- List.filter (fun s -> s != sub) t.subs
+
+let subscriber_count t = List.length t.subs
+let pending sub = Queue.length sub.sub_q
+let dropped sub = sub.sub_dropped
+
+let drain sub =
+  let changes = List.rev (Queue.fold (fun acc c -> c :: acc) [] sub.sub_q) in
+  Queue.clear sub.sub_q;
+  changes
+
+(* Fan a successful mutation out to every subscriber. Called after
+   [bump], so [t.version] is the post-mutation version. *)
+let publish t ~op ~at (e : Entity.t) =
+  match t.subs with
+  | [] -> ()
+  | subs ->
+      let change =
+        {
+          Change.op;
+          uid = e.uid;
+          cls = e.cls;
+          node = Entity.is_node e;
+          endpoints = e.endpoints;
+          at;
+          version = t.version;
+        }
+      in
+      Nepal_util.Metrics.incr m_cdc_published;
+      List.iter
+        (fun sub ->
+          if Queue.length sub.sub_q >= sub.sub_cap then begin
+            sub.sub_dropped <- sub.sub_dropped + 1;
+            Nepal_util.Metrics.incr m_cdc_dropped
+          end
+          else Queue.add change sub.sub_q)
+        subs
 
 let tick t at =
   if Time_point.compare at t.clock < 0 then
@@ -145,7 +241,8 @@ let register_new t (e : Entity.t) =
   | None -> ());
   t.creation_order <- e.uid :: t.creation_order;
   index_version t e;
-  bump t
+  bump t;
+  publish t ~op:Change.Insert ~at:e.period.Interval.start e
 
 let insert_node t ~at ~cls ~fields =
   let* () = tick t at in
@@ -234,6 +331,7 @@ let update t ~at uid ~fields =
         set_add t.extent_current e'.cls uid;
         index_version t e';
         bump t;
+        publish t ~op:Change.Update ~at e';
         Ok ()
       end
 
@@ -251,6 +349,7 @@ let rec delete t ~at ?(cascade = false) uid =
       else if Entity.is_edge e then begin
         close_current t ~at uid e;
         bump t;
+        publish t ~op:Change.Retire ~at e;
         Ok ()
       end
       else
@@ -269,6 +368,7 @@ let rec delete t ~at ?(cascade = false) uid =
           let* () = drop incident in
           close_current t ~at uid e;
           bump t;
+          publish t ~op:Change.Retire ~at e;
           Ok ()
         end
 

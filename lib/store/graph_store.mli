@@ -31,6 +31,55 @@ val version : t -> int
     update, and delete (including each cascaded edge deletion). Caches
     layered over the store key their entries to this counter. *)
 
+(** {1 Change-data capture}
+
+    Every successful mutation — including each edge retired by a
+    cascading node delete — is fanned out to the registered
+    subscribers as a typed {!Change.t}. This is the feed live
+    monitoring (the [nepal_monitor] library) builds on. *)
+
+module Change : sig
+  type op = Insert | Update | Retire
+  (** [Update] is a field update (a new version of a live entity);
+      [Retire] closes the current version without opening another
+      (deletion in transaction time). *)
+
+  type t = {
+    op : op;
+    uid : Entity.uid;
+    cls : string;          (** concrete class *)
+    node : bool;           (** [false] for edges *)
+    endpoints : (Entity.uid * Entity.uid) option;  (** edges only *)
+    at : Time_point.t;     (** transaction time of the mutation *)
+    version : int;         (** store version {e after} the mutation *)
+  }
+
+  val op_to_string : op -> string
+  val to_string : t -> string
+end
+
+type subscription
+
+val subscribe : t -> ?capacity:int -> unit -> subscription
+(** Register a change subscriber with a bounded buffer (default
+    capacity 4096 pending changes). Publishing never blocks or fails a
+    mutation: once the buffer is full, further changes are dropped and
+    counted — consumers seeing {!dropped} advance must resynchronize
+    from the store instead of trusting the (gapped) stream. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Detach and empty the subscription; a second call is a no-op. *)
+
+val subscriber_count : t -> int
+
+val drain : subscription -> Change.t list
+(** All buffered changes, oldest first; empties the buffer. *)
+
+val pending : subscription -> int
+val dropped : subscription -> int
+(** Cumulative changes dropped on this subscription since {!subscribe}
+    (never reset by {!drain}). *)
+
 (** {1 Mutations}
 
     All return [Error] (with a message) rather than raising on schema

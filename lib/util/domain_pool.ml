@@ -16,6 +16,17 @@ let default_domains () =
   | Some n -> n
   | None -> max 1 (min 4 (Domain.recommended_domain_count ()))
 
+(* Pool occupancy, exported as registry gauges: [size] is the
+   configured parallelism (what a batch may use), [busy] the number of
+   workers — including calling threads — currently inside [run]. *)
+let busy_workers = Atomic.make 0
+
+let () =
+  Metrics.register_gauge "domain_pool.size" (fun () ->
+      float_of_int (default_domains ()));
+  Metrics.register_gauge "domain_pool.busy" (fun () ->
+      float_of_int (Atomic.get busy_workers))
+
 type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
 (* Run every thunk using up to [domains] domains (counting the calling
@@ -42,8 +53,16 @@ let run ?domains (thunks : (unit -> 'a) list) : 'a list =
           worker ()
         end
       in
-      let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let counted_worker () =
+        ignore (Atomic.fetch_and_add busy_workers 1);
+        Fun.protect
+          ~finally:(fun () -> ignore (Atomic.fetch_and_add busy_workers (-1)))
+          worker
+      in
+      let spawned =
+        List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn counted_worker)
+      in
+      counted_worker ();
       List.iter Domain.join spawned;
       Array.to_list
         (Array.map

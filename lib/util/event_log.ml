@@ -52,19 +52,76 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
+(* String escaping must produce a line that any strict JSON parser
+   accepts, whatever bytes the caller passed in: field values carry
+   uids, error messages and path renderings from arbitrary snapshots.
+   Control characters become \u escapes; bytes >= 0x80 are passed
+   through only when they form a well-formed UTF-8 sequence (no
+   overlongs, surrogates, or values above U+10FFFF — JSON documents
+   must be valid UTF-8), and anything else is replaced with � so
+   one bad byte cannot poison the whole JSONL sink. *)
+
+(* Length of the well-formed UTF-8 sequence starting at [i], or 0. *)
+let utf8_seq_len s i =
+  let n = String.length s in
+  let byte k = Char.code s.[k] in
+  let cont k = k < n && byte k land 0xC0 = 0x80 in
+  let b0 = byte i in
+  if b0 < 0x80 then 1
+  else if b0 < 0xC2 then 0 (* continuation or overlong lead *)
+  else if b0 < 0xE0 then if cont (i + 1) then 2 else 0
+  else if b0 < 0xF0 then
+    if
+      cont (i + 1) && cont (i + 2)
+      && (b0 <> 0xE0 || byte (i + 1) >= 0xA0) (* overlong *)
+      && (b0 <> 0xED || byte (i + 1) < 0xA0) (* surrogates *)
+    then 3
+    else 0
+  else if b0 < 0xF5 then
+    if
+      cont (i + 1) && cont (i + 2) && cont (i + 3)
+      && (b0 <> 0xF0 || byte (i + 1) >= 0x90) (* overlong *)
+      && (b0 <> 0xF4 || byte (i + 1) < 0x90) (* > U+10FFFF *)
+    then 4
+    else 0
+  else 0
+
 let escape_into b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        Buffer.add_string b "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string b "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string b "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string b "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string b "\\t";
+        incr i
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char b c;
+        incr i
+    | _ -> (
+        match utf8_seq_len s !i with
+        | 0 ->
+            (* invalid byte: substitute U+FFFD, escaped to stay ASCII *)
+            Buffer.add_string b "\\ufffd";
+            incr i
+        | len ->
+            Buffer.add_substring b s !i len;
+            i := !i + len))
+  done
 
 let rec add_json b = function
   | Null -> Buffer.add_string b "null"

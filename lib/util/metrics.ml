@@ -71,6 +71,13 @@ let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
+(* Gauges are callbacks, not cells: the registry samples them at
+   snapshot time, so a gauge always reports the live value (heap words,
+   pool occupancy, active watches) with zero bookkeeping on the hot
+   path. Callbacks must not call back into the registry — they run
+   under the registry lock. *)
+let gauges : (string, unit -> float) Hashtbl.t = Hashtbl.create 16
+
 let with_lock f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
@@ -106,6 +113,14 @@ let histogram name =
           let h = unregistered_histogram name in
           Hashtbl.replace histograms name h;
           h)
+
+let register_gauge name read = with_lock (fun () -> Hashtbl.replace gauges name read)
+
+let gauge_value name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some read -> ( try Some (read ()) with _ -> None)
+      | None -> None)
 
 let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
 let incr c = add c 1
@@ -194,6 +209,7 @@ let stats_of h =
 
 type snapshot = {
   counter_values : (string * int) list;    (* sorted by name *)
+  gauge_values : (string * float) list;    (* sorted by name; sampled now *)
   histogram_values : histogram_stats list; (* sorted by name *)
 }
 
@@ -204,9 +220,18 @@ let snapshot () =
           (fun name c acc -> (name, Atomic.get c.cell) :: acc)
           counters []
       in
+      let gs =
+        Hashtbl.fold
+          (fun name read acc ->
+            match (try Some (read ()) with _ -> None) with
+            | Some v -> (name, v) :: acc
+            | None -> acc)
+          gauges []
+      in
       let hs = Hashtbl.fold (fun _ h acc -> stats_of h :: acc) histograms [] in
       {
         counter_values = List.sort compare cs;
+        gauge_values = List.sort compare gs;
         histogram_values =
           List.sort (fun a b -> compare a.name b.name) hs;
       })
@@ -243,6 +268,9 @@ let pp ppf () =
     (fun (name, v) ->
       if v <> 0 then Format.fprintf ppf "%-42s %d@." name v)
     s.counter_values;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-42s %g (gauge)@." name v)
+    s.gauge_values;
   List.iter
     (fun h ->
       if h.count > 0 then
@@ -290,6 +318,12 @@ let render_openmetrics () =
       Buffer.add_string b (Printf.sprintf "%s_total %d\n" m v))
     s.counter_values;
   List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" m);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" m (float_repr v)))
+    s.gauge_values;
+  List.iter
     (fun (h : histogram_stats) ->
       let m = metric_name h.name in
       Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
@@ -310,3 +344,15 @@ let render_openmetrics () =
     s.histogram_values;
   Buffer.add_string b "# EOF\n";
   Buffer.contents b
+
+(* Runtime gauges every process gets for free: OCaml heap occupancy and
+   collection counts ([Gc.quick_stat] is a few loads, safe under the
+   registry lock). Registered at module initialization so the
+   serve-metrics endpoint and bench sidecars always include them. *)
+let () =
+  register_gauge "gc.heap_words" (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.heap_words);
+  register_gauge "gc.major_collections" (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.major_collections);
+  register_gauge "gc.minor_collections" (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.minor_collections)

@@ -25,6 +25,18 @@ val unregistered_histogram : string -> histogram
     it). Used for per-statement latency tables and bench-local
     measurements. *)
 
+val register_gauge : string -> (unit -> float) -> unit
+(** Register (or replace) a named gauge callback. Gauges are sampled at
+    {!snapshot} time under the registry lock, so the callback must be
+    cheap and must not call back into this registry. The runtime gauges
+    [gc.heap_words], [gc.major_collections] and [gc.minor_collections]
+    are pre-registered; {!Domain_pool} registers [domain_pool.size] and
+    [domain_pool.busy]. A callback that raises is skipped in snapshots. *)
+
+val gauge_value : string -> float option
+(** Sample one registered gauge by name ([None] when unregistered or
+    its callback raises). *)
+
 val add : counter -> int -> unit
 val incr : counter -> unit
 val counter_value : counter -> int
@@ -64,6 +76,9 @@ val stats_of : histogram -> histogram_stats
 
 type snapshot = {
   counter_values : (string * int) list;    (** sorted by name *)
+  gauge_values : (string * float) list;
+      (** sorted by name; sampled at snapshot time (a raising callback
+          is omitted) *)
   histogram_values : histogram_stats list; (** sorted by name *)
 }
 

@@ -195,6 +195,219 @@ let test_disabled_threshold () =
     (Event_log.slow_query_threshold () = None);
   Event_log.set_slow_query_threshold None
 
+(* -- every line is valid JSON --------------------------------------- *)
+
+(* A strict RFC 8259 parser: any escaping bug in the emitter (raw
+   control chars, broken \u sequences, invalid UTF-8 leaking through)
+   fails the parse. No external dep; this is the test's oracle. *)
+module Json_check = struct
+  exception Bad of string
+
+  let parse (s : string) =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let skip_ws () =
+      while
+        match peek () with
+        | Some (' ' | '\t' | '\n' | '\r') -> true
+        | _ -> false
+      do
+        advance ()
+      done
+    in
+    let is_hex = function
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+      | _ -> false
+    in
+    let hex4 () =
+      for _ = 1 to 4 do
+        match peek () with
+        | Some c when is_hex c -> advance ()
+        | _ -> raise (Bad "bad \\u escape")
+      done
+    in
+    let string_lit () =
+      expect '"';
+      let rec go () =
+        match peek () with
+        | None -> raise (Bad "unterminated string")
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+                advance ()
+            | Some 'u' ->
+                advance ();
+                hex4 ()
+            | _ -> raise (Bad "bad escape"));
+            go ()
+        | Some c when Char.code c < 0x20 ->
+            raise (Bad (Printf.sprintf "raw control char 0x%02x" (Char.code c)))
+        | Some c when Char.code c < 0x80 ->
+            advance ();
+            go ()
+        | Some c ->
+            (* multi-byte UTF-8 sequence: validate strictly (no
+               overlongs, no surrogates, max U+10FFFF) *)
+            let b0 = Char.code c in
+            let cont k =
+              (* read k continuation bytes, returning the code point *)
+              let cp = ref (b0 land (0xff lsr (k + 2))) in
+              advance ();
+              for _ = 1 to k do
+                match peek () with
+                | Some c' when Char.code c' land 0xc0 = 0x80 ->
+                    cp := (!cp lsl 6) lor (Char.code c' land 0x3f);
+                    advance ()
+                | _ -> raise (Bad "truncated UTF-8 sequence")
+              done;
+              !cp
+            in
+            let cp =
+              if b0 land 0xe0 = 0xc0 then cont 1
+              else if b0 land 0xf0 = 0xe0 then cont 2
+              else if b0 land 0xf8 = 0xf0 then cont 3
+              else raise (Bad (Printf.sprintf "invalid UTF-8 lead 0x%02x" b0))
+            in
+            let min_cp =
+              if b0 land 0xe0 = 0xc0 then 0x80
+              else if b0 land 0xf0 = 0xe0 then 0x800
+              else 0x10000
+            in
+            if cp < min_cp then raise (Bad "overlong UTF-8 encoding");
+            if cp >= 0xd800 && cp <= 0xdfff then
+              raise (Bad "surrogate code point in UTF-8");
+            if cp > 0x10ffff then raise (Bad "code point above U+10FFFF");
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      (match peek () with Some '-' -> advance () | _ -> ());
+      let digits () =
+        let seen = ref false in
+        while
+          match peek () with
+          | Some '0' .. '9' -> true
+          | _ -> false
+        do
+          seen := true;
+          advance ()
+        done;
+        if not !seen then raise (Bad "expected digits")
+      in
+      digits ();
+      (match peek () with
+      | Some '.' ->
+          advance ();
+          digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with
+          | Some ('+' | '-') -> advance ()
+          | _ -> ());
+          digits ()
+      | _ -> ()
+    in
+    let keyword k =
+      String.iter expect k
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> string_lit ()
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then advance ()
+          else
+            let rec members () =
+              skip_ws ();
+              string_lit ();
+              skip_ws ();
+              expect ':';
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ()
+              | Some '}' -> advance ()
+              | _ -> raise (Bad "expected , or } in object")
+            in
+            members ()
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then advance ()
+          else
+            let rec elems () =
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems ()
+              | Some ']' -> advance ()
+              | _ -> raise (Bad "expected , or ] in array")
+            in
+            elems ()
+      | Some 't' -> keyword "true"
+      | Some 'f' -> keyword "false"
+      | Some 'n' -> keyword "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise (Bad "expected a JSON value")
+    in
+    value ();
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage")
+
+  let valid s =
+    match parse s with () -> true | exception Bad _ -> false
+end
+
+let test_parser_sanity () =
+  check_bool "accepts an object" true
+    (Json_check.valid {|{"a":1,"b":[true,null,"xé"],"c":-1.5e3}|});
+  check_bool "rejects raw control char" false
+    (Json_check.valid "{\"a\":\"\x01\"}");
+  check_bool "rejects invalid UTF-8" false (Json_check.valid "{\"a\":\"\xff\"}");
+  check_bool "rejects overlong encoding" false
+    (Json_check.valid "{\"a\":\"\xc0\xaf\"}");
+  check_bool "rejects trailing garbage" false (Json_check.valid "{} {}")
+
+(* Arbitrary byte strings — including invalid UTF-8, control chars,
+   quotes, backslashes — must still come out as a parseable line. *)
+let prop_every_line_parses =
+  QCheck.Test.make ~name:"every emitted line parses as strict JSON" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 40)) (small_list string))
+    (fun (kind_raw, strs) ->
+      let kind = if kind_raw = "" then "t" else kind_raw in
+      let fields =
+        List.mapi (fun i v -> (Printf.sprintf "f%d" i, Event_log.Str v)) strs
+        @ [
+            ("nested",
+             Event_log.Obj
+               [
+                 ("l", Event_log.List (List.map (fun v -> Event_log.Str v) strs));
+                 ("nan", Event_log.Float Float.nan);
+                 ("inf", Event_log.Float Float.infinity);
+               ]);
+          ]
+      in
+      let lines = with_log (fun () -> Event_log.emit ~kind fields) in
+      List.length lines = 1 && List.for_all Json_check.valid lines)
+
 let () =
   Alcotest.run "nepal_event_log"
     [
@@ -213,4 +426,7 @@ let () =
           Alcotest.test_case "no threshold while disabled" `Quick
             test_disabled_threshold;
         ] );
+      ( "json",
+        Alcotest.test_case "oracle parser sanity" `Quick test_parser_sanity
+        :: List.map QCheck_alcotest.to_alcotest [ prop_every_line_parses ] );
     ]

@@ -128,6 +128,7 @@ let test_openmetrics_grammar () =
   Metrics.add c 5;
   let h = Metrics.histogram "test.om.seconds" in
   List.iter (Metrics.observe h) [ 0.001; 0.004; 0.004; 0.02; 1.5 ];
+  Metrics.register_gauge "test.om.level" (fun () -> 2.5);
   let text = Metrics.render_openmetrics () in
   check_bool "ends with newline" true
     (String.length text > 0 && text.[String.length text - 1] = '\n');
@@ -146,12 +147,12 @@ let test_openmetrics_grammar () =
       else if line = "" then fail line "blank line in exposition"
       else if starts_with "# TYPE " line then begin
         (match String.split_on_char ' ' line with
-        | [ "#"; "TYPE"; name; ("counter" | "histogram") ] ->
+        | [ "#"; "TYPE"; name; (("counter" | "gauge" | "histogram") as ty) ] ->
             if not (valid_metric_name name) then
               fail line "invalid metric name";
             if not (starts_with "nepal_" name) then
               fail line "metric not in the nepal_ namespace";
-            family := Some name
+            family := Some (name, ty)
         | _ -> fail line "malformed # TYPE line");
         buckets_cum := -1;
         saw_inf := false;
@@ -163,7 +164,7 @@ let test_openmetrics_grammar () =
         | Some (name, le, value) -> (
             match !family with
             | None -> fail line "sample before any # TYPE declaration"
-            | Some fam ->
+            | Some (fam, ty) ->
                 if not (starts_with fam name) then
                   fail line "sample outside its declared family";
                 let suffix =
@@ -171,9 +172,12 @@ let test_openmetrics_grammar () =
                     (String.length name - String.length fam)
                 in
                 (match (suffix, le) with
-                | "_total", None ->
+                | "_total", None when ty = "counter" ->
                     if int_of_string_opt value = None then
                       fail line "counter value not an integer"
+                | "", None when ty = "gauge" ->
+                    if float_of_string_opt value = None then
+                      fail line "gauge value not a float"
                 | "_bucket", Some le ->
                     let v =
                       match int_of_string_opt value with
@@ -208,6 +212,7 @@ let test_openmetrics_grammar () =
   in
   check_bool "counter sample rendered" true
     (has "nepal_test_om_requests_total 5");
+  check_bool "gauge sample rendered" true (has "nepal_test_om_level 2.5");
   check_bool "histogram count rendered" true (has "nepal_test_om_seconds_count 5")
 
 let () =

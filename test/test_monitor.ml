@@ -1,0 +1,490 @@
+(* Live monitoring: the store's CDC stream (ordering, bounded buffers,
+   drop accounting, unsubscribe) and the watchpoint layer (alert smoke
+   test, relevance skips, debounce, drop-triggered resync), plus the
+   QCheck equivalence property: an incrementally maintained watch
+   agrees with a from-scratch evaluation at every flush boundary, on
+   the native store and both mirror backends. *)
+
+module Nepal = Core.Nepal
+module Store = Nepal.Graph_store
+module Change = Store.Change
+module Monitor = Nepal.Monitor
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tp = Nepal.Time_point.of_string_exn
+let t0 = tp "2017-03-01 00:00:00"
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let model =
+  {|
+node_types:
+  App:
+    properties:
+      id: int
+      tier: string
+  Box:
+    properties:
+      id: int
+      region: string
+edge_types:
+  RunsOn: {}
+  Link: {}
+|}
+
+let fields l = Nepal.Strmap.of_list l
+let i n = Nepal.Value.Int n
+let s x = Nepal.Value.Str x
+
+let new_store () = Store.create (Nepal.Tosca.parse_exn model)
+
+let counter_value name = Nepal.Metrics.counter_value (Nepal.Metrics.counter name)
+
+(* app(id=1) -> box(id=10) -Link-> box(id=20); returns the uids. *)
+let build_small store =
+  let node cls fs = ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs)) in
+  let edge cls src dst =
+    ok (Store.insert_edge store ~at:t0 ~cls ~src ~dst ~fields:Nepal.Strmap.empty)
+  in
+  let app = node "App" [ ("id", i 1); ("tier", s "web") ] in
+  let box1 = node "Box" [ ("id", i 10); ("region", s "east") ] in
+  let box2 = node "Box" [ ("id", i 20); ("region", s "west") ] in
+  let runs = edge "RunsOn" app box1 in
+  let link = edge "Link" box1 box2 in
+  (app, box1, box2, runs, link)
+
+(* ---- CDC stream ----------------------------------------------------- *)
+
+let test_cdc_stream () =
+  let store = new_store () in
+  let sub = Store.subscribe store () in
+  check_int "subscriber registered" 1 (Store.subscriber_count store);
+  let app, _box1, _box2, runs, _link = build_small store in
+  check_int "five changes pending" 5 (Store.pending sub);
+  let changes = Store.drain sub in
+  check_int "drain empties" 0 (Store.pending sub);
+  check_int "five changes drained" 5 (List.length changes);
+  Alcotest.(check (list string))
+    "ops in mutation order"
+    [ "insert"; "insert"; "insert"; "insert"; "insert" ]
+    (List.map (fun c -> Change.op_to_string c.Change.op) changes);
+  let third = List.nth changes 3 in
+  check_bool "edge change carries endpoints" true
+    (third.Change.endpoints <> None && not third.Change.node);
+  Alcotest.(check string) "edge class" "RunsOn" third.Change.cls;
+  (* update + retire *)
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.update store ~at:at1 app ~fields:(fields [ ("tier", s "db") ]));
+  ok (Store.delete store ~at:at1 runs);
+  let changes = Store.drain sub in
+  Alcotest.(check (list string))
+    "update then retire" [ "update"; "retire" ]
+    (List.map (fun c -> Change.op_to_string c.Change.op) changes);
+  List.iter
+    (fun c ->
+      check_bool "version is post-mutation and positive" true
+        (c.Change.version > 0);
+      check_bool "stamped at mutation time" true
+        (Nepal.Time_point.equal c.Change.at at1))
+    changes;
+  Store.unsubscribe store sub;
+  check_int "unsubscribed" 0 (Store.subscriber_count store);
+  let at2 = Nepal.Time_point.add_seconds t0 120. in
+  ok (Store.update store ~at:at2 app ~fields:(fields [ ("tier", s "web") ]));
+  check_int "no publish after unsubscribe" 0 (Store.pending sub);
+  (* second unsubscribe is a no-op *)
+  Store.unsubscribe store sub
+
+let test_cdc_cascade () =
+  let store = new_store () in
+  let app, _, _, _, _ = build_small store in
+  let sub = Store.subscribe store () in
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 ~cascade:true app);
+  let changes = Store.drain sub in
+  (* the RunsOn edge retires in the same transaction as the node *)
+  Alcotest.(check (list string))
+    "cascaded edge retire published" [ "retire"; "retire" ]
+    (List.map (fun c -> Change.op_to_string c.Change.op) changes);
+  check_bool "edge first, then node" true
+    (match changes with
+    | [ e; n ] -> (not e.Change.node) && n.Change.node
+    | _ -> false);
+  Store.unsubscribe store sub
+
+let test_cdc_overflow () =
+  let store = new_store () in
+  let sub = Store.subscribe store ~capacity:4 () in
+  let at = ref t0 in
+  for k = 1 to 10 do
+    at := Nepal.Time_point.add_seconds !at 60.;
+    ignore (Store.insert_node store ~at:!at ~cls:"App" ~fields:(fields [ ("id", i k) ]))
+  done;
+  check_int "buffer capped" 4 (Store.pending sub);
+  check_int "six dropped" 6 (Store.dropped sub);
+  let changes = Store.drain sub in
+  check_int "oldest four kept (drop-newest)" 4 (List.length changes);
+  check_bool "kept changes are the first four" true
+    (List.for_all2
+       (fun c k -> c.Change.version = k)
+       changes
+       [ 1; 2; 3; 4 ]);
+  check_int "drop counter survives drain" 6 (Store.dropped sub);
+  Store.unsubscribe store sub
+
+(* ---- watch smoke: path.down then path.up ---------------------------- *)
+
+let test_watch_smoke () =
+  let store = new_store () in
+  let app, box1, _box2, runs, _link = build_small store in
+  let monitor = Monitor.create ~debounce_ms:0. store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES App(id=1)->RunsOn()->Box()")
+  in
+  check_int "baseline: one matching path" 1
+    (List.length (Monitor.watch_fingerprints w));
+  check_int "no alert without changes" 0 (List.length (Monitor.flush monitor));
+  (* kill the path *)
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 runs);
+  (match Monitor.flush monitor with
+  | [ a ] ->
+      check_bool "path.down" true (a.Monitor.al_kind = Monitor.Path_down);
+      check_int "no paths left" 0 a.Monitor.al_total;
+      check_int "one removed" 1 (List.length a.Monitor.al_removed)
+  | l -> Alcotest.failf "expected one path.down alert, got %d" (List.length l));
+  (* bring it back *)
+  let at2 = Nepal.Time_point.add_seconds t0 120. in
+  ignore
+    (ok
+       (Store.insert_edge store ~at:at2 ~cls:"RunsOn" ~src:app ~dst:box1
+          ~fields:Nepal.Strmap.empty));
+  (match Monitor.flush monitor with
+  | [ a ] ->
+      check_bool "path.up" true (a.Monitor.al_kind = Monitor.Path_up);
+      check_int "one path again" 1 a.Monitor.al_total;
+      check_int "one added" 1 (List.length a.Monitor.al_added)
+  | l -> Alcotest.failf "expected one path.up alert, got %d" (List.length l));
+  Monitor.close monitor;
+  check_int "subscription dropped on close" 0 (Store.subscriber_count store)
+
+let test_watch_changed () =
+  let store = new_store () in
+  let _app, box1, _box2, _runs, _link = build_small store in
+  let node cls fs = ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs)) in
+  let app2 = node "App" [ ("id", i 2); ("tier", s "web") ] in
+  ignore
+    (ok
+       (Store.insert_edge store ~at:t0 ~cls:"RunsOn" ~src:app2 ~dst:box1
+          ~fields:Nepal.Strmap.empty));
+  let monitor = Monitor.create ~debounce_ms:0. store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES App()->RunsOn()->Box()")
+  in
+  check_int "two paths at baseline" 2 (List.length (Monitor.watch_fingerprints w));
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 ~cascade:true app2);
+  (match Monitor.flush monitor with
+  | [ a ] ->
+      check_bool "path.changed (still non-empty)" true
+        (a.Monitor.al_kind = Monitor.Path_changed);
+      check_int "one left" 1 a.Monitor.al_total
+  | l -> Alcotest.failf "expected one alert, got %d" (List.length l));
+  Monitor.close monitor
+
+(* ---- relevance skips ------------------------------------------------- *)
+
+let test_watch_skips_irrelevant () =
+  let store = new_store () in
+  let app, _box1, _box2, _runs, _link = build_small store in
+  let monitor = Monitor.create ~debounce_ms:0. store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES Box(id=10)->Link()->Box()")
+  in
+  (match Monitor.watch_relevant_classes w with
+  | Some classes ->
+      check_bool "App is not relevant to a Box query" true
+        (not (List.mem "App" classes));
+      check_bool "Box is relevant" true (List.mem "Box" classes);
+      check_bool "Link is relevant" true (List.mem "Link" classes);
+      (* fully explicit pattern: no junction closure, so RunsOn stays out *)
+      check_bool "RunsOn is not relevant" true (not (List.mem "RunsOn" classes))
+  | None -> Alcotest.fail "expected a bounded relevance filter");
+  let skipped0 = counter_value "monitor.skipped" in
+  let evals0 = counter_value "monitor.evaluations" in
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.update store ~at:at1 app ~fields:(fields [ ("tier", s "db") ]));
+  check_int "irrelevant change: no alert" 0 (List.length (Monitor.flush monitor));
+  check_int "irrelevant change: no evaluation" 0
+    (counter_value "monitor.evaluations" - evals0);
+  check_int "irrelevant change: one skip" 1
+    (counter_value "monitor.skipped" - skipped0);
+  Monitor.close monitor
+
+(* A node-to-node junction pattern must treat the skipped edge classes
+   as relevant — App()->Box() traverses an unmatched RunsOn. *)
+let test_junction_relevance () =
+  let store = new_store () in
+  let app, box1, _box2, runs, _link = build_small store in
+  ignore box1;
+  let monitor = Monitor.create ~debounce_ms:0. store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES App()->Box()")
+  in
+  (match Monitor.watch_relevant_classes w with
+  | Some classes ->
+      check_bool "skipped edge class is relevant" true
+        (List.mem "RunsOn" classes)
+  | None -> Alcotest.fail "expected a bounded relevance filter");
+  check_int "one junction path at baseline" 1
+    (List.length (Monitor.watch_fingerprints w));
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 runs);
+  (match Monitor.flush monitor with
+  | [ a ] -> check_bool "path.down" true (a.Monitor.al_kind = Monitor.Path_down)
+  | l -> Alcotest.failf "expected one alert, got %d" (List.length l));
+  ignore app;
+  Monitor.close monitor
+
+(* ---- debounce -------------------------------------------------------- *)
+
+let test_debounce () =
+  let store = new_store () in
+  let _app, _box1, _box2, _runs, link = build_small store in
+  let monitor = Monitor.create ~debounce_ms:60_000. store in
+  let _w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES Box()->Link()->Box()")
+  in
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 link);
+  check_int "within the debounce window: held back" 0
+    (List.length (Monitor.poll monitor));
+  check_int "after the window: evaluated" 1
+    (List.length
+       (Monitor.poll ~now:(Unix.gettimeofday () +. 120.) monitor));
+  check_int "nothing left dirty" 0 (List.length (Monitor.flush monitor));
+  Monitor.close monitor
+
+(* ---- CDC overflow forces a resync ------------------------------------ *)
+
+let test_drop_resync () =
+  let store = new_store () in
+  let _app, _box1, _box2, _runs, link = build_small store in
+  let monitor = Monitor.create ~debounce_ms:0. ~cdc_capacity:2 store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES Box()->Link()->Box()")
+  in
+  (* Overflow the tiny buffer with irrelevant changes, and retire the
+     watched edge while the stream is gapped: the relevance filter
+     never sees the retire, but the drop counter must force a
+     re-evaluation anyway. *)
+  let at = ref t0 in
+  for k = 1 to 5 do
+    at := Nepal.Time_point.add_seconds !at 60.;
+    ignore (Store.insert_node store ~at:!at ~cls:"App" ~fields:(fields [ ("id", i (100 + k)) ]))
+  done;
+  at := Nepal.Time_point.add_seconds !at 60.;
+  ok (Store.delete store ~at:!at link);
+  (match Monitor.flush monitor with
+  | [ a ] -> check_bool "resync caught the retire" true (a.Monitor.al_kind = Monitor.Path_down)
+  | l -> Alcotest.failf "expected one alert after resync, got %d" (List.length l));
+  check_int "resynced watch is consistent" 0
+    (List.length (Monitor.watch_fingerprints w));
+  Monitor.close monitor
+
+(* ---- unwatch --------------------------------------------------------- *)
+
+let test_unwatch () =
+  let store = new_store () in
+  let _app, _box1, _box2, _runs, link = build_small store in
+  let monitor = Monitor.create ~debounce_ms:0. store in
+  let w =
+    ok
+      (Monitor.watch monitor
+         "Retrieve P From PATHS P Where P MATCHES Box()->Link()->Box()")
+  in
+  check_int "one watch" 1 (Monitor.watch_count monitor);
+  Monitor.unwatch monitor w;
+  check_int "removed" 0 (Monitor.watch_count monitor);
+  let at1 = Nepal.Time_point.add_seconds t0 60. in
+  ok (Store.delete store ~at:at1 link);
+  check_int "no alerts for an unwatched query" 0
+    (List.length (Monitor.flush monitor));
+  (* second unwatch is a no-op *)
+  Monitor.unwatch monitor w;
+  Monitor.close monitor
+
+let test_watch_rejects_broken () =
+  let store = new_store () in
+  let monitor = Monitor.create store in
+  (match Monitor.watch monitor "Retrieve P From" with
+  | Ok _ -> Alcotest.fail "parse error accepted"
+  | Error _ -> ());
+  check_int "nothing registered" 0 (Monitor.watch_count monitor);
+  Monitor.close monitor
+
+(* ---- equivalence property -------------------------------------------- *)
+
+(* Random mutation stream over the App/Box model. Each op is an int
+   pair (kind, n); boundaries every [stride] ops flush the monitor and
+   compare its fingerprints against a freshly primed watch of the same
+   query on the same backend — from-scratch evaluation. *)
+
+let equivalence_property backend_name provider_of =
+  let queries =
+    [
+      "Retrieve P From PATHS P Where P MATCHES App()->RunsOn()->Box()";
+      (* node-to-node junction: exercises the closure in the filter *)
+      "Retrieve P From PATHS P Where P MATCHES App()->Box()";
+      "Retrieve P From PATHS P Where P MATCHES Box()->[Link()]{1,2}->Box()";
+    ]
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "incremental watch == full re-evaluation (%s)" backend_name)
+    ~count:25
+    QCheck.(small_list (pair (int_bound 6) (int_bound 30)))
+    (fun ops ->
+      let store = new_store () in
+      let _ = build_small store in
+      let provider = provider_of store in
+      let monitor = Monitor.create ~debounce_ms:0. ~conn_provider:provider store in
+      let watches = List.map (fun q -> (q, ok (Monitor.watch monitor q))) queries in
+      let apps = ref [] and boxes = ref [] and edges = ref [] in
+      let time = ref t0 in
+      let pick l n = List.nth l (n mod List.length l) in
+      let step (kind, n) =
+        time := Nepal.Time_point.add_seconds !time 60.;
+        let at = !time in
+        match kind with
+        | 0 -> (
+            match
+              Store.insert_node store ~at ~cls:"App"
+                ~fields:(fields [ ("id", i (1000 + n)) ])
+            with
+            | Ok u -> apps := u :: !apps
+            | Error _ -> ())
+        | 1 -> (
+            match
+              Store.insert_node store ~at ~cls:"Box"
+                ~fields:(fields [ ("id", i (2000 + n)) ])
+            with
+            | Ok u -> boxes := u :: !boxes
+            | Error _ -> ())
+        | 2 ->
+            if !apps <> [] && !boxes <> [] then (
+              match
+                Store.insert_edge store ~at ~cls:"RunsOn" ~src:(pick !apps n)
+                  ~dst:(pick !boxes (n / 2))
+                  ~fields:Nepal.Strmap.empty
+              with
+              | Ok u -> edges := u :: !edges
+              | Error _ -> ())
+        | 3 ->
+            if List.length !boxes >= 2 then (
+              match
+                Store.insert_edge store ~at ~cls:"Link" ~src:(pick !boxes n)
+                  ~dst:(pick !boxes (n / 3))
+                  ~fields:Nepal.Strmap.empty
+              with
+              | Ok u -> edges := u :: !edges
+              | Error _ -> ())
+        | 4 ->
+            if !edges <> [] then begin
+              let u = pick !edges n in
+              ignore (Store.delete store ~at u);
+              edges := List.filter (fun x -> x <> u) !edges
+            end
+        | 5 ->
+            if !apps <> [] then begin
+              let u = pick !apps n in
+              ignore (Store.delete store ~at ~cascade:true u);
+              apps := List.filter (fun x -> x <> u) !apps
+            end
+        | _ ->
+            if !apps <> [] then
+              ignore
+                (Store.update store ~at (pick !apps n)
+                   ~fields:(fields [ ("tier", s (string_of_int n)) ]))
+      in
+      let agree () =
+        ignore (Monitor.flush monitor);
+        List.for_all
+          (fun (q, w) ->
+            (* a fresh watch's baseline is a full from-scratch evaluation *)
+            let fresh = Monitor.create ~conn_provider:provider store in
+            let w' = ok (Monitor.watch fresh q) in
+            let a = Monitor.watch_fingerprints w
+            and b = Monitor.watch_fingerprints w' in
+            Monitor.close fresh;
+            a = b)
+          watches
+      in
+      let rec run ops k =
+        match ops with
+        | [] -> agree ()
+        | op :: rest ->
+            step op;
+            (* every 4 ops is a debounce boundary: flush and compare *)
+            if k mod 4 = 0 then agree () && run rest (k + 1)
+            else run rest (k + 1)
+      in
+      let result = run ops 1 in
+      Monitor.close monitor;
+      result)
+
+let native_provider store =
+  let conn = Nepal.native_conn store in
+  fun () -> conn
+
+let relational_provider store () =
+  match Nepal.to_relational (Nepal.of_store store) with
+  | Ok rb -> Nepal.relational_conn rb
+  | Error e -> failwith e
+
+let gremlin_provider store () =
+  match Nepal.to_gremlin (Nepal.of_store store) with
+  | Ok gb -> Nepal.gremlin_conn gb
+  | Error e -> failwith e
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "cdc",
+        [
+          Alcotest.test_case "stream" `Quick test_cdc_stream;
+          Alcotest.test_case "cascade" `Quick test_cdc_cascade;
+          Alcotest.test_case "overflow" `Quick test_cdc_overflow;
+        ] );
+      ( "watch",
+        [
+          Alcotest.test_case "smoke: down then up" `Quick test_watch_smoke;
+          Alcotest.test_case "changed" `Quick test_watch_changed;
+          Alcotest.test_case "skips irrelevant" `Quick test_watch_skips_irrelevant;
+          Alcotest.test_case "junction relevance" `Quick test_junction_relevance;
+          Alcotest.test_case "debounce" `Quick test_debounce;
+          Alcotest.test_case "drop resync" `Quick test_drop_resync;
+          Alcotest.test_case "unwatch" `Quick test_unwatch;
+          Alcotest.test_case "rejects broken" `Quick test_watch_rejects_broken;
+        ] );
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            equivalence_property "native" native_provider;
+            equivalence_property "relational" relational_provider;
+            equivalence_property "gremlin" gremlin_provider;
+          ] );
+    ]

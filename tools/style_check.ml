@@ -140,11 +140,28 @@ let mli_grandfathered =
     "strset.ml"; "join_cache.ml";
   ]
 
+(* Directories added after the rule existed get no grandfathering at
+   all, whatever the basename: every module ships its .mli. *)
+let mli_strict_dirs = [ "lib/monitor" ]
+
+let in_strict_dir file =
+  List.exists
+    (fun d ->
+      let d = d ^ "/" in
+      let rec has_sub i =
+        i + String.length d <= String.length file
+        && (String.sub file i (String.length d) = d || has_sub (i + 1))
+      in
+      has_sub 0)
+    mli_strict_dirs
+
 let check_mli file =
   if
     in_lib file
     && Filename.check_suffix file ".ml"
-    && not (List.mem (Filename.basename file) mli_grandfathered)
+    && not
+         (List.mem (Filename.basename file) mli_grandfathered
+         && not (in_strict_dir file))
     && not (Sys.file_exists (file ^ "i"))
   then
     report file 1
