@@ -122,9 +122,9 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate an evaluation topology and print its statistics.")
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg))
 
-let run_query conn text =
+let run_query conn ?optimizer text =
   let t0 = Unix.gettimeofday () in
-  match Nepal.query_on conn text with
+  match Nepal.query_on conn ?optimizer text with
   | Error e -> Error e
   | Ok result ->
       let dt = Unix.gettimeofday () -. t0 in
@@ -137,12 +137,19 @@ let query_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"QUERY" ~doc:"The Nepal query text.")
   in
-  let run topology seed nodes history backend text =
+  let legacy_plan =
+    Arg.(value & flag
+         & info [ "legacy-plan" ]
+             ~doc:"Skip the cost-based plan compiler and use the legacy \
+                   greedy anchor pick.")
+  in
+  let run topology seed nodes history backend legacy_plan text =
     let store = build_store topology seed nodes history in
     match connect backend store with
     | Error e -> `Error (false, e)
     | Ok conn -> (
-        match run_query conn text with
+        let optimizer = if legacy_plan then `Off else `On in
+        match run_query conn ~optimizer text with
         | Ok () -> `Ok ()
         | Error e -> `Error (false, e))
   in
@@ -155,7 +162,7 @@ let query_cmd =
                VNF(id=100)->[Vertical()]{1,6}->Server()\"";
          ])
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
-               $ backend_arg $ text))
+               $ backend_arg $ legacy_plan $ text))
 
 let explain_cmd =
   let text =
@@ -169,7 +176,13 @@ let explain_cmd =
                    (wall time, row counts, backend round-trips) instead of \
                    the planned DAG.")
   in
-  let run topology seed nodes history backend analyze text =
+  let legacy_plan =
+    Arg.(value & flag
+         & info [ "legacy-plan" ]
+             ~doc:"Skip the cost-based plan compiler and show the legacy \
+                   greedy plan.")
+  in
+  let run topology seed nodes history backend analyze legacy_plan text =
     let store = build_store topology seed nodes history in
     match connect backend store with
     | Error e -> `Error (false, e)
@@ -177,7 +190,8 @@ let explain_cmd =
         let prefixed =
           (if analyze then "EXPLAIN ANALYZE " else "EXPLAIN ") ^ text
         in
-        match Nepal.query_on conn prefixed with
+        let optimizer = if legacy_plan then `Off else `On in
+        match Nepal.query_on conn ~optimizer prefixed with
         | Error e -> `Error (false, e)
         | Ok result ->
             Nepal.Engine.pp_result Format.std_formatter result;
@@ -186,7 +200,8 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the planned operator DAG for a query ($(b,--analyze): \
-             execute it and report measured per-operator spans)."
+             execute it and report measured per-operator spans; \
+             $(b,--legacy-plan): bypass the cost-based planner)."
        ~man:
          [
            `S Manpage.s_examples;
@@ -194,7 +209,7 @@ let explain_cmd =
                Where P MATCHES VM()->[Virtual()]->VM()\"";
          ])
     Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
-               $ backend_arg $ analyze $ text))
+               $ backend_arg $ analyze $ legacy_plan $ text))
 
 let repl_cmd =
   let run topology seed nodes history backend =

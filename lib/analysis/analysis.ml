@@ -101,6 +101,10 @@ type tables = {
   t_succ : Intset.t array array;
       (** [t_succ.(e).(a)]: node indices [b] with [edge_allowed e a b] *)
   t_adj : Intset.t array;  (** union of [t_succ.(_).(a)] over all edges *)
+  t_pred : Intset.t array array;
+      (** transpose: [t_pred.(e).(b)]: node indices [a] with
+          [edge_allowed e a b] — backward walks *)
+  t_adj_in : Intset.t array;  (** union of [t_pred.(_).(b)] over all edges *)
 }
 
 let build_tables schema =
@@ -124,11 +128,29 @@ let build_tables schema =
           nodes)
       edges
   in
+  let nn = Array.length nodes in
+  let pred =
+    Array.map
+      (fun per_src ->
+        Array.init nn (fun bi ->
+            let s = ref Intset.empty in
+            Array.iteri
+              (fun ai dsts -> if Intset.mem bi dsts then s := Intset.add ai !s)
+              per_src;
+            !s))
+      succ
+  in
   let adj =
-    Array.init (Array.length nodes) (fun ai ->
+    Array.init nn (fun ai ->
         Array.fold_left
           (fun acc per_src -> Intset.union acc per_src.(ai))
           Intset.empty succ)
+  in
+  let adj_in =
+    Array.init nn (fun bi ->
+        Array.fold_left
+          (fun acc per_dst -> Intset.union acc per_dst.(bi))
+          Intset.empty pred)
   in
   {
     t_nodes = nodes;
@@ -137,6 +159,8 @@ let build_tables schema =
     t_edge_idx = edge_idx;
     t_succ = succ;
     t_adj = adj;
+    t_pred = pred;
+    t_adj_in = adj_in;
   }
 
 (* The analyzer runs on every query at the default [`Warn] mode, so the
@@ -337,6 +361,110 @@ let frontier_node_classes tb fr =
           (fun b acc -> Strset.add tb.t_nodes.(b) acc)
           tb.t_succ.(e).(a) acc)
     fr Strset.empty
+
+(* -- plan-time frontier oracle ----------------------------------------
+
+   The same abstract domain, packaged for the planner: direction-aware
+   (backward walks use the transposed tables) and driven one transition
+   at a time, so [Nfa.prune] can run it as the abstract half of a
+   product automaton. *)
+
+module Frontier = struct
+  type t = { f_schema : Schema.t; f_tb : tables; f_rev : bool }
+
+  let get schema ~dir =
+    {
+      f_schema = schema;
+      f_tb = tables_of schema;
+      f_rev = (match dir with `Fwd -> false | `Bwd -> true);
+    }
+
+  let start = Intset.singleton start_state
+
+  let succ ft e a = if ft.f_rev then ft.f_tb.t_pred.(e).(a) else ft.f_tb.t_succ.(e).(a)
+
+  let node_indices ft cls =
+    List.filter_map
+      (fun c -> Hashtbl.find_opt ft.f_tb.t_node_idx c)
+      (Schema.concrete_subclasses ft.f_schema cls)
+
+  let edge_indices ft cls =
+    List.filter_map
+      (fun c -> Hashtbl.find_opt ft.f_tb.t_edge_idx c)
+      (Schema.concrete_subclasses ft.f_schema cls)
+
+  (* Element-wise steps with the direction-selected tables; edge states
+     encode the node class the edge was entered from in walk order (its
+     real dst when walking backward).
+
+     Unlike [step_node]/[step_edge] above — which step {e atoms}, with
+     implicit unmatched elements between adjacent same-kind atoms —
+     these step one {e element} at a time, exactly as the product
+     automaton consumes them. Elements strictly alternate node/edge, so
+     a node element is never consumable from a node state, nor an edge
+     element from an edge state: those steps are dead, which is
+     precisely the narrowing that makes {!Nepal_rpe.Nfa.prune}
+     effective. *)
+  let fstep_node ft fr cs =
+    let nn = Array.length ft.f_tb.t_nodes and ne = Array.length ft.f_tb.t_edges in
+    let out = ref Intset.empty in
+    Intset.iter
+      (fun st ->
+        if st = start_state then List.iter (fun c -> out := Intset.add c !out) cs
+        else if st < nn then () (* node after node: elements alternate *)
+        else begin
+          let k = st - nn in
+          let a = k / ne and e = k mod ne in
+          List.iter
+            (fun c -> if Intset.mem c (succ ft e a) then out := Intset.add c !out)
+            cs
+        end)
+      fr;
+    !out
+
+  let fstep_edge ft fr es =
+    let nn = Array.length ft.f_tb.t_nodes and ne = Array.length ft.f_tb.t_edges in
+    let out = ref Intset.empty in
+    let from_src a =
+      List.iter
+        (fun e ->
+          if not (Intset.is_empty (succ ft e a)) then
+            out := Intset.add (nn + (a * ne) + e) !out)
+        es
+    in
+    Intset.iter
+      (fun st ->
+        if st = start_state then
+          (* implicit source node of any class — a pathway may open on
+             an edge element's endpoint *)
+          for a = 0 to nn - 1 do
+            from_src a
+          done
+        else if st < nn then from_src st
+        else () (* edge after edge: elements alternate *))
+      fr;
+    !out
+
+  let all_node_indices ft = List.init (Array.length ft.f_tb.t_nodes) Fun.id
+  let all_edge_indices ft = List.init (Array.length ft.f_tb.t_edges) Fun.id
+
+  let step_skip ft fr ~is_node =
+    if is_node then fstep_node ft fr (all_node_indices ft)
+    else fstep_edge ft fr (all_edge_indices ft)
+
+  let step_atom ft fr (a : Rpe.atom) ~is_node =
+    match Schema.kind_of ft.f_schema a.Rpe.cls with
+    | Some Schema.Node_kind ->
+        if is_node then fstep_node ft fr (node_indices ft a.Rpe.cls)
+        else Intset.empty
+    | Some Schema.Edge_kind ->
+        if is_node then Intset.empty
+        else fstep_edge ft fr (edge_indices ft a.Rpe.cls)
+    | None ->
+        (* Unresolved class (cannot happen on validated RPEs): stay
+           sound by treating the match as an unconstrained skip. *)
+        step_skip ft fr ~is_node
+end
 
 let rec leading_atoms = function
   | Rpe.N_atom a -> [ a ]

@@ -65,3 +65,36 @@ val relevance :
 (** Pre-compute the relevance filter for a parsed query. Cost is one
     pass over the query plus [O(|edge classes| * |node classes|)]
     against the memoized reachability tables. *)
+
+(** {1 Plan-time frontier oracle}
+
+    The satisfiability abstract domain (frontiers of "where could the
+    pathway be" class states), packaged one step at a time so the
+    planner can run it as the abstract half of a product automaton
+    ({!Nepal_rpe.Nfa.prune}). Frontiers are [Intset]s over an internal
+    state encoding; treat them as opaque. Sound for any store that
+    enforces [Schema.edge_allowed] on insertion (all Nepal stores do):
+    an empty stepped frontier proves no conforming data can take the
+    transition. *)
+module Frontier : sig
+  type t
+
+  val get : Nepal_schema.Schema.t -> dir:[ `Fwd | `Bwd ] -> t
+  (** Direction-aware tables ([`Bwd] walks pathways right-to-left, as
+      backward Extend does); memoized per schema value. *)
+
+  val start : Nepal_util.Intset.t
+  (** The frontier before any element has been consumed. *)
+
+  val step_atom :
+    t -> Nepal_util.Intset.t -> Nepal_rpe.Rpe.atom -> is_node:bool ->
+    Nepal_util.Intset.t
+  (** Consume one element matched by the atom. Empty result = no
+      conforming element can extend any frontier pathway this way. A
+      kind mismatch between [is_node] and the atom's schema kind is
+      empty; an unresolved class degrades to {!step_skip}. *)
+
+  val step_skip :
+    t -> Nepal_util.Intset.t -> is_node:bool -> Nepal_util.Intset.t
+  (** Consume one unconstrained element of the given kind. *)
+end

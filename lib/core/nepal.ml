@@ -37,7 +37,13 @@ module Legacy = Nepal_netmodel.Legacy
 module Span = Nepal_rpe.Span
 module Analysis = Nepal_analysis.Analysis
 module Diagnostic = Nepal_analysis.Diagnostic
+module Planner = Nepal_planner.Planner
 module Monitor = Nepal_monitor.Monitor
+
+(* A module alias alone does not force the planner to link (and its
+   [Engine.planner_hook] registration to run); referencing a value
+   does. *)
+let _force_planner_linkage = Planner.plan_query
 
 type t = { store_ : Graph_store.t; conn_ : Backend.conn }
 
@@ -90,12 +96,13 @@ let enrich_error ~conn ?binds text e =
         String.concat "\n"
           (e :: List.map (Diagnostic.render ~source:rest) ds)
 
-let query_gen ~conn ?binds ?analyze text =
-  match Explain.run_string ~conn ?binds ?analyze text with
+let query_gen ~conn ?binds ?analyze ?optimizer text =
+  match Explain.run_string ~conn ?binds ?analyze ?optimizer text with
   | Ok _ as ok -> ok
   | Error e -> Error (enrich_error ~conn ?binds text e)
 
-let query t ?binds ?analyze text = query_gen ~conn:t.conn_ ?binds ?analyze text
+let query t ?binds ?analyze ?optimizer text =
+  query_gen ~conn:t.conn_ ?binds ?analyze ?optimizer text
 let check t ?binds text = check_on t.conn_ ?binds text
 
 let ( let* ) = Result.bind
@@ -145,4 +152,5 @@ let native_conn = Nepal_query.Connect.native
 let relational_conn = Nepal_query.Connect.relational
 let gremlin_conn = Nepal_query.Connect.gremlin
 
-let query_on conn ?binds ?analyze text = query_gen ~conn ?binds ?analyze text
+let query_on conn ?binds ?analyze ?optimizer text =
+  query_gen ~conn ?binds ?analyze ?optimizer text

@@ -64,6 +64,7 @@ module Legacy = Nepal_netmodel.Legacy
 module Span = Nepal_rpe.Span
 module Analysis = Nepal_analysis.Analysis
 module Diagnostic = Nepal_analysis.Diagnostic
+module Planner = Nepal_planner.Planner
 module Monitor = Nepal_monitor.Monitor
 
 (** {1 Databases} *)
@@ -99,6 +100,7 @@ val query :
   t ->
   ?binds:(string * Backend.conn) list ->
   ?analyze:Engine.analyze_mode ->
+  ?optimizer:Engine.optimizer ->
   string ->
   (Engine.result, string) result
 (** Parse and evaluate a Nepal query. A leading [EXPLAIN] (plan only)
@@ -110,7 +112,10 @@ val query :
     [`Strict] rejects on any error or warning before the backend is
     contacted; [`Off] skips analysis). On failure the error message is
     enriched with the analyzer's error-severity findings, including
-    caret snippets pointing into the query text. *)
+    caret snippets pointing into the query text.
+
+    [?optimizer] (default [`On]) consults the cost-based plan compiler
+    ({!Planner}); [`Off] keeps the legacy greedy anchor pick. *)
 
 val check :
   t -> ?binds:(string * Backend.conn) list -> string -> Diagnostic.t list
@@ -155,6 +160,7 @@ val query_on :
   Backend.conn ->
   ?binds:(string * Backend.conn) list ->
   ?analyze:Engine.analyze_mode ->
+  ?optimizer:Engine.optimizer ->
   string ->
   (Engine.result, string) result
 (** Run a query against an arbitrary connection (relational, gremlin,

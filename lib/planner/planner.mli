@@ -1,0 +1,64 @@
+(** Cost-based plan compiler (the optimizer behind {!Nepal_query.Engine}).
+
+    For each query the planner compiles every pathway variable's RPE
+    against the live schema and the backend's cardinality estimates
+    into a {!Nepal_query.Engine.exec_plan}:
+
+    - {b Pruned product automata}: the frontier abstract interpretation
+      of [Nepal_analysis] runs at plan time as an {!Nepal_rpe.Nfa.prune}
+      oracle, deleting automaton transitions no schema-conforming store
+      can take and statically narrowing each Extend round's class set.
+    - {b Cost-based anchor and join ordering}: all anchor candidates
+      from {!Nepal_rpe.Anchor.enumerate} are costed with a per-backend
+      model calibrated against the E9 per-operator wall times, and the
+      cross-variable evaluation order is chosen by enumerating
+      join-order alternatives (exhaustively up to 5 variables).
+    - {b Bidirectional Extend}: node·edge-repetition·node RPEs under
+      [Snapshot]/[At] constraints are additionally costed as a
+      meet-in-the-middle plan ({!Nepal_query.Eval_rpe.bidi_plan}) that
+      walks from both endpoints and joins half-pathways on their shared
+      middle edge, halving the Extend depth.
+    - {b Interval-aware variants}: each decision is tagged with the
+      temporal operator variant ([snapshot] / [timeslice] / [range])
+      it was costed under.
+
+    Compiled plans are memoized in a bounded cache keyed on the
+    statement fingerprint, backend identity, schema identity and
+    temporal form; entries are invalidated when a backend's version
+    changes (any write, including re-classing). Cache outcomes are
+    exported as the [planner.cache_hit] / [planner.cache_miss]
+    OpenMetrics counters.
+
+    Linking this library is enough: the module registers itself into
+    {!Nepal_query.Engine.planner_hook} at initialization time, and the
+    engine falls back to its legacy greedy pick whenever the planner
+    declines or the [optimizer] is off. *)
+
+val plan_query :
+  fingerprint:string ->
+  Nepal_query.Engine.planner_input list ->
+  Nepal_query.Engine.exec_plan option
+(** The hook implementation (exposed for direct testing). Returns
+    [None] when no variable can be planned — the engine then uses its
+    legacy pick. Never raises. *)
+
+val pruner_of : Nepal_schema.Schema.t -> Nepal_query.Eval_rpe.pruner
+(** Product-automaton pruning against the given schema's frontier
+    tables (direction-aware). Exposed for tests and for callers that
+    evaluate RPEs outside the engine. *)
+
+val bidi_of :
+  Nepal_schema.Schema.t ->
+  tc:Nepal_temporal.Time_constraint.t ->
+  Nepal_rpe.Rpe.norm ->
+  Nepal_query.Eval_rpe.bidi_plan option
+(** The bidirectional decomposition of a node·edge-rep·node RPE, when
+    the shape and temporal constraint admit one ([Snapshot]/[At] only;
+    repetition upper bound at least 2). *)
+
+val cache_clear : unit -> unit
+(** Drop every cached plan (test isolation). *)
+
+val cache_stats : unit -> int * int * int
+(** [(entries, hits, misses)] — current cache size and the lifetime
+    hit/miss counter values. *)

@@ -152,6 +152,66 @@ let correlation_key outer_vars outer_row q =
   in
   collect_cond [] q.where_
 
+(* -- cost-based planner hook ----------------------------------------- *)
+
+(* The optimizer lives in [nepal_planner], which depends on this library
+   (and on [nepal_analysis]) — so the engine reaches it through a
+   forward reference filled at module-initialization time, the same
+   idiom as [analyzer_hook]. Executables that do not link the planner
+   simply run the legacy greedy pick. *)
+
+type var_decision = {
+  vd_var : string;
+  vd_strategy : Eval_rpe.strategy;
+  vd_prune : Eval_rpe.pruner option;
+  vd_variant : string;
+      (** interval-aware operator variant: "snapshot", "timeslice" or
+          "range" *)
+  vd_est_cost : float;  (** cost-model units of the chosen alternative *)
+  vd_est_rows : float;  (** estimated result pathways *)
+  vd_desc : string;  (** one-line description of the chosen alternative *)
+  vd_alternatives : (string * float) list;
+      (** rejected alternatives, best first: (description, est cost) *)
+}
+
+type exec_plan = {
+  xp_order : var_decision list;  (** evaluation order *)
+  xp_cache : [ `Hit | `Miss ];  (** plan-cache outcome for this query *)
+  xp_cost : float;  (** total estimated cost of the chosen plan *)
+}
+
+type planner_input = {
+  pi_var : string;
+  pi_conn : Backend_intf.conn;
+  pi_tc : Time_constraint.t;
+  pi_norm : Rpe.norm;
+  pi_lit_seed : bool;  (** seeded from a literal-pinned node function *)
+  pi_join_vars : string list;  (** variables this one is joined with *)
+}
+
+type optimizer = [ `On | `Off ]
+
+let planner_hook :
+    (fingerprint:string -> planner_input list -> exec_plan option) option ref =
+  ref None
+
+(* Ask the planner for a plan; anything suspicious (exception, order
+   not covering exactly the declared variables) falls back to the
+   legacy pick — the optimizer must never be able to break a query. *)
+let consult_planner ~(optimizer : optimizer) ~declared inputs q =
+  match (optimizer, !planner_hook) with
+  | `Off, _ | _, None -> None
+  | `On, Some hook -> (
+      try
+        match hook ~fingerprint:(Stat_statements.fingerprint_of_query q) inputs with
+        | Some ep
+          when List.sort String.compare
+                 (List.map (fun d -> d.vd_var) ep.xp_order)
+               = List.sort String.compare declared ->
+            Some ep
+        | _ -> None
+      with _ -> None)
+
 (* -- the main evaluation -------------------------------------------- *)
 
 (* Engine-side span helper; backend round-trips are attributed at the
@@ -163,7 +223,8 @@ let spanned ?trace name detail f =
       let s = Trace.child ~detail parent name in
       Trace.time s (fun () -> f (Some s))
 
-let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
+let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace
+    ?(optimizer = (`On : optimizer)) q =
   let stats = match stats with Some s -> s | None -> Eval_rpe.new_stats () in
   let conn_of var =
     match List.assoc_opt var binds with Some c -> c | None -> conn
@@ -234,6 +295,37 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
     (* A literal-pinned node function supplies a seed. *)
     List.find_opt (fun (_, v, _) -> v = var) cls.anchors_from_lit
   in
+  (* The cost-based planner (when linked and enabled) replaces the
+     greedy pick with a compiled plan: evaluation order, per-variable
+     strategy (forced anchor / bidirectional), product pruning and
+     estimates. *)
+  let exec_plan =
+    let join_vars var =
+      List.filter_map
+        (fun (_, v1, _, v2) ->
+          if v1 = var then Some v2 else if v2 = var then Some v1 else None)
+        cls.joins
+    in
+    let inputs =
+      List.map
+        (fun v ->
+          {
+            pi_var = v.var_name;
+            pi_conn = conn_of v.var_name;
+            pi_tc = List.assoc v.var_name tcs;
+            pi_norm = List.assoc v.var_name var_rpes;
+            pi_lit_seed = lit_anchor v.var_name <> None;
+            pi_join_vars = join_vars v.var_name;
+          })
+        q.vars
+    in
+    consult_planner ~optimizer ~declared inputs q
+  in
+  let decision_for var =
+    match exec_plan with
+    | Some ep -> List.find_opt (fun d -> d.vd_var = var) ep.xp_order
+    | None -> None
+  in
   (* Evaluate variables one by one, importing anchors from joins. *)
   let evaluated : (string, Path.t list) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
@@ -251,20 +343,29 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
             cls.joins
         in
         (* Prefer a variable seedable from a literal or a join; fall
-           back to the cheapest anchored one. *)
+           back to the cheapest anchored one. The planner, when it
+           produced a plan, dictates the order instead. *)
         let pick =
-          let seedable =
-            List.filter
-              (fun v -> lit_anchor v <> None || join_partner v <> None)
-              !remaining
-          in
-          let pool = if seedable <> [] then seedable else !remaining in
-          List.fold_left
-            (fun best v ->
-              match best with
-              | None -> Some v
-              | Some b -> if anchor_cost v < anchor_cost b then Some v else best)
-            None pool
+          match exec_plan with
+          | Some ep ->
+              List.find_map
+                (fun d ->
+                  if List.mem d.vd_var !remaining then Some d.vd_var else None)
+                ep.xp_order
+          | None ->
+              let seedable =
+                List.filter
+                  (fun v -> lit_anchor v <> None || join_partner v <> None)
+                  !remaining
+              in
+              let pool = if seedable <> [] then seedable else !remaining in
+              List.fold_left
+                (fun best v ->
+                  match best with
+                  | None -> Some v
+                  | Some b ->
+                      if anchor_cost v < anchor_cost b then Some v else best)
+                None pool
         in
         match pick with
         | None -> Ok ()
@@ -272,9 +373,13 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
             let c = conn_of var in
             let tc = List.assoc var tcs in
             let norm = List.assoc var var_rpes in
+            let decision = decision_for var in
             let* paths =
               spanned ?trace "Var"
-                (Printf.sprintf "%s via %s" var (Backend_intf.conn_name c))
+                (Printf.sprintf "%s via %s%s" var (Backend_intf.conn_name c)
+                   (match decision with
+                   | Some d -> Printf.sprintf " [%s, %s]" d.vd_desc d.vd_variant
+                   | None -> ""))
                 (fun vspan ->
             let rt0 = Backend_intf.conn_roundtrips c in
             let* seed =
@@ -320,9 +425,22 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
                              var)
                       else Ok None)
             in
+            let strategy =
+              (* Seeded walks ignore strategy; the planner marks such
+                 variables [Auto] anyway. *)
+              match decision with
+              | Some d -> d.vd_strategy
+              | None -> Eval_rpe.Auto
+            in
+            let prune =
+              match decision with Some d -> d.vd_prune | None -> None
+            in
+            (match (vspan, decision) with
+            | Some s, Some d -> s.Trace.est_rows <- d.vd_est_rows
+            | _ -> ());
             let r =
-              Eval_rpe.find c ~tc ?max_length ?seed ~stats ?config
-                ?trace:vspan norm
+              Eval_rpe.find c ~tc ?max_length ?seed ~stats ~strategy ?prune
+                ?config ?trace:vspan norm
             in
             (match (vspan, r) with
             | Some s, Ok paths ->
@@ -479,7 +597,7 @@ let rec run ~conn ?(binds = []) ?max_length ?stats ?config ?trace q =
         (* Inherit the outer temporal scope unless the subquery sets
            its own. *)
         let sub' = if sub'.q_at = None then { sub' with q_at = q.q_at } else sub' in
-        let* res = run ~conn ~binds ?max_length ~stats ?config sub' in
+        let* res = run ~conn ~binds ?max_length ~stats ?config ~optimizer sub' in
         let b = result_count res > 0 in
         Hashtbl.replace subquery_memo key b;
         Ok b
@@ -828,7 +946,8 @@ let analysis_prelude ~conn ~binds ~(analyze : analyze_mode) q =
       else Ok ()
 
 let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
-    ?(own_trace = false) ?(analyze = (`Warn : analyze_mode)) ~text q =
+    ?(own_trace = false) ?(analyze = (`Warn : analyze_mode)) ?optimizer ~text q
+    =
   Metrics.incr m_queries;
   match analysis_prelude ~conn ~binds ~analyze q with
   | Error e ->
@@ -859,7 +978,7 @@ let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
   let rt0 = Backend_intf.conn_roundtrips conn in
   let ph0 = (Backend_intf.cache_counters conn).Backend_intf.hits in
   let t0 = Unix.gettimeofday () in
-  let res = run ~conn ~binds ?max_length ?stats ?config ?trace:root q in
+  let res = run ~conn ~binds ?max_length ?stats ?config ?trace:root ?optimizer q in
   let wall = Unix.gettimeofday () -. t0 in
   Metrics.observe m_query_seconds wall;
   let rows = match res with Ok r -> result_count r | Error _ -> 0 in
@@ -917,29 +1036,33 @@ let run_instrumented ~conn ?(binds = []) ?max_length ?stats ?config ?trace
       | _ -> ()));
   res
 
-let run ~conn ?binds ?max_length ?stats ?config ?trace ?analyze q =
+let run ~conn ?binds ?max_length ?stats ?config ?trace ?analyze ?optimizer q =
   run_instrumented ~conn ?binds ?max_length ?stats ?config ?trace ?analyze
-    ~text:None q
+    ?optimizer ~text:None q
 
-let run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ~text q =
+let run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer
+    ~text q =
   let root = Trace.make "Query" in
   let* r =
     run_instrumented ~conn ?binds ?max_length ?stats ?config ?analyze
-      ~trace:root ~own_trace:true ~text q
+      ?optimizer ~trace:root ~own_trace:true ~text q
   in
   Ok (r, root)
 
-let run_traced ~conn ?binds ?max_length ?stats ?config ?analyze q =
-  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ~text:None q
+let run_traced ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer q =
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer
+    ~text:None q
 
-let run_string ~conn ?binds ?max_length ?stats ?config ?analyze text =
+let run_string ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer text
+    =
   let* q = Query_parser.parse text in
-  run_instrumented ~conn ?binds ?max_length ?stats ?config ?analyze
+  run_instrumented ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer
     ~text:(Some text) q
 
-let run_string_traced ~conn ?binds ?max_length ?stats ?config ?analyze text =
+let run_string_traced ~conn ?binds ?max_length ?stats ?config ?analyze
+    ?optimizer text =
   let* q = Query_parser.parse text in
-  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze
+  run_traced_aux ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer
     ~text:(Some text) q
 
 (* -- planning-only surface (EXPLAIN) -------------------------------- *)
@@ -952,6 +1075,8 @@ type seed_plan =
   | Seed_join of path_fun * string * path_fun
       (** anchor imported from an already-evaluated join partner:
           (own function, partner variable, partner function) *)
+  | Seed_bidi of Eval_rpe.bidi_plan
+      (** bidirectional meet-in-the-middle evaluation *)
 
 type var_plan = {
   vp_var : string;
@@ -959,6 +1084,9 @@ type var_plan = {
   vp_tc : Time_constraint.t;
   vp_rpe : Rpe.norm;
   vp_seed : seed_plan;
+  vp_opt : var_decision option;
+      (** the planner's decision for this variable, when the optimizer
+          produced the plan *)
 }
 
 type plan = {
@@ -967,13 +1095,15 @@ type plan = {
   p_filter_count : int;
   p_coexist : bool;
   p_mode : string;
+  p_opt : exec_plan option;
+      (** the compiled plan, when the optimizer produced one *)
 }
 
 (* Mirror of [run]'s planning prelude — validation, anchor costing, and
    the evaluation-order pick — without touching the data. Kept next to
    [run] so the two stay in sync; any change to the pick rule there
    must be reflected here. *)
-let plan ~conn ?(binds = []) q =
+let plan ~conn ?(binds = []) ?(optimizer = (`On : optimizer)) q =
   let conn_of var =
     match List.assoc_opt var binds with Some c -> c | None -> conn
   in
@@ -1042,6 +1172,33 @@ let plan ~conn ?(binds = []) q =
   let lit_anchor var =
     List.find_opt (fun (_, v, _) -> v = var) cls.anchors_from_lit
   in
+  let exec_plan =
+    let join_vars var =
+      List.filter_map
+        (fun (_, v1, _, v2) ->
+          if v1 = var then Some v2 else if v2 = var then Some v1 else None)
+        cls.joins
+    in
+    let inputs =
+      List.map
+        (fun v ->
+          {
+            pi_var = v.var_name;
+            pi_conn = conn_of v.var_name;
+            pi_tc = List.assoc v.var_name tcs;
+            pi_norm = List.assoc v.var_name var_rpes;
+            pi_lit_seed = lit_anchor v.var_name <> None;
+            pi_join_vars = join_vars v.var_name;
+          })
+        q.vars
+    in
+    consult_planner ~optimizer ~declared inputs q
+  in
+  let decision_for var =
+    match exec_plan with
+    | Some ep -> List.find_opt (fun d -> d.vd_var = var) ep.xp_order
+    | None -> None
+  in
   let evaluated : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
   let* () =
@@ -1058,22 +1215,31 @@ let plan ~conn ?(binds = []) q =
             cls.joins
         in
         let pick =
-          let seedable =
-            List.filter
-              (fun v -> lit_anchor v <> None || join_partner v <> None)
-              !remaining
-          in
-          let pool = if seedable <> [] then seedable else !remaining in
-          List.fold_left
-            (fun best v ->
-              match best with
-              | None -> Some v
-              | Some b -> if anchor_cost v < anchor_cost b then Some v else best)
-            None pool
+          match exec_plan with
+          | Some ep ->
+              List.find_map
+                (fun d ->
+                  if List.mem d.vd_var !remaining then Some d.vd_var else None)
+                ep.xp_order
+          | None ->
+              let seedable =
+                List.filter
+                  (fun v -> lit_anchor v <> None || join_partner v <> None)
+                  !remaining
+              in
+              let pool = if seedable <> [] then seedable else !remaining in
+              List.fold_left
+                (fun best v ->
+                  match best with
+                  | None -> Some v
+                  | Some b ->
+                      if anchor_cost v < anchor_cost b then Some v else best)
+                None pool
         in
         match pick with
         | None -> Ok ()
         | Some var ->
+            let decision = decision_for var in
             let* seed =
               match lit_anchor var with
               | Some (f, _, (Value.Int _ as lit)) -> Ok (Seed_lit (f, lit))
@@ -1083,13 +1249,19 @@ let plan ~conn ?(binds = []) q =
                   | Some (f_self, partner, f_partner) ->
                       Ok (Seed_join (f_self, partner, f_partner))
                   | None -> (
-                      match anchor_selection var with
-                      | Ok sel -> Ok (Seed_anchor sel)
-                      | Error _ ->
-                          Error
-                            (Printf.sprintf
-                               "variable %S is not anchored and cannot import an anchor from a join"
-                               var)))
+                      match decision with
+                      | Some { vd_strategy = Eval_rpe.Bidi bp; _ } ->
+                          Ok (Seed_bidi bp)
+                      | Some { vd_strategy = Eval_rpe.Forced sel; _ } ->
+                          Ok (Seed_anchor sel)
+                      | Some { vd_strategy = Eval_rpe.Auto; _ } | None -> (
+                          match anchor_selection var with
+                          | Ok sel -> Ok (Seed_anchor sel)
+                          | Error _ ->
+                              Error
+                                (Printf.sprintf
+                                   "variable %S is not anchored and cannot import an anchor from a join"
+                                   var))))
             in
             order :=
               {
@@ -1098,6 +1270,7 @@ let plan ~conn ?(binds = []) q =
                 vp_tc = List.assoc var tcs;
                 vp_rpe = List.assoc var var_rpes;
                 vp_seed = seed;
+                vp_opt = decision;
               }
               :: !order;
             Hashtbl.replace evaluated var ();
@@ -1114,6 +1287,7 @@ let plan ~conn ?(binds = []) q =
       p_filter_count = List.length cls.filters + List.length cls.anchors_from_lit;
       p_coexist = (match q.q_at with Some (At_range _) -> true | _ -> false);
       p_mode = (match q.mode with Retrieve _ -> "retrieve" | Select _ -> "select");
+      p_opt = exec_plan;
     }
 
 (* One-line-per-operator plan rendering for slow-query events: the
@@ -1131,6 +1305,9 @@ let plan_summary ~conn ~binds q =
             Printf.sprintf "lit %s=%s"
               (Query_ast.path_fun_to_string f)
               (Value.to_string lit)
+        | Seed_bidi bp ->
+            Printf.sprintf "bidirectional ⟨%s⟩↔⟨%s⟩"
+              bp.Eval_rpe.bd_left.Rpe.cls bp.Eval_rpe.bd_right.Rpe.cls
         | Seed_join (f_self, partner, f_partner) ->
             Printf.sprintf "join %s=%s(%s)"
               (Query_ast.path_fun_to_string f_self)

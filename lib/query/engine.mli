@@ -48,6 +48,56 @@ type analysis_diag = {
 val analysis_severity_string : analysis_severity -> string
 val analysis_diag_to_string : analysis_diag -> string
 
+(** {1 Cost-based plan compiler surface}
+
+    The planner proper lives in [Nepal_planner] (which depends on this
+    library); the engine only defines the exchange types and a forward
+    reference the planner fills at link time — the same idiom as
+    {!analyzer_hook}. When the hook is unset, or the planner declines,
+    evaluation falls back to the legacy greedy pick. *)
+
+type var_decision = {
+  vd_var : string;
+  vd_strategy : Eval_rpe.strategy;  (** how to evaluate this variable *)
+  vd_prune : Eval_rpe.pruner option;
+      (** product-automaton pruning against the live schema *)
+  vd_variant : string;
+      (** interval-aware operator variant: ["snapshot"], ["timeslice"]
+          or ["range"] *)
+  vd_est_cost : float;  (** cost-model units of the chosen alternative *)
+  vd_est_rows : float;  (** estimated result pathways *)
+  vd_desc : string;  (** one-line description of the chosen alternative *)
+  vd_alternatives : (string * float) list;
+      (** rejected alternatives, best first: (description, est cost) *)
+}
+
+type exec_plan = {
+  xp_order : var_decision list;  (** evaluation order *)
+  xp_cache : [ `Hit | `Miss ];  (** plan-cache outcome for this query *)
+  xp_cost : float;  (** total estimated cost of the chosen plan *)
+}
+
+type planner_input = {
+  pi_var : string;
+  pi_conn : Backend_intf.conn;
+  pi_tc : Nepal_temporal.Time_constraint.t;
+  pi_norm : Nepal_rpe.Rpe.norm;
+  pi_lit_seed : bool;  (** seeded from a literal-pinned node function *)
+  pi_join_vars : string list;  (** variables this one is joined with *)
+}
+
+type optimizer = [ `On | `Off ]
+(** [`Off] forces the legacy greedy pick (the pre-planner behaviour);
+    the ablation side of the bench comparison and the [--legacy-plan]
+    CLI flag. *)
+
+val planner_hook :
+  (fingerprint:string -> planner_input list -> exec_plan option) option ref
+(** Filled by [Nepal_planner] at link time. [fingerprint] is the
+    statement fingerprint (the plan-cache key component). Returning
+    [None] — or raising, or covering the wrong variable set — falls
+    back to the legacy pick; the optimizer can never break a query. *)
+
 val analyzer_hook :
   (schema_of:(string -> Nepal_schema.Schema.t) ->
   cost_of:(string -> Nepal_rpe.Rpe.atom -> float) ->
@@ -68,13 +118,16 @@ val run :
   ?config:Eval_rpe.config ->
   ?trace:Trace.span ->
   ?analyze:analyze_mode ->
+  ?optimizer:optimizer ->
   Query_ast.query ->
   (result, string) Stdlib.result
 (** [binds] maps individual pathway variables to other databases;
     unbound variables use [conn]. [config] tunes the RPE fast path
     (see {!Eval_rpe.config}); it also applies to subqueries. [trace]
     attaches per-operator child spans (Var/Select/Extend/Union, then
-    Join/Coexist/Filter/Result) to the given parent span. *)
+    Join/Coexist/Filter/Result) to the given parent span. [optimizer]
+    (default [`On]) consults the cost-based planner through
+    {!planner_hook}; [`Off] keeps the legacy greedy pick. *)
 
 val run_traced :
   conn:Backend_intf.conn ->
@@ -83,6 +136,7 @@ val run_traced :
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
   ?analyze:analyze_mode ->
+  ?optimizer:optimizer ->
   Query_ast.query ->
   (result * Trace.span, string) Stdlib.result
 (** Like {!run}, but returns the measured operator span tree alongside
@@ -95,6 +149,7 @@ val run_string :
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
   ?analyze:analyze_mode ->
+  ?optimizer:optimizer ->
   string ->
   (result, string) Stdlib.result
 (** Parse and run. *)
@@ -106,6 +161,7 @@ val run_string_traced :
   ?stats:Eval_rpe.stats ->
   ?config:Eval_rpe.config ->
   ?analyze:analyze_mode ->
+  ?optimizer:optimizer ->
   string ->
   (result * Trace.span, string) Stdlib.result
 (** Parse and {!run_traced}. *)
@@ -119,6 +175,7 @@ val run_instrumented :
   ?trace:Trace.span ->
   ?own_trace:bool ->
   ?analyze:analyze_mode ->
+  ?optimizer:optimizer ->
   text:string option ->
   Query_ast.query ->
   (result, string) Stdlib.result
@@ -140,6 +197,8 @@ type seed_plan =
   | Seed_join of Query_ast.path_fun * string * Query_ast.path_fun
       (** anchor imported from an already-evaluated join partner:
           (own function, partner variable, partner function) *)
+  | Seed_bidi of Eval_rpe.bidi_plan
+      (** bidirectional meet-in-the-middle evaluation *)
 
 type var_plan = {
   vp_var : string;
@@ -147,6 +206,8 @@ type var_plan = {
   vp_tc : Nepal_temporal.Time_constraint.t;
   vp_rpe : Nepal_rpe.Rpe.norm;
   vp_seed : seed_plan;
+  vp_opt : var_decision option;
+      (** the planner's decision for this variable, when one was made *)
 }
 
 type plan = {
@@ -156,11 +217,15 @@ type plan = {
   p_filter_count : int;
   p_coexist : bool;
   p_mode : string;
+  p_opt : exec_plan option;
+      (** the cost-based plan behind [p_order], when the planner
+          produced one *)
 }
 
 val plan :
   conn:Backend_intf.conn ->
   ?binds:(string * Backend_intf.conn) list ->
+  ?optimizer:optimizer ->
   Query_ast.query ->
   (plan, string) Stdlib.result
 (** [run]'s planning prelude — validation, per-variable anchor costing,

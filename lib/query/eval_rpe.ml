@@ -7,12 +7,38 @@ module Domain_pool = Nepal_util.Domain_pool
 module Rpe = Nepal_rpe.Rpe
 module Nfa = Nepal_rpe.Nfa
 module Anchor = Nepal_rpe.Anchor
+module Predicate = Nepal_rpe.Predicate
 open Backend_intf
 
 type seed =
   | Anywhere
   | From_nodes of Path.element list
   | To_nodes of Path.element list
+
+(* A bidirectional (meet-in-the-middle) plan for a
+   node · edge-rep{m,n} · node RPE: expand forward from the left
+   endpoint through [bd_fwd] = left·body{1,k1} and backward from the
+   right endpoint through [bd_bwd] = reverse(body{1,k2}·right) with
+   k1 + k2 = n + 1, then join the two half-pathways on their shared
+   final (matched) edge. Because the shape admits no junction skips —
+   elements strictly alternate and both endpoints are matched node
+   atoms — a joined pathway with r repetition copies has exactly
+   2r + 1 elements, so [bd_min_length] (the original RPE's
+   {!Rpe.min_length}) enforces the lower repetition bound m. *)
+type bidi_plan = {
+  bd_left : Rpe.atom;
+  bd_right : Rpe.atom;
+  bd_fwd : Rpe.norm;
+  bd_bwd : Rpe.norm;
+  bd_min_length : int;
+}
+
+type strategy = Auto | Forced of Anchor.selection | Bidi of bidi_plan
+
+type pruner = dir:Backend_intf.direction -> Nfa.t -> Nfa.t
+
+let apply_prune prune ~dir nfa =
+  match prune with None -> nfa | Some f -> f ~dir nfa
 
 type config = {
   presence_cache : bool;
@@ -204,7 +230,8 @@ type step_entry = {
    - [vcache]: (element uid, step-entry id) |-> the element's validity
      contribution (union of presence sets of its matched atoms), saving
      the presence lookups and interval-set unions on repeats. *)
-let walk conn ~cfg ~tc ~dir ~max_length ~stats nfa (starts : Path.element list) =
+let walk conn ~cfg ~tc ~dir ~max_length ~stats ?(emit_edges = false) nfa
+    (starts : Path.element list) =
   let sch = conn_schema conn in
   let memo = Nfa.Memo.create nfa in
   stats.walk_tasks <- stats.walk_tasks + 1;
@@ -451,10 +478,13 @@ let walk conn ~cfg ~tc ~dir ~max_length ~stats nfa (starts : Path.element list) 
     end
   in
   let accepted = ref [] in
+  (* Pathways end on a node, except in a bidirectional half-walk whose
+     accepted sequences end on the shared midpoint edge. *)
   let emit p =
     match p.rev_elements with
-    | last :: _ when last.Path.is_node && Nfa.Memo.accepting memo ~sid:p.sid p.states
-      ->
+    | last :: _
+      when last.Path.is_node <> emit_edges
+           && Nfa.Memo.accepting memo ~sid:p.sid p.states ->
         accepted := (List.rev p.rev_elements, p.valid) :: !accepted
     | _ -> ()
   in
@@ -648,7 +678,7 @@ type prepared_split = {
   bwd_nfa : Nfa.t;
 }
 
-let prepare_split conn ~tc ~stats (split : Anchor.split) =
+let prepare_split conn ~tc ~stats ?prune (split : Anchor.split) =
   let anchor_atom = split.Anchor.anchor in
   stats.selects <- stats.selects + 1;
   let anchors = select_atom conn ~tc anchor_atom in
@@ -672,8 +702,12 @@ let prepare_split conn ~tc ~stats (split : Anchor.split) =
     Some
       {
         anchors;
-        fwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of fwd_rpe;
-        bwd_nfa = Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of bwd_rpe;
+        fwd_nfa =
+          apply_prune prune ~dir:Fwd
+            (Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of fwd_rpe);
+        bwd_nfa =
+          apply_prune prune ~dir:Bwd
+            (Nfa.compile ~lead_skip:false ~trail_skip:true ~kind_of bwd_rpe);
       }
   end
 
@@ -740,12 +774,12 @@ let spanned ?trace conn name detail f =
 (* Anchored evaluation: Select each split's anchor, then run the
    forward/backward walks of all splits — each an independent read-only
    task — on the domain pool when eligible. *)
-let eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace splits =
+let eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace ?prune splits =
   let prepared =
     List.filter_map
       (fun (split : Anchor.split) ->
         spanned ?trace conn "Select" (Anchor.split_to_string split) (fun s ->
-            let p = prepare_split conn ~tc ~stats split in
+            let p = prepare_split conn ~tc ~stats ?prune split in
             (match (s, p) with
             | Some s, Some p -> s.Trace.rows_out <- List.length p.anchors
             | _ -> ());
@@ -826,6 +860,154 @@ let eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace splits =
       | None -> ());
       paths)
 
+(* Bidirectional (meet-in-the-middle) evaluation: Select both endpoint
+   atoms, walk forward from the left endpoints and backward from the
+   right ones — each half only as deep as its share of the repetition —
+   and join the half-pathways on their shared final edge. Both halves
+   are compiled [edge_final] so acceptance is only reachable by
+   consuming a matched repetition-body edge; the join therefore glues
+   two junction-clean fragments at a matched element and can never
+   fabricate the double-skip junctions the one-directional automaton
+   forbids. Gated to Snapshot/At by the planner: path validity under
+   Range unions presence over all runs of the *whole* pathway, which
+   the per-half intersection cannot reproduce. *)
+let eval_bidi conn ~cfg ~tc ~max_length ~stats ?trace ?prune (bp : bidi_plan) =
+  let kind_of = kind_of_for (conn_schema conn) in
+  let compile dir norm =
+    apply_prune prune ~dir
+      (Nfa.compile ~lead_skip:false ~trail_skip:false ~edge_final:true ~kind_of
+         norm)
+  in
+  let fwd_nfa = compile Fwd bp.bd_fwd and bwd_nfa = compile Bwd bp.bd_bwd in
+  let select side (a : Rpe.atom) =
+    spanned ?trace conn "Select"
+      (Printf.sprintf "bidi %s ⟨%s(%s)⟩" side a.Rpe.cls
+         (Predicate.to_string a.Rpe.pred))
+      (fun s ->
+        stats.selects <- stats.selects + 1;
+        let r = select_atom conn ~tc a in
+        (match s with Some s -> s.Trace.rows_out <- List.length r | None -> ());
+        r)
+  in
+  let left = select "left" bp.bd_left in
+  let right = if left = [] then [] else select "right" bp.bd_right in
+  if left = [] || right = [] then []
+  else begin
+    let fwd_cap = min max_length (Rpe.max_length bp.bd_fwd) in
+    let bwd_cap = min max_length (Rpe.max_length bp.bd_bwd) in
+    let tasks =
+      [ (Fwd, fwd_nfa, left, fwd_cap); (Bwd, bwd_nfa, right, bwd_cap) ]
+    in
+    let par = parallel_safe conn && cfg.domains > 1 in
+    let extends0 = stats.extends in
+    let walk_results =
+      spanned ?trace conn "Extend"
+        (Printf.sprintf "bidirectional left=%d right=%d%s" (List.length left)
+           (List.length right)
+           (if par then " parallel" else ""))
+        (fun s ->
+          let results =
+            if par then begin
+              stats.domains_used <- max stats.domains_used 2;
+              let thunks =
+                List.map
+                  (fun (dir, nfa, seeds, cap) () ->
+                    let st = new_stats () in
+                    ( walk conn ~cfg ~tc ~dir ~max_length:cap ~stats:st
+                        ~emit_edges:true nfa seeds,
+                      st ))
+                  tasks
+              in
+              let out = Domain_pool.run ~domains:cfg.domains thunks in
+              List.iter (fun (_, st) -> merge_stats stats st) out;
+              List.map fst out
+            end
+            else begin
+              stats.domains_used <- max stats.domains_used 1;
+              List.map
+                (fun (dir, nfa, seeds, cap) ->
+                  walk conn ~cfg ~tc ~dir ~max_length:cap ~stats
+                    ~emit_edges:true nfa seeds)
+                tasks
+            end
+          in
+          (match s with
+          | Some s ->
+              s.Trace.rows_in <- List.length left + List.length right;
+              s.Trace.rows_out <-
+                List.fold_left (fun n r -> n + List.length r) 0 results;
+              Trace.set_detail s
+                (Printf.sprintf "%s rounds=%d" s.Trace.detail
+                   (stats.extends - extends0))
+          | None -> ());
+          results)
+    in
+    let fwd, bwd =
+      match walk_results with [ f; b ] -> (f, b) | _ -> assert false
+    in
+    spanned ?trace conn "Union" "meet-in-the-middle" (fun s ->
+        (* Index backward half-pathways by their final (shared) edge. *)
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (elems, valid) ->
+            match List.rev elems with
+            | last :: _ when not last.Path.is_node ->
+                Hashtbl.add tbl last.Path.uid (elems, valid)
+            | _ -> ())
+          bwd;
+        let out = ref [] in
+        List.iter
+          (fun (felems, fvalid) ->
+            match List.rev felems with
+            | flast :: _ when not flast.Path.is_node ->
+                let candidates = Hashtbl.find_all tbl flast.Path.uid in
+                if candidates <> [] then begin
+                  let fset =
+                    List.fold_left
+                      (fun s e -> Intset.add e.Path.uid s)
+                      Intset.empty felems
+                  in
+                  List.iter
+                    (fun (belems, bvalid) ->
+                      (* [belems] is in backward walk order
+                         [right; ...; shared edge]; reversing and
+                         dropping the shared edge yields the pathway
+                         tail after the midpoint. *)
+                      let tail = List.tl (List.rev belems) in
+                      let overlap =
+                        List.exists
+                          (fun e -> Intset.mem e.Path.uid fset)
+                          tail
+                      in
+                      if not overlap then begin
+                        let elements = felems @ tail in
+                        let len = List.length elements in
+                        if len <= max_length && len >= bp.bd_min_length
+                        then begin
+                          let valid =
+                            match tc with
+                            | Time_constraint.Range _ ->
+                                combine_validity fvalid bvalid
+                            | _ -> None
+                          in
+                          let p = { Path.elements; valid } in
+                          if Path.well_formed p && validity_ok ~tc valid then
+                            out := p :: !out
+                        end
+                      end)
+                    candidates
+                end
+            | _ -> ())
+          fwd;
+        (match s with
+        | Some s ->
+            s.Trace.rows_in <-
+              List.length fwd + List.length bwd;
+            s.Trace.rows_out <- List.length !out
+        | None -> ());
+        !out)
+  end
+
 (* Evaluator-level registry instruments (PR 1's per-connection cache
    counters surface globally through Backend_intf; these cover the
    operator counts and whole-evaluation latency). *)
@@ -837,7 +1019,7 @@ let m_saved_fetches = Metrics.counter "eval.saved_fetches"
 let m_find_seconds = Metrics.histogram "eval.find_seconds"
 
 let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
-    ?config ?trace norm =
+    ?(strategy = Auto) ?prune ?config ?trace norm =
   let cfg = match config with Some c -> c | None -> default_config () in
   let stats = match stats with Some s -> s | None -> new_stats () in
   let counters = cache_counters conn in
@@ -854,29 +1036,41 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
   in
   let result =
     match seed with
+    | Anywhere when (match strategy with Bidi _ -> true | _ -> false) ->
+        let bp = match strategy with Bidi bp -> bp | _ -> assert false in
+        let paths =
+          eval_bidi conn ~cfg ~tc ~max_length ~stats ?trace ?prune bp
+        in
+        Ok (dedup_paths paths)
     | Anywhere ->
         let cost a = estimate_atom conn a in
         let* selection =
-          match anchor with
-          | `Cheapest -> Anchor.select ~cost norm
-          | `Costliest -> (
-              match Anchor.enumerate ~cost norm with
-              | [] -> Anchor.select ~cost norm (* reuse its error message *)
-              | first :: rest ->
-                  Ok
-                    (List.fold_left
-                       (fun acc c ->
-                         if c.Anchor.cost > acc.Anchor.cost then c else acc)
-                       first rest))
+          match strategy with
+          | Forced selection -> Ok selection
+          | _ -> (
+              match anchor with
+              | `Cheapest -> Anchor.select ~cost norm
+              | `Costliest -> (
+                  match Anchor.enumerate ~cost norm with
+                  | [] -> Anchor.select ~cost norm (* reuse its error message *)
+                  | first :: rest ->
+                      Ok
+                        (List.fold_left
+                           (fun acc c ->
+                             if c.Anchor.cost > acc.Anchor.cost then c else acc)
+                           first rest)))
         in
         let paths =
-          eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace
+          eval_anywhere conn ~cfg ~tc ~max_length ~stats ?trace ?prune
             selection.Anchor.splits
         in
         Ok (dedup_paths paths)
     | From_nodes seeds ->
         let kind_of = kind_of_for (conn_schema conn) in
-        let nfa = Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm in
+        let nfa =
+          apply_prune prune ~dir:Fwd
+            (Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of norm)
+        in
         let seeds = List.filter (fun e -> e.Path.is_node) seeds in
         let accepted =
           spanned ?trace conn "Extend"
@@ -908,7 +1102,9 @@ let find conn ~tc ?max_length ?(seed = Anywhere) ?stats ?(anchor = `Cheapest)
     | To_nodes seeds ->
         let kind_of = kind_of_for (conn_schema conn) in
         let nfa =
-          Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of (Rpe.reverse norm)
+          apply_prune prune ~dir:Bwd
+            (Nfa.compile ~lead_skip:true ~trail_skip:true ~kind_of
+               (Rpe.reverse norm))
         in
         let seeds = List.filter (fun e -> e.Path.is_node) seeds in
         let accepted =

@@ -29,6 +29,35 @@ type seed =
   | To_nodes of Path.element list
       (** symmetric: constrains the pathway's target node *)
 
+type bidi_plan = {
+  bd_left : Rpe.atom;  (** left endpoint atom (Select seed, forward) *)
+  bd_right : Rpe.atom;  (** right endpoint atom (Select seed, backward) *)
+  bd_fwd : Rpe.norm;  (** left·body[{1,k1}] — forward half *)
+  bd_bwd : Rpe.norm;  (** reverse(body[{1,k2}]·right) — backward half *)
+  bd_min_length : int;
+      (** the original RPE's {!Rpe.min_length}; enforces the lower
+          repetition bound on joined pathways *)
+}
+(** A meet-in-the-middle plan for a node·edge-rep·node RPE, built by
+    the planner ({!Nepal_planner.Planner} splits the repetition as
+    [k1 + k2 = n + 1] and costs it against the anchored alternatives).
+    The two half-walks accept edge-ending sequences and join on their
+    shared final edge. Only sound under [Snapshot]/[At] constraints —
+    the planner never emits one under [Range]. *)
+
+type strategy =
+  | Auto  (** anchored evaluation from the [anchor]-selected candidate *)
+  | Forced of Nepal_rpe.Anchor.selection
+      (** anchored evaluation from exactly this candidate (planner- or
+          bench-chosen) *)
+  | Bidi of bidi_plan  (** bidirectional meet-in-the-middle *)
+
+type pruner = dir:Backend_intf.direction -> Nepal_rpe.Nfa.t -> Nepal_rpe.Nfa.t
+(** Product-automaton pruning hook, applied to every compiled NFA
+    (direction-aware: backward walks read the schema transposed).
+    Typically [Nfa.prune] against {!Nepal_analysis.Analysis.Frontier};
+    must preserve the accepted language over conforming stores. *)
+
 type config = {
   presence_cache : bool;
       (** memoize presence interval-sets per (uid, predicate, window) *)
@@ -70,6 +99,8 @@ val find :
   ?seed:seed ->
   ?stats:stats ->
   ?anchor:[ `Cheapest | `Costliest ] ->
+  ?strategy:strategy ->
+  ?prune:pruner ->
   ?config:config ->
   ?trace:Trace.span ->
   Rpe.norm ->
@@ -80,10 +111,14 @@ val find :
     constraint every returned pathway carries its maximal validity
     interval set. [anchor] (default [`Cheapest]) selects which anchor
     candidate drives evaluation — [`Costliest] exists for the anchor
-    ablation experiment. [config] (default {!default_config}) toggles
-    the fast-path accelerations; the result set is the same under any
-    configuration. [trace] (default off) attaches per-operator child
-    spans (Select per anchor split, Extend per walk phase, Union for
-    the split join) to the given parent span. *)
+    ablation experiment. [strategy] (default [Auto]) lets the planner
+    force a specific anchor candidate or a bidirectional plan; it only
+    applies to [Anywhere] evaluation (seeded walks ignore it). [prune]
+    (default none) is applied to every compiled NFA. [config] (default
+    {!default_config}) toggles the fast-path accelerations; the result
+    set is the same under any configuration. [trace] (default off)
+    attaches per-operator child spans (Select per anchor split, Extend
+    per walk phase, Union for the split join) to the given parent
+    span. *)
 
 val new_stats : unit -> stats

@@ -62,6 +62,21 @@ let extend_lines conn ~tc ~dir ~label norm =
   :: request_lines ~indent:"      "
        (Backend_intf.describe_extend conn ~tc ~dir ~spec)
 
+(* Planner-decision lines: the chosen alternative with its cost-model
+   estimate plus the alternatives the planner rejected, so EXPLAIN
+   shows why this plan won. *)
+let decision_lines (vp : Engine.var_plan) =
+  match vp.Engine.vp_opt with
+  | None -> []
+  | Some d ->
+      Printf.sprintf "    plan: %s  [variant=%s, est cost ~%.0f, est rows ~%.0f]"
+        d.Engine.vd_desc d.Engine.vd_variant d.Engine.vd_est_cost
+        d.Engine.vd_est_rows
+      :: List.map
+           (fun (desc, cost) ->
+             Printf.sprintf "    rejected: %s  (est cost ~%.0f)" desc cost)
+           d.Engine.vd_alternatives
+
 let render_var conn (vp : Engine.var_plan) =
   let tc = vp.Engine.vp_tc in
   let header =
@@ -103,6 +118,23 @@ let render_var conn (vp : Engine.var_plan) =
         if List.length sel.Anchor.splits > 1 then
           [ Printf.sprintf "    Union of %d splits" (List.length sel.Anchor.splits) ]
         else []
+    | Engine.Seed_bidi bp ->
+        let select label (a : Rpe.atom) =
+          Printf.sprintf "    Select %s %s" label
+            (Rpe.norm_to_string (Rpe.N_atom a))
+          :: request_lines ~indent:"      "
+               (Backend_intf.describe_select conn ~tc a)
+        in
+        Printf.sprintf "    cost: ~bidirectional, halves %s / %s"
+          (Rpe.norm_to_string bp.Eval_rpe.bd_fwd)
+          (Rpe.norm_to_string bp.Eval_rpe.bd_bwd)
+        :: (select "left" bp.Eval_rpe.bd_left
+           @ select "right" bp.Eval_rpe.bd_right
+           @ extend_lines conn ~tc ~dir:Backend_intf.Fwd ~label:"fwd"
+               bp.Eval_rpe.bd_fwd
+           @ extend_lines conn ~tc ~dir:Backend_intf.Bwd ~label:"bwd"
+               bp.Eval_rpe.bd_bwd
+           @ [ "    Union meet-in-the-middle on shared edge" ])
     | Engine.Seed_lit (f, lit) ->
         let dir, label =
           match f with
@@ -126,7 +158,7 @@ let render_var conn (vp : Engine.var_plan) =
           partner
         :: extend_lines conn ~tc ~dir ~label vp.Engine.vp_rpe
   in
-  header :: body
+  (header :: decision_lines vp) @ body
 
 let render_plan ~conn ?(binds = []) (p : Engine.plan) =
   let conn_of var =
@@ -135,6 +167,16 @@ let render_plan ~conn ?(binds = []) (p : Engine.plan) =
   let header =
     Printf.sprintf "Query (%s%s)" p.Engine.p_mode
       (if p.Engine.p_coexist then ", coexist" else "")
+  in
+  let opt_lines =
+    match p.Engine.p_opt with
+    | None -> [ "  Planner: legacy (greedy anchor pick)" ]
+    | Some ep ->
+        [
+          Printf.sprintf "  Planner: cost-based, total est cost ~%.0f, plan cache %s"
+            ep.Engine.xp_cost
+            (match ep.Engine.xp_cache with `Hit -> "hit" | `Miss -> "miss");
+        ]
   in
   let vars =
     List.concat_map
@@ -158,7 +200,7 @@ let render_plan ~conn ?(binds = []) (p : Engine.plan) =
     else []
   in
   let result = [ Printf.sprintf "  Result %s" p.Engine.p_mode ] in
-  (header :: vars) @ joins @ coexist @ filters @ result
+  (header :: opt_lines) @ vars @ joins @ coexist @ filters @ result
 
 (* -- EXPLAIN ANALYZE ------------------------------------------------ *)
 
@@ -206,19 +248,21 @@ let diagnostic_lines ~conn ?(binds = []) q =
 (* Drop-in replacement for {!Engine.run_string} that intercepts
    [EXPLAIN] / [EXPLAIN ANALYZE] prefixes; plain queries fall through
    unchanged. *)
-let run_string ~conn ?binds ?max_length ?stats ?config ?analyze text =
+let run_string ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer text
+    =
   match classify text with
   | Plain, _ ->
-      Engine.run_string ~conn ?binds ?max_length ?stats ?config ?analyze text
+      Engine.run_string ~conn ?binds ?max_length ?stats ?config ?analyze
+        ?optimizer text
   | Plan, rest ->
       let* q = Query_parser.parse rest in
-      let* p = Engine.plan ~conn ?binds q in
+      let* p = Engine.plan ~conn ?binds ?optimizer q in
       Ok
         (table_of_lines
            (render_plan ~conn ?binds p @ diagnostic_lines ~conn ?binds q))
   | Analyze, rest ->
       let* _r, root =
         Engine.run_string_traced ~conn ?binds ?max_length ?stats ?config
-          ?analyze rest
+          ?analyze ?optimizer rest
       in
       Ok (table_of_lines (Trace.render root @ per_operator_lines root))

@@ -21,6 +21,8 @@ type span = {
   mutable wall_s : float;
   mutable rows_in : int;
   mutable rows_out : int;
+  mutable est_rows : float;
+      (** planner row estimate; negative = no estimate recorded *)
   mutable calls : int;  (** backend round-trips attributed to this span *)
   mutable rev_children : span list;
 }
@@ -32,6 +34,7 @@ let make ?(detail = "") name =
     wall_s = 0.;
     rows_in = 0;
     rows_out = 0;
+    est_rows = -1.;
     calls = 0;
     rev_children = [];
   }
@@ -52,6 +55,16 @@ let set_detail s d = s.detail <- d
 
 (* -- rendering ------------------------------------------------------ *)
 
+(* An estimate is "off" when it misses the actual row count by more
+   than 10× in either direction (both counts +1-smoothed so empty
+   results do not divide by zero) — the flag that feeds cost-model
+   calibration. *)
+let estimate_off s =
+  s.est_rows >= 0.
+  &&
+  let est = s.est_rows +. 1. and act = float_of_int s.rows_out +. 1. in
+  est /. act > 10. || act /. est > 10.
+
 let span_line s =
   let fields =
     List.concat
@@ -59,6 +72,12 @@ let span_line s =
         [ Printf.sprintf "wall=%.3fms" (s.wall_s *. 1e3) ];
         (if s.rows_in > 0 then [ Printf.sprintf "rows_in=%d" s.rows_in ] else []);
         [ Printf.sprintf "rows_out=%d" s.rows_out ];
+        (if s.est_rows >= 0. then
+           [
+             Printf.sprintf "est=%.0f%s" s.est_rows
+               (if estimate_off s then " !misestimate>10x" else "");
+           ]
+         else []);
         (if s.calls > 0 then [ Printf.sprintf "calls=%d" s.calls ] else []);
       ]
   in

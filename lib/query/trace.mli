@@ -22,6 +22,9 @@ type span = {
   mutable wall_s : float;
   mutable rows_in : int;
   mutable rows_out : int;
+  mutable est_rows : float;
+      (** planner row estimate for this operator; negative (the
+          default) = no estimate recorded *)
   mutable calls : int;  (** backend round-trips attributed to this span *)
   mutable rev_children : span list;  (** newest first; use {!children} *)
 }
@@ -41,7 +44,15 @@ val set_detail : span -> string -> unit
 
 (** {1 Rendering} *)
 
+val estimate_off : span -> bool
+(** The recorded estimate misses the actual [rows_out] by more than 10×
+    in either direction (+1-smoothed). Always false when no estimate
+    was recorded. *)
+
 val span_line : span -> string
+(** Includes [est=N], flagged [!misestimate>10x] when {!estimate_off},
+    whenever an estimate was recorded. *)
+
 val render : span -> string list
 (** One indented line per span, pre-order. *)
 

@@ -84,8 +84,10 @@ let rec build b (r : Rpe.norm) =
    transition may consume kind k only if some transition that can
    follow it consumes the flipped kind — or it can reach the accept
    state directly, in which case it consumed the pathway's final
-   element, a node. *)
-let infer_kinds ~kind_of n_states raw_moves eps accept =
+   element, a node ([edge_final] relaxes that to either kind: the
+   meet-in-the-middle evaluator joins two half-walks on a shared edge,
+   so its half-automata accept edge-ending sequences). *)
+let infer_kinds ~kind_of ~edge_final n_states raw_moves eps accept =
   let eps_closure_of = Array.make n_states [] in
   for s = 0 to n_states - 1 do
     let seen = Array.make n_states false in
@@ -145,7 +147,9 @@ let infer_kinds ~kind_of n_states raw_moves eps accept =
       (* Consuming a node is feasible if we may stop here (final
          pathway element) or an edge-consuming transition follows. *)
       let node_ok = k.k_node && (accept_after.(i) || followers_admit false) in
-      let edge_ok = k.k_edge && followers_admit true in
+      let edge_ok =
+        k.k_edge && ((edge_final && accept_after.(i)) || followers_admit true)
+      in
       if node_ok <> k.k_node || edge_ok <> k.k_edge then begin
         kinds.(i) <- { k_node = node_ok; k_edge = edge_ok };
         changed := true
@@ -154,8 +158,8 @@ let infer_kinds ~kind_of n_states raw_moves eps accept =
   done;
   (moves_arr, kinds)
 
-let compile ?(lead_skip = true) ?(trail_skip = true) ?(kind_of = fun _ -> None) r
-    =
+let compile ?(lead_skip = true) ?(trail_skip = true) ?(edge_final = false)
+    ?(kind_of = fun _ -> None) r =
   let b = { next = 0; b_moves = []; b_eps = [] } in
   let s, t = build b r in
   let start_state =
@@ -179,7 +183,7 @@ let compile ?(lead_skip = true) ?(trail_skip = true) ?(kind_of = fun _ -> None) 
   let n = b.next in
   let eps = Array.make n [] in
   List.iter (fun (x, y) -> eps.(x) <- y :: eps.(x)) b.b_eps;
-  let moves_arr, kinds = infer_kinds ~kind_of n b.b_moves eps accept in
+  let moves_arr, kinds = infer_kinds ~kind_of ~edge_final n b.b_moves eps accept in
   let moves = Array.make n [] in
   Array.iteri
     (fun i (x, tr, y) -> moves.(x) <- (tr, kinds.(i), y) :: moves.(x))
@@ -187,6 +191,209 @@ let compile ?(lead_skip = true) ?(trail_skip = true) ?(kind_of = fun _ -> None) 
   { n_states = n; moves; eps; start_state; accept }
 
 let size t = t.n_states
+
+let move_count t =
+  Array.fold_left (fun acc ms -> acc + List.length ms) 0 t.moves
+
+(* -- product pruning ------------------------------------------------- *)
+
+(* The abstract side of the product automaton is supplied by the caller
+   as an oracle over an opaque frontier domain ['f] (in practice: the
+   schema-reachability abstract interpretation of [Nepal_analysis]). A
+   step returning [None] means "no conforming element sequence can take
+   this transition from here". *)
+type 'f oracle = {
+  o_start : 'f;
+  o_step_match : 'f -> Rpe.atom -> is_node:bool -> 'f option;
+  o_step_skip : 'f -> is_node:bool -> 'f option;
+  o_join : 'f -> 'f -> 'f;
+  o_equal : 'f -> 'f -> bool;
+}
+
+(* The oracle only ever reads an atom's class (never its predicates),
+   so the pruning decisions for two automata with identical structure
+   and classes are identical. [signature] canonicalizes exactly that
+   class-level structure, letting callers memoize [prune_mask] results
+   and replay them onto fresh automata (whose atoms carry the current
+   query's predicates) with [apply_mask]. *)
+let signature t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (string_of_int t.n_states);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int t.start_state);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int t.accept);
+  Array.iter
+    (fun ms ->
+      Buffer.add_char b ';';
+      List.iter
+        (fun (tr, k, dst) ->
+          (match tr with
+          | Match a -> Buffer.add_string b a.Rpe.cls
+          | Skip -> Buffer.add_char b '.');
+          Buffer.add_char b (if k.k_node then 'n' else '-');
+          Buffer.add_char b (if k.k_edge then 'e' else '-');
+          Buffer.add_string b (string_of_int dst);
+          Buffer.add_char b ' ')
+        ms)
+    t.moves;
+  Array.iter
+    (fun es ->
+      Buffer.add_char b ';';
+      List.iter
+        (fun dst ->
+          Buffer.add_string b (string_of_int dst);
+          Buffer.add_char b ' ')
+        es)
+    t.eps;
+  Buffer.contents b
+
+(* A pruning verdict detached from the automaton it was computed on:
+   per transition, [Some kinds] (kept, possibly narrowed) or [None]
+   (dead), aligned positionally with [moves]/[eps]. *)
+type prune_mask = {
+  pm_signature : string;
+  pm_moves : kinds option list array;
+  pm_eps : bool list array;
+}
+
+(* Prune the automaton against the oracle: a forward dataflow pass
+   associates with each NFA state the join of every abstract frontier
+   reachable there (a monotone fixpoint over the finite abstract
+   lattice), then transitions whose abstract step is dead are deleted,
+   per-transition kinds are narrowed to the feasible kinds, and states
+   that cannot reach the accept state through surviving transitions are
+   stranded (all their transitions dropped). The result accepts exactly
+   the subset of the original language realizable by data conforming to
+   the oracle's schema — so walks of conforming stores are unchanged,
+   while dead rounds and dead atom classes disappear from
+   [outgoing_atoms]/[can_skip]. *)
+let prune_mask (o : 'f oracle) t =
+  let n = t.n_states in
+  let fr : 'f option array = Array.make n None in
+  fr.(t.start_state) <- Some o.o_start;
+  let changed = ref true in
+  let join_into idx f =
+    match fr.(idx) with
+    | None ->
+        fr.(idx) <- Some f;
+        changed := true
+    | Some g ->
+        let j = o.o_join g f in
+        if not (o.o_equal j g) then begin
+          fr.(idx) <- Some j;
+          changed := true
+        end
+  in
+  (* Abstract effect of one transition on one kind. *)
+  let step_kind f tr ~is_node =
+    match tr with
+    | Match a -> o.o_step_match f a ~is_node
+    | Skip -> o.o_step_skip f ~is_node
+  in
+  let step_all f (tr, (kinds : kinds), _) =
+    let acc = ref None in
+    let add = function
+      | None -> ()
+      | Some f' ->
+          acc := Some (match !acc with None -> f' | Some g -> o.o_join g f')
+    in
+    if kinds.k_node then add (step_kind f tr ~is_node:true);
+    if kinds.k_edge then add (step_kind f tr ~is_node:false);
+    !acc
+  in
+  while !changed do
+    changed := false;
+    for s = 0 to n - 1 do
+      match fr.(s) with
+      | None -> ()
+      | Some f ->
+          List.iter (fun s' -> join_into s' f) t.eps.(s);
+          List.iter
+            (fun ((_, _, dst) as m) ->
+              match step_all f m with None -> () | Some f' -> join_into dst f')
+            t.moves.(s)
+    done
+  done;
+  (* Narrow each surviving transition to its feasible kinds (kept
+     positionally aligned with [t.moves] so the verdict can be replayed
+     onto a structurally identical automaton). *)
+  let refined =
+    Array.init n (fun s ->
+        List.map
+          (fun (tr, (kinds : kinds), _dst) ->
+            match fr.(s) with
+            | None -> None
+            | Some f ->
+                let k =
+                  {
+                    k_node =
+                      kinds.k_node && step_kind f tr ~is_node:true <> None;
+                    k_edge =
+                      kinds.k_edge && step_kind f tr ~is_node:false <> None;
+                  }
+                in
+                if k.k_node || k.k_edge then Some k else None)
+          t.moves.(s))
+  in
+  (* Backward liveness to the accept state over the surviving graph. *)
+  let rev = Array.make n [] in
+  for s = 0 to n - 1 do
+    if fr.(s) <> None then begin
+      List.iter (fun s' -> rev.(s') <- s :: rev.(s')) t.eps.(s);
+      List.iter2
+        (fun (_, _, dst) k -> if k <> None then rev.(dst) <- s :: rev.(dst))
+        t.moves.(s) refined.(s)
+    end
+  done;
+  let useful = Array.make n false in
+  let rec mark s =
+    if not useful.(s) then begin
+      useful.(s) <- true;
+      List.iter mark rev.(s)
+    end
+  in
+  mark t.accept;
+  let pm_moves =
+    Array.init n (fun s ->
+        List.map2
+          (fun (_, _, dst) k ->
+            if fr.(s) = None || not useful.(s) || not useful.(dst) then None
+            else k)
+          t.moves.(s) refined.(s))
+  in
+  let pm_eps =
+    Array.init n (fun s ->
+        List.map
+          (fun dst -> fr.(s) <> None && useful.(s) && useful.(dst))
+          t.eps.(s))
+  in
+  { pm_signature = signature t; pm_moves; pm_eps }
+
+let apply_mask t pm =
+  if pm.pm_signature <> signature t then
+    invalid_arg "Nfa.apply_mask: automaton does not match the mask";
+  let moves =
+    Array.mapi
+      (fun s ms ->
+        List.concat
+          (List.map2
+             (fun (tr, _, dst) k ->
+               match k with Some kk -> [ (tr, kk, dst) ] | None -> [])
+             ms pm.pm_moves.(s)))
+      t.moves
+  in
+  let eps =
+    Array.mapi
+      (fun s es ->
+        List.concat
+          (List.map2 (fun dst keep -> if keep then [ dst ] else []) es
+             pm.pm_eps.(s)))
+      t.eps
+  in
+  { t with moves; eps }
+
+let prune (o : 'f oracle) t = apply_mask t (prune_mask o t)
 
 (* -- simulation ----------------------------------------------------- *)
 

@@ -21,17 +21,69 @@ type t
 val compile :
   ?lead_skip:bool ->
   ?trail_skip:bool ->
+  ?edge_final:bool ->
   ?kind_of:(Rpe.atom -> [ `Node | `Edge ] option) ->
   Rpe.norm ->
   t
 (** Boundary skips (both default [true]) realize the implicit endpoint
     nodes of edge atoms. Anchored evaluation disables [lead_skip]
-    because the walk starts exactly at the anchor element. [kind_of]
-    (typically {!Rpe.atom_kind} partially applied to a schema) enables
-    the kind-inference pruning; without it every transition is assumed
-    able to consume both kinds. *)
+    because the walk starts exactly at the anchor element. [edge_final]
+    (default [false]) lets accepted sequences end on a matched edge —
+    used by the bidirectional evaluator, whose half-walks meet on a
+    shared midpoint edge. [kind_of] (typically {!Rpe.atom_kind}
+    partially applied to a schema) enables the kind-inference pruning;
+    without it every transition is assumed able to consume both
+    kinds. *)
 
 val size : t -> int
+
+val move_count : t -> int
+(** Number of consuming transitions — EXPLAIN reports how many a
+    product pruning removed. *)
+
+type 'f oracle = {
+  o_start : 'f;
+  o_step_match : 'f -> Rpe.atom -> is_node:bool -> 'f option;
+  o_step_skip : 'f -> is_node:bool -> 'f option;
+  o_join : 'f -> 'f -> 'f;
+  o_equal : 'f -> 'f -> bool;
+}
+(** Abstract frontier domain for {!prune}. A step returns [None] when
+    no element sequence conforming to the oracle's model can take the
+    transition from that frontier. [o_join] must be an upper bound and
+    the domain must have finite height (the pruner runs a fixpoint). *)
+
+val prune : 'f oracle -> t -> t
+(** Product-automaton pruning: runs the oracle alongside the NFA,
+    deletes transitions whose abstract step is dead, narrows each
+    transition's feasible kinds, and strands states that can no longer
+    reach the accept state. Sound for any store whose data conforms to
+    the oracle's model: accepted element sequences of conforming data
+    are preserved exactly. Equivalent to
+    [apply_mask t (prune_mask o t)]. *)
+
+val signature : t -> string
+(** Canonical description of the automaton's class-level structure —
+    states, transitions (atom {e class} only, predicates excluded),
+    inferred kinds, eps edges. Two automata with equal signatures prune
+    identically under any class-driven oracle, which is what makes
+    {!prune_mask} results memoizable across queries that differ only in
+    predicate literals. *)
+
+type prune_mask
+(** A pruning verdict detached from the automaton it was computed on:
+    per transition, kept-with-narrowed-kinds or dead. Cheap to replay
+    with {!apply_mask}; carries the {!signature} it was computed for. *)
+
+val prune_mask : 'f oracle -> t -> prune_mask
+(** The analysis half of {!prune} — the expensive fixpoint, without
+    rebuilding the automaton. *)
+
+val apply_mask : t -> prune_mask -> t
+(** The rebuild half of {!prune}. The automaton must have the same
+    {!signature} as the one the mask was computed on (its atoms may
+    carry different predicates — the verdict never depends on them);
+    raises [Invalid_argument] otherwise. *)
 
 type states = int list
 (** Sorted, duplicate-free, eps-closed. *)

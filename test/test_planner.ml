@@ -1,0 +1,327 @@
+(* Cost-based plan compiler (lib/planner): optimizer-vs-legacy result
+   equivalence on all three backends (QCheck), golden EXPLAIN output
+   for the Table-1 families, plan-cache hit/miss/version behaviour, and
+   product-automaton pruning (language preservation + memoized masks). *)
+
+module Nepal = Core.Nepal
+module Virt = Nepal.Virt_service
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let contains_line lines needle =
+  List.exists
+    (fun l ->
+      let n = String.length needle and ln = String.length l in
+      let rec go i = i + n <= ln && (String.sub l i n = needle || go (i + 1)) in
+      go 0)
+    lines
+
+(* A small virtualized service with history, mirrored to all targets. *)
+let build () =
+  let vs =
+    Virt.generate ~seed:11 ~vnf_count:6 ~server_count:12 ~virtual_networks:8 ()
+  in
+  Virt.simulate_history ~seed:12 ~days:8 ~events_per_day:6 vs;
+  let db = Nepal.of_store vs.Virt.store in
+  let rb = ok (Nepal.to_relational db) in
+  let gb = ok (Nepal.to_gremlin db) in
+  (vs, db, rb, gb)
+
+let shared = lazy (build ())
+
+let conns () =
+  let _, db, rb, gb = Lazy.force shared in
+  [
+    ("native", Nepal.conn db);
+    ("relational", Nepal.relational_conn rb);
+    ("gremlin", Nepal.gremlin_conn gb);
+  ]
+
+(* Order-insensitive canonical key of a query result: per row, the
+   bound variables with their pathway keys; rows sorted. *)
+let result_key = function
+  | Nepal.Engine.Rows { rows; _ } ->
+      List.sort compare
+        (List.map
+           (fun (r : Nepal.Engine.row) ->
+             Nepal.Strmap.fold
+               (fun v p acc -> (v, Nepal.Path.key p) :: acc)
+               r.Nepal.Engine.paths [])
+           rows)
+  | Nepal.Engine.Table { rows; _ } -> [ [ ("#table", [ List.length rows ]) ] ]
+
+let explain_lines conn q =
+  match ok (Nepal.query_on conn q) with
+  | Nepal.Engine.Table { columns = [ "explain" ]; rows } ->
+      List.map
+        (function
+          | [ Nepal.Value.Str l ] -> l
+          | _ -> Alcotest.fail "explain row is not a single string")
+        rows
+  | _ -> Alcotest.fail "expected an explain table"
+
+(* ---------------- QCheck: optimizer ≡ legacy ---------------- *)
+
+(* Random single-pathway queries over the virtualized topology: a
+   Table-1/2 shape with random literals, repetition bounds and temporal
+   form. Either plan must return the same pathway set. *)
+let arb_case =
+  let open QCheck in
+  let gen =
+    Gen.map3
+      (fun shape (a, b) (k, tcpick) -> (shape, a, b, 2 + (k mod 5), tcpick))
+      (Gen.int_bound 6)
+      (Gen.pair (Gen.int_bound 1000) (Gen.int_bound 1000))
+      (Gen.pair (Gen.int_bound 100) (Gen.int_bound 2))
+  in
+  make ~print:(fun (s, a, b, k, tc) -> Printf.sprintf "shape=%d a=%d b=%d k=%d tc=%d" s a b k tc) gen
+
+let query_of_case (shape, a, b, k, tcpick) =
+  let vs, _, _, _ = Lazy.force shared in
+  let pick (arr : int array) i = arr.(i mod Array.length arr) in
+  let vnf = pick vs.Virt.vnf_ids and srv = pick vs.Virt.server_ids in
+  let cont = pick vs.Virt.container_ids in
+  let rpe =
+    match shape mod 7 with
+    | 0 -> Printf.sprintf "VNF(id=%d)->[Vertical()]{1,%d}->Server()" (vnf a) k
+    | 1 -> Printf.sprintf "VNF()->[Vertical()]{1,%d}->Server(id=%d)" k (srv b)
+    | 2 ->
+        Printf.sprintf "Server(id=%d)->[Connects()]{1,%d}->Server(id=%d)"
+          (srv a) k (srv b)
+    | 3 ->
+        Printf.sprintf
+          "Container(id=%d)->[VirtualLink()]{1,%d}->Container(id=%d)" (cont a)
+          k (cont b)
+    | 4 -> Printf.sprintf "VNF(id=%d)->ComposedOf()->VFC()" (vnf a)
+    | 5 ->
+        Printf.sprintf
+          "VFC()->OnVM()->Container()->OnServer()->Server(id=%d)" (srv b)
+    | _ ->
+        Printf.sprintf "(VNF(id=%d)|VNF(id=%d))->[Vertical()]{1,3}->Container()"
+          (vnf a) (vnf b)
+  in
+  let prefix =
+    match tcpick with
+    | 0 -> ""
+    | 1 -> "AT '2017-02-10 00:00:00' "
+    | _ -> "AT '2017-02-01 00:00:00' : '2017-03-01 00:00:00' "
+  in
+  Printf.sprintf "%sRetrieve P From PATHS P Where P MATCHES %s" prefix rpe
+
+let prop_optimizer_equivalence =
+  QCheck.Test.make ~name:"optimizer and legacy plans return the same rows"
+    ~count:30 arb_case (fun case ->
+      let q = query_of_case case in
+      List.for_all
+        (fun (name, conn) ->
+          let opt = result_key (ok (Nepal.query_on conn q)) in
+          let leg = result_key (ok (Nepal.query_on conn ~optimizer:`Off q)) in
+          if opt <> leg then
+            QCheck.Test.fail_reportf "%s: optimizer differs on %s (%d vs %d rows)"
+              name q (List.length opt) (List.length leg);
+          true)
+        (conns ()))
+
+(* ---------------- golden EXPLAIN ---------------- *)
+
+let test_explain_bidirectional () =
+  let vs, db, _, _ = Lazy.force shared in
+  let q =
+    Virt.q_host_host ~hops:6 ~a:vs.Virt.server_ids.(0)
+      ~b:vs.Virt.server_ids.(1)
+  in
+  let lines = explain_lines (Nepal.conn db) ("EXPLAIN " ^ q) in
+  let want what cond = check_bool what true cond in
+  want "planner header" (contains_line lines "Planner: cost-based");
+  want "total estimated cost" (contains_line lines "total est cost ~");
+  want "chosen plan line" (contains_line lines "    plan: bidirectional");
+  want "estimated rows" (contains_line lines "est rows ~");
+  want "rejected alternatives" (contains_line lines "    rejected: ");
+  want "bidi union operator"
+    (contains_line lines "    Union meet-in-the-middle on shared edge");
+  want "forward half" (contains_line lines "    Extend fwd ");
+  want "backward half" (contains_line lines "    Extend bwd ")
+
+let test_explain_anchored () =
+  (* No repetition, so no bidirectional candidate: the compiler must
+     anchor, and at the literal-bearing VNF endpoint. *)
+  let vs, db, _, _ = Lazy.force shared in
+  let q =
+    Printf.sprintf
+      "Retrieve P From PATHS P Where P MATCHES VNF(id=%d)->ComposedOf()->VFC()"
+      vs.Virt.vnf_ids.(0)
+  in
+  let lines = explain_lines (Nepal.conn db) ("EXPLAIN " ^ q) in
+  check_bool "planner header" true (contains_line lines "Planner: cost-based");
+  check_bool "anchored at the literal VNF" true
+    (contains_line lines "plan: anchor \xe2\x9f\xa8VNF\xe2\x9f\xa9");
+  check_bool "lists rejected alternatives" true
+    (contains_line lines "    rejected: ")
+
+let test_explain_legacy_mode () =
+  let vs, db, _, _ = Lazy.force shared in
+  let q = Virt.q_top_down ~vnf_id:vs.Virt.vnf_ids.(0) in
+  match
+    ok
+      (Nepal.Explain.run_string ~conn:(Nepal.conn db) ~optimizer:`Off
+         ("EXPLAIN " ^ q))
+  with
+  | Nepal.Engine.Table { rows; _ } ->
+      let lines =
+        List.filter_map
+          (function [ Nepal.Value.Str l ] -> Some l | _ -> None)
+          rows
+      in
+      check_bool "legacy header" true
+        (contains_line lines "Planner: legacy (greedy anchor pick)");
+      check_bool "no cost-based header" false
+        (contains_line lines "Planner: cost-based")
+  | _ -> Alcotest.fail "expected explain table"
+
+(* ---------------- plan cache ---------------- *)
+
+let test_cache_hit_on_repeat () =
+  let vs, db, _, _ = Lazy.force shared in
+  let conn = Nepal.conn db in
+  let q = Virt.q_top_down ~vnf_id:vs.Virt.vnf_ids.(0) in
+  Nepal.Planner.cache_clear ();
+  let _, h0, m0 = Nepal.Planner.cache_stats () in
+  ignore (ok (Nepal.query_on conn q));
+  let _, h1, m1 = Nepal.Planner.cache_stats () in
+  check_int "first run is a miss" (m0 + 1) m1;
+  check_int "first run is not a hit" h0 h1;
+  ignore (ok (Nepal.query_on conn q));
+  let entries, h2, m2 = Nepal.Planner.cache_stats () in
+  check_int "second run is a hit" (h1 + 1) h2;
+  check_int "second run adds no miss" m1 m2;
+  check_bool "cache holds the entry" true (entries >= 1)
+
+let test_cache_hit_across_literals () =
+  (* Same statement fingerprint, different literals: the cached plan
+     shape replays, and the replayed plan still answers correctly. *)
+  let vs, db, _, _ = Lazy.force shared in
+  let conn = Nepal.conn db in
+  let qa = Virt.q_top_down ~vnf_id:vs.Virt.vnf_ids.(0) in
+  let qb = Virt.q_top_down ~vnf_id:vs.Virt.vnf_ids.(1) in
+  Nepal.Planner.cache_clear ();
+  ignore (ok (Nepal.query_on conn qa));
+  let _, h0, _ = Nepal.Planner.cache_stats () in
+  let replayed = result_key (ok (Nepal.query_on conn qb)) in
+  let _, h1, _ = Nepal.Planner.cache_stats () in
+  check_int "different literals share the cached plan" (h0 + 1) h1;
+  let legacy = result_key (ok (Nepal.query_on conn ~optimizer:`Off qb)) in
+  check_bool "replayed plan answers correctly" true (replayed = legacy)
+
+let test_cache_versioned_by_schema () =
+  (* The same query text against a different schema instance (as after
+     re-classing, which rebuilds the schema) must not reuse the entry. *)
+  let vs, db, _, _ = Lazy.force shared in
+  let q = Virt.q_top_down ~vnf_id:vs.Virt.vnf_ids.(0) in
+  let vs2 =
+    Virt.generate ~seed:11 ~vnf_count:6 ~server_count:12 ~virtual_networks:8 ()
+  in
+  let db2 = Nepal.of_store vs2.Virt.store in
+  Nepal.Planner.cache_clear ();
+  ignore (ok (Nepal.query_on (Nepal.conn db) q));
+  let _, h0, m0 = Nepal.Planner.cache_stats () in
+  ignore (ok (Nepal.query_on (Nepal.conn db2) q));
+  let _, h1, m1 = Nepal.Planner.cache_stats () in
+  check_int "other schema instance is a miss" (m0 + 1) m1;
+  check_int "other schema instance is not a hit" h0 h1
+
+(* ---------------- product-automaton pruning ---------------- *)
+
+let kind_of sch a =
+  match Nepal.Rpe.atom_kind sch a with
+  | Some Nepal.Schema.Node_kind -> Some `Node
+  | Some Nepal.Schema.Edge_kind -> Some `Edge
+  | None -> None
+
+let compile_nfa sch text =
+  let norm = ok (Nepal.Rpe.validate sch (Nepal.Rpe_parser.parse_exn text)) in
+  (norm, Nepal_rpe.Nfa.compile ~kind_of:(kind_of sch) norm)
+
+let test_prune_preserves_results () =
+  let _, db, _, _ = Lazy.force shared in
+  let conn = Nepal.conn db and sch = Nepal.schema db in
+  let prune = Nepal.Planner.pruner_of sch in
+  List.iter
+    (fun text ->
+      let norm =
+        ok (Nepal.Rpe.validate sch (Nepal.Rpe_parser.parse_exn text))
+      in
+      let tc = Nepal.Time_constraint.Snapshot in
+      let plain = ok (Nepal.Eval_rpe.find conn ~tc norm) in
+      let pruned = ok (Nepal.Eval_rpe.find conn ~tc ~prune norm) in
+      if List.map Nepal.Path.key plain <> List.map Nepal.Path.key pruned then
+        Alcotest.failf "pruning changed the result of %s" text)
+    [
+      "VNF()->[Vertical()]{1,6}->Server()";
+      "Server()->[Connects()]{1,4}->Server()";
+      "VFC()->OnVM()->Container()->OnServer()->Server()";
+      "(VNF()|VFC())->[Vertical()]{1,3}->Container()";
+    ]
+
+let test_prune_kills_dead_walks () =
+  (* Connects links servers; a VNF can never take it. The pruned
+     automaton drops the dead transitions and the evaluation still
+     (vacuously) agrees with the unpruned one. *)
+  let _, db, _, _ = Lazy.force shared in
+  let conn = Nepal.conn db and sch = Nepal.schema db in
+  let text = "VNF()->Connects()->VNF()" in
+  let norm, nfa = compile_nfa sch text in
+  let prune = Nepal.Planner.pruner_of sch in
+  let pruned_nfa = prune ~dir:Nepal.Backend.Fwd nfa in
+  check_bool "pruning removed transitions" true
+    (Nepal_rpe.Nfa.move_count pruned_nfa < Nepal_rpe.Nfa.move_count nfa);
+  let tc = Nepal.Time_constraint.Snapshot in
+  check_int "walk is dead either way" 0
+    (List.length (ok (Nepal.Eval_rpe.find conn ~tc ~prune norm)))
+
+let test_prune_mask_memoized () =
+  (* Two automata for the same shape with different literals share the
+     memoized mask and prune identically. *)
+  let _, db, _, _ = Lazy.force shared in
+  let sch = Nepal.schema db in
+  let prune = Nepal.Planner.pruner_of sch in
+  let _, nfa_a = compile_nfa sch "VNF(id=1)->[Vertical()]{1,6}->Server()" in
+  let _, nfa_b = compile_nfa sch "VNF(id=2)->[Vertical()]{1,6}->Server()" in
+  check_bool "same class-level signature" true
+    (Nepal_rpe.Nfa.signature nfa_a = Nepal_rpe.Nfa.signature nfa_b);
+  let pa = prune ~dir:Nepal.Backend.Fwd nfa_a in
+  let pb = prune ~dir:Nepal.Backend.Fwd nfa_b in
+  check_int "identical pruning verdicts" (Nepal_rpe.Nfa.move_count pa)
+    (Nepal_rpe.Nfa.move_count pb)
+
+let () =
+  Alcotest.run "nepal_planner"
+    [
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_optimizer_equivalence ] );
+      ( "explain",
+        [
+          Alcotest.test_case "bidirectional plan" `Quick
+            test_explain_bidirectional;
+          Alcotest.test_case "anchored plan" `Quick test_explain_anchored;
+          Alcotest.test_case "legacy mode" `Quick test_explain_legacy_mode;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit on repeat" `Quick test_cache_hit_on_repeat;
+          Alcotest.test_case "hit across literals" `Quick
+            test_cache_hit_across_literals;
+          Alcotest.test_case "versioned by schema" `Quick
+            test_cache_versioned_by_schema;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "preserves results" `Quick
+            test_prune_preserves_results;
+          Alcotest.test_case "kills dead walks" `Quick
+            test_prune_kills_dead_walks;
+          Alcotest.test_case "masks memoized" `Quick test_prune_mask_memoized;
+        ] );
+    ]
