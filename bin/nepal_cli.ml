@@ -609,57 +609,23 @@ let serve_metrics_cmd =
              ~doc:"Generate the virt topology and run a few queries first, so \
                    the registry has data to export.")
   in
-  let http_respond oc status content_type body =
-    output_string oc
-      (Printf.sprintf
-         "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-         status content_type (String.length body));
-    output_string oc body
-  in
-  (* A deliberately tiny HTTP/1.0 loop: read the request line, drain the
-     headers, answer, close. One request per connection, no threads —
-     scrapes are rare and the render is fast. *)
+  (* The exporter loop lives in Nepal.Http_metrics now, where accepted
+     sockets carry a receive timeout — an idle peer can no longer park
+     the exporter (the historic serve-metrics wedge). *)
   let serve port once =
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt sock Unix.SO_REUSEADDR true;
-    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
-    Unix.listen sock 16;
-    Format.printf "serving OpenMetrics on http://localhost:%d/metrics%s@." port
-      (if once then " (one request)" else "");
-    let handle (client, _) =
-      let ic = Unix.in_channel_of_descr client in
-      let oc = Unix.out_channel_of_descr client in
-      (try
-         let request = try input_line ic with End_of_file -> "" in
-         (* Drain headers until the blank line (HTTP/1.0 clients send them). *)
-         (try
-            while String.trim (input_line ic) <> "" do
-              ()
-            done
-          with End_of_file -> ());
-         let path =
-           match String.split_on_char ' ' (String.trim request) with
-           | _meth :: path :: _ -> path
-           | _ -> "/"
-         in
-         (match path with
-         | "/metrics" | "/metrics/" ->
-             http_respond oc "200 OK"
-               "application/openmetrics-text; version=1.0.0; charset=utf-8"
-               (Nepal.Metrics.render_openmetrics ())
-         | _ ->
-             http_respond oc "404 Not Found" "text/plain; charset=utf-8"
-               "not found: try /metrics\n");
-         flush oc
-       with Sys_error _ | Unix.Unix_error _ -> ());
-      try Unix.close client with Unix.Unix_error _ -> ()
-    in
-    let rec loop () =
-      handle (Unix.accept sock);
-      if once then () else loop ()
-    in
-    Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-      loop
+    match
+      Nepal.Http_metrics.start ~port ~once
+        ~render:Nepal.Metrics.render_openmetrics ()
+    with
+    | Error e -> Error e
+    | Ok exporter ->
+        Format.printf "serving OpenMetrics on http://localhost:%d/metrics%s@."
+          (Nepal.Http_metrics.port exporter)
+          (if once then " (one request)" else "");
+        Format.print_flush ();
+        Nepal.Http_metrics.wait exporter;
+        Nepal.Http_metrics.stop exporter;
+        Ok ()
   in
   let run port once warm =
     if warm then begin
@@ -677,15 +643,374 @@ let serve_metrics_cmd =
         ]
     end;
     match serve port once with
-    | () -> `Ok ()
-    | exception Unix.Unix_error (err, fn, _) ->
-        `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message err))
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, e)
   in
   Cmd.v
     (Cmd.info "serve-metrics"
        ~doc:"Expose the in-process metrics registry as an OpenMetrics \
              endpoint (GET /metrics) over a minimal HTTP/1.0 listener.")
     Term.(ret (const run $ port_arg $ once_arg $ warm_arg))
+
+(* ---- JSONL server / client / bench ----------------------------------- *)
+
+(* Per-session runner on the Nepal.query_on path, so wire answers carry
+   exactly the text (and enriched errors) the in-process API produces. *)
+let session_runner store () =
+  let conn = Nepal.native_conn store in
+  fun text ->
+    match Nepal.query_on conn text with
+    | Ok result ->
+        Ok
+          {
+            Nepal.Server.qr_count = Nepal.Engine.result_count result;
+            qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
+          }
+    | Error e -> Error e
+
+let wire_port_arg =
+  Arg.(value & opt int 9642
+       & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port of the JSONL endpoint.")
+
+let serve_cmd =
+  let max_sessions_arg =
+    Arg.(value & opt int 64
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Refuse connections beyond N concurrent sessions.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Query-executor domains (default: \\$NEPAL_DOMAINS or the \
+                   core count).")
+  in
+  let debounce_arg =
+    Arg.(value & opt (some float) None
+         & info [ "debounce" ] ~docv:"MS"
+             ~doc:"Watch debounce window in milliseconds.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Start on a free port, run one loopback round-trip, verify \
+                   it against in-process evaluation, shut down cleanly, exit.")
+  in
+  let run topology seed nodes history port max_sessions workers debounce smoke =
+    let store = build_store topology seed nodes history in
+    let config =
+      {
+        Nepal.Server.default_config with
+        port = (if smoke then 0 else port);
+        max_sessions;
+        workers;
+        debounce_ms = debounce;
+      }
+    in
+    match
+      Nepal.Server.start ~config ~make_runner:(session_runner store) store
+    with
+    | Error e -> `Error (false, e)
+    | Ok server ->
+        if smoke then begin
+          let q = "Retrieve P From PATHS P Where P MATCHES VNF()->VFC()" in
+          let outcome =
+            match
+              Nepal.Server_client.connect ~port:(Nepal.Server.port server) ()
+            with
+            | Error e -> Error e
+            | Ok client ->
+                let r =
+                  match Nepal.Server_client.ping client with
+                  | Error e -> Error e
+                  | Ok () -> (
+                      match Nepal.Server_client.query client q with
+                      | Error e -> Error e
+                      | Ok reply -> (
+                          match (session_runner store ()) q with
+                          | Error e -> Error ("in-process check failed: " ^ e)
+                          | Ok local
+                            when local.Nepal.Server.qr_text
+                                 = reply.Nepal.Server.qr_text
+                                 && local.qr_count = reply.qr_count ->
+                              Ok reply.qr_count
+                          | Ok _ ->
+                              Error
+                                "wire result differs from in-process evaluation"))
+                in
+                Nepal.Server_client.close client;
+                r
+          in
+          Nepal.Server.stop server;
+          match outcome with
+          | Ok count ->
+              Format.printf "smoke ok: %d result(s), clean shutdown@." count;
+              `Ok ()
+          | Error e -> `Error (false, "smoke failed: " ^ e)
+        end
+        else begin
+          Format.printf
+            "serving nepal JSONL on port %d (max %d sessions; ctrl-c to stop)@."
+            (Nepal.Server.port server) max_sessions;
+          Format.print_flush ();
+          Nepal.Server.wait server;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the generated topology over the line-oriented JSONL wire \
+             protocol: query/watch/unwatch/stats/ping verbs, concurrent \
+             sessions, streamed path alerts."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal serve --history -p 9642";
+           `P "nepal serve --smoke";
+           `P "echo '{\"op\":\"query\",\"id\":1,\"q\":\"Retrieve P From PATHS \
+               P Where P MATCHES VNF()->VFC()\"}' | nc localhost 9642";
+         ])
+    Term.(ret (const run $ topology_arg $ seed_arg $ scale_arg $ history_arg
+               $ wire_port_arg $ max_sessions_arg $ workers_arg $ debounce_arg
+               $ smoke_arg))
+
+let client_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"IPv4 address of the server.")
+  in
+  let query_pos =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"QUERY"
+             ~doc:"Queries to run (quote each); with none, opens an \
+                   interactive loop.")
+  in
+  let print_reply (reply : Nepal.Server.query_reply) =
+    print_string reply.Nepal.Server.qr_text;
+    Printf.printf "(%d result(s))\n" reply.Nepal.Server.qr_count;
+    flush stdout
+  in
+  let drain_events client =
+    let rec go () =
+      match Nepal.Server_client.next_event ~timeout_s:0.05 client with
+      | Some e ->
+          print_endline (Nepal.Wire_json.to_string e);
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let interactive client =
+    print_endline
+      "connected; enter a query, or :watch QUERY, :unwatch N, :stats, :ping, \
+       :quit (alerts print before each prompt)";
+    let starts_with prefix s =
+      String.length s >= String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    in
+    let rec loop () =
+      drain_events client;
+      print_string "nepal> ";
+      flush stdout;
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line -> (
+          let line = String.trim line in
+          let continue = ref true in
+          (if line = "" then ()
+           else if line = ":quit" || line = ":q" then continue := false
+           else if line = ":ping" then
+             match Nepal.Server_client.ping client with
+             | Ok () -> print_endline "pong"
+             | Error e -> Printf.printf "error: %s\n" e
+           else if line = ":stats" then
+             match Nepal.Server_client.stats client with
+             | Ok j -> print_endline (Nepal.Wire_json.to_string j)
+             | Error e -> Printf.printf "error: %s\n" e
+           else if starts_with ":watch " line then
+             let q = String.trim (String.sub line 7 (String.length line - 7)) in
+             match Nepal.Server_client.watch client q with
+             | Ok w -> Printf.printf "watch %d registered\n" w
+             | Error e -> Printf.printf "error: %s\n" e
+           else if starts_with ":unwatch " line then
+             let arg = String.trim (String.sub line 9 (String.length line - 9)) in
+             match int_of_string_opt arg with
+             | None -> print_endline "usage: :unwatch N"
+             | Some w -> (
+                 match Nepal.Server_client.unwatch client w with
+                 | Ok true -> Printf.printf "watch %d removed\n" w
+                 | Ok false -> Printf.printf "no watch %d on this session\n" w
+                 | Error e -> Printf.printf "error: %s\n" e)
+           else
+             match Nepal.Server_client.query client line with
+             | Ok reply -> print_reply reply
+             | Error e -> Printf.printf "error: %s\n" e);
+          flush stdout;
+          if !continue then loop ())
+    in
+    loop ()
+  in
+  let run host port queries =
+    match Unix.inet_addr_of_string host with
+    | exception Failure _ -> `Error (false, "not an IPv4 address: " ^ host)
+    | addr -> (
+        match Nepal.Server_client.connect ~addr ~port () with
+        | Error e -> `Error (false, "connect: " ^ e)
+        | Ok client ->
+            let outcome =
+              if queries = [] then begin
+                interactive client;
+                `Ok ()
+              end
+              else
+                let failed =
+                  List.fold_left
+                    (fun failed q ->
+                      match Nepal.Server_client.query client q with
+                      | Ok reply ->
+                          print_reply reply;
+                          failed
+                      | Error e ->
+                          Printf.eprintf "error: %s\n%!" e;
+                          failed + 1)
+                    0 queries
+                in
+                if failed = 0 then `Ok ()
+                else `Error (false, Printf.sprintf "%d query(ies) failed" failed)
+            in
+            Nepal.Server_client.close client;
+            outcome)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a running nepal server and run queries (or an \
+             interactive loop) over the JSONL wire protocol."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal client \"Retrieve P From PATHS P Where P MATCHES \
+               VNF()->VFC()\"";
+           `P "nepal client -p 9642   # interactive";
+         ])
+    Term.(ret (const run $ host_arg $ wire_port_arg $ query_pos))
+
+let bench_cmd =
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent closed-loop client connections.")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 5.
+         & info [ "seconds" ] ~docv:"SECS" ~doc:"Measured run duration.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N" ~doc:"Query-executor domains.")
+  in
+  let run seed history clients seconds workers =
+    if clients < 1 then `Error (false, "--clients must be >= 1")
+    else begin
+      let module V = Nepal.Virt_service in
+      let t = V.generate ~seed () in
+      if history then V.simulate_history ~seed:(seed + 1) t;
+      let store = t.V.store in
+      let config =
+        {
+          Nepal.Server.default_config with
+          port = 0;
+          max_sessions = clients + 4;
+          workers;
+        }
+      in
+      match
+        Nepal.Server.start ~config ~make_runner:(session_runner store) store
+      with
+      | Error e -> `Error (false, e)
+      | Ok server ->
+          let port = Nepal.Server.port server in
+          (* The Table-1 mix: top-down, bottom-up, VM-VM and Host-Host(4)
+             instances sampled per client from its own rng. *)
+          let pick_query rng k =
+            match k mod 4 with
+            | 0 -> V.q_top_down ~vnf_id:(Nepal.Prng.choose rng t.V.vnf_ids)
+            | 1 -> V.q_bottom_up ~server_id:(V.sample_server_id rng t)
+            | 2 ->
+                let a = V.sample_container_id rng t in
+                let b = V.sample_container_id rng t in
+                V.q_vm_vm ~a ~b
+            | _ ->
+                let a = V.sample_server_id rng t in
+                let b = V.sample_server_id rng t in
+                V.q_host_host ~hops:4 ~a ~b
+          in
+          let lat = Nepal.Metrics.unregistered_histogram "bench.client_seconds" in
+          let requests = Array.make clients 0 in
+          let errors = Array.make clients 0 in
+          let deadline = Unix.gettimeofday () +. Float.max 0.5 seconds in
+          let client_loop i =
+            match Nepal.Server_client.connect ~port () with
+            | Error e ->
+                Printf.eprintf "client %d: connect: %s\n%!" i e;
+                errors.(i) <- errors.(i) + 1
+            | Ok client ->
+                let rng = Nepal.Prng.create (seed + 101 + i) in
+                let k = ref i in
+                while Unix.gettimeofday () < deadline do
+                  let q = pick_query rng !k in
+                  incr k;
+                  let t0 = Unix.gettimeofday () in
+                  (match Nepal.Server_client.query client q with
+                  | Ok _ -> requests.(i) <- requests.(i) + 1
+                  | Error _ -> errors.(i) <- errors.(i) + 1);
+                  Nepal.Metrics.observe lat (Unix.gettimeofday () -. t0)
+                done;
+                Nepal.Server_client.close client
+          in
+          let t0 = Unix.gettimeofday () in
+          let threads =
+            List.init clients (fun i -> Thread.create client_loop i)
+          in
+          List.iter Thread.join threads;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Nepal.Server.stop server;
+          let total = Array.fold_left ( + ) 0 requests in
+          let errs = Array.fold_left ( + ) 0 errors in
+          let s = Nepal.Metrics.stats_of lat in
+          let sv =
+            Nepal.Metrics.stats_of
+              (Nepal.Metrics.histogram "server.query_seconds")
+          in
+          Format.printf
+            "clients %d  requests %d  errors %d  elapsed %.2fs  throughput \
+             %.1f q/s@."
+            clients total errs elapsed
+            (float_of_int total /. elapsed);
+          Format.printf
+            "client-side latency: p50 %.2fms  p95 %.2fms  p99 %.2fms@."
+            (s.Nepal.Metrics.p50 *. 1e3) (s.Nepal.Metrics.p95 *. 1e3)
+            (s.Nepal.Metrics.p99 *. 1e3);
+          Format.printf
+            "server-side evaluation: p50 %.2fms  p95 %.2fms  p99 %.2fms \
+             (n=%d)@."
+            (sv.Nepal.Metrics.p50 *. 1e3) (sv.Nepal.Metrics.p95 *. 1e3)
+            (sv.Nepal.Metrics.p99 *. 1e3) sv.Nepal.Metrics.count;
+          `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Closed-loop wire benchmark: start an in-process server, drive \
+             it with N concurrent clients running the Table-1 query mix, \
+             report throughput and latency quantiles."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal bench --clients 8 --seconds 10";
+           `P "nepal bench --history --clients 4 --workers 4";
+         ])
+    Term.(ret (const run $ seed_arg $ history_arg $ clients_arg $ seconds_arg
+               $ workers_arg))
 
 let events_cmd =
   let file_arg =
@@ -969,7 +1294,7 @@ let main =
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
     [ schema_cmd; generate_cmd; query_cmd; explain_cmd; check_cmd; repl_cmd;
-      paths_cmd; when_exists_cmd; watch_cmd; stats_cmd; serve_metrics_cmd;
-      events_cmd ]
+      paths_cmd; when_exists_cmd; watch_cmd; stats_cmd; serve_cmd; client_cmd;
+      bench_cmd; serve_metrics_cmd; events_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -167,14 +167,27 @@ let build_tables schema =
    O(|E|·|N|²) table build is memoized per schema value (physical
    equality — schemas are immutable and long-lived). *)
 let table_cache : (Schema.t * tables) list ref = ref []
+let table_cache_lock = Mutex.create ()
 
+(* Concurrent sessions (the nepal server) analyze on worker domains, so
+   the memo is mutex-protected; the build itself runs outside the lock
+   — a racing duplicate build is wasted work, not corruption. *)
 let tables_of schema =
-  match List.find_opt (fun (s, _) -> s == schema) !table_cache with
+  let cached =
+    Mutex.lock table_cache_lock;
+    let r = List.find_opt (fun (s, _) -> s == schema) !table_cache in
+    Mutex.unlock table_cache_lock;
+    r
+  in
+  match cached with
   | Some (_, t) -> t
   | None ->
       let t = build_tables schema in
-      let keep = List.filteri (fun i _ -> i < 7) !table_cache in
-      table_cache := (schema, t) :: keep;
+      Mutex.lock table_cache_lock;
+      (if not (List.exists (fun (s, _) -> s == schema) !table_cache) then
+         let keep = List.filteri (fun i _ -> i < 7) !table_cache in
+         table_cache := (schema, t) :: keep);
+      Mutex.unlock table_cache_lock;
       t
 
 (* -- frontier states -------------------------------------------------

@@ -66,6 +66,12 @@ module Analysis = Nepal_analysis.Analysis
 module Diagnostic = Nepal_analysis.Diagnostic
 module Planner = Nepal_planner.Planner
 module Monitor = Nepal_monitor.Monitor
+module Server = Nepal_server.Server
+module Server_client = Nepal_server.Client
+module Wire = Nepal_server.Wire
+module Http_metrics = Nepal_server.Http_metrics
+module Wire_json = Nepal_server.Json
+module Env = Nepal_util.Env
 
 (** {1 Databases} *)
 

@@ -46,11 +46,8 @@ let () =
       float_of_int (Atomic.get active_watches))
 
 let default_debounce_s () =
-  match Sys.getenv_opt "NEPAL_WATCH_DEBOUNCE_MS" with
-  | Some s -> (
-      match float_of_string_opt s with
-      | Some v when v >= 0. -> v /. 1000.
-      | _ -> 0.05)
+  match Nepal_util.Env.float_opt ~min:0. "NEPAL_WATCH_DEBOUNCE_MS" with
+  | Some ms -> ms /. 1000.
   | None -> 0.05
 
 (* -- types ------------------------------------------------------------ *)

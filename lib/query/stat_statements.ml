@@ -84,11 +84,8 @@ let evicted = ref 0
 
 let capacity =
   ref
-    (match Sys.getenv_opt "NEPAL_STAT_STATEMENTS_MAX" with
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some n when n >= 1 -> n
-        | _ -> default_capacity)
+    (match Nepal_util.Env.int_opt ~min:1 "NEPAL_STAT_STATEMENTS_MAX" with
+    | Some n -> n
     | None -> default_capacity)
 
 let with_lock f =
@@ -368,7 +365,6 @@ let load path =
    the table saw traffic, so idle processes never touch the file. *)
 let () =
   Metrics.on_reset reset;
-  match Sys.getenv_opt "NEPAL_STATS_DUMP" with
-  | Some path when path <> "" ->
-      at_exit (fun () -> if count () > 0 then ignore (save path))
-  | _ -> ()
+  match Nepal_util.Env.string_opt "NEPAL_STATS_DUMP" with
+  | Some path -> at_exit (fun () -> if count () > 0 then ignore (save path))
+  | None -> ()

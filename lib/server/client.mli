@@ -1,0 +1,44 @@
+(** Blocking JSONL client for the {!Server} wire protocol: one
+    request/response exchange at a time, with unsolicited frames (the
+    hello greeting, streamed watch alerts) stashed and drained through
+    {!next_event}. Shared by the CLI's [client] command, the bench
+    driver, and the integration tests. *)
+
+module J := Nepal_util.Event_log
+
+type t
+
+val connect :
+  ?addr:Unix.inet_addr ->
+  ?port:int ->
+  ?recv_timeout_s:float ->
+  unit ->
+  (t, string) result
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw socket, for tests that sabotage the connection. *)
+
+val request : t -> (string * J.json) list -> (Json.t, string) result
+(** Send one frame (an ["id"] is added) and block for the matching
+    response. *)
+
+val ping : t -> (unit, string) result
+
+val query : t -> string -> (Server.query_reply, string) result
+(** Evaluate on the server; the reply text is the exact
+    {!Nepal_query.Engine.pp_result} rendering. *)
+
+val watch : t -> string -> (int, string) result
+(** Register a standing query; returns the watch id carried by its
+    alert frames. *)
+
+val unwatch : t -> int -> (bool, string) result
+(** [Ok true] when the watch existed on this session. *)
+
+val stats : t -> (Json.t, string) result
+
+val next_event : ?timeout_s:float -> t -> Json.t option
+(** Next unsolicited frame: stashed ones first, then whatever arrives
+    on the socket within [timeout_s] (default 1s). *)

@@ -1,0 +1,102 @@
+(* The OpenMetrics HTTP exporter, factored out of the CLI so the fix
+   for its idle-connection wedge lives next to the JSONL server's
+   hardening and both inherit the same socket discipline from [Net].
+
+   The historic bug: the CLI's inline loop read the request line with
+   [input_line] on a channel over the accepted socket — a scraper (or a
+   port prober) that connected and sent nothing parked the whole
+   exporter forever, since nothing armed a receive timeout. Here every
+   accepted socket gets [SO_RCVTIMEO]; an idle peer surfaces as a
+   [Timeout] outcome and the connection is dropped, after which the
+   accept loop serves the next scrape.
+
+   Still deliberately tiny: HTTP/1.0, one request per connection,
+   handled serially on the exporter thread — scrapes are rare and the
+   render is fast. *)
+
+let default_request_timeout_s = 5.0
+let max_header_lines = 100
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+}
+
+let http_response status content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let handle ~render ~timeout client =
+  Net.set_recv_timeout client timeout;
+  let lr = Net.line_reader ~max_line:8192 client in
+  (match Net.read_line lr with
+  | Net.Timeout | Net.Eof | Net.Too_long _ ->
+      (* idle, closed, or abusive peer: drop it and serve the next one *)
+      ()
+  | Net.Line request ->
+      (* Drain headers until the blank line (bounded; a peer streaming
+         endless headers is cut off, not waited on). *)
+      let rec drain n =
+        if n > 0 then
+          match Net.read_line lr with
+          | Net.Line "" | Net.Timeout | Net.Eof -> ()
+          | Net.Line _ | Net.Too_long _ -> drain (n - 1)
+      in
+      drain max_header_lines;
+      let path =
+        match String.split_on_char ' ' (String.trim request) with
+        | _meth :: path :: _ -> path
+        | _ -> "/"
+      in
+      let response =
+        match path with
+        | "/metrics" | "/metrics/" ->
+            http_response "200 OK"
+              "application/openmetrics-text; version=1.0.0; charset=utf-8"
+              (render ())
+        | _ ->
+            http_response "404 Not Found" "text/plain; charset=utf-8"
+              "not found: try /metrics\n"
+      in
+      (try Net.write_all client response with Unix.Unix_error _ -> ()));
+  Net.shutdown_noerr client;
+  Net.close_noerr client
+
+let serve_loop t ~render ~timeout ~once =
+  let served = ref 0 in
+  while t.running && not (once && !served > 0) do
+    match Net.accept_tick t.sock ~tick_s:0.2 with
+    | None -> ()
+    | Some (client, _peer) ->
+        handle ~render ~timeout client;
+        incr served
+  done
+
+let start ?(addr = Unix.inet_addr_any) ?(port = 9464) ?(once = false)
+    ?(request_timeout_s = default_request_timeout_s) ~render () =
+  match Net.listen_tcp ~addr ~port () with
+  | Error e -> Error e
+  | Ok (sock, bound_port) ->
+      let t = { sock; bound_port; running = true; thread = None } in
+      let th =
+        Thread.create
+          (fun () ->
+            serve_loop t ~render ~timeout:request_timeout_s ~once;
+            t.running <- false)
+          ()
+      in
+      t.thread <- Some th;
+      Ok t
+
+let port t = t.bound_port
+
+let wait t =
+  match t.thread with Some th -> Thread.join th | None -> ()
+
+let stop t =
+  t.running <- false;
+  wait t;
+  Net.close_noerr t.sock

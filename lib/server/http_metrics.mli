@@ -1,0 +1,33 @@
+(** OpenMetrics HTTP exporter: [GET /metrics] over a minimal HTTP/1.0
+    listener, run on its own thread.
+
+    Hardened against the idle-connection wedge the CLI's inline loop
+    had: accepted sockets carry a receive timeout, so a peer that
+    connects and never sends a request is dropped after a few seconds
+    instead of parking the exporter forever. *)
+
+type t
+
+val start :
+  ?addr:Unix.inet_addr ->
+  ?port:int ->
+  ?once:bool ->
+  ?request_timeout_s:float ->
+  render:(unit -> string) ->
+  unit ->
+  (t, string) result
+(** Bind (default [0.0.0.0:9464]; port [0] picks a free port — see
+    {!port}) and serve on a background thread. [once] exits after the
+    first request, for smoke tests. [request_timeout_s] (default 5s)
+    bounds how long an idle accepted connection is waited on before
+    being dropped. [render] produces the [/metrics] body per scrape. *)
+
+val port : t -> int
+(** The actually-bound port. *)
+
+val wait : t -> unit
+(** Join the exporter thread (returns when {!stop} is called, or after
+    the single request under [once]). *)
+
+val stop : t -> unit
+(** Stop accepting, join the thread, close the listener. *)

@@ -1,0 +1,169 @@
+(* Socket plumbing shared by the JSONL server, the OpenMetrics
+   exporter, and the client: the two process-level hardening fixes
+   (SIGPIPE ignored, receive timeouts on accepted sockets) plus a
+   bounded buffered line reader over a raw file descriptor.
+
+   SIGPIPE: writing a response to a peer that already disconnected
+   must surface as [Unix.EPIPE] on the write — the default signal
+   disposition would kill the whole process instead. [init] installs
+   [Signal_ignore] exactly once; every listener and client calls it.
+
+   Receive timeouts: a peer that connects and sends nothing must not
+   wedge a reader forever. [set_recv_timeout] arms [SO_RCVTIMEO] so
+   blocked reads return [EAGAIN]/[EWOULDBLOCK] periodically, which the
+   line reader surfaces as [Timeout] ticks — the caller decides whether
+   a tick means "check the shutdown flag and keep waiting" (the JSONL
+   server) or "give up on this connection" (the one-request HTTP
+   exporter). *)
+
+let sigpipe_ignored =
+  lazy
+    (if not Sys.win32 then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let init () = Lazy.force sigpipe_ignored
+
+let set_recv_timeout fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.max 0. seconds)
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let listen_tcp ?(backlog = 64) ~addr ~port () =
+  init ();
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock backlog;
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  with
+  | bound_port -> Ok (sock, bound_port)
+  | exception Unix.Unix_error (err, fn, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+(* Wait for the listener to become readable (<= [tick_s]) and accept.
+   The select tick keeps a blocking accept loop responsive to a
+   shutdown flag flipped by another thread. *)
+let accept_tick sock ~tick_s =
+  match Unix.select [ sock ] [] [] tick_s with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+  | [], _, _ -> None
+  | _ -> (
+      match Unix.accept sock with
+      | client -> Some client
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          None)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then begin
+      let written =
+        try Unix.write fd b off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + written)
+    end
+  in
+  go 0
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_noerr fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* -- bounded line reader ---------------------------------------------- *)
+
+type read_outcome =
+  | Line of string
+  | Too_long of int  (* bytes discarded, newline included *)
+  | Timeout
+  | Eof
+
+type line_reader = {
+  lr_fd : Unix.file_descr;
+  lr_max : int;
+  lr_buf : Buffer.t;
+  lr_chunk : Bytes.t;
+  mutable lr_discarding : int;  (* > 0: inside an oversized line *)
+  mutable lr_eof : bool;
+}
+
+let line_reader ?(max_line = 1 lsl 20) fd =
+  {
+    lr_fd = fd;
+    lr_max = max 1 max_line;
+    lr_buf = Buffer.create 256;
+    lr_chunk = Bytes.create 4096;
+    lr_discarding = 0;
+    lr_eof = false;
+  }
+
+(* Extract the first complete line from the pending buffer, leaving the
+   remainder. A trailing \r (CRLF peers) is stripped. *)
+let take_line lr =
+  let s = Buffer.contents lr.lr_buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line =
+        if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1)
+        else String.sub s 0 i
+      in
+      Buffer.clear lr.lr_buf;
+      Buffer.add_substring lr.lr_buf s (i + 1) (String.length s - i - 1);
+      Some line
+
+let read_line lr =
+  let rec go () =
+    match take_line lr with
+    | Some line when lr.lr_discarding > 0 ->
+        (* the newline terminating the oversized line finally arrived *)
+        let total = lr.lr_discarding + String.length line + 1 in
+        lr.lr_discarding <- 0;
+        Too_long total
+    | Some line -> Line line
+    | None when lr.lr_eof -> Eof
+    | None ->
+        if lr.lr_discarding > 0 then begin
+          (* drop pending bytes; only the (absent) newline matters *)
+          lr.lr_discarding <- lr.lr_discarding + Buffer.length lr.lr_buf;
+          Buffer.clear lr.lr_buf
+        end;
+        if Buffer.length lr.lr_buf > lr.lr_max then begin
+          lr.lr_discarding <- Buffer.length lr.lr_buf;
+          Buffer.clear lr.lr_buf;
+          go ()
+        end
+        else begin
+          match Unix.read lr.lr_fd lr.lr_chunk 0 (Bytes.length lr.lr_chunk) with
+          | 0 ->
+              lr.lr_eof <- true;
+              (* a final unterminated line still counts as a line *)
+              if Buffer.length lr.lr_buf > 0 then begin
+                let line = Buffer.contents lr.lr_buf in
+                Buffer.clear lr.lr_buf;
+                if lr.lr_discarding > 0 then begin
+                  lr.lr_discarding <- 0;
+                  Too_long (String.length line)
+                end
+                else Line line
+              end
+              else Eof
+          | n ->
+              Buffer.add_subbytes lr.lr_buf lr.lr_chunk 0 n;
+              go ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              Timeout
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (_, _, _) ->
+              lr.lr_eof <- true;
+              Eof
+        end
+  in
+  go ()

@@ -1,0 +1,80 @@
+(* Per-session bounded outbox between producers (the session's request
+   handlers, the monitor pump) and the single writer thread that owns
+   the socket.
+
+   Two classes of traffic with different contracts, mirroring the CDC
+   ring's drop discipline (Graph_store.Cdc): responses are
+   must-deliver — exactly one per request, the client is blocked on it,
+   so [push] always enqueues even past capacity (the request/response
+   loop is self-limiting: a session can only have as many outstanding
+   responses as requests it has pipelined). Alerts are droppable —
+   unsolicited, replaceable by a later alert for the same watch — so
+   [push_droppable] refuses at capacity and bumps the cumulative
+   [dropped] counter instead. The next alert that does fit carries that
+   counter on the wire, so a slow client learns it missed updates
+   rather than silently seeing a gap; meanwhile the monitor pump never
+   blocks on a slow socket, so one stalled client cannot stall the
+   store or its neighbours. *)
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : string Queue.t;
+  capacity : int;
+  mutable dropped : int;  (* cumulative droppable frames refused *)
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 1 capacity;
+    dropped = 0;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t frame =
+  with_lock t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.push frame t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let push_droppable t frame =
+  with_lock t (fun () ->
+      if t.closed then false
+      else if Queue.length t.items >= t.capacity then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else begin
+        Queue.push frame t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(* Blocks until a frame is available or the outbox is closed. Close
+   drains: frames already queued are still handed out, then [None]. *)
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      Queue.take_opt t.items)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let dropped t = with_lock t (fun () -> t.dropped)
+let is_closed t = with_lock t (fun () -> t.closed)

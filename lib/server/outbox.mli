@@ -1,0 +1,30 @@
+(** Bounded per-session outbox feeding a session's writer thread.
+
+    Responses are must-deliver ({!push} always enqueues); alerts are
+    droppable ({!push_droppable} refuses at capacity and bumps the
+    cumulative {!dropped} counter, which later alerts report on the
+    wire). This is the CDC ring's drop discipline applied at the
+    session boundary: a slow client loses alerts and knows it, and
+    never stalls the store or other sessions. *)
+
+type t
+
+val create : capacity:int -> t
+
+val push : t -> string -> bool
+(** Enqueue a must-deliver frame; always succeeds unless closed
+    (returns [false] only after {!close}). *)
+
+val push_droppable : t -> string -> bool
+(** Enqueue a droppable frame; [false] (and [dropped] incremented) when
+    the outbox is at capacity, [false] without counting when closed. *)
+
+val pop : t -> string option
+(** Block until a frame is available; [None] once closed and drained. *)
+
+val close : t -> unit
+(** Wake all poppers; queued frames are still drained first. *)
+
+val length : t -> int
+val dropped : t -> int
+val is_closed : t -> bool

@@ -1,0 +1,141 @@
+(* The JSONL wire protocol (DESIGN.md §12).
+
+   Every frame is one JSON object on one line. Client → server frames
+   carry an ["op"] (the verb) and an optional ["id"] the response
+   echoes; server → client frames are either responses ([{"id", "ok",
+   ...}]) or unsolicited events ([{"event", ...}]: the [hello]
+   greeting and streamed watch alerts). Alerts ride the session that
+   registered the watch and carry that session's cumulative [dropped]
+   counter, so a slow client can see exactly how much the bounded
+   outbox has shed on its behalf. *)
+
+module J = Nepal_util.Event_log
+
+let proto_version = 1
+let default_max_line = 1 lsl 20
+
+type request =
+  | Ping
+  | Query of string
+  | Watch of string
+  | Unwatch of int
+  | Stats
+
+let verb_of_request = function
+  | Ping -> "ping"
+  | Query _ -> "query"
+  | Watch _ -> "watch"
+  | Unwatch _ -> "unwatch"
+  | Stats -> "stats"
+
+(* The request id as received: echoed verbatim in the response so the
+   client can correlate; [J.Null] when absent. Only scalar ids are
+   accepted — an object id smells like a confused client. *)
+let id_of json =
+  match Json.member "id" json with
+  | None -> Ok J.Null
+  | Some (J.Int _ | J.Str _ | J.Null) as s -> (
+      match s with Some v -> Ok v | None -> Ok J.Null)
+  | Some _ -> Error "id must be an integer, string, or null"
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error (J.Null, e)
+  | Ok json -> (
+      match id_of json with
+      | Error e -> Error (J.Null, e)
+      | Ok id -> (
+          let text_arg verb k =
+            match Json.string_field "q" json with
+            | Some q when String.trim q <> "" -> k q
+            | Some _ -> Error (id, Printf.sprintf "%s: empty \"q\"" verb)
+            | None ->
+                Error (id, Printf.sprintf "%s requires a string field \"q\"" verb)
+          in
+          match Json.string_field "op" json with
+          | None -> Error (id, "missing string field \"op\"")
+          | Some "ping" -> Ok (id, Ping)
+          | Some "stats" -> Ok (id, Stats)
+          | Some "query" -> text_arg "query" (fun q -> Ok (id, Query q))
+          | Some "watch" -> text_arg "watch" (fun q -> Ok (id, Watch q))
+          | Some "unwatch" -> (
+              match Json.int_field "watch" json with
+              | Some w -> Ok (id, Unwatch w)
+              | None ->
+                  Error (id, "unwatch requires an integer field \"watch\""))
+          | Some other ->
+              Error
+                ( id,
+                  Printf.sprintf
+                    "unknown op %S (ping|query|watch|unwatch|stats)" other )))
+
+(* -- server → client frames ------------------------------------------- *)
+
+let line j = J.json_to_string j ^ "\n"
+
+let hello () =
+  line
+    (J.Obj
+       [
+         ("event", J.Str "hello");
+         ("server", J.Str "nepal");
+         ("proto", J.Int proto_version);
+       ])
+
+let error_frame ~id msg =
+  line (J.Obj [ ("id", id); ("ok", J.Bool false); ("error", J.Str msg) ])
+
+let pong ~id = line (J.Obj [ ("id", id); ("ok", J.Bool true); ("type", J.Str "pong") ])
+
+let query_result ~id ~count ~text =
+  line
+    (J.Obj
+       [
+         ("id", id);
+         ("ok", J.Bool true);
+         ("type", J.Str "result");
+         ("count", J.Int count);
+         ("text", J.Str text);
+       ])
+
+let watch_ack ~id ~watch ~total =
+  line
+    (J.Obj
+       [
+         ("id", id);
+         ("ok", J.Bool true);
+         ("type", J.Str "watch");
+         ("watch", J.Int watch);
+         ("total", J.Int total);
+       ])
+
+let unwatch_ack ~id ~existed =
+  line
+    (J.Obj
+       [
+         ("id", id);
+         ("ok", J.Bool true);
+         ("type", J.Str "unwatch");
+         ("existed", J.Bool existed);
+       ])
+
+let stats_frame ~id fields =
+  line
+    (J.Obj
+       ([ ("id", id); ("ok", J.Bool true); ("type", J.Str "stats") ] @ fields))
+
+let alert ~watch ~kind ~added ~removed ~total ~at ~wall_ms ~dropped =
+  let strs l = J.List (List.map (fun s -> J.Str s) l) in
+  line
+    (J.Obj
+       [
+         ("event", J.Str "alert");
+         ("watch", J.Int watch);
+         ("kind", J.Str kind);
+         ("added", strs added);
+         ("removed", strs removed);
+         ("total", J.Int total);
+         ("at", J.Str at);
+         ("wall_ms", J.Float wall_ms);
+         ("dropped", J.Int dropped);
+       ])

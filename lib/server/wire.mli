@@ -1,0 +1,52 @@
+(** The JSONL wire protocol: one JSON object per line.
+
+    Client → server: [{"op": VERB, "id": ID, ...}] with verbs [ping],
+    [query] / [watch] (string field ["q"]), [unwatch] (integer field
+    ["watch"]), and [stats]. The [id] — integer, string, or absent — is
+    echoed verbatim in the response.
+
+    Server → client: responses ([{"id", "ok", ...}], exactly one per
+    request) and unsolicited events ([{"event": "hello"}] on connect,
+    [{"event": "alert", ...}] for streamed watch alerts, carrying the
+    session's cumulative [dropped] counter). *)
+
+module J := Nepal_util.Event_log
+
+val proto_version : int
+
+val default_max_line : int
+(** Default per-frame size bound (1 MiB). *)
+
+type request =
+  | Ping
+  | Query of string
+  | Watch of string
+  | Unwatch of int
+  | Stats
+
+val verb_of_request : request -> string
+
+val parse_request : string -> (J.json * request, J.json * string) result
+(** Parse one frame. Both sides carry the request id (or [Null]) so an
+    error response can still be correlated. *)
+
+(** {1 Rendered frames} (newline-terminated, ready to write) *)
+
+val hello : unit -> string
+val error_frame : id:J.json -> string -> string
+val pong : id:J.json -> string
+val query_result : id:J.json -> count:int -> text:string -> string
+val watch_ack : id:J.json -> watch:int -> total:int -> string
+val unwatch_ack : id:J.json -> existed:bool -> string
+val stats_frame : id:J.json -> (string * J.json) list -> string
+
+val alert :
+  watch:int ->
+  kind:string ->
+  added:string list ->
+  removed:string list ->
+  total:int ->
+  at:string ->
+  wall_ms:float ->
+  dropped:int ->
+  string

@@ -6,10 +6,7 @@
    domain count. Domains are spawned per batch — the callers batch
    coarse units (whole directional walks), so spawn cost is noise. *)
 
-let env_domains () =
-  match Sys.getenv_opt "NEPAL_DOMAINS" with
-  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
-  | None -> None
+let env_domains () = Env.int_opt ~min:1 "NEPAL_DOMAINS"
 
 let default_domains () =
   match env_domains () with
@@ -71,3 +68,109 @@ let run ?domains (thunks : (unit -> 'a) list) : 'a list =
              | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
              | None -> assert false)
            results)
+
+(* A persistent executor over the same domains: long-lived workers
+   consuming tasks from a locked queue. [run] built the per-batch
+   fork-join shape queries need; the server needs the dual — sessions
+   arrive continuously and each submits one coarse task (execute this
+   query) at a time, so worker domains outlive any individual task and
+   CPU-bound work from many sessions spreads across cores instead of
+   serializing on the sessions' systhreads (which all share domain 0).
+   A task may itself call [run]: nested Domain.spawn from a worker is
+   fine, and the fan-out stays bounded by the batch semantics above. *)
+module Executor = struct
+  type t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    tasks : (unit -> unit) Queue.t;
+    mutable shutdown : bool;
+    mutable workers : unit Domain.t list;
+    size : int;
+  }
+
+  let create ?domains () =
+    let size =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let t =
+      {
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        tasks = Queue.create ();
+        shutdown = false;
+        workers = [];
+        size;
+      }
+    in
+    let rec worker_loop () =
+      Mutex.lock t.lock;
+      let rec next () =
+        if t.shutdown then None
+        else if Queue.is_empty t.tasks then begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+        else Some (Queue.pop t.tasks)
+      in
+      let task = next () in
+      Mutex.unlock t.lock;
+      match task with
+      | None -> ()
+      | Some task ->
+          ignore (Atomic.fetch_and_add busy_workers 1);
+          Fun.protect
+            ~finally:(fun () -> ignore (Atomic.fetch_and_add busy_workers (-1)))
+            (fun () -> try task () with _ -> ());
+          worker_loop ()
+    in
+    t.workers <- List.init size (fun _ -> Domain.spawn worker_loop);
+    t
+
+  let size t = t.size
+
+  let submit t task =
+    Mutex.lock t.lock;
+    let accepted = not t.shutdown in
+    if accepted then begin
+      Queue.push task t.tasks;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.lock;
+    accepted
+
+  (* Submit and wait: the caller (a session systhread) blocks until a
+     worker domain has run the thunk. Falls back to running inline when
+     the executor is already shut down, so a late caller still gets an
+     answer rather than a hang. *)
+  let run t (f : unit -> 'a) : ('a, exn) result =
+    let cell = ref None in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task () =
+      let outcome = try Ok (f ()) with e -> Error e in
+      Mutex.lock done_lock;
+      cell := Some outcome;
+      Condition.signal done_cond;
+      Mutex.unlock done_lock
+    in
+    if submit t task then begin
+      Mutex.lock done_lock;
+      while Option.is_none !cell do
+        Condition.wait done_cond done_lock
+      done;
+      Mutex.unlock done_lock;
+      match !cell with Some r -> r | None -> assert false
+    end
+    else try Ok (f ()) with e -> Error e
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    let workers = t.workers in
+    if not t.shutdown then begin
+      t.shutdown <- true;
+      t.workers <- [];
+      Condition.broadcast t.nonempty
+    end;
+    Mutex.unlock t.lock;
+    List.iter Domain.join workers
+end

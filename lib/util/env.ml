@@ -1,0 +1,76 @@
+(* Hardened NEPAL_* environment parsing.
+
+   Every tunable read from the environment goes through this module so
+   that a negative, garbage, or out-of-range value behaves the same
+   everywhere: the setting falls back to its default (the helper
+   returns [None]) and the rejection is *observable* — an
+   ["env.invalid"] counter tick plus a recorded invalid that the event
+   log flushes as one [env.invalid] JSONL event per distinct
+   (variable, value) pair. The previous per-site ad-hoc rules silently
+   swallowed bad input, which made "why is my debounce 50ms when I set
+   it to -200?" undiagnosable.
+
+   This module sits below {!Event_log} (which itself parses its
+   configuration through these helpers), so it cannot emit events
+   directly: invalids are queued here, deduplicated, and drained by the
+   event log's writer ({!invalids_after} / {!invalid_count}). Values
+   are re-read from the environment on every call — tests and
+   long-running embedders may change them — only the *reporting* is
+   once-per-value. *)
+
+type invalid = { env_name : string; env_value : string; env_reason : string }
+
+let m_invalid = Metrics.counter "env.invalid"
+
+let lock = Mutex.create ()
+let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 8
+let log : invalid list ref = ref []
+let count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let report ~name ~value ~reason =
+  locked (fun () ->
+      if not (Hashtbl.mem seen (name, value)) then begin
+        Hashtbl.replace seen (name, value) ();
+        log := { env_name = name; env_value = value; env_reason = reason } :: !log;
+        incr count;
+        Metrics.incr m_invalid
+      end)
+
+let invalid_count () = locked (fun () -> !count)
+
+let invalids_after n =
+  locked (fun () ->
+      let all = List.rev !log in
+      List.filteri (fun i _ -> i >= n) all)
+
+let conv_opt name conv =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some raw -> (
+      match conv raw with
+      | Ok v -> Some v
+      | Error reason ->
+          report ~name ~value:raw ~reason;
+          None)
+
+let int_opt ?min:(lo = min_int) name =
+  conv_opt name (fun raw ->
+      match int_of_string_opt (String.trim raw) with
+      | None -> Error "not an integer"
+      | Some v when v < lo -> Error (Printf.sprintf "below minimum %d" lo)
+      | Some v -> Ok v)
+
+let float_opt ?min:(lo = neg_infinity) name =
+  conv_opt name (fun raw ->
+      match float_of_string_opt (String.trim raw) with
+      | Some v when Float.is_nan v -> Error "not a number"
+      | None -> Error "not a number"
+      | Some v when v < lo -> Error (Printf.sprintf "below minimum %g" lo)
+      | Some v -> Ok v)
+
+let string_opt name =
+  match Sys.getenv_opt name with None | Some "" -> None | Some s -> Some s

@@ -1,0 +1,43 @@
+(** Hardened parsing of [NEPAL_*] environment tunables.
+
+    All helpers re-read the environment on every call and return
+    [None] both when the variable is unset/empty and when its value is
+    invalid — the caller's default applies either way. An invalid value
+    additionally ticks the [env.invalid] metrics counter and records
+    one {!invalid} per distinct (variable, value) pair; the event log
+    drains that record into a single [env.invalid] JSONL event, so a
+    mistyped tunable is diagnosable instead of silently ignored. *)
+
+type invalid = {
+  env_name : string;   (** the environment variable *)
+  env_value : string;  (** the rejected raw value *)
+  env_reason : string; (** why it was rejected *)
+}
+
+val int_opt : ?min:int -> string -> int option
+(** [int_opt ~min name]: the integer value of [name], or [None] when
+    unset, unparsable, or below [min] (the latter two are reported). *)
+
+val float_opt : ?min:float -> string -> float option
+(** Same for floats; NaN is always rejected. *)
+
+val string_opt : string -> string option
+(** The raw value when set and non-empty (never reported — any string
+    is a valid string). *)
+
+val conv_opt : string -> (string -> ('a, string) result) -> 'a option
+(** [conv_opt name conv] parses with a caller-supplied conversion;
+    [Error reason] is reported and yields [None]. *)
+
+val report : name:string -> value:string -> reason:string -> unit
+(** Record an invalid directly — for callers whose parsing is too
+    structured for {!conv_opt} (e.g. list-valued specs that keep the
+    valid segments and report only the bad ones). Deduplicated like
+    every other report. *)
+
+val invalid_count : unit -> int
+(** Total distinct invalids recorded so far. *)
+
+val invalids_after : int -> invalid list
+(** The invalids recorded after the first [n], oldest first — the event
+    log's drain cursor ([invalids_after 0] is the full list). *)

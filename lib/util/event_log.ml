@@ -199,37 +199,44 @@ let open_sink = function
       try To_file (open_out_gen [ Open_append; Open_creat ] 0o644 path, path)
       with Sys_error _ -> Disabled)
 
+(* Invalid segments are reported (once each) but do not poison the
+   valid ones — observability configuration should degrade, not
+   vanish. *)
 let parse_samples spec =
   String.split_on_char ',' spec
   |> List.iter (fun part ->
-         match String.index_opt part '=' with
-         | Some i -> (
-             let kind = String.trim (String.sub part 0 i) in
-             let n = String.sub part (i + 1) (String.length part - i - 1) in
-             match int_of_string_opt (String.trim n) with
-             | Some n when n >= 1 && kind <> "" ->
-                 Hashtbl.replace state.samples kind n
-             | _ -> ())
-         | None -> ())
+         if String.trim part <> "" then
+           let bad reason =
+             Env.report ~name:"NEPAL_EVENT_SAMPLE" ~value:part ~reason
+           in
+           match String.index_opt part '=' with
+           | Some i -> (
+               let kind = String.trim (String.sub part 0 i) in
+               let n = String.sub part (i + 1) (String.length part - i - 1) in
+               match int_of_string_opt (String.trim n) with
+               | Some n when n >= 1 && kind <> "" ->
+                   Hashtbl.replace state.samples kind n
+               | Some _ -> bad "sample rate below 1 or empty kind"
+               | None -> bad "sample rate not an integer")
+           | None -> bad "expected kind=N")
 
 let configure_from_env () =
   if not state.configured then begin
     state.configured <- true;
-    state.sink <- open_sink (Sys.getenv_opt "NEPAL_EVENT_LOG");
-    (match Sys.getenv_opt "NEPAL_EVENT_LEVEL" with
-    | Some s -> (
-        match level_of_string s with
-        | Some l -> state.min_level <- l
-        | None -> ())
+    state.sink <- open_sink (Env.string_opt "NEPAL_EVENT_LOG");
+    (match
+       Env.conv_opt "NEPAL_EVENT_LEVEL" (fun s ->
+           match level_of_string s with
+           | Some l -> Ok l
+           | None -> Error "not a level (debug|info|warn|error)")
+     with
+    | Some l -> state.min_level <- l
     | None -> ());
-    (match Sys.getenv_opt "NEPAL_EVENT_SAMPLE" with
+    (match Env.string_opt "NEPAL_EVENT_SAMPLE" with
     | Some spec -> parse_samples spec
     | None -> ());
-    match Sys.getenv_opt "NEPAL_SLOW_QUERY_MS" with
-    | Some ms -> (
-        match float_of_string_opt ms with
-        | Some v when v >= 0. -> state.slow_query_s <- Some (v /. 1000.)
-        | _ -> ())
+    match Env.float_opt ~min:0. "NEPAL_SLOW_QUERY_MS" with
+    | Some ms -> state.slow_query_s <- Some (ms /. 1000.)
     | None -> ()
   end
 
@@ -241,7 +248,53 @@ let with_state f =
       configure_from_env ();
       f ())
 
-let enabled () = with_state (fun () -> state.sink <> Disabled)
+let write_line_locked line =
+  match state.sink with
+  | To_stderr ->
+      output_string stderr line;
+      flush stderr
+  | To_file (oc, _) -> (
+      try
+        output_string oc line;
+        flush oc
+      with Sys_error _ -> close_sink ())
+  | Disabled -> ()
+
+(* One env.invalid event per invalid recorded by {!Env} — including
+   invalids from modules initialized before the sink was configured
+   (the cursor starts at 0). Runs under the state lock with the sink
+   enabled; the cursor advances even below the level floor so a
+   filtered invalid is not retried forever. *)
+let env_flushed = ref 0
+
+let flush_env_invalids_locked () =
+  let n = Env.invalid_count () in
+  if n > !env_flushed then begin
+    let fresh = Env.invalids_after !env_flushed in
+    env_flushed := n;
+    if level_rank Warn >= level_rank state.min_level then
+      List.iter
+        (fun (iv : Env.invalid) ->
+          let b = Buffer.create 128 in
+          add_json b
+            (Obj
+               [
+                 ("ts", Float (Unix.gettimeofday ()));
+                 ("level", Str "warn");
+                 ("kind", Str "env.invalid");
+                 ("var", Str iv.Env.env_name);
+                 ("value", Str iv.Env.env_value);
+                 ("reason", Str iv.Env.env_reason);
+               ]);
+          Buffer.add_char b '\n';
+          write_line_locked (Buffer.contents b))
+        fresh
+  end
+
+let enabled () =
+  with_state (fun () ->
+      if state.sink <> Disabled then flush_env_invalids_locked ();
+      state.sink <> Disabled)
 
 let set_path path =
   with_state (fun () ->
@@ -291,7 +344,8 @@ let emit ?(level = Info) ~kind fields =
     with_state (fun () ->
         match state.sink with
         | Disabled -> ()
-        | sink ->
+        | To_stderr | To_file _ ->
+            flush_env_invalids_locked ();
             if level_rank level >= level_rank state.min_level
                && not (sampled_out kind)
             then begin
@@ -303,17 +357,7 @@ let emit ?(level = Info) ~kind fields =
                    :: ("kind", Str kind)
                    :: fields));
               Buffer.add_char b '\n';
-              let line = Buffer.contents b in
-              match sink with
-              | To_stderr ->
-                  output_string stderr line;
-                  flush stderr
-              | To_file (oc, _) -> (
-                  try
-                    output_string oc line;
-                    flush oc
-                  with Sys_error _ -> close_sink ())
-              | Disabled -> ()
+              write_line_locked (Buffer.contents b)
             end)
 
 let current_path () =

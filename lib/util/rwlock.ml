@@ -1,0 +1,63 @@
+(* A writer-preferring readers-writer lock.
+
+   The server executes queries (and standing-watch re-evaluations)
+   under the read side and routes store mutations through the write
+   side, so the lock-free read structures of the graph store are never
+   traversed mid-mutation. Writers are preferred: once a writer is
+   waiting, new readers queue behind it, so a steady query load cannot
+   starve churn ingestion. Plain Mutex + two Conditions — uncontended
+   acquisition is one lock/unlock pair, which is noise against a query
+   evaluation. Not reentrant: a thread must not re-enter [read] while
+   holding [write] or vice versa. *)
+
+type t = {
+  lock : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;          (* active readers *)
+  mutable writer : bool;          (* a writer is active *)
+  mutable writers_waiting : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
+  }
+
+let read t f =
+  Mutex.lock t.lock;
+  while t.writer || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.lock
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.signal t.can_write;
+      Mutex.unlock t.lock)
+    f
+
+let write t f =
+  Mutex.lock t.lock;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.lock
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer <- true;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.writer <- false;
+      if t.writers_waiting > 0 then Condition.signal t.can_write
+      else Condition.broadcast t.can_read;
+      Mutex.unlock t.lock)
+    f

@@ -1,0 +1,16 @@
+(** A writer-preferring readers-writer lock (Mutex + Condition).
+
+    Multiple [read] sections run concurrently; a [write] section is
+    exclusive. Once a writer is waiting, new readers queue behind it —
+    a steady read load cannot starve writers. Not reentrant. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run under shared (read) access; the result or exception of the
+    thunk propagates, the lock is always released. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run under exclusive (write) access. *)

@@ -1,0 +1,122 @@
+(* Hardened NEPAL_* env parsing: invalid values yield the caller's
+   default, tick the env.invalid counter, are recorded once per
+   distinct (variable, value) pair, and are drained into the event log;
+   consumers (monitor debounce, domain pool sizing) fall back cleanly
+   on garbage. *)
+
+module Nepal = Core.Nepal
+module Env = Nepal.Env
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let counter_value () =
+  Nepal.Metrics.counter_value (Nepal.Metrics.counter "env.invalid")
+
+(* Each test uses its own variable names: the dedupe memory is
+   process-wide, so reusing a (name, value) pair across tests would
+   make counts order-dependent. *)
+
+let test_int_opt () =
+  Unix.putenv "NEPAL_TEST_INT_A" "17";
+  check_bool "valid int" true (Env.int_opt "NEPAL_TEST_INT_A" = Some 17);
+  Unix.putenv "NEPAL_TEST_INT_A" "  8  ";
+  check_bool "trimmed" true (Env.int_opt "NEPAL_TEST_INT_A" = Some 8);
+  check_bool "unset" true (Env.int_opt "NEPAL_TEST_INT_UNSET" = None);
+  Unix.putenv "NEPAL_TEST_INT_A" "";
+  check_bool "empty is unset, not invalid" true
+    (Env.int_opt "NEPAL_TEST_INT_A" = None)
+
+let test_invalid_reported () =
+  let before = Env.invalid_count () in
+  let mbefore = counter_value () in
+  Unix.putenv "NEPAL_TEST_INT_B" "banana";
+  check_bool "garbage yields None" true (Env.int_opt "NEPAL_TEST_INT_B" = None);
+  check_int "one invalid recorded" (before + 1) (Env.invalid_count ());
+  check_int "metrics counter ticked" (mbefore + 1) (counter_value ());
+  (match Env.invalids_after before with
+  | [ inv ] ->
+      check_string "name" "NEPAL_TEST_INT_B" inv.Env.env_name;
+      check_string "value" "banana" inv.Env.env_value;
+      check_bool "reason non-empty" true (String.length inv.Env.env_reason > 0)
+  | l -> Alcotest.failf "expected 1 invalid, got %d" (List.length l));
+  (* the same (name, value) pair is reported once, however often read *)
+  check_bool "still None" true (Env.int_opt "NEPAL_TEST_INT_B" = None);
+  check_bool "still None" true (Env.int_opt "NEPAL_TEST_INT_B" = None);
+  check_int "deduplicated" (before + 1) (Env.invalid_count ());
+  (* a different bad value for the same variable is a fresh report *)
+  Unix.putenv "NEPAL_TEST_INT_B" "mango";
+  check_bool "None again" true (Env.int_opt "NEPAL_TEST_INT_B" = None);
+  check_int "distinct value reported" (before + 2) (Env.invalid_count ())
+
+let test_min_bound () =
+  let before = Env.invalid_count () in
+  Unix.putenv "NEPAL_TEST_INT_C" "0";
+  check_bool "below min rejected" true
+    (Env.int_opt ~min:1 "NEPAL_TEST_INT_C" = None);
+  check_int "below-min reported" (before + 1) (Env.invalid_count ());
+  Unix.putenv "NEPAL_TEST_INT_D" "1";
+  check_bool "at min accepted" true
+    (Env.int_opt ~min:1 "NEPAL_TEST_INT_D" = Some 1)
+
+let test_float_opt () =
+  let before = Env.invalid_count () in
+  Unix.putenv "NEPAL_TEST_FLOAT_A" "2.5";
+  check_bool "valid float" true
+    (Env.float_opt "NEPAL_TEST_FLOAT_A" = Some 2.5);
+  Unix.putenv "NEPAL_TEST_FLOAT_A" "nan";
+  check_bool "NaN rejected" true (Env.float_opt "NEPAL_TEST_FLOAT_A" = None);
+  Unix.putenv "NEPAL_TEST_FLOAT_B" "-1.0";
+  check_bool "below min rejected" true
+    (Env.float_opt ~min:0. "NEPAL_TEST_FLOAT_B" = None);
+  check_int "both reported" (before + 2) (Env.invalid_count ())
+
+let test_conv_opt () =
+  let conv = function
+    | "on" -> Ok true
+    | "off" -> Ok false
+    | s -> Error (Printf.sprintf "%S is not on|off" s)
+  in
+  Unix.putenv "NEPAL_TEST_CONV_A" "on";
+  check_bool "conv ok" true (Env.conv_opt "NEPAL_TEST_CONV_A" conv = Some true);
+  let before = Env.invalid_count () in
+  Unix.putenv "NEPAL_TEST_CONV_A" "sideways";
+  check_bool "conv error yields None" true
+    (Env.conv_opt "NEPAL_TEST_CONV_A" conv = None);
+  check_int "conv error reported" (before + 1) (Env.invalid_count ())
+
+let test_monitor_debounce_fallback () =
+  (* a mistyped debounce falls back to the 50ms default instead of
+     crashing or silently zeroing the window *)
+  Unix.putenv "NEPAL_WATCH_DEBOUNCE_MS" "fast";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "NEPAL_WATCH_DEBOUNCE_MS" "")
+    (fun () ->
+      let store =
+        Nepal.Graph_store.create
+          (Nepal.Tosca.parse_exn
+             "node_types:\n  N:\n    properties:\n      id: int\nedge_types:\n  E: {}\n")
+      in
+      let monitor = Nepal.Monitor.create store in
+      Fun.protect
+        ~finally:(fun () -> Nepal.Monitor.close monitor)
+        (fun () ->
+          check_bool "default debounce applies" true
+            (abs_float (Nepal.Monitor.debounce_seconds monitor -. 0.05) < 1e-9)))
+
+let () =
+  Alcotest.run "env"
+    [
+      ( "env",
+        [
+          Alcotest.test_case "int_opt basics" `Quick test_int_opt;
+          Alcotest.test_case "invalids reported and deduplicated" `Quick
+            test_invalid_reported;
+          Alcotest.test_case "min bound" `Quick test_min_bound;
+          Alcotest.test_case "float_opt" `Quick test_float_opt;
+          Alcotest.test_case "conv_opt" `Quick test_conv_opt;
+          Alcotest.test_case "monitor debounce fallback" `Quick
+            test_monitor_debounce_fallback;
+        ] );
+    ]

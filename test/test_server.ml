@@ -1,0 +1,528 @@
+(* The JSONL wire server: protocol parsing, the bounded outbox's drop
+   discipline, byte-identical wire vs in-process results under
+   concurrent clients, hardening against malformed frames / oversized
+   lines / idle peers / mid-stream disconnects (SIGPIPE), session
+   limits, and streamed watch alerts driven through the server's write
+   lock. Plus the metrics exporter's idle-connection regression. *)
+
+module Nepal = Core.Nepal
+module Store = Nepal.Graph_store
+module Server = Nepal.Server
+module Client = Nepal.Server_client
+module Wire = Nepal.Wire
+module Json = Nepal.Wire_json
+module Outbox = Nepal_server.Outbox
+module Net = Nepal_server.Net
+module J = Nepal.Event_log
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "error: %s" e
+
+let tp = Nepal.Time_point.of_string_exn
+let t0 = tp "2017-03-01 00:00:00"
+
+let model =
+  {|
+node_types:
+  App:
+    properties:
+      id: int
+      tier: string
+  Box:
+    properties:
+      id: int
+      region: string
+edge_types:
+  RunsOn: {}
+  Link: {}
+|}
+
+let fields l = Nepal.Strmap.of_list l
+let i n = Nepal.Value.Int n
+let s x = Nepal.Value.Str x
+
+let new_store () = Store.create (Nepal.Tosca.parse_exn model)
+
+(* app(id=1) -> box(id=10) -Link-> box(id=20) *)
+let build_small store =
+  let node cls fs = ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs)) in
+  let edge cls src dst =
+    ok (Store.insert_edge store ~at:t0 ~cls ~src ~dst ~fields:Nepal.Strmap.empty)
+  in
+  let app = node "App" [ ("id", i 1); ("tier", s "web") ] in
+  let box1 = node "Box" [ ("id", i 10); ("region", s "east") ] in
+  let box2 = node "Box" [ ("id", i 20); ("region", s "west") ] in
+  let runs = edge "RunsOn" app box1 in
+  let link = edge "Link" box1 box2 in
+  (app, box1, box2, runs, link)
+
+(* The same runner the CLI injects: the Nepal.query_on path, so wire
+   text must match in-process rendering byte for byte. *)
+let query_on_runner store () =
+  let conn = Nepal.native_conn store in
+  fun text ->
+    match Nepal.query_on conn text with
+    | Ok result ->
+        Ok
+          {
+            Server.qr_count = Nepal.Engine.result_count result;
+            qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
+          }
+    | Error e -> Error e
+
+let test_config =
+  {
+    Server.default_config with
+    port = 0;
+    pump_interval_s = 0.005;
+    debounce_ms = Some 0.;
+    recv_timeout_s = 0.05;
+  }
+
+let with_server ?(config = test_config) ?build f =
+  let store = new_store () in
+  let built =
+    match build with
+    | Some b -> b store
+    | None ->
+        ignore (build_small store);
+        ()
+  in
+  ignore built;
+  let server =
+    ok (Server.start ~config ~make_runner:(query_on_runner store) store)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f store server)
+
+let with_client server f =
+  let c = ok (Client.connect ~port:(Server.port server) ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let q_app_box = "Retrieve P From PATHS P Where P MATCHES App()->Box()"
+let q_box_box = "Retrieve P From PATHS P Where P MATCHES Box()->[Link()]->Box()"
+let q_two_hop =
+  "Retrieve P From PATHS P Where P MATCHES \
+   App()->[RunsOn()|Link()]{1,3}->Box(id=20)"
+
+(* Wait (bounded) for a predicate that another thread flips. *)
+let eventually ?(timeout_s = 5.) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- wire protocol units -------------------------------------------- *)
+
+let test_wire_parse () =
+  (match Wire.parse_request {|{"op":"ping","id":7}|} with
+  | Ok (J.Int 7, Wire.Ping) -> ()
+  | _ -> Alcotest.fail "ping parse");
+  (match Wire.parse_request {|{"op":"query","id":"q-1","q":"Retrieve"}|} with
+  | Ok (J.Str "q-1", Wire.Query "Retrieve") -> ()
+  | _ -> Alcotest.fail "query parse with string id");
+  (match Wire.parse_request {|{"op":"unwatch","watch":3}|} with
+  | Ok (J.Null, Wire.Unwatch 3) -> ()
+  | _ -> Alcotest.fail "unwatch parse, absent id");
+  (match Wire.parse_request "not json" with
+  | Error (J.Null, _) -> ()
+  | _ -> Alcotest.fail "garbage must fail");
+  (match Wire.parse_request {|{"op":"query","id":9}|} with
+  | Error (J.Int 9, _) -> ()
+  | _ -> Alcotest.fail "query without q must fail, keeping the id");
+  (match Wire.parse_request {|{"op":"flush","id":1}|} with
+  | Error (J.Int 1, _) -> ()
+  | _ -> Alcotest.fail "unknown op must fail, keeping the id")
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|{"a":1,"b":[true,false,null],"c":"x\ny"}|};
+      {|{"nested":{"deep":{"n":-12,"f":1.5}}}|};
+      {|"plain Aé 😀 string"|};
+      {|[]|};
+    ]
+  in
+  List.iter
+    (fun text ->
+      let v = ok (Json.parse text) in
+      let v2 = ok (Json.parse (Json.to_string v)) in
+      check_string "reparse stable" (Json.to_string v) (Json.to_string v2))
+    cases;
+  (match Json.parse "{\"a\":1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage must fail");
+  match Json.parse "{\"a\":" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated must fail"
+
+(* ---- outbox drop discipline ----------------------------------------- *)
+
+let test_outbox_drops () =
+  let ob = Outbox.create ~capacity:2 in
+  check_bool "droppable 1" true (Outbox.push_droppable ob "a1");
+  check_bool "droppable 2" true (Outbox.push_droppable ob "a2");
+  check_bool "droppable over capacity refused" false
+    (Outbox.push_droppable ob "a3");
+  check_int "dropped counted" 1 (Outbox.dropped ob);
+  (* must-deliver ignores the capacity *)
+  check_bool "must-deliver over capacity" true (Outbox.push ob "r1");
+  check_int "length" 3 (Outbox.length ob);
+  check_string "fifo 1" "a1" (Option.get (Outbox.pop ob));
+  check_string "fifo 2" "a2" (Option.get (Outbox.pop ob));
+  check_string "fifo 3" "r1" (Option.get (Outbox.pop ob));
+  (* close drains then yields None; pushes after close are refused *)
+  check_bool "push before close" true (Outbox.push ob "last");
+  Outbox.close ob;
+  check_string "drained after close" "last" (Option.get (Outbox.pop ob));
+  check_bool "pop after drain" true (Outbox.pop ob = None);
+  check_bool "push after close" false (Outbox.push ob "x");
+  check_bool "droppable after close" false (Outbox.push_droppable ob "x");
+  check_int "close-refusal not counted as drop" 1 (Outbox.dropped ob)
+
+let test_outbox_blocking_pop () =
+  let ob = Outbox.create ~capacity:4 in
+  let got = ref None in
+  let th = Thread.create (fun () -> got := Outbox.pop ob) () in
+  Thread.delay 0.05;
+  check_bool "push wakes popper" true (Outbox.push ob "wake");
+  Thread.join th;
+  check_string "popped" "wake" (Option.get !got)
+
+(* ---- round-trips and byte-identical results ------------------------- *)
+
+let test_roundtrip_identical () =
+  with_server (fun store server ->
+      with_client server (fun c ->
+          ok (Client.ping c);
+          (* the greeting is an event frame *)
+          (match Client.next_event ~timeout_s:1. c with
+          | Some ev ->
+              check_string "hello" "hello"
+                (Option.value ~default:"?" (Json.string_field "event" ev))
+          | None -> Alcotest.fail "no hello greeting");
+          let local = query_on_runner store () in
+          List.iter
+            (fun q ->
+              let wire = ok (Client.query c q) in
+              let inproc = ok (local q) in
+              check_string "wire text = in-process text" inproc.Server.qr_text
+                wire.Server.qr_text;
+              check_int "wire count = in-process count" inproc.Server.qr_count
+                wire.Server.qr_count)
+            [ q_app_box; q_box_box; q_two_hop ];
+          (* a bad query comes back as an error, session keeps serving *)
+          (match Client.query c "Retrieve nonsense" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "bad query must error");
+          let stats = ok (Client.stats c) in
+          check_bool "stats has sessions" true
+            (Json.int_field "sessions" stats = Some 1)))
+
+let test_concurrent_clients () =
+  with_server (fun store server ->
+      let local = query_on_runner store () in
+      let expected =
+        List.map (fun q -> (q, ok (local q))) [ q_app_box; q_box_box; q_two_hop ]
+      in
+      let n = 4 and per_client = 6 in
+      let failures = Array.make n "" in
+      let worker i =
+        match Client.connect ~port:(Server.port server) () with
+        | Error e -> failures.(i) <- "connect: " ^ e
+        | Ok c ->
+            (try
+               for round = 0 to per_client - 1 do
+                 let q, want =
+                   List.nth expected ((i + round) mod List.length expected)
+                 in
+                 match Client.query c q with
+                 | Error e -> failures.(i) <- q ^ ": " ^ e
+                 | Ok got ->
+                     if got.Server.qr_text <> want.Server.qr_text then
+                       failures.(i) <- q ^ ": text mismatch"
+                     else if got.Server.qr_count <> want.Server.qr_count then
+                       failures.(i) <- q ^ ": count mismatch"
+               done
+             with exn -> failures.(i) <- Printexc.to_string exn);
+            Client.close c
+      in
+      let threads = List.init n (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i f -> if f <> "" then Alcotest.failf "client %d: %s" i f)
+        failures;
+      check_bool "sessions drain after close" true
+        (eventually (fun () -> Server.session_count server = 0)))
+
+(* ---- hardening ------------------------------------------------------- *)
+
+(* A raw peer speaking bytes, for scenarios the well-behaved client
+   cannot produce. *)
+let raw_connect server =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  Net.set_recv_timeout fd 2.0;
+  fd
+
+let raw_read_frame lr =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "no frame from server"
+    else
+      match Net.read_line lr with
+      | Net.Line l -> ok (Json.parse l)
+      | Net.Timeout -> go (tries - 1)
+      | Net.Eof -> Alcotest.fail "unexpected EOF from server"
+      | Net.Too_long _ -> Alcotest.fail "oversized frame from server"
+  in
+  go 5
+
+let test_malformed_and_oversized () =
+  let config = { test_config with max_line_bytes = 4096 } in
+  with_server ~config (fun _store server ->
+      let fd = raw_connect server in
+      Fun.protect ~finally:(fun () -> Net.close_noerr fd)
+        (fun () ->
+          let lr = Net.line_reader fd in
+          let hello = raw_read_frame lr in
+          check_bool "hello first" true
+            (Json.string_field "event" hello = Some "hello");
+          (* malformed frame -> error response, session stays up *)
+          Net.write_all fd "this is not json\n";
+          let err = raw_read_frame lr in
+          check_bool "malformed rejected" true
+            (Json.bool_field "ok" err = Some false);
+          (* oversized line -> discarded whole, error names the bound *)
+          Net.write_all fd (String.make 5000 'x');
+          Net.write_all fd "\n";
+          let err2 = raw_read_frame lr in
+          check_bool "oversized rejected" true
+            (Json.bool_field "ok" err2 = Some false);
+          let msg = Option.value ~default:"" (Json.string_field "error" err2) in
+          check_bool "mentions frame too long" true
+            (String.length msg >= 14 && String.sub msg 0 14 = "frame too long");
+          (* the same session still answers after both abuses *)
+          Net.write_all fd "{\"op\":\"ping\",\"id\":1}\n";
+          let pong = raw_read_frame lr in
+          check_bool "pong after abuse" true
+            (Json.bool_field "ok" pong = Some true));
+      (* and the server still accepts fresh sessions *)
+      with_client server (fun c -> ok (Client.ping c)))
+
+let test_idle_client_does_not_wedge () =
+  with_server (fun _store server ->
+      (* a peer that connects and never sends a byte... *)
+      let idle = raw_connect server in
+      Fun.protect ~finally:(fun () -> Net.close_noerr idle)
+        (fun () ->
+          Thread.delay 0.05;
+          (* ...must not stop other sessions from being served *)
+          with_client server (fun c ->
+              ok (Client.ping c);
+              ignore (ok (Client.query c q_app_box)))))
+
+let test_mid_stream_disconnect_sigpipe () =
+  with_server (fun _store server ->
+      (* pipeline queries, then vanish with an RST before reading any
+         response: the server's writer hits a dead socket mid-stream and
+         must survive (SIGPIPE ignored, EPIPE handled). *)
+      let fd = raw_connect server in
+      Net.write_all fd
+        (String.concat ""
+           (List.init 20 (fun i ->
+                Printf.sprintf
+                  "{\"op\":\"query\",\"id\":%d,\"q\":\"Retrieve P From PATHS \
+                   P Where P MATCHES App()->Box()\"}\n"
+                  i)));
+      (* SO_LINGER 0: close sends RST, so pending server writes fail hard *)
+      (try Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0)
+       with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      Thread.delay 0.2;
+      (* the process is alive and the server still serves *)
+      with_client server (fun c ->
+          ok (Client.ping c);
+          ignore (ok (Client.query c q_app_box)));
+      check_bool "sessions drained" true
+        (eventually (fun () -> Server.session_count server = 0)))
+
+let test_max_sessions () =
+  let config = { test_config with max_sessions = 1 } in
+  with_server ~config (fun _store server ->
+      with_client server (fun c ->
+          ok (Client.ping c);
+          (* the second connection is refused with an error frame *)
+          let fd = raw_connect server in
+          Fun.protect ~finally:(fun () -> Net.close_noerr fd)
+            (fun () ->
+              let lr = Net.line_reader fd in
+              let frame = raw_read_frame lr in
+              check_bool "refused" true
+                (Json.bool_field "ok" frame = Some false)));
+      (* after the first session closes, a new one is admitted *)
+      check_bool "slot freed" true
+        (eventually (fun () -> Server.session_count server = 0));
+      with_client server (fun c -> ok (Client.ping c)))
+
+(* ---- watches over the wire ------------------------------------------ *)
+
+let test_watch_alert_flow () =
+  let nodes = ref None in
+  let build store =
+    let node cls fs =
+      ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs))
+    in
+    let app = node "App" [ ("id", i 1); ("tier", s "web") ] in
+    let box = node "Box" [ ("id", i 10); ("region", s "east") ] in
+    nodes := Some (app, box)
+  in
+  with_server ~build (fun _store server ->
+      let app, box = Option.get !nodes in
+      (* skip non-alert events (the hello greeting precedes any alert) *)
+      let next_alert c =
+        let rec go tries =
+          if tries = 0 then None
+          else
+            match Client.next_event ~timeout_s:5. c with
+            | None -> None
+            | Some ev when Json.string_field "event" ev = Some "alert" ->
+                Some ev
+            | Some _ -> go (tries - 1)
+        in
+        go 5
+      in
+      with_client server (fun c ->
+          let w = ok (Client.watch c q_app_box) in
+          (* baseline is empty: no edge yet, and no alert for the baseline *)
+          check_int "one watch" 1 (Server.watch_count server);
+          (* mutate through the server's write lock: the only safe way *)
+          let edge_uid =
+            Server.with_write server (fun store ->
+                ok
+                  (Store.insert_edge store ~at:(tp "2017-03-02 00:00:00")
+                     ~cls:"RunsOn" ~src:app ~dst:box
+                     ~fields:Nepal.Strmap.empty))
+          in
+          (match next_alert c with
+          | None -> Alcotest.fail "no path.up alert"
+          | Some ev ->
+              check_string "kind" "path.up"
+                (Option.value ~default:"?" (Json.string_field "kind" ev));
+              check_bool "alert for our watch" true
+                (Json.int_field "watch" ev = Some w);
+              check_bool "dropped starts at 0" true
+                (Json.int_field "dropped" ev = Some 0);
+              check_bool "total positive" true
+                (match Json.int_field "total" ev with
+                | Some n -> n > 0
+                | None -> false));
+          (* tear the path down again *)
+          Server.with_write server (fun store ->
+              ok (Store.delete store ~at:(tp "2017-03-03 00:00:00") edge_uid));
+          (match next_alert c with
+          | None -> Alcotest.fail "no path.down alert"
+          | Some ev ->
+              check_string "kind" "path.down"
+                (Option.value ~default:"?" (Json.string_field "kind" ev)));
+          (* unwatch: acked, and alerts stop flowing *)
+          check_bool "existed" true (ok (Client.unwatch c w));
+          check_bool "second unwatch reports missing" true
+            (ok (Client.unwatch c w) = false);
+          check_int "no watches left" 0 (Server.watch_count server)))
+
+let test_watch_cleanup_on_disconnect () =
+  with_server (fun _store server ->
+      with_client server (fun c -> ignore (ok (Client.watch c q_app_box)));
+      (* closing the session unregisters its watches *)
+      check_bool "watch removed with session" true
+        (eventually (fun () -> Server.watch_count server = 0)))
+
+(* ---- metrics exporter regression ------------------------------------ *)
+
+let test_exporter_survives_idle_peer () =
+  let exporter =
+    ok
+      (Nepal.Http_metrics.start ~addr:Unix.inet_addr_loopback ~port:0
+         ~request_timeout_s:0.2
+         ~render:(fun () -> "# metrics\n")
+         ())
+  in
+  Fun.protect ~finally:(fun () -> Nepal.Http_metrics.stop exporter)
+    (fun () ->
+      let port = Nepal.Http_metrics.port exporter in
+      (* the historic wedge: connect and send nothing *)
+      let idle = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect idle (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Fun.protect ~finally:(fun () -> Net.close_noerr idle)
+        (fun () ->
+          (* a real scrape behind the idle peer still gets served *)
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Net.set_recv_timeout fd 5.0;
+          Net.write_all fd "GET /metrics HTTP/1.0\r\n\r\n";
+          let lr = Net.line_reader fd in
+          let rec status tries =
+            if tries = 0 then Alcotest.fail "no HTTP response"
+            else
+              match Net.read_line lr with
+              | Net.Line l -> l
+              | Net.Timeout -> status (tries - 1)
+              | Net.Eof | Net.Too_long _ -> Alcotest.fail "broken response"
+          in
+          let line = status 5 in
+          check_bool "200 from exporter behind idle peer" true
+            (String.length line >= 12 && String.sub line 9 3 = "200");
+          Net.close_noerr fd))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "parse_request" `Quick test_wire_parse;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "outbox",
+        [
+          Alcotest.test_case "drop discipline" `Quick test_outbox_drops;
+          Alcotest.test_case "blocking pop" `Quick test_outbox_blocking_pop;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "round-trip byte-identical" `Quick
+            test_roundtrip_identical;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "max sessions" `Quick test_max_sessions;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "malformed and oversized frames" `Quick
+            test_malformed_and_oversized;
+          Alcotest.test_case "idle client does not wedge" `Quick
+            test_idle_client_does_not_wedge;
+          Alcotest.test_case "mid-stream disconnect (SIGPIPE)" `Quick
+            test_mid_stream_disconnect_sigpipe;
+        ] );
+      ( "watches",
+        [
+          Alcotest.test_case "alert flow with drop counter" `Quick
+            test_watch_alert_flow;
+          Alcotest.test_case "cleanup on disconnect" `Quick
+            test_watch_cleanup_on_disconnect;
+        ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "survives idle peer" `Quick
+            test_exporter_survives_idle_peer;
+        ] );
+    ]

@@ -142,7 +142,7 @@ let mli_grandfathered =
 
 (* Directories added after the rule existed get no grandfathering at
    all, whatever the basename: every module ships its .mli. *)
-let mli_strict_dirs = [ "lib/monitor" ]
+let mli_strict_dirs = [ "lib/monitor"; "lib/server" ]
 
 let in_strict_dir file =
   List.exists
