@@ -658,15 +658,26 @@ let serve_metrics_cmd =
    exactly the text (and enriched errors) the in-process API produces. *)
 let session_runner store () =
   let conn = Nepal.native_conn store in
-  fun text ->
-    match Nepal.query_on conn text with
-    | Ok result ->
-        Ok
-          {
-            Nepal.Server.qr_count = Nepal.Engine.result_count result;
-            qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
-          }
-    | Error e -> Error e
+  let reply ?trace result =
+    {
+      Nepal.Server.qr_count = Nepal.Engine.result_count result;
+      qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
+      qr_trace = trace;
+    }
+  in
+  fun ~trace text ->
+    if trace then
+      match Nepal.Explain.run_string_wire_traced ~conn text with
+      | Ok tr ->
+          Ok
+            (reply
+               ~trace:(Nepal.Explain.traced_json tr)
+               tr.Nepal.Explain.tr_result)
+      | Error e -> Error e
+    else
+      match Nepal.query_on conn text with
+      | Ok result -> Ok (reply result)
+      | Error e -> Error e
 
 let wire_port_arg =
   Arg.(value & opt int 9642
@@ -720,23 +731,45 @@ let serve_cmd =
             with
             | Error e -> Error e
             | Ok client ->
+                let ( let* ) = Result.bind in
                 let r =
-                  match Nepal.Server_client.ping client with
-                  | Error e -> Error e
-                  | Ok () -> (
-                      match Nepal.Server_client.query client q with
-                      | Error e -> Error e
-                      | Ok reply -> (
-                          match (session_runner store ()) q with
-                          | Error e -> Error ("in-process check failed: " ^ e)
-                          | Ok local
-                            when local.Nepal.Server.qr_text
-                                 = reply.Nepal.Server.qr_text
-                                 && local.qr_count = reply.qr_count ->
-                              Ok reply.qr_count
-                          | Ok _ ->
-                              Error
-                                "wire result differs from in-process evaluation"))
+                  let* () = Nepal.Server_client.ping client in
+                  let* reply = Nepal.Server_client.query client q in
+                  let* count =
+                    match (session_runner store ()) ~trace:false q with
+                    | Error e -> Error ("in-process check failed: " ^ e)
+                    | Ok local
+                      when local.Nepal.Server.qr_text
+                           = reply.Nepal.Server.qr_text
+                           && local.qr_count = reply.qr_count ->
+                        Ok reply.qr_count
+                    | Ok _ ->
+                        Error "wire result differs from in-process evaluation"
+                  in
+                  (* traced round-trip: same result text, plus a
+                     renderable span tree in the trace member *)
+                  let* traced = Nepal.Server_client.query_traced client q in
+                  let* () =
+                    match traced.Nepal.Server.qr_trace with
+                    | Some tr
+                      when traced.Nepal.Server.qr_text
+                           = reply.Nepal.Server.qr_text
+                           && Nepal.Wire.render_trace tr <> [] ->
+                        Ok ()
+                    | Some _ -> Error "traced reply malformed"
+                    | None -> Error "traced query returned no trace member"
+                  in
+                  (* introspect round-trip: this session must be visible *)
+                  let* ins = Nepal.Server_client.introspect client in
+                  let* () =
+                    match
+                      ( Nepal.Wire_json.member "sessions" ins,
+                        Nepal.Wire_json.member "executor" ins )
+                    with
+                    | Some (Nepal.Event_log.List (_ :: _)), Some _ -> Ok ()
+                    | _ -> Error "introspect frame missing sessions/executor"
+                  in
+                  Ok count
                 in
                 Nepal.Server_client.close client;
                 r
@@ -785,9 +818,20 @@ let client_cmd =
              ~doc:"Queries to run (quote each); with none, opens an \
                    interactive loop.")
   in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Send {\"trace\": true} with each query and render the \
+                   returned span tree (EXPLAIN ANALYZE over the wire).")
+  in
   let print_reply (reply : Nepal.Server.query_reply) =
     print_string reply.Nepal.Server.qr_text;
     Printf.printf "(%d result(s))\n" reply.Nepal.Server.qr_count;
+    (match reply.Nepal.Server.qr_trace with
+    | Some tr ->
+        print_newline ();
+        List.iter print_endline (Nepal.Wire.render_trace tr)
+    | None -> ());
     flush stdout
   in
   let drain_events client =
@@ -802,8 +846,8 @@ let client_cmd =
   in
   let interactive client =
     print_endline
-      "connected; enter a query, or :watch QUERY, :unwatch N, :stats, :ping, \
-       :quit (alerts print before each prompt)";
+      "connected; enter a query, or :trace QUERY, :watch QUERY, :unwatch N, \
+       :stats, :ping, :quit (alerts print before each prompt)";
     let starts_with prefix s =
       String.length s >= String.length prefix
       && String.sub s 0 (String.length prefix) = prefix
@@ -826,6 +870,11 @@ let client_cmd =
            else if line = ":stats" then
              match Nepal.Server_client.stats client with
              | Ok j -> print_endline (Nepal.Wire_json.to_string j)
+             | Error e -> Printf.printf "error: %s\n" e
+           else if starts_with ":trace " line then
+             let q = String.trim (String.sub line 7 (String.length line - 7)) in
+             match Nepal.Server_client.query_traced client q with
+             | Ok reply -> print_reply reply
              | Error e -> Printf.printf "error: %s\n" e
            else if starts_with ":watch " line then
              let q = String.trim (String.sub line 7 (String.length line - 7)) in
@@ -850,7 +899,7 @@ let client_cmd =
     in
     loop ()
   in
-  let run host port queries =
+  let run host port trace queries =
     match Unix.inet_addr_of_string host with
     | exception Failure _ -> `Error (false, "not an IPv4 address: " ^ host)
     | addr -> (
@@ -863,10 +912,14 @@ let client_cmd =
                 `Ok ()
               end
               else
+                let run_one =
+                  if trace then Nepal.Server_client.query_traced
+                  else Nepal.Server_client.query
+                in
                 let failed =
                   List.fold_left
                     (fun failed q ->
-                      match Nepal.Server_client.query client q with
+                      match run_one client q with
                       | Ok reply ->
                           print_reply reply;
                           failed
@@ -890,9 +943,11 @@ let client_cmd =
            `S Manpage.s_examples;
            `P "nepal client \"Retrieve P From PATHS P Where P MATCHES \
                VNF()->VFC()\"";
+           `P "nepal client --trace \"Retrieve P From PATHS P Where P \
+               MATCHES VNF()->VFC()\"";
            `P "nepal client -p 9642   # interactive";
          ])
-    Term.(ret (const run $ host_arg $ wire_port_arg $ query_pos))
+    Term.(ret (const run $ host_arg $ wire_port_arg $ trace_arg $ query_pos))
 
 let bench_cmd =
   let clients_arg =
@@ -908,7 +963,15 @@ let bench_cmd =
     Arg.(value & opt (some int) None
          & info [ "workers" ] ~docv:"N" ~doc:"Query-executor domains.")
   in
-  let run seed history clients seconds workers =
+  let bench_trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Send every query with {\"trace\": true}: measures the \
+                   cost of span collection and trace serialization on the \
+                   same closed-loop mix (compare against a run without the \
+                   flag).")
+  in
+  let run seed history clients seconds workers trace =
     if clients < 1 then `Error (false, "--clients must be >= 1")
     else begin
       let module V = Nepal.Virt_service in
@@ -955,12 +1018,16 @@ let bench_cmd =
                 errors.(i) <- errors.(i) + 1
             | Ok client ->
                 let rng = Nepal.Prng.create (seed + 101 + i) in
+                let run_one =
+                  if trace then Nepal.Server_client.query_traced
+                  else Nepal.Server_client.query
+                in
                 let k = ref i in
                 while Unix.gettimeofday () < deadline do
                   let q = pick_query rng !k in
                   incr k;
                   let t0 = Unix.gettimeofday () in
-                  (match Nepal.Server_client.query client q with
+                  (match run_one client q with
                   | Ok _ -> requests.(i) <- requests.(i) + 1
                   | Error _ -> errors.(i) <- errors.(i) + 1);
                   Nepal.Metrics.observe lat (Unix.gettimeofday () -. t0)
@@ -983,9 +1050,10 @@ let bench_cmd =
           in
           Format.printf
             "clients %d  requests %d  errors %d  elapsed %.2fs  throughput \
-             %.1f q/s@."
+             %.1f q/s%s@."
             clients total errs elapsed
-            (float_of_int total /. elapsed);
+            (float_of_int total /. elapsed)
+            (if trace then "  (traced)" else "");
           Format.printf
             "client-side latency: p50 %.2fms  p95 %.2fms  p99 %.2fms@."
             (s.Nepal.Metrics.p50 *. 1e3) (s.Nepal.Metrics.p95 *. 1e3)
@@ -1008,9 +1076,10 @@ let bench_cmd =
            `S Manpage.s_examples;
            `P "nepal bench --clients 8 --seconds 10";
            `P "nepal bench --history --clients 4 --workers 4";
+           `P "nepal bench --clients 4 --trace";
          ])
     Term.(ret (const run $ seed_arg $ history_arg $ clients_arg $ seconds_arg
-               $ workers_arg))
+               $ workers_arg $ bench_trace_arg))
 
 let events_cmd =
   let file_arg =
@@ -1289,12 +1358,157 @@ let watch_cmd =
     Term.(ret (const run $ seed_arg $ history_arg $ backend_arg $ query_pos
                $ json_arg $ events_arg $ rate_arg $ debounce_arg))
 
+(* ---- top: live dashboard over the introspect verb -------------------- *)
+
+let top_cmd =
+  let module E = Nepal.Event_log in
+  let module WJ = Nepal.Wire_json in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"IPv4 address of the server.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval"; "n" ] ~docv:"SECS"
+             ~doc:"Refresh interval in seconds.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print a single snapshot (no screen clearing) and exit.")
+  in
+  (* numeric member, Int or Float *)
+  let num name j =
+    match WJ.member name j with
+    | Some (E.Int i) -> Some (float_of_int i)
+    | Some (E.Float f) -> Some f
+    | _ -> None
+  in
+  let num0 name j = Option.value ~default:0. (num name j) in
+  let int0 name j = int_of_float (num0 name j) in
+  let obj name j = Option.value ~default:(E.Obj []) (WJ.member name j) in
+  let hist_line j =
+    Printf.sprintf "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  (n=%d)"
+      (num0 "p50_ms" j) (num0 "p95_ms" j) (num0 "p99_ms" j) (int0 "count" j)
+  in
+  let render ~host ~port ~prev snapshot =
+    (* prev = (wall clock, total requests) of the previous refresh,
+       for the q/s delta *)
+    let now = Unix.gettimeofday () in
+    let requests = int0 "requests" snapshot in
+    let qps =
+      match prev with
+      | Some (t0, r0) when now > t0 ->
+          float_of_int (requests - r0) /. (now -. t0)
+      | _ -> 0.
+    in
+    let b = Buffer.create 1024 in
+    let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    addf "nepal top — %s:%d   uptime %.1fs   proto %d\n" host port
+      (num0 "uptime_s" snapshot) (int0 "proto" snapshot);
+    addf "requests  %d  (%.1f q/s)   errors %d   watches %d\n" requests qps
+      (int0 "errors" snapshot) (int0 "watches" snapshot);
+    addf "query     %s\n" (hist_line (obj "query_seconds" snapshot));
+    let e2e = obj "alert_e2e" snapshot in
+    addf "alerts    sent %d  dropped %d   e2e %s\n"
+      (int0 "alerts_sent" snapshot)
+      (int0 "alerts_dropped" snapshot)
+      (hist_line e2e);
+    let ex = obj "executor" snapshot in
+    addf "executor  workers %d  queue %d   wait %s\n" (int0 "workers" ex)
+      (int0 "queue_depth" ex)
+      (hist_line (obj "queue_wait" ex));
+    let rw = obj "rwlock" snapshot in
+    addf "rwlock    readers %d  writer %s  waiters %d\n" (int0 "readers" rw)
+      (match WJ.member "writer_active" rw with
+      | Some (E.Bool true) -> "yes"
+      | _ -> "no")
+      (int0 "waiters" rw);
+    addf "          read wait  %s\n" (hist_line (obj "read_wait" rw));
+    addf "          write wait %s\n" (hist_line (obj "write_wait" rw));
+    let cdc = obj "cdc" snapshot in
+    let ev = obj "event_log" snapshot in
+    addf "cdc       published %d  dropped %d   event log suppressed %d\n"
+      (int0 "published" cdc) (int0 "dropped" cdc) (int0 "suppressed" ev);
+    addf "\n %4s %9s %8s %7s %6s %7s %4s  %s\n" "id" "uptime" "reqs"
+      "alerts" "drop" "outbox" "hw" "watches";
+    (match WJ.member "sessions" snapshot with
+    | Some (E.List sessions) ->
+        List.iter
+          (fun s ->
+            let watches =
+              match WJ.member "watches" s with
+              | Some (E.List l) ->
+                  "["
+                  ^ String.concat ","
+                      (List.filter_map
+                         (function E.Int i -> Some (string_of_int i) | _ -> None)
+                         l)
+                  ^ "]"
+              | _ -> "[]"
+            in
+            addf " %4d %8.1fs %8d %7d %6d %7d %4d  %s\n" (int0 "id" s)
+              (num0 "uptime_s" s) (int0 "requests" s) (int0 "alerts_sent" s)
+              (int0 "alerts_dropped" s) (int0 "outbox_len" s)
+              (int0 "outbox_high_water" s) watches)
+          sessions
+    | _ -> ());
+    ((now, requests), Buffer.contents b)
+  in
+  let run host port interval once =
+    match Unix.inet_addr_of_string host with
+    | exception Failure _ -> `Error (false, "not an IPv4 address: " ^ host)
+    | addr -> (
+        match Nepal.Server_client.connect ~addr ~port () with
+        | Error e -> `Error (false, "connect: " ^ e)
+        | Ok client ->
+            let interval = Float.max 0.1 interval in
+            let rec loop prev =
+              match Nepal.Server_client.introspect client with
+              | Error e ->
+                  Nepal.Server_client.close client;
+                  `Error (false, "introspect: " ^ e)
+              | Ok snapshot ->
+                  let prev', body = render ~host ~port ~prev snapshot in
+                  if once then begin
+                    print_string body;
+                    flush stdout;
+                    Nepal.Server_client.close client;
+                    `Ok ()
+                  end
+                  else begin
+                    (* \027[H\027[2J: cursor home + clear, like watch(1). *)
+                    print_string "\027[H\027[2J";
+                    print_string body;
+                    Printf.printf "\n(refresh %.1fs; ctrl-c to stop)\n" interval;
+                    flush stdout;
+                    Unix.sleepf interval;
+                    loop (Some prev')
+                  end
+            in
+            loop None)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Self-refreshing terminal dashboard for a running nepal server: \
+             q/s, query latency quantiles, alert end-to-end lag, executor \
+             and lock occupancy, and a per-session table, over the \
+             introspect wire verb."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal top";
+           `P "nepal top -p 9642 --interval 1";
+           `P "nepal top --once";
+         ])
+    Term.(ret (const run $ host_arg $ wire_port_arg $ interval_arg $ once_arg))
+
 let main =
   Cmd.group
     (Cmd.info "nepal" ~version:"1.0.0"
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
     [ schema_cmd; generate_cmd; query_cmd; explain_cmd; check_cmd; repl_cmd;
       paths_cmd; when_exists_cmd; watch_cmd; stats_cmd; serve_cmd; client_cmd;
-      bench_cmd; serve_metrics_cmd; events_cmd ]
+      bench_cmd; serve_metrics_cmd; events_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

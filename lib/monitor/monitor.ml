@@ -38,6 +38,11 @@ let m_changes = Metrics.counter "monitor.changes"
 let m_cdc_dropped = Metrics.counter "monitor.cdc_dropped"
 let m_eval_seconds = Metrics.histogram "monitor.eval_seconds"
 
+(* Debounce-to-eval delay: first dirtying -> evaluation start. Under a
+   steady poll cadence this sits just above the debounce window; it
+   growing past that means the pump is starved. *)
+let m_debounce_delay = Metrics.histogram "monitor.debounce_seconds"
+
 (* Across every monitor in the process, for the registry gauge. *)
 let active_watches = Atomic.make 0
 
@@ -60,6 +65,9 @@ type watch = {
   mutable w_known : string Strmap.t;  (* row fingerprint -> rendering *)
   mutable w_dirty : bool;
   mutable w_dirty_since : float;      (* wall clock of first dirtying *)
+  mutable w_origin_wall : float;
+      (* publish stamp of the oldest CDC change pending on this watch;
+         0. = none. The origin of the end-to-end alert latency. *)
   mutable w_active : bool;
 }
 
@@ -74,6 +82,8 @@ type alert = {
   al_total : int;
   al_at : Time_point.t;
   al_wall_s : float;
+  al_origin_wall : float option;
+      (* publish wall clock of the oldest change behind this alert *)
 }
 
 type t = {
@@ -194,6 +204,11 @@ let emit_alert a =
 let evaluate t w ~quiet ~analyze =
   let conn = t.conn_of () in
   let t0 = Unix.gettimeofday () in
+  if w.w_dirty && w.w_dirty_since > 0. then
+    Metrics.observe m_debounce_delay (t0 -. w.w_dirty_since);
+  let origin_wall =
+    if w.w_origin_wall > 0. then Some w.w_origin_wall else None
+  in
   let res =
     Engine.run_instrumented ~conn ~analyze ~text:(Some w.w_text) w.w_query
   in
@@ -201,6 +216,7 @@ let evaluate t w ~quiet ~analyze =
   Metrics.incr m_evaluations;
   Metrics.observe m_eval_seconds wall;
   w.w_dirty <- false;
+  w.w_origin_wall <- 0.;
   match res with
   | Error e -> Error e
   | Ok res ->
@@ -243,6 +259,7 @@ let evaluate t w ~quiet ~analyze =
             al_total = Strmap.cardinal next;
             al_at = Graph_store.clock t.store;
             al_wall_s = wall;
+            al_origin_wall = origin_wall;
           }
         in
         emit_alert a;
@@ -267,6 +284,7 @@ let watch t text =
             w_known = Strmap.empty;
             w_dirty = false;
             w_dirty_since = 0.;
+            w_origin_wall = 0.;
             w_active = true;
           }
         in
@@ -306,11 +324,17 @@ let relevant w (c : Change.t) =
   | Some s -> Strset.mem c.Change.cls s
   | None -> true
 
-let mark_dirty now w =
+(* [wall] is the publish stamp of the change doing the dirtying (or
+   [now] for a drop-resync, where the true origin is unknowable). A
+   watch keeps the *oldest* pending origin, so the e2e latency of the
+   eventual alert covers every change it coalesced. *)
+let mark_dirty ~wall now w =
   if not w.w_dirty then begin
     w.w_dirty <- true;
     w.w_dirty_since <- now
-  end
+  end;
+  if w.w_origin_wall = 0. || wall < w.w_origin_wall then
+    w.w_origin_wall <- wall
 
 (* Drain the CDC buffer and dirty the affected watches. A drop-counter
    advance means the stream has a gap, so every watch must resync
@@ -321,7 +345,7 @@ let absorb t =
   if dropped > t.seen_dropped then begin
     Metrics.add m_cdc_dropped (dropped - t.seen_dropped);
     t.seen_dropped <- dropped;
-    List.iter (mark_dirty now) t.watches
+    List.iter (mark_dirty ~wall:now now) t.watches
   end;
   let changes = Graph_store.drain t.sub in
   List.iter
@@ -329,7 +353,8 @@ let absorb t =
       Metrics.incr m_changes;
       List.iter
         (fun w ->
-          if relevant w c then mark_dirty now w else Metrics.incr m_skipped)
+          if relevant w c then mark_dirty ~wall:c.Change.wall now w
+          else Metrics.incr m_skipped)
         t.watches)
     changes;
   List.length changes

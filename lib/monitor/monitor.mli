@@ -20,8 +20,9 @@
     Registry instruments: [monitor.evaluations], [monitor.skipped]
     (irrelevant change x watch pairs), [monitor.alerts],
     [monitor.changes], [monitor.cdc_dropped] counters; the
-    [monitor.eval_seconds] histogram; and the [monitor.watches_active]
-    gauge. *)
+    [monitor.eval_seconds] and [monitor.debounce_seconds] (first
+    dirtying -> evaluation start) histograms; and the
+    [monitor.watches_active] gauge. *)
 
 type t
 (** A monitor: one CDC subscription plus its watches. *)
@@ -42,6 +43,13 @@ type alert = {
   al_total : int;           (** result-set size after this evaluation *)
   al_at : Nepal_temporal.Time_point.t;  (** store clock at evaluation *)
   al_wall_s : float;        (** evaluation wall time *)
+  al_origin_wall : float option;
+      (** wall-clock publish stamp of the {e oldest} CDC change behind
+          this alert ([Change.wall]); [None] only for alerts not driven
+          by an observed change. [now -. origin] is the pipeline's
+          end-to-end latency: publish -> absorb -> debounce -> evaluate
+          -> route. The server observes it into [monitor.alert_e2e] at
+          outbox flush and puts [latency_ms] on the wire frame. *)
 }
 
 val alert_kind_string : alert_kind -> string

@@ -868,18 +868,9 @@ let analyzer_hook :
     ref =
   ref None
 
-(* A measured span tree as a JSON value for the structured event log. *)
-let rec span_json (s : Trace.span) =
-  Event_log.Obj
-    [
-      ("name", Event_log.Str s.Trace.name);
-      ("detail", Event_log.Str s.Trace.detail);
-      ("wall_ms", Event_log.Float (s.Trace.wall_s *. 1e3));
-      ("rows_in", Event_log.Int s.Trace.rows_in);
-      ("rows_out", Event_log.Int s.Trace.rows_out);
-      ("calls", Event_log.Int s.Trace.calls);
-      ("children", Event_log.List (List.map span_json (Trace.children s)));
-    ]
+(* A measured span tree as a JSON value for the structured event log —
+   the same shape the wire protocol returns for traced queries. *)
+let span_json = Trace.to_json
 
 (* Forward declaration: a compact plan rendering for slow-query events,
    filled in below once [plan] is defined. *)

@@ -219,12 +219,12 @@ let per_operator_lines root =
 
 (* -- dispatcher ----------------------------------------------------- *)
 
-(* Static-analyzer findings for a planned query, rendered as extra
-   EXPLAIN lines (empty when the analyzer library is not linked in). *)
-let diagnostic_lines ~conn ?(binds = []) q =
+(* Static-analyzer findings for a planned query, one bare line each
+   (empty when the analyzer library is not linked in). *)
+let diag_items ~conn ?(binds = []) q =
   match !Engine.analyzer_hook with
   | None -> []
-  | Some hook -> (
+  | Some hook ->
       let conn_of var =
         match List.assoc_opt var binds with Some c -> c | None -> conn
       in
@@ -237,13 +237,13 @@ let diagnostic_lines ~conn ?(binds = []) q =
             q
         with _ -> []
       in
-      match diags with
-      | [] -> []
-      | _ ->
-          "" :: "diagnostics:"
-          :: List.map
-               (fun d -> "  " ^ Engine.analysis_diag_to_string d)
-               diags)
+      List.map Engine.analysis_diag_to_string diags
+
+(* The findings as extra EXPLAIN lines, with a section header. *)
+let diagnostic_lines ~conn ?binds q =
+  match diag_items ~conn ?binds q with
+  | [] -> []
+  | items -> "" :: "diagnostics:" :: List.map (fun d -> "  " ^ d) items
 
 (* Drop-in replacement for {!Engine.run_string} that intercepts
    [EXPLAIN] / [EXPLAIN ANALYZE] prefixes; plain queries fall through
@@ -266,3 +266,47 @@ let run_string ~conn ?binds ?max_length ?stats ?config ?analyze ?optimizer text
           ?analyze ?optimizer rest
       in
       Ok (table_of_lines (Trace.render root @ per_operator_lines root))
+
+(* -- wire tracing ---------------------------------------------------- *)
+
+(* A traced run with everything the wire protocol's [{"trace": true}]
+   response carries: the ordinary result, the measured span tree, the
+   plan rendering, and analyzer diagnostics. The span tree is the same
+   one EXPLAIN ANALYZE renders — [Engine.run_string_traced] under the
+   hood — so an over-the-wire trace is structurally identical to an
+   in-process one. *)
+type traced = {
+  tr_result : Engine.result;
+  tr_root : Trace.span;
+  tr_plan : string list;
+  tr_diagnostics : string list;
+}
+
+let run_string_wire_traced ~conn ?binds ?max_length ?stats ?config ?analyze
+    ?optimizer text =
+  match classify text with
+  | (Plan | Analyze), _ ->
+      Error
+        "trace: true expects a plain query (EXPLAIN is implied by the flag)"
+  | Plain, rest ->
+      let* q = Query_parser.parse rest in
+      let* p = Engine.plan ~conn ?binds ?optimizer q in
+      let tr_plan = render_plan ~conn ?binds p in
+      let tr_diagnostics = diag_items ~conn ?binds q in
+      let* tr_result, tr_root =
+        Engine.run_string_traced ~conn ?binds ?max_length ?stats ?config
+          ?analyze ?optimizer rest
+      in
+      Ok { tr_result; tr_root; tr_plan; tr_diagnostics }
+
+(* The traced run as the JSON object embedded in a wire response frame:
+   {"spans": <Trace.to_json>, "plan": [lines], "diagnostics": [lines]}. *)
+let traced_json t =
+  let module E = Nepal_util.Event_log in
+  let strs l = E.List (List.map (fun s -> E.Str s) l) in
+  E.Obj
+    [
+      ("spans", Trace.to_json t.tr_root);
+      ("plan", strs t.tr_plan);
+      ("diagnostics", strs t.tr_diagnostics);
+    ]

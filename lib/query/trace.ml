@@ -96,6 +96,30 @@ let render s =
 
 let to_string s = String.concat "\n" (render s)
 
+(* The measured tree as a JSON value — the shape shared by slow-query
+   events and the wire protocol's traced query responses. [est_rows]
+   appears only when the planner recorded an estimate (>= 0), mirroring
+   [span_line]. *)
+let rec to_json s =
+  let module E = Nepal_util.Event_log in
+  E.Obj
+    (List.concat
+       [
+         [
+           ("name", E.Str s.name);
+           ("detail", E.Str s.detail);
+           ("wall_ms", E.Float (s.wall_s *. 1e3));
+           ("rows_in", E.Int s.rows_in);
+           ("rows_out", E.Int s.rows_out);
+         ];
+         (if s.est_rows >= 0. then [ ("est_rows", E.Float s.est_rows) ]
+          else []);
+         [
+           ("calls", E.Int s.calls);
+           ("children", E.List (List.map to_json (children s)));
+         ];
+       ])
+
 (* -- aggregation (bench --json per_operator breakdown) -------------- *)
 
 type agg = {

@@ -58,6 +58,14 @@ val render : span -> string list
 
 val to_string : span -> string
 
+val to_json : span -> Nepal_util.Event_log.json
+(** The measured tree as a JSON object —
+    [{name, detail, wall_ms, rows_in, rows_out, est_rows?, calls,
+    children}], with [est_rows] present only when the planner recorded
+    an estimate. This is the shape slow-query events embed and the wire
+    protocol returns for [{"trace": true}] queries; it round-trips
+    through the strict RFC 8259 parser ([Nepal_server.Json]). *)
+
 (** {1 Aggregation} (the bench [--json] per-operator breakdown) *)
 
 type agg = {

@@ -113,12 +113,25 @@ let ping t =
   let* _ = expect_ok reply in
   Ok ()
 
-let query t text =
-  let* reply = request t [ ("op", J.Str "query"); ("q", J.Str text) ] in
+let run_query t ~trace text =
+  let fields =
+    [ ("op", J.Str "query"); ("q", J.Str text) ]
+    @ if trace then [ ("trace", J.Bool true) ] else []
+  in
+  let* reply = request t fields in
   let* reply = expect_ok reply in
   match (Json.int_field "count" reply, Json.string_field "text" reply) with
-  | Some count, Some text -> Ok { Server.qr_count = count; qr_text = text }
+  | Some count, Some text ->
+      Ok
+        {
+          Server.qr_count = count;
+          qr_text = text;
+          qr_trace = Json.member "trace" reply;
+        }
   | _ -> Error "malformed result frame"
+
+let query t text = run_query t ~trace:false text
+let query_traced t text = run_query t ~trace:true text
 
 let watch t text =
   let* reply = request t [ ("op", J.Str "watch"); ("q", J.Str text) ] in
@@ -136,6 +149,10 @@ let unwatch t w =
 
 let stats t =
   let* reply = request t [ ("op", J.Str "stats") ] in
+  expect_ok reply
+
+let introspect t =
+  let* reply = request t [ ("op", J.Str "introspect") ] in
   expect_ok reply
 
 let next_event ?(timeout_s = 1.0) t =

@@ -28,7 +28,14 @@ val ping : t -> (unit, string) result
 
 val query : t -> string -> (Server.query_reply, string) result
 (** Evaluate on the server; the reply text is the exact
-    {!Nepal_query.Engine.pp_result} rendering. *)
+    {!Nepal_query.Engine.pp_result} rendering. [qr_trace] is filled if
+    the server volunteered a trace (it won't unless asked — see
+    {!query_traced}). *)
+
+val query_traced : t -> string -> (Server.query_reply, string) result
+(** Like {!query} but sends [{"trace": true}]: [qr_trace] carries the
+    response's ["trace"] object (span tree + plan + diagnostics),
+    renderable with {!Wire.render_trace}. *)
 
 val watch : t -> string -> (int, string) result
 (** Register a standing query; returns the watch id carried by its
@@ -38,6 +45,10 @@ val unwatch : t -> int -> (bool, string) result
 (** [Ok true] when the watch existed on this session. *)
 
 val stats : t -> (Json.t, string) result
+
+val introspect : t -> (Json.t, string) result
+(** The live server-state dump backing [nepal top]: totals, latency
+    quantiles, executor/rwlock occupancy, per-session table. *)
 
 val next_event : ?timeout_s:float -> t -> Json.t option
 (** Next unsolicited frame: stashed ones first, then whatever arrives

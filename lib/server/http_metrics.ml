@@ -17,6 +17,53 @@
 let default_request_timeout_s = 5.0
 let max_header_lines = 100
 
+(* -- scrape hygiene ---------------------------------------------------
+
+   Two standard metrics every scraper expects, appended to whatever the
+   render callback produces: [process_start_time_seconds] (lets a
+   scraper detect restarts and compute counter rates across them) and a
+   [nepal_build_info] info-style metric carrying the version and OCaml
+   toolchain as labels with a constant 1 value. The exporter owns these
+   rather than the registry because they describe the *process*, not
+   the workload, and must appear exactly once per scrape regardless of
+   which registry renders. *)
+
+let process_start = Unix.gettimeofday ()
+let build_version = "1.0.0"
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let hygiene_block () =
+  Printf.sprintf
+    "# TYPE process_start_time_seconds gauge\n\
+     # HELP process_start_time_seconds Start time of the process since unix epoch in seconds.\n\
+     process_start_time_seconds %.6f\n\
+     # TYPE nepal_build info\n\
+     # HELP nepal_build Build information for this nepal server.\n\
+     nepal_build_info{version=\"%s\",ocaml=\"%s\"} 1\n"
+    process_start (escape_label build_version)
+    (escape_label Sys.ocaml_version)
+
+(* Splice the hygiene block in before the terminating [# EOF] (OpenMetrics
+   requires EOF last); a render without one just gets the block
+   appended. *)
+let with_scrape_hygiene render () =
+  let body = render () in
+  let eof = "# EOF\n" in
+  let n = String.length body and e = String.length eof in
+  if n >= e && String.sub body (n - e) e = eof then
+    String.sub body 0 (n - e) ^ hygiene_block () ^ eof
+  else body ^ hygiene_block ()
+
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
@@ -77,6 +124,7 @@ let serve_loop t ~render ~timeout ~once =
 
 let start ?(addr = Unix.inet_addr_any) ?(port = 9464) ?(once = false)
     ?(request_timeout_s = default_request_timeout_s) ~render () =
+  let render = with_scrape_hygiene render in
   match Net.listen_tcp ~addr ~port () with
   | Error e -> Error e
   | Ok (sock, bound_port) ->

@@ -8,6 +8,13 @@
 
 type t
 
+val with_scrape_hygiene : (unit -> string) -> unit -> string
+(** Wrap a render callback with the standard scrape-hygiene metrics:
+    [process_start_time_seconds] (exporter start, unix epoch seconds)
+    and the info-style [nepal_build_info{version,ocaml} 1], spliced in
+    before the terminating [# EOF] so the exposition stays valid
+    OpenMetrics. {!start} applies this automatically. *)
+
 val start :
   ?addr:Unix.inet_addr ->
   ?port:int ->

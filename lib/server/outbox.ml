@@ -14,16 +14,39 @@
    counter on the wire, so a slow client learns it missed updates
    rather than silently seeing a gap; meanwhile the monitor pump never
    blocks on a slow socket, so one stalled client cannot stall the
-   store or its neighbours. *)
+   store or its neighbours.
+
+   Instrumentation: every frame is stamped at enqueue and the
+   enqueue->flush dwell observed when the writer thread takes it
+   ([outbox.dwell_seconds]); alert frames additionally carry the
+   wall-clock stamp of the oldest CDC change that made their watch
+   dirty, closing the publish->flush loop in [monitor.alert_e2e] — the
+   outbox pop is the last instrumentable point before the socket
+   write, so the histogram lives here rather than in lib/monitor.
+   [high_water] records the deepest the queue has ever been, the
+   capacity-headroom signal the dropped counter only reports after the
+   fact. *)
+
+module Metrics = Nepal_util.Metrics
+
+type entry = {
+  enqueued_at : float;
+  origin_wall : float option;  (* CDC publish stamp, alerts only *)
+  frame : string;
+}
 
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  items : string Queue.t;
+  items : entry Queue.t;
   capacity : int;
   mutable dropped : int;  (* cumulative droppable frames refused *)
+  mutable high_water : int;  (* max occupancy ever observed *)
   mutable closed : bool;
 }
+
+let m_dwell = Metrics.histogram "outbox.dwell_seconds"
+let m_alert_e2e = Metrics.histogram "monitor.alert_e2e"
 
 let create ~capacity =
   {
@@ -32,6 +55,7 @@ let create ~capacity =
     items = Queue.create ();
     capacity = max 1 capacity;
     dropped = 0;
+    high_water = 0;
     closed = false;
   }
 
@@ -39,16 +63,23 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let enqueue t ?origin frame =
+  Queue.push
+    { enqueued_at = Unix.gettimeofday (); origin_wall = origin; frame }
+    t.items;
+  let len = Queue.length t.items in
+  if len > t.high_water then t.high_water <- len;
+  Condition.signal t.nonempty
+
 let push t frame =
   with_lock t (fun () ->
       if t.closed then false
       else begin
-        Queue.push frame t.items;
-        Condition.signal t.nonempty;
+        enqueue t frame;
         true
       end)
 
-let push_droppable t frame =
+let push_droppable ?origin t frame =
   with_lock t (fun () ->
       if t.closed then false
       else if Queue.length t.items >= t.capacity then begin
@@ -56,8 +87,7 @@ let push_droppable t frame =
         false
       end
       else begin
-        Queue.push frame t.items;
-        Condition.signal t.nonempty;
+        enqueue t ?origin frame;
         true
       end)
 
@@ -68,7 +98,15 @@ let pop t =
       while Queue.is_empty t.items && not t.closed do
         Condition.wait t.nonempty t.lock
       done;
-      Queue.take_opt t.items)
+      match Queue.take_opt t.items with
+      | None -> None
+      | Some e ->
+          let now = Unix.gettimeofday () in
+          Metrics.observe m_dwell (now -. e.enqueued_at);
+          (match e.origin_wall with
+          | Some wall -> Metrics.observe m_alert_e2e (now -. wall)
+          | None -> ());
+          Some e.frame)
 
 let close t =
   with_lock t (fun () ->
@@ -77,4 +115,5 @@ let close t =
 
 let length t = with_lock t (fun () -> Queue.length t.items)
 let dropped t = with_lock t (fun () -> t.dropped)
+let high_water t = with_lock t (fun () -> t.high_water)
 let is_closed t = with_lock t (fun () -> t.closed)

@@ -15,16 +15,27 @@ val push : t -> string -> bool
 (** Enqueue a must-deliver frame; always succeeds unless closed
     (returns [false] only after {!close}). *)
 
-val push_droppable : t -> string -> bool
+val push_droppable : ?origin:float -> t -> string -> bool
 (** Enqueue a droppable frame; [false] (and [dropped] incremented) when
-    the outbox is at capacity, [false] without counting when closed. *)
+    the outbox is at capacity, [false] without counting when closed.
+    [origin], when given, is the wall-clock stamp of the CDC change
+    that caused this alert: the pipeline end-to-end latency
+    (publish -> flush) is observed into the [monitor.alert_e2e]
+    histogram when the frame is popped. *)
 
 val pop : t -> string option
-(** Block until a frame is available; [None] once closed and drained. *)
+(** Block until a frame is available; [None] once closed and drained.
+    Observes the frame's enqueue->flush dwell in
+    [outbox.dwell_seconds]. *)
 
 val close : t -> unit
 (** Wake all poppers; queued frames are still drained first. *)
 
 val length : t -> int
 val dropped : t -> int
+
+val high_water : t -> int
+(** Deepest occupancy ever observed — how close the session has come
+    to dropping, even if it never did. *)
+
 val is_closed : t -> bool

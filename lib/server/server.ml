@@ -42,8 +42,13 @@ let m_alerts_sent = Metrics.counter "server.alerts_sent"
 let m_alerts_dropped = Metrics.counter "server.alerts_dropped"
 let h_query = Metrics.histogram "server.query_seconds"
 
-type query_reply = { qr_count : int; qr_text : string }
-type runner = string -> (query_reply, string) result
+type query_reply = {
+  qr_count : int;
+  qr_text : string;
+  qr_trace : J.json option;  (* {"spans", "plan", "diagnostics"} *)
+}
+
+type runner = trace:bool -> string -> (query_reply, string) result
 
 type config = {
   addr : Unix.inet_addr;
@@ -76,6 +81,9 @@ type session = {
   s_outbox : Outbox.t;
   s_lr : Net.line_reader;
   s_runner : runner;
+  s_started : float;
+  s_requests : int Atomic.t;  (* reader thread writes, introspect reads *)
+  s_alerts_sent : int Atomic.t;  (* pump writes, stats/introspect read *)
   mutable s_watches : (int * Monitor.watch) list;
       (* touched only by this session's reader thread *)
 }
@@ -114,16 +122,26 @@ let with_write t f = Rwlock.write t.rw (fun () -> f t.store)
    is what makes wire results byte-identical to [Nepal.query_on]. *)
 let default_make_runner store () =
   let conn = Nepal_query.Connect.native store in
-  fun text ->
-    match Nepal_query.Explain.run_string ~conn text with
-    | Ok result ->
-        Ok
-          {
-            qr_count = Nepal_query.Engine.result_count result;
-            qr_text =
-              Format.asprintf "%a" Nepal_query.Engine.pp_result result;
-          }
-    | Error e -> Error e
+  let reply ?trace result =
+    {
+      qr_count = Nepal_query.Engine.result_count result;
+      qr_text = Format.asprintf "%a" Nepal_query.Engine.pp_result result;
+      qr_trace = trace;
+    }
+  in
+  fun ~trace text ->
+    if trace then
+      match Nepal_query.Explain.run_string_wire_traced ~conn text with
+      | Ok tr ->
+          Ok
+            (reply
+               ~trace:(Nepal_query.Explain.traced_json tr)
+               tr.Nepal_query.Explain.tr_result)
+      | Error e -> Error e
+    else
+      match Nepal_query.Explain.run_string ~conn text with
+      | Ok result -> Ok (reply result)
+      | Error e -> Error e
 
 (* -- verb handlers (reader thread) ------------------------------------ *)
 
@@ -135,19 +153,115 @@ let stats_fields t s =
     ("sessions", J.Int (session_count t));
     ("watches", J.Int (watch_count t));
     ("requests", J.Int (Metrics.counter_value m_requests));
-    ("alerts_sent", J.Int (Metrics.counter_value m_alerts_sent));
+    (* alerts_sent is *this session's* count; the process-wide total
+       stays on the OpenMetrics counter server.alerts_sent. *)
+    ("alerts_sent", J.Int (Atomic.get s.s_alerts_sent));
     ("alerts_dropped", J.Int (Outbox.dropped s.s_outbox));
+    ("outbox_len", J.Int (Outbox.length s.s_outbox));
+    ("outbox_high_water", J.Int (Outbox.high_water s.s_outbox));
     ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
   ]
 
-let handle_query t s ~id q =
+(* A histogram condensed for a wire frame: count + quantiles in ms. *)
+let hist_json h =
+  let st = Metrics.stats_of h in
+  J.Obj
+    [
+      ("count", J.Int st.Metrics.count);
+      ("p50_ms", J.Float (st.Metrics.p50 *. 1e3));
+      ("p95_ms", J.Float (st.Metrics.p95 *. 1e3));
+      ("p99_ms", J.Float (st.Metrics.p99 *. 1e3));
+      ("max_ms", J.Float (st.Metrics.max *. 1e3));
+    ]
+
+(* Live server state for the [introspect] verb: the operational view
+   `nepal top` refreshes from. Counters come from the registry (same
+   numbers OpenMetrics exports); live occupancy (queue depths, lock
+   holders, outboxes) is read straight from the structures. *)
+let introspect_fields t =
+  let now = Unix.gettimeofday () in
+  let sessions =
+    with_lock t.lock (fun () ->
+        Hashtbl.fold (fun _ (s, _) acc -> s :: acc) t.sessions [])
+    |> List.sort (fun a b -> compare a.s_id b.s_id)
+  in
+  let session_json s =
+    let watch_ids =
+      List.map (fun (wid, _) -> J.Int wid) (List.rev s.s_watches)
+    in
+    J.Obj
+      [
+        ("id", J.Int s.s_id);
+        ("uptime_s", J.Float (now -. s.s_started));
+        ("requests", J.Int (Atomic.get s.s_requests));
+        ("alerts_sent", J.Int (Atomic.get s.s_alerts_sent));
+        ("alerts_dropped", J.Int (Outbox.dropped s.s_outbox));
+        ("outbox_len", J.Int (Outbox.length s.s_outbox));
+        ("outbox_high_water", J.Int (Outbox.high_water s.s_outbox));
+        ("watches", J.List watch_ids);
+      ]
+  in
+  [
+    ("proto", J.Int Wire.proto_version);
+    ("uptime_s", J.Float (now -. t.started_at));
+    ("requests", J.Int (Metrics.counter_value m_requests));
+    ("errors", J.Int (Metrics.counter_value m_errors));
+    ("alerts_sent", J.Int (Metrics.counter_value m_alerts_sent));
+    ("alerts_dropped", J.Int (Metrics.counter_value m_alerts_dropped));
+    ("watches", J.Int (watch_count t));
+    ("query_seconds", hist_json h_query);
+    ("alert_e2e", hist_json (Metrics.histogram "monitor.alert_e2e"));
+    ( "executor",
+      J.Obj
+        [
+          ("workers", J.Int (Executor.size t.exec));
+          ("queue_depth", J.Int (Executor.queue_depth t.exec));
+          ("queue_wait", hist_json (Metrics.histogram "executor.queue_seconds"));
+        ] );
+    ( "rwlock",
+      J.Obj
+        [
+          ("readers", J.Int (Rwlock.readers t.rw));
+          ("writer_active", J.Bool (Rwlock.writer_active t.rw));
+          ("waiters", J.Int (Rwlock.waiters t.rw));
+          ("read_wait", hist_json (Metrics.histogram "rwlock.read_wait_seconds"));
+          ( "write_wait",
+            hist_json (Metrics.histogram "rwlock.write_wait_seconds") );
+        ] );
+    ( "event_log",
+      J.Obj
+        [
+          ("enabled", J.Bool (J.enabled ()));
+          ("suppressed", J.Int (J.suppressed ()));
+        ] );
+    ( "cdc",
+      J.Obj
+        [
+          ( "published",
+            J.Int (Metrics.counter_value (Metrics.counter "store.cdc_published"))
+          );
+          ( "dropped",
+            J.Int (Metrics.counter_value (Metrics.counter "store.cdc_dropped"))
+          );
+          ( "monitor_dropped",
+            J.Int (Metrics.counter_value (Metrics.counter "monitor.cdc_dropped"))
+          );
+        ] );
+    ("sessions", J.List (List.map session_json sessions));
+  ]
+
+let handle_query t s ~id ~trace q =
   let t0 = Unix.gettimeofday () in
   let outcome =
-    Executor.run t.exec (fun () -> Rwlock.read t.rw (fun () -> s.s_runner q))
+    Executor.run t.exec (fun () ->
+        Rwlock.read t.rw (fun () -> s.s_runner ~trace q))
   in
   Metrics.observe h_query (Unix.gettimeofday () -. t0);
   match outcome with
-  | Ok (Ok r) -> push s (Wire.query_result ~id ~count:r.qr_count ~text:r.qr_text)
+  | Ok (Ok r) ->
+      push s
+        (Wire.query_result ?trace:r.qr_trace ~id ~count:r.qr_count
+           ~text:r.qr_text ())
   | Ok (Error e) ->
       Metrics.incr m_errors;
       push s (Wire.error_frame ~id e)
@@ -187,10 +301,13 @@ let handle_line t s line =
       push s (Wire.error_frame ~id msg)
   | Ok (id, req) -> (
       Metrics.incr m_requests;
+      ignore (Atomic.fetch_and_add s.s_requests 1);
       match req with
       | Wire.Ping -> push s (Wire.pong ~id)
       | Wire.Stats -> push s (Wire.stats_frame ~id (stats_fields t s))
-      | Wire.Query q -> handle_query t s ~id q
+      | Wire.Introspect ->
+          push s (Wire.introspect_frame ~id (introspect_fields t))
+      | Wire.Query { q; trace } -> handle_query t s ~id ~trace q
       | Wire.Watch q -> handle_watch t s ~id q
       | Wire.Unwatch wid -> handle_unwatch t s ~id wid)
 
@@ -290,6 +407,9 @@ let listener_loop t make_runner =
                 s_outbox = Outbox.create ~capacity:t.cfg.outbox_capacity;
                 s_lr = Net.line_reader ~max_line:t.cfg.max_line_bytes fd;
                 s_runner = make_runner ();
+                s_started = Unix.gettimeofday ();
+                s_requests = Atomic.make 0;
+                s_alerts_sent = Atomic.make 0;
                 s_watches = [];
               }
             in
@@ -307,17 +427,28 @@ let route_alert t alert =
   with
   | None -> ()  (* watch unregistered between poll and routing *)
   | Some s ->
+      (* latency_ms is publish -> frame build (routing); the outbox
+         observes the remaining enqueue -> flush leg into
+         monitor.alert_e2e via the origin stamp. *)
+      let latency_ms =
+        Option.map
+          (fun wall -> (Unix.gettimeofday () -. wall) *. 1000.)
+          alert.al_origin_wall
+      in
       let frame =
-        Wire.alert ~watch:alert.al_watch
+        Wire.alert ?latency_ms ~watch:alert.al_watch
           ~kind:(alert_kind_string alert.al_kind)
           ~added:alert.al_added ~removed:alert.al_removed
           ~total:alert.al_total
           ~at:(Nepal_temporal.Time_point.to_string alert.al_at)
           ~wall_ms:(alert.al_wall_s *. 1000.)
-          ~dropped:(Outbox.dropped s.s_outbox)
+          ~dropped:(Outbox.dropped s.s_outbox) ()
       in
-      if Outbox.push_droppable s.s_outbox frame then
-        Metrics.incr m_alerts_sent
+      if Outbox.push_droppable ?origin:alert.al_origin_wall s.s_outbox frame
+      then begin
+        Metrics.incr m_alerts_sent;
+        ignore (Atomic.fetch_and_add s.s_alerts_sent 1)
+      end
       else Metrics.incr m_alerts_dropped
 
 let pump_loop t =

@@ -1,6 +1,6 @@
 (** The Nepal server: concurrent JSONL sessions over TCP, with
-    [query] / [watch] / [unwatch] / [stats] / [ping] verbs (see
-    {!Wire}).
+    [query] / [watch] / [unwatch] / [stats] / [ping] / [introspect]
+    verbs (see {!Wire}).
 
     One listener thread accepts sessions; each session runs a reader
     and a writer systhread, with query evaluation dispatched to a
@@ -18,12 +18,23 @@
     [server.query_seconds] histogram; and the [server.sessions]
     gauge. *)
 
-type query_reply = { qr_count : int; qr_text : string }
+type query_reply = {
+  qr_count : int;
+  qr_text : string;
+  qr_trace : Nepal_util.Event_log.json option;
+      (** present when the request asked [{"trace": true}]: the
+          [{"spans", "plan", "diagnostics"}] object the response's
+          ["trace"] member carries *)
+}
 (** What a query verb answers with: the result count and the exact
     {!Nepal_query.Engine.pp_result} rendering (which is what makes wire
     results byte-identical to the in-process API). *)
 
-type runner = string -> (query_reply, string) result
+type runner = trace:bool -> string -> (query_reply, string) result
+(** A session's query evaluator. [trace:true] asks for the full
+    EXPLAIN ANALYZE span tree in [qr_trace] (the default runner uses
+    {!Nepal_query.Explain.run_string_wire_traced}); the result text
+    must be identical either way. *)
 
 type config = {
   addr : Unix.inet_addr;

@@ -16,10 +16,11 @@ let default_max_line = 1 lsl 20
 
 type request =
   | Ping
-  | Query of string
+  | Query of { q : string; trace : bool }
   | Watch of string
   | Unwatch of int
   | Stats
+  | Introspect
 
 let verb_of_request = function
   | Ping -> "ping"
@@ -27,6 +28,7 @@ let verb_of_request = function
   | Watch _ -> "watch"
   | Unwatch _ -> "unwatch"
   | Stats -> "stats"
+  | Introspect -> "introspect"
 
 (* The request id as received: echoed verbatim in the response so the
    client can correlate; [J.Null] when absent. Only scalar ids are
@@ -56,7 +58,15 @@ let parse_request line =
           | None -> Error (id, "missing string field \"op\"")
           | Some "ping" -> Ok (id, Ping)
           | Some "stats" -> Ok (id, Stats)
-          | Some "query" -> text_arg "query" (fun q -> Ok (id, Query q))
+          | Some "introspect" -> Ok (id, Introspect)
+          | Some "query" ->
+              text_arg "query" (fun q ->
+                  let trace =
+                    match Json.bool_field "trace" json with
+                    | Some b -> b
+                    | None -> false
+                  in
+                  Ok (id, Query { q; trace }))
           | Some "watch" -> text_arg "watch" (fun q -> Ok (id, Watch q))
           | Some "unwatch" -> (
               match Json.int_field "watch" json with
@@ -67,7 +77,8 @@ let parse_request line =
               Error
                 ( id,
                   Printf.sprintf
-                    "unknown op %S (ping|query|watch|unwatch|stats)" other )))
+                    "unknown op %S (ping|query|watch|unwatch|stats|introspect)"
+                    other )))
 
 (* -- server → client frames ------------------------------------------- *)
 
@@ -87,16 +98,17 @@ let error_frame ~id msg =
 
 let pong ~id = line (J.Obj [ ("id", id); ("ok", J.Bool true); ("type", J.Str "pong") ])
 
-let query_result ~id ~count ~text =
+let query_result ?trace ~id ~count ~text () =
   line
     (J.Obj
-       [
-         ("id", id);
-         ("ok", J.Bool true);
-         ("type", J.Str "result");
-         ("count", J.Int count);
-         ("text", J.Str text);
-       ])
+       ([
+          ("id", id);
+          ("ok", J.Bool true);
+          ("type", J.Str "result");
+          ("count", J.Int count);
+          ("text", J.Str text);
+        ]
+       @ match trace with Some t -> [ ("trace", t) ] | None -> []))
 
 let watch_ack ~id ~watch ~total =
   line
@@ -124,18 +136,98 @@ let stats_frame ~id fields =
     (J.Obj
        ([ ("id", id); ("ok", J.Bool true); ("type", J.Str "stats") ] @ fields))
 
-let alert ~watch ~kind ~added ~removed ~total ~at ~wall_ms ~dropped =
+let introspect_frame ~id fields =
+  line
+    (J.Obj
+       ([ ("id", id); ("ok", J.Bool true); ("type", J.Str "introspect") ]
+       @ fields))
+
+let alert ?latency_ms ~watch ~kind ~added ~removed ~total ~at ~wall_ms ~dropped
+    () =
   let strs l = J.List (List.map (fun s -> J.Str s) l) in
   line
     (J.Obj
-       [
-         ("event", J.Str "alert");
-         ("watch", J.Int watch);
-         ("kind", J.Str kind);
-         ("added", strs added);
-         ("removed", strs removed);
-         ("total", J.Int total);
-         ("at", J.Str at);
-         ("wall_ms", J.Float wall_ms);
-         ("dropped", J.Int dropped);
-       ])
+       ([
+          ("event", J.Str "alert");
+          ("watch", J.Int watch);
+          ("kind", J.Str kind);
+          ("added", strs added);
+          ("removed", strs removed);
+          ("total", J.Int total);
+          ("at", J.Str at);
+          ("wall_ms", J.Float wall_ms);
+        ]
+       @ (match latency_ms with
+         | Some ms -> [ ("latency_ms", J.Float ms) ]
+         | None -> [])
+       @ [ ("dropped", J.Int dropped) ]))
+
+(* -- client-side trace rendering -------------------------------------- *)
+
+(* Render the ["trace"] object of a traced query response — the span
+   tree exactly as in-process EXPLAIN ANALYZE prints it, then the plan
+   and analyzer diagnostics. Tolerant of missing members: a frame from
+   a newer or older server renders what is recognizably there. *)
+let render_trace trace =
+  let str_items = function
+    | Some (J.List l) ->
+        List.filter_map (function J.Str s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  let span_line j =
+    let field name =
+      match Json.member name j with
+      | Some (J.Str s) -> s
+      | Some (J.Int i) -> string_of_int i
+      | Some (J.Float f) -> Printf.sprintf "%g" f
+      | _ -> ""
+    in
+    let num name =
+      match Json.member name j with
+      | Some (J.Int i) -> Some (float_of_int i)
+      | Some (J.Float f) -> Some f
+      | _ -> None
+    in
+    let fields =
+      List.concat
+        [
+          (match num "wall_ms" with
+          | Some ms -> [ Printf.sprintf "wall=%.3fms" ms ]
+          | None -> []);
+          (match num "rows_in" with
+          | Some n when n > 0. -> [ Printf.sprintf "rows_in=%.0f" n ]
+          | _ -> []);
+          (match num "rows_out" with
+          | Some n -> [ Printf.sprintf "rows_out=%.0f" n ]
+          | None -> []);
+          (match num "est_rows" with
+          | Some n -> [ Printf.sprintf "est=%.0f" n ]
+          | None -> []);
+          (match num "calls" with
+          | Some n when n > 0. -> [ Printf.sprintf "calls=%.0f" n ]
+          | _ -> []);
+        ]
+    in
+    let detail = field "detail" in
+    Printf.sprintf "%s%s  (%s)" (field "name")
+      (if detail = "" then "" else " " ^ detail)
+      (String.concat ", " fields)
+  in
+  let rec render_span depth j acc =
+    let acc = (String.make (depth * 2) ' ' ^ span_line j) :: acc in
+    match Json.member "children" j with
+    | Some (J.List kids) ->
+        List.fold_left (fun acc k -> render_span (depth + 1) k acc) acc kids
+    | _ -> acc
+  in
+  let spans =
+    match Json.member "spans" trace with
+    | Some s -> List.rev (render_span 0 s [])
+    | None -> []
+  in
+  let section header items =
+    match items with [] -> [] | l -> ("" :: header :: List.map (fun s -> "  " ^ s) l)
+  in
+  spans
+  @ section "plan:" (str_items (Json.member "plan" trace))
+  @ section "diagnostics:" (str_items (Json.member "diagnostics" trace))

@@ -27,6 +27,7 @@ module Change = struct
     endpoints : (Entity.uid * Entity.uid) option;  (* edges only *)
     at : Time_point.t;
     version : int;
+    wall : float;  (* Unix.gettimeofday at publish: e2e latency origin *)
   }
 
   let op_to_string = function
@@ -141,6 +142,7 @@ let publish t ~op ~at (e : Entity.t) =
           endpoints = e.endpoints;
           at;
           version = t.version;
+          wall = Unix.gettimeofday ();
         }
       in
       Nepal_util.Metrics.incr m_cdc_published;

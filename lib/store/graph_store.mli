@@ -52,6 +52,9 @@ module Change : sig
     endpoints : (Entity.uid * Entity.uid) option;  (** edges only *)
     at : Time_point.t;     (** transaction time of the mutation *)
     version : int;         (** store version {e after} the mutation *)
+    wall : float;
+        (** wall clock ([Unix.gettimeofday]) at publish — the origin
+            stamp for end-to-end alert-latency measurement *)
   }
 
   val op_to_string : op -> string

@@ -82,11 +82,16 @@ module Executor = struct
   type t = {
     lock : Mutex.t;
     nonempty : Condition.t;
-    tasks : (unit -> unit) Queue.t;
+    tasks : (float * (unit -> unit)) Queue.t;  (* (enqueued_at, task) *)
     mutable shutdown : bool;
     mutable workers : unit Domain.t list;
     size : int;
   }
+
+  (* Queue dwell: submit -> a worker domain picks the task up. Under
+     light load this is one condition-variable handoff; under
+     saturation it is the headroom signal `nepal top` watches. *)
+  let m_queue_dwell = Metrics.histogram "executor.queue_seconds"
 
   let create ?domains () =
     let size =
@@ -116,7 +121,8 @@ module Executor = struct
       Mutex.unlock t.lock;
       match task with
       | None -> ()
-      | Some task ->
+      | Some (enqueued_at, task) ->
+          Metrics.observe m_queue_dwell (Unix.gettimeofday () -. enqueued_at);
           ignore (Atomic.fetch_and_add busy_workers 1);
           Fun.protect
             ~finally:(fun () -> ignore (Atomic.fetch_and_add busy_workers (-1)))
@@ -128,11 +134,17 @@ module Executor = struct
 
   let size t = t.size
 
+  let queue_depth t =
+    Mutex.lock t.lock;
+    let n = Queue.length t.tasks in
+    Mutex.unlock t.lock;
+    n
+
   let submit t task =
     Mutex.lock t.lock;
     let accepted = not t.shutdown in
     if accepted then begin
-      Queue.push task t.tasks;
+      Queue.push (Unix.gettimeofday (), task) t.tasks;
       Condition.signal t.nonempty
     end;
     Mutex.unlock t.lock;

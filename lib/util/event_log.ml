@@ -333,6 +333,15 @@ let sampled_out kind =
       Stdlib.incr tick;
       not keep
 
+(* Events an armed sink declined to write — the level floor or the
+   per-kind sampler filtered them. The live count `introspect` reports:
+   a non-zero delta tells an operator the event stream they are tailing
+   is not the whole story. (Events while the sink is Disabled are not
+   counted: nothing was armed to receive them.) *)
+let suppressed_events = Atomic.make 0
+
+let suppressed () = Atomic.get suppressed_events
+
 let emit ?(level = Info) ~kind fields =
   if
     (* Cheap short-circuit for the disabled-but-unconfigured case: the
@@ -346,9 +355,12 @@ let emit ?(level = Info) ~kind fields =
         | Disabled -> ()
         | To_stderr | To_file _ ->
             flush_env_invalids_locked ();
-            if level_rank level >= level_rank state.min_level
-               && not (sampled_out kind)
-            then begin
+            if
+              not
+                (level_rank level >= level_rank state.min_level
+                && not (sampled_out kind))
+            then ignore (Atomic.fetch_and_add suppressed_events 1)
+            else begin
               let b = Buffer.create 256 in
               add_json b
                 (Obj

@@ -43,6 +43,12 @@ val emit : ?level:level -> kind:string -> (string * json) list -> unit
     serialization when disabled, below the severity floor, or sampled
     out. Each surviving event is flushed to the sink immediately. *)
 
+val suppressed : unit -> int
+(** Events an {e armed} sink declined to write (severity floor or
+    per-kind sampling) since process start — the drop count the server's
+    [introspect] frame reports. Events while the sink is disabled are
+    not counted. *)
+
 val set_path : string option -> unit
 (** Point the sink at a file ([Some path]), standard error
     ([Some "stderr"]) or disable it ([None]); closes any previous file

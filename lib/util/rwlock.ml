@@ -8,7 +8,13 @@
    starve churn ingestion. Plain Mutex + two Conditions — uncontended
    acquisition is one lock/unlock pair, which is noise against a query
    evaluation. Not reentrant: a thread must not re-enter [read] while
-   holding [write] or vice versa. *)
+   holding [write] or vice versa.
+
+   Acquisition-wait histograms record only *contended* acquisitions:
+   the uncontended fast path takes no timestamps and touches no shared
+   histogram mutex, so parallel readers do not serialize on the
+   instrumentation and the passive cost is zero when the lock is
+   free. *)
 
 type t = {
   lock : Mutex.t;
@@ -16,8 +22,12 @@ type t = {
   can_write : Condition.t;
   mutable readers : int;          (* active readers *)
   mutable writer : bool;          (* a writer is active *)
+  mutable readers_waiting : int;
   mutable writers_waiting : int;
 }
+
+let m_read_wait = Metrics.histogram "rwlock.read_wait_seconds"
+let m_write_wait = Metrics.histogram "rwlock.write_wait_seconds"
 
 let create () =
   {
@@ -26,14 +36,21 @@ let create () =
     can_write = Condition.create ();
     readers = 0;
     writer = false;
+    readers_waiting = 0;
     writers_waiting = 0;
   }
 
 let read t f =
   Mutex.lock t.lock;
-  while t.writer || t.writers_waiting > 0 do
-    Condition.wait t.can_read t.lock
-  done;
+  if t.writer || t.writers_waiting > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    t.readers_waiting <- t.readers_waiting + 1;
+    while t.writer || t.writers_waiting > 0 do
+      Condition.wait t.can_read t.lock
+    done;
+    t.readers_waiting <- t.readers_waiting - 1;
+    Metrics.observe m_read_wait (Unix.gettimeofday () -. t0)
+  end;
   t.readers <- t.readers + 1;
   Mutex.unlock t.lock;
   Fun.protect
@@ -46,11 +63,15 @@ let read t f =
 
 let write t f =
   Mutex.lock t.lock;
-  t.writers_waiting <- t.writers_waiting + 1;
-  while t.writer || t.readers > 0 do
-    Condition.wait t.can_write t.lock
-  done;
-  t.writers_waiting <- t.writers_waiting - 1;
+  if t.writer || t.readers > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.can_write t.lock
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    Metrics.observe m_write_wait (Unix.gettimeofday () -. t0)
+  end;
   t.writer <- true;
   Mutex.unlock t.lock;
   Fun.protect
@@ -61,3 +82,17 @@ let write t f =
       else Condition.broadcast t.can_read;
       Mutex.unlock t.lock)
     f
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let s =
+    ( t.readers,
+      t.writer,
+      t.readers_waiting + t.writers_waiting )
+  in
+  Mutex.unlock t.lock;
+  s
+
+let readers t = let r, _, _ = snapshot t in r
+let writer_active t = let _, w, _ = snapshot t in w
+let waiters t = let _, _, n = snapshot t in n

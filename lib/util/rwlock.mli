@@ -2,7 +2,12 @@
 
     Multiple [read] sections run concurrently; a [write] section is
     exclusive. Once a writer is waiting, new readers queue behind it —
-    a steady read load cannot starve writers. Not reentrant. *)
+    a steady read load cannot starve writers. Not reentrant.
+
+    Contended acquisitions are timed into the
+    [rwlock.read_wait_seconds] / [rwlock.write_wait_seconds]
+    histograms; uncontended acquisitions are not recorded, so the fast
+    path stays instrumentation-free. *)
 
 type t
 
@@ -14,3 +19,12 @@ val read : t -> (unit -> 'a) -> 'a
 
 val write : t -> (unit -> 'a) -> 'a
 (** Run under exclusive (write) access. *)
+
+val readers : t -> int
+(** Number of threads currently inside a [read] section. *)
+
+val writer_active : t -> bool
+(** Whether a [write] section is currently executing. *)
+
+val waiters : t -> int
+(** Threads blocked waiting to acquire either side, read + write. *)

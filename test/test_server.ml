@@ -60,18 +60,30 @@ let build_small store =
   (app, box1, box2, runs, link)
 
 (* The same runner the CLI injects: the Nepal.query_on path, so wire
-   text must match in-process rendering byte for byte. *)
+   text must match in-process rendering byte for byte; traced requests
+   take the Explain.run_string_wire_traced path exactly like the CLI. *)
 let query_on_runner store () =
   let conn = Nepal.native_conn store in
-  fun text ->
-    match Nepal.query_on conn text with
-    | Ok result ->
-        Ok
-          {
-            Server.qr_count = Nepal.Engine.result_count result;
-            qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
-          }
-    | Error e -> Error e
+  let reply ?trace result =
+    {
+      Server.qr_count = Nepal.Engine.result_count result;
+      qr_text = Format.asprintf "%a" Nepal.Engine.pp_result result;
+      qr_trace = trace;
+    }
+  in
+  fun ~trace text ->
+    if trace then
+      match Nepal.Explain.run_string_wire_traced ~conn text with
+      | Ok tr ->
+          Ok
+            (reply
+               ~trace:(Nepal.Explain.traced_json tr)
+               tr.Nepal.Explain.tr_result)
+      | Error e -> Error e
+    else
+      match Nepal.query_on conn text with
+      | Ok result -> Ok (reply result)
+      | Error e -> Error e
 
 let test_config =
   {
@@ -127,8 +139,16 @@ let test_wire_parse () =
   | Ok (J.Int 7, Wire.Ping) -> ()
   | _ -> Alcotest.fail "ping parse");
   (match Wire.parse_request {|{"op":"query","id":"q-1","q":"Retrieve"}|} with
-  | Ok (J.Str "q-1", Wire.Query "Retrieve") -> ()
+  | Ok (J.Str "q-1", Wire.Query { q = "Retrieve"; trace = false }) -> ()
   | _ -> Alcotest.fail "query parse with string id");
+  (match
+     Wire.parse_request {|{"op":"query","id":2,"q":"Retrieve","trace":true}|}
+   with
+  | Ok (J.Int 2, Wire.Query { q = "Retrieve"; trace = true }) -> ()
+  | _ -> Alcotest.fail "query parse with trace flag");
+  (match Wire.parse_request {|{"op":"introspect","id":5}|} with
+  | Ok (J.Int 5, Wire.Introspect) -> ()
+  | _ -> Alcotest.fail "introspect parse");
   (match Wire.parse_request {|{"op":"unwatch","watch":3}|} with
   | Ok (J.Null, Wire.Unwatch 3) -> ()
   | _ -> Alcotest.fail "unwatch parse, absent id");
@@ -176,6 +196,7 @@ let test_outbox_drops () =
   (* must-deliver ignores the capacity *)
   check_bool "must-deliver over capacity" true (Outbox.push ob "r1");
   check_int "length" 3 (Outbox.length ob);
+  check_int "high water tracks peak occupancy" 3 (Outbox.high_water ob);
   check_string "fifo 1" "a1" (Option.get (Outbox.pop ob));
   check_string "fifo 2" "a2" (Option.get (Outbox.pop ob));
   check_string "fifo 3" "r1" (Option.get (Outbox.pop ob));
@@ -186,7 +207,8 @@ let test_outbox_drops () =
   check_bool "pop after drain" true (Outbox.pop ob = None);
   check_bool "push after close" false (Outbox.push ob "x");
   check_bool "droppable after close" false (Outbox.push_droppable ob "x");
-  check_int "close-refusal not counted as drop" 1 (Outbox.dropped ob)
+  check_int "close-refusal not counted as drop" 1 (Outbox.dropped ob);
+  check_int "high water survives the drain" 3 (Outbox.high_water ob)
 
 let test_outbox_blocking_pop () =
   let ob = Outbox.create ~capacity:4 in
@@ -213,7 +235,7 @@ let test_roundtrip_identical () =
           List.iter
             (fun q ->
               let wire = ok (Client.query c q) in
-              let inproc = ok (local q) in
+              let inproc = ok (local ~trace:false q) in
               check_string "wire text = in-process text" inproc.Server.qr_text
                 wire.Server.qr_text;
               check_int "wire count = in-process count" inproc.Server.qr_count
@@ -231,7 +253,7 @@ let test_concurrent_clients () =
   with_server (fun store server ->
       let local = query_on_runner store () in
       let expected =
-        List.map (fun q -> (q, ok (local q))) [ q_app_box; q_box_box; q_two_hop ]
+        List.map (fun q -> (q, ok (local ~trace:false q))) [ q_app_box; q_box_box; q_two_hop ]
       in
       let n = 4 and per_client = 6 in
       let failures = Array.make n "" in
@@ -446,6 +468,303 @@ let test_watch_cleanup_on_disconnect () =
       check_bool "watch removed with session" true
         (eventually (fun () -> Server.watch_count server = 0)))
 
+(* ---- tracing over the wire ------------------------------------------ *)
+
+module Trace = Nepal.Trace
+
+(* Pure span-tree specs, then realized with Trace.make/child; details
+   exercise quotes, backslashes, control bytes, and multi-byte UTF-8. *)
+type span_spec = {
+  sp_name : string;
+  sp_detail : string;
+  sp_wall_us : int;
+  sp_ri : int;
+  sp_ro : int;
+  sp_est : bool;
+  sp_calls : int;
+  sp_kids : span_spec list;
+}
+
+let gen_span_spec =
+  let open QCheck.Gen in
+  let name = oneofl [ "Query"; "Var"; "Select"; "Extend"; "Join"; "Filter" ] in
+  let detail =
+    oneofl [ ""; "App()"; {|p."x" = 1|}; "a\"b\\c"; "tab\tnl\n"; "é→x" ]
+  in
+  sized
+  @@ fix (fun self n ->
+         let kids =
+           if n = 0 then return [] else list_size (int_bound 3) (self (n / 2))
+         in
+         map
+           (fun ((nm, dt), (w, ri, ro), (est, calls, ks)) ->
+             {
+               sp_name = nm;
+               sp_detail = dt;
+               sp_wall_us = w;
+               sp_ri = ri;
+               sp_ro = ro;
+               sp_est = est;
+               sp_calls = calls;
+               sp_kids = ks;
+             })
+           (triple (pair name detail)
+              (triple (int_bound 100_000) small_nat small_nat)
+              (triple bool small_nat kids)))
+
+let rec realize_spec ?parent spec =
+  let s =
+    match parent with
+    | None -> Trace.make ~detail:spec.sp_detail spec.sp_name
+    | Some p -> Trace.child ~detail:spec.sp_detail p spec.sp_name
+  in
+  s.Trace.wall_s <- float_of_int spec.sp_wall_us /. 1e6;
+  s.Trace.rows_in <- spec.sp_ri;
+  s.Trace.rows_out <- spec.sp_ro;
+  if spec.sp_est then s.Trace.est_rows <- float_of_int spec.sp_ro *. 1.5;
+  s.Trace.calls <- spec.sp_calls;
+  List.iter (fun k -> ignore (realize_spec ~parent:s k)) spec.sp_kids;
+  s
+
+(* Trace.to_json must survive the strict RFC 8259 parser: serialization
+   parses back, re-serializes identically, and keeps the tree's names
+   and arity intact. *)
+let prop_trace_json_roundtrip =
+  QCheck.Test.make ~name:"Trace.to_json round-trips through Json.parse"
+    ~count:200
+    (QCheck.make gen_span_spec)
+    (fun spec ->
+      let span = realize_spec spec in
+      let text = J.json_to_string (Trace.to_json span) in
+      match Json.parse text with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s on %s" e text
+      | Ok v ->
+          if Json.to_string v <> text then
+            QCheck.Test.fail_reportf "reparse not stable: %s" text
+          else if Json.string_field "name" v <> Some spec.sp_name then
+            QCheck.Test.fail_reportf "root name lost: %s" text
+          else begin
+            (match Json.member "children" v with
+            | Some (J.List l) when List.length l = List.length spec.sp_kids ->
+                ()
+            | _ -> QCheck.Test.fail_reportf "children arity lost: %s" text);
+            true
+          end)
+
+(* Shape of a span tree as rendered to JSON: operator names, nesting,
+   and row counts — everything except the timings. *)
+let rec span_shape j =
+  let name = Option.value ~default:"?" (Json.string_field "name" j) in
+  let rows = Option.value ~default:(-1) (Json.int_field "rows_out" j) in
+  let kids =
+    match Json.member "children" j with
+    | Some (J.List l) -> List.map span_shape l
+    | _ -> []
+  in
+  Printf.sprintf "%s/%d(%s)" name rows (String.concat "," kids)
+
+let test_traced_wire_matches_inprocess () =
+  with_server (fun store server ->
+      with_client server (fun c ->
+          let conn = Nepal.native_conn store in
+          List.iter
+            (fun q ->
+              let wire = ok (Client.query_traced c q) in
+              let tr = ok (Nepal.Explain.run_string_wire_traced ~conn q) in
+              let wt =
+                match wire.Server.qr_trace with
+                | Some t -> t
+                | None -> Alcotest.fail "traced reply has no trace"
+              in
+              let wire_spans =
+                match Json.member "spans" wt with
+                | Some s -> s
+                | None -> Alcotest.fail "trace has no spans"
+              in
+              check_string "wire span shape = in-process span shape"
+                (span_shape (Trace.to_json tr.Nepal.Explain.tr_root))
+                (span_shape wire_spans);
+              (match Json.member "plan" wt with
+              | Some (J.List (_ :: _)) -> ()
+              | _ -> Alcotest.fail "trace has no plan lines");
+              (* tracing must not change the answer *)
+              let plain = ok (Client.query c q) in
+              check_string "traced text = untraced text" plain.Server.qr_text
+                wire.Server.qr_text;
+              check_bool "untraced reply carries no trace" true
+                (plain.Server.qr_trace = None))
+            [ q_app_box; q_box_box; q_two_hop ];
+          (* EXPLAIN under trace:true is rejected: the flag implies it *)
+          match Client.query_traced c ("Explain " ^ q_app_box) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "EXPLAIN under trace must error"))
+
+(* ---- alert end-to-end latency --------------------------------------- *)
+
+let json_num = function
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let test_alert_latency () =
+  let nodes = ref None in
+  let build store =
+    let node cls fs =
+      ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs))
+    in
+    let app = node "App" [ ("id", i 1); ("tier", s "web") ] in
+    let box = node "Box" [ ("id", i 10); ("region", s "east") ] in
+    nodes := Some (app, box)
+  in
+  with_server ~build (fun _store server ->
+      let app, box = Option.get !nodes in
+      let e2e = Nepal.Metrics.histogram "monitor.alert_e2e" in
+      let count () = (Nepal.Metrics.stats_of e2e).Nepal.Metrics.count in
+      let before = count () in
+      with_client server (fun c ->
+          let _w = ok (Client.watch c q_app_box) in
+          let next_alert () =
+            let rec go tries =
+              if tries = 0 then None
+              else
+                match Client.next_event ~timeout_s:5. c with
+                | None -> None
+                | Some ev when Json.string_field "event" ev = Some "alert" ->
+                    Some ev
+                | Some _ -> go (tries - 1)
+            in
+            go 5
+          in
+          (* churn: flap the path a few times through the write lock;
+             every resulting alert must carry a non-negative e2e stamp *)
+          let day = ref 2 in
+          for _round = 1 to 3 do
+            let at () =
+              incr day;
+              tp (Printf.sprintf "2017-03-%02d 00:00:00" !day)
+            in
+            let uid =
+              Server.with_write server (fun store ->
+                  ok
+                    (Store.insert_edge store ~at:(at ()) ~cls:"RunsOn" ~src:app
+                       ~dst:box ~fields:Nepal.Strmap.empty))
+            in
+            (match next_alert () with
+            | None -> Alcotest.fail "no path.up alert"
+            | Some ev -> (
+                match json_num (Json.member "latency_ms" ev) with
+                | Some ms ->
+                    if ms < 0. then
+                      Alcotest.failf "negative alert latency: %f" ms
+                | None -> Alcotest.fail "alert frame lacks latency_ms"));
+            Server.with_write server (fun store ->
+                ok (Store.delete store ~at:(at ()) uid));
+            match next_alert () with
+            | None -> Alcotest.fail "no path.down alert"
+            | Some ev ->
+                check_bool "down alert has latency_ms" true
+                  (json_num (Json.member "latency_ms" ev) <> None)
+          done;
+          check_bool "monitor.alert_e2e histogram advanced" true
+            (count () > before)))
+
+let test_per_session_alerts_sent () =
+  let nodes = ref None in
+  let build store =
+    let node cls fs =
+      ok (Store.insert_node store ~at:t0 ~cls ~fields:(fields fs))
+    in
+    let app = node "App" [ ("id", i 1); ("tier", s "web") ] in
+    let box = node "Box" [ ("id", i 10); ("region", s "east") ] in
+    nodes := Some (app, box)
+  in
+  with_server ~build (fun _store server ->
+      let app, box = Option.get !nodes in
+      with_client server (fun watcher ->
+          with_client server (fun idle ->
+              let _w = ok (Client.watch watcher q_app_box) in
+              ignore
+                (Server.with_write server (fun store ->
+                     ok
+                       (Store.insert_edge store ~at:(tp "2017-03-02 00:00:00")
+                          ~cls:"RunsOn" ~src:app ~dst:box
+                          ~fields:Nepal.Strmap.empty)));
+              let got_alert =
+                let rec go tries =
+                  if tries = 0 then false
+                  else
+                    match Client.next_event ~timeout_s:5. watcher with
+                    | Some ev
+                      when Json.string_field "event" ev = Some "alert" ->
+                        true
+                    | Some _ -> go (tries - 1)
+                    | None -> false
+                in
+                go 5
+              in
+              check_bool "watcher saw the alert" true got_alert;
+              (* stats is per-session: the watcher counts its delivery,
+                 the idle session stays at zero (the old bug reported the
+                 server-wide total on every session) *)
+              let w_stats = ok (Client.stats watcher) in
+              check_bool "watcher alerts_sent positive" true
+                (match Json.int_field "alerts_sent" w_stats with
+                | Some n -> n >= 1
+                | None -> false);
+              check_bool "watcher outbox high water present" true
+                (Json.int_field "outbox_high_water" w_stats <> None);
+              let i_stats = ok (Client.stats idle) in
+              check_bool "idle session alerts_sent zero" true
+                (Json.int_field "alerts_sent" i_stats = Some 0))))
+
+(* ---- introspect ------------------------------------------------------ *)
+
+let test_introspect () =
+  with_server (fun _store server ->
+      with_client server (fun c ->
+          ignore (ok (Client.query c q_app_box));
+          let _w = ok (Client.watch c q_box_box) in
+          let ins = ok (Client.introspect c) in
+          check_bool "proto" true (Json.int_field "proto" ins <> None);
+          check_bool "uptime_s" true
+            (json_num (Json.member "uptime_s" ins) <> None);
+          check_bool "requests counted" true
+            (match Json.int_field "requests" ins with
+            | Some n -> n >= 2
+            | None -> false);
+          (* latency histogram summaries are objects with a count *)
+          (match Json.member "query_seconds" ins with
+          | Some h -> (
+              match Json.int_field "count" h with
+              | Some n when n >= 1 -> ()
+              | _ -> Alcotest.fail "query_seconds has no samples")
+          | None -> Alcotest.fail "no query_seconds");
+          (match Json.member "executor" ins with
+          | Some ex ->
+              check_bool "executor workers" true
+                (match Json.int_field "workers" ex with
+                | Some n -> n >= 1
+                | None -> false)
+          | None -> Alcotest.fail "no executor block");
+          (match Json.member "rwlock" ins with
+          | Some rw ->
+              check_bool "rwlock waiters" true
+                (Json.int_field "waiters" rw <> None)
+          | None -> Alcotest.fail "no rwlock block");
+          (* the per-session table names this session and its watch *)
+          match Json.member "sessions" ins with
+          | Some (J.List [ sess ]) -> (
+              check_bool "session requests" true
+                (match Json.int_field "requests" sess with
+                | Some n -> n >= 2
+                | None -> false);
+              check_bool "session outbox high water" true
+                (Json.int_field "outbox_high_water" sess <> None);
+              match Json.member "watches" sess with
+              | Some (J.List [ J.Int _ ]) -> ()
+              | _ -> Alcotest.fail "session watch ids missing")
+          | _ -> Alcotest.fail "sessions table must list one session"))
+
 (* ---- metrics exporter regression ------------------------------------ *)
 
 let test_exporter_survives_idle_peer () =
@@ -520,6 +839,21 @@ let () =
           Alcotest.test_case "cleanup on disconnect" `Quick
             test_watch_cleanup_on_disconnect;
         ] );
+      ( "tracing",
+        [
+          QCheck_alcotest.to_alcotest prop_trace_json_roundtrip;
+          Alcotest.test_case "traced wire = in-process EXPLAIN ANALYZE" `Quick
+            test_traced_wire_matches_inprocess;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "alert frames carry e2e latency" `Quick
+            test_alert_latency;
+          Alcotest.test_case "alerts_sent is per-session" `Quick
+            test_per_session_alerts_sent;
+        ] );
+      ( "introspect",
+        [ Alcotest.test_case "live state dump" `Quick test_introspect ] );
       ( "exporter",
         [
           Alcotest.test_case "survives idle peer" `Quick
