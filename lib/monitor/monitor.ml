@@ -62,13 +62,15 @@ type watch = {
   w_text : string;
   w_query : Q.query;
   w_relevance : Analysis.relevance;
-  mutable w_known : string Strmap.t;  (* row fingerprint -> rendering *)
-  mutable w_dirty : bool;
-  mutable w_dirty_since : float;      (* wall clock of first dirtying *)
-  mutable w_origin_wall : float;
+  mutable w_known : string Strmap.t [@guarded_by "owner: Server.mon_lock"];
+      (* row fingerprint -> rendering *)
+  mutable w_dirty : bool [@guarded_by "owner: Server.mon_lock"];
+  mutable w_dirty_since : float [@guarded_by "owner: Server.mon_lock"];
+      (* wall clock of first dirtying *)
+  mutable w_origin_wall : float [@guarded_by "owner: Server.mon_lock"];
       (* publish stamp of the oldest CDC change pending on this watch;
          0. = none. The origin of the end-to-end alert latency. *)
-  mutable w_active : bool;
+  mutable w_active : bool [@guarded_by "owner: Server.mon_lock"];
 }
 
 type alert_kind = Path_up | Path_down | Path_changed
@@ -91,10 +93,10 @@ type t = {
   conn_of : unit -> Backend_intf.conn;
   sub : Graph_store.subscription;
   debounce_s : float;
-  mutable watches : watch list;
-  mutable next_id : int;
-  mutable seen_dropped : int;
-  mutable closed : bool;
+  mutable watches : watch list [@guarded_by "owner: Server.mon_lock"];
+  mutable next_id : int [@guarded_by "owner: Server.mon_lock"];
+  mutable seen_dropped : int [@guarded_by "owner: Server.mon_lock"];
+  mutable closed : bool [@guarded_by "owner: Server.mon_lock"];
 }
 
 let alert_kind_string = function

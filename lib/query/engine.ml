@@ -9,6 +9,18 @@ module Anchor = Nepal_rpe.Anchor
 module Predicate = Nepal_rpe.Predicate
 open Query_ast
 
+(* A best-effort hook (planner, analyzer) failed and we fall back —
+   but never silently: a counter bump plus, when the event log is
+   armed, an event naming the exception, so hook breakage shows up in
+   observability instead of vanishing (LNT005). *)
+let m_hook_errors = Metrics.counter "engine.hook_errors"
+
+let record_hook_error ~kind exn =
+  Metrics.incr m_hook_errors;
+  if Event_log.enabled () then
+    Event_log.emit ~level:Event_log.Warn ~kind
+      [ ("error", Event_log.Str (Printexc.to_string exn)) ]
+
 type row = { paths : Path.t Strmap.t; coexist : Interval_set.t option }
 
 type result =
@@ -210,7 +222,9 @@ let consult_planner ~(optimizer : optimizer) ~declared inputs q =
                = List.sort String.compare declared ->
             Some ep
         | _ -> None
-      with _ -> None)
+      with exn ->
+        record_hook_error ~kind:"planner.hook_error" exn;
+        None)
 
 (* -- the main evaluation -------------------------------------------- *)
 
@@ -901,9 +915,14 @@ let analysis_prelude ~conn ~binds ~(analyze : analyze_mode) q =
           hook
             ~schema_of:(fun var -> Backend_intf.conn_schema (conn_of var))
             ~cost_of:(fun var a ->
-              try Backend_intf.estimate_atom (conn_of var) a with _ -> 1.0)
+              try Backend_intf.estimate_atom (conn_of var) a
+              with exn ->
+                record_hook_error ~kind:"analysis.cost_error" exn;
+                1.0)
             q
-        with _ -> []
+        with exn ->
+          record_hook_error ~kind:"analysis.hook_error" exn;
+          []
       in
       let flagged =
         List.filter

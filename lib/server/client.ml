@@ -14,8 +14,8 @@ type t = {
   lr : Net.line_reader;
   lock : Mutex.t;  (* serializes request/response exchanges *)
   events : Json.t Queue.t;  (* unsolicited frames, oldest first *)
-  mutable next_id : int;
-  mutable closed : bool;
+  mutable next_id : int [@guarded_by "lock"];
+  closed : bool Atomic.t;  (* close() may race an in-flight exchange *)
 }
 
 let connect ?(addr = Unix.inet_addr_loopback) ?(port = 9642)
@@ -32,15 +32,14 @@ let connect ?(addr = Unix.inet_addr_loopback) ?(port = 9642)
           lock = Mutex.create ();
           events = Queue.create ();
           next_id = 1;
-          closed = false;
+          closed = Atomic.make false;
         }
   | exception Unix.Unix_error (err, fn, _) ->
       Net.close_noerr fd;
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
 
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
+  if not (Atomic.exchange t.closed true) then begin
     Net.shutdown_noerr t.fd;
     Net.close_noerr t.fd
   end
@@ -51,7 +50,7 @@ let fd t = t.fd
    the wait ([None] = wait until the peer answers or disconnects; the
    receive-timeout ticks just loop). *)
 let rec read_frame t ~deadline =
-  if t.closed then Error "client closed"
+  if Atomic.get t.closed then Error "client closed"
   else
     match Net.read_line t.lr with
     | Net.Eof -> Error "connection closed by server"

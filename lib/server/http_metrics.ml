@@ -67,8 +67,8 @@ let with_scrape_hygiene render () =
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
-  mutable running : bool;
-  mutable thread : Thread.t option;
+  running : bool Atomic.t;  (* stop() races the serve loop *)
+  mutable thread : Thread.t option [@guarded_by "owner: start/stop caller"];
 }
 
 let http_response status content_type body =
@@ -114,7 +114,7 @@ let handle ~render ~timeout client =
 
 let serve_loop t ~render ~timeout ~once =
   let served = ref 0 in
-  while t.running && not (once && !served > 0) do
+  while Atomic.get t.running && not (once && !served > 0) do
     match Net.accept_tick t.sock ~tick_s:0.2 with
     | None -> ()
     | Some (client, _peer) ->
@@ -128,12 +128,14 @@ let start ?(addr = Unix.inet_addr_any) ?(port = 9464) ?(once = false)
   match Net.listen_tcp ~addr ~port () with
   | Error e -> Error e
   | Ok (sock, bound_port) ->
-      let t = { sock; bound_port; running = true; thread = None } in
+      let t =
+        { sock; bound_port; running = Atomic.make true; thread = None }
+      in
       let th =
         Thread.create
           (fun () ->
             serve_loop t ~render ~timeout:request_timeout_s ~once;
-            t.running <- false)
+            Atomic.set t.running false)
           ()
       in
       t.thread <- Some th;
@@ -145,6 +147,6 @@ let wait t =
   match t.thread with Some th -> Thread.join th | None -> ()
 
 let stop t =
-  t.running <- false;
+  Atomic.set t.running false;
   wait t;
   Net.close_noerr t.sock

@@ -40,9 +40,11 @@ type t = {
   nonempty : Condition.t;
   items : entry Queue.t;
   capacity : int;
-  mutable dropped : int;  (* cumulative droppable frames refused *)
-  mutable high_water : int;  (* max occupancy ever observed *)
-  mutable closed : bool;
+  mutable dropped : int [@guarded_by "lock"];
+      (* cumulative droppable frames refused *)
+  mutable high_water : int [@guarded_by "lock"];
+      (* max occupancy ever observed *)
+  mutable closed : bool [@guarded_by "lock"];
 }
 
 let m_dwell = Metrics.histogram "outbox.dwell_seconds"

@@ -40,6 +40,17 @@ let m_requests = Metrics.counter "server.requests"
 let m_errors = Metrics.counter "server.errors"
 let m_alerts_sent = Metrics.counter "server.alerts_sent"
 let m_alerts_dropped = Metrics.counter "server.alerts_dropped"
+
+(* Cleanup and pump paths must survive a secondary failure, but
+   nothing may vanish silently (LNT005): count it and, when the event
+   log is armed, record which exception was suppressed. *)
+let m_suppressed_errors = Metrics.counter "server.suppressed_errors"
+
+let note_error ~kind exn =
+  Metrics.incr m_suppressed_errors;
+  if Nepal_util.Event_log.enabled () then
+    Nepal_util.Event_log.emit ~level:Nepal_util.Event_log.Warn ~kind
+      [ ("error", Nepal_util.Event_log.Str (Printexc.to_string exn)) ]
 let h_query = Metrics.histogram "server.query_seconds"
 
 type query_reply = {
@@ -84,8 +95,8 @@ type session = {
   s_started : float;
   s_requests : int Atomic.t;  (* reader thread writes, introspect reads *)
   s_alerts_sent : int Atomic.t;  (* pump writes, stats/introspect read *)
-  mutable s_watches : (int * Monitor.watch) list;
-      (* touched only by this session's reader thread *)
+  mutable s_watches : (int * Monitor.watch) list
+      [@guarded_by "owner: this session's reader thread"];
 }
 
 type t = {
@@ -98,13 +109,13 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   started_at : float;
-  lock : Mutex.t;  (* sessions, watch_routes, next_session, running *)
+  lock : Mutex.t;  (* sessions, watch_routes, next_session *)
   sessions : (int, session * Thread.t) Hashtbl.t;
   watch_routes : (int, session) Hashtbl.t;  (* watch id -> owner *)
-  mutable next_session : int;
-  mutable running : bool;
-  mutable listener : Thread.t option;
-  mutable pump : Thread.t option;
+  mutable next_session : int [@guarded_by "lock"];
+  running : bool Atomic.t;  (* flipped once by [stop]; loops poll it *)
+  mutable listener : Thread.t option [@guarded_by "start/stop caller"];
+  mutable pump : Thread.t option [@guarded_by "start/stop caller"];
 }
 
 let with_lock m f =
@@ -333,7 +344,9 @@ let writer_loop s =
 let session_cleanup t s writer =
   with_lock t.mon_lock (fun () ->
       List.iter
-        (fun (_, w) -> try Monitor.unwatch t.mon w with _ -> ())
+        (fun (_, w) ->
+          try Monitor.unwatch t.mon w
+          with exn -> note_error ~kind:"session.unwatch_error" exn)
         s.s_watches);
   with_lock t.lock (fun () ->
       List.iter (fun (wid, _) -> Hashtbl.remove t.watch_routes wid) s.s_watches;
@@ -353,7 +366,8 @@ let session_loop t s =
     | Net.Eof -> continue := false
     | Net.Timeout ->
         (* idle tick: just check for shutdown (server stop, writer death) *)
-        if (not t.running) || Outbox.is_closed s.s_outbox then continue := false
+        if (not (Atomic.get t.running)) || Outbox.is_closed s.s_outbox
+        then continue := false
     | Net.Too_long bytes ->
         Metrics.incr m_errors;
         push s
@@ -374,7 +388,7 @@ let session_loop t s =
 (* -- listener ----------------------------------------------------------- *)
 
 let listener_loop t make_runner =
-  while t.running do
+  while Atomic.get t.running do
     match Net.accept_tick t.listen_fd ~tick_s:0.2 with
     | None -> ()
     | Some (fd, _peer) -> (
@@ -382,7 +396,7 @@ let listener_loop t make_runner =
         let admitted =
           with_lock t.lock (fun () ->
               if
-                (not t.running)
+                (not (Atomic.get t.running))
                 || Hashtbl.length t.sessions >= t.cfg.max_sessions
               then None
               else begin
@@ -452,13 +466,16 @@ let route_alert t alert =
       else Metrics.incr m_alerts_dropped
 
 let pump_loop t =
-  while t.running do
+  while Atomic.get t.running do
     Thread.delay t.cfg.pump_interval_s;
-    if t.running then begin
+    if Atomic.get t.running then begin
       let alerts =
         with_lock t.mon_lock (fun () ->
             Rwlock.read t.rw (fun () ->
-                try Monitor.poll t.mon with _ -> []))
+                try Monitor.poll t.mon
+                with exn ->
+                  note_error ~kind:"monitor.poll_error" exn;
+                  []))
       in
       List.iter (route_alert t) alerts
     end
@@ -492,7 +509,7 @@ let start ?(config = default_config) ?make_runner store =
           sessions = Hashtbl.create 16;
           watch_routes = Hashtbl.create 16;
           next_session = 1;
-          running = true;
+          running = Atomic.make true;
           listener = None;
           pump = None;
         }
@@ -506,11 +523,7 @@ let start ?(config = default_config) ?make_runner store =
 let wait t = match t.listener with Some th -> Thread.join th | None -> ()
 
 let stop t =
-  let was_running = with_lock t.lock (fun () ->
-      let r = t.running in
-      t.running <- false;
-      r)
-  in
+  let was_running = Atomic.exchange t.running false in
   if was_running then begin
     (* listener notices the flag within one accept tick *)
     (match t.listener with Some th -> Thread.join th | None -> ());

@@ -47,17 +47,18 @@ end
 type subscription = {
   sub_cap : int;
   sub_q : Change.t Queue.t;
-  mutable sub_dropped : int;
-  mutable sub_active : bool;
+  mutable sub_dropped : int [@guarded_by "owner: store writer (Server rw)"];
+  mutable sub_active : bool [@guarded_by "owner: store writer (Server rw)"];
 }
 
 type index_key = string * string (* class, field *)
 
 type t = {
   schema : Schema.t;
-  mutable clock : Time_point.t;
-  mutable version : int; (* bumped on every successful mutation *)
-  mutable next_uid : int;
+  mutable clock : Time_point.t [@guarded_by "owner: store writer (Server rw)"];
+  mutable version : int [@guarded_by "owner: store writer (Server rw)"];
+      (* bumped on every successful mutation *)
+  mutable next_uid : int [@guarded_by "owner: store writer (Server rw)"];
   current : (uid, Entity.t) Hashtbl.t;
   history : (uid, Entity.t list) Hashtbl.t; (* closed versions, newest first *)
   extent_current : (string, (uid, unit) Hashtbl.t) Hashtbl.t;
@@ -68,8 +69,10 @@ type t = {
   adj_in : (uid, (uid, unit) Hashtbl.t) Hashtbl.t;
   indexes : (index_key, (Value.t, (uid, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
       (* (cls, field) -> value -> uids that ever had this value *)
-  mutable creation_order : uid list; (* reversed *)
-  mutable subs : subscription list; (* CDC subscribers *)
+  mutable creation_order : uid list
+      [@guarded_by "owner: store writer (Server rw)"]; (* reversed *)
+  mutable subs : subscription list
+      [@guarded_by "owner: store writer (Server rw)"]; (* CDC subscribers *)
 }
 
 let ( let* ) = Result.bind

@@ -83,8 +83,9 @@ module Executor = struct
     lock : Mutex.t;
     nonempty : Condition.t;
     tasks : (float * (unit -> unit)) Queue.t;  (* (enqueued_at, task) *)
-    mutable shutdown : bool;
-    mutable workers : unit Domain.t list;
+    mutable shutdown : bool [@guarded_by "lock"];
+    mutable workers : unit Domain.t list
+        [@guarded_by "owner: create/shutdown caller"];
     size : int;
   }
 
@@ -92,6 +93,18 @@ module Executor = struct
      light load this is one condition-variable handoff; under
      saturation it is the headroom signal `nepal top` watches. *)
   let m_queue_dwell = Metrics.histogram "executor.queue_seconds"
+
+  (* A raw [submit] task that raises must not kill its worker domain,
+     but the failure may not vanish either (LNT005): count it and,
+     when the event log is armed, record the exception. [run] tasks
+     never reach this — their wrapper captures the outcome. *)
+  let m_task_errors = Metrics.counter "executor.task_errors"
+
+  let note_task_error exn =
+    Metrics.incr m_task_errors;
+    if Event_log.enabled () then
+      Event_log.emit ~level:Event_log.Warn ~kind:"executor.task_error"
+        [ ("error", Event_log.Str (Printexc.to_string exn)) ]
 
   let create ?domains () =
     let size =
@@ -126,7 +139,7 @@ module Executor = struct
           ignore (Atomic.fetch_and_add busy_workers 1);
           Fun.protect
             ~finally:(fun () -> ignore (Atomic.fetch_and_add busy_workers (-1)))
-            (fun () -> try task () with _ -> ());
+            (fun () -> try task () with exn -> note_task_error exn);
           worker_loop ()
     in
     t.workers <- List.init size (fun _ -> Domain.spawn worker_loop);

@@ -24,8 +24,8 @@ let m_invalid = Metrics.counter "env.invalid"
 
 let lock = Mutex.create ()
 let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 8
-let log : invalid list ref = ref []
-let count = ref 0
+let log : invalid list ref = ref [] [@@guarded_by "lock"]
+let count = ref 0 [@@guarded_by "lock"]
 
 let locked f =
   Mutex.lock lock;

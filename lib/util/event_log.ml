@@ -166,12 +166,12 @@ let json_to_string j =
 type sink = Disabled | To_stderr | To_file of out_channel * string
 
 type state = {
-  mutable sink : sink;
-  mutable min_level : level;
-  mutable slow_query_s : float option;
+  mutable sink : sink [@guarded_by "lock"];
+  mutable min_level : level [@guarded_by "lock"];
+  mutable slow_query_s : float option [@guarded_by "lock"];
   samples : (string, int) Hashtbl.t;       (* kind -> keep one in N *)
   sample_ticks : (string, int ref) Hashtbl.t;
-  mutable configured : bool;
+  mutable configured : bool [@guarded_by "lock"];
   lock : Mutex.t;
 }
 
@@ -265,7 +265,7 @@ let write_line_locked line =
    (the cursor starts at 0). Runs under the state lock with the sink
    enabled; the cursor advances even below the level floor so a
    filtered invalid is not retried forever. *)
-let env_flushed = ref 0
+let env_flushed = ref 0 [@@guarded_by "state.lock"]
 
 let flush_env_invalids_locked () =
   let n = Env.invalid_count () in

@@ -61,10 +61,10 @@ type histogram = {
   h_name : string;
   h_lock : Mutex.t;
   buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  mutable h_count : int [@guarded_by "h_lock"];
+  mutable h_sum : float [@guarded_by "h_lock"];
+  mutable h_min : float [@guarded_by "h_lock"];
+  mutable h_max : float [@guarded_by "h_lock"];
 }
 
 let registry_lock = Mutex.create ()
@@ -256,6 +256,7 @@ let reset () =
    table, event-sampling counters) registers a hook so [reset_all]
    restores a pristine process for test isolation. *)
 let reset_hooks : (unit -> unit) list ref = ref []
+[@@guarded_by "registry_lock"]
 let on_reset f = reset_hooks := f :: !reset_hooks
 
 let reset_all () =

@@ -14,16 +14,35 @@
    the uncontended fast path takes no timestamps and touches no shared
    histogram mutex, so parallel readers do not serialize on the
    instrumentation and the passive cost is zero when the lock is
-   free. *)
+   free.
+
+   NEPAL_LOCK_DEBUG=1 arms a per-thread held-state witness: re-entrant
+   acquisition on the same (domain, systhread) raises [Reentrant]
+   instead of deadlocking — the dynamic counterpart of the static
+   LNT002 lint. Unarmed (the default), acquisition does one extra
+   option match and nothing else. *)
+
+exception Reentrant of string
+
+type side = R | W
+
+let side_name = function R -> "read" | W -> "write"
 
 type t = {
   lock : Mutex.t;
   can_read : Condition.t;
   can_write : Condition.t;
-  mutable readers : int;          (* active readers *)
-  mutable writer : bool;          (* a writer is active *)
-  mutable readers_waiting : int;
-  mutable writers_waiting : int;
+  mutable readers : int [@guarded_by "lock"];          (* active readers *)
+  mutable writer : bool [@guarded_by "lock"];          (* a writer is active *)
+  mutable readers_waiting : int [@guarded_by "lock"];
+  mutable writers_waiting : int [@guarded_by "lock"];
+  (* Armed by NEPAL_LOCK_DEBUG=1 at [create]: which side each
+     (domain, systhread) currently holds, updated under [lock]. The
+     runtime witness for the static LNT002 rule — a re-entrant
+     acquisition raises [Reentrant] instead of deadlocking under
+     writer preference. [None] when unarmed: the uncontended path does
+     one option match, no timestamps, no thread-local storage. *)
+  debug : (int * int, side) Hashtbl.t option [@guarded_by "lock"];
 }
 
 let m_read_wait = Metrics.histogram "rwlock.read_wait_seconds"
@@ -38,10 +57,41 @@ let create () =
     writer = false;
     readers_waiting = 0;
     writers_waiting = 0;
+    debug =
+      (match Env.int_opt ~min:0 "NEPAL_LOCK_DEBUG" with
+      | Some v when v > 0 -> Some (Hashtbl.create 8)
+      | _ -> None);
   }
+
+let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* Called with [t.lock] held, before any blocking: raising here (after
+   releasing the mutex) turns the would-be deadlock into a diagnosis. *)
+let debug_enter t side =
+  match t.debug with
+  | None -> ()
+  | Some held -> (
+      let key = self_key () in
+      match Hashtbl.find_opt held key with
+      | Some prev ->
+          Mutex.unlock t.lock;
+          raise
+            (Reentrant
+               (Printf.sprintf
+                  "Rwlock: re-entrant %s acquisition while holding %s on the \
+                   same thread (deadlock under writer preference)"
+                  (side_name side) (side_name prev)))
+      | None -> Hashtbl.replace held key side)
+
+(* Called with [t.lock] held, on release. *)
+let debug_exit t =
+  match t.debug with
+  | None -> ()
+  | Some held -> Hashtbl.remove held (self_key ())
 
 let read t f =
   Mutex.lock t.lock;
+  debug_enter t R;
   if t.writer || t.writers_waiting > 0 then begin
     let t0 = Unix.gettimeofday () in
     t.readers_waiting <- t.readers_waiting + 1;
@@ -56,6 +106,7 @@ let read t f =
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock t.lock;
+      debug_exit t;
       t.readers <- t.readers - 1;
       if t.readers = 0 then Condition.signal t.can_write;
       Mutex.unlock t.lock)
@@ -63,6 +114,7 @@ let read t f =
 
 let write t f =
   Mutex.lock t.lock;
+  debug_enter t W;
   if t.writer || t.readers > 0 then begin
     let t0 = Unix.gettimeofday () in
     t.writers_waiting <- t.writers_waiting + 1;
@@ -77,6 +129,7 @@ let write t f =
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock t.lock;
+      debug_exit t;
       t.writer <- false;
       if t.writers_waiting > 0 then Condition.signal t.can_write
       else Condition.broadcast t.can_read;

@@ -7,9 +7,20 @@
     Contended acquisitions are timed into the
     [rwlock.read_wait_seconds] / [rwlock.write_wait_seconds]
     histograms; uncontended acquisitions are not recorded, so the fast
-    path stays instrumentation-free. *)
+    path stays instrumentation-free.
+
+    Setting [NEPAL_LOCK_DEBUG=1] in the environment when the lock is
+    created arms a per-thread held-state witness: a re-entrant [read]
+    or [write] on a thread already inside a section raises
+    {!Reentrant} instead of deadlocking under writer preference. When
+    unarmed (the default) the check is a single option match — no
+    timestamps, no thread-local storage. *)
 
 type t
+
+exception Reentrant of string
+(** Raised (only when armed via [NEPAL_LOCK_DEBUG]) on re-entrant
+    acquisition; the message names the held and requested sides. *)
 
 val create : unit -> t
 

@@ -802,6 +802,25 @@ let test_exporter_survives_idle_peer () =
             (String.length line >= 12 && String.sub line 9 3 = "200");
           Net.close_noerr fd))
 
+(* NEPAL_LOCK_DEBUG=1 arms the store lock's re-entrancy witness: the
+   deadlock the static LNT002 rule flags at compile time raises
+   [Rwlock.Reentrant] at run time instead of hanging the session
+   thread. Distinct threads sharing the read side stay legal — the
+   witness keys on (domain, thread). *)
+let test_lock_debug_witness () =
+  let module Rwlock = Nepal_util.Rwlock in
+  Unix.putenv "NEPAL_LOCK_DEBUG" "1";
+  let rw = Rwlock.create () in
+  Unix.putenv "NEPAL_LOCK_DEBUG" "0";
+  let peer =
+    Thread.create (fun () -> Rwlock.read rw (fun () -> Thread.delay 0.02)) ()
+  in
+  Rwlock.read rw (fun () -> Thread.delay 0.02);
+  Thread.join peer;
+  match Rwlock.write rw (fun () -> Rwlock.read rw (fun () -> ())) with
+  | () -> Alcotest.fail "re-entrant read under write did not raise"
+  | exception Rwlock.Reentrant _ -> ()
+
 let () =
   Alcotest.run "server"
     [
@@ -858,5 +877,10 @@ let () =
         [
           Alcotest.test_case "survives idle peer" `Quick
             test_exporter_survives_idle_peer;
+        ] );
+      ( "lock witness",
+        [
+          Alcotest.test_case "NEPAL_LOCK_DEBUG catches re-entrancy" `Quick
+            test_lock_debug_witness;
         ] );
     ]

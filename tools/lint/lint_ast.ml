@@ -1,0 +1,389 @@
+(* Parsetree extraction: one pass per file collecting everything the
+   rules need — a per-function list of call/use sites with the lexical
+   gate context they occur under (which Rwlock/Mutex/Executor closures
+   enclose them), catch-all exception handlers, mutable record fields
+   and top-level refs with their [@guarded_by]/Atomic status, and
+   polymorphic-equality-against-Null sites.
+
+   Context model: entering a gate closure pushes a frame. [G_async]
+   frames RESET the stack (a Thread.create/Domain.spawn closure runs
+   later, on another thread, without the spawner's locks); [G_task]
+   frames PUSH (Executor.run is synchronous — the caller blocks with
+   its locks held until the worker finishes). Functions passed to a
+   gate by name instead of as a literal [fun] are recorded as
+   pseudo-calls carrying the pushed context, so [Thread.create
+   (pump_loop t) ()] still marks [pump_loop] as thread-borne.
+
+   Everything here is an over-approximation: unknown callees (function
+   arguments, stdlib) contribute no edges, and a lambda not passed to
+   any gate keeps the enclosing context. *)
+
+open Parsetree
+
+type call = {
+  c_path : string list; (* alias-expanded callee path, e.g. ["Rwlock";"read"] *)
+  c_ctx : Lint_config.gate list; (* innermost frame first *)
+  c_line : int;
+  c_col : int;
+}
+
+type catch_all = {
+  ca_ctx : Lint_config.gate list;
+  ca_line : int;
+  ca_col : int;
+}
+
+type mutable_decl = {
+  md_name : string;
+  md_line : int;
+  md_col : int;
+  md_guarded : bool; (* carries a [@guarded_by "..."] annotation *)
+  md_atomic : bool;  (* declared as _ Atomic.t *)
+}
+
+type func = {
+  fn_id : int; (* unique across the run, for fixpoint marking *)
+  fn_name : string; (* qualified: "Module[.Sub].name" *)
+  fn_line : int;
+  fn_col : int;
+  mutable fn_calls : call list;
+  mutable fn_catch_alls : catch_all list;
+  mutable fn_null_eqs : (int * int) list; (* =/<> against a Null constructor *)
+  mutable fn_lock_line : int option; (* first direct Mutex.lock call *)
+  mutable fn_spawns : bool; (* contains a Thread.create/Domain.spawn site *)
+}
+
+type file = {
+  fl_path : string;
+  fl_module : string; (* capitalized basename, e.g. "Server" *)
+  mutable fl_funcs : func list;
+  mutable fl_mutables : mutable_decl list;
+  mutable fl_spawns : bool;
+}
+
+let module_of_path path = String.capitalize_ascii Filename.(remove_extension (basename path))
+
+let next_id =
+  let n = ref 0 in
+  fun () -> incr n; !n
+
+(* -- helpers ----------------------------------------------------------- *)
+
+(* Longident.flatten raises on functor applications; we only care about
+   the head path of those. *)
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (l, _) -> flatten l
+
+let pos_of loc =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let is_guarded attrs =
+  List.exists (fun a -> a.attr_name.Location.txt = "guarded_by") attrs
+
+let rec is_fun e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> is_fun b
+  | _ -> false
+
+let rec unconstrain e =
+  match e.pexp_desc with Pexp_constraint (b, _) -> unconstrain b | _ -> e
+
+let rec pat_name p =
+  match p.ppat_desc with
+  | Ppat_var v -> Some v.Location.txt
+  | Ppat_constraint (p, _) -> pat_name p
+  | _ -> None
+
+let is_catch_all_pat p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_var v -> String.length v.Location.txt > 0 && v.Location.txt.[0] = '_'
+  | _ -> false
+
+(* -- extraction state -------------------------------------------------- *)
+
+type state = {
+  file : file;
+  aliases : (string, string list) Hashtbl.t; (* module X = Y aliasing *)
+  mutable mod_path : string list; (* innermost first, within the file *)
+  mutable cur : func;
+  mutable ctx : Lint_config.gate list;
+}
+
+let resolve_alias st path =
+  match path with
+  | head :: tl when Hashtbl.mem st.aliases head -> Hashtbl.find st.aliases head @ tl
+  | _ -> path
+
+let push_gate st g =
+  match g with Lint_config.G_async -> [ Lint_config.G_async ] | _ -> g :: st.ctx
+
+let record_call ?ctx st path loc =
+  let c_ctx = match ctx with Some c -> c | None -> st.ctx in
+  let line, col = pos_of loc in
+  st.cur.fn_calls <- { c_path = path; c_ctx; c_line = line; c_col = col } :: st.cur.fn_calls;
+  (match List.rev path with
+  | "lock" :: "Mutex" :: _ ->
+      if st.cur.fn_lock_line = None then st.cur.fn_lock_line <- Some line
+  | _ -> ())
+
+(* -- the traversal ----------------------------------------------------- *)
+
+let rec visit_expr st e =
+  match e.pexp_desc with
+  | Pexp_ident lid -> record_call st (resolve_alias st (flatten lid.Location.txt)) lid.Location.loc
+  | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) ->
+      let path = resolve_alias st (flatten lid.Location.txt) in
+      record_call st path lid.Location.loc;
+      (match (path, args) with
+      | [ ("=" | "<>" | "==") ], _
+        when List.exists
+               (fun (_, a) ->
+                 match (unconstrain a).pexp_desc with
+                 | Pexp_construct (c, _) ->
+                     (match List.rev (flatten c.Location.txt) with
+                     | "Null" :: _ -> true
+                     | _ -> false)
+                 | _ -> false)
+               args ->
+          st.cur.fn_null_eqs <- pos_of lid.Location.loc :: st.cur.fn_null_eqs
+      | _ -> ());
+      (match Lint_config.gate_of_path path with
+      | None -> List.iter (fun (_, a) -> visit_expr st a) args
+      | Some g ->
+          if g = Lint_config.G_async then begin
+            st.cur.fn_spawns <- true;
+            st.file.fl_spawns <- true
+          end;
+          let inner = push_gate st g in
+          List.iter
+            (fun (_, a) ->
+              if is_fun a then with_ctx st inner (fun () -> visit_expr st a)
+              else
+                match a.pexp_desc with
+                | Pexp_ident l2 ->
+                    record_call ~ctx:inner st
+                      (resolve_alias st (flatten l2.Location.txt))
+                      l2.Location.loc
+                | Pexp_apply ({ pexp_desc = Pexp_ident l2; _ }, inner_args) ->
+                    (* partial application passed to the gate: the
+                       resulting closure runs under the gate; its own
+                       arguments are evaluated here and now *)
+                    record_call ~ctx:inner st
+                      (resolve_alias st (flatten l2.Location.txt))
+                      l2.Location.loc;
+                    List.iter (fun (_, b) -> visit_expr st b) inner_args
+                | _ -> visit_expr st a)
+            args)
+  | Pexp_try (body, cases) ->
+      visit_expr st body;
+      List.iter
+        (fun c ->
+          (if c.pc_guard = None && is_catch_all_pat c.pc_lhs then
+             let line, col = pos_of c.pc_lhs.ppat_loc in
+             st.cur.fn_catch_alls <-
+               { ca_ctx = st.ctx; ca_line = line; ca_col = col }
+               :: st.cur.fn_catch_alls);
+          Option.iter (visit_expr st) c.pc_guard;
+          visit_expr st c.pc_rhs)
+        cases
+  | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> visit_expr st vb.pvb_expr) vbs;
+      visit_expr st body
+  | Pexp_fun (_, default, _, body) ->
+      Option.iter (visit_expr st) default;
+      visit_expr st body
+  | Pexp_function cases ->
+      List.iter
+        (fun c ->
+          Option.iter (visit_expr st) c.pc_guard;
+          visit_expr st c.pc_rhs)
+        cases
+  | Pexp_match (scrut, cases) ->
+      visit_expr st scrut;
+      List.iter
+        (fun c ->
+          Option.iter (visit_expr st) c.pc_guard;
+          visit_expr st c.pc_rhs)
+        cases
+  | Pexp_apply (f, args) ->
+      visit_expr st f;
+      List.iter (fun (_, a) -> visit_expr st a) args
+  | Pexp_sequence (a, b) | Pexp_while (a, b) ->
+      visit_expr st a;
+      visit_expr st b
+  | Pexp_ifthenelse (c, t, e') ->
+      visit_expr st c;
+      visit_expr st t;
+      Option.iter (visit_expr st) e'
+  | Pexp_for (_, lo, hi, _, body) ->
+      visit_expr st lo;
+      visit_expr st hi;
+      visit_expr st body
+  | Pexp_tuple es | Pexp_array es -> List.iter (visit_expr st) es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> Option.iter (visit_expr st) arg
+  | Pexp_record (fields, base) ->
+      List.iter (fun (_, v) -> visit_expr st v) fields;
+      Option.iter (visit_expr st) base
+  | Pexp_field (a, _) -> visit_expr st a
+  | Pexp_setfield (a, _, b) ->
+      visit_expr st a;
+      visit_expr st b
+  | Pexp_constraint (a, _) | Pexp_coerce (a, _, _) -> visit_expr st a
+  | Pexp_lazy a | Pexp_assert a | Pexp_newtype (_, a) | Pexp_open (_, a) ->
+      visit_expr st a
+  | Pexp_letmodule (name, me, body) ->
+      visit_module_binding_parts st
+        (match name.Location.txt with Some n -> n | None -> "_")
+        me;
+      visit_expr st body
+  | Pexp_send (a, _) -> visit_expr st a
+  | Pexp_letexception (_, body) -> visit_expr st body
+  | Pexp_letop { let_; ands; body } ->
+      visit_expr st let_.pbop_exp;
+      List.iter (fun b -> visit_expr st b.pbop_exp) ands;
+      visit_expr st body
+  | _ -> ()
+
+and with_ctx st ctx f =
+  let old = st.ctx in
+  st.ctx <- ctx;
+  f ();
+  st.ctx <- old
+
+and visit_module_binding_parts st name me =
+  match me.pmod_desc with
+  | Pmod_ident lid ->
+      Hashtbl.replace st.aliases name
+        (resolve_alias st (flatten lid.Location.txt))
+  | Pmod_constraint (inner, _) -> visit_module_binding_parts st name inner
+  | _ ->
+      st.mod_path <- name :: st.mod_path;
+      visit_module_expr st me;
+      st.mod_path <- (match st.mod_path with _ :: tl -> tl | [] -> [])
+
+and visit_module_expr st me =
+  match me.pmod_desc with
+  | Pmod_structure items -> List.iter (visit_structure_item st) items
+  | Pmod_functor (_, body) -> visit_module_expr st body
+  | Pmod_constraint (inner, _) -> visit_module_expr st inner
+  | Pmod_apply (a, b) ->
+      visit_module_expr st a;
+      visit_module_expr st b
+  | _ -> ()
+
+and visit_structure_item st si =
+  match si.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (visit_top_binding st) vbs
+  | Pstr_module mb ->
+      visit_module_binding_parts st
+        (match mb.pmb_name.Location.txt with Some n -> n | None -> "_")
+        mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter
+        (fun mb ->
+          visit_module_binding_parts st
+            (match mb.pmb_name.Location.txt with Some n -> n | None -> "_")
+            mb.pmb_expr)
+        mbs
+  | Pstr_type (_, tds) -> List.iter (visit_type_decl st) tds
+  | Pstr_eval (e, _) -> visit_expr st e
+  | Pstr_include { pincl_mod; _ } -> visit_module_expr st pincl_mod
+  | _ -> ()
+
+and visit_top_binding st vb =
+  let name = match pat_name vb.pvb_pat with Some n -> n | None -> "(init)" in
+  (* top-level refs are shared-state candidates for LNT004 *)
+  (match (unconstrain vb.pvb_expr).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "ref"; _ }; _ }, _)
+    ->
+      let guarded =
+        is_guarded vb.pvb_attributes || is_guarded vb.pvb_pat.ppat_attributes
+      in
+      let line, col = pos_of vb.pvb_pat.ppat_loc in
+      st.file.fl_mutables <-
+        { md_name = name; md_line = line; md_col = col; md_guarded = guarded;
+          md_atomic = false }
+        :: st.file.fl_mutables
+  | _ -> ());
+  let qual =
+    String.concat "."
+      ((st.file.fl_module :: List.rev st.mod_path) @ [ name ])
+  in
+  let line, col = pos_of vb.pvb_loc in
+  let fn =
+    { fn_id = next_id (); fn_name = qual; fn_line = line; fn_col = col;
+      fn_calls = []; fn_catch_alls = []; fn_null_eqs = []; fn_lock_line = None;
+      fn_spawns = false }
+  in
+  st.file.fl_funcs <- fn :: st.file.fl_funcs;
+  let old_cur = st.cur and old_ctx = st.ctx in
+  st.cur <- fn;
+  st.ctx <- [];
+  visit_expr st vb.pvb_expr;
+  st.cur <- old_cur;
+  st.ctx <- old_ctx
+
+and visit_type_decl st td =
+  match td.ptype_kind with
+  | Ptype_record lds ->
+      List.iter
+        (fun ld ->
+          if ld.pld_mutable = Asttypes.Mutable then begin
+            let guarded =
+              is_guarded ld.pld_attributes
+              || is_guarded ld.pld_type.ptyp_attributes
+            in
+            let atomic =
+              match ld.pld_type.ptyp_desc with
+              | Ptyp_constr (lid, _) -> (
+                  match List.rev (flatten lid.Location.txt) with
+                  | "t" :: "Atomic" :: _ -> true
+                  | _ -> false)
+              | _ -> false
+            in
+            let line, col = pos_of ld.pld_name.Location.loc in
+            st.file.fl_mutables <-
+              { md_name = ld.pld_name.Location.txt; md_line = line;
+                md_col = col; md_guarded = guarded; md_atomic = atomic }
+              :: st.file.fl_mutables
+          end)
+        lds
+  | _ -> ()
+
+(* -- entry points ------------------------------------------------------ *)
+
+let parse path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+(* Parse [path] and extract its lint-relevant facts. Raises on syntax
+   errors — callers decide whether that is fatal (the gate) or a
+   warning (ad-hoc runs over generated trees). *)
+let load path =
+  let structure = parse path in
+  let file =
+    { fl_path = path; fl_module = module_of_path path; fl_funcs = [];
+      fl_mutables = []; fl_spawns = false }
+  in
+  let toplevel =
+    { fn_id = next_id (); fn_name = file.fl_module ^ ".(toplevel)";
+      fn_line = 1; fn_col = 0; fn_calls = []; fn_catch_alls = [];
+      fn_null_eqs = []; fn_lock_line = None; fn_spawns = false }
+  in
+  let st =
+    { file; aliases = Hashtbl.create 8; mod_path = []; cur = toplevel;
+      ctx = [] }
+  in
+  List.iter (visit_structure_item st) structure;
+  file.fl_funcs <- toplevel :: file.fl_funcs;
+  file

@@ -1,0 +1,428 @@
+(* The analysis proper: build a cross-file function table from the
+   extracted facts, compute three over-approximated reachability
+   fixpoints over the call graph (can-mutate-the-store, can-acquire-the
+   -rwlock, may-block) plus a forward runs-on-a-thread set, then
+   evaluate each LNT rule against the call sites with their lexical
+   gate contexts. Finally apply the frozen-grandfather list.
+
+   Diagnostic codes (documented in DESIGN.md §14):
+     LNT001  store mutation reachable outside the write lock
+     LNT002  nested/re-entrant Rwlock acquisition (writer-preference deadlock)
+     LNT003  blocking call while a lock is held or inside an executor task
+     LNT004  unguarded mutable state in a thread-shared module
+     LNT005  catch-all exception handler in thread-borne code
+     LNT010  Obj.magic (migrated from style_check)
+     LNT011  polymorphic compare in the query layers (migrated)
+     LNT012  polymorphic equality against Value.Null (migrated)
+     LNT013  List.nth linear indexing outside tests (migrated) *)
+
+module C = Lint_config
+module A = Lint_ast
+
+type t = {
+  files : A.file list;
+  table : (string, A.func) Hashtbl.t; (* qualified name -> funcs (multi) *)
+  all_funcs : (A.func * A.file) list;
+}
+
+let build files =
+  let table = Hashtbl.create 256 in
+  let all =
+    List.concat_map
+      (fun f -> List.map (fun fn -> (fn, f)) f.A.fl_funcs)
+      files
+  in
+  List.iter (fun (fn, _) -> Hashtbl.add table fn.A.fn_name fn) all;
+  { files; table; all_funcs = all }
+
+(* -- callee resolution ------------------------------------------------- *)
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+  | _, [] -> false
+
+let split_name name = String.split_on_char '.' name
+
+(* Resolve a call path to candidate functions. Qualified paths match
+   any table entry whose reversed component list shares a prefix with
+   the reversed call path (so [Executor.run], [Domain_pool.Executor.run]
+   and an aliased spelling all reach the same function). Bare names
+   resolve within the calling file, including its nested modules. *)
+let resolve t ~(file : A.file) path =
+  match path with
+  | [] -> []
+  | [ f ] ->
+      let prefix = file.A.fl_module ^ "." in
+      let suffix = "." ^ f in
+      Hashtbl.fold
+        (fun key fn acc ->
+          if
+            String.length key > String.length prefix + String.length f - 1
+            && String.sub key 0 (String.length prefix) = prefix
+            && String.sub key
+                 (String.length key - String.length suffix)
+                 (String.length suffix)
+               = suffix
+          then fn :: acc
+          else acc)
+        t.table []
+  | _ ->
+      let rp = List.rev path in
+      Hashtbl.fold
+        (fun key fn acc ->
+          let rk = List.rev (split_name key) in
+          if is_prefix rp rk || is_prefix rk rp then fn :: acc else acc)
+        t.table []
+
+(* -- fixpoints --------------------------------------------------------- *)
+
+(* Each fixpoint marks function ids with a short witness string used in
+   diagnostics ("via Monitor.poll"). *)
+
+let path_str p = String.concat "." p
+
+let fixpoint t ~seed ~edge_ok =
+  let marks : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let marked fn = Hashtbl.mem marks fn.A.fn_id in
+  let mark fn w = if not (marked fn) then Hashtbl.add marks fn.A.fn_id w in
+  (* direct seeds *)
+  List.iter
+    (fun (fn, _) ->
+      List.iter
+        (fun c -> match seed c with Some w -> mark fn w | None -> ())
+        fn.A.fn_calls)
+    t.all_funcs;
+  (* propagate along resolvable edges *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fn, file) ->
+        if not (marked fn) then
+          List.iter
+            (fun c ->
+              if (not (marked fn)) && edge_ok c then
+                match List.find_opt marked (resolve t ~file c.A.c_path) with
+                | Some g ->
+                    mark fn
+                      (Printf.sprintf "via %s" g.A.fn_name);
+                    changed := true
+                | None -> ())
+            fn.A.fn_calls)
+      t.all_funcs
+  done;
+  marks
+
+let in_ctx g c = List.mem g c.A.c_ctx
+let async_ctx c = in_ctx C.G_async c
+
+let mutates t =
+  fixpoint t
+    ~seed:(fun c ->
+      if C.store_mutation_path c.A.c_path && not (in_ctx C.G_write c) then
+        Some (path_str c.A.c_path)
+      else None)
+    ~edge_ok:(fun c -> not (in_ctx C.G_write c))
+
+let acquires t =
+  fixpoint t
+    ~seed:(fun c ->
+      if C.rwlock_acquire_path c.A.c_path then Some (path_str c.A.c_path)
+      else None)
+    ~edge_ok:(fun c -> not (async_ctx c))
+
+let blocks t =
+  fixpoint t
+    ~seed:(fun c ->
+      if C.blocking_path c.A.c_path && not (C.is_non_blocking_override c.A.c_path)
+      then Some (path_str c.A.c_path)
+      else None)
+    ~edge_ok:(fun c ->
+      (not (async_ctx c)) && not (C.is_non_blocking_override c.A.c_path))
+
+(* Forward set: functions that run on a spawned thread/domain — seeded
+   by calls made inside async closures, closed under outgoing calls. *)
+let threaded t =
+  let marks : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let marked fn = Hashtbl.mem marks fn.A.fn_id in
+  let changed = ref true in
+  List.iter
+    (fun (fn, file) ->
+      List.iter
+        (fun c ->
+          if async_ctx c then
+            List.iter
+              (fun g -> if not (marked g) then Hashtbl.add marks g.A.fn_id ())
+              (resolve t ~file c.A.c_path))
+        fn.A.fn_calls)
+    t.all_funcs;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fn, file) ->
+        if marked fn then
+          List.iter
+            (fun c ->
+              List.iter
+                (fun g ->
+                  if not (marked g) then begin
+                    Hashtbl.add marks g.A.fn_id ();
+                    changed := true
+                  end)
+                (resolve t ~file c.A.c_path))
+            fn.A.fn_calls)
+      t.all_funcs
+  done;
+  marked
+
+(* -- scoping helpers --------------------------------------------------- *)
+
+let has_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let in_dirs dirs path = List.exists (has_substring path) dirs
+let in_test path = in_dirs [ "test/" ] path
+let module_of_func fn =
+  match split_name fn.A.fn_name with m :: _ -> m | [] -> fn.A.fn_name
+
+(* -- rule evaluation --------------------------------------------------- *)
+
+let run files =
+  let t = build files in
+  let mut = mutates t and acq = acquires t and blk = blocks t in
+  let is_threaded = threaded t in
+  let witness marks fn = Hashtbl.find_opt marks fn.A.fn_id in
+  let diags = ref [] in
+  let emit ~code ~file ~line ~col ~func msg =
+    diags := Lint_diag.make ~code ~file ~line ~col ~func msg :: !diags
+  in
+  List.iter
+    (fun (fn, file) ->
+      let path = file.A.fl_path in
+      let m = module_of_func fn in
+      let emit_at ~code (line, col) msg =
+        emit ~code ~file:path ~line ~col ~func:fn.A.fn_name msg
+      in
+      let resolved_witness marks c =
+        List.find_map (witness marks) (resolve t ~file c.A.c_path)
+      in
+      List.iter
+        (fun (c : A.call) ->
+          let at = (c.A.c_line, c.A.c_col) in
+          let cs = path_str c.A.c_path in
+          (* LNT001: ungated path to a store mutation, server stack only *)
+          (if in_dirs C.lnt001_dirs path && not (in_ctx C.G_write c) then
+             if C.store_mutation_path c.A.c_path then
+               emit_at ~code:"LNT001" at
+                 (Printf.sprintf
+                    "store mutation %s outside Server.with_write/Rwlock.write"
+                    cs)
+             else
+               match resolved_witness mut c with
+               | Some w ->
+                   emit_at ~code:"LNT001" at
+                     (Printf.sprintf
+                        "call %s can reach a store mutation (%s) without the \
+                         write lock"
+                        cs w)
+               | None -> ());
+          (* LNT002: acquiring the Rwlock while it is already held *)
+          (if
+             (not (in_test path))
+             && (in_ctx C.G_read c || in_ctx C.G_write c)
+           then
+             if C.rwlock_acquire_path c.A.c_path then
+               emit_at ~code:"LNT002" at
+                 (Printf.sprintf
+                    "%s inside a held Rwlock section: deadlock under writer \
+                     preference"
+                    cs)
+             else
+               match resolved_witness acq c with
+               | Some w ->
+                   emit_at ~code:"LNT002" at
+                     (Printf.sprintf
+                        "call %s re-acquires the Rwlock (%s) inside a held \
+                         section: deadlock under writer preference"
+                        cs w)
+               | None -> ());
+          (* LNT003: blocking while a lock is held / inside executor tasks *)
+          (if
+             (not (in_test path))
+             && (not (List.mem m C.lock_impl_modules))
+             && not (C.lnt003_allowed m)
+           then
+             let lexical_held =
+               in_ctx C.G_read c || in_ctx C.G_write c || in_ctx C.G_mutex c
+               || in_ctx C.G_task c
+             in
+             let is_mutex_lock =
+               match List.rev c.A.c_path with
+               | "lock" :: "Mutex" :: _ -> true
+               | _ -> false
+             in
+             let mutex_held =
+               (* a direct Mutex.lock earlier in this function: treat
+                  later call sites as under that mutex (the
+                  [Mutex.lock l; Fun.protect ...] idiom), except on
+                  fresh async closures. Direct Mutex.lock sites are
+                  exempt from this heuristic — sequential
+                  lock/unlock/lock sections in one function are fine;
+                  only a lock taken inside a *gate closure* counts. *)
+               match fn.A.fn_lock_line with
+               | Some l ->
+                   (not (async_ctx c)) && (not is_mutex_lock) && c.A.c_line >= l
+               | None -> false
+             in
+             if lexical_held || mutex_held then
+               if
+                 C.blocking_path c.A.c_path
+                 && not (C.is_non_blocking_override c.A.c_path)
+               then
+                 emit_at ~code:"LNT003" at
+                   (Printf.sprintf
+                      "blocking call %s while a lock is held or inside an \
+                       executor task"
+                      cs)
+               else if not (C.is_non_blocking_override c.A.c_path) then
+                 match resolved_witness blk c with
+                 | Some w ->
+                     emit_at ~code:"LNT003" at
+                       (Printf.sprintf
+                          "call %s may block (%s) while a lock is held or \
+                           inside an executor task"
+                          cs w)
+                 | None -> ());
+          (* LNT010: Obj.magic, anywhere *)
+          (match List.rev c.A.c_path with
+          | "magic" :: "Obj" :: _ ->
+              emit_at ~code:"LNT010" at "Obj.magic is forbidden"
+          | _ -> ());
+          (* LNT011: bare polymorphic compare in the query layers; a
+             module-local monomorphic [compare] definition opts out *)
+          (if
+             c.A.c_path = [ "compare" ]
+             && in_dirs C.poly_compare_dirs path
+             && not (Hashtbl.mem t.table (file.A.fl_module ^ ".compare"))
+           then
+             emit_at ~code:"LNT011" at
+               "polymorphic compare in the query layer (use Float.compare / \
+                String.compare / a dedicated M.compare)");
+          (* LNT013: linear list indexing outside tests *)
+          match List.rev c.A.c_path with
+          | ("nth" | "nth_opt") :: "List" :: _ when not (in_test path) ->
+              emit_at ~code:"LNT013" at
+                (Printf.sprintf
+                   "%s in non-test code (index an array or pattern-match)" cs)
+          | _ -> ())
+        fn.A.fn_calls;
+      (* LNT005: catch-alls in thread-borne code *)
+      if not (in_test path) then begin
+        let fn_threaded = fn.A.fn_spawns || is_threaded fn in
+        List.iter
+          (fun (ca : A.catch_all) ->
+            if fn_threaded || List.mem C.G_async ca.A.ca_ctx then
+              emit ~code:"LNT005" ~file:path ~line:ca.A.ca_line
+                ~col:ca.A.ca_col ~func:fn.A.fn_name
+                "catch-all exception handler in thread-borne code swallows \
+                 errors (match specific exceptions or record the failure)")
+          fn.A.fn_catch_alls;
+        (* LNT012: polymorphic equality against Null *)
+        if in_dirs C.poly_compare_dirs path then
+          List.iter
+            (fun (line, col) ->
+              emit ~code:"LNT012" ~file:path ~line ~col ~func:fn.A.fn_name
+                "polymorphic equality against Value.Null (use Value.equal)")
+            fn.A.fn_null_eqs
+      end)
+    t.all_funcs;
+  (* LNT004: unguarded mutable state in thread-shared modules *)
+  List.iter
+    (fun (file : A.file) ->
+      if
+        (not (in_test file.A.fl_path))
+        && (file.A.fl_spawns
+           || List.mem file.A.fl_module C.shared_state_modules)
+      then
+        List.iter
+          (fun (md : A.mutable_decl) ->
+            if not (md.A.md_guarded || md.A.md_atomic) then
+              emit ~code:"LNT004" ~file:file.A.fl_path ~line:md.A.md_line
+                ~col:md.A.md_col ~func:file.A.fl_module
+                (Printf.sprintf
+                   "mutable %s in a thread-shared module is neither Atomic.t \
+                    nor [@guarded_by \"...\"]-annotated"
+                   md.A.md_name))
+          file.A.fl_mutables)
+    t.files;
+  List.sort Lint_diag.compare_by_pos !diags
+
+(* -- freezes ----------------------------------------------------------- *)
+
+(* Split [kept] diagnostics from frozen ones; also return the freeze
+   entries that matched nothing (staleness errors under --gate). *)
+let apply_freezes diags =
+  let used = Hashtbl.create 16 in
+  let fz_key (fz : C.freeze) =
+    (fz.C.fz_code, fz.C.fz_module, fz.C.fz_func)
+  in
+  let matches (fz : C.freeze) (d : Lint_diag.t) =
+    fz.C.fz_code = d.Lint_diag.code
+    &&
+    let parts = split_name d.Lint_diag.func in
+    match parts with
+    | m :: rest ->
+        m = fz.C.fz_module
+        && (match fz.C.fz_func with
+           | None -> true
+           | Some f -> String.concat "." rest = f)
+    | [] -> false
+  in
+  let kept, frozen =
+    List.partition
+      (fun d ->
+        match List.find_opt (fun fz -> matches fz d) C.frozen with
+        | Some fz ->
+            Hashtbl.replace used (fz_key fz) ();
+            false
+        | None -> true)
+      diags
+  in
+  let stale =
+    List.filter (fun fz -> not (Hashtbl.mem used (fz_key fz))) C.frozen
+  in
+  (kept, List.length frozen, stale)
+
+(* -- file walking ------------------------------------------------------ *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+        then acc
+        else walk acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let collect_files roots = List.sort compare (List.fold_left walk [] roots)
+
+(* Parse + analyze a set of roots; syntax failures are reported via
+   [on_parse_error] and the file skipped. *)
+let run_roots ~on_parse_error roots =
+  let files =
+    List.filter_map
+      (fun p ->
+        match Lint_ast.load p with
+        | f -> Some f
+        | exception e ->
+            on_parse_error p (Printexc.to_string e);
+            None)
+      (collect_files roots)
+  in
+  run files

@@ -1,12 +1,15 @@
 (* Source-style gate, run under `dune runtest` (ocamlformat is not
    vendored, so this enforces the cheap invariants a formatter would):
-   no tab characters, no trailing whitespace, no CR line endings, and a
-   newline at end of file — plus a handful of semantic lints: no
-   unsafe casts anywhere, no polymorphic comparison (bare compare or
-   null-equality) in the hot query layers (lib/query, lib/rpe), no
-   linear list indexing outside test code, and a documentation header
-   on every .mli. Walks the directories given on the command line and
-   checks every .ml / .mli underneath. *)
+   no tab characters, no trailing whitespace, no CR line endings, a
+   newline at end of file, no stdout printing from lib/, and a
+   documentation header on every .mli. Walks the directories given on
+   the command line and checks every .ml / .mli underneath.
+
+   The former regex-level semantic lints (Obj.magic, polymorphic
+   compare / Value.Null equality, List.nth) moved to the AST-exact
+   concurrency linter as LNT010-LNT013 — see tools/concur_lint.ml and
+   tools/lint/; their grandfather lists moved to
+   tools/lint/lint_config.ml. *)
 
 let violations = ref 0
 
@@ -24,47 +27,6 @@ let contains_at line needle =
   let rec go i = i + n <= ln && (String.sub line i n = needle || go (i + 1)) in
   go 0
 
-let in_dir dir file =
-  let p = dir ^ "/" in
-  String.length file >= String.length p && String.sub file 0 (String.length p) = p
-
-let is_word_char = function
-  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
-  | _ -> false
-
-(* [needle] appears in [line] as a whole word, not qualified with a
-   module path ([X.needle] is fine — that's a monomorphic compare). *)
-let has_bare_word line needle =
-  let n = String.length needle and ln = String.length line in
-  let rec go i =
-    if i + n > ln then false
-    else if
-      String.sub line i n = needle
-      && (i = 0 || (not (is_word_char line.[i - 1]) && line.[i - 1] <> '.'))
-      && (i + n = ln || not (is_word_char line.[i + n]))
-    then true
-    else go (i + 1)
-  in
-  go 0
-
-(* Lint needles are built by concatenation so this file never flags
-   itself when tools/ is walked. *)
-let obj_magic_needle = "Obj." ^ "magic"
-let list_nth_needle = "List." ^ "nth"
-let null_eq_needles =
-  [ "= Value." ^ "Null"; "<> Value." ^ "Null";
-    "Value." ^ "Null ="; "Value." ^ "Null <>" ]
-
-(* Pre-rule uses of polymorphic [compare] (float sort keys). Frozen:
-   new code must use [Float.compare] / [String.compare] / a dedicated
-   [M.compare]. *)
-let poly_compare_grandfathered = [ "trace.ml"; "stat_statements.ml" ]
-
-(* Pre-rule linear-list-indexing call sites (all over short, bounded
-   lists). Frozen: new code indexes arrays or pattern-matches instead. *)
-let list_nth_grandfathered =
-  [ "schema.ml"; "prng.ml"; "path.ml"; "gremlin_backend.ml"; "virt_service.ml" ]
-
 let check_file file =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
@@ -74,44 +36,11 @@ let check_file file =
     report file 1 "missing newline at end of file";
   let line = ref 1 in
   let line_start = ref 0 in
-  let base = Filename.basename file in
   let check_line_text i =
     let text = String.sub contents !line_start (i - !line_start) in
     if in_lib file && contains_at text "Printf.printf" then
-      report file !line "Printf.printf in lib/ (use Logs or the metrics/trace layer)";
-    if contains_at text obj_magic_needle then
-      report file !line (obj_magic_needle ^ " is forbidden");
-    if
-      (in_dir "lib/query" file || in_dir "lib/rpe" file)
-      && Filename.check_suffix file ".ml"
-      && not (List.mem base poly_compare_grandfathered)
-      (* string-literal lines (prose mentioning the word) and lines
-         defining a monomorphic compare are not call sites *)
-      && not (String.contains text '"')
-      && not (contains_at text "let compare")
-      && not (contains_at text "val compare")
-      && has_bare_word text "compare"
-    then
       report file !line
-        "polymorphic compare in the query layer (use Float.compare / \
-         String.compare / a dedicated M.compare; the grandfather list in \
-         tools/style_check.ml is frozen)";
-    if
-      (in_dir "lib/query" file || in_dir "lib/rpe" file)
-      && List.exists (contains_at text) null_eq_needles
-    then
-      report file !line
-        "polymorphic equality against Value.Null (use Value.equal)";
-    if
-      (not (in_dir "test" file))
-      && (not (List.mem base list_nth_grandfathered))
-      && Filename.check_suffix file ".ml"
-      && contains_at text list_nth_needle
-    then
-      report file !line
-        (list_nth_needle
-        ^ " in non-test code (index an array or pattern-match; the \
-           grandfather list in tools/style_check.ml is frozen)")
+        "Printf.printf in lib/ (use Logs or the metrics/trace layer)"
   in
   String.iteri
     (fun i c ->
