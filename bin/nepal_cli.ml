@@ -957,7 +957,8 @@ let bench_cmd =
   in
   let seconds_arg =
     Arg.(value & opt float 5.
-         & info [ "seconds" ] ~docv:"SECS" ~doc:"Measured run duration.")
+         & info [ "seconds" ] ~docv:"SECS"
+             ~doc:"Measured duration per repeat.")
   in
   let workers_arg =
     Arg.(value & opt (some int) None
@@ -971,8 +972,48 @@ let bench_cmd =
                    same closed-loop mix (compare against a run without the \
                    flag).")
   in
-  let run seed history clients seconds workers trace =
+  let repeats_arg =
+    Arg.(value & opt int 3
+         & info [ "repeats" ] ~docv:"N"
+             ~doc:"Interleaved repeats of the measured run; medians and the \
+                   noise band in trajectory files come from these.")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.25
+         & info [ "noise" ] ~docv:"FRAC"
+             ~doc:"Noise-band widening as a fraction of each metric's \
+                   median, beyond the observed repeat spread.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the run's trajectory (per-metric medians + noise \
+                   band) as JSON to FILE.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Write this run as the baseline trajectory FILE for later \
+                   $(b,--compare) runs (same as $(b,--json)).")
+  in
+  let compare_arg =
+    Arg.(value & opt (some string) None
+         & info [ "compare" ] ~docv:"FILE"
+             ~doc:"Compare this run's medians against the baseline \
+                   trajectory in FILE; exit non-zero when any metric lands \
+                   outside its noise band in the bad direction.")
+  in
+  let telemetry_arg =
+    Arg.(value & opt (some float) None
+         & info [ "telemetry" ] ~docv:"MS"
+             ~doc:"Telemetry tick interval for the benched server (0 \
+                   disables; default \\$NEPAL_TELEM_INTERVAL_MS or 1000) — \
+                   for measuring the tick's own overhead.")
+  in
+  let run seed history clients seconds workers trace repeats noise json_file
+      baseline_file compare_file telemetry_ms =
     if clients < 1 then `Error (false, "--clients must be >= 1")
+    else if repeats < 1 then `Error (false, "--repeats must be >= 1")
     else begin
       let module V = Nepal.Virt_service in
       let t = V.generate ~seed () in
@@ -984,6 +1025,7 @@ let bench_cmd =
           port = 0;
           max_sessions = clients + 4;
           workers;
+          telemetry_interval_ms = telemetry_ms;
         }
       in
       match
@@ -1007,79 +1049,153 @@ let bench_cmd =
                 let b = V.sample_server_id rng t in
                 V.q_host_host ~hops:4 ~a ~b
           in
-          let lat = Nepal.Metrics.unregistered_histogram "bench.client_seconds" in
-          let requests = Array.make clients 0 in
-          let errors = Array.make clients 0 in
-          let deadline = Unix.gettimeofday () +. Float.max 0.5 seconds in
-          let client_loop i =
-            match Nepal.Server_client.connect ~port () with
-            | Error e ->
-                Printf.eprintf "client %d: connect: %s\n%!" i e;
-                errors.(i) <- errors.(i) + 1
-            | Ok client ->
-                let rng = Nepal.Prng.create (seed + 101 + i) in
-                let run_one =
-                  if trace then Nepal.Server_client.query_traced
-                  else Nepal.Server_client.query
-                in
-                let k = ref i in
-                while Unix.gettimeofday () < deadline do
-                  let q = pick_query rng !k in
-                  incr k;
-                  let t0 = Unix.gettimeofday () in
-                  (match run_one client q with
-                  | Ok _ -> requests.(i) <- requests.(i) + 1
-                  | Error _ -> errors.(i) <- errors.(i) + 1);
-                  Nepal.Metrics.observe lat (Unix.gettimeofday () -. t0)
-                done;
-                Nepal.Server_client.close client
+          (* One measured segment against the still-running server: its
+             own client-latency histogram, its own client rngs (seeded
+             per segment so repeats interleave distinct query mixes). *)
+          let run_segment seg =
+            let lat =
+              Nepal.Metrics.unregistered_histogram "bench.client_seconds"
+            in
+            let requests = Array.make clients 0 in
+            let errors = Array.make clients 0 in
+            let deadline = Unix.gettimeofday () +. Float.max 0.5 seconds in
+            let client_loop i =
+              match Nepal.Server_client.connect ~port () with
+              | Error e ->
+                  Printf.eprintf "client %d: connect: %s\n%!" i e;
+                  errors.(i) <- errors.(i) + 1
+              | Ok client ->
+                  let rng = Nepal.Prng.create (seed + 101 + (31 * seg) + i) in
+                  let run_one =
+                    if trace then Nepal.Server_client.query_traced
+                    else Nepal.Server_client.query
+                  in
+                  let k = ref i in
+                  while Unix.gettimeofday () < deadline do
+                    let q = pick_query rng !k in
+                    incr k;
+                    let t0 = Unix.gettimeofday () in
+                    (match run_one client q with
+                    | Ok _ -> requests.(i) <- requests.(i) + 1
+                    | Error _ -> errors.(i) <- errors.(i) + 1);
+                    Nepal.Metrics.observe lat (Unix.gettimeofday () -. t0)
+                  done;
+                  Nepal.Server_client.close client
+            in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun i -> Thread.create client_loop i)
+            in
+            List.iter Thread.join threads;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let total = Array.fold_left ( + ) 0 requests in
+            let errs = Array.fold_left ( + ) 0 errors in
+            let s = Nepal.Metrics.stats_of lat in
+            Format.printf
+              "repeat %d/%d: requests %d  errors %d  elapsed %.2fs  \
+               throughput %.1f q/s  p50 %.2fms  p95 %.2fms  p99 %.2fms%s@."
+              (seg + 1) repeats total errs elapsed
+              (float_of_int total /. elapsed)
+              (s.Nepal.Metrics.p50 *. 1e3) (s.Nepal.Metrics.p95 *. 1e3)
+              (s.Nepal.Metrics.p99 *. 1e3)
+              (if trace then "  (traced)" else "");
+            ( errs,
+              [
+                ("throughput_qps", float_of_int total /. elapsed);
+                ("client_p50_ms", s.Nepal.Metrics.p50 *. 1e3);
+                ("client_p95_ms", s.Nepal.Metrics.p95 *. 1e3);
+                ("client_p99_ms", s.Nepal.Metrics.p99 *. 1e3);
+              ] )
           in
-          let t0 = Unix.gettimeofday () in
-          let threads =
-            List.init clients (fun i -> Thread.create client_loop i)
-          in
-          List.iter Thread.join threads;
-          let elapsed = Unix.gettimeofday () -. t0 in
+          let segments = ref [] in
+          for seg = 0 to repeats - 1 do
+            segments := run_segment seg :: !segments
+          done;
+          let segments = List.rev !segments in
           Nepal.Server.stop server;
-          let total = Array.fold_left ( + ) 0 requests in
-          let errs = Array.fold_left ( + ) 0 errors in
-          let s = Nepal.Metrics.stats_of lat in
           let sv =
             Nepal.Metrics.stats_of
               (Nepal.Metrics.histogram "server.query_seconds")
           in
           Format.printf
-            "clients %d  requests %d  errors %d  elapsed %.2fs  throughput \
-             %.1f q/s%s@."
-            clients total errs elapsed
-            (float_of_int total /. elapsed)
-            (if trace then "  (traced)" else "");
-          Format.printf
-            "client-side latency: p50 %.2fms  p95 %.2fms  p99 %.2fms@."
-            (s.Nepal.Metrics.p50 *. 1e3) (s.Nepal.Metrics.p95 *. 1e3)
-            (s.Nepal.Metrics.p99 *. 1e3);
-          Format.printf
             "server-side evaluation: p50 %.2fms  p95 %.2fms  p99 %.2fms \
              (n=%d)@."
             (sv.Nepal.Metrics.p50 *. 1e3) (sv.Nepal.Metrics.p95 *. 1e3)
             (sv.Nepal.Metrics.p99 *. 1e3) sv.Nepal.Metrics.count;
-          `Ok ()
+          let reps = List.map snd segments in
+          let config_kv =
+            [
+              ("clients", string_of_int clients);
+              ("history", string_of_bool history);
+              ("repeats", string_of_int repeats);
+              ("seconds", Printf.sprintf "%g" seconds);
+              ("seed", string_of_int seed);
+              ("trace", string_of_bool trace);
+              ( "workers",
+                match workers with
+                | Some n -> string_of_int n
+                | None -> "default" );
+            ]
+          in
+          let traj =
+            Nepal.Bench_gate.of_repeats ~section:"wire" ~config:config_kv
+              ~noise reps
+          in
+          let write_traj = function
+            | None -> Ok ()
+            | Some path -> (
+                match Nepal.Bench_gate.write_file path traj with
+                | Ok () ->
+                    Format.printf "trajectory written to %s@." path;
+                    Ok ()
+                | Error e -> Error (path ^ ": " ^ e))
+          in
+          let outcome =
+            let ( let* ) = Result.bind in
+            let* () = write_traj json_file in
+            let* () = write_traj baseline_file in
+            match compare_file with
+            | None -> Ok ()
+            | Some path -> (
+                match Nepal.Bench_gate.read_file path with
+                | Error e -> Error e
+                | Ok baseline -> (
+                    match Nepal.Bench_gate.compare_traj ~baseline traj with
+                    | Error e -> Error ("compare: " ^ e)
+                    | Ok verdicts ->
+                        print_string (Nepal.Bench_gate.render_report verdicts);
+                        if Nepal.Bench_gate.any_regression verdicts then
+                          Error
+                            (Printf.sprintf "regression vs baseline %s" path)
+                        else begin
+                          Format.printf "no regression vs %s@." path;
+                          Ok ()
+                        end))
+          in
+          match outcome with
+          | Ok () -> `Ok ()
+          | Error e -> `Error (false, e)
     end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Closed-loop wire benchmark: start an in-process server, drive \
-             it with N concurrent clients running the Table-1 query mix, \
-             report throughput and latency quantiles."
+             it with N concurrent clients running the Table-1 query mix \
+             over interleaved repeats, report throughput and latency \
+             quantiles, and optionally write or gate against a trajectory \
+             file."
        ~man:
          [
            `S Manpage.s_examples;
            `P "nepal bench --clients 8 --seconds 10";
            `P "nepal bench --history --clients 4 --workers 4";
            `P "nepal bench --clients 4 --trace";
+           `P "nepal bench --clients 2 --seconds 2 --json BENCH_wire.json";
+           `P "nepal bench --clients 2 --seconds 2 --compare BENCH_wire.json";
          ])
     Term.(ret (const run $ seed_arg $ history_arg $ clients_arg $ seconds_arg
-               $ workers_arg $ bench_trace_arg))
+               $ workers_arg $ bench_trace_arg $ repeats_arg $ noise_arg
+               $ json_arg $ baseline_arg $ compare_arg $ telemetry_arg))
 
 let events_cmd =
   let file_arg =
@@ -1360,6 +1476,186 @@ let watch_cmd =
 
 (* ---- top: live dashboard over the introspect verb -------------------- *)
 
+(* ---- telemetry history --------------------------------------------- *)
+
+(* Eight block glyphs (U+2581..U+2588 as escaped UTF-8 bytes) scaled
+   over the series' own min..max — a shape, not a calibrated axis. *)
+let spark_blocks =
+  [|
+    "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+    "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88";
+  |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let mn = List.fold_left Float.min infinity values in
+      let mx = List.fold_left Float.max neg_infinity values in
+      let b = Buffer.create (List.length values * 3) in
+      List.iter
+        (fun v ->
+          let idx =
+            if mx -. mn <= 1e-12 then 0
+            else
+              int_of_float
+                (Float.min 7. (Float.max 0. ((v -. mn) /. (mx -. mn) *. 7.99)))
+          in
+          Buffer.add_string b spark_blocks.(idx))
+        values;
+      Buffer.contents b
+
+(* Per-second rates from a cumulative counter's retained points. *)
+let rate_series pts =
+  let module Ts = Nepal.Timeseries in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        let dt = b.Ts.ts -. a.Ts.ts in
+        let r = if dt > 0. then (b.Ts.v_last -. a.Ts.v_last) /. dt else 0. in
+        go (r :: acc) rest
+    | _ -> List.rev acc
+  in
+  go [] pts
+
+let telemetry_cmd =
+  let module Ts = Nepal.Timeseries in
+  let module WJ = Nepal.Wire_json in
+  let module E = Nepal.Event_log in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"IPv4 address of the server.")
+  in
+  let series_arg =
+    Arg.(value & opt_all string []
+         & info [ "series" ] ~docv:"NAME"
+             ~doc:"Series to print (repeatable); with none, lists the \
+                   retained series names.")
+  in
+  let window_arg =
+    Arg.(value & opt (some float) None
+         & info [ "window" ] ~docv:"SECS"
+             ~doc:"Only points newer than SECS ago (default: all retained).")
+  in
+  let res_arg =
+    let res_conv =
+      Arg.enum [ ("raw", Ts.Raw); ("mid", Ts.Mid); ("coarse", Ts.Coarse) ]
+    in
+    Arg.(value & opt res_conv Ts.Raw
+         & info [ "res" ] ~docv:"RES"
+             ~doc:"Ring resolution: $(b,raw), $(b,mid) (15-tick) or \
+                   $(b,coarse) (60-tick).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print one JSON object per point (the snapshot-dump line \
+                   shape) instead of the human table.")
+  in
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Read a NEPAL_TELEM_DUMP snapshot file instead of \
+                   querying a live server.")
+  in
+  let print_points ~json name res (points : Ts.point list) =
+    if json then
+      List.iter
+        (fun (p : Ts.point) ->
+          print_endline
+            (WJ.to_string
+               (E.Obj
+                  [
+                    ("series", E.Str name);
+                    ("res", E.Str (Ts.resolution_to_string res));
+                    ("t", E.Float p.Ts.ts);
+                    ("min", E.Float p.Ts.v_min);
+                    ("max", E.Float p.Ts.v_max);
+                    ("mean", E.Float p.Ts.v_mean);
+                    ("last", E.Float p.Ts.v_last);
+                    ("n", E.Int p.Ts.v_n);
+                  ])))
+        points
+    else begin
+      let lasts = List.map (fun (p : Ts.point) -> p.Ts.v_last) points in
+      let mn = List.fold_left Float.min infinity lasts in
+      let mx = List.fold_left Float.max neg_infinity lasts in
+      (match List.rev lasts with
+      | [] -> Printf.printf "%-36s (no points)\n" name
+      | last :: _ ->
+          Printf.printf "%-36s %4d pts  last %10.4g  min %10.4g  max %10.4g  %s\n"
+            name (List.length points) last mn mx (sparkline lasts))
+    end
+  in
+  let run host port series window res json file =
+    match file with
+    | Some path -> (
+        (* offline: load the dump into this process's (empty) store *)
+        match Ts.load path with
+        | Error e -> `Error (false, path ^ ": " ^ e)
+        | Ok () ->
+            let names =
+              match series with [] -> Ts.series_names () | l -> l
+            in
+            if series = [] && not json then
+              List.iter print_endline names
+            else
+              List.iter
+                (fun name ->
+                  print_points ~json name res
+                    (Ts.query ?window_s:window ~resolution:res name))
+                names;
+            `Ok ())
+    | None -> (
+        match Unix.inet_addr_of_string host with
+        | exception Failure _ ->
+            `Error (false, "not an IPv4 address: " ^ host)
+        | addr -> (
+            match Nepal.Server_client.connect ~addr ~port () with
+            | Error e -> `Error (false, "connect: " ^ e)
+            | Ok client ->
+                let finish r =
+                  Nepal.Server_client.close client;
+                  r
+                in
+                if series = [] then
+                  match Nepal.Server_client.series client with
+                  | Error e -> finish (`Error (false, "history: " ^ e))
+                  | Ok names ->
+                      List.iter print_endline names;
+                      finish (`Ok ())
+                else
+                  let rec go = function
+                    | [] -> finish (`Ok ())
+                    | name :: rest -> (
+                        match
+                          Nepal.Server_client.history ?window_s:window ~res
+                            client name
+                        with
+                        | Error e -> finish (`Error (false, "history: " ^ e))
+                        | Ok reply ->
+                            print_points ~json name res
+                              (Nepal.Server_client.history_points reply);
+                            go rest)
+                  in
+                  go series))
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Retained telemetry history: list series names, print windowed \
+             ring points (sparkline or JSON) from a live server's history \
+             verb, or inspect a NEPAL_TELEM_DUMP snapshot offline."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "nepal telemetry                      # list series";
+           `P "nepal telemetry --series server.requests --window 120";
+           `P "nepal telemetry --series server.query_seconds.p99 --res mid \
+               --json";
+           `P "nepal telemetry --file /tmp/telem.jsonl --series gc.heap_words";
+         ])
+    Term.(ret (const run $ host_arg $ wire_port_arg $ series_arg $ window_arg
+               $ res_arg $ json_flag $ file_arg))
+
 let top_cmd =
   let module E = Nepal.Event_log in
   let module WJ = Nepal.Wire_json in
@@ -1391,24 +1687,47 @@ let top_cmd =
     Printf.sprintf "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  (n=%d)"
       (num0 "p50_ms" j) (num0 "p95_ms" j) (num0 "p99_ms" j) (int0 "count" j)
   in
-  let render ~host ~port ~prev snapshot =
-    (* prev = (wall clock, total requests) of the previous refresh,
-       for the q/s delta *)
+  let render ~host ~port ~prev ~req_pts ~p99_pts snapshot =
+    (* prev = (wall clock, total requests) of the previous refresh —
+       the q/s fallback when the server retains no history *)
     let now = Unix.gettimeofday () in
     let requests = int0 "requests" snapshot in
+    let rates = rate_series req_pts in
     let qps =
-      match prev with
-      | Some (t0, r0) when now > t0 ->
-          float_of_int (requests - r0) /. (now -. t0)
-      | _ -> 0.
+      match List.rev rates with
+      | r :: _ -> r
+      | [] -> (
+          match prev with
+          | Some (t0, r0) when now > t0 ->
+              float_of_int (requests - r0) /. (now -. t0)
+          | _ -> 0.)
     in
     let b = Buffer.create 1024 in
     let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
     addf "nepal top — %s:%d   uptime %.1fs   proto %d\n" host port
       (num0 "uptime_s" snapshot) (int0 "proto" snapshot);
-    addf "requests  %d  (%.1f q/s)   errors %d   watches %d\n" requests qps
-      (int0 "errors" snapshot) (int0 "watches" snapshot);
+    addf "requests  %d  (%.1f q/s)   errors %d   watches %d   %s\n" requests
+      qps
+      (int0 "errors" snapshot) (int0 "watches" snapshot) (sparkline rates);
     addf "query     %s\n" (hist_line (obj "query_seconds" snapshot));
+    (let module Ts = Nepal.Timeseries in
+     let p99s = List.map (fun (p : Ts.point) -> p.Ts.v_last *. 1e3) p99_pts in
+     match List.rev p99s with
+     | last :: _ ->
+         addf "          p99 trend %6.2fms  %s\n" last (sparkline p99s)
+     | [] -> ());
+    (match WJ.member "alerts" snapshot with
+    | Some (E.List []) -> addf "health    ok (no active alerts)\n"
+    | Some (E.List alerts) ->
+        List.iter
+          (fun a ->
+            addf "health    DEGRADED %s  %s %s=%.4g (threshold %.4g)\n"
+              (match WJ.member "rule" a with Some (E.Str s) -> s | _ -> "?")
+              (match WJ.member "series" a with Some (E.Str s) -> s | _ -> "?")
+              (match WJ.member "agg" a with Some (E.Str s) -> s | _ -> "?")
+              (num0 "value" a) (num0 "threshold" a))
+          alerts
+    | _ -> ());
     let e2e = obj "alert_e2e" snapshot in
     addf "alerts    sent %d  dropped %d   e2e %s\n"
       (int0 "alerts_sent" snapshot)
@@ -1463,13 +1782,26 @@ let top_cmd =
         | Error e -> `Error (false, "connect: " ^ e)
         | Ok client ->
             let interval = Float.max 0.1 interval in
+            (* ring history behind the sparklines; errors (an older
+               server without the verb) degrade to the prev-delta q/s *)
+            let fetch_history name =
+              match
+                Nepal.Server_client.history ~window_s:120. client name
+              with
+              | Ok reply -> Nepal.Server_client.history_points reply
+              | Error _ -> []
+            in
             let rec loop prev =
               match Nepal.Server_client.introspect client with
               | Error e ->
                   Nepal.Server_client.close client;
                   `Error (false, "introspect: " ^ e)
               | Ok snapshot ->
-                  let prev', body = render ~host ~port ~prev snapshot in
+                  let req_pts = fetch_history "server.requests" in
+                  let p99_pts = fetch_history "server.query_seconds.p99" in
+                  let prev', body =
+                    render ~host ~port ~prev ~req_pts ~p99_pts snapshot
+                  in
                   if once then begin
                     print_string body;
                     flush stdout;
@@ -1491,9 +1823,10 @@ let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:"Self-refreshing terminal dashboard for a running nepal server: \
-             q/s, query latency quantiles, alert end-to-end lag, executor \
-             and lock occupancy, and a per-session table, over the \
-             introspect wire verb."
+             q/s and p99 sparklines from retained telemetry, query latency \
+             quantiles, active health alerts, alert end-to-end lag, \
+             executor and lock occupancy, and a per-session table, over the \
+             introspect and history wire verbs."
        ~man:
          [
            `S Manpage.s_examples;
@@ -1509,6 +1842,6 @@ let main =
        ~doc:"Nepal — a graph database for a virtualized network infrastructure.")
     [ schema_cmd; generate_cmd; query_cmd; explain_cmd; check_cmd; repl_cmd;
       paths_cmd; when_exists_cmd; watch_cmd; stats_cmd; serve_cmd; client_cmd;
-      bench_cmd; serve_metrics_cmd; events_cmd; top_cmd ]
+      bench_cmd; serve_metrics_cmd; events_cmd; top_cmd; telemetry_cmd ]
 
 let () = exit (Cmd.eval main)

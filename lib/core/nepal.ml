@@ -45,6 +45,9 @@ module Wire = Nepal_server.Wire
 module Http_metrics = Nepal_server.Http_metrics
 module Wire_json = Nepal_server.Json
 module Env = Nepal_util.Env
+module Timeseries = Nepal_util.Timeseries
+module Health = Nepal_server.Health
+module Bench_gate = Nepal_util.Bench_gate
 
 (* A module alias alone does not force the planner to link (and its
    [Engine.planner_hook] registration to run); referencing a value

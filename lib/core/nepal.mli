@@ -72,6 +72,9 @@ module Wire = Nepal_server.Wire
 module Http_metrics = Nepal_server.Http_metrics
 module Wire_json = Nepal_server.Json
 module Env = Nepal_util.Env
+module Timeseries = Nepal_util.Timeseries
+module Health = Nepal_server.Health
+module Bench_gate = Nepal_util.Bench_gate
 
 (** {1 Databases} *)
 

@@ -1,0 +1,247 @@
+(* Self-monitoring: declarative threshold rules evaluated over the
+   telemetry ring, with the same debounce discipline [lib/monitor] uses
+   for graph paths — a rule must breach for [sustain] consecutive
+   evaluations before it degrades, and recover for [recover]
+   consecutive evaluations before the alert clears, so one noisy tick
+   never flaps an alert.
+
+   The engine is deliberately passive: it reads retained points from
+   [Timeseries] (it never samples metrics itself) and is polled from
+   the server's monitor pump thread. Transitions are emitted through
+   Event_log ([health.degraded] / [health.recovered]) and counted; the
+   set of currently-degraded rules is what `introspect` reports under
+   "alerts".
+
+   Locking: one mutex per engine guards all rule state. The
+   "health.alerts_active" gauge reads a separate atomic so the metrics
+   registry's gauge sampling never takes our lock (gauge callbacks run
+   under the registry lock; nesting ours under theirs while [poll]
+   nests theirs under ours would deadlock). *)
+
+module Ts = Nepal_util.Timeseries
+module Metrics = Nepal_util.Metrics
+module Event_log = Nepal_util.Event_log
+
+type agg = Mean | Max | Last | Rate
+
+let agg_to_string = function
+  | Mean -> "mean"
+  | Max -> "max"
+  | Last -> "last"
+  | Rate -> "rate"
+
+type cmp = Above | Below
+
+type rule = {
+  hr_name : string;        (* alert name, e.g. "query_p99" *)
+  hr_series : string;      (* telemetry series to read *)
+  hr_window_s : float;     (* how much history the aggregate sees *)
+  hr_agg : agg;
+  hr_cmp : cmp;
+  hr_threshold : float;
+  hr_sustain : int;        (* consecutive breaches before degrading *)
+  hr_recover : int;        (* consecutive clears before recovering *)
+}
+
+type rule_state = {
+  rs_rule : rule;
+  mutable rs_degraded : bool [@guarded_by "lock"];
+  mutable rs_breaches : int [@guarded_by "lock"];
+  mutable rs_clears : int [@guarded_by "lock"];
+  mutable rs_since : float [@guarded_by "lock"];  (* ts of last transition *)
+  mutable rs_value : float [@guarded_by "lock"];  (* last aggregate seen *)
+  mutable rs_seen : bool [@guarded_by "lock"];    (* any data yet? *)
+}
+
+type transition = {
+  tr_rule : rule;
+  tr_degraded : bool;  (* true = degraded, false = recovered *)
+  tr_value : float;
+  tr_at : float;
+}
+
+type t = {
+  rules : rule_state list;
+  lock : Mutex.t;
+  mutable last_eval : float [@guarded_by "lock"];
+  active : int Atomic.t;  (* read by the gauge without locking *)
+}
+
+let m_degraded = Metrics.counter "health.degraded"
+let m_recovered = Metrics.counter "health.recovered"
+
+(* Watchdogs over the failure modes the server already counts but
+   nobody watches: query latency, alert-outbox drops, writer starvation,
+   executor backlog and event-log suppression. Thresholds are
+   intentionally generous — these flag incidents, not tuning
+   opportunities. Rate rules are per-second over the window. *)
+let default_rules () =
+  [ { hr_name = "query_p99"; hr_series = "server.query_seconds.p99";
+      hr_window_s = 30.; hr_agg = Max; hr_cmp = Above; hr_threshold = 1.0;
+      hr_sustain = 3; hr_recover = 5 };
+    { hr_name = "outbox_drop_rate"; hr_series = "server.alerts_dropped";
+      hr_window_s = 30.; hr_agg = Rate; hr_cmp = Above; hr_threshold = 50.;
+      hr_sustain = 3; hr_recover = 5 };
+    { hr_name = "rwlock_write_wait_p99";
+      hr_series = "rwlock.write_wait_seconds.p99"; hr_window_s = 30.;
+      hr_agg = Max; hr_cmp = Above; hr_threshold = 0.5; hr_sustain = 3;
+      hr_recover = 5 };
+    { hr_name = "executor_queue_depth"; hr_series = "executor.queue_depth";
+      hr_window_s = 30.; hr_agg = Mean; hr_cmp = Above; hr_threshold = 64.;
+      hr_sustain = 3; hr_recover = 5 };
+    { hr_name = "event_log_suppressed_rate"; hr_series = "event_log.suppressed";
+      hr_window_s = 30.; hr_agg = Rate; hr_cmp = Above; hr_threshold = 100.;
+      hr_sustain = 3; hr_recover = 5 } ]
+
+let create ?(rules = default_rules ()) () =
+  { rules =
+      List.map
+        (fun r ->
+          { rs_rule = r; rs_degraded = false; rs_breaches = 0; rs_clears = 0;
+            rs_since = 0.; rs_value = nan; rs_seen = false })
+        rules;
+    lock = Mutex.create ();
+    last_eval = 0.;
+    active = Atomic.make 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec last_point = function
+  | [] -> None
+  | [ p ] -> Some p
+  | _ :: rest -> last_point rest
+
+(* The aggregate of a rule's series over its window, [None] when the
+   ring holds no (or, for Rate, fewer than two) points in the window.
+   Rate differences the cumulative counter between the window's edges —
+   resilient to missed ticks, unlike averaging per-tick deltas. *)
+let aggregate ?now rule =
+  let pts = Ts.query ?now ~window_s:rule.hr_window_s rule.hr_series in
+  match (rule.hr_agg, pts) with
+  | _, [] -> None
+  | Mean, pts ->
+      let n = List.fold_left (fun a p -> a + p.Ts.v_n) 0 pts in
+      if n = 0 then None
+      else
+        Some
+          (List.fold_left
+             (fun a p -> a +. (p.Ts.v_mean *. float_of_int p.Ts.v_n))
+             0. pts
+          /. float_of_int n)
+  | Max, pts -> Some (List.fold_left (fun a p -> Float.max a p.Ts.v_max) neg_infinity pts)
+  | Last, pts -> Option.map (fun p -> p.Ts.v_last) (last_point pts)
+  | Rate, [ _ ] -> None
+  | Rate, (first :: _ as pts) -> (
+      match last_point pts with
+      | None -> None
+      | Some last ->
+          let dt = last.Ts.ts -. first.Ts.ts in
+          if dt <= 0. then None
+          else Some ((last.Ts.v_last -. first.Ts.v_last) /. dt))
+
+let breaches rule v =
+  match rule.hr_cmp with
+  | Above -> v > rule.hr_threshold
+  | Below -> v < rule.hr_threshold
+
+(* One evaluation pass: no rate limiting, no emission — the unit tests
+   drive this directly with a synthetic clock. No data = hold state
+   (an idle series must not fake a recovery). *)
+let evaluate ?now t =
+  let at = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let transitions =
+    with_lock t (fun () ->
+        t.last_eval <- at;
+        List.filter_map
+          (fun rs ->
+            let rule = rs.rs_rule in
+            match aggregate ?now rule with
+            | None -> None
+            | Some v ->
+                rs.rs_value <- v;
+                rs.rs_seen <- true;
+                if breaches rule v then begin
+                  rs.rs_clears <- 0;
+                  rs.rs_breaches <- rs.rs_breaches + 1;
+                  if (not rs.rs_degraded) && rs.rs_breaches >= rule.hr_sustain
+                  then begin
+                    rs.rs_degraded <- true;
+                    rs.rs_since <- at;
+                    Some { tr_rule = rule; tr_degraded = true; tr_value = v;
+                           tr_at = at }
+                  end
+                  else None
+                end
+                else begin
+                  rs.rs_breaches <- 0;
+                  rs.rs_clears <- rs.rs_clears + 1;
+                  if rs.rs_degraded && rs.rs_clears >= rule.hr_recover then begin
+                    rs.rs_degraded <- false;
+                    rs.rs_since <- at;
+                    Some { tr_rule = rule; tr_degraded = false; tr_value = v;
+                           tr_at = at }
+                  end
+                  else None
+                end)
+          t.rules)
+  in
+  let active =
+    with_lock t (fun () ->
+        List.length (List.filter (fun rs -> rs.rs_degraded) t.rules))
+  in
+  Atomic.set t.active active;
+  transitions
+
+let emit_transition tr =
+  let rule = tr.tr_rule in
+  let level = if tr.tr_degraded then Event_log.Warn else Event_log.Info in
+  let kind = if tr.tr_degraded then "health.degraded" else "health.recovered" in
+  Metrics.incr (if tr.tr_degraded then m_degraded else m_recovered);
+  Event_log.emit ~level ~kind
+    [ ("rule", Event_log.Str rule.hr_name);
+      ("series", Event_log.Str rule.hr_series);
+      ("agg", Event_log.Str (agg_to_string rule.hr_agg));
+      ("value", Event_log.Float tr.tr_value);
+      ("threshold", Event_log.Float rule.hr_threshold) ]
+
+(* The pump-thread entry point: rate-limited to the telemetry tick
+   (evaluating between ticks sees the same points and only skews the
+   debounce counters), and transitions are emitted here. *)
+let poll ?now t =
+  let at = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let due =
+    with_lock t (fun () -> at -. t.last_eval >= Ts.interval_s () *. 0.95)
+  in
+  if not due then []
+  else begin
+    let transitions = evaluate ~now:at t in
+    List.iter emit_transition transitions;
+    transitions
+  end
+
+let active_count t = Atomic.get t.active
+
+let register_gauge t =
+  Metrics.register_gauge "health.alerts_active" (fun () ->
+      float_of_int (Atomic.get t.active))
+
+let alerts_json t =
+  let module J = Event_log in
+  with_lock t (fun () ->
+      J.List
+        (List.filter_map
+           (fun rs ->
+             if not rs.rs_degraded then None
+             else
+               let r = rs.rs_rule in
+               Some
+                 (J.Obj
+                    [ ("rule", J.Str r.hr_name);
+                      ("series", J.Str r.hr_series);
+                      ("agg", J.Str (agg_to_string r.hr_agg));
+                      ("value", J.Float rs.rs_value);
+                      ("threshold", J.Float r.hr_threshold);
+                      ("since", J.Float rs.rs_since) ]))
+           t.rules))

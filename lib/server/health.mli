@@ -1,0 +1,60 @@
+(** Self-monitoring health rules over the telemetry ring.
+
+    A rule names a {!Nepal_util.Timeseries} series, an aggregate over a
+    trailing window (mean/max/last, or per-second rate of a cumulative
+    counter) and a threshold. Debounce mirrors [lib/monitor]: a rule
+    degrades only after [sustain] consecutive breaching evaluations and
+    recovers only after [recover] consecutive clear ones — no flapping
+    on a single noisy tick. Transitions emit [health.degraded] (warn) /
+    [health.recovered] (info) events through {!Nepal_util.Event_log}
+    and tick counters of the same names; currently-degraded rules are
+    rendered by {!alerts_json} for the server's [introspect] frame. *)
+
+type agg = Mean | Max | Last | Rate
+type cmp = Above | Below
+
+type rule = {
+  hr_name : string;       (** alert name, e.g. ["query_p99"] *)
+  hr_series : string;     (** telemetry series to read *)
+  hr_window_s : float;    (** history window for the aggregate *)
+  hr_agg : agg;
+  hr_cmp : cmp;
+  hr_threshold : float;
+  hr_sustain : int;       (** consecutive breaches before degrading *)
+  hr_recover : int;       (** consecutive clears before recovering *)
+}
+
+type transition = {
+  tr_rule : rule;
+  tr_degraded : bool;  (** [true] = degraded, [false] = recovered *)
+  tr_value : float;    (** the aggregate that caused the transition *)
+  tr_at : float;
+}
+
+type t
+
+val default_rules : unit -> rule list
+(** Watchdogs over p99 query latency, outbox drop rate, rwlock write
+    wait, executor queue depth and event-log suppression rate. *)
+
+val create : ?rules:rule list -> unit -> t
+
+val evaluate : ?now:float -> t -> transition list
+(** One evaluation pass, no rate limit, no event emission — the
+    test-driving entry point. A series with no data in its window holds
+    its current state. *)
+
+val poll : ?now:float -> t -> transition list
+(** The pump-thread entry point: rate-limited to the telemetry tick
+    interval, then {!evaluate} plus event/counter emission for each
+    transition. *)
+
+val active_count : t -> int
+(** Currently-degraded rules (lock-free read). *)
+
+val register_gauge : t -> unit
+(** Register the [health.alerts_active] gauge for this engine. *)
+
+val alerts_json : t -> Nepal_util.Event_log.json
+(** The degraded rules as a JSON list (rule, series, value, threshold,
+    since) — [introspect]'s [alerts] section. *)

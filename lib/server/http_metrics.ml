@@ -71,10 +71,15 @@ type t = {
   mutable thread : Thread.t option [@guarded_by "owner: start/stop caller"];
 }
 
-let http_response status content_type body =
+(* [head:true] sends the status line and headers — including the
+   Content-Length the body *would* have — with no body, per RFC 9110's
+   HEAD semantics; scrapers probe with `curl --head` and must see the
+   same metadata a GET would produce. *)
+let http_response ?(head = false) status content_type body =
   Printf.sprintf
     "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status content_type (String.length body) body
+    status content_type (String.length body)
+    (if head then "" else body)
 
 let handle ~render ~timeout client =
   Net.set_recv_timeout client timeout;
@@ -93,19 +98,20 @@ let handle ~render ~timeout client =
           | Net.Line _ | Net.Too_long _ -> drain (n - 1)
       in
       drain max_header_lines;
-      let path =
+      let meth, path =
         match String.split_on_char ' ' (String.trim request) with
-        | _meth :: path :: _ -> path
-        | _ -> "/"
+        | meth :: path :: _ -> (String.uppercase_ascii meth, path)
+        | _ -> ("GET", "/")
       in
+      let head = meth = "HEAD" in
       let response =
         match path with
         | "/metrics" | "/metrics/" ->
-            http_response "200 OK"
+            http_response ~head "200 OK"
               "application/openmetrics-text; version=1.0.0; charset=utf-8"
               (render ())
         | _ ->
-            http_response "404 Not Found" "text/plain; charset=utf-8"
+            http_response ~head "404 Not Found" "text/plain; charset=utf-8"
               "not found: try /metrics\n"
       in
       (try Net.write_all client response with Unix.Unix_error _ -> ()));

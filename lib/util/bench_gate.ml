@@ -1,0 +1,249 @@
+(* Bench trajectory files and the regression gate over them.
+
+   A bench run produces several repeats of each metric; the trajectory
+   file records, per metric, the median plus a noise band derived from
+   the observed spread widened by a configurable fraction — the honest
+   statement "same config, same machine, a healthy run lands in
+   [lo, hi]". A later run compares its own medians against the stored
+   band: a lower-is-better metric regresses above [hi], a
+   higher-is-better one below [lo]. Config key/values are stored and
+   must match exactly — comparing a 2-client run against an 8-client
+   baseline is a category error, not a regression.
+
+   Files are single-document JSON (not JSONL) read back through the
+   same strict parser the wire protocol uses, so a trajectory written
+   on one machine is byte-parseable anywhere the CLI runs. *)
+
+module J = Event_log
+
+type direction = Higher_better | Lower_better
+
+let direction_to_string = function
+  | Higher_better -> "higher"
+  | Lower_better -> "lower"
+
+let direction_of_string = function
+  | "higher" -> Some Higher_better
+  | "lower" -> Some Lower_better
+  | _ -> None
+
+(* Throughputs want to go up; latencies (and anything else) down. *)
+let direction_of_name name =
+  let has sub =
+    let n = String.length name and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub name i m = sub || at (i + 1)) in
+    at 0
+  in
+  if has "qps" || has "throughput" || has "per_sec" then Higher_better
+  else Lower_better
+
+type stat = {
+  st_metric : string;
+  st_dir : direction;
+  st_median : float;
+  st_lo : float;   (* lower edge of the healthy band *)
+  st_hi : float;   (* upper edge *)
+  st_samples : float list;  (* the repeat medians' raw inputs, recorded *)
+}
+
+type trajectory = {
+  bt_section : string;
+  bt_config : (string * string) list;  (* sorted by key *)
+  bt_stats : stat list;                (* sorted by metric *)
+}
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2)
+      else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* The band: observed spread of the repeats, widened by [noise] as a
+   fraction of the median's magnitude (floored so a zero median still
+   gets a non-degenerate band). *)
+let band ~noise samples med =
+  let mn = List.fold_left Float.min infinity samples in
+  let mx = List.fold_left Float.max neg_infinity samples in
+  let pad = noise *. Float.max (Float.abs med) 1e-9 in
+  (mn -. pad, mx +. pad)
+
+let of_repeats ~section ~config ~noise reps =
+  (* reps: one (metric, value) assoc list per repeat; every repeat is
+     expected to report the same metric set *)
+  let names =
+    List.concat_map (List.map fst) reps
+    |> List.sort_uniq String.compare
+  in
+  let stats =
+    List.map
+      (fun name ->
+        let samples =
+          List.filter_map (fun rep -> List.assoc_opt name rep) reps
+        in
+        let med = median samples in
+        let lo, hi = band ~noise samples med in
+        { st_metric = name; st_dir = direction_of_name name;
+          st_median = med; st_lo = lo; st_hi = hi; st_samples = samples })
+      names
+  in
+  { bt_section = section;
+    bt_config = List.sort (fun (a, _) (b, _) -> String.compare a b) config;
+    bt_stats = stats }
+
+(* -- JSON ------------------------------------------------------------- *)
+
+let to_json t =
+  J.Obj
+    [ ("kind", J.Str "bench.trajectory");
+      ("version", J.Int 1);
+      ("section", J.Str t.bt_section);
+      ("config", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) t.bt_config));
+      ( "metrics",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [ ("name", J.Str s.st_metric);
+                   ("better", J.Str (direction_to_string s.st_dir));
+                   ("median", J.Float s.st_median);
+                   ("lo", J.Float s.st_lo);
+                   ("hi", J.Float s.st_hi);
+                   ("samples", J.List (List.map (fun v -> J.Float v) s.st_samples))
+                 ])
+             t.bt_stats) ) ]
+
+let num = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let of_json j =
+  let open Jsonp in
+  if string_field "kind" j <> Some "bench.trajectory" then
+    Error "not a bench.trajectory file"
+  else
+    match (string_field "section" j, member "config" j, list_field "metrics" j)
+    with
+    | Some section, Some (J.Obj config_fields), Some metrics ->
+        let config =
+          List.filter_map
+            (fun (k, v) -> match v with J.Str s -> Some (k, s) | _ -> None)
+            config_fields
+        in
+        let stats =
+          List.filter_map
+            (fun m ->
+              match
+                ( string_field "name" m,
+                  string_field "better" m,
+                  Option.bind (member "median" m) num,
+                  Option.bind (member "lo" m) num,
+                  Option.bind (member "hi" m) num )
+              with
+              | Some name, Some dir_s, Some med, Some lo, Some hi -> (
+                  match direction_of_string dir_s with
+                  | None -> None
+                  | Some dir ->
+                      let samples =
+                        match list_field "samples" m with
+                        | Some l -> List.filter_map num l
+                        | None -> []
+                      in
+                      Some
+                        { st_metric = name; st_dir = dir; st_median = med;
+                          st_lo = lo; st_hi = hi; st_samples = samples })
+              | _ -> None)
+            metrics
+        in
+        if List.length stats <> List.length metrics then
+          Error "malformed metric entry in trajectory"
+        else
+          Ok
+            { bt_section = section;
+              bt_config =
+                List.sort (fun (a, _) (b, _) -> String.compare a b) config;
+              bt_stats = stats }
+    | _ -> Error "missing section/config/metrics"
+
+let write_file path t =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (J.json_to_string (to_json t));
+        output_char oc '\n');
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Jsonp.parse (String.trim content) with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok j -> of_json j
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error (path ^ ": truncated")
+
+(* -- comparison ------------------------------------------------------- *)
+
+type verdict = {
+  v_metric : string;
+  v_dir : direction;
+  v_base_median : float;
+  v_cur_median : float;
+  v_lo : float;
+  v_hi : float;
+  v_regressed : bool;
+}
+
+let compare_traj ~baseline current =
+  if baseline.bt_section <> current.bt_section then
+    Error
+      (Printf.sprintf "section mismatch: baseline %S vs current %S"
+         baseline.bt_section current.bt_section)
+  else if baseline.bt_config <> current.bt_config then
+    Error "config mismatch: baseline and current runs used different settings"
+  else
+    let base_names = List.map (fun s -> s.st_metric) baseline.bt_stats in
+    let cur_names = List.map (fun s -> s.st_metric) current.bt_stats in
+    if base_names <> cur_names then Error "metric set mismatch"
+    else
+      Ok
+        (List.map2
+           (fun b c ->
+             let regressed =
+               match b.st_dir with
+               | Lower_better -> c.st_median > b.st_hi
+               | Higher_better -> c.st_median < b.st_lo
+             in
+             { v_metric = b.st_metric; v_dir = b.st_dir;
+               v_base_median = b.st_median; v_cur_median = c.st_median;
+               v_lo = b.st_lo; v_hi = b.st_hi; v_regressed = regressed })
+           baseline.bt_stats current.bt_stats)
+
+let render_report verdicts =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %8s  base %12.4f  cur %12.4f  band [%.4f, %.4f]  %s\n"
+           v.v_metric
+           (match v.v_dir with
+           | Higher_better -> "higher"
+           | Lower_better -> "lower")
+           v.v_base_median v.v_cur_median v.v_lo v.v_hi
+           (if v.v_regressed then "REGRESSED" else "ok")))
+    verdicts;
+  Buffer.contents b
+
+let any_regression verdicts = List.exists (fun v -> v.v_regressed) verdicts

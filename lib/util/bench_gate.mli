@@ -1,0 +1,69 @@
+(** Bench trajectory files ([BENCH_<section>.json]) and the regression
+    gate over them.
+
+    A trajectory records, per metric, the median over interleaved
+    repeats plus a healthy band [lo, hi] = observed spread widened by a
+    noise fraction of the median. {!compare_traj} judges a later run's
+    medians against a stored baseline's band — out-of-band in the bad
+    direction is a regression — and refuses to compare runs whose
+    section, config or metric set differ. *)
+
+type direction = Higher_better | Lower_better
+
+val direction_of_name : string -> direction
+(** Throughput-shaped names ([qps], [throughput], [per_sec]) want to go
+    up; everything else (latencies) down. *)
+
+type stat = {
+  st_metric : string;
+  st_dir : direction;
+  st_median : float;
+  st_lo : float;            (** lower edge of the healthy band *)
+  st_hi : float;            (** upper edge *)
+  st_samples : float list;  (** the raw per-repeat values, recorded *)
+}
+
+type trajectory = {
+  bt_section : string;
+  bt_config : (string * string) list;  (** sorted by key *)
+  bt_stats : stat list;                (** sorted by metric *)
+}
+
+val median : float list -> float
+(** [nan] on the empty list. *)
+
+val of_repeats :
+  section:string ->
+  config:(string * string) list ->
+  noise:float ->
+  (string * float) list list ->
+  trajectory
+(** Build a trajectory from one [(metric, value)] list per repeat;
+    every repeat is expected to report the same metrics. [noise] is
+    the band-widening fraction (0.25 = ±25% of the median beyond the
+    observed spread). *)
+
+val to_json : trajectory -> Event_log.json
+val of_json : Event_log.json -> (trajectory, string) result
+val write_file : string -> trajectory -> (unit, string) result
+val read_file : string -> (trajectory, string) result
+
+type verdict = {
+  v_metric : string;
+  v_dir : direction;
+  v_base_median : float;
+  v_cur_median : float;
+  v_lo : float;
+  v_hi : float;
+  v_regressed : bool;
+}
+
+val compare_traj :
+  baseline:trajectory -> trajectory -> (verdict list, string) result
+(** One verdict per metric, or [Error] on section/config/metric-set
+    mismatch (incomparable runs must not silently pass). *)
+
+val render_report : verdict list -> string
+(** One aligned line per verdict, suitable for the CLI. *)
+
+val any_regression : verdict list -> bool

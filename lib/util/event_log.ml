@@ -172,6 +172,9 @@ type state = {
   samples : (string, int) Hashtbl.t;       (* kind -> keep one in N *)
   sample_ticks : (string, int ref) Hashtbl.t;
   mutable configured : bool [@guarded_by "lock"];
+  mutable max_bytes : int option [@guarded_by "lock"];  (* rotation trigger *)
+  mutable keep : int [@guarded_by "lock"];      (* rotated files retained *)
+  mutable sink_bytes : int [@guarded_by "lock"];  (* current file size *)
   lock : Mutex.t;
 }
 
@@ -183,8 +186,13 @@ let state =
     samples = Hashtbl.create 8;
     sample_ticks = Hashtbl.create 8;
     configured = false;
+    max_bytes = None;
+    keep = 3;
+    sink_bytes = 0;
     lock = Mutex.create ();
   }
+
+let m_rotations = Metrics.counter "event_log.rotations"
 
 let close_sink () =
   (match state.sink with
@@ -198,6 +206,15 @@ let open_sink = function
   | Some path -> (
       try To_file (open_out_gen [ Open_append; Open_creat ] 0o644 path, path)
       with Sys_error _ -> Disabled)
+
+(* Install a sink and reseed the size tracker — append mode means a
+   reopened file may already be near the rotation threshold. *)
+let set_sink_locked s =
+  state.sink <- s;
+  state.sink_bytes <-
+    (match s with
+    | To_file (oc, _) -> ( try out_channel_length oc with Sys_error _ -> 0)
+    | To_stderr | Disabled -> 0)
 
 (* Invalid segments are reported (once each) but do not poison the
    valid ones — observability configuration should degrade, not
@@ -223,7 +240,13 @@ let parse_samples spec =
 let configure_from_env () =
   if not state.configured then begin
     state.configured <- true;
-    state.sink <- open_sink (Env.string_opt "NEPAL_EVENT_LOG");
+    set_sink_locked (open_sink (Env.string_opt "NEPAL_EVENT_LOG"));
+    (match Env.float_opt ~min:0.001 "NEPAL_EVENT_LOG_MAX_MB" with
+    | Some mb -> state.max_bytes <- Some (int_of_float (mb *. 1024. *. 1024.))
+    | None -> ());
+    (match Env.int_opt ~min:1 "NEPAL_EVENT_LOG_KEEP" with
+    | Some k -> state.keep <- k
+    | None -> ());
     (match
        Env.conv_opt "NEPAL_EVENT_LEVEL" (fun s ->
            match level_of_string s with
@@ -248,15 +271,39 @@ let with_state f =
       configure_from_env ();
       f ())
 
+(* Size-based rotation: close the live file, shift path.N-1 -> path.N
+   (dropping the oldest), move the live file to path.1 and reopen
+   fresh. Runs inside the locked writer so concurrent emitters never
+   interleave with the shift; any rename/IO failure degrades to
+   continuing in the current (or a fresh) file rather than losing the
+   sink. *)
+let rotate_locked oc path =
+  (try close_out oc with Sys_error _ -> ());
+  let numbered i = Printf.sprintf "%s.%d" path i in
+  (try if Sys.file_exists (numbered state.keep) then Sys.remove (numbered state.keep)
+   with Sys_error _ -> ());
+  for i = state.keep - 1 downto 1 do
+    try
+      if Sys.file_exists (numbered i) then Sys.rename (numbered i) (numbered (i + 1))
+    with Sys_error _ -> ()
+  done;
+  (try Sys.rename path (numbered 1) with Sys_error _ -> ());
+  set_sink_locked (open_sink (Some path));
+  Metrics.incr m_rotations
+
 let write_line_locked line =
   match state.sink with
   | To_stderr ->
       output_string stderr line;
       flush stderr
-  | To_file (oc, _) -> (
+  | To_file (oc, path) -> (
       try
         output_string oc line;
-        flush oc
+        flush oc;
+        state.sink_bytes <- state.sink_bytes + String.length line;
+        match state.max_bytes with
+        | Some max when state.sink_bytes >= max -> rotate_locked oc path
+        | Some _ | None -> ()
       with Sys_error _ -> close_sink ())
   | Disabled -> ()
 
@@ -299,7 +346,12 @@ let enabled () =
 let set_path path =
   with_state (fun () ->
       close_sink ();
-      state.sink <- open_sink path)
+      set_sink_locked (open_sink path))
+
+let set_rotation ~max_bytes ?(keep = 3) () =
+  with_state (fun () ->
+      state.max_bytes <- max_bytes;
+      state.keep <- Stdlib.max 1 keep)
 
 let set_level l = with_state (fun () -> state.min_level <- l)
 
@@ -341,6 +393,13 @@ let sampled_out kind =
 let suppressed_events = Atomic.make 0
 
 let suppressed () = Atomic.get suppressed_events
+
+(* Exposed as a gauge so the telemetry ring retains its trajectory and
+   a health rule can watch its growth rate. Reads only the atomic —
+   safe under the registry lock. *)
+let () =
+  Metrics.register_gauge "event_log.suppressed" (fun () ->
+      float_of_int (Atomic.get suppressed_events))
 
 let emit ?(level = Info) ~kind fields =
   if

@@ -13,9 +13,14 @@
       that kind, deterministically (the 1st, (N+1)th, ...).
     - [NEPAL_SLOW_QUERY_MS]: queries slower than this emit a
       ["query.slow"] event carrying the measured span tree.
+    - [NEPAL_EVENT_LOG_MAX_MB]: rotate the file sink when it reaches
+      this size, keeping [NEPAL_EVENT_LOG_KEEP] rotated files
+      ([path.1] newest .. [path.N] oldest; default 3, unset max =
+      unbounded). Each rotation ticks the [event_log.rotations]
+      counter.
 
     All of these can also be set programmatically (tests use
-    {!set_path}). *)
+    {!set_path} and {!set_rotation}). *)
 
 type level = Debug | Info | Warn | Error
 
@@ -56,6 +61,11 @@ val set_path : string option -> unit
 
 val current_path : unit -> string option
 (** The file currently written to, if the sink is a file. *)
+
+val set_rotation : max_bytes:int option -> ?keep:int -> unit -> unit
+(** Override the size-based rotation policy ([max_bytes = None]
+    disables; [keep] rotated files retained, default 3, floored at
+    1). Overrides [NEPAL_EVENT_LOG_MAX_MB] / [NEPAL_EVENT_LOG_KEEP]. *)
 
 val set_level : level -> unit
 val set_sample : kind:string -> int -> unit

@@ -1,0 +1,259 @@
+(* RFC 8259 JSON parsing onto {!Event_log.json} — the same value type
+   the rest of the system renders, so the wire protocol, the telemetry
+   snapshot files and the bench trajectory files all round-trip through
+   one representation. Strict enough for a network-facing surface: no
+   trailing garbage, no unescaped control characters in strings, \u
+   escapes decoded (surrogate pairs included), numbers kept as [Int]
+   when they are integral and fit. Lives in nepal_util (rather than the
+   server library, where it started) so that offline consumers —
+   {!Timeseries.load}, {!Bench_gate.read_file} — can parse without
+   linking the server stack; {!Nepal_server.Json} re-exports it. *)
+
+module J = Event_log
+
+type t = J.json
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c.pos (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> fail c.pos (Printf.sprintf "expected %c, found end of input" ch)
+
+let expect_word c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "expected %s" word)
+
+(* Append a Unicode scalar value as UTF-8. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+    | Some ch ->
+        let d =
+          match ch with
+          | '0' .. '9' -> Char.code ch - Char.code '0'
+          | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+          | _ -> fail c.pos "invalid \\u escape"
+        in
+        v := (!v * 16) + d
+    | None -> fail c.pos "truncated \\u escape");
+    advance c
+  done;
+  !v
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' ->
+        advance c;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c.pos "truncated escape"
+        | Some ch ->
+            advance c;
+            (match ch with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let u = hex4 c in
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* high surrogate: require the low half *)
+                  expect c '\\';
+                  expect c 'u';
+                  let lo = hex4 c in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    fail c.pos "unpaired surrogate"
+                  else
+                    add_utf8 buf
+                      (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then
+                  fail c.pos "unpaired surrogate"
+                else add_utf8 buf u
+            | _ -> fail (c.pos - 1) "invalid escape");
+            go ())
+    | Some ch when Char.code ch < 0x20 ->
+        fail c.pos "unescaped control character in string"
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let integral = ref true in
+  if peek c = Some '-' then advance c;
+  let digits () =
+    let saw = ref false in
+    let continue = ref true in
+    while !continue do
+      match peek c with
+      | Some '0' .. '9' ->
+          saw := true;
+          advance c
+      | _ -> continue := false
+    done;
+    !saw
+  in
+  if not (digits ()) then fail c.pos "invalid number";
+  (match peek c with
+  | Some '.' ->
+      integral := false;
+      advance c;
+      if not (digits ()) then fail c.pos "invalid number"
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+      integral := false;
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      if not (digits ()) then fail c.pos "invalid number"
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some i -> J.Int i
+    | None -> J.Float (float_of_string text)
+  else J.Float (float_of_string text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '"' -> J.Str (parse_string_body c)
+  | Some 't' -> expect_word c "true" (J.Bool true)
+  | Some 'f' -> expect_word c "false" (J.Bool false)
+  | Some 'n' -> expect_word c "null" J.Null
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        J.Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              J.Obj (List.rev ((key, v) :: acc))
+          | _ -> fail c.pos "expected , or } in object"
+        in
+        members []
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        J.List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              J.List (List.rev (v :: acc))
+          | _ -> fail c.pos "expected , or ] in array"
+        in
+        items []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected character %c" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then fail c.pos "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+      Error (Printf.sprintf "json: at offset %d: %s" pos msg)
+
+let to_string = J.json_to_string
+
+(* -- accessors -------------------------------------------------------- *)
+
+let member key = function
+  | J.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let string_opt = function Some (J.Str s) -> Some s | _ -> None
+let int_opt = function Some (J.Int i) -> Some i | _ -> None
+let bool_opt = function Some (J.Bool b) -> Some b | _ -> None
+
+let list_opt = function Some (J.List l) -> Some l | _ -> None
+
+let string_field key j = string_opt (member key j)
+let int_field key j = int_opt (member key j)
+let bool_field key j = bool_opt (member key j)
+let list_field key j = list_opt (member key j)

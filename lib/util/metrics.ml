@@ -207,11 +207,71 @@ let stats_of h =
   Mutex.unlock h.h_lock;
   s
 
+(* Quantiles of only the observations recorded *between* two snapshots
+   of the same histogram. Registered histograms are cumulative forever,
+   which makes their quantiles sticky — one slow burst dominates p99 for
+   the rest of the process. Differencing the bucket counts recovers a
+   windowed view: the telemetry sampler calls this once per tick so the
+   ring stores per-interval quantiles that rise during an incident and
+   fall when it ends. The bounds in [stats.buckets] are exact
+   [bucket_upper] values, so the grid index is recovered by equality
+   scan (162 buckets; this runs once per histogram per tick). *)
+let quantiles_of_delta ?prev (cur : histogram_stats) =
+  let arr = Array.make n_buckets 0 in
+  let fill sign buckets =
+    List.iter
+      (fun (bound, c) ->
+        let i = ref 0 in
+        while !i < n_buckets - 1 && bucket_upper !i <> bound do
+          Stdlib.incr i
+        done;
+        arr.(!i) <- arr.(!i) + (sign * c))
+      buckets
+  in
+  fill 1 cur.buckets;
+  (* a reset between snapshots makes counts shrink: treat [prev] as
+     empty rather than producing negative buckets *)
+  (match prev with
+  | Some p when p.count <= cur.count -> fill (-1) p.buckets
+  | Some _ | None -> ());
+  let n = Array.fold_left ( + ) 0 arr in
+  if n <= 0 then None
+  else begin
+    let quant q =
+      let rank = q *. float_of_int n in
+      let i = ref 0 and cum = ref 0. in
+      while !i < n_buckets - 1 && !cum +. float_of_int arr.(!i) < rank do
+        cum := !cum +. float_of_int arr.(!i);
+        Stdlib.incr i
+      done;
+      let in_bucket = float_of_int arr.(!i) in
+      let lo = bucket_lower !i and hi = bucket_upper !i in
+      let v =
+        if Float.is_finite hi && in_bucket > 0. then
+          lo +. ((hi -. lo) *. ((rank -. !cum) /. in_bucket))
+        else cur.max
+      in
+      (* the delta's own min/max are unknown; the cumulative envelope
+         still bounds every delta observation *)
+      Float.min cur.max (Float.max cur.min v)
+    in
+    Some (quant 0.50, quant 0.95, quant 0.99)
+  end
+
 type snapshot = {
   counter_values : (string * int) list;    (* sorted by name *)
   gauge_values : (string * float) list;    (* sorted by name; sampled now *)
   histogram_values : histogram_stats list; (* sorted by name *)
 }
+
+(* A failing gauge callback is dropped from the snapshot, but never
+   silently: the failure is counted and its message retained. *)
+let m_gauge_errors = counter "metrics.gauge_read_errors"
+let last_gauge_error = Atomic.make ""
+
+let note_gauge_error name exn =
+  incr m_gauge_errors;
+  Atomic.set last_gauge_error (name ^ ": " ^ Printexc.to_string exn)
 
 let snapshot () =
   with_lock (fun () ->
@@ -223,9 +283,11 @@ let snapshot () =
       let gs =
         Hashtbl.fold
           (fun name read acc ->
-            match (try Some (read ()) with _ -> None) with
-            | Some v -> (name, v) :: acc
-            | None -> acc)
+            match read () with
+            | v -> (name, v) :: acc
+            | exception exn ->
+                note_gauge_error name exn;
+                acc)
           gauges []
       in
       let hs = Hashtbl.fold (fun _ h acc -> stats_of h :: acc) histograms [] in

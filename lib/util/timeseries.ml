@@ -1,0 +1,446 @@
+(* Bounded retained telemetry: a background tick samples every
+   registered counter, gauge and histogram into fixed-size rings, so
+   the server can answer "what did p99 look like over the last five
+   minutes" instead of only "what is it right now".
+
+   Layout per series: a raw ring (one point per tick) plus two
+   downsampled rings (one point per 15 and per 60 ticks) whose points
+   keep min/max/mean/last/n over their window — the same shape at every
+   resolution, so the wire verb, the CLI and the health engine consume
+   one [point] type. Memory is a few hundred points per ring per
+   series, fixed at arm time, regardless of uptime.
+
+   Histograms are cumulative in [Metrics]; storing their quantiles
+   directly would make every spike sticky forever. Each tick instead
+   stores the histogram's cumulative [.count] plus windowed
+   [.p50/.p95/.p99] recovered by differencing bucket counts against the
+   previous tick's snapshot ({!Metrics.quantiles_of_delta}) — ticks
+   with no new observations simply contribute no quantile point.
+
+   Locking: one module-level mutex guards the table, every ring and the
+   tick bookkeeping. [Metrics.snapshot] is taken *outside* the lock
+   (it takes the registry lock; never nest the two). The tick thread is
+   started/stopped via an atomic flag + CAS so arming is idempotent
+   across the server and an explicitly-arming CLI. *)
+
+module J = Event_log
+
+type resolution = Raw | Mid | Coarse
+
+let resolution_to_string = function
+  | Raw -> "raw"
+  | Mid -> "mid"
+  | Coarse -> "coarse"
+
+let resolution_of_string = function
+  | "raw" -> Some Raw
+  | "mid" -> Some Mid
+  | "coarse" -> Some Coarse
+  | _ -> None
+
+type point = {
+  ts : float;      (* wall-clock seconds of the newest folded sample *)
+  v_min : float;
+  v_max : float;
+  v_mean : float;
+  v_last : float;
+  v_n : int;       (* raw samples folded into this point *)
+}
+
+(* -- rings ----------------------------------------------------------- *)
+
+let raw_capacity = 360     (* 6 min of history at the default 1s tick *)
+let mid_capacity = 240     (* 1 h  at 15s *)
+let coarse_capacity = 240  (* 4 h  at 60s *)
+let mid_every = 15         (* ticks folded per mid point *)
+let coarse_every = 60
+
+type ring = {
+  r_data : point array [@guarded_by "lock"];
+  mutable r_next : int [@guarded_by "lock"];
+  mutable r_len : int [@guarded_by "lock"];
+}
+
+let dummy_point =
+  { ts = 0.; v_min = 0.; v_max = 0.; v_mean = 0.; v_last = 0.; v_n = 0 }
+
+let ring_make cap = { r_data = Array.make cap dummy_point; r_next = 0; r_len = 0 }
+
+let ring_push r p =
+  let cap = Array.length r.r_data in
+  r.r_data.(r.r_next) <- p;
+  r.r_next <- (r.r_next + 1) mod cap;
+  if r.r_len < cap then r.r_len <- r.r_len + 1
+
+(* oldest first *)
+let ring_to_list r =
+  let cap = Array.length r.r_data in
+  List.init r.r_len (fun k ->
+      r.r_data.((r.r_next - r.r_len + k + (2 * cap)) mod cap))
+
+(* -- downsampling accumulators --------------------------------------- *)
+
+type acc = {
+  mutable a_min : float [@guarded_by "lock"];
+  mutable a_max : float [@guarded_by "lock"];
+  mutable a_sum : float [@guarded_by "lock"];  (* sum of v_mean *. v_n *)
+  mutable a_last : float [@guarded_by "lock"];
+  mutable a_ts : float [@guarded_by "lock"];
+  mutable a_n : int [@guarded_by "lock"];
+}
+
+let acc_make () =
+  { a_min = infinity; a_max = neg_infinity; a_sum = 0.; a_last = 0.;
+    a_ts = 0.; a_n = 0 }
+
+let acc_fold a (p : point) =
+  if p.v_min < a.a_min then a.a_min <- p.v_min;
+  if p.v_max > a.a_max then a.a_max <- p.v_max;
+  a.a_sum <- a.a_sum +. (p.v_mean *. float_of_int p.v_n);
+  a.a_last <- p.v_last;
+  a.a_ts <- p.ts;
+  a.a_n <- a.a_n + p.v_n
+
+let acc_flush a ring =
+  if a.a_n > 0 then begin
+    ring_push ring
+      { ts = a.a_ts; v_min = a.a_min; v_max = a.a_max;
+        v_mean = a.a_sum /. float_of_int a.a_n; v_last = a.a_last;
+        v_n = a.a_n };
+    a.a_min <- infinity;
+    a.a_max <- neg_infinity;
+    a.a_sum <- 0.;
+    a.a_last <- 0.;
+    a.a_ts <- 0.;
+    a.a_n <- 0
+  end
+
+type series = {
+  s_raw : ring;
+  s_mid : ring;
+  s_coarse : ring;
+  s_acc_mid : acc;
+  s_acc_coarse : acc;
+}
+
+let series_make () =
+  { s_raw = ring_make raw_capacity;
+    s_mid = ring_make mid_capacity;
+    s_coarse = ring_make coarse_capacity;
+    s_acc_mid = acc_make ();
+    s_acc_coarse = acc_make () }
+
+(* -- global state ----------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let table : (string, series) Hashtbl.t = Hashtbl.create 64
+let tick_count = ref 0 [@@guarded_by "lock"]
+
+(* previous tick's cumulative histogram stats, for delta quantiles *)
+let hist_prev : (string, Metrics.histogram_stats) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let m_ticks = Metrics.counter "telemetry.ticks"
+let m_tick_errors = Metrics.counter "telemetry.tick_errors"
+
+let find_or_create_locked name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+      let s = series_make () in
+      Hashtbl.replace table name s;
+      s
+
+let push_locked name ~ts v =
+  if Float.is_finite v then begin
+    let s = find_or_create_locked name in
+    let p = { ts; v_min = v; v_max = v; v_mean = v; v_last = v; v_n = 1 } in
+    ring_push s.s_raw p;
+    acc_fold s.s_acc_mid p;
+    acc_fold s.s_acc_coarse p
+  end
+
+let sample_now ?now () =
+  (* takes the metrics registry lock; must happen outside ours *)
+  let snap = Metrics.snapshot () in
+  let ts = match now with Some t -> t | None -> Unix.gettimeofday () in
+  with_lock (fun () ->
+      List.iter
+        (fun (name, v) -> push_locked name ~ts (float_of_int v))
+        snap.Metrics.counter_values;
+      List.iter
+        (fun (name, v) -> push_locked name ~ts v)
+        snap.Metrics.gauge_values;
+      List.iter
+        (fun (h : Metrics.histogram_stats) ->
+          push_locked (h.name ^ ".count") ~ts (float_of_int h.count);
+          let prev = Hashtbl.find_opt hist_prev h.name in
+          (match Metrics.quantiles_of_delta ?prev h with
+          | Some (p50, p95, p99) ->
+              push_locked (h.name ^ ".p50") ~ts p50;
+              push_locked (h.name ^ ".p95") ~ts p95;
+              push_locked (h.name ^ ".p99") ~ts p99
+          | None -> ());
+          Hashtbl.replace hist_prev h.name h)
+        snap.Metrics.histogram_values;
+      incr tick_count;
+      let flush_all pick =
+        Hashtbl.iter (fun _ s -> acc_flush (fst (pick s)) (snd (pick s))) table
+      in
+      if !tick_count mod mid_every = 0 then
+        flush_all (fun s -> (s.s_acc_mid, s.s_mid));
+      if !tick_count mod coarse_every = 0 then
+        flush_all (fun s -> (s.s_acc_coarse, s.s_coarse)));
+  Metrics.incr m_ticks
+
+let query ?now ?window_s ?(resolution = Raw) name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | None -> []
+      | Some s ->
+          let r =
+            match resolution with
+            | Raw -> s.s_raw
+            | Mid -> s.s_mid
+            | Coarse -> s.s_coarse
+          in
+          let pts = ring_to_list r in
+          (match window_s with
+          | None -> pts
+          | Some w ->
+              let now =
+                match now with Some t -> t | None -> Unix.gettimeofday ()
+              in
+              List.filter (fun p -> p.ts >= now -. w) pts))
+
+let series_names () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) table []
+      |> List.sort String.compare)
+
+let clear () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      Hashtbl.reset hist_prev;
+      tick_count := 0)
+
+(* a registry reset (test isolation) invalidates all retained history *)
+let () = Metrics.on_reset clear
+
+(* -- snapshot persistence --------------------------------------------- *)
+
+let header_json ~interval_s =
+  J.Obj
+    [ ("kind", J.Str "telemetry.dump");
+      ("version", J.Int 1);
+      ("interval_s", J.Float interval_s) ]
+
+let point_json ~series ~res (p : point) =
+  J.Obj
+    [ ("series", J.Str series);
+      ("res", J.Str (resolution_to_string res));
+      ("t", J.Float p.ts);
+      ("min", J.Float p.v_min);
+      ("max", J.Float p.v_max);
+      ("mean", J.Float p.v_mean);
+      ("last", J.Float p.v_last);
+      ("n", J.Int p.v_n) ]
+
+let interval = Atomic.make 1.0
+
+let interval_s () = Atomic.get interval
+
+let dump path =
+  (* collect under the lock, write outside it *)
+  let lines =
+    with_lock (fun () ->
+        let buf = ref [] in
+        Hashtbl.iter
+          (fun name s ->
+            List.iter
+              (fun (res, ring) ->
+                List.iter
+                  (fun p -> buf := point_json ~series:name ~res p :: !buf)
+                  (ring_to_list ring))
+              [ (Raw, s.s_raw); (Mid, s.s_mid); (Coarse, s.s_coarse) ])
+          table;
+        !buf)
+  in
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (J.json_to_string (header_json ~interval_s:(interval_s ())));
+        output_char oc '\n';
+        List.iter
+          (fun j ->
+            output_string oc (J.json_to_string j);
+            output_char oc '\n')
+          (List.rev lines));
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load path =
+  let parse_point j =
+    let open Jsonp in
+    match
+      ( string_field "series" j,
+        string_field "res" j,
+        member "t" j,
+        member "min" j,
+        member "max" j,
+        member "mean" j,
+        member "last" j,
+        int_field "n" j )
+    with
+    | Some series, Some res_s, Some t, Some mn, Some mx, Some mean,
+      Some last, Some n -> (
+        let num = function
+          | J.Float f -> Some f
+          | J.Int i -> Some (float_of_int i)
+          | J.Null -> Some nan (* non-finite rendered as null *)
+          | _ -> None
+        in
+        match
+          ( resolution_of_string res_s, num t, num mn, num mx, num mean,
+            num last )
+        with
+        | Some res, Some ts, Some v_min, Some v_max, Some v_mean, Some v_last
+          ->
+            Some (series, res, { ts; v_min; v_max; v_mean; v_last; v_n = n })
+        | _ -> None)
+    | _ -> None
+  in
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header =
+          match input_line ic with
+          | exception End_of_file -> Error "empty dump file"
+          | line -> (
+              match Jsonp.parse line with
+              | Error e -> Error ("bad header: " ^ e)
+              | Ok j ->
+                  if Jsonp.string_field "kind" j = Some "telemetry.dump" then begin
+                    (match Jsonp.member "interval_s" j with
+                    | Some (J.Float f) when f > 0. -> Atomic.set interval f
+                    | Some (J.Int i) when i > 0 ->
+                        Atomic.set interval (float_of_int i)
+                    | _ -> ());
+                    Ok ()
+                  end
+                  else Error "not a telemetry.dump file")
+        in
+        match header with
+        | Error _ as e -> e
+        | Ok () ->
+            let bad = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if String.trim line <> "" then
+                   match Jsonp.parse line with
+                   | Error _ -> incr bad
+                   | Ok j -> (
+                       match parse_point j with
+                       | None -> incr bad
+                       | Some (name, res, p) ->
+                           with_lock (fun () ->
+                               let s = find_or_create_locked name in
+                               let ring =
+                                 match res with
+                                 | Raw -> s.s_raw
+                                 | Mid -> s.s_mid
+                                 | Coarse -> s.s_coarse
+                               in
+                               ring_push ring p))
+               done
+             with End_of_file -> ());
+            if !bad > 0 then
+              Error (Printf.sprintf "%d unparsable point line(s)" !bad)
+            else Ok ())
+  with Sys_error msg -> Error msg
+
+(* -- the tick thread --------------------------------------------------- *)
+
+let running = Atomic.make false
+let tick_thread = ref (None : Thread.t option) [@@guarded_by "lock"]
+let dump_registered = Atomic.make false
+
+let maybe_register_dump_at_exit () =
+  match Env.string_opt "NEPAL_TELEM_DUMP" with
+  | None -> ()
+  | Some path ->
+      if Atomic.compare_and_set dump_registered false true then
+        at_exit (fun () ->
+            match dump path with
+            | Ok () -> ()
+            | Error _ -> Metrics.incr m_tick_errors)
+
+(* keep ticking: one bad sample must not kill telemetry, but the
+   failure is counted and logged rather than swallowed *)
+let note_tick_error exn =
+  Metrics.incr m_tick_errors;
+  if Event_log.enabled () then
+    Event_log.emit ~level:Event_log.Warn ~kind:"telemetry.tick_error"
+      [ ("error", Event_log.Str (Printexc.to_string exn)) ]
+
+let tick_loop () =
+  let next = ref (Unix.gettimeofday ()) in
+  while Atomic.get running do
+    (try sample_now () with exn -> note_tick_error exn);
+    next := !next +. Atomic.get interval;
+    (* sleep in short slices so [disarm]'s join is prompt *)
+    let rec wait () =
+      if Atomic.get running then begin
+        let d = !next -. Unix.gettimeofday () in
+        if d > 0. then begin
+          Thread.delay (Float.min d 0.1);
+          wait ()
+        end
+      end
+    in
+    wait ();
+    (* fell far behind (suspend, debugger): resync instead of bursting *)
+    if Unix.gettimeofday () -. !next > Atomic.get interval then
+      next := Unix.gettimeofday ()
+  done
+
+let default_interval_ms = 1000.
+
+let arm ?interval_ms () =
+  let ms =
+    match interval_ms with
+    | Some ms -> ms
+    | None ->
+        Option.value
+          (Env.float_opt "NEPAL_TELEM_INTERVAL_MS")
+          ~default:default_interval_ms
+  in
+  if ms <= 0. then false
+  else if not (Atomic.compare_and_set running false true) then false
+  else begin
+    Atomic.set interval (ms /. 1000.);
+    maybe_register_dump_at_exit ();
+    let th = Thread.create tick_loop () in
+    with_lock (fun () -> tick_thread := Some th);
+    true
+  end
+
+let disarm () =
+  if Atomic.exchange running false then
+    let th = with_lock (fun () ->
+        let t = !tick_thread in
+        tick_thread := None;
+        t)
+    in
+    match th with Some th -> Thread.join th | None -> ()
+
+let armed () = Atomic.get running

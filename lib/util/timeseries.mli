@@ -1,0 +1,76 @@
+(** Retained telemetry: a background tick samples every registered
+    counter, gauge and histogram into bounded rings with two levels of
+    downsampling, so history questions ("what did p99 do over the last
+    five minutes?") are answerable in-process without an external TSDB.
+
+    Series names follow the registry: counters and gauges keep their
+    metric name; each histogram [h] yields [h.count] (cumulative) and
+    [h.p50]/[h.p95]/[h.p99] (quantiles of only that tick's new
+    observations, via {!Metrics.quantiles_of_delta} — absent on ticks
+    with nothing new).
+
+    The tick thread is armed at most once process-wide ({!arm} is
+    CAS-guarded); the server owns it when serving, the CLI and bench
+    arm it explicitly. All retained state is dropped by
+    [Metrics.reset_all] (the module registers an [on_reset] hook). *)
+
+type resolution =
+  | Raw     (** one point per tick; ~6 min retained at the 1s default *)
+  | Mid     (** one point per 15 ticks; ~1 h retained *)
+  | Coarse  (** one point per 60 ticks; ~4 h retained *)
+
+val resolution_to_string : resolution -> string
+val resolution_of_string : string -> resolution option
+
+type point = {
+  ts : float;      (** wall-clock seconds of the newest folded sample *)
+  v_min : float;
+  v_max : float;
+  v_mean : float;
+  v_last : float;
+  v_n : int;       (** raw samples folded into this point *)
+}
+
+val sample_now : ?now:float -> unit -> unit
+(** Take one sample of the whole metrics registry (the tick body; also
+    callable directly from tests with a synthetic clock). *)
+
+val query :
+  ?now:float -> ?window_s:float -> ?resolution:resolution -> string ->
+  point list
+(** Retained points for one series, oldest first. [window_s] keeps only
+    points newer than [now - window_s]; omitted, all retained points
+    are returned (what offline dump inspection wants). Unknown series
+    yield []. *)
+
+val series_names : unit -> string list
+(** All series with retained points, sorted. *)
+
+val arm : ?interval_ms:float -> unit -> bool
+(** Start the background tick thread if not already running; [true] iff
+    this call started it (the caller that got [true] should pair with
+    {!disarm}). Interval: [interval_ms] argument, else
+    [NEPAL_TELEM_INTERVAL_MS], else 1000; a value [<= 0] disables
+    (returns [false]). Arming also registers the [NEPAL_TELEM_DUMP]
+    at-exit snapshot once, when that variable is set. *)
+
+val disarm : unit -> unit
+(** Stop and join the tick thread (no-op when not running). *)
+
+val armed : unit -> bool
+
+val interval_s : unit -> float
+(** The current tick interval in seconds (meaningful once armed or
+    after loading a dump; 1.0 before). *)
+
+val dump : string -> (unit, string) result
+(** Write all retained points as JSONL (header line + one line per
+    point) — the [NEPAL_TELEM_DUMP] at-exit format. *)
+
+val load : string -> (unit, string) result
+(** Read a {!dump} file back into the store for offline inspection
+    (points append to any existing retained state; callers wanting a
+    clean slate run [Metrics.reset_all] first). *)
+
+val clear : unit -> unit
+(** Drop all retained points and tick bookkeeping. *)

@@ -376,6 +376,67 @@ module Json_check = struct
     match parse s with () -> true | exception Bad _ -> false
 end
 
+(* -- size rotation -------------------------------------------------- *)
+
+let test_rotation () =
+  let path = Filename.temp_file "nepal_rot" ".jsonl" in
+  let numbered i = Printf.sprintf "%s.%d" path i in
+  let rot = Nepal.Metrics.counter "event_log.rotations" in
+  let before = Nepal.Metrics.counter_value rot in
+  Event_log.set_path (Some path);
+  Event_log.set_rotation ~max_bytes:(Some 2048) ~keep:2 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Event_log.set_rotation ~max_bytes:None ();
+      Event_log.set_path None;
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; numbered 1; numbered 2; numbered 3 ])
+    (fun () ->
+      (* ~100 bytes per line: 200 emits cross the 2 KiB bound many times *)
+      for i = 1 to 200 do
+        Event_log.emit ~kind:"test.rot"
+          [ ("i", Event_log.Int i); ("pad", Event_log.Str (String.make 40 'x')) ]
+      done;
+      check_bool "rotated file exists" true (Sys.file_exists (numbered 1));
+      check_bool "keep bound honored: no .3 file" true
+        (not (Sys.file_exists (numbered 3)));
+      check_bool "rotations counted" true
+        (Nepal.Metrics.counter_value rot > before);
+      (* the live file stays near the bound (one line of slack) *)
+      let sz = (Unix.stat path).Unix.st_size in
+      check_bool "live file bounded" true (sz <= 2048 + 256);
+      (* rotation never splits a line: every surviving file is intact
+         JSONL, and the newest rotated file ends where the live one
+         begins *)
+      let lines_of p =
+        let ic = open_in p in
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        close_in ic;
+        List.rev !acc
+      in
+      let all = lines_of path @ lines_of (numbered 1) in
+      check_bool "no line split by rotation" true
+        (List.for_all (fun l -> l <> "") all);
+      let seq p =
+        List.filter_map
+          (fun l ->
+            match Nepal.Wire_json.parse l with
+            | Error _ -> Alcotest.failf "unparsable rotated line: %s" l
+            | Ok j -> Nepal.Wire_json.int_field "i" j)
+          (lines_of p)
+      in
+      let rotated = seq (numbered 1) and live = seq path in
+      check_bool "rotated and live files both hold events" true
+        (rotated <> [] && live <> []);
+      check_bool "live continues where the rotation left off" true
+        (List.hd live = List.nth rotated (List.length rotated - 1) + 1))
+
 let test_parser_sanity () =
   check_bool "accepts an object" true
     (Json_check.valid {|{"a":1,"b":[true,null,"xé"],"c":-1.5e3}|});
@@ -425,6 +486,7 @@ let () =
             test_query_error_event;
           Alcotest.test_case "no threshold while disabled" `Quick
             test_disabled_threshold;
+          Alcotest.test_case "size rotation" `Quick test_rotation;
         ] );
       ( "json",
         Alcotest.test_case "oracle parser sanity" `Quick test_parser_sanity

@@ -64,6 +64,101 @@ let prop_quantiles_bounded =
           in
           mono qs))
 
+(* The estimate against the exact sorted-order statistic: the log-linear
+   buckets bound the relative error by the sub-bucket width (~19% per
+   quarter-octave), padded to 25% for the in-bucket interpolation. The
+   oracle uses the same rank convention as the estimator (rank = q*n,
+   smallest index whose cumulative count reaches it). *)
+let exact_quantile samples q =
+  let a = Array.of_list (List.sort Float.compare samples) in
+  let n = Array.length a in
+  let rank = q *. float_of_int n in
+  let idx = max 0 (min (n - 1) (int_of_float (Float.ceil rank) - 1)) in
+  a.(idx)
+
+let within_rel ~bound exact got =
+  Float.abs (got -. exact) <= bound *. Float.max (Float.abs exact) 1e-9
+
+let prop_quantile_vs_sorted_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"quantile estimate within 25% of the exact sorted oracle"
+    QCheck.(list_of_size Gen.(1 -- 80) (float_range 1e-6 1000.))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Metrics.unregistered_histogram "oracle" in
+      List.iter (Metrics.observe h) samples;
+      List.for_all
+        (fun q ->
+          let est = Metrics.quantile h q in
+          let exact = exact_quantile samples q in
+          if within_rel ~bound:0.25 exact est then true
+          else
+            QCheck.Test.fail_reportf "q=%.2f est=%.6g exact=%.6g (n=%d)" q est
+              exact (List.length samples))
+        [ 0.1; 0.5; 0.9; 0.95; 0.99 ])
+
+(* -- windowed quantiles from cumulative snapshots ------------------- *)
+
+let test_delta_quantiles_basic () =
+  let h = Metrics.unregistered_histogram "delta" in
+  (* first window: slow observations *)
+  List.iter (Metrics.observe h) [ 0.5; 0.6; 0.55 ];
+  let s1 = Metrics.stats_of h in
+  (* no prev snapshot: the delta is the whole histogram *)
+  (match Metrics.quantiles_of_delta s1 with
+  | Some (p50, _, p99) ->
+      check_bool "full-histogram delta matches stats_of" true
+        (within_rel ~bound:1e-9 s1.Metrics.p50 p50
+        && within_rel ~bound:1e-9 s1.Metrics.p99 p99)
+  | None -> Alcotest.fail "non-empty delta must yield quantiles");
+  (* second window: fast observations only *)
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.001; 0.002 ];
+  let s2 = Metrics.stats_of h in
+  (match Metrics.quantiles_of_delta ~prev:s1 s2 with
+  | Some (p50, p95, p99) ->
+      check_bool "windowed p50 sees only the fast batch" true (p50 < 0.01);
+      check_bool "windowed p99 sheds the earlier slow burst" true (p99 < 0.01);
+      check_bool "monotone" true (p50 <= p95 && p95 <= p99)
+  | None -> Alcotest.fail "new observations must yield quantiles");
+  (* an idle window has no quantiles *)
+  check_bool "no new observations yields None" true
+    (Metrics.quantiles_of_delta ~prev:s2 s2 = None);
+  (* a reset between snapshots (counts shrink) treats prev as empty *)
+  let fresh = Metrics.unregistered_histogram "delta2" in
+  Metrics.observe fresh 0.25;
+  let s3 = Metrics.stats_of fresh in
+  match Metrics.quantiles_of_delta ~prev:s2 s3 with
+  | Some (p50, _, _) ->
+      check_bool "post-reset delta is the new histogram alone" true
+        (within_rel ~bound:1e-9 s3.Metrics.p50 p50)
+  | None -> Alcotest.fail "post-reset delta must yield quantiles"
+
+let prop_delta_quantiles_vs_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"delta quantiles within 25% of the second batch's sorted oracle"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 40) (float_range 1e-6 1000.))
+        (list_of_size Gen.(1 -- 40) (float_range 1e-6 1000.)))
+    (fun (batch_a, batch_b) ->
+      QCheck.assume (batch_b <> []);
+      let h = Metrics.unregistered_histogram "delta_prop" in
+      List.iter (Metrics.observe h) batch_a;
+      let prev = Metrics.stats_of h in
+      List.iter (Metrics.observe h) batch_b;
+      let cur = Metrics.stats_of h in
+      match Metrics.quantiles_of_delta ~prev cur with
+      | None -> QCheck.Test.fail_reportf "delta of %d obs was empty" (List.length batch_b)
+      | Some (p50, p95, p99) ->
+          List.for_all
+            (fun (q, est) ->
+              let exact = exact_quantile batch_b q in
+              if within_rel ~bound:0.25 exact est then true
+              else
+                QCheck.Test.fail_reportf "q=%.2f est=%.6g exact=%.6g" q est
+                  exact)
+            [ (0.5, p50); (0.95, p95); (0.99, p99) ])
+
 (* -- reset and reset_all hooks ------------------------------------- *)
 
 let test_reset_all () =
@@ -224,6 +319,10 @@ let () =
           Alcotest.test_case "empty and single-sample quantiles" `Quick
             test_quantiles_empty_and_single;
           QCheck_alcotest.to_alcotest prop_quantiles_bounded;
+          QCheck_alcotest.to_alcotest prop_quantile_vs_sorted_oracle;
+          Alcotest.test_case "windowed delta quantiles" `Quick
+            test_delta_quantiles_basic;
+          QCheck_alcotest.to_alcotest prop_delta_quantiles_vs_oracle;
           Alcotest.test_case "reset_all zeroes and runs hooks" `Quick
             test_reset_all;
           Alcotest.test_case "OpenMetrics grammar" `Quick

@@ -802,6 +802,206 @@ let test_exporter_survives_idle_peer () =
             (String.length line >= 12 && String.sub line 9 3 = "200");
           Net.close_noerr fd))
 
+(* HEAD must return the status line and headers a GET would — including
+   the Content-Length of the body it is NOT sending — and then stop:
+   RFC 9110 semantics, and what `curl --head` probes rely on. *)
+let test_exporter_head_request () =
+  let exporter =
+    ok
+      (Nepal.Http_metrics.start ~addr:Unix.inet_addr_loopback ~port:0
+         ~request_timeout_s:1.0
+         ~render:(fun () -> "# metrics\nnepal_test_total 1\n")
+         ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Nepal.Http_metrics.stop exporter)
+    (fun () ->
+      let port = Nepal.Http_metrics.port exporter in
+      let fetch req =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Net.set_recv_timeout fd 5.0;
+        Net.write_all fd req;
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 1024 in
+        (try
+           let rec go () =
+             let n = Unix.recv fd chunk 0 1024 [] in
+             if n > 0 then begin
+               Buffer.add_subbytes buf chunk 0 n;
+               go ()
+             end
+           in
+           go ()
+         with Unix.Unix_error _ -> ());
+        Net.close_noerr fd;
+        Buffer.contents buf
+      in
+      let split_response resp =
+        let rec find i =
+          if i + 4 > String.length resp then
+            Alcotest.failf "no header/body separator in %S" resp
+          else if String.sub resp i 4 = "\r\n\r\n" then
+            ( String.sub resp 0 i,
+              String.sub resp (i + 4) (String.length resp - i - 4) )
+          else find (i + 1)
+        in
+        find 0
+      in
+      let content_length headers =
+        List.find_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | Some c when String.lowercase_ascii (String.sub line 0 c)
+                          = "content-length" ->
+                int_of_string_opt
+                  (String.trim
+                     (String.sub line (c + 1) (String.length line - c - 1)))
+            | _ -> None)
+          (String.split_on_char '\n'
+             (String.concat "\n" (String.split_on_char '\r' headers)))
+      in
+      let get_hdr, get_body =
+        split_response (fetch "GET /metrics HTTP/1.0\r\n\r\n")
+      in
+      check_bool "GET 200" true (String.sub get_hdr 9 3 = "200");
+      check_bool "GET declares its body length" true
+        (content_length get_hdr = Some (String.length get_body));
+      check_bool "GET body non-empty" true (String.length get_body > 0);
+      let head_hdr, head_body =
+        split_response (fetch "HEAD /metrics HTTP/1.0\r\n\r\n")
+      in
+      check_bool "HEAD 200" true (String.sub head_hdr 9 3 = "200");
+      check_bool "HEAD sends no body" true (head_body = "");
+      check_bool "HEAD Content-Length matches the GET body" true
+        (content_length head_hdr = Some (String.length get_body));
+      (* 404s keep the same discipline *)
+      let nf_hdr, nf_body = split_response (fetch "HEAD /nope HTTP/1.0\r\n\r\n") in
+      check_bool "HEAD 404" true (String.sub nf_hdr 9 3 = "404");
+      check_bool "HEAD 404 sends no body" true (nf_body = "");
+      check_bool "HEAD 404 still declares a length" true
+        (match content_length nf_hdr with Some n -> n > 0 | None -> false))
+
+(* ---- self-monitoring end-to-end ------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A forced latency spike under live traffic must produce the
+   degraded → recovered event pair: the telemetry tick samples the
+   windowed query p99, the health rule debounces over the ring, and the
+   pump thread emits through Event_log. *)
+let test_health_spike_events () =
+  let store = new_store () in
+  ignore (build_small store);
+  let slow = Atomic.make false in
+  let make_runner () =
+    let inner = query_on_runner store () in
+    fun ~trace text ->
+      if Atomic.get slow then Thread.delay 0.12;
+      inner ~trace text
+  in
+  let rule =
+    {
+      Nepal.Health.hr_name = "query_spike";
+      hr_series = "server.query_seconds.p99";
+      hr_window_s = 10.;
+      hr_agg = Nepal.Health.Last;
+      hr_cmp = Nepal.Health.Above;
+      hr_threshold = 0.05;
+      hr_sustain = 2;
+      hr_recover = 2;
+    }
+  in
+  let config =
+    {
+      test_config with
+      telemetry_interval_ms = Some 50.;
+      health_rules = Some [ rule ];
+    }
+  in
+  let log_path = Filename.temp_file "nepal_health" ".jsonl" in
+  J.set_path (Some log_path);
+  let log_lines () =
+    let ic = open_in log_path in
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  in
+  let has kind =
+    List.exists (fun l -> contains l ("\"kind\":\"" ^ kind ^ "\"")) (log_lines ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      J.set_path None;
+      if Sys.file_exists log_path then Sys.remove log_path)
+    (fun () ->
+      let server = ok (Server.start ~config ~make_runner store) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          with_client server (fun c ->
+              (* keep queries flowing so every tick sees fresh latency
+                 observations while we wait for the transition *)
+              let drive pred =
+                let deadline = Unix.gettimeofday () +. 20. in
+                let rec go () =
+                  if pred () then true
+                  else if Unix.gettimeofday () >= deadline then false
+                  else begin
+                    ignore (Client.query c q_app_box);
+                    Thread.delay 0.01;
+                    go ()
+                  end
+                in
+                go ()
+              in
+              Atomic.set slow true;
+              check_bool "spike degrades the health rule" true
+                (drive (fun () -> has "health.degraded"));
+              (* while degraded, introspect advertises the alert *)
+              let ins = ok (Client.introspect c) in
+              (match Json.member "alerts" ins with
+              | Some (J.List (J.Obj fields :: _)) ->
+                  check_bool "alert names the rule" true
+                    (List.assoc_opt "rule" fields = Some (J.Str "query_spike"))
+              | _ -> Alcotest.fail "introspect must list the active alert");
+              (match Json.member "telemetry" ins with
+              | Some t ->
+                  check_bool "telemetry armed" true
+                    (Json.bool_field "armed" t = Some true)
+              | None -> Alcotest.fail "introspect must report telemetry");
+              (* retained history is queryable over the wire while hot *)
+              let pts =
+                Client.history_points
+                  (ok (Client.history ~window_s:30. c "server.requests"))
+              in
+              check_bool "history verb returns retained points" true
+                (pts <> []);
+              Atomic.set slow false;
+              check_bool "fast traffic recovers the rule" true
+                (drive (fun () -> has "health.recovered"));
+              (* order: the degrade strictly precedes the recovery *)
+              let lines = log_lines () in
+              let index_of kind =
+                let rec go i = function
+                  | [] -> max_int
+                  | l :: tl ->
+                      if contains l ("\"kind\":\"" ^ kind ^ "\"") then i
+                      else go (i + 1) tl
+                in
+                go 0 lines
+              in
+              check_bool "degraded precedes recovered" true
+                (index_of "health.degraded" < index_of "health.recovered"))))
+
 (* NEPAL_LOCK_DEBUG=1 arms the store lock's re-entrancy witness: the
    deadlock the static LNT002 rule flags at compile time raises
    [Rwlock.Reentrant] at run time instead of hanging the session
@@ -877,6 +1077,13 @@ let () =
         [
           Alcotest.test_case "survives idle peer" `Quick
             test_exporter_survives_idle_peer;
+          Alcotest.test_case "HEAD sends headers only" `Quick
+            test_exporter_head_request;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "spike degrades then recovers" `Quick
+            test_health_spike_events;
         ] );
       ( "lock witness",
         [
